@@ -1,0 +1,136 @@
+// Ablation of §4.3.1's delegation-set design: why unique 6-cloud
+// delegation sets per enterprise, spread so that no PoP advertises more
+// than two clouds?
+//
+// Model: 24 clouds advertised from a fleet of PoPs (each PoP carries at
+// most two clouds). An attacker saturates every PoP advertising any of
+// enterprise A's clouds (the §4.3.1 worst case). A zone is available if
+// at least one of its clouds retains a healthy PoP — resolvers retry
+// across the delegation set on timeout.
+//
+// Compared designs:
+//   - unique delegation sets (the paper) vs all enterprises sharing A's
+//     set (collateral damage is total);
+//   - delegation set sizes 1..8 (the paper calls 6 "arbitrary", chosen
+//     to balance uniqueness against cloud count — quantified here).
+
+#include <set>
+
+#include "bench_util.hpp"
+#include "core/delegation_sets.hpp"
+#include "common/rng.hpp"
+
+using namespace akadns;
+using namespace akadns::core;
+
+namespace {
+
+struct Fleet {
+  // cloud -> PoPs advertising it
+  std::vector<std::vector<int>> cloud_pops;
+  // pop -> clouds it advertises
+  std::vector<std::array<int, 2>> pop_clouds;
+};
+
+Fleet build_fleet(std::size_t pop_count, Rng& rng) {
+  Fleet fleet;
+  fleet.cloud_pops.resize(kCloudCount);
+  for (std::size_t pop = 0; pop < pop_count; ++pop) {
+    // Each PoP advertises exactly two distinct clouds (paper: "no PoP
+    // advertising more than two clouds").
+    const int a = static_cast<int>(rng.next_below(kCloudCount));
+    int b = static_cast<int>(rng.next_below(kCloudCount));
+    while (b == a) b = static_cast<int>(rng.next_below(kCloudCount));
+    fleet.pop_clouds.push_back({a, b});
+    fleet.cloud_pops[static_cast<std::size_t>(a)].push_back(static_cast<int>(pop));
+    fleet.cloud_pops[static_cast<std::size_t>(b)].push_back(static_cast<int>(pop));
+  }
+  return fleet;
+}
+
+/// PoPs saturated when every PoP advertising any of A's clouds is hit.
+std::set<int> saturated_pops(const Fleet& fleet, const std::vector<std::uint32_t>& a_clouds) {
+  std::set<int> saturated;
+  for (const auto cloud : a_clouds) {
+    for (const int pop : fleet.cloud_pops[cloud]) saturated.insert(pop);
+  }
+  return saturated;
+}
+
+/// A zone is available iff >= 1 of its clouds has >= 1 healthy PoP.
+bool available(const Fleet& fleet, const std::set<int>& saturated,
+               const std::vector<std::uint32_t>& clouds) {
+  for (const auto cloud : clouds) {
+    for (const int pop : fleet.cloud_pops[cloud]) {
+      if (!saturated.contains(pop)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("ablation: per-enterprise delegation sets (§4.3.1)",
+                 "unique 6-cloud sets bound collateral damage under targeted attack");
+
+  Rng rng(7);
+  const std::size_t pop_count = 200;
+  const Fleet fleet = build_fleet(pop_count, rng);
+  const int enterprises = 2'000;
+
+  // Enterprise A (the target) gets delegation set 0.
+  const auto a_set6 = delegation_set_for(0);
+  std::vector<std::uint32_t> a_clouds(a_set6.begin(), a_set6.end());
+  const auto saturated = saturated_pops(fleet, a_clouds);
+  std::printf("fleet: %zu PoPs, 24 clouds, 2 clouds/PoP; attack saturates %zu PoPs "
+              "(%.0f%% of fleet)\n",
+              pop_count, saturated.size(),
+              100.0 * static_cast<double>(saturated.size()) / pop_count);
+
+  bench::subheading("collateral damage: unique sets vs shared set");
+  int unique_available = 0;
+  for (int e = 1; e <= enterprises; ++e) {
+    const auto set = delegation_set_for(static_cast<std::uint64_t>(e));
+    const std::vector<std::uint32_t> clouds(set.begin(), set.end());
+    if (available(fleet, saturated, clouds)) ++unique_available;
+  }
+  bench::print_row("unique sets: other enterprises still available",
+                   100.0 * unique_available / enterprises, "%");
+  bench::print_row("shared set (everyone uses A's clouds): available",
+                   available(fleet, saturated, a_clouds) ? 100.0 : 0.0, "%");
+  bench::print_row("enterprise A itself (under attack): available",
+                   available(fleet, saturated, a_clouds) ? 100.0 : 0.0, "%");
+
+  bench::subheading("delegation set size sweep (paper chose 6)");
+  std::printf("%6s %14s %18s %22s\n", "size", "max tenants", "min disjoint cloud",
+              "survivors under attack");
+  for (const std::size_t size : {1u, 2u, 4u, 6u, 8u, 12u}) {
+    // Enterprises get consecutive combinations of `size` clouds; A = the
+    // first; survivors measured over a random sample.
+    const std::uint64_t capacity = binomial(kCloudCount, size);
+    // A's clouds: {0..size-1}.
+    std::vector<std::uint32_t> a(size);
+    for (std::size_t i = 0; i < size; ++i) a[i] = static_cast<std::uint32_t>(i);
+    const auto sat = saturated_pops(fleet, a);
+    int survivors = 0;
+    const int samples = 1'000;
+    Rng sample_rng(size);
+    for (int s = 0; s < samples; ++s) {
+      // A random distinct enterprise: random `size` clouds, not == A.
+      std::set<std::uint32_t> clouds;
+      while (clouds.size() < size) {
+        clouds.insert(static_cast<std::uint32_t>(sample_rng.next_below(kCloudCount)));
+      }
+      const std::vector<std::uint32_t> vec(clouds.begin(), clouds.end());
+      if (vec == a) continue;
+      if (available(fleet, sat, vec)) ++survivors;
+    }
+    std::printf("%6zu %14s %18s %21.1f%%\n", size, fmt_count(capacity).c_str(),
+                size < kCloudCount ? "guaranteed >=1" : "none", 100.0 * survivors / samples);
+  }
+  std::printf("\ntradeoff: larger sets give resolvers more retry targets but fewer\n"
+              "unique tenants and broader attack surface per enterprise; 6 supports\n"
+              "134,596 tenants while guaranteeing a disjoint delegation for any pair.\n");
+  return 0;
+}

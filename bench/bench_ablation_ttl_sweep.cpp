@@ -1,0 +1,64 @@
+// Ablation of the Two-Tier TTL design point (§5.2): the CDN hostname
+// TTL is 20 s ("to enable quick reaction to changing network conditions")
+// and the lowlevel delegation TTL is 4000 s ("so that resolvers need to
+// refresh the lowlevel delegation set infrequently").
+//
+// Sweeps both TTLs and reports, for a busy and a moderate resolver:
+//   - r_T (fraction of resolutions paying the toplevel round trip),
+//   - the Eq. 1 speedup at the paper's average RTTs (T=61 ms, L=16 ms),
+//   - the remap reaction window (how stale an answer can get = host TTL),
+//   - toplevel query load (contacts per day — the toplevels' capacity cost).
+
+#include "bench_util.hpp"
+#include "twotier/model.hpp"
+#include "twotier/rt_simulator.hpp"
+
+using namespace akadns;
+using namespace akadns::twotier;
+
+int main() {
+  bench::heading("ablation: Two-Tier TTL choices (host 20 s / delegation 4000 s)",
+                 "§5.2 — the TTL pair trades reaction speed vs resolution latency");
+
+  const Duration t_rtt = Duration::millis(61);
+  const Duration l_rtt = Duration::millis(16);
+
+  for (const double resolver_qps : {10.0, 0.02}) {
+    bench::subheading(resolver_qps >= 1.0
+                          ? "busy resolver (10 qps for this hostname)"
+                          : "moderate resolver (~1 query / 50 s)");
+    std::printf("%10s %14s %10s %10s %16s\n", "host TTL", "delegation TTL", "r_T",
+                "speedup", "toplevel/day");
+    for (const std::int64_t host_ttl : {5, 20, 60, 300}) {
+      for (const std::int64_t delegation_ttl : {400, 4000, 40000}) {
+        RtSimConfig config;
+        config.host_ttl = Duration::seconds(host_ttl);
+        config.delegation_ttl = Duration::seconds(delegation_ttl);
+        config.duration = Duration::days(7);
+        Rng rng(42);
+        const auto estimate = simulate_rt(resolver_qps, config, rng);
+        const double rt = estimate.resolutions ? estimate.r_t() : 1.0;
+        const double s = speedup(TwoTierParams{t_rtt, l_rtt, rt});
+        const double toplevel_per_day =
+            static_cast<double>(estimate.toplevel_contacts) / 7.0;
+        const bool paper_point = host_ttl == 20 && delegation_ttl == 4000;
+        std::printf("%9llds %13llds %10.4f %9.2fx %15.1f%s\n",
+                    static_cast<long long>(host_ttl),
+                    static_cast<long long>(delegation_ttl), rt, s, toplevel_per_day,
+                    paper_point ? "   <= paper design point" : "");
+      }
+    }
+  }
+
+  bench::subheading("takeaways");
+  std::printf(
+      "  * lowering the host TTL sharpens remap reaction (staleness bound =\n"
+      "    host TTL) at the cost of more lowlevel refreshes — cheap, because\n"
+      "    lowlevels are proximal (L << T);\n"
+      "  * raising the delegation TTL drives r_T toward 0 and the speedup\n"
+      "    toward T/L; past ~4000 s the returns flatten while operational\n"
+      "    agility (changing the lowlevel set) degrades;\n"
+      "  * the paper's 20 s / 4000 s point gets within a few percent of the\n"
+      "    asymptotic speedup for busy resolvers while keeping remaps fast.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// §3.1 in-text claim: "DNS traffic spreads approximately uniformly
+// across the machines at sufficiently large volumes. However, resolvers
+// that do not use a random ephemeral source port will always be
+// forwarded to the same machine."
+//
+// Measures ECMP load spread across PoP machines under the calibrated
+// resolver population (including its fixed-port minority) and the
+// per-flow stickiness property.
+
+#include <map>
+
+#include "bench_util.hpp"
+#include "pop/pop.hpp"
+#include "workload/queries.hpp"
+#include "zone/zone_builder.hpp"
+
+using namespace akadns;
+
+int main() {
+  bench::heading("ECMP query spread across PoP machines",
+                 "§3.1 — ~uniform at volume; fixed-port resolvers stick to one machine");
+
+  EventScheduler sched;
+  netsim::Network net(sched, {}, 1);
+  const auto router = net.add_node("router");
+  const auto upstream = net.add_node("upstream");
+  net.add_link(upstream, router, Duration::millis(5), netsim::LinkKind::ProviderToCustomer);
+  zone::ZoneStore store;
+  store.publish(zone::ZoneBuilder("example.com", 1)
+                    .ns("@", "ns1.example.com")
+                    .a("ns1", "10.0.0.1")
+                    .build());
+  pop::Pop pop({.id = "p1", .router_node = router}, net);
+  constexpr std::size_t kMachines = 6;
+  for (std::size_t i = 0; i < kMachines; ++i) {
+    pop.add_machine({.id = "m" + std::to_string(i)}, store).speaker().advertise(1);
+  }
+
+  workload::ResolverPopulation population({.resolver_count = 20'000, .asn_count = 500}, 2);
+  workload::HostedZones zones({.zone_count = 100}, 3);
+  workload::QueryGenerator generator(population, zones, 4);
+
+  std::map<std::string, std::uint64_t> per_machine;
+  std::map<std::string, std::map<std::string, std::uint64_t>> fixed_port_hits;
+  const int kQueries = 200'000;
+  for (int i = 0; i < kQueries; ++i) {
+    const auto query = generator.next();
+    pop::Machine* machine = pop.ecmp_select(1, query.source);
+    ++per_machine[machine->id()];
+    if (!population.resolver(query.resolver_index).random_ports) {
+      ++fixed_port_hits[query.source.addr.to_string()][machine->id()];
+    }
+  }
+
+  bench::subheading("per-machine share of 200K queries (ideal: 16.7% each)");
+  for (const auto& [id, count] : per_machine) {
+    const double share = static_cast<double>(count) / kQueries;
+    std::printf("  %-6s %8.2f%%  |%s|\n", id.c_str(), 100 * share,
+                render_bar(share * kMachines, 40).c_str());
+  }
+  double max_dev = 0;
+  for (const auto& [id, count] : per_machine) {
+    max_dev = std::max(max_dev,
+                       std::abs(static_cast<double>(count) / kQueries - 1.0 / kMachines));
+  }
+  bench::print_row("max deviation from uniform", 100 * max_dev, "pp");
+
+  bench::subheading("fixed-source-port resolvers (always one machine)");
+  std::size_t single_machine = 0, multi_machine = 0;
+  for (const auto& [source, hits] : fixed_port_hits) {
+    (hits.size() == 1 ? single_machine : multi_machine) += 1;
+  }
+  bench::print_row("fixed-port resolvers pinned to one machine",
+                   100.0 * static_cast<double>(single_machine) /
+                       std::max<std::size_t>(1, single_machine + multi_machine),
+                   "%");
+  bench::print_count_row("fixed-port resolvers observed", single_machine + multi_machine);
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Figure 10: "Percent legitimate queries answered with/without NXDOMAIN
+// filter" (§4.3.4, attack class 3 "Random Subdomain").
+//
+// Testbed reproduction: one traffic source drives legitimate queries at
+// a fixed rate L (sampled from the production-like workload model) plus
+// random-subdomain attack queries at rate A, ramped up across runs, at
+// one nameserver. Three regions:
+//   A <= A1        : cumulative rate within compute capacity — all
+//                    legitimate queries answered either way;
+//   A1 < A <= A2   : compute saturated — without the filter legitimate
+//                    queries drop proportionally; with it they are
+//                    prioritized and ~all answered;
+//   A > A2         : the I/O capacity of the machine is exceeded — drops
+//                    happen below the application for both.
+
+#include "bench_util.hpp"
+#include "dns/wire.hpp"
+#include "filters/nxdomain_filter.hpp"
+#include "server/nameserver.hpp"
+#include "workload/attacks.hpp"
+
+using namespace akadns;
+
+namespace {
+
+constexpr double kComputeQps = 5'000.0;  // A1 - L
+constexpr double kIoQps = 25'000.0;      // A2 - L
+constexpr double kLegitQps = 2'000.0;
+
+struct Scenario {
+  workload::ResolverPopulation population{{.resolver_count = 5'000, .asn_count = 200}, 1};
+  workload::HostedZones zones{{.zone_count = 200, .wildcard_fraction = 0.0}, 2};
+};
+
+server::Nameserver make_nameserver(Scenario& scenario, bool with_filter) {
+  server::NameserverConfig config;
+  config.id = with_filter ? "w-filter" : "wo-filter";
+  config.compute_capacity_qps = kComputeQps;
+  config.io_capacity_qps = kIoQps;
+  config.queue_config.max_scores = {0.0, 50.0, 150.0};
+  config.queue_config.discard_score = 200.0;
+  config.queue_config.queue_capacity = 2048;
+  server::Nameserver nameserver(std::move(config), scenario.zones.store());
+  if (with_filter) {
+    nameserver.scoring().add_filter(std::make_unique<filters::NxDomainFilter>(
+        filters::NxDomainFilter::Config{.penalty = 100.0, .nxdomain_threshold = 200},
+        [&scenario](const dns::DnsName& qname) -> std::optional<dns::DnsName> {
+          const auto zone = scenario.zones.store().find_best_zone(qname);
+          if (!zone) return std::nullopt;
+          return zone->apex();
+        },
+        [&scenario](const dns::DnsName& apex) {
+          const auto zone = scenario.zones.store().find_zone(apex);
+          return zone ? zone->all_names() : std::vector<dns::DnsName>{};
+        }));
+  }
+  return nameserver;
+}
+
+/// Fraction of legitimate queries answered at attack rate A.
+double measure(Scenario& scenario, bool with_filter, double attack_qps, double seconds) {
+  auto nameserver = make_nameserver(scenario, with_filter);
+  workload::QueryGenerator legit(scenario.population, scenario.zones, 10);
+  workload::RandomSubdomainAttack attack({.target_zone_rank = 0}, scenario.population,
+                                         scenario.zones, 11);
+  Rng rng(12);
+  std::uint64_t legit_sent = 0, legit_answered = 0;
+  std::uint16_t id = 1;
+  std::vector<bool> is_legit(65536, false);
+  nameserver.set_response_sink([&](const Endpoint&, std::vector<std::uint8_t> wire) {
+    if (wire.size() >= 2 &&
+        is_legit[static_cast<std::uint16_t>((wire[0] << 8) | wire[1])]) {
+      ++legit_answered;
+    }
+  });
+
+  SimTime clock = SimTime::origin();
+  const double step = 1e-3;
+  for (double t = 0; t < seconds; t += step) {
+    clock += Duration::millis(1);
+    const auto legit_count = rng.next_poisson(kLegitQps * step);
+    const auto attack_count = rng.next_poisson(attack_qps * step);
+    std::vector<bool> arrivals;
+    arrivals.insert(arrivals.end(), legit_count, true);
+    arrivals.insert(arrivals.end(), attack_count, false);
+    rng.shuffle(arrivals);
+    for (const bool legit_arrival : arrivals) {
+      const auto q = legit_arrival ? legit.next() : attack.next();
+      is_legit[id] = legit_arrival;
+      if (legit_arrival) ++legit_sent;
+      nameserver.receive(dns::encode(dns::make_query(id, q.qname, q.qtype)), q.source,
+                         q.ip_ttl, clock);
+      ++id;
+    }
+    nameserver.process(clock);
+  }
+  return legit_sent == 0 ? 1.0
+                         : static_cast<double>(legit_answered) /
+                               static_cast<double>(legit_sent);
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Figure 10: legitimate goodput vs random-subdomain attack rate",
+                 "§4.3.4 Figure 10 — NXDOMAIN filter holds goodput until the I/O knee");
+
+  Scenario scenario;
+  std::printf("nameserver: compute %.0f qps, I/O %.0f qps; legit load L = %.0f qps\n",
+              kComputeQps, kIoQps, kLegitQps);
+  std::printf("A1 (compute knee) = %.0f qps, A2 (I/O knee) = %.0f qps\n\n",
+              kComputeQps - kLegitQps, kIoQps - kLegitQps);
+
+  const std::vector<double> attack_rates{0,      1'000,  2'000,  3'000,  5'000,
+                                         8'000,  12'000, 16'000, 20'000, 23'000,
+                                         26'000, 30'000, 40'000};
+  std::printf("%12s  %18s  %18s\n", "attack qps", "w/o filter", "w/ filter");
+  for (const double a : attack_rates) {
+    const double without = measure(scenario, false, a, 2.0);
+    const double with = measure(scenario, true, a, 2.0);
+    std::printf("%12.0f  %8.1f%% |%s  %8.1f%% |%s\n", a, 100 * without,
+                render_bar(without, 20).c_str(), 100 * with,
+                render_bar(with, 20).c_str());
+  }
+  std::printf("\nshape anchors (paper): w/o filter declines past A1; w/ filter stays\n"
+              "~100%% through region 2; both collapse past A2 where the kernel\n"
+              "drops packets below the application.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Figure 11: "Speedup in average resolution time using Two-Tier over a
+// single-tier of toplevels" (§5.2).
+//
+// Methodology mirrors the paper: combine every (T, L) pair from the
+// probe dataset (RIPE Atlas stand-in) with every r_T value measured
+// from the resolver-cache simulation over the query-weighted resolver
+// population, producing simulated resolvers; compute S by Eq. 1; plot
+// the CDF per resolver and per query (weighted).
+//
+// Paper anchors: S > 1 for 47% (weighted RTT) to 64% (average RTT) of
+// resolvers, accounting for 87-98% of queries.
+
+#include "bench_util.hpp"
+#include "twotier/model.hpp"
+#include "twotier/probe_dataset.hpp"
+#include "twotier/rt_simulator.hpp"
+#include "workload/population.hpp"
+
+using namespace akadns;
+using namespace akadns::twotier;
+
+namespace {
+
+struct RtSample {
+  double r_t;
+  double weight;  // query volume weight
+};
+
+/// r_T per resolver from cache simulation over the weighted population.
+std::vector<RtSample> measure_rt_samples(std::size_t count) {
+  workload::ResolverPopulation population(
+      {.resolver_count = 20'000, .asn_count = 1'000}, 5);
+  Rng rng(6);
+  // A resolver's demand for one specific hostname disperses far more
+  // widely than its total volume (lognormal interest factor) — this is
+  // what puts a large population of idle resolvers at r_T ~ 1, the
+  // resolvers for which Two-Tier is a net cost (S < 1) in the paper.
+  const double name_qps_total = 120.0;
+  const double interest_sigma = 3.2;
+  std::vector<RtSample> samples;
+  samples.reserve(count);
+  RtSimConfig config;
+  config.duration = Duration::hours(24);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t idx = i * (population.size() / count);
+    const auto& resolver = population.resolver(idx);
+    const double interest = rng.next_lognormal(0.0, interest_sigma);
+    const double qps = resolver.weight * name_qps_total * interest;
+    const auto estimate = simulate_rt(qps, config, rng);
+    // Idle resolvers that never queried still exist in the population;
+    // they resolve cold every time (r_T = 1).
+    const double rt = estimate.resolutions > 0 ? estimate.r_t() : 1.0;
+    samples.push_back(RtSample{rt, resolver.weight * interest});
+  }
+  return samples;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Figure 11: CDF of Two-Tier speedup S (Eq. 1)",
+                 "§5.2 Figure 11 — S>1 for 47-64% of resolvers, 87-98% of queries");
+
+  const auto probes = generate_probe_dataset({}, 42);
+  const auto rt_samples = measure_rt_samples(400);
+
+  // Combine all (T, L) x r_T as the paper does ("a collection of
+  // simulated resolvers").
+  EmpiricalDistribution s_avg_by_resolver, s_avg_by_query;
+  EmpiricalDistribution s_wgt_by_resolver, s_wgt_by_query;
+  EmpiricalDistribution s_push_avg_by_resolver, s_push_wgt_by_resolver;
+  for (const auto& probe : probes) {
+    const Duration t_avg = probe.toplevel_avg();
+    const Duration l_avg = probe.lowlevel_avg();
+    const Duration t_wgt = probe.toplevel_weighted();
+    const Duration l_wgt = probe.lowlevel_weighted();
+    // Sample r_T values (step through for cost control).
+    for (std::size_t k = 0; k < rt_samples.size(); k += 8) {
+      const auto& sample = rt_samples[k];
+      const double s_avg = speedup(TwoTierParams{t_avg, l_avg, sample.r_t});
+      const double s_wgt = speedup(TwoTierParams{t_wgt, l_wgt, sample.r_t});
+      s_avg_by_resolver.add(s_avg);
+      s_avg_by_query.add(s_avg, sample.weight);
+      s_wgt_by_resolver.add(s_wgt);
+      s_wgt_by_query.add(s_wgt, sample.weight);
+      s_push_avg_by_resolver.add(speedup_with_push(TwoTierParams{t_avg, l_avg, sample.r_t}));
+      s_push_wgt_by_resolver.add(speedup_with_push(TwoTierParams{t_wgt, l_wgt, sample.r_t}));
+    }
+  }
+
+  const std::vector<double> xs{0.0625, 0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0};
+  bench::subheading("CDF of S — average RTT, per resolver (\"avg RTT - R\")");
+  bench::print_cdf(s_avg_by_resolver, xs, "speedup S", "x");
+  bench::subheading("CDF of S — weighted RTT, per resolver (\"wgt RTT - R\")");
+  bench::print_cdf(s_wgt_by_resolver, xs, "speedup S", "x");
+  bench::subheading("CDF of S — average RTT, query-weighted (\"avg RTT - Q\")");
+  bench::print_cdf(s_avg_by_query, xs, "speedup S", "x");
+  bench::subheading("CDF of S — weighted RTT, query-weighted (\"wgt RTT - Q\")");
+  bench::print_cdf(s_wgt_by_query, xs, "speedup S", "x");
+
+  bench::subheading("anchors (paper: resolvers with S>1: 64% avg / 47% wgt; "
+                    "queries: 98% avg / 87% wgt)");
+  bench::print_row("resolvers with S>1, average RTT",
+                   100.0 * s_avg_by_resolver.fraction_above(1.0), "%");
+  bench::print_row("resolvers with S>1, weighted RTT",
+                   100.0 * s_wgt_by_resolver.fraction_above(1.0), "%");
+  bench::print_row("queries with S>1, average RTT",
+                   100.0 * s_avg_by_query.fraction_above(1.0), "%");
+  bench::print_row("queries with S>1, weighted RTT",
+                   100.0 * s_wgt_by_query.fraction_above(1.0), "%");
+
+  bench::subheading("§5.2 'Improvements': answer push (paper: beneficial whenever "
+                    "L<T, i.e. 87-98% of resolvers)");
+  bench::print_row("resolvers with S_push>=1, average RTT",
+                   100.0 * (1.0 - s_push_avg_by_resolver.cdf_at(0.999999)), "%");
+  bench::print_row("resolvers with S_push>=1, weighted RTT",
+                   100.0 * (1.0 - s_push_wgt_by_resolver.cdf_at(0.999999)), "%");
+  bench::print_row("fraction of probes with L<T, average RTT",
+                   100.0 * fraction_lowlevel_faster(probes, false), "%");
+  bench::print_row("fraction of probes with L<T, weighted RTT",
+                   100.0 * fraction_lowlevel_faster(probes, true), "%");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 12: "Computed resolution time per query from simulated
+// resolvers to toplevels (Y) and Two-Tier (X)" (§5.2).
+//
+// Same simulated-resolver collection as Figure 11; instead of the ratio
+// S, report the absolute average resolution times and the density above
+// vs below the diagonal. Paper anchors: average Two-Tier resolution
+// time ~16 ms in both aggregations, vs toplevel 27 ms (weighted) and
+// 61 ms (average).
+
+#include "bench_util.hpp"
+#include "twotier/model.hpp"
+#include "twotier/probe_dataset.hpp"
+#include "twotier/rt_simulator.hpp"
+#include "workload/population.hpp"
+
+using namespace akadns;
+using namespace akadns::twotier;
+
+int main() {
+  bench::heading("Figure 12: absolute resolution times — Two-Tier vs toplevels",
+                 "§5.2 Figure 12 — Two-Tier ~16 ms vs toplevel 27/61 ms (wgt/avg)");
+
+  const auto probes = generate_probe_dataset({}, 42);
+  workload::ResolverPopulation population({.resolver_count = 20'000, .asn_count = 1'000},
+                                          5);
+  Rng rng(6);
+  RtSimConfig rt_config;
+  rt_config.duration = Duration::hours(24);
+  const double name_qps_total = 120.0;
+  const double interest_sigma = 3.2;
+
+  struct Cell {
+    double sum_two_tier = 0, sum_toplevel = 0, weight = 0;
+    std::uint64_t above_diagonal = 0, total = 0;
+  };
+  Cell avg_cell, wgt_cell;
+
+  std::size_t resolver_index = 0;
+  for (const auto& probe : probes) {
+    // One r_T measurement per probe (stride through the population).
+    const auto& resolver =
+        population.resolver((resolver_index * 37) % population.size());
+    ++resolver_index;
+    const double interest = rng.next_lognormal(0.0, interest_sigma);
+    const double qps = resolver.weight * name_qps_total * interest;
+    const auto estimate = simulate_rt(qps, rt_config, rng);
+    const double r_t = estimate.resolutions > 0 ? estimate.r_t() : 1.0;
+
+    const TwoTierParams avg_params{probe.toplevel_avg(), probe.lowlevel_avg(), r_t};
+    const TwoTierParams wgt_params{probe.toplevel_weighted(), probe.lowlevel_weighted(),
+                                   r_t};
+    for (Cell* cell : {&avg_cell, &wgt_cell}) {
+      const auto& params = cell == &avg_cell ? avg_params : wgt_params;
+      const double two_tier = two_tier_resolution_time(params).to_millis();
+      const double toplevel = single_tier_resolution_time(params).to_millis();
+      const double volume = resolver.weight * interest;
+      cell->sum_two_tier += two_tier * volume;
+      cell->sum_toplevel += toplevel * volume;
+      cell->weight += volume;
+      ++cell->total;
+      if (toplevel > two_tier) ++cell->above_diagonal;
+    }
+  }
+
+  bench::subheading("query-weighted averages (paper: ~16 ms vs 61 ms, avg RTT)");
+  bench::print_row("avg RTT: Two-Tier resolution time",
+                   avg_cell.sum_two_tier / avg_cell.weight, "ms");
+  bench::print_row("avg RTT: toplevel-only resolution time",
+                   avg_cell.sum_toplevel / avg_cell.weight, "ms");
+  bench::subheading("query-weighted averages (paper: ~16 ms vs 27 ms, wgt RTT)");
+  bench::print_row("wgt RTT: Two-Tier resolution time",
+                   wgt_cell.sum_two_tier / wgt_cell.weight, "ms");
+  bench::print_row("wgt RTT: toplevel-only resolution time",
+                   wgt_cell.sum_toplevel / wgt_cell.weight, "ms");
+
+  bench::subheading("diagonal split (points above diagonal = Two-Tier wins)");
+  bench::print_row("avg RTT: simulated resolvers above diagonal",
+                   100.0 * static_cast<double>(avg_cell.above_diagonal) /
+                       static_cast<double>(avg_cell.total),
+                   "%");
+  bench::print_row("wgt RTT: simulated resolvers above diagonal",
+                   100.0 * static_cast<double>(wgt_cell.above_diagonal) /
+                       static_cast<double>(wgt_cell.total),
+                   "%");
+  return 0;
+}

@@ -1,0 +1,232 @@
+// Figure 8: "Failover time for clouds with 2 and 21 PoPs" (§4.1).
+//
+// Reproduces the paper's experimental methodology on the simulated
+// Internet: 267 PoP/vantage-point sites, a test anycast prefix, probes
+// every 100 msec, and the paper's two measurements —
+//   advertise: t_X - t_L (remote catchment shift vs the PoP-local probe)
+//   withdraw:  t_Y - t_phi when timeouts occur, ~instantaneous otherwise
+// for 2-PoP and 21-PoP clouds.
+//
+// Paper anchors: advertise-2PoP failover < 1 s in 76% of measurements;
+// ~3% of measurements see timeouts; the withdraw curve has a heavy tail
+// (5.8% of measurements >= 10 s); 21-PoP medians are ~200 ms faster.
+
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "netsim/failover_probe.hpp"
+#include "netsim/topology.hpp"
+
+using namespace akadns;
+using namespace akadns::netsim;
+
+namespace {
+
+struct ExperimentResult {
+  EmpiricalDistribution failover_seconds;
+  std::size_t measurements = 0;
+  std::size_t timeout_vps = 0;
+  std::size_t tail_over_10s = 0;
+};
+
+struct Experiment {
+  EventScheduler sched;
+  Network net;
+  Topology topo;
+  Rng rng;
+  PrefixId next_prefix = 1;
+
+  static NetworkConfig experiment_config() {
+    NetworkConfig config;
+    // A visible minority of slow routers (conservative MRAI timers /
+    // route-flap damping) produces the paper's heavy withdrawal tail.
+    config.slow_mrai_fraction = 0.15;
+    config.slow_mrai_min = Duration::seconds(5);
+    config.slow_mrai_max = Duration::seconds(30);
+    return config;
+  }
+
+  Experiment(std::uint64_t seed)
+      : net(sched, experiment_config(), seed), rng(seed ^ 0xFA110FF) {
+    TopologyConfig config;
+    config.edge_count = 267;  // the paper's 267 sites
+    topo = build_internet(net, config, seed ^ 0x70B0);
+  }
+
+  /// Samples `n` distinct edges excluding the given ones.
+  std::vector<NodeId> sample_edges(std::size_t n, const std::vector<NodeId>& exclude) {
+    std::vector<NodeId> pool;
+    for (const auto e : topo.edges) {
+      if (std::find(exclude.begin(), exclude.end(), e) == exclude.end()) {
+        pool.push_back(e);
+      }
+    }
+    rng.shuffle(pool);
+    pool.resize(std::min(n, pool.size()));
+    return pool;
+  }
+
+  void run_advertise_trial(NodeId x, const std::vector<NodeId>& ys, ExperimentResult& out) {
+    const PrefixId prefix = next_prefix++;
+    for (const auto y : ys) net.advertise(y, prefix);
+    sched.run();  // converge the Y-only cloud
+
+    std::vector<NodeId> vantage = sample_edges(80, [&] {
+      std::vector<NodeId> ex = ys;
+      ex.push_back(x);
+      return ex;
+    }());
+    vantage.push_back(x);  // the PoP-local vantage point
+    ProbeDriver driver(net, prefix, vantage);
+    const SimTime start = sched.now();
+    driver.start(start + Duration::seconds(50));
+    SimTime advertised_at;
+    sched.schedule_after(Duration::seconds(2), [&] {
+      advertised_at = sched.now();
+      net.advertise(x, prefix);
+    });
+    sched.run();
+
+    const auto t_l = driver.first_answer_from(x, x, advertised_at);
+    if (!t_l) return;  // local VP never reached X: discard trial
+    for (const auto vp : vantage) {
+      if (vp == x) continue;
+      const auto t_x = driver.first_answer_from(vp, x, advertised_at);
+      const bool timed_out = driver.first_timeout(vp, advertised_at).has_value();
+      if (timed_out) ++out.timeout_vps;
+      if (!t_x) continue;  // stayed in Y's catchment: no failover event
+      const double failover = std::max(0.0, (*t_x - *t_l).to_seconds());
+      out.failover_seconds.add(failover);
+      ++out.measurements;
+      if (failover >= 10.0) ++out.tail_over_10s;
+    }
+    net.withdraw(x, prefix);
+    for (const auto y : ys) net.withdraw(y, prefix);
+    sched.run();
+  }
+
+  void run_withdraw_trial(NodeId x, const std::vector<NodeId>& ys, ExperimentResult& out) {
+    const PrefixId prefix = next_prefix++;
+    net.advertise(x, prefix);
+    for (const auto y : ys) net.advertise(y, prefix);
+    sched.run();
+
+    // Vantage points inside X's catchment experience the withdrawal.
+    std::vector<NodeId> vantage;
+    for (const auto e : sample_edges(120, {x})) {
+      if (std::find(ys.begin(), ys.end(), e) != ys.end()) continue;
+      if (net.catchment_origin(e, prefix) == x) vantage.push_back(e);
+      if (vantage.size() >= 40) break;
+    }
+    if (vantage.empty()) {
+      net.withdraw(x, prefix);
+      for (const auto y : ys) net.withdraw(y, prefix);
+      sched.run();
+      return;
+    }
+    ProbeDriver driver(net, prefix, vantage);
+    const SimTime start = sched.now();
+    driver.start(start + Duration::seconds(50));
+    SimTime withdrawn_at;
+    sched.schedule_after(Duration::seconds(2), [&] {
+      withdrawn_at = sched.now();
+      net.withdraw(x, prefix);
+    });
+    sched.run();
+
+    for (const auto vp : vantage) {
+      // First answer from any surviving origin.
+      std::optional<SimTime> t_y;
+      for (const auto& record : driver.records(vp)) {
+        if (record.sent < withdrawn_at) continue;
+        if (record.answered && record.answered_by != x) {
+          t_y = record.sent;
+          break;
+        }
+      }
+      const auto t_phi = driver.first_timeout(vp, withdrawn_at);
+      if (!t_y) {
+        ++out.timeout_vps;  // never recovered within the window
+        continue;
+      }
+      // Paper: timeouts => t_Y - t_phi; otherwise instantaneous reroute
+      // (record at half the probe interval).
+      const double failover = (t_phi && *t_phi < *t_y)
+                                  ? (*t_y - *t_phi).to_seconds()
+                                  : 0.05;
+      out.failover_seconds.add(failover);
+      ++out.measurements;
+      if (failover >= 10.0) ++out.tail_over_10s;
+    }
+    for (const auto y : ys) net.withdraw(y, prefix);
+    sched.run();
+  }
+};
+
+void report(const char* label, const ExperimentResult& result) {
+  bench::subheading(label);
+  if (result.failover_seconds.empty()) {
+    std::printf("  (no measurements)\n");
+    return;
+  }
+  const std::vector<double> xs{0.1, 0.3, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 40.0};
+  bench::print_cdf(result.failover_seconds, xs, "failover time", "s");
+  bench::print_row("measurements", static_cast<double>(result.measurements), "");
+  bench::print_row("median failover", result.failover_seconds.median(), "s");
+  bench::print_row("fraction under 1 s", 100.0 * result.failover_seconds.cdf_at(1.0), "%");
+  bench::print_row("fraction >= 10 s (withdraw tail)",
+                   100.0 * static_cast<double>(result.tail_over_10s) /
+                       static_cast<double>(result.measurements),
+                   "%");
+  bench::print_row(
+      "vantage points with timeouts",
+      100.0 * static_cast<double>(result.timeout_vps) /
+          static_cast<double>(result.measurements + result.timeout_vps),
+      "%");
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Figure 8: anycast failover time, 2-PoP and 21-PoP clouds",
+                 "§4.1 Figure 8 — advertise 76% <1s; withdraw heavy tail 5.8% >=10s; "
+                 "21-PoP medians ~200ms faster");
+
+  constexpr int kTrials = 40;
+  Experiment experiment(2026);
+  auto order = experiment.topo.edges;
+  experiment.rng.shuffle(order);
+
+  ExperimentResult adv2, wd2, adv21, wd21;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const NodeId x = order[static_cast<std::size_t>(trial)];
+    const NodeId y = order[static_cast<std::size_t>(trial + 1)];
+    experiment.run_advertise_trial(x, {y}, adv2);
+    experiment.run_withdraw_trial(x, {y}, wd2);
+    const auto ys = experiment.sample_edges(20, {x});
+    experiment.run_advertise_trial(x, ys, adv21);
+    experiment.run_withdraw_trial(x, ys, wd21);
+  }
+
+  report("advertise, 2 PoPs", adv2);
+  report("withdraw, 2 PoPs", wd2);
+  report("advertise, 21 PoPs", adv21);
+  report("withdraw, 21 PoPs", wd21);
+
+  bench::subheading("median comparison (paper: 21-PoP ~200 ms faster)");
+  if (!adv2.failover_seconds.empty() && !adv21.failover_seconds.empty()) {
+    bench::print_row("advertise median 2-PoP minus 21-PoP",
+                     1000.0 * (adv2.failover_seconds.median() -
+                               adv21.failover_seconds.median()),
+                     "ms");
+  }
+  if (!wd2.failover_seconds.empty() && !wd21.failover_seconds.empty()) {
+    bench::print_row("withdraw median 2-PoP minus 21-PoP",
+                     1000.0 * (wd2.failover_seconds.median() -
+                               wd21.failover_seconds.median()),
+                     "ms");
+  }
+  bench::print_count_row("BGP updates sent across all trials",
+                         experiment.net.updates_sent());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// §5.2 "Measuring r_T": over one day of logs for "w10.akamai.net", the
+// paper computes per-resolver r_T = toplevel queries / lowlevel queries
+// for 575K resolvers — mean 0.48, but query-weighted mean only 0.008
+// (busy resolvers keep the delegation cached).
+//
+// Reproduced with the resolver-cache simulation across the calibrated
+// query-weighted resolver population, plus the closed-form cross-check.
+
+#include "bench_util.hpp"
+#include "twotier/rt_simulator.hpp"
+#include "workload/population.hpp"
+
+using namespace akadns;
+using namespace akadns::twotier;
+
+int main() {
+  bench::heading("r_T estimation across the resolver population",
+                 "§5.2 — mean r_T 0.48; query-weighted mean 0.008");
+
+  workload::ResolverPopulation population(
+      {.resolver_count = 30'000, .asn_count = 1'500}, 7);
+  Rng rng(8);
+  RtSimConfig config;
+  config.duration = Duration::hours(24);
+  // Aggregate demand for this one CDN property. A resolver's demand for
+  // one specific hostname disperses far more widely than its total query
+  // volume (user populations differ in what they browse), modelled by a
+  // lognormal per-resolver interest factor on top of the global weight.
+  const double name_qps_total = 120.0;
+  const double interest_sigma = 3.2;
+
+  double sum_rt = 0, weighted_rt = 0, total_weight = 0;
+  std::size_t counted = 0;
+  EmpiricalDistribution rt_per_resolver;
+  const std::size_t stride = 10;  // simulate a 3,000-resolver sample
+  for (std::size_t i = 0; i < population.size(); i += stride) {
+    const auto& resolver = population.resolver(i);
+    const double interest = rng.next_lognormal(0.0, interest_sigma);
+    const double qps = resolver.weight * name_qps_total * interest;
+    const auto estimate = simulate_rt(qps, config, rng);
+    if (estimate.resolutions == 0) continue;  // never asked for the name
+    const double rt = estimate.r_t();
+    sum_rt += rt;
+    weighted_rt += rt * static_cast<double>(estimate.resolutions);
+    total_weight += static_cast<double>(estimate.resolutions);
+    rt_per_resolver.add(rt);
+    ++counted;
+  }
+
+  bench::subheading("measured");
+  bench::print_row("resolvers with traffic for the name",
+                   static_cast<double>(counted), "");
+  bench::print_row("mean r_T (paper 0.48)", sum_rt / static_cast<double>(counted), "");
+  bench::print_row("query-weighted mean r_T (paper 0.008)", weighted_rt / total_weight, "");
+  bench::print_row("median r_T", rt_per_resolver.median(), "");
+
+  bench::subheading("closed-form cross-check by resolver rate");
+  std::printf("%16s  %10s  %10s\n", "resolver qps", "analytic", "simulated");
+  for (const double qps : {100.0, 10.0, 1.0, 0.1, 0.01, 0.001, 0.0001}) {
+    Rng check_rng(9);
+    RtSimConfig long_config;
+    long_config.duration = Duration::days(30);
+    const auto sim = simulate_rt(qps, long_config, check_rng);
+    std::printf("%16.4f  %10.4f  %10.4f\n", qps, analytic_rt(qps, long_config),
+                sim.resolutions ? sim.r_t() : 1.0);
+  }
+  std::printf("\n(r_T falls from ~1 for idle resolvers to host_ttl/delegation_ttl\n"
+              " ~ 0.005 for busy ones; the skewed volume distribution is what\n"
+              " separates the plain mean from the query-weighted mean.)\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Shared output helpers for the experiment benches: every bench prints
+// the rows/series of the paper figure it regenerates, plus an ASCII
+// rendition where a curve helps eyeballing shape fidelity.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace akadns::bench {
+
+inline void heading(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void subheading(const std::string& title) {
+  std::printf("\n-- %s --\n", title.c_str());
+}
+
+/// Prints a CDF as rows "x  F(x)  bar".
+inline void print_cdf(const EmpiricalDistribution& dist, const std::vector<double>& xs,
+                      const char* x_label, const char* x_unit) {
+  std::printf("%14s  %8s\n", x_label, "CDF");
+  for (const double x : xs) {
+    const double f = dist.cdf_at(x);
+    std::printf("%11.3f %s  %7.1f%%  |%s|\n", x, x_unit, 100.0 * f,
+                render_bar(f, 40).c_str());
+  }
+}
+
+inline void print_row(const char* label, double value, const char* unit = "") {
+  std::printf("  %-44s %12.3f %s\n", label, value, unit);
+}
+
+inline void print_count_row(const char* label, std::uint64_t value) {
+  std::printf("  %-44s %12s\n", label, fmt_count(value).c_str());
+}
+
+}  // namespace akadns::bench

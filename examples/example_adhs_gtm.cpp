@@ -1,0 +1,127 @@
+// ADHS + GTM walkthrough (§1, §3.1): an enterprise onboards onto the
+// hosting service — it is assigned a unique 6-cloud delegation set, its
+// NS records go into the parent zone, and a GTM property load-balances
+// "www" across its datacenters. A caching resolver then follows the
+// delegation chain from the parent and we fail a datacenter live.
+
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "core/adhs.hpp"
+#include "resolver/iterative_resolver.hpp"
+#include "server/responder.hpp"
+#include "twotier/gtm.hpp"
+#include "zone/zone_builder.hpp"
+
+using namespace akadns;
+
+int main() {
+  // --- onboarding ----------------------------------------------------------
+  // Nameserver names under akadns.com so the glue lives in-bailiwick of
+  // the "com" parent zone used below.
+  core::EnterpriseRegistry registry({.nameserver_suffix = "akadns.com",
+                                     .cloud_address_base = Ipv4Addr(172, 20, 0, 0)});
+  const auto acme = registry.register_enterprise("acme");
+  std::printf("enterprise 'acme' assigned delegation set {");
+  for (std::size_t i = 0; i < acme.delegation_set.size(); ++i) {
+    std::printf("%s%u", i ? ", " : "", acme.delegation_set[i]);
+  }
+  std::printf("} of C(24,6) = %s possible sets\n\n",
+              fmt_count(core::max_enterprises()).c_str());
+
+  // Parent zone (the registry/TLD side): the delegation NS + glue that
+  // "enterprises add ... to the respective parent zone".
+  zone::ZoneBuilder parent_builder("com", 1);
+  parent_builder.soa("ns1.nic.com", "hostmaster.nic.com", 1);
+  parent_builder.ns("@", "ns1.nic.com");
+  parent_builder.a("ns1.nic", "192.0.2.53");
+  for (const auto& ns : registry.delegation_ns_records(acme, dns::DnsName::from("acme.com"))) {
+    parent_builder.record(ns);
+  }
+  for (const auto& glue : registry.delegation_glue_records(acme)) {
+    parent_builder.record(glue);
+  }
+  zone::ZoneStore parent_store;
+  parent_store.publish(parent_builder.build());
+
+  // Enterprise zone hosted on Akamai DNS: same NS set at the apex; the
+  // "www" answers come from a GTM property.
+  zone::ZoneBuilder acme_builder("acme.com", 1);
+  acme_builder.soa("a0.akadns.com", "hostmaster.acme.com", 1);
+  for (const auto& ns : registry.delegation_ns_records(acme, dns::DnsName::from("acme.com"))) {
+    acme_builder.record(ns);
+  }
+  acme_builder.txt("@", "acme corporate zone");
+  zone::ZoneStore acme_store;
+  acme_store.publish(acme_builder.build());
+
+  twotier::GtmProperty www({.hostname = dns::DnsName::from("www.acme.com"),
+                            .policy = twotier::GtmPolicy::Failover,
+                            .ttl = 30});
+  www.add_datacenter({"dc-primary", *IpAddr::parse("203.0.113.10"), 1.0, {0, 0}, true, 0});
+  www.add_datacenter({"dc-backup", *IpAddr::parse("203.0.113.20"), 1.0, {90, 0}, true, 0});
+
+  server::Responder parent_ns(parent_store);
+  server::Responder akamai_ns(acme_store);
+  Rng gtm_rng(1);
+  akamai_ns.set_mapping_hook(
+      [&](const dns::Question& question, const Endpoint&,
+          const std::optional<dns::ClientSubnet>&) -> std::optional<server::MappedAnswer> {
+        if (question.name != www.hostname()) return std::nullopt;
+        server::MappedAnswer mapped;
+        mapped.answers = www.answer(std::nullopt, gtm_rng);
+        if (mapped.answers.empty()) return std::nullopt;  // all DCs down
+        return mapped;
+      });
+
+  // --- resolution through the hierarchy -------------------------------------
+  const Endpoint me{*IpAddr::parse("198.51.100.53"), 5353};
+  const IpAddr parent_addr = *IpAddr::parse("192.0.2.53");
+  resolver::IterativeResolver resolver(
+      {}, [&](const dns::Message& query,
+              const IpAddr& server) -> std::optional<resolver::UpstreamReply> {
+        if (server == parent_addr) {
+          return resolver::UpstreamReply{parent_ns.respond(query, me), Duration::millis(40)};
+        }
+        // Any of the six per-cloud addresses reaches Akamai DNS.
+        for (const auto cloud : acme.delegation_set) {
+          if (server == IpAddr(registry.cloud_address(cloud))) {
+            return resolver::UpstreamReply{akamai_ns.respond(query, me),
+                                           Duration::millis(12)};
+          }
+        }
+        return std::nullopt;
+      });
+  resolver.add_hint(dns::DnsName::from("com"), parent_addr);
+
+  auto show = [&](const char* label, SimTime when) {
+    const auto result =
+        resolver.resolve(dns::DnsName::from("www.acme.com"), dns::RecordType::A, when);
+    if (result.answers.empty()) {
+      std::printf("%-34s -> %s (no answer)\n", label, dns::to_string(result.rcode).c_str());
+      return;
+    }
+    std::printf("%-34s -> %s  (ttl %us, %d upstream queries, %.0f ms)\n", label,
+                dns::rdata_to_string(result.answers.back().rdata).c_str(),
+                result.answers.back().ttl, result.upstream_queries,
+                result.elapsed.to_millis());
+  };
+
+  show("cold resolution (via parent)", SimTime::origin());
+  show("cached resolution", SimTime::origin() + Duration::seconds(5));
+
+  std::printf("\n-- primary datacenter fails --\n");
+  www.set_alive("dc-primary", false);
+  // The 30 s GTM TTL expires, and the next refresh fails over.
+  show("after TTL expiry", SimTime::origin() + Duration::seconds(40));
+
+  std::printf("\n-- primary recovers --\n");
+  www.set_alive("dc-primary", true);
+  show("after another TTL expiry", SimTime::origin() + Duration::seconds(80));
+
+  std::printf("\nnote: the refreshes above never re-contacted the parent — the\n"
+              "acme.com delegation (TTL 86400) stays cached, only the 30 s GTM\n"
+              "answer is refreshed. That asymmetry is the Two-Tier idea (§5.2)\n"
+              "applied at the hosting level.\n");
+  return 0;
+}

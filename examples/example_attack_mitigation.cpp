@@ -1,0 +1,139 @@
+// Attack mitigation walkthrough (§4.3): a nameserver with the full
+// query-scoring pipeline survives a random-subdomain attack that would
+// otherwise starve legitimate resolvers.
+//
+// The run prints three phases: calm traffic, the attack without the
+// NXDOMAIN filter armed (legitimate goodput collapses), and the attack
+// with the scoring pipeline active (goodput recovers).
+
+#include <cstdio>
+
+#include "dns/wire.hpp"
+#include "filters/nxdomain_filter.hpp"
+#include "filters/rate_limit_filter.hpp"
+#include "server/nameserver.hpp"
+#include "workload/attacks.hpp"
+
+using namespace akadns;
+
+namespace {
+
+struct Scenario {
+  workload::ResolverPopulation population{{.resolver_count = 5'000, .asn_count = 200}, 1};
+  workload::HostedZones zones{{.zone_count = 300, .wildcard_fraction = 0.0}, 2};
+};
+
+/// Drives `seconds` of traffic at the nameserver: legit_qps legitimate
+/// queries plus attack_qps random-subdomain queries. Returns the
+/// fraction of legitimate queries answered.
+double run_phase(Scenario& scenario, server::Nameserver& nameserver, double legit_qps,
+                 double attack_qps, double seconds, SimTime& clock) {
+  workload::QueryGenerator legit(scenario.population, scenario.zones, 77);
+  workload::RandomSubdomainAttack attack({.target_zone_rank = 0}, scenario.population,
+                                         scenario.zones, 78);
+  Rng rng(79);
+  std::uint64_t legit_sent = 0, legit_answered = 0;
+  std::uint16_t id = 1;
+
+  // Track which transaction ids belong to legitimate queries.
+  std::vector<bool> is_legit(65536, false);
+  nameserver.set_response_sink([&](const Endpoint&, std::vector<std::uint8_t> wire) {
+    if (wire.size() >= 2) {
+      const std::uint16_t rid = static_cast<std::uint16_t>((wire[0] << 8) | wire[1]);
+      if (is_legit[rid]) ++legit_answered;
+    }
+  });
+
+  const double step = 1e-3;  // 1 ms simulation step
+  for (double t = 0; t < seconds; t += step) {
+    clock += Duration::millis(1);
+    // Interleave legitimate and attack arrivals randomly within the step
+    // (ordering one class first would bias queue admission under
+    // overload).
+    const auto legit_arrivals = rng.next_poisson(legit_qps * step);
+    const auto attack_arrivals = rng.next_poisson(attack_qps * step);
+    std::vector<bool> arrivals;
+    arrivals.insert(arrivals.end(), legit_arrivals, true);
+    arrivals.insert(arrivals.end(), attack_arrivals, false);
+    rng.shuffle(arrivals);
+    for (const bool legit_arrival : arrivals) {
+      const auto q = legit_arrival ? legit.next() : attack.next();
+      auto query = dns::make_query(id, q.qname, q.qtype);
+      is_legit[id] = legit_arrival;
+      ++id;
+      if (legit_arrival) ++legit_sent;
+      nameserver.receive(dns::encode(query), q.source, q.ip_ttl, clock);
+    }
+    nameserver.process(clock);
+  }
+  return legit_sent == 0 ? 1.0
+                         : static_cast<double>(legit_answered) /
+                               static_cast<double>(legit_sent);
+}
+
+server::Nameserver make_nameserver(Scenario& scenario, bool with_filters) {
+  server::NameserverConfig config;
+  config.id = with_filters ? "filtered-ns" : "unfiltered-ns";
+  config.compute_capacity_qps = 5'000.0;  // modest machine
+  config.io_capacity_qps = 100'000.0;
+  // Thresholds chosen so a rate-limit penalty (60) alone maps to the
+  // middle queue, while rate-limit + NXDOMAIN (240) crosses S_max: a
+  // heavy resolver relaying the attack keeps its *valid* queries
+  // answered while its random-subdomain relays are discarded.
+  config.queue_config.max_scores = {0.0, 60.0, 150.0};
+  config.queue_config.discard_score = 200.0;
+  server::Nameserver nameserver(std::move(config), scenario.zones.store());
+  if (with_filters) {
+    nameserver.scoring().add_filter(std::make_unique<filters::RateLimitFilter>(
+        filters::RateLimitFilter::Config{.default_limit_qps = 200.0}));
+    nameserver.scoring().add_filter(std::make_unique<filters::NxDomainFilter>(
+        filters::NxDomainFilter::Config{.penalty = 180.0, .nxdomain_threshold = 200},
+        [&scenario](const dns::DnsName& qname) -> std::optional<dns::DnsName> {
+          const auto zone = scenario.zones.store().find_best_zone(qname);
+          if (!zone) return std::nullopt;
+          return zone->apex();
+        },
+        [&scenario](const dns::DnsName& apex) {
+          const auto zone = scenario.zones.store().find_zone(apex);
+          return zone ? zone->all_names() : std::vector<dns::DnsName>{};
+        }));
+  }
+  return nameserver;
+}
+
+}  // namespace
+
+int main() {
+  Scenario scenario;
+  const double legit_qps = 1'000.0;
+  const double attack_qps = 15'000.0;  // 3x the compute capacity
+
+  std::printf("random-subdomain attack against zone %s\n",
+              scenario.zones.apex(0).to_string().c_str());
+  std::printf("nameserver compute capacity: 5,000 qps; legit load: %.0f qps; "
+              "attack: %.0f qps\n\n",
+              legit_qps, attack_qps);
+
+  {
+    SimTime clock = SimTime::origin();
+    auto nameserver = make_nameserver(scenario, /*with_filters=*/false);
+    const double calm = run_phase(scenario, nameserver, legit_qps, 0.0, 3.0, clock);
+    const double under_attack =
+        run_phase(scenario, nameserver, legit_qps, attack_qps, 5.0, clock);
+    std::printf("WITHOUT filters:  calm goodput %.1f%%   under attack %.1f%%\n",
+                100 * calm, 100 * under_attack);
+  }
+  {
+    SimTime clock = SimTime::origin();
+    auto nameserver = make_nameserver(scenario, /*with_filters=*/true);
+    const double calm = run_phase(scenario, nameserver, legit_qps, 0.0, 3.0, clock);
+    const double under_attack =
+        run_phase(scenario, nameserver, legit_qps, attack_qps, 5.0, clock);
+    std::printf("WITH filters:     calm goodput %.1f%%   under attack %.1f%%\n",
+                100 * calm, 100 * under_attack);
+    std::printf("\nfilter pipeline: queries discarded as definitively malicious "
+                "are dropped before the queues;\nsuspicious queries are "
+                "answered only when capacity remains (work-conserving).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "common/event_scheduler.hpp"
+
+#include <utility>
+
+namespace akadns {
+
+EventScheduler::EventId EventScheduler::schedule_at(SimTime at, Callback cb) {
+  if (at < now_) at = now_;
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, next_seq_++, id, std::move(cb)});
+  ++live_events_;
+  return id;
+}
+
+EventScheduler::EventId EventScheduler::schedule_after(Duration delay, Callback cb) {
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool EventScheduler::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  if (!cancelled_.insert(id).second) return false;
+  // The entry may already have fired; fire_next() removes ids from the
+  // cancelled set when it skips them, so a stale id simply leaves a
+  // tombstone that is reclaimed when (if) the entry pops.
+  if (live_events_ > 0) --live_events_;
+  return true;
+}
+
+bool EventScheduler::fire_next() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; move out via const_cast, standard
+    // practice for pop-and-consume heaps of move-only payloads.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(entry.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = entry.at;
+    --live_events_;
+    entry.cb();
+    return true;
+  }
+  return false;
+}
+
+void EventScheduler::run() {
+  while (fire_next()) {
+  }
+}
+
+void EventScheduler::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (cancelled_.contains(top.id)) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.at > deadline) break;
+    fire_next();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+std::size_t EventScheduler::run_steps(std::size_t max_events) {
+  std::size_t fired = 0;
+  while (fired < max_events && fire_next()) ++fired;
+  return fired;
+}
+
+}  // namespace akadns

@@ -1,0 +1,82 @@
+// A deterministic discrete-event scheduler.
+//
+// All simulators (BGP propagation, query streams, monitoring agents,
+// metadata propagation) run on a single EventScheduler. Events scheduled
+// for the same instant fire in insertion order (a monotonically increasing
+// sequence number breaks ties) so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace akadns {
+
+class EventScheduler {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  EventScheduler() = default;
+  EventScheduler(const EventScheduler&) = delete;
+  EventScheduler& operator=(const EventScheduler&) = delete;
+
+  /// Current simulated time. Advances only inside run()/run_until().
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules `cb` to fire at absolute time `at` (clamped to now()).
+  /// Returns an id usable with cancel().
+  EventId schedule_at(SimTime at, Callback cb);
+
+  /// Schedules `cb` to fire `delay` after the current time.
+  EventId schedule_after(Duration delay, Callback cb);
+
+  /// Cancels a pending event. Returns true if the event had not yet fired
+  /// or been cancelled. The tombstone is skipped when popped.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue is empty.
+  void run();
+
+  /// Runs events with time <= deadline, then sets now() to the deadline.
+  void run_until(SimTime deadline);
+
+  /// Fires at most `max_events` events; returns how many fired.
+  std::size_t run_steps(std::size_t max_events);
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const noexcept { return live_events_; }
+
+  bool empty() const noexcept { return live_events_ == 0; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq = 0;
+    EventId id = 0;
+    Callback cb;
+  };
+  struct EntryLater {
+    // Ordered so the earliest time (and lowest seq within a time) pops first.
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops and fires the earliest live event; returns false if none remain.
+  bool fire_next();
+
+  SimTime now_ = SimTime::origin();
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_events_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace akadns

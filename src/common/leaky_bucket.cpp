@@ -1,0 +1,35 @@
+#include "common/leaky_bucket.hpp"
+
+#include <algorithm>
+
+namespace akadns {
+
+LeakyBucket::LeakyBucket(double rate_per_sec, double burst) noexcept
+    : rate_(std::max(rate_per_sec, 0.0)), burst_(std::max(burst, 1.0)) {}
+
+void LeakyBucket::drain(SimTime now) noexcept {
+  if (now <= last_) return;
+  const double elapsed = (now - last_).to_seconds();
+  level_ = std::max(0.0, level_ - elapsed * rate_);
+  last_ = now;
+}
+
+bool LeakyBucket::offer(SimTime now, double units) noexcept {
+  drain(now);
+  if (level_ + units > burst_) return false;
+  level_ += units;
+  return true;
+}
+
+double LeakyBucket::level(SimTime now) noexcept {
+  drain(now);
+  return level_;
+}
+
+void LeakyBucket::reconfigure(double rate_per_sec, double burst) noexcept {
+  rate_ = std::max(rate_per_sec, 0.0);
+  burst_ = std::max(burst, 1.0);
+  level_ = std::min(level_, burst_);
+}
+
+}  // namespace akadns

@@ -1,0 +1,42 @@
+// Leaky-bucket rate limiter.
+//
+// The paper's rate-limiting filter (§4.3.4, attack class 2 "Direct Query")
+// uses a leaky bucket per resolver because DNS traffic is bursty
+// (Figure 3): the bucket tolerates short bursts up to its capacity while
+// enforcing a long-term drain rate learned from history.
+#pragma once
+
+#include "common/sim_time.hpp"
+
+namespace akadns {
+
+class LeakyBucket {
+ public:
+  /// rate_per_sec: sustained drain rate; burst: bucket capacity in units.
+  LeakyBucket(double rate_per_sec, double burst) noexcept;
+
+  /// Offers one unit at time `now`. Returns true if the unit conforms
+  /// (fits in the bucket after draining), false if it overflows.
+  bool offer(SimTime now) noexcept { return offer(now, 1.0); }
+  bool offer(SimTime now, double units) noexcept;
+
+  /// Current fill level after draining to `now` (does not add anything).
+  double level(SimTime now) noexcept;
+
+  /// Re-parameterizes the bucket in place (used when the learned rate of
+  /// a resolver is refreshed); retains the current fill.
+  void reconfigure(double rate_per_sec, double burst) noexcept;
+
+  double rate_per_sec() const noexcept { return rate_; }
+  double burst() const noexcept { return burst_; }
+
+ private:
+  void drain(SimTime now) noexcept;
+
+  double rate_;
+  double burst_;
+  double level_ = 0.0;
+  SimTime last_ = SimTime::origin();
+};
+
+}  // namespace akadns

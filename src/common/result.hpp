@@ -1,0 +1,51 @@
+// A minimal expected-style Result<T> for parse paths where failure is a
+// normal outcome (wire-format decoding, master-file parsing) and
+// exceptions would be the wrong tool. Carries an error message.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace akadns {
+
+struct Error {
+  std::string message;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}   // NOLINT implicit
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT implicit
+
+  static Result failure(std::string message) { return Result(Error{std::move(message)}); }
+
+  bool ok() const noexcept { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const T& value() const& {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error());
+    return std::get<T>(data_);
+  }
+  T&& take() && {
+    if (!ok()) throw std::runtime_error("Result::take on error: " + error());
+    return std::get<T>(std::move(data_));
+  }
+
+  const std::string& error() const {
+    static const std::string kNone = "(no error)";
+    if (ok()) return kNone;
+    return std::get<Error>(data_).message;
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+}  // namespace akadns

@@ -1,0 +1,109 @@
+// Deterministic random number generation for reproducible simulations.
+//
+// Every stochastic component in this codebase draws from an explicitly
+// seeded generator so that simulation runs are bit-for-bit reproducible.
+// We provide SplitMix64 (used for seeding / cheap hashing) and
+// Xoshiro256** (the workhorse generator), plus the small set of
+// distributions the simulators need.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace akadns {
+
+/// SplitMix64: tiny, fast generator mainly used to expand a single
+/// 64-bit seed into the larger state of Xoshiro256**.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality 64-bit PRNG with 256 bits of state.
+/// Satisfies the essentials of UniformRandomBitGenerator so it can be
+/// used with <random> distributions if desired, though we mostly use the
+/// member helpers below to keep results platform-independent.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next_u64(); }
+
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool next_bool(double p) noexcept;
+
+  /// Standard normal via Box-Muller (deterministic; caches the spare).
+  double next_gaussian() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double next_gaussian(double mean, double stddev) noexcept;
+
+  /// Exponential with the given rate (mean 1/rate). rate must be > 0.
+  double next_exponential(double rate) noexcept;
+
+  /// Pareto (Lomax-shifted) sample with scale xm > 0 and shape alpha > 0.
+  double next_pareto(double xm, double alpha) noexcept;
+
+  /// Log-normal with parameters of the underlying normal.
+  double next_lognormal(double mu, double sigma) noexcept;
+
+  /// Poisson-distributed count with the given mean (Knuth for small
+  /// lambda, normal approximation above 64 to stay O(1)).
+  std::uint64_t next_poisson(double lambda) noexcept;
+
+  /// Fisher-Yates shuffle of an arbitrary vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k) noexcept;
+
+  /// Derives an independent child generator; handy for giving each
+  /// simulated entity its own stream without correlation.
+  Rng fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double spare_gaussian_ = 0.0;
+  bool has_spare_gaussian_ = false;
+};
+
+}  // namespace akadns

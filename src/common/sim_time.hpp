@@ -1,0 +1,92 @@
+// Simulated time. All simulators in this repository share a single notion
+// of time: a signed 64-bit count of nanoseconds since the start of the
+// simulation. Strong typedefs keep durations and instants from mixing and
+// eliminate any dependence on wall-clock time (determinism requirement).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace akadns {
+
+/// A span of simulated time, in nanoseconds.
+class Duration {
+ public:
+  constexpr Duration() noexcept = default;
+
+  static constexpr Duration nanos(std::int64_t n) noexcept { return Duration(n); }
+  static constexpr Duration micros(std::int64_t us) noexcept { return Duration(us * 1'000); }
+  static constexpr Duration millis(std::int64_t ms) noexcept { return Duration(ms * 1'000'000); }
+  static constexpr Duration seconds(std::int64_t s) noexcept { return Duration(s * 1'000'000'000); }
+  static constexpr Duration minutes(std::int64_t m) noexcept { return seconds(m * 60); }
+  static constexpr Duration hours(std::int64_t h) noexcept { return seconds(h * 3600); }
+  static constexpr Duration days(std::int64_t d) noexcept { return hours(d * 24); }
+  /// Fractional seconds, rounded to the nearest nanosecond.
+  static constexpr Duration seconds_f(double s) noexcept {
+    return Duration(static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr Duration millis_f(double ms) noexcept { return seconds_f(ms / 1e3); }
+  static constexpr Duration zero() noexcept { return Duration(0); }
+  static constexpr Duration max() noexcept { return Duration(INT64_MAX); }
+
+  constexpr std::int64_t count_nanos() const noexcept { return ns_; }
+  constexpr double to_seconds() const noexcept { return static_cast<double>(ns_) / 1e9; }
+  constexpr double to_millis() const noexcept { return static_cast<double>(ns_) / 1e6; }
+  constexpr double to_micros() const noexcept { return static_cast<double>(ns_) / 1e3; }
+
+  constexpr auto operator<=>(const Duration&) const noexcept = default;
+
+  constexpr Duration operator+(Duration o) const noexcept { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const noexcept { return Duration(ns_ - o.ns_); }
+  constexpr Duration operator-() const noexcept { return Duration(-ns_); }
+  constexpr Duration operator*(std::int64_t k) const noexcept { return Duration(ns_ * k); }
+  constexpr Duration operator/(std::int64_t k) const noexcept { return Duration(ns_ / k); }
+  constexpr Duration& operator+=(Duration o) noexcept { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) noexcept { ns_ -= o.ns_; return *this; }
+
+  /// Scales by a double (used for jitter); rounds to nearest nanosecond.
+  constexpr Duration scaled(double k) const noexcept {
+    return Duration(static_cast<std::int64_t>(static_cast<double>(ns_) * k + 0.5));
+  }
+
+  std::string to_string() const {
+    const double s = to_seconds();
+    if (ns_ != 0 && s > -1e-3 && s < 1e-3) return std::to_string(to_micros()) + "us";
+    if (s > -1.0 && s < 1.0) return std::to_string(to_millis()) + "ms";
+    return std::to_string(s) + "s";
+  }
+
+ private:
+  explicit constexpr Duration(std::int64_t ns) noexcept : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An instant in simulated time (nanoseconds since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+
+  static constexpr SimTime origin() noexcept { return SimTime(0); }
+  static constexpr SimTime from_nanos(std::int64_t ns) noexcept { return SimTime(ns); }
+  static constexpr SimTime from_seconds(double s) noexcept {
+    return SimTime(static_cast<std::int64_t>(s * 1e9 + 0.5));
+  }
+  static constexpr SimTime max() noexcept { return SimTime(INT64_MAX); }
+
+  constexpr std::int64_t count_nanos() const noexcept { return ns_; }
+  constexpr double to_seconds() const noexcept { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimTime&) const noexcept = default;
+
+  constexpr SimTime operator+(Duration d) const noexcept { return SimTime(ns_ + d.count_nanos()); }
+  constexpr SimTime operator-(Duration d) const noexcept { return SimTime(ns_ - d.count_nanos()); }
+  constexpr Duration operator-(SimTime o) const noexcept { return Duration::nanos(ns_ - o.ns_); }
+  constexpr SimTime& operator+=(Duration d) noexcept { ns_ += d.count_nanos(); return *this; }
+
+ private:
+  explicit constexpr SimTime(std::int64_t ns) noexcept : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace akadns

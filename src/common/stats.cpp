@@ -1,0 +1,179 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace akadns {
+
+void StreamingStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void StreamingStats::merge(const StreamingStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StreamingStats::variance() const noexcept {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double StreamingStats::sample_variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double StreamingStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void EmpiricalDistribution::add(double value, double weight) {
+  if (weight <= 0.0) return;
+  samples_.emplace_back(value, weight);
+  total_weight_ += weight;
+  sorted_ = false;
+}
+
+void EmpiricalDistribution::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalDistribution::quantile(double q) const {
+  if (samples_.empty()) throw std::logic_error("quantile of empty distribution");
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * total_weight_;
+  double acc = 0.0;
+  for (const auto& [v, w] : samples_) {
+    acc += w;
+    if (acc >= target) return v;
+  }
+  return samples_.back().first;
+}
+
+double EmpiricalDistribution::cdf_at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  // Binary search on value, then sum weights up to that point would be
+  // O(n); precomputing prefix sums each query is also O(n). Queries are
+  // sparse in the benches, so a linear pass keeps the code simple.
+  double acc = 0.0;
+  for (const auto& [v, w] : samples_) {
+    if (v > x) break;
+    acc += w;
+  }
+  return acc / total_weight_;
+}
+
+double EmpiricalDistribution::mean() const {
+  double acc = 0.0;
+  for (const auto& [v, w] : samples_) acc += v * w;
+  return samples_.empty() ? 0.0 : acc / total_weight_;
+}
+
+double EmpiricalDistribution::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front().first;
+}
+
+double EmpiricalDistribution::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back().first;
+}
+
+std::vector<std::pair<double, double>> EmpiricalDistribution::cdf_points(
+    const std::vector<double>& xs) const {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.emplace_back(x, cdf_at(x));
+  return out;
+}
+
+std::vector<std::pair<double, double>> EmpiricalDistribution::cdf_curve(std::size_t n) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || n == 0) return out;
+  ensure_sorted();
+  out.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(n);
+    out.emplace_back(quantile(q), q);
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0.0) {
+  if (bins == 0 || !(hi > lo)) throw std::invalid_argument("bad histogram bounds");
+}
+
+void Histogram::add(double x, double weight) noexcept {
+  std::size_t i;
+  if (x < lo_) {
+    i = 0;
+  } else if (x >= hi_) {
+    i = counts_.size() - 1;
+  } else {
+    i = static_cast<std::size_t>((x - lo_) / width_);
+    if (i >= counts_.size()) i = counts_.size() - 1;
+  }
+  counts_[i] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bin_hi(std::size_t i) const noexcept { return bin_lo(i) + width_; }
+
+double Histogram::fraction(std::size_t i) const noexcept {
+  return total_ > 0.0 ? counts_[i] / total_ : 0.0;
+}
+
+std::string render_bar(double fraction, std::size_t width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto filled = static_cast<std::size_t>(fraction * static_cast<double>(width) + 0.5);
+  std::string bar(filled, '#');
+  bar.append(width - filled, ' ');
+  return bar;
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_count(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+}  // namespace akadns

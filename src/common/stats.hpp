@@ -1,0 +1,105 @@
+// Statistics helpers used by the workload models and benchmark harnesses:
+// streaming moments, empirical CDFs (optionally weighted), histograms and
+// simple text rendering for bench output.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace akadns {
+
+/// Streaming mean / variance / min / max (Welford's algorithm).
+class StreamingStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const StreamingStats& other) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;       // population variance
+  double sample_variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Empirical distribution with optional per-sample weights.
+/// Percentile / CDF queries sort lazily on first access.
+class EmpiricalDistribution {
+ public:
+  void add(double value, double weight = 1.0);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+  double total_weight() const noexcept { return total_weight_; }
+
+  /// Weighted quantile, q in [0, 1]. Uses the left-continuous inverse CDF.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  /// Weighted fraction of samples with value <= x.
+  double cdf_at(double x) const;
+
+  /// Weighted fraction of samples with value strictly greater than x.
+  double fraction_above(double x) const { return 1.0 - cdf_at(x); }
+
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Evaluates the CDF at each of the given points (for bench output).
+  std::vector<std::pair<double, double>> cdf_points(const std::vector<double>& xs) const;
+
+  /// Returns `n` evenly spaced (in rank) points of the CDF.
+  std::vector<std::pair<double, double>> cdf_curve(std::size_t n) const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<std::pair<double, double>> samples_;  // (value, weight)
+  mutable bool sorted_ = true;
+  double total_weight_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); values outside clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0) noexcept;
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  double bin_lo(std::size_t i) const noexcept;
+  double bin_hi(std::size_t i) const noexcept;
+  double count(std::size_t i) const noexcept { return counts_[i]; }
+  double total() const noexcept { return total_; }
+  /// Fraction of total weight in bin i (0 if empty histogram).
+  double fraction(std::size_t i) const noexcept;
+
+ private:
+  double lo_, hi_, width_;
+  double total_ = 0.0;
+  std::vector<double> counts_;
+};
+
+/// Renders a crude ASCII sparkline/bar chart for bench output, e.g.
+///   render_bar(0.76, 40) -> "##############################          ".
+std::string render_bar(double fraction, std::size_t width);
+
+/// Formats a double with fixed precision (bench table output helper).
+std::string fmt(double v, int precision = 3);
+
+/// Formats large counts with thousands separators: 1234567 -> "1,234,567".
+std::string fmt_count(std::uint64_t v);
+
+}  // namespace akadns

@@ -1,0 +1,34 @@
+// Small string helpers shared across modules (ASCII-only, as DNS is).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace akadns {
+
+/// ASCII lowercase (DNS names compare case-insensitively, RFC 1035 §2.3.3).
+char ascii_lower(char c) noexcept;
+std::string to_lower(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Splits on runs of ASCII whitespace; empty fields are dropped.
+std::vector<std::string_view> split_whitespace(std::string_view s);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s) noexcept;
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// FNV-1a 64-bit hash of a byte string (stable across platforms).
+std::uint64_t fnv1a(std::string_view s) noexcept;
+
+}  // namespace akadns

@@ -1,0 +1,38 @@
+#include "common/token_bucket.hpp"
+
+#include <algorithm>
+
+namespace akadns {
+
+TokenBucket::TokenBucket(double rate_per_sec, double capacity) noexcept
+    : rate_(std::max(rate_per_sec, 0.0)),
+      capacity_(std::max(capacity, 0.0)),
+      tokens_(capacity_) {}
+
+void TokenBucket::refill(SimTime now) noexcept {
+  if (now <= last_) return;
+  const double elapsed = (now - last_).to_seconds();
+  tokens_ = std::min(capacity_, tokens_ + elapsed * rate_);
+  last_ = now;
+}
+
+bool TokenBucket::try_take(SimTime now, double tokens) noexcept {
+  refill(now);
+  if (tokens_ < tokens) return false;
+  tokens_ -= tokens;
+  return true;
+}
+
+double TokenBucket::available(SimTime now) noexcept {
+  refill(now);
+  return tokens_;
+}
+
+Duration TokenBucket::time_until_available(SimTime now, double tokens) noexcept {
+  refill(now);
+  if (tokens_ >= tokens) return Duration::zero();
+  if (rate_ <= 0.0) return Duration::max();
+  return Duration::seconds_f((tokens - tokens_) / rate_);
+}
+
+}  // namespace akadns

@@ -1,0 +1,36 @@
+// Token bucket — the dual of the leaky bucket, used where the simulators
+// need to shape *outgoing* rates (e.g. modelling a nameserver machine's
+// processing capacity or a peering link's bandwidth in the attack benches).
+#pragma once
+
+#include "common/sim_time.hpp"
+
+namespace akadns {
+
+class TokenBucket {
+ public:
+  /// rate_per_sec: token refill rate; capacity: maximum stored tokens.
+  TokenBucket(double rate_per_sec, double capacity) noexcept;
+
+  /// Attempts to take `tokens`; returns true on success.
+  bool try_take(SimTime now, double tokens = 1.0) noexcept;
+
+  /// Available tokens after refilling to `now`.
+  double available(SimTime now) noexcept;
+
+  /// Time until `tokens` would be available (zero if already available).
+  Duration time_until_available(SimTime now, double tokens) noexcept;
+
+  double rate_per_sec() const noexcept { return rate_; }
+  double capacity() const noexcept { return capacity_; }
+
+ private:
+  void refill(SimTime now) noexcept;
+
+  double rate_;
+  double capacity_;
+  double tokens_;
+  SimTime last_ = SimTime::origin();
+};
+
+}  // namespace akadns

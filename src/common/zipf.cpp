@@ -1,0 +1,68 @@
+#include "common/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace akadns {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s, double q) : s_(s), q_(q) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be >= 1");
+  if (!(s > 0.0)) throw std::invalid_argument("ZipfSampler: s must be > 0");
+  if (q < 0.0) throw std::invalid_argument("ZipfSampler: q must be >= 0");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1) + q, s);
+    cdf_[k] = acc;
+  }
+  const double total = acc;
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t rank) const noexcept {
+  if (rank >= cdf_.size()) return 0.0;
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+double ZipfSampler::cdf(std::size_t k) const noexcept {
+  if (k == 0) return 0.0;
+  if (k >= cdf_.size()) return 1.0;
+  return cdf_[k - 1];
+}
+
+double ZipfSampler::calibrate_exponent(std::size_t n, double top_fraction,
+                                       double mass_fraction, double q) {
+  if (n == 0) throw std::invalid_argument("calibrate_exponent: n must be >= 1");
+  const auto top_k = std::max<std::size_t>(1, static_cast<std::size_t>(
+                                                  top_fraction * static_cast<double>(n)));
+  // Mass of the top k is monotonically increasing in s, so bisect.
+  auto mass_at = [&](double s) {
+    double top = 0.0, total = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double p = 1.0 / std::pow(static_cast<double>(k + 1) + q, s);
+      total += p;
+      if (k < top_k) top += p;
+    }
+    return top / total;
+  };
+  double lo = 0.01, hi = 8.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (mass_at(mid) < mass_fraction) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace akadns

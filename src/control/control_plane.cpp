@@ -1,0 +1,112 @@
+#include "control/control_plane.hpp"
+
+namespace akadns::control {
+
+ControlPlane::ControlPlane(EventScheduler& scheduler, std::uint64_t seed)
+    : ControlPlane(scheduler, Config{}, seed) {}
+
+ControlPlane::ControlPlane(EventScheduler& scheduler, Config config, std::uint64_t seed)
+    : scheduler_(scheduler), config_(config), rng_(seed) {}
+
+ControlPlane::SubscriptionId ControlPlane::subscribe(const std::string& topic,
+                                                     SubscriptionOptions options) {
+  const SubscriptionId id = next_id_++;
+  subscriptions_[id] = Subscription{topic, std::move(options), false, true, 0, false};
+  Topic& t = topics_[topic];
+  t.subscribers.push_back(id);
+  // A late subscriber catches up to the current generation.
+  if (t.generation > 0) {
+    schedule_delivery(id, sample_delay(subscriptions_[id].options.delivery) +
+                              subscriptions_[id].options.extra_delay);
+  }
+  return id;
+}
+
+void ControlPlane::unsubscribe(SubscriptionId id) {
+  const auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end()) return;
+  it->second.active = false;  // tombstone; topic lists are pruned lazily
+}
+
+void ControlPlane::set_paused(SubscriptionId id, bool paused) {
+  const auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end()) return;
+  const bool was_paused = it->second.paused;
+  it->second.paused = paused;
+  if (was_paused && !paused) {
+    // Resume: catch up if behind.
+    const Topic& topic = topics_[it->second.topic];
+    if (topic.generation > it->second.delivered_generation) {
+      schedule_delivery(id, sample_delay(it->second.options.delivery) +
+                                it->second.options.extra_delay);
+    }
+  }
+}
+
+bool ControlPlane::paused(SubscriptionId id) const {
+  const auto it = subscriptions_.find(id);
+  return it != subscriptions_.end() && it->second.paused;
+}
+
+Duration ControlPlane::sample_delay(DeliveryClass delivery) {
+  const auto [lo, hi] = delivery == DeliveryClass::RealTimeMulticast
+                            ? std::pair(config_.multicast_delay_min, config_.multicast_delay_max)
+                            : std::pair(config_.cdn_delay_min, config_.cdn_delay_max);
+  return Duration::nanos(rng_.next_int(lo.count_nanos(), hi.count_nanos()));
+}
+
+std::uint64_t ControlPlane::publish(const std::string& topic, MetadataPtr payload) {
+  Topic& t = topics_[topic];
+  ++t.generation;
+  t.latest = std::move(payload);
+  for (const SubscriptionId id : t.subscribers) {
+    const auto it = subscriptions_.find(id);
+    if (it == subscriptions_.end() || !it->second.active) continue;
+    schedule_delivery(id, sample_delay(it->second.options.delivery) +
+                              it->second.options.extra_delay);
+  }
+  return t.generation;
+}
+
+void ControlPlane::schedule_delivery(SubscriptionId id, Duration delay) {
+  auto& sub = subscriptions_.at(id);
+  // Coalesce: one pending delivery attempt per subscription; the attempt
+  // always delivers the newest generation at fire time.
+  if (sub.delivery_scheduled) return;
+  sub.delivery_scheduled = true;
+  scheduler_.schedule_after(delay, [this, id] { attempt_delivery(id); });
+}
+
+void ControlPlane::attempt_delivery(SubscriptionId id) {
+  const auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end()) return;
+  Subscription& sub = it->second;
+  sub.delivery_scheduled = false;
+  if (!sub.active) return;
+  const Topic& topic = topics_[sub.topic];
+  if (topic.generation <= sub.delivered_generation) return;
+  if (sub.paused) return;  // resumed later via set_paused(false)
+  const bool reachable = !sub.options.reachable || sub.options.reachable();
+  if (!reachable) {
+    // Connectivity failure: keep retrying; the subscriber catches up to
+    // the newest payload once connectivity returns (§4.2.2).
+    sub.delivery_scheduled = true;
+    scheduler_.schedule_after(config_.retry_interval, [this, id] { attempt_delivery(id); });
+    return;
+  }
+  sub.delivered_generation = topic.generation;
+  ++deliveries_;
+  if (sub.options.on_delivery) sub.options.on_delivery(topic.latest, scheduler_.now());
+}
+
+std::uint64_t ControlPlane::delivered_generation(SubscriptionId id) const {
+  const auto it = subscriptions_.find(id);
+  return it == subscriptions_.end() ? 0 : it->second.delivered_generation;
+}
+
+std::uint64_t ControlPlane::latest_generation(const std::string& topic) const {
+  const auto it = topics_.find(topic);
+  return it == topics_.end() ? 0 : it->second.generation;
+}
+
+}  // namespace akadns::control

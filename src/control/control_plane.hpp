@@ -1,0 +1,113 @@
+// Communication/Control System (§3.2): generic metadata delivery with a
+// publish/subscribe model.
+//
+// Two delivery classes exist in production: enterprise zone files are
+// delivered via Akamai's CDN over HTTP (seconds), while mapping
+// intelligence uses the overlay multicast network for near-real-time
+// delivery (sub-second). Both are modelled as per-subscriber delivery
+// delays with jitter.
+//
+// Semantics mirror the paper's failure discussion (§4.2.2/§4.2.3):
+//   - per topic, only the *latest* generation matters; a subscriber that
+//     was unreachable catches up to the newest payload once reachable;
+//   - a subscription may carry an extra input delay (the input-delayed
+//     nameservers' artificial 1-hour lag);
+//   - a subscription can be paused ("input-delayed nameservers stop
+//     receiving any new inputs upon use").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/event_scheduler.hpp"
+#include "common/rng.hpp"
+
+namespace akadns::control {
+
+/// Base class for published payloads.
+struct Metadata {
+  virtual ~Metadata() = default;
+};
+using MetadataPtr = std::shared_ptr<const Metadata>;
+
+enum class DeliveryClass : std::uint8_t {
+  RealTimeMulticast,  // mapping intelligence: ~100s of milliseconds
+  CdnHttp,            // zone files / configuration: seconds
+};
+
+struct SubscriptionOptions {
+  DeliveryClass delivery = DeliveryClass::CdnHttp;
+  /// Artificial extra delay (1 hour for input-delayed nameservers).
+  Duration extra_delay = Duration::zero();
+  /// Reachability check evaluated at delivery time; unreachable
+  /// subscribers retry until they catch up.
+  std::function<bool()> reachable;  // null = always reachable
+  /// Invoked when a payload lands.
+  std::function<void(const MetadataPtr&, SimTime now)> on_delivery;
+};
+
+class ControlPlane {
+ public:
+  struct Config {
+    Duration multicast_delay_min = Duration::millis(50);
+    Duration multicast_delay_max = Duration::millis(400);
+    Duration cdn_delay_min = Duration::millis(500);
+    Duration cdn_delay_max = Duration::seconds(3);
+    Duration retry_interval = Duration::seconds(5);
+  };
+
+  using SubscriptionId = std::uint64_t;
+
+  ControlPlane(EventScheduler& scheduler, std::uint64_t seed);
+  ControlPlane(EventScheduler& scheduler, Config config, std::uint64_t seed);
+
+  SubscriptionId subscribe(const std::string& topic, SubscriptionOptions options);
+  void unsubscribe(SubscriptionId id);
+
+  /// Pauses/resumes a subscription (no deliveries while paused; on
+  /// resume the latest generation is delivered).
+  void set_paused(SubscriptionId id, bool paused);
+  bool paused(SubscriptionId id) const;
+
+  /// Publishes a new generation on a topic; supersedes older pending
+  /// deliveries. Returns the generation number.
+  std::uint64_t publish(const std::string& topic, MetadataPtr payload);
+
+  /// Latest generation delivered to a subscription (0 = none yet).
+  std::uint64_t delivered_generation(SubscriptionId id) const;
+  std::uint64_t latest_generation(const std::string& topic) const;
+
+  std::uint64_t deliveries() const noexcept { return deliveries_; }
+
+ private:
+  struct Subscription {
+    std::string topic;
+    SubscriptionOptions options;
+    bool paused = false;
+    bool active = true;
+    std::uint64_t delivered_generation = 0;
+    bool delivery_scheduled = false;
+  };
+  struct Topic {
+    std::uint64_t generation = 0;
+    MetadataPtr latest;
+    std::vector<SubscriptionId> subscribers;
+  };
+
+  Duration sample_delay(DeliveryClass delivery);
+  void schedule_delivery(SubscriptionId id, Duration delay);
+  void attempt_delivery(SubscriptionId id);
+
+  EventScheduler& scheduler_;
+  Config config_;
+  Rng rng_;
+  std::unordered_map<std::string, Topic> topics_;
+  std::unordered_map<SubscriptionId, Subscription> subscriptions_;
+  SubscriptionId next_id_ = 1;
+  std::uint64_t deliveries_ = 0;
+};
+
+}  // namespace akadns::control

@@ -1,0 +1,55 @@
+#include "control/machine_subscriber.hpp"
+
+#include <stdexcept>
+
+namespace akadns::control {
+
+std::string zone_topic(const dns::DnsName& apex) { return "zone/" + apex.to_string(); }
+
+std::uint64_t publish_zone(ControlPlane& plane, zone::Zone zone) {
+  const auto problems = zone.validate();
+  if (!problems.empty()) {
+    std::string joined;
+    for (const auto& p : problems) joined += p + "; ";
+    throw std::invalid_argument("zone validation failed: " + joined);
+  }
+  const std::string topic = zone_topic(zone.apex());
+  return plane.publish(topic, std::make_shared<ZoneSnapshot>(std::move(zone)));
+}
+
+ControlPlane::SubscriptionId subscribe_machine_to_zone(ControlPlane& plane,
+                                                       pop::Machine& machine,
+                                                       const dns::DnsName& apex,
+                                                       Duration input_delay) {
+  if (!machine.local_store()) {
+    throw std::invalid_argument("machine " + machine.id() +
+                                " has no local zone store; construct it without a "
+                                "shared store to use the metadata pipeline");
+  }
+  SubscriptionOptions options;
+  options.delivery = DeliveryClass::CdnHttp;
+  options.extra_delay = input_delay;
+  options.reachable = [&machine] { return machine.metadata_reachable(); };
+  options.on_delivery = [&machine](const MetadataPtr& payload, SimTime now) {
+    const auto* snapshot = dynamic_cast<const ZoneSnapshot*>(payload.get());
+    if (!snapshot) return;
+    machine.local_store()->force_publish(snapshot->zone);
+    machine.nameserver().metadata_updated(now);
+  };
+  return plane.subscribe(zone_topic(apex), std::move(options));
+}
+
+ControlPlane::SubscriptionId subscribe_machine_to_mapping(ControlPlane& plane,
+                                                          pop::Machine& machine,
+                                                          Duration input_delay) {
+  SubscriptionOptions options;
+  options.delivery = DeliveryClass::RealTimeMulticast;
+  options.extra_delay = input_delay;
+  options.reachable = [&machine] { return machine.metadata_reachable(); };
+  options.on_delivery = [&machine](const MetadataPtr&, SimTime now) {
+    machine.nameserver().metadata_updated(now);
+  };
+  return plane.subscribe(kMappingTopic, std::move(options));
+}
+
+}  // namespace akadns::control

@@ -1,0 +1,44 @@
+// Adapters wiring pop::Machine instances into the metadata pipeline:
+// zone snapshots land in the machine's private zone-store replica and
+// refresh its metadata timestamp (the staleness detector's input).
+// Input-delayed machines subscribe with the 1-hour artificial delay and
+// can be frozen ("stop receiving any new inputs upon use", §4.2.3).
+#pragma once
+
+#include "control/control_plane.hpp"
+#include "pop/machine.hpp"
+#include "zone/zone.hpp"
+
+namespace akadns::control {
+
+/// Payload for zone publications: an immutable zone snapshot.
+struct ZoneSnapshot : Metadata {
+  explicit ZoneSnapshot(zone::Zone zone_in) : zone(std::move(zone_in)) {}
+  zone::Zone zone;
+};
+
+/// Topic naming convention for zone publications.
+std::string zone_topic(const dns::DnsName& apex);
+
+/// Publishes a zone snapshot (the Management Portal's output, after
+/// validation). Throws std::invalid_argument if validation fails —
+/// "the Management Portal validates the metadata and publishes it".
+std::uint64_t publish_zone(ControlPlane& plane, zone::Zone zone);
+
+/// Subscribes a machine (which must own a local store) to a zone topic.
+/// Returns the subscription id. `input_delay` is zero for regular
+/// machines and one hour for input-delayed ones.
+ControlPlane::SubscriptionId subscribe_machine_to_zone(
+    ControlPlane& plane, pop::Machine& machine, const dns::DnsName& apex,
+    Duration input_delay = Duration::zero());
+
+/// Generic heartbeat topic used to model mapping-intelligence updates:
+/// delivery refreshes the machine's metadata timestamp (real-time
+/// multicast class).
+ControlPlane::SubscriptionId subscribe_machine_to_mapping(
+    ControlPlane& plane, pop::Machine& machine,
+    Duration input_delay = Duration::zero());
+
+constexpr const char* kMappingTopic = "mapping/intelligence";
+
+}  // namespace akadns::control

@@ -1,0 +1,57 @@
+#include "core/adhs.hpp"
+
+#include <stdexcept>
+
+namespace akadns::core {
+
+Enterprise EnterpriseRegistry::register_enterprise(const std::string& name) {
+  if (by_name_.contains(name)) {
+    throw std::invalid_argument("enterprise already registered: " + name);
+  }
+  if (next_index_ >= max_enterprises()) {
+    throw std::length_error(
+        "delegation sets exhausted: C(24,6) enterprises reached; add clouds");
+  }
+  Enterprise enterprise;
+  enterprise.index = next_index_++;
+  enterprise.name = name;
+  enterprise.delegation_set = delegation_set_for(enterprise.index);
+  by_name_.emplace(name, enterprise);
+  return enterprise;
+}
+
+std::optional<Enterprise> EnterpriseRegistry::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+dns::DnsName EnterpriseRegistry::cloud_nameserver_name(std::uint32_t cloud) const {
+  return dns::DnsName::from("a" + std::to_string(cloud) + "." + config_.nameserver_suffix);
+}
+
+Ipv4Addr EnterpriseRegistry::cloud_address(std::uint32_t cloud) const {
+  return Ipv4Addr(config_.cloud_address_base.value() + cloud);
+}
+
+std::vector<dns::ResourceRecord> EnterpriseRegistry::delegation_ns_records(
+    const Enterprise& enterprise, const dns::DnsName& zone_apex, std::uint32_t ttl) const {
+  std::vector<dns::ResourceRecord> records;
+  records.reserve(kDelegationSetSize);
+  for (const auto cloud : enterprise.delegation_set) {
+    records.push_back(dns::make_ns(zone_apex, cloud_nameserver_name(cloud), ttl));
+  }
+  return records;
+}
+
+std::vector<dns::ResourceRecord> EnterpriseRegistry::delegation_glue_records(
+    const Enterprise& enterprise, std::uint32_t ttl) const {
+  std::vector<dns::ResourceRecord> records;
+  records.reserve(kDelegationSetSize);
+  for (const auto cloud : enterprise.delegation_set) {
+    records.push_back(dns::make_a(cloud_nameserver_name(cloud), cloud_address(cloud), ttl));
+  }
+  return records;
+}
+
+}  // namespace akadns::core

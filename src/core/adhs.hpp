@@ -1,0 +1,80 @@
+// Authoritative DNS Hosting Service onboarding (§3.1).
+//
+// "Enterprises who wish to host their own DNS zones on Akamai's
+// infrastructure are assigned a unique set of 6 different clouds called
+// a delegation set ... Enterprises add NS records, each corresponding
+// to a cloud in the delegation set, to every zone they own, along with
+// the respective parent zone in the DNS hierarchy."
+//
+// EnterpriseRegistry hands out unique delegation sets in registration
+// order and generates the exact record material an enterprise must
+// install: the per-cloud nameserver names (aN.akadns.example), the NS
+// records for the zone apex and for the parent, and the glue.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/delegation_sets.hpp"
+#include "dns/rr.hpp"
+
+namespace akadns::core {
+
+struct Enterprise {
+  std::uint64_t index = 0;
+  std::string name;
+  std::array<std::uint32_t, kDelegationSetSize> delegation_set{};
+};
+
+class EnterpriseRegistry {
+ public:
+  struct Config {
+    /// Suffix under which the per-cloud nameserver names live
+    /// (production uses akam.net / akamaidns.net style domains).
+    std::string nameserver_suffix = "akadns.example";
+    /// Base of the per-cloud anycast IPv4 addresses: cloud c answers at
+    /// base + c (one address per cloud for the model).
+    Ipv4Addr cloud_address_base = Ipv4Addr(172, 20, 0, 0);
+  };
+
+  EnterpriseRegistry() = default;
+  explicit EnterpriseRegistry(Config config) : config_(std::move(config)) {}
+
+  /// Registers an enterprise and assigns the next unique delegation set.
+  /// Throws std::length_error once C(24,6) enterprises exist and
+  /// std::invalid_argument on duplicate names.
+  Enterprise register_enterprise(const std::string& name);
+
+  std::optional<Enterprise> find(const std::string& name) const;
+  std::size_t size() const noexcept { return by_name_.size(); }
+
+  /// The nameserver hostname for one cloud: "a<cloud>.<suffix>".
+  dns::DnsName cloud_nameserver_name(std::uint32_t cloud) const;
+
+  /// The anycast service address of one cloud.
+  Ipv4Addr cloud_address(std::uint32_t cloud) const;
+
+  /// The six NS records the enterprise must add at the apex of `zone`
+  /// (and equally into the parent zone for the delegation to work).
+  std::vector<dns::ResourceRecord> delegation_ns_records(
+      const Enterprise& enterprise, const dns::DnsName& zone_apex,
+      std::uint32_t ttl = 86'400) const;
+
+  /// Glue A records for the six nameserver names (for the parent zone).
+  std::vector<dns::ResourceRecord> delegation_glue_records(
+      const Enterprise& enterprise, std::uint32_t ttl = 86'400) const;
+
+  /// Number of clouds two enterprises share (always <= 5 for distinct
+  /// enterprises — the §4.3.1 collateral-damage bound).
+  static std::size_t shared_clouds(const Enterprise& a, const Enterprise& b) {
+    return overlap(a.delegation_set, b.delegation_set);
+  }
+
+ private:
+  Config config_;
+  std::unordered_map<std::string, Enterprise> by_name_;
+  std::uint64_t next_index_ = 0;
+};
+
+}  // namespace akadns::core

@@ -1,0 +1,69 @@
+#include "core/decision_tree.hpp"
+
+namespace akadns::core {
+
+std::string to_string(TrafficAction action) {
+  switch (action) {
+    case TrafficAction::DoNothing: return "I: do nothing";
+    case TrafficAction::WorkWithPeers: return "II: work with peers";
+    case TrafficAction::WithdrawFractionOfAttackLinks:
+      return "III: withdraw from a fraction of links sourcing attack";
+    case TrafficAction::WithdrawAllAttackLinks:
+      return "IV: withdraw from all links sourcing attack";
+    case TrafficAction::WithdrawNonAttackLinks:
+      return "V: withdraw from all links NOT sourcing attack";
+  }
+  return "unknown";
+}
+
+TrafficAction decide(const AttackConditions& conditions) {
+  // Root: resolvers DoSed?
+  if (!conditions.resolvers_dosed) return TrafficAction::DoNothing;
+  // Are peering links congested?
+  if (!conditions.peering_links_congested) {
+    // Compute saturated?
+    if (conditions.compute_saturated) {
+      return TrafficAction::WithdrawFractionOfAttackLinks;
+    }
+    // Neither bandwidth nor compute: congestion is upstream of us.
+    return TrafficAction::WorkWithPeers;
+  }
+  // Links congested: can the attack be spread?
+  if (conditions.can_spread_attack) return TrafficAction::WithdrawAllAttackLinks;
+  return TrafficAction::WithdrawNonAttackLinks;
+}
+
+std::string explain(const AttackConditions& conditions) {
+  const TrafficAction action = decide(conditions);
+  std::string out = to_string(action) + " — ";
+  switch (action) {
+    case TrafficAction::DoNothing:
+      out += "resolvers are not DoSed; absorbing the attack at the few "
+             "saturated PoPs mitigates it, and any reaction leaks "
+             "information to the attacker";
+      break;
+    case TrafficAction::WorkWithPeers:
+      out += "neither our links nor our compute is saturated, so the "
+             "congestion is upstream; coordinate with peers on where and "
+             "how to mitigate";
+      break;
+    case TrafficAction::WithdrawFractionOfAttackLinks:
+      out += "compute is the bottleneck; withdrawing from a fraction of "
+             "the attack-sourcing links disperses the attack so each PoP "
+             "absorbs a manageable share";
+      break;
+    case TrafficAction::WithdrawAllAttackLinks:
+      out += "peering links are congested and the attack can be spread; "
+             "withdrawing from the attack-sourcing links shifts it to "
+             "larger or more numerous links";
+      break;
+    case TrafficAction::WithdrawNonAttackLinks:
+      out += "the attack cannot be spread; withdrawing from the links NOT "
+             "sourcing attack evacuates as much legitimate traffic as "
+             "possible from the saturated PoP";
+      break;
+  }
+  return out;
+}
+
+}  // namespace akadns::core

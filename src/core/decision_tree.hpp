@@ -1,0 +1,43 @@
+// The anycast traffic-engineering decision tree of Figure 9 (§4.3.2).
+//
+// During a DDoS attack a human operator walks this tree. The preferred
+// action is always *do nothing* — any active reaction leaks information
+// to the attacker and can defeat the history-based filters. We encode
+// the tree as a pure function from observed conditions to the
+// recommended action, plus an `explain` rendering for operator tooling.
+#pragma once
+
+#include <string>
+
+namespace akadns::core {
+
+struct AttackConditions {
+  /// Are legitimate resolvers actually denied service? (Known from
+  /// external monitoring and information sharing with peers.)
+  bool resolvers_dosed = false;
+  /// Is one or more peering link congested (bandwidth saturation)?
+  bool peering_links_congested = false;
+  /// Is nameserver compute saturated?
+  bool compute_saturated = false;
+  /// Can the attack be spread across more links/PoPs by withdrawing
+  /// from the congested attack-sourcing links?
+  bool can_spread_attack = false;
+};
+
+enum class TrafficAction : std::uint8_t {
+  DoNothing,                        // I
+  WorkWithPeers,                    // II: upstream congestion
+  WithdrawFractionOfAttackLinks,    // III: compute saturated -> disperse
+  WithdrawAllAttackLinks,           // IV: links congested, can spread
+  WithdrawNonAttackLinks,           // V: cannot spread -> evacuate legit
+};
+
+std::string to_string(TrafficAction action);
+
+/// Walks Figure 9.
+TrafficAction decide(const AttackConditions& conditions);
+
+/// Human-readable rationale matching the paper's narration of each leaf.
+std::string explain(const AttackConditions& conditions);
+
+}  // namespace akadns::core

@@ -1,0 +1,78 @@
+#include "core/delegation_sets.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace akadns::core {
+
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    result = result * (n - k + i) / i;
+  }
+  return result;
+}
+
+std::uint64_t max_enterprises() { return binomial(kCloudCount, kDelegationSetSize); }
+
+std::array<std::uint32_t, kDelegationSetSize> delegation_set_for(std::uint64_t index) {
+  if (index >= max_enterprises()) {
+    throw std::out_of_range("delegation set index exceeds C(24,6)");
+  }
+  // Lexicographic unranking of 6-combinations of {0..23}.
+  std::array<std::uint32_t, kDelegationSetSize> set{};
+  std::uint32_t next = 0;
+  for (std::size_t position = 0; position < kDelegationSetSize; ++position) {
+    const std::uint64_t remaining_slots = kDelegationSetSize - position - 1;
+    while (true) {
+      // Combinations starting with `next` at this position.
+      const std::uint64_t count =
+          binomial(kCloudCount - next - 1, remaining_slots);
+      if (index < count) break;
+      index -= count;
+      ++next;
+    }
+    set[position] = next++;
+  }
+  return set;
+}
+
+std::uint64_t delegation_set_index(
+    const std::array<std::uint32_t, kDelegationSetSize>& set) {
+  std::uint64_t index = 0;
+  std::uint32_t previous = 0;
+  for (std::size_t position = 0; position < kDelegationSetSize; ++position) {
+    const std::uint64_t remaining_slots = kDelegationSetSize - position - 1;
+    for (std::uint32_t candidate = previous; candidate < set[position]; ++candidate) {
+      index += binomial(kCloudCount - candidate - 1, remaining_slots);
+    }
+    previous = set[position] + 1;
+  }
+  return index;
+}
+
+std::size_t overlap(const std::array<std::uint32_t, kDelegationSetSize>& a,
+                    const std::array<std::uint32_t, kDelegationSetSize>& b) {
+  std::size_t shared = 0;
+  for (const auto cloud_a : a) {
+    for (const auto cloud_b : b) {
+      if (cloud_a == cloud_b) ++shared;
+    }
+  }
+  return shared;
+}
+
+std::vector<std::uint32_t> cdn_delegation() {
+  std::vector<std::uint32_t> clouds;
+  clouds.reserve(kCdnDelegationSize);
+  for (std::uint32_t c = 0; clouds.size() < kCdnDelegationSize && c < kCloudCount; c += 2) {
+    clouds.push_back(c);
+  }
+  // 24/2 = 12 even clouds; add one odd cloud to reach 13.
+  clouds.push_back(1);
+  return clouds;
+}
+
+}  // namespace akadns::core

@@ -1,0 +1,45 @@
+// Anycast clouds and per-enterprise delegation sets (§3.1, §4.3.1).
+//
+// The platform runs 24 anycast clouds. Each ADHS enterprise is assigned
+// a *unique* set of 6 clouds, supporting up to C(24,6) = 134,596
+// enterprises. Uniqueness bounds collateral damage: if every PoP
+// serving enterprise A's six clouds is saturated, any other enterprise B
+// still has at least one cloud outside A's set (§4.3.1). Cross-
+// enterprise domains (the CDN entry points) use 13 clouds, "matching
+// the model used by the root and many critical toplevel domains".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace akadns::core {
+
+constexpr std::size_t kCloudCount = 24;
+constexpr std::size_t kDelegationSetSize = 6;
+constexpr std::size_t kCdnDelegationSize = 13;
+
+/// C(n, k) without overflow for the sizes used here.
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k);
+
+/// Maximum number of enterprises before adding clouds: C(24,6).
+std::uint64_t max_enterprises();
+
+/// The `index`-th 6-subset of {0..23} in combinatorial (colex-free,
+/// lexicographic) order. Distinct indices yield distinct sets. Throws
+/// std::out_of_range when index >= C(24,6).
+std::array<std::uint32_t, kDelegationSetSize> delegation_set_for(std::uint64_t index);
+
+/// Inverse of delegation_set_for: the index of a (sorted) 6-subset.
+std::uint64_t delegation_set_index(const std::array<std::uint32_t, kDelegationSetSize>& set);
+
+/// Number of clouds two delegation sets share (< 6 for distinct
+/// enterprises, guaranteeing at least one disjoint delegation).
+std::size_t overlap(const std::array<std::uint32_t, kDelegationSetSize>& a,
+                    const std::array<std::uint32_t, kDelegationSetSize>& b);
+
+/// The 13-cloud delegation used by CDN entry-point zones: clouds
+/// {0, 2, 4, ...} spread across the fleet.
+std::vector<std::uint32_t> cdn_delegation();
+
+}  // namespace akadns::core

@@ -1,0 +1,69 @@
+#include "dns/message.hpp"
+
+namespace akadns::dns {
+
+std::string Question::to_string() const {
+  return name.to_string() + " IN " + dns::to_string(qtype);
+}
+
+std::string Message::to_string() const {
+  std::string out;
+  out += ";; id " + std::to_string(header.id) + (header.qr ? " response" : " query");
+  out += " rcode " + dns::to_string(header.rcode);
+  if (header.aa) out += " aa";
+  if (header.tc) out += " tc";
+  out += "\n";
+  if (!questions.empty()) {
+    out += ";; QUESTION\n";
+    for (const auto& q : questions) out += ";  " + q.to_string() + "\n";
+  }
+  auto section = [&out](const char* title, const std::vector<ResourceRecord>& rrs) {
+    if (rrs.empty()) return;
+    out += std::string(";; ") + title + "\n";
+    for (const auto& rr : rrs) out += rr.to_string() + "\n";
+  };
+  section("ANSWER", answers);
+  section("AUTHORITY", authorities);
+  section("ADDITIONAL", additionals);
+  if (edns) {
+    out += ";; EDNS0 udp=" + std::to_string(edns->udp_payload_size);
+    if (edns->client_subnet) {
+      out += " ecs=" + edns->client_subnet->address.to_string() + "/" +
+             std::to_string(edns->client_subnet->source_prefix_len);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Message make_query(std::uint16_t id, const DnsName& name, RecordType qtype,
+                   bool recursion_desired) {
+  Message m;
+  m.header.id = id;
+  m.header.qr = false;
+  m.header.rd = recursion_desired;
+  m.questions.push_back(Question{name, qtype, RecordClass::IN});
+  return m;
+}
+
+Message make_response(const Message& query, Rcode rcode, bool authoritative) {
+  Message m;
+  m.header.id = query.header.id;
+  m.header.qr = true;
+  m.header.opcode = query.header.opcode;
+  m.header.aa = authoritative;
+  m.header.rd = query.header.rd;
+  m.header.rcode = rcode;
+  m.questions = query.questions;
+  if (query.edns) {
+    Edns edns;
+    edns.udp_payload_size = 4096;
+    // Echo the client-subnet with a concrete scope so resolvers can cache
+    // per-subnet (RFC 7871 §7.2.1); the nameserver fills in scope later.
+    edns.client_subnet = query.edns->client_subnet;
+    m.edns = edns;
+  }
+  return m;
+}
+
+}  // namespace akadns::dns

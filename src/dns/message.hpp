@@ -1,0 +1,89 @@
+// DNS messages (RFC 1035 §4) plus EDNS(0) (RFC 6891) and the
+// EDNS-Client-Subnet option (RFC 7871) that the Akamai mapping system
+// consumes for end-user mapping.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/rr.hpp"
+
+namespace akadns::dns {
+
+enum class Opcode : std::uint8_t {
+  Query = 0,
+  Status = 2,
+  Notify = 4,
+  Update = 5,
+};
+
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;  // true = response
+  Opcode opcode = Opcode::Query;
+  bool aa = false;  // authoritative answer
+  bool tc = false;  // truncated
+  bool rd = false;  // recursion desired
+  bool ra = false;  // recursion available
+  Rcode rcode = Rcode::NoError;
+
+  bool operator==(const Header&) const = default;
+};
+
+struct Question {
+  DnsName name;
+  RecordType qtype = RecordType::A;
+  RecordClass qclass = RecordClass::IN;
+
+  bool operator==(const Question&) const = default;
+  std::string to_string() const;
+};
+
+/// EDNS-Client-Subnet option payload (RFC 7871).
+struct ClientSubnet {
+  IpAddr address;                    // masked to source_prefix_len bits
+  std::uint8_t source_prefix_len = 0;
+  std::uint8_t scope_prefix_len = 0;
+
+  bool operator==(const ClientSubnet&) const = default;
+};
+
+/// EDNS(0) state carried in/out of a message via the OPT pseudo-RR.
+struct Edns {
+  std::uint16_t udp_payload_size = 1232;
+  std::uint8_t extended_rcode_high = 0;
+  std::uint8_t version = 0;
+  bool do_bit = false;
+  std::optional<ClientSubnet> client_subnet;
+  /// Unknown options preserved verbatim as (code, payload).
+  std::vector<std::pair<std::uint16_t, std::vector<std::uint8_t>>> other_options;
+
+  bool operator==(const Edns&) const = default;
+};
+
+struct Message {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;  // excluding OPT
+  std::optional<Edns> edns;
+
+  bool operator==(const Message&) const = default;
+
+  const Question& question() const { return questions.at(0); }
+
+  /// Multi-line dig-style rendering, for examples and debugging.
+  std::string to_string() const;
+};
+
+/// Builds a standard query for (name, type) with a fresh transaction id.
+Message make_query(std::uint16_t id, const DnsName& name, RecordType qtype,
+                   bool recursion_desired = false);
+
+/// Builds a response skeleton mirroring the query's id/question/EDNS.
+Message make_response(const Message& query, Rcode rcode, bool authoritative = true);
+
+}  // namespace akadns::dns

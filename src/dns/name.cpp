@@ -1,0 +1,135 @@
+#include "dns/name.hpp"
+
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace akadns::dns {
+namespace {
+
+constexpr std::size_t kMaxLabel = 63;
+constexpr std::size_t kMaxWire = 255;
+
+}  // namespace
+
+std::optional<DnsName> DnsName::parse(std::string_view text) {
+  if (text.empty() || text == ".") return DnsName();
+  if (text.back() == '.') text.remove_suffix(1);
+  std::vector<std::string> labels;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '.') {
+      const auto label = text.substr(start, i - start);
+      if (label.empty() || label.size() > kMaxLabel) return std::nullopt;
+      labels.emplace_back(to_lower(label));
+      start = i + 1;
+    }
+  }
+  return from_labels(std::move(labels));
+}
+
+DnsName DnsName::from(std::string_view text) {
+  auto name = parse(text);
+  if (!name) throw std::invalid_argument("invalid DNS name: " + std::string(text));
+  return *std::move(name);
+}
+
+std::optional<DnsName> DnsName::from_labels(std::vector<std::string> labels) {
+  std::size_t wire = 1;  // root terminator
+  for (auto& label : labels) {
+    if (label.empty() || label.size() > kMaxLabel) return std::nullopt;
+    label = to_lower(label);
+    wire += 1 + label.size();
+  }
+  if (wire > kMaxWire) return std::nullopt;
+  DnsName name;
+  name.labels_ = std::move(labels);
+  return name;
+}
+
+std::size_t DnsName::wire_length() const noexcept {
+  std::size_t wire = 1;
+  for (const auto& label : labels_) wire += 1 + label.size();
+  return wire;
+}
+
+std::string DnsName::to_string() const {
+  if (labels_.empty()) return ".";
+  std::string out;
+  for (const auto& label : labels_) {
+    out += label;
+    out += '.';
+  }
+  return out;
+}
+
+DnsName DnsName::parent() const {
+  DnsName p;
+  if (labels_.size() > 1) {
+    p.labels_.assign(labels_.begin() + 1, labels_.end());
+  }
+  return p;
+}
+
+std::optional<DnsName> DnsName::prepend(std::string_view label) const {
+  std::vector<std::string> labels;
+  labels.reserve(labels_.size() + 1);
+  labels.emplace_back(label);
+  labels.insert(labels.end(), labels_.begin(), labels_.end());
+  return from_labels(std::move(labels));
+}
+
+std::optional<DnsName> DnsName::concat(const DnsName& suffix) const {
+  std::vector<std::string> labels = labels_;
+  labels.insert(labels.end(), suffix.labels_.begin(), suffix.labels_.end());
+  return from_labels(std::move(labels));
+}
+
+bool DnsName::is_subdomain_of(const DnsName& ancestor) const noexcept {
+  if (ancestor.labels_.size() > labels_.size()) return false;
+  return common_suffix_labels(ancestor) == ancestor.labels_.size();
+}
+
+std::size_t DnsName::common_suffix_labels(const DnsName& other) const noexcept {
+  std::size_t count = 0;
+  auto it_a = labels_.rbegin();
+  auto it_b = other.labels_.rbegin();
+  while (it_a != labels_.rend() && it_b != other.labels_.rend() && *it_a == *it_b) {
+    ++count;
+    ++it_a;
+    ++it_b;
+  }
+  return count;
+}
+
+DnsName DnsName::suffix(std::size_t n) const {
+  if (n >= labels_.size()) return *this;
+  DnsName out;
+  out.labels_.assign(labels_.end() - static_cast<std::ptrdiff_t>(n), labels_.end());
+  return out;
+}
+
+std::strong_ordering DnsName::operator<=>(const DnsName& other) const noexcept {
+  // Canonical ordering: compare right-to-left, label by label.
+  auto it_a = labels_.rbegin();
+  auto it_b = other.labels_.rbegin();
+  while (it_a != labels_.rend() && it_b != other.labels_.rend()) {
+    if (const auto cmp = it_a->compare(*it_b); cmp != 0) {
+      return cmp < 0 ? std::strong_ordering::less : std::strong_ordering::greater;
+    }
+    ++it_a;
+    ++it_b;
+  }
+  return labels_.size() <=> other.labels_.size();
+}
+
+std::uint64_t DnsName::hash() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& label : labels_) {
+    h ^= fnv1a(label);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace akadns::dns

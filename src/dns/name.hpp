@@ -1,0 +1,82 @@
+// DNS domain names (RFC 1035 §2.3 / §3.1).
+//
+// A DnsName is an ordered sequence of labels, stored lowercased (DNS
+// comparisons are ASCII case-insensitive). The root name has zero labels.
+// Enforces the RFC limits: label <= 63 octets, total wire length <= 255.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace akadns::dns {
+
+class DnsName {
+ public:
+  /// The root name ".".
+  DnsName() = default;
+
+  /// Parses dotted presentation form ("www.Example.COM", trailing dot
+  /// optional, "" and "." both mean root). Returns nullopt if a label is
+  /// empty/too long or the total length exceeds 255 wire octets.
+  static std::optional<DnsName> parse(std::string_view text);
+
+  /// Like parse() but throws std::invalid_argument; convenient for
+  /// literals in tests and examples.
+  static DnsName from(std::string_view text);
+
+  /// Builds from already-validated labels (lowercased internally).
+  static std::optional<DnsName> from_labels(std::vector<std::string> labels);
+
+  bool is_root() const noexcept { return labels_.empty(); }
+  std::size_t label_count() const noexcept { return labels_.size(); }
+  const std::vector<std::string>& labels() const noexcept { return labels_; }
+  const std::string& label(std::size_t i) const noexcept { return labels_[i]; }
+
+  /// Length of this name in wire format (sum of 1+len per label, +1 root).
+  std::size_t wire_length() const noexcept;
+
+  /// "www.example.com." (root prints as ".").
+  std::string to_string() const;
+
+  /// The name with the leftmost label removed; root's parent is root.
+  DnsName parent() const;
+
+  /// Prepends a single label; returns nullopt if limits would be violated.
+  std::optional<DnsName> prepend(std::string_view label) const;
+
+  /// Concatenation: this name relative to `suffix`
+  /// ("www" + "example.com" -> "www.example.com").
+  std::optional<DnsName> concat(const DnsName& suffix) const;
+
+  /// True if this name is `ancestor` or a descendant of it.
+  bool is_subdomain_of(const DnsName& ancestor) const noexcept;
+
+  /// Number of trailing labels shared with `other`.
+  std::size_t common_suffix_labels(const DnsName& other) const noexcept;
+
+  /// The trailing `n` labels as a name (n >= label_count() returns *this).
+  DnsName suffix(std::size_t n) const;
+
+  /// Canonical DNS ordering (RFC 4034 §6.1): compare label sequences
+  /// right-to-left. Used by the zone tree.
+  std::strong_ordering operator<=>(const DnsName& other) const noexcept;
+  bool operator==(const DnsName& other) const noexcept { return labels_ == other.labels_; }
+
+  std::uint64_t hash() const noexcept;
+
+ private:
+  std::vector<std::string> labels_;  // lowercased, left-to-right
+};
+
+}  // namespace akadns::dns
+
+template <>
+struct std::hash<akadns::dns::DnsName> {
+  std::size_t operator()(const akadns::dns::DnsName& n) const noexcept {
+    return static_cast<std::size_t>(n.hash());
+  }
+};

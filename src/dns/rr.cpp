@@ -1,0 +1,156 @@
+#include "dns/rr.hpp"
+
+#include "common/strings.hpp"
+
+namespace akadns::dns {
+
+std::string to_string(RecordType t) {
+  switch (t) {
+    case RecordType::A: return "A";
+    case RecordType::NS: return "NS";
+    case RecordType::CNAME: return "CNAME";
+    case RecordType::SOA: return "SOA";
+    case RecordType::PTR: return "PTR";
+    case RecordType::MX: return "MX";
+    case RecordType::TXT: return "TXT";
+    case RecordType::AAAA: return "AAAA";
+    case RecordType::SRV: return "SRV";
+    case RecordType::OPT: return "OPT";
+    case RecordType::ANY: return "ANY";
+    case RecordType::CAA: return "CAA";
+  }
+  return "TYPE" + std::to_string(static_cast<std::uint16_t>(t));
+}
+
+std::string to_string(Rcode r) {
+  switch (r) {
+    case Rcode::NoError: return "NOERROR";
+    case Rcode::FormErr: return "FORMERR";
+    case Rcode::ServFail: return "SERVFAIL";
+    case Rcode::NxDomain: return "NXDOMAIN";
+    case Rcode::NotImp: return "NOTIMP";
+    case Rcode::Refused: return "REFUSED";
+  }
+  return "RCODE" + std::to_string(static_cast<int>(r));
+}
+
+std::optional<RecordType> parse_record_type(std::string_view text) {
+  const std::string upper = [&] {
+    std::string s(text);
+    for (auto& c : s) c = (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A') : c;
+    return s;
+  }();
+  if (upper == "A") return RecordType::A;
+  if (upper == "NS") return RecordType::NS;
+  if (upper == "CNAME") return RecordType::CNAME;
+  if (upper == "SOA") return RecordType::SOA;
+  if (upper == "PTR") return RecordType::PTR;
+  if (upper == "MX") return RecordType::MX;
+  if (upper == "TXT") return RecordType::TXT;
+  if (upper == "AAAA") return RecordType::AAAA;
+  if (upper == "SRV") return RecordType::SRV;
+  if (upper == "CAA") return RecordType::CAA;
+  if (upper == "ANY") return RecordType::ANY;
+  return std::nullopt;
+}
+
+RecordType rdata_type(const RData& rdata) noexcept {
+  return std::visit(
+      [](const auto& r) -> RecordType {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, ARecord>) return RecordType::A;
+        else if constexpr (std::is_same_v<T, AaaaRecord>) return RecordType::AAAA;
+        else if constexpr (std::is_same_v<T, NsRecord>) return RecordType::NS;
+        else if constexpr (std::is_same_v<T, CnameRecord>) return RecordType::CNAME;
+        else if constexpr (std::is_same_v<T, SoaRecord>) return RecordType::SOA;
+        else if constexpr (std::is_same_v<T, TxtRecord>) return RecordType::TXT;
+        else if constexpr (std::is_same_v<T, MxRecord>) return RecordType::MX;
+        else if constexpr (std::is_same_v<T, PtrRecord>) return RecordType::PTR;
+        else if constexpr (std::is_same_v<T, SrvRecord>) return RecordType::SRV;
+        else if constexpr (std::is_same_v<T, CaaRecord>) return RecordType::CAA;
+        else return static_cast<RecordType>(r.type);
+      },
+      rdata);
+}
+
+std::string rdata_to_string(const RData& rdata) {
+  return std::visit(
+      [](const auto& r) -> std::string {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, ARecord>) {
+          return r.address.to_string();
+        } else if constexpr (std::is_same_v<T, AaaaRecord>) {
+          return r.address.to_string();
+        } else if constexpr (std::is_same_v<T, NsRecord>) {
+          return r.nameserver.to_string();
+        } else if constexpr (std::is_same_v<T, CnameRecord>) {
+          return r.target.to_string();
+        } else if constexpr (std::is_same_v<T, SoaRecord>) {
+          return r.mname.to_string() + " " + r.rname.to_string() + " " +
+                 std::to_string(r.serial) + " " + std::to_string(r.refresh) + " " +
+                 std::to_string(r.retry) + " " + std::to_string(r.expire) + " " +
+                 std::to_string(r.minimum);
+        } else if constexpr (std::is_same_v<T, TxtRecord>) {
+          std::string out;
+          for (std::size_t i = 0; i < r.strings.size(); ++i) {
+            if (i) out += ' ';
+            out += '"' + r.strings[i] + '"';
+          }
+          return out;
+        } else if constexpr (std::is_same_v<T, MxRecord>) {
+          return std::to_string(r.preference) + " " + r.exchange.to_string();
+        } else if constexpr (std::is_same_v<T, PtrRecord>) {
+          return r.target.to_string();
+        } else if constexpr (std::is_same_v<T, SrvRecord>) {
+          return std::to_string(r.priority) + " " + std::to_string(r.weight) + " " +
+                 std::to_string(r.port) + " " + r.target.to_string();
+        } else if constexpr (std::is_same_v<T, CaaRecord>) {
+          return std::to_string(static_cast<int>(r.flags)) + " " + r.tag + " \"" + r.value + '"';
+        } else {
+          return "\\# " + std::to_string(r.data.size());
+        }
+      },
+      rdata);
+}
+
+std::string ResourceRecord::to_string() const {
+  return name.to_string() + " " + std::to_string(ttl) + " IN " + dns::to_string(type()) + " " +
+         rdata_to_string(rdata);
+}
+
+ResourceRecord make_a(const DnsName& name, Ipv4Addr addr, std::uint32_t ttl) {
+  return ResourceRecord{name, RecordClass::IN, ttl, ARecord{addr}};
+}
+
+ResourceRecord make_aaaa(const DnsName& name, Ipv6Addr addr, std::uint32_t ttl) {
+  return ResourceRecord{name, RecordClass::IN, ttl, AaaaRecord{addr}};
+}
+
+ResourceRecord make_ns(const DnsName& name, const DnsName& ns, std::uint32_t ttl) {
+  return ResourceRecord{name, RecordClass::IN, ttl, NsRecord{ns}};
+}
+
+ResourceRecord make_cname(const DnsName& name, const DnsName& target, std::uint32_t ttl) {
+  return ResourceRecord{name, RecordClass::IN, ttl, CnameRecord{target}};
+}
+
+ResourceRecord make_soa(const DnsName& name, const DnsName& mname, const DnsName& rname,
+                        std::uint32_t serial, std::uint32_t ttl, std::uint32_t minimum) {
+  SoaRecord soa;
+  soa.mname = mname;
+  soa.rname = rname;
+  soa.serial = serial;
+  soa.refresh = 3600;
+  soa.retry = 600;
+  soa.expire = 604800;
+  soa.minimum = minimum;
+  return ResourceRecord{name, RecordClass::IN, ttl, soa};
+}
+
+ResourceRecord make_txt(const DnsName& name, std::string text, std::uint32_t ttl) {
+  TxtRecord txt;
+  txt.strings.push_back(std::move(text));
+  return ResourceRecord{name, RecordClass::IN, ttl, txt};
+}
+
+}  // namespace akadns::dns

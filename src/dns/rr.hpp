@@ -1,0 +1,152 @@
+// Resource records (RFC 1035 §3.2, RFC 3596 for AAAA, RFC 2782 for SRV,
+// RFC 8659 for CAA). RDATA is a closed variant over the types the
+// platform serves; unknown types round-trip as raw bytes (RFC 3597).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/ip.hpp"
+#include "dns/name.hpp"
+
+namespace akadns::dns {
+
+enum class RecordType : std::uint16_t {
+  A = 1,
+  NS = 2,
+  CNAME = 5,
+  SOA = 6,
+  PTR = 12,
+  MX = 15,
+  TXT = 16,
+  AAAA = 28,
+  SRV = 33,
+  OPT = 41,   // EDNS0 pseudo-record, never stored in zones
+  ANY = 255,  // question-only
+  CAA = 257,
+};
+
+enum class RecordClass : std::uint16_t {
+  IN = 1,
+  CH = 3,
+  ANY = 255,
+};
+
+/// Response codes (RFC 1035 §4.1.1 + RFC 6895).
+enum class Rcode : std::uint8_t {
+  NoError = 0,
+  FormErr = 1,
+  ServFail = 2,
+  NxDomain = 3,
+  NotImp = 4,
+  Refused = 5,
+};
+
+std::string to_string(RecordType t);
+std::string to_string(Rcode r);
+/// Parses a type mnemonic ("A", "AAAA", "NS", ...); nullopt if unknown.
+std::optional<RecordType> parse_record_type(std::string_view text);
+
+struct ARecord {
+  Ipv4Addr address;
+  bool operator==(const ARecord&) const = default;
+};
+
+struct AaaaRecord {
+  Ipv6Addr address;
+  bool operator==(const AaaaRecord&) const = default;
+};
+
+struct NsRecord {
+  DnsName nameserver;
+  bool operator==(const NsRecord&) const = default;
+};
+
+struct CnameRecord {
+  DnsName target;
+  bool operator==(const CnameRecord&) const = default;
+};
+
+struct SoaRecord {
+  DnsName mname;  // primary nameserver
+  DnsName rname;  // responsible mailbox
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 0;
+  std::uint32_t retry = 0;
+  std::uint32_t expire = 0;
+  std::uint32_t minimum = 0;  // negative-caching TTL (RFC 2308)
+  bool operator==(const SoaRecord&) const = default;
+};
+
+struct TxtRecord {
+  std::vector<std::string> strings;  // each <= 255 bytes on the wire
+  bool operator==(const TxtRecord&) const = default;
+};
+
+struct MxRecord {
+  std::uint16_t preference = 0;
+  DnsName exchange;
+  bool operator==(const MxRecord&) const = default;
+};
+
+struct PtrRecord {
+  DnsName target;
+  bool operator==(const PtrRecord&) const = default;
+};
+
+struct SrvRecord {
+  std::uint16_t priority = 0;
+  std::uint16_t weight = 0;
+  std::uint16_t port = 0;
+  DnsName target;
+  bool operator==(const SrvRecord&) const = default;
+};
+
+struct CaaRecord {
+  std::uint8_t flags = 0;
+  std::string tag;
+  std::string value;
+  bool operator==(const CaaRecord&) const = default;
+};
+
+/// Unknown/opaque RDATA, kept verbatim (RFC 3597 transparency).
+struct RawRecord {
+  std::uint16_t type = 0;
+  std::vector<std::uint8_t> data;
+  bool operator==(const RawRecord&) const = default;
+};
+
+using RData = std::variant<ARecord, AaaaRecord, NsRecord, CnameRecord, SoaRecord, TxtRecord,
+                           MxRecord, PtrRecord, SrvRecord, CaaRecord, RawRecord>;
+
+/// The RecordType corresponding to an RData alternative.
+RecordType rdata_type(const RData& rdata) noexcept;
+
+/// Presentation form of the RDATA (zone-file style).
+std::string rdata_to_string(const RData& rdata);
+
+struct ResourceRecord {
+  DnsName name;
+  RecordClass rclass = RecordClass::IN;
+  std::uint32_t ttl = 0;
+  RData rdata;
+
+  RecordType type() const noexcept { return rdata_type(rdata); }
+  bool operator==(const ResourceRecord&) const = default;
+
+  /// "<name> <ttl> IN <TYPE> <rdata>".
+  std::string to_string() const;
+};
+
+/// Convenience constructors used throughout tests / examples.
+ResourceRecord make_a(const DnsName& name, Ipv4Addr addr, std::uint32_t ttl);
+ResourceRecord make_aaaa(const DnsName& name, Ipv6Addr addr, std::uint32_t ttl);
+ResourceRecord make_ns(const DnsName& name, const DnsName& ns, std::uint32_t ttl);
+ResourceRecord make_cname(const DnsName& name, const DnsName& target, std::uint32_t ttl);
+ResourceRecord make_soa(const DnsName& name, const DnsName& mname, const DnsName& rname,
+                        std::uint32_t serial, std::uint32_t ttl, std::uint32_t minimum = 300);
+ResourceRecord make_txt(const DnsName& name, std::string text, std::uint32_t ttl);
+
+}  // namespace akadns::dns

@@ -1,0 +1,46 @@
+// DNS wire format (RFC 1035 §4.1) encoder and decoder.
+//
+// The encoder performs name compression (pointers to earlier occurrences
+// of name suffixes) across all record owner names and the compressible
+// RDATA name fields (NS, CNAME, SOA, MX, PTR, SRV targets). The decoder
+// is defensive: it validates lengths, rejects forward/looping compression
+// pointers, and returns errors through Result rather than throwing, since
+// malformed packets are an expected input for an Internet-facing server
+// (§4.2.4 of the paper: a query-of-death is "seldom a malformed packet",
+// i.e. parsers must simply never crash on one).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.hpp"
+#include "dns/message.hpp"
+
+namespace akadns::dns {
+
+/// Maximum message we will ever emit (TCP limit); UDP truncation is
+/// applied by the caller via `max_size` below.
+constexpr std::size_t kMaxMessageSize = 65535;
+
+struct EncodeOptions {
+  /// Truncate-and-set-TC when the encoded size would exceed this.
+  std::size_t max_size = kMaxMessageSize;
+  /// Disable compression (for tests measuring its benefit).
+  bool compress = true;
+};
+
+/// Serializes a message to wire bytes. If the message exceeds
+/// options.max_size, sections are dropped whole-RRset from the back
+/// (additional, authority, answer) and the TC bit is set, matching
+/// standard server behaviour.
+std::vector<std::uint8_t> encode(const Message& message, const EncodeOptions& options = {});
+
+/// Parses wire bytes into a Message. All compression forms accepted.
+Result<Message> decode(std::span<const std::uint8_t> wire);
+
+/// Decodes just the question section (fast path used by filters that
+/// score queries before full processing).
+Result<Question> decode_question(std::span<const std::uint8_t> wire);
+
+}  // namespace akadns::dns

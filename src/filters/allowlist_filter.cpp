@@ -1,0 +1,43 @@
+#include "filters/allowlist_filter.hpp"
+
+namespace akadns::filters {
+
+AllowlistFilter::AllowlistFilter() : AllowlistFilter(Config{}) {}
+
+AllowlistFilter::AllowlistFilter(Config config) : config_(config) {}
+
+void AllowlistFilter::allow(const IpAddr& source) { allowlist_.insert(source); }
+
+void AllowlistFilter::allow_bulk(const std::vector<IpAddr>& sources) {
+  for (const auto& s : sources) allowlist_.insert(s);
+}
+
+void AllowlistFilter::update_activation(const QueryContext& ctx, bool known) {
+  if (manually_forced_ || !config_.auto_activate) return;
+  if (ctx.now - window_start_ >= config_.window) {
+    // Close the window: decide, then reset.
+    const double window_seconds = std::max(config_.window.to_seconds(), 1e-9);
+    const double unknown_qps = static_cast<double>(window_unknown_queries_) / window_seconds;
+    active_ = unknown_qps >= config_.activation_unknown_qps &&
+              window_unknown_sources_.size() >= config_.activation_unknown_sources;
+    window_start_ = ctx.now;
+    window_unknown_queries_ = 0;
+    window_unknown_sources_.clear();
+  }
+  if (!known) {
+    ++window_unknown_queries_;
+    window_unknown_sources_.insert(ctx.source.addr);
+  }
+}
+
+double AllowlistFilter::score(const QueryContext& ctx) {
+  const bool known = allowlist_.contains(ctx.source.addr);
+  update_activation(ctx, known);
+  if (active_ && !known) {
+    ++penalized_;
+    return config_.penalty;
+  }
+  return 0.0;
+}
+
+}  // namespace akadns::filters

@@ -1,0 +1,70 @@
+// Allowlist filter (§4.3.4, attack classes 2 and 4).
+//
+// "As the cumulative volume and source diversity of the attack increases,
+// the query scoring module activates an allowlist filter that maintains
+// an 'allowlist' of resolvers that are historically-known ... the
+// resolvers that drive the most DNS queries are consistent over time, so
+// the allowlist changes only gradually. Queries originating from sources
+// not in the allowlist are assigned a penalty."
+//
+// The filter is built from historical top-talkers and is normally
+// dormant; an ActivationPolicy watches aggregate volume and source
+// diversity and arms it during attacks.
+#pragma once
+
+#include <unordered_set>
+
+#include "filters/filter.hpp"
+
+namespace akadns::filters {
+
+class AllowlistFilter : public Filter {
+ public:
+  struct Config {
+    double penalty = 50.0;
+    /// Auto-activation: arm when the rate of queries from *unknown*
+    /// sources exceeds this threshold...
+    double activation_unknown_qps = 5000.0;
+    /// ...and the number of distinct unknown sources in the current
+    /// window exceeds this (source diversity test).
+    std::size_t activation_unknown_sources = 500;
+    /// Sliding activation window.
+    Duration window = Duration::seconds(10);
+    /// If false, the filter only arms/disarms via set_active().
+    bool auto_activate = true;
+  };
+
+  AllowlistFilter();
+  explicit AllowlistFilter(Config config);
+
+  std::string_view name() const noexcept override { return "allowlist"; }
+  double score(const QueryContext& ctx) override;
+
+  /// Adds a source to the allowlist (built offline from top talkers).
+  void allow(const IpAddr& source);
+  void allow_bulk(const std::vector<IpAddr>& sources);
+  bool is_allowed(const IpAddr& source) const { return allowlist_.contains(source); }
+
+  /// Manual arm/disarm (operator control).
+  void set_active(bool active) noexcept { manually_forced_ = true; active_ = active; }
+  bool active() const noexcept { return active_; }
+
+  std::size_t allowlist_size() const noexcept { return allowlist_.size(); }
+  std::uint64_t total_penalized() const noexcept { return penalized_; }
+
+ private:
+  void update_activation(const QueryContext& ctx, bool known);
+
+  Config config_;
+  std::unordered_set<IpAddr> allowlist_;
+  bool active_ = false;
+  bool manually_forced_ = false;
+
+  // Sliding-window state for auto-activation.
+  SimTime window_start_;
+  std::uint64_t window_unknown_queries_ = 0;
+  std::unordered_set<IpAddr> window_unknown_sources_;
+  std::uint64_t penalized_ = 0;
+};
+
+}  // namespace akadns::filters

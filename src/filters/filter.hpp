@@ -1,0 +1,81 @@
+// Query scoring & prioritization framework (§4.3.3 of the paper).
+//
+// Each DNS query passes through a sequence of filters; each filter adds a
+// penalty score. The total score S measures how "suspicious" the query
+// is: queries with S >= discard_score are dropped outright, the rest are
+// placed into penalty queues and processed in increasing-penalty order by
+// a work-conserving scheduler (implemented in penalty_queues.hpp and
+// driven by the nameserver in src/server).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ip.hpp"
+#include "common/sim_time.hpp"
+#include "dns/message.hpp"
+
+namespace akadns::filters {
+
+/// Everything a filter may inspect about an incoming query. Mirrors what
+/// the production filters use: source address (rate limit / allowlist /
+/// loyalty), IP TTL (hop-count), and the question (NXDOMAIN filter).
+struct QueryContext {
+  Endpoint source;
+  std::uint8_t ip_ttl = 64;  // received IP TTL
+  dns::Question question;
+  SimTime now;
+};
+
+class Filter {
+ public:
+  virtual ~Filter() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Returns the penalty this filter adds for the query (0 = clean).
+  virtual double score(const QueryContext& ctx) = 0;
+
+  /// Called after the nameserver has produced a response, letting filters
+  /// learn from outcomes (e.g. the NXDOMAIN filter counts NXDOMAINs).
+  virtual void observe_response(const QueryContext& ctx, dns::Rcode rcode) {
+    (void)ctx;
+    (void)rcode;
+  }
+};
+
+/// Per-query scoring outcome.
+struct ScoreBreakdown {
+  double total = 0.0;
+  /// (filter name, penalty) for each filter that fired.
+  std::vector<std::pair<std::string, double>> contributions;
+};
+
+/// Runs a configurable sequence of filters over each query.
+class ScoringEngine {
+ public:
+  /// Appends a filter; filters run in insertion order.
+  void add_filter(std::unique_ptr<Filter> filter);
+
+  /// Total penalty for the query.
+  double score(const QueryContext& ctx);
+
+  /// Like score() but records which filters fired (diagnostics/benches).
+  ScoreBreakdown score_detailed(const QueryContext& ctx);
+
+  /// Fans the response outcome out to every filter.
+  void observe_response(const QueryContext& ctx, dns::Rcode rcode);
+
+  std::size_t filter_count() const noexcept { return filters_.size(); }
+
+  /// Access by name (for reconfiguration mid-attack, which the paper
+  /// emphasizes: "all mitigation mechanisms are reconfigurable").
+  Filter* find(std::string_view name) noexcept;
+
+ private:
+  std::vector<std::unique_ptr<Filter>> filters_;
+};
+
+}  // namespace akadns::filters

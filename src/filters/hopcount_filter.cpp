@@ -1,0 +1,53 @@
+#include "filters/hopcount_filter.hpp"
+
+#include <cmath>
+
+namespace akadns::filters {
+
+HopCountFilter::HopCountFilter() : HopCountFilter(Config{}) {}
+
+HopCountFilter::HopCountFilter(Config config) : config_(config) {}
+
+void HopCountFilter::learn(const IpAddr& source, std::uint8_t ip_ttl) {
+  auto it = ttls_.find(source);
+  if (it == ttls_.end()) {
+    if (ttls_.size() >= config_.max_tracked_sources) return;
+    it = ttls_.emplace(source, TtlState{}).first;
+  }
+  TtlState& state = it->second;
+  if (state.observations == 0) {
+    state.ewma_ttl = static_cast<double>(ip_ttl);
+  } else {
+    state.ewma_ttl += config_.adapt_weight * (static_cast<double>(ip_ttl) - state.ewma_ttl);
+  }
+  ++state.observations;
+}
+
+int HopCountFilter::learned_ttl(const IpAddr& source) const {
+  const auto it = ttls_.find(source);
+  if (it == ttls_.end() || it->second.observations < config_.min_observations) return -1;
+  return static_cast<int>(std::lround(it->second.ewma_ttl));
+}
+
+double HopCountFilter::score(const QueryContext& ctx) {
+  const auto it = ttls_.find(ctx.source.addr);
+  const bool ripe = it != ttls_.end() && it->second.observations >= config_.min_observations;
+  if (!ripe) {
+    learn(ctx.source.addr, ctx.ip_ttl);
+    return 0.0;
+  }
+  const double diff = std::abs(static_cast<double>(ctx.ip_ttl) - it->second.ewma_ttl);
+  if (diff <= static_cast<double>(config_.tolerance) + 0.5) {
+    // Learn only from conforming traffic: a spoofer must not be able to
+    // drag the estimate toward its own hop count (EWMA poisoning).
+    // Genuine route changes still converge because production refreshes
+    // the learned table from accepted historical traffic out of band
+    // (modelled by learn()).
+    learn(ctx.source.addr, ctx.ip_ttl);
+    return 0.0;
+  }
+  ++penalized_;
+  return config_.penalty;
+}
+
+}  // namespace akadns::filters

@@ -1,0 +1,58 @@
+// Hop-count filter (§4.3.4, attack class 4 "Spoofed Source IP").
+//
+// "We use the well-established technique of hop-count filtering. The
+// hopcount filter learns the IP TTL of DNS queries for resolvers on the
+// allowlist using historical data. When the IP TTL of a DNS query
+// diverges from the expected value, the query is assigned a penalty
+// score." The paper observes that per-source IP TTLs are stable: only
+// 12% of sources show any variation over an hour and 4.7% ever vary by
+// more than ±1 — so a small tolerance band catches spoofers who cannot
+// know the true hop count.
+#pragma once
+
+#include <unordered_map>
+
+#include "filters/filter.hpp"
+
+namespace akadns::filters {
+
+class HopCountFilter : public Filter {
+ public:
+  struct Config {
+    double penalty = 50.0;
+    /// |observed - learned| <= tolerance passes.
+    int tolerance = 1;
+    /// Minimum observations before enforcement kicks in for a source.
+    std::uint32_t min_observations = 3;
+    /// EWMA weight for adapting the learned TTL to slow route changes.
+    double adapt_weight = 0.05;
+    std::size_t max_tracked_sources = 1'000'000;
+  };
+
+  HopCountFilter();
+  explicit HopCountFilter(Config config);
+
+  std::string_view name() const noexcept override { return "hopcount"; }
+  double score(const QueryContext& ctx) override;
+
+  /// Trains from a historical (source, ip_ttl) observation.
+  void learn(const IpAddr& source, std::uint8_t ip_ttl);
+
+  /// The learned TTL for a source, or -1 if unknown/unripe.
+  int learned_ttl(const IpAddr& source) const;
+
+  std::size_t tracked_sources() const noexcept { return ttls_.size(); }
+  std::uint64_t total_penalized() const noexcept { return penalized_; }
+
+ private:
+  struct TtlState {
+    double ewma_ttl = 0.0;
+    std::uint32_t observations = 0;
+  };
+
+  Config config_;
+  std::unordered_map<IpAddr, TtlState> ttls_;
+  std::uint64_t penalized_ = 0;
+};
+
+}  // namespace akadns::filters

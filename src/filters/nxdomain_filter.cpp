@@ -1,0 +1,77 @@
+#include "filters/nxdomain_filter.hpp"
+
+namespace akadns::filters {
+
+using dns::DnsName;
+
+NxDomainFilter::NxDomainFilter(Config config, ZoneOfFn zone_of, NamesOfFn names_of)
+    : config_(config), zone_of_(std::move(zone_of)), names_of_(std::move(names_of)) {}
+
+void NxDomainFilter::arm(const DnsName& apex, SimTime now) {
+  auto [it, inserted] = armed_.try_emplace(apex);
+  ArmedZone& armed = it->second;
+  armed.last_trigger = now;
+  if (!inserted) return;  // already armed: just refresh the trigger time
+  armed.armed_at = now;
+  for (auto& owner : names_of_(apex)) {
+    if (!owner.is_root() && owner.label_count() > 0 && owner.label(0) == "*") {
+      armed.wildcard_parents.push_back(owner.parent());
+    }
+    armed.valid_names.insert(std::move(owner));
+  }
+}
+
+bool NxDomainFilter::name_is_valid(const ArmedZone& armed, const DnsName& qname) const {
+  if (armed.valid_names.contains(qname)) return true;
+  for (const auto& parent : armed.wildcard_parents) {
+    if (qname.is_subdomain_of(parent)) return true;
+  }
+  return false;
+}
+
+double NxDomainFilter::score(const QueryContext& ctx) {
+  const auto apex = zone_of_(ctx.question.name);
+  if (!apex) return 0.0;
+  auto it = armed_.find(*apex);
+  if (it == armed_.end()) return 0.0;
+  ArmedZone& armed = it->second;
+  if (ctx.now - armed.last_trigger >= config_.disarm_after) {
+    armed_.erase(it);
+    return 0.0;
+  }
+  if (name_is_valid(armed, ctx.question.name)) return 0.0;
+  ++penalized_;
+  return config_.penalty;
+}
+
+void NxDomainFilter::observe_response(const QueryContext& ctx, dns::Rcode rcode) {
+  if (rcode != dns::Rcode::NxDomain) return;
+  const auto apex = zone_of_(ctx.question.name);
+  if (!apex) return;
+
+  // Keep an armed zone armed while NXDOMAINs continue to arrive.
+  if (auto armed_it = armed_.find(*apex); armed_it != armed_.end()) {
+    armed_it->second.last_trigger = ctx.now;
+    return;
+  }
+
+  ZoneCounter& counter = counters_[*apex];
+  if (ctx.now - counter.window_start >= config_.window) {
+    counter.window_start = ctx.now;
+    counter.nxdomains = 0;
+  }
+  if (++counter.nxdomains >= config_.nxdomain_threshold) {
+    arm(*apex, ctx.now);
+    counters_.erase(*apex);
+  }
+}
+
+bool NxDomainFilter::is_armed(const DnsName& apex) const { return armed_.contains(apex); }
+
+void NxDomainFilter::invalidate(const DnsName& apex) {
+  // Drop the cached tree; it re-arms (with fresh names) if the attack is
+  // still in progress.
+  armed_.erase(apex);
+}
+
+}  // namespace akadns::filters

@@ -1,0 +1,80 @@
+// NXDOMAIN filter (§4.3.4, attack class 3 "Random Subdomain").
+//
+// "The NXDOMAIN filter functions by tracking NXDOMAIN responses per zone
+// and if the count exceeds a threshold, the filter builds a tree of all
+// valid hostnames in the zones above the threshold. Queries for hostnames
+// in the zones that are not present in the tree are assigned a penalty
+// score." (Building trees only for attacked zones keeps the structure
+// small and avoids lock contention — we mirror the same lazy design.)
+//
+// The filter needs two hooks into the serving stack, injected as
+// callables so the filter stays decoupled from the zone store type:
+//  - zone_of(qname): the apex of the hosted zone containing qname;
+//  - names_of(apex): every valid owner name in that zone.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dns/name.hpp"
+#include "filters/filter.hpp"
+
+namespace akadns::filters {
+
+class NxDomainFilter : public Filter {
+ public:
+  struct Config {
+    double penalty = 100.0;
+    /// NXDOMAIN responses for a zone within `window` that arm the filter.
+    std::uint64_t nxdomain_threshold = 100;
+    Duration window = Duration::seconds(10);
+    /// Armed zones disarm after this long without re-crossing the
+    /// threshold (attack over; stops penalizing legitimate new names).
+    Duration disarm_after = Duration::minutes(5);
+  };
+
+  using ZoneOfFn = std::function<std::optional<dns::DnsName>(const dns::DnsName&)>;
+  using NamesOfFn = std::function<std::vector<dns::DnsName>(const dns::DnsName&)>;
+
+  NxDomainFilter(Config config, ZoneOfFn zone_of, NamesOfFn names_of);
+
+  std::string_view name() const noexcept override { return "nxdomain"; }
+  double score(const QueryContext& ctx) override;
+  void observe_response(const QueryContext& ctx, dns::Rcode rcode) override;
+
+  bool is_armed(const dns::DnsName& apex) const;
+  std::size_t armed_zone_count() const noexcept { return armed_.size(); }
+  std::uint64_t total_penalized() const noexcept { return penalized_; }
+
+  /// Invalidate a zone's cached name tree (call on zone republish).
+  void invalidate(const dns::DnsName& apex);
+
+ private:
+  struct ZoneCounter {
+    SimTime window_start;
+    std::uint64_t nxdomains = 0;
+  };
+  struct ArmedZone {
+    // Valid owner names; a query under the apex not in this set is
+    // almost certainly a random-subdomain probe. Wildcard-covered names
+    // cannot be enumerated, so zones with wildcards record the wildcard
+    // parents and names below them are treated as valid.
+    std::unordered_set<dns::DnsName> valid_names;
+    std::vector<dns::DnsName> wildcard_parents;
+    SimTime armed_at;
+    SimTime last_trigger;
+  };
+
+  void arm(const dns::DnsName& apex, SimTime now);
+  bool name_is_valid(const ArmedZone& armed, const dns::DnsName& qname) const;
+
+  Config config_;
+  ZoneOfFn zone_of_;
+  NamesOfFn names_of_;
+  std::unordered_map<dns::DnsName, ZoneCounter> counters_;
+  std::unordered_map<dns::DnsName, ArmedZone> armed_;
+  std::uint64_t penalized_ = 0;
+};
+
+}  // namespace akadns::filters

@@ -1,0 +1,121 @@
+// Penalty queues and work-conserving priority dequeue (§4.3.3).
+//
+// "The DNS query is placed into one of a configurable number of queues
+// according to score. Each queue i has a maximum score value Mi and the
+// query is placed into the queue i with the minimum Mi such that S <= Mi.
+// Queries with a high score, S >= Smax, are discarded outright. Queries
+// are read from queues in the increasing order of penalty ... processing
+// is work-conserving ... starvation is allowed in all queues except the
+// lowest-penalty queue."
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace akadns::filters {
+
+struct PenaltyQueueConfig {
+  /// Ascending per-queue maximum scores M_i. A query lands in the first
+  /// queue whose M_i >= its score.
+  std::vector<double> max_scores{0.0, 50.0, 150.0};
+  /// Scores >= this are discarded outright (S_max).
+  double discard_score = 200.0;
+  /// Bounded per-queue capacity; arrivals beyond it are tail-dropped
+  /// (models finite socket/application buffers).
+  std::size_t queue_capacity = 4096;
+};
+
+enum class EnqueueOutcome : std::uint8_t {
+  Enqueued,
+  DiscardedByScore,  // S >= S_max: "definitively malicious"
+  DroppedQueueFull,
+};
+
+template <typename Item>
+class PenaltyQueueSet {
+ public:
+  explicit PenaltyQueueSet(PenaltyQueueConfig config = {}) : config_(std::move(config)) {
+    if (config_.max_scores.empty()) throw std::invalid_argument("need at least one queue");
+    for (std::size_t i = 1; i < config_.max_scores.size(); ++i) {
+      if (config_.max_scores[i] <= config_.max_scores[i - 1]) {
+        throw std::invalid_argument("queue max scores must be strictly ascending");
+      }
+    }
+    queues_.resize(config_.max_scores.size());
+  }
+
+  EnqueueOutcome enqueue(Item item, double score) {
+    if (score >= config_.discard_score) {
+      ++discarded_;
+      return EnqueueOutcome::DiscardedByScore;
+    }
+    const std::size_t idx = queue_index(score);
+    if (queues_[idx].size() >= config_.queue_capacity) {
+      ++dropped_full_;
+      return EnqueueOutcome::DroppedQueueFull;
+    }
+    queues_[idx].push_back(std::move(item));
+    ++enqueued_;
+    return EnqueueOutcome::Enqueued;
+  }
+
+  /// Pops the head of the lowest-penalty non-empty queue (work-conserving:
+  /// higher-penalty queues are served whenever lower ones are empty).
+  std::optional<Item> dequeue() {
+    for (auto& q : queues_) {
+      if (!q.empty()) {
+        Item item = std::move(q.front());
+        q.pop_front();
+        ++dequeued_;
+        return item;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Queue a score would map to (exposed for tests/diagnostics).
+  std::size_t queue_index(double score) const noexcept {
+    for (std::size_t i = 0; i < config_.max_scores.size(); ++i) {
+      if (score <= config_.max_scores[i]) return i;
+    }
+    // score < discard_score but above the last M_i: lands in the last
+    // (highest-penalty) queue.
+    return config_.max_scores.size() - 1;
+  }
+
+  bool empty() const noexcept {
+    for (const auto& q : queues_) {
+      if (!q.empty()) return false;
+    }
+    return true;
+  }
+
+  std::size_t size() const noexcept {
+    std::size_t n = 0;
+    for (const auto& q : queues_) n += q.size();
+    return n;
+  }
+
+  std::size_t queue_depth(std::size_t i) const { return queues_.at(i).size(); }
+  std::size_t queue_count() const noexcept { return queues_.size(); }
+
+  std::uint64_t total_enqueued() const noexcept { return enqueued_; }
+  std::uint64_t total_dequeued() const noexcept { return dequeued_; }
+  std::uint64_t total_discarded_by_score() const noexcept { return discarded_; }
+  std::uint64_t total_dropped_queue_full() const noexcept { return dropped_full_; }
+
+  const PenaltyQueueConfig& config() const noexcept { return config_; }
+
+ private:
+  PenaltyQueueConfig config_;
+  std::vector<std::deque<Item>> queues_;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t dequeued_ = 0;
+  std::uint64_t discarded_ = 0;
+  std::uint64_t dropped_full_ = 0;
+};
+
+}  // namespace akadns::filters

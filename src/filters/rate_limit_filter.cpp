@@ -1,0 +1,80 @@
+#include "filters/rate_limit_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace akadns::filters {
+
+RateLimitFilter::RateLimitFilter() : RateLimitFilter(Config{}) {}
+
+RateLimitFilter::RateLimitFilter(Config config) : config_(config) {
+  // decayed_count *= exp(-lambda * dt) with lambda = ln2 / half_life.
+  decay_per_sec_ = std::log(2.0) / std::max(config_.learning_half_life.to_seconds(), 1e-6);
+}
+
+RateLimitFilter::SourceState* RateLimitFilter::touch(const IpAddr& source) {
+  auto it = sources_.find(source);
+  if (it != sources_.end()) return &it->second;
+  if (sources_.size() >= config_.max_tracked_sources) return nullptr;
+  return &sources_[source];
+}
+
+void RateLimitFilter::learn_into(SourceState& state, SimTime now) {
+  if (now > state.last_update) {
+    const double dt = (now - state.last_update).to_seconds();
+    state.decayed_count *= std::exp(-decay_per_sec_ * dt);
+    state.last_update = now;
+  }
+  state.decayed_count += 1.0;
+}
+
+void RateLimitFilter::ensure_bucket(SourceState& state) {
+  if (!state.has_limit) {
+    state.limit_qps = config_.default_limit_qps;
+    state.bucket =
+        LeakyBucket(state.limit_qps, state.limit_qps * config_.burst_seconds);
+    state.has_limit = true;
+  }
+}
+
+void RateLimitFilter::learn(const IpAddr& source, SimTime now) {
+  if (SourceState* state = touch(source)) learn_into(*state, now);
+}
+
+void RateLimitFilter::finalize_learning(SimTime now) {
+  for (auto& [source, state] : sources_) {
+    // The decayed counter approximates rate * half_life / ln2 in steady
+    // state; convert back to a rate estimate.
+    double decayed = state.decayed_count;
+    if (now > state.last_update) {
+      decayed *= std::exp(-decay_per_sec_ * (now - state.last_update).to_seconds());
+    }
+    const double learned_rate = decayed * decay_per_sec_;
+    state.limit_qps = std::clamp(config_.headroom * learned_rate, config_.min_limit_qps,
+                                 config_.max_limit_qps);
+    state.bucket.reconfigure(state.limit_qps, state.limit_qps * config_.burst_seconds);
+    state.has_limit = true;
+  }
+}
+
+double RateLimitFilter::limit_for(const IpAddr& source) const {
+  const auto it = sources_.find(source);
+  if (it == sources_.end() || !it->second.has_limit) return config_.default_limit_qps;
+  return it->second.limit_qps;
+}
+
+double RateLimitFilter::score(const QueryContext& ctx) {
+  SourceState* state = touch(ctx.source.addr);
+  if (!state) {
+    // Table full: enforce the default limit statelessly by always passing
+    // (we cannot tell bursts apart without state; prefer false negatives).
+    return 0.0;
+  }
+  learn_into(*state, ctx.now);
+  ensure_bucket(*state);
+  if (state->bucket.offer(ctx.now)) return 0.0;
+  ++penalized_;
+  return config_.penalty;
+}
+
+}  // namespace akadns::filters

@@ -1,0 +1,81 @@
+// Rate-limiting filter (§4.3.4, attack class 2 "Direct Query").
+//
+// "We use a rate limiting filter in the query scoring module that learns
+// the 'typical' query rate (in qps) of resolvers from historical data and
+// assigns a rate limit on a per-resolver basis. ... DNS traffic is bursty,
+// hence we use a leaky bucket rate limiting mechanism."
+//
+// Learning runs continuously: every scored query also feeds a per-source
+// rate estimate (exponentially decayed counter). finalize_learning()
+// bakes the current estimates into enforcement limits — modelling the
+// periodic refresh of learned limits from historical data.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/leaky_bucket.hpp"
+#include "filters/filter.hpp"
+
+namespace akadns::filters {
+
+class RateLimitFilter : public Filter {
+ public:
+  struct Config {
+    double penalty = 60.0;
+    /// Learned limit = clamp(headroom * learned_rate, min_limit, max_limit).
+    double headroom = 4.0;
+    double min_limit_qps = 10.0;
+    double max_limit_qps = 200000.0;
+    /// Bucket capacity in seconds' worth of the limit (burst tolerance).
+    double burst_seconds = 3.0;
+    /// Half-life of the learning rate estimate.
+    Duration learning_half_life = Duration::minutes(10);
+    /// Sources never seen during learning get this default limit.
+    double default_limit_qps = 50.0;
+    /// Cap on tracked sources; beyond it new sources use the default
+    /// limit without allocating state (memory-exhaustion defence).
+    std::size_t max_tracked_sources = 1'000'000;
+  };
+
+  RateLimitFilter();
+  explicit RateLimitFilter(Config config);
+
+  std::string_view name() const noexcept override { return "rate_limit"; }
+  double score(const QueryContext& ctx) override;
+
+  /// Feeds one historical query into the learning estimate without
+  /// enforcing (used to pre-train from a traffic sample).
+  void learn(const IpAddr& source, SimTime now);
+
+  /// Converts current learned rates into enforcement limits. Before the
+  /// first call, every source is enforced at the default limit.
+  void finalize_learning(SimTime now);
+
+  /// The enforcement limit currently applied to a source.
+  double limit_for(const IpAddr& source) const;
+
+  std::size_t tracked_sources() const noexcept { return sources_.size(); }
+  std::uint64_t total_penalized() const noexcept { return penalized_; }
+
+ private:
+  struct SourceState {
+    // Exponentially decayed query counter for rate learning.
+    double decayed_count = 0.0;
+    SimTime last_update;
+    // Enforcement (present after finalize_learning or first enforcement).
+    double limit_qps = 0.0;
+    LeakyBucket bucket{0.0, 1.0};
+    bool has_limit = false;
+  };
+
+  SourceState* touch(const IpAddr& source);
+  void learn_into(SourceState& state, SimTime now);
+  void ensure_bucket(SourceState& state);
+
+  Config config_;
+  double decay_per_sec_;
+  std::unordered_map<IpAddr, SourceState> sources_;
+  std::uint64_t penalized_ = 0;
+};
+
+}  // namespace akadns::filters

@@ -1,0 +1,119 @@
+#include "netsim/failover_probe.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace akadns::netsim {
+namespace {
+
+std::vector<std::uint8_t> encode_u64(std::uint64_t a, std::uint64_t b) {
+  std::vector<std::uint8_t> out(16);
+  for (int i = 0; i < 8; ++i) out[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(a >> (56 - 8 * i));
+  for (int i = 0; i < 8; ++i) out[static_cast<std::size_t>(8 + i)] = static_cast<std::uint8_t>(b >> (56 - 8 * i));
+  return out;
+}
+
+std::pair<std::uint64_t, std::uint64_t> decode_u64(const std::vector<std::uint8_t>& in) {
+  std::uint64_t a = 0, b = 0;
+  for (int i = 0; i < 8 && static_cast<std::size_t>(i) < in.size(); ++i) {
+    a = (a << 8) | in[static_cast<std::size_t>(i)];
+  }
+  for (int i = 8; i < 16 && static_cast<std::size_t>(i) < in.size(); ++i) {
+    b = (b << 8) | in[static_cast<std::size_t>(i)];
+  }
+  return {a, b};
+}
+
+}  // namespace
+
+ProbeDriver::ProbeDriver(Network& network, PrefixId prefix, std::vector<NodeId> vantage_points,
+                         ProbeDriverConfig config)
+    : network_(network),
+      prefix_(prefix),
+      vantage_points_(std::move(vantage_points)),
+      config_(config) {
+  network_.attach_prefix_handler(prefix_, [this](NodeId at, const Packet& packet) {
+    on_delivery(at, packet);
+  });
+  for (const NodeId vp : vantage_points_) {
+    records_[vp];  // materialize
+    network_.attach_node_handler(vp, [this](NodeId at, const Packet& packet) {
+      on_reply(at, packet);
+    });
+  }
+}
+
+void ProbeDriver::start(SimTime stop_at) {
+  stop_at_ = stop_at;
+  for (const NodeId vp : vantage_points_) send_probe(vp);
+}
+
+void ProbeDriver::send_probe(NodeId vantage_point) {
+  const SimTime now = network_.scheduler().now();
+  if (now > stop_at_) return;
+  const std::uint64_t probe_id = next_probe_id_++;
+  auto& log = records_[vantage_point];
+  pending_[probe_id] = Pending{vantage_point, log.size()};
+  log.push_back(ProbeRecord{now, kInvalidNode, Duration::zero(), false});
+  network_.send_to_prefix(vantage_point, prefix_, encode_u64(probe_id, 0));
+  network_.scheduler().schedule_after(config_.interval,
+                                      [this, vantage_point] { send_probe(vantage_point); });
+}
+
+void ProbeDriver::on_delivery(NodeId at_origin, const Packet& packet) {
+  const auto [probe_id, unused] = decode_u64(packet.payload);
+  (void)unused;
+  // Reply unicast to the prober, identifying this origin (PoP).
+  network_.send_to_node(at_origin, packet.src, encode_u64(probe_id, at_origin));
+}
+
+void ProbeDriver::on_reply(NodeId vantage_point, const Packet& packet) {
+  const auto [probe_id, origin] = decode_u64(packet.payload);
+  const auto it = pending_.find(probe_id);
+  if (it == pending_.end() || it->second.vantage_point != vantage_point) return;
+  ProbeRecord& record = records_[vantage_point][it->second.record_index];
+  const Duration rtt = network_.scheduler().now() - record.sent;
+  // Late replies (past the timeout) count as timeouts, like a resolver
+  // that has already retried elsewhere.
+  if (rtt <= config_.timeout) {
+    record.answered = true;
+    record.answered_by = static_cast<NodeId>(origin);
+    record.rtt = rtt;
+  }
+  pending_.erase(it);
+}
+
+const std::vector<ProbeRecord>& ProbeDriver::records(NodeId vantage_point) const {
+  const auto it = records_.find(vantage_point);
+  if (it == records_.end()) throw std::invalid_argument("unknown vantage point");
+  return it->second;
+}
+
+std::optional<SimTime> ProbeDriver::first_answer_from(NodeId vantage_point, NodeId origin,
+                                                      SimTime from) const {
+  for (const auto& record : records(vantage_point)) {
+    if (record.sent < from) continue;
+    if (record.answered && record.answered_by == origin) return record.sent;
+  }
+  return std::nullopt;
+}
+
+std::optional<SimTime> ProbeDriver::first_timeout(NodeId vantage_point, SimTime from) const {
+  for (const auto& record : records(vantage_point)) {
+    if (record.sent < from) continue;
+    if (!record.answered) return record.sent;
+  }
+  return std::nullopt;
+}
+
+bool ProbeDriver::all_timeouts_between(NodeId vantage_point, SimTime from, SimTime until) const {
+  bool any = false;
+  for (const auto& record : records(vantage_point)) {
+    if (record.sent < from || record.sent > until) continue;
+    any = true;
+    if (record.answered) return false;
+  }
+  return any;
+}
+
+}  // namespace akadns::netsim

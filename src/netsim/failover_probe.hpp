@@ -1,0 +1,75 @@
+// Failover measurement apparatus — the experimental methodology of §4.1.
+//
+// Vantage points send a probe to an anycast test prefix every 100 msec;
+// an originating PoP answers each probe with a unicast reply identifying
+// itself. Vantage points log send time and the answering PoP (or a
+// timeout). Failover time is computed exactly as the paper does:
+//   - advertisement: t_X - t_L, where t_L is when the PoP-local vantage
+//     point first reaches X and t_X when a remote vantage point does;
+//   - withdrawal: t_Y - t_phi, where t_phi is the first probe that times
+//     out and t_Y the first probe answered by the surviving PoP Y.
+#pragma once
+
+#include <unordered_map>
+
+#include "netsim/network.hpp"
+
+namespace akadns::netsim {
+
+struct ProbeRecord {
+  SimTime sent;
+  NodeId answered_by = kInvalidNode;  // kInvalidNode = timeout
+  Duration rtt = Duration::zero();
+  bool answered = false;
+};
+
+struct ProbeDriverConfig {
+  Duration interval = Duration::millis(100);
+  Duration timeout = Duration::seconds(1);
+};
+
+/// Drives periodic anycast probes from a set of vantage points and logs
+/// per-probe outcomes.
+class ProbeDriver {
+ public:
+  ProbeDriver(Network& network, PrefixId prefix, std::vector<NodeId> vantage_points,
+              ProbeDriverConfig config = {});
+
+  /// Starts probing at the scheduler's current time, running until
+  /// stop_at. Call before network.scheduler().run().
+  void start(SimTime stop_at);
+
+  const std::vector<ProbeRecord>& records(NodeId vantage_point) const;
+
+  /// First time (>= from) the vantage point sent a probe answered by
+  /// `origin`; nullopt if never.
+  std::optional<SimTime> first_answer_from(NodeId vantage_point, NodeId origin,
+                                           SimTime from) const;
+
+  /// First probe sent at/after `from` that timed out; nullopt if none.
+  std::optional<SimTime> first_timeout(NodeId vantage_point, SimTime from) const;
+
+  /// True if every probe of this vantage point in [from, until] timed out.
+  bool all_timeouts_between(NodeId vantage_point, SimTime from, SimTime until) const;
+
+ private:
+  struct Pending {
+    NodeId vantage_point;
+    std::size_t record_index;
+  };
+
+  void send_probe(NodeId vantage_point);
+  void on_delivery(NodeId at_origin, const Packet& packet);
+  void on_reply(NodeId vantage_point, const Packet& packet);
+
+  Network& network_;
+  PrefixId prefix_;
+  std::vector<NodeId> vantage_points_;
+  ProbeDriverConfig config_;
+  SimTime stop_at_;
+  std::unordered_map<NodeId, std::vector<ProbeRecord>> records_;
+  std::unordered_map<std::uint64_t, Pending> pending_;  // probe id -> record
+  std::uint64_t next_probe_id_ = 1;
+};
+
+}  // namespace akadns::netsim

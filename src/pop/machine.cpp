@@ -1,0 +1,82 @@
+#include "pop/machine.hpp"
+
+#include "dns/wire.hpp"
+
+namespace akadns::pop {
+
+std::string to_string(FailureType f) {
+  switch (f) {
+    case FailureType::Disk: return "disk";
+    case FailureType::Memory: return "memory";
+    case FailureType::Nic: return "nic";
+    case FailureType::SoftwareBug: return "software-bug";
+    case FailureType::ConnectivityLoss: return "connectivity-loss";
+    case FailureType::PartialConnectivity: return "partial-connectivity";
+  }
+  return "unknown";
+}
+
+namespace {
+
+server::NameserverConfig with_id(MachineConfig& config) {
+  config.nameserver.id = config.id;
+  config.nameserver.input_delayed = config.input_delayed;
+  return config.nameserver;
+}
+
+}  // namespace
+
+Machine::Machine(MachineConfig config, const zone::ZoneStore& store)
+    : config_(std::move(config)), nameserver_(with_id(config_), store) {}
+
+Machine::Machine(MachineConfig config)
+    : config_(std::move(config)),
+      owned_store_(std::make_unique<zone::ZoneStore>()),
+      nameserver_(with_id(config_), *owned_store_) {}
+
+void Machine::deliver(std::span<const std::uint8_t> wire, const Endpoint& source,
+                      std::uint8_t ip_ttl, SimTime now) {
+  if (failure_ == FailureType::Nic || failure_ == FailureType::ConnectivityLoss) {
+    return;  // packets lost before the application
+  }
+  nameserver_.receive(wire, source, ip_ttl, now);
+}
+
+std::size_t Machine::pump(SimTime now) {
+  if (failure_ == FailureType::SoftwareBug) {
+    return 0;  // hung process: queries accepted but never answered
+  }
+  return nameserver_.process(now);
+}
+
+bool Machine::metadata_reachable() const noexcept {
+  // Transit links carry metadata; both full and partial connectivity
+  // failures cut it off (§4.2.2: "the transit links — typically the links
+  // over which metadata arrive — fail, but DNS traffic still reaches the
+  // nameservers via peering links").
+  return failure_ != FailureType::ConnectivityLoss &&
+         failure_ != FailureType::PartialConnectivity;
+}
+
+std::optional<dns::Rcode> Machine::probe(const dns::Question& question, SimTime now) {
+  (void)now;
+  // A self-suspended nameserver still runs and answers the local agent's
+  // probes (it is only out of the anycast data path); only a crashed
+  // process is unreachable.
+  if (nameserver_.state() == server::ServerState::Crashed) return std::nullopt;
+  if (failure_ == FailureType::Nic || failure_ == FailureType::ConnectivityLoss ||
+      failure_ == FailureType::SoftwareBug) {
+    return std::nullopt;  // no answer: monitoring sees a timeout
+  }
+  const auto query = dns::make_query(0, question.name, question.qtype);
+  const auto response =
+      nameserver_.responder().respond(query, Endpoint{IpAddr(Ipv4Addr(0x7F000001)), 0});
+  if (failure_ == FailureType::Disk || failure_ == FailureType::Memory) {
+    // Corrupted subsystems garble answers; the monitoring agent's
+    // regression suite detects the wrong rcode.
+    return dns::Rcode::ServFail;
+  }
+  return response.header.rcode;
+}
+
+}  // namespace akadns::pop

@@ -1,0 +1,90 @@
+// A purpose-built machine inside a PoP (Figure 6): the nameserver
+// software, its BGP speaker, and hooks for hardware/software failure
+// injection. "The most common failure mode we observe is disk failure,
+// but any hardware subsystem can fail. Hardware failures often manifest
+// in the nameserver software not responding, responding slowly, or
+// responding with incorrect answers." (§4.2.1)
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "pop/bgp_speaker.hpp"
+#include "server/nameserver.hpp"
+
+namespace akadns::pop {
+
+enum class FailureType : std::uint8_t {
+  Disk,                // most common: manifests as wrong/stale answers
+  Memory,              // corrupt answers
+  Nic,                 // packets silently lost
+  SoftwareBug,         // no responses (hang)
+  ConnectivityLoss,    // metadata AND queries cut off
+  PartialConnectivity, // transit links down: metadata cut, queries still arrive
+};
+
+std::string to_string(FailureType f);
+
+struct MachineConfig {
+  std::string id = "machine";
+  server::NameserverConfig nameserver{};
+  bool input_delayed = false;
+};
+
+class Machine {
+ public:
+  /// Machine serving from a shared (externally owned) zone store.
+  Machine(MachineConfig config, const zone::ZoneStore& store);
+
+  /// Machine owning a private zone-store replica, to be fed through the
+  /// metadata pipeline (src/control). This is the production shape: each
+  /// nameserver subscribes to zone/mapping publications and can therefore
+  /// individually lag, go stale, or be input-delayed.
+  explicit Machine(MachineConfig config);
+
+  /// The private replica (nullptr for shared-store machines).
+  zone::ZoneStore* local_store() noexcept { return owned_store_.get(); }
+
+  const std::string& id() const noexcept { return config_.id; }
+  bool input_delayed() const noexcept { return config_.input_delayed; }
+
+  server::Nameserver& nameserver() noexcept { return nameserver_; }
+  const server::Nameserver& nameserver() const noexcept { return nameserver_; }
+  BgpSpeaker& speaker() noexcept { return speaker_; }
+  const BgpSpeaker& speaker() const noexcept { return speaker_; }
+
+  // ---- datapath with failure semantics ------------------------------------
+
+  /// Delivers a packet to the nameserver, subject to injected failures:
+  /// NIC/connectivity failures drop it, software-bug failures swallow it
+  /// (accepted but never answered — the "responding slowly/not at all"
+  /// mode), disk/memory failures corrupt the eventual answer.
+  void deliver(std::span<const std::uint8_t> wire, const Endpoint& source,
+               std::uint8_t ip_ttl, SimTime now);
+
+  /// Drives the nameserver's processing loop.
+  std::size_t pump(SimTime now);
+
+  /// Whether metadata deliveries currently reach this machine.
+  bool metadata_reachable() const noexcept;
+
+  // ---- failure injection ----------------------------------------------------
+
+  void inject_failure(FailureType failure) noexcept { failure_ = failure; }
+  void clear_failure() noexcept { failure_.reset(); }
+  std::optional<FailureType> failure() const noexcept { return failure_; }
+
+  /// Answers a health-probe question directly (the monitoring agent's
+  /// test suite path); returns nullopt when the machine cannot answer,
+  /// and a corrupted rcode when failing hardware garbles answers.
+  std::optional<dns::Rcode> probe(const dns::Question& question, SimTime now);
+
+ private:
+  MachineConfig config_;
+  std::unique_ptr<zone::ZoneStore> owned_store_;  // set before nameserver_
+  server::Nameserver nameserver_;
+  BgpSpeaker speaker_;
+  std::optional<FailureType> failure_;
+};
+
+}  // namespace akadns::pop

@@ -1,0 +1,110 @@
+#include "pop/monitoring_agent.hpp"
+
+namespace akadns::pop {
+
+MonitoringAgent::MonitoringAgent(Machine& machine, const zone::ZoneStore& store,
+                                 SuspensionCoordinator& coordinator,
+                                 EventScheduler& scheduler, MonitoringAgentConfig config)
+    : machine_(machine),
+      store_(store),
+      coordinator_(coordinator),
+      scheduler_(scheduler),
+      config_(std::move(config)) {
+  coordinator_.register_machine(machine_.id());
+}
+
+MonitoringAgent::~MonitoringAgent() {
+  stop();
+  coordinator_.unregister_machine(machine_.id());
+}
+
+void MonitoringAgent::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void MonitoringAgent::stop() {
+  running_ = false;
+  if (pending_event_ != 0) {
+    scheduler_.cancel(pending_event_);
+    pending_event_ = 0;
+  }
+}
+
+void MonitoringAgent::schedule_next() {
+  if (!running_) return;
+  pending_event_ = scheduler_.schedule_after(config_.check_interval, [this] {
+    pending_event_ = 0;
+    check_now();
+    schedule_next();
+  });
+}
+
+std::string MonitoringAgent::run_test_suite(SimTime now) {
+  // Staleness check (§4.2.2): "declare state stale if a critical input's
+  // timestamp is older than a threshold".
+  if (machine_.nameserver().is_stale(now)) return "stale metadata";
+
+  // A DNS query per hosted zone: the apex SOA must answer NOERROR.
+  for (const auto& apex : store_.zone_apexes()) {
+    const dns::Question probe{apex, dns::RecordType::SOA, dns::RecordClass::IN};
+    const auto rcode = machine_.probe(probe, now);
+    if (!rcode) return "no response for zone " + apex.to_string();
+    if (*rcode != dns::Rcode::NoError) {
+      return "incorrect response for zone " + apex.to_string() + ": " +
+             dns::to_string(*rcode);
+    }
+  }
+  // Regression tests for known failure cases.
+  for (const auto& question : config_.regression_tests) {
+    const auto rcode = machine_.probe(question, now);
+    if (!rcode) return "no response for regression test " + question.to_string();
+    if (*rcode == dns::Rcode::ServFail) {
+      return "SERVFAIL for regression test " + question.to_string();
+    }
+  }
+  return {};
+}
+
+bool MonitoringAgent::check_now() {
+  const SimTime now = scheduler_.now();
+  ++stats_.checks;
+
+  // Crash handling first: restart the nameserver. The QoD firewall rule
+  // (installed by the trap at crash time) shields the restarted process.
+  if (machine_.nameserver().state() == server::ServerState::Crashed) {
+    ++stats_.restarts;
+    machine_.nameserver().restart(now);
+  }
+
+  const std::string failure = run_test_suite(now);
+  if (failure.empty()) {
+    if (holding_suspension_) {
+      // Healthy again: resume serving and return the quota slot.
+      ++stats_.recoveries;
+      machine_.nameserver().resume();
+      machine_.speaker().readvertise_all();
+      coordinator_.release(machine_.id());
+      holding_suspension_ = false;
+    }
+    return true;
+  }
+
+  ++stats_.failures_detected;
+  if (holding_suspension_) return false;  // already suspended
+  if (coordinator_.request_suspension(machine_.id())) {
+    ++stats_.suspensions;
+    holding_suspension_ = true;
+    machine_.nameserver().self_suspend();
+    machine_.speaker().withdraw_all();
+  } else {
+    // Quota exhausted: keep serving in a degraded state — "continue to
+    // operate in a degraded state as the alternative is not operating
+    // at all" (§4.2.1 / concluding principle iii).
+    ++stats_.suspension_denied;
+  }
+  return false;
+}
+
+}  // namespace akadns::pop

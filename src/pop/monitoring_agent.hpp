@@ -1,0 +1,76 @@
+// On-machine monitoring agent (§4.2.1, Figure 6).
+//
+// "Every nameserver is monitored by an on-machine monitoring agent that
+// continually runs a suite of tests against the nameserver and detects
+// incorrect or missing responses. The test suite includes DNS queries
+// for each DNS zone and regression tests for known failure cases. If a
+// failure is detected, that machine is self-suspended: the monitoring
+// agent instructs the BGP-speaker to withdraw anycast advertisement."
+//
+// Self-suspension is gated by the SuspensionCoordinator quota so that a
+// fleet-wide bug (possibly in the agent itself) cannot suspend everyone
+// at once. Crashed nameservers are restarted. Machines that recover are
+// resumed and re-advertised.
+#pragma once
+
+#include "common/event_scheduler.hpp"
+#include "pop/machine.hpp"
+#include "pop/suspension.hpp"
+#include "zone/zone_store.hpp"
+
+namespace akadns::pop {
+
+struct MonitoringAgentConfig {
+  Duration check_interval = Duration::seconds(1);
+  /// Extra regression-test questions beyond the per-zone SOA probes.
+  std::vector<dns::Question> regression_tests;
+};
+
+struct MonitoringAgentStats {
+  std::uint64_t checks = 0;
+  std::uint64_t failures_detected = 0;
+  std::uint64_t suspensions = 0;
+  std::uint64_t suspension_denied = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t recoveries = 0;
+};
+
+class MonitoringAgent {
+ public:
+  MonitoringAgent(Machine& machine, const zone::ZoneStore& store,
+                  SuspensionCoordinator& coordinator, EventScheduler& scheduler,
+                  MonitoringAgentConfig config = {});
+  ~MonitoringAgent();
+
+  MonitoringAgent(const MonitoringAgent&) = delete;
+  MonitoringAgent& operator=(const MonitoringAgent&) = delete;
+
+  /// Begins periodic checking.
+  void start();
+  void stop();
+
+  /// Runs one health check immediately and takes the resulting action.
+  /// Returns true if the machine is healthy.
+  bool check_now();
+
+  const MonitoringAgentStats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Test suite: a SOA probe per hosted zone + regression questions +
+  /// staleness. Returns a failure description or empty if healthy.
+  std::string run_test_suite(SimTime now);
+
+  void schedule_next();
+
+  Machine& machine_;
+  const zone::ZoneStore& store_;
+  SuspensionCoordinator& coordinator_;
+  EventScheduler& scheduler_;
+  MonitoringAgentConfig config_;
+  MonitoringAgentStats stats_;
+  bool running_ = false;
+  bool holding_suspension_ = false;
+  EventScheduler::EventId pending_event_ = 0;
+};
+
+}  // namespace akadns::pop

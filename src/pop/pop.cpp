@@ -1,0 +1,94 @@
+#include "pop/pop.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace akadns::pop {
+
+Pop::Pop(PopConfig config, netsim::Network& network)
+    : config_(std::move(config)), network_(network) {}
+
+Machine& Pop::add_machine(MachineConfig config, const zone::ZoneStore& store) {
+  return adopt_machine(std::make_unique<Machine>(std::move(config), store));
+}
+
+Machine& Pop::adopt_machine(std::unique_ptr<Machine> machine) {
+  machines_.push_back(std::move(machine));
+  Machine& adopted = *machines_.back();
+  adopted.speaker().set_change_callback([this] { recompute_advertisements(); });
+  return adopted;
+}
+
+std::vector<Machine*> Pop::machines() {
+  std::vector<Machine*> out;
+  out.reserve(machines_.size());
+  for (auto& m : machines_) out.push_back(m.get());
+  return out;
+}
+
+void Pop::recompute_advertisements() {
+  // The set of clouds any machine is configured for.
+  std::set<netsim::PrefixId> all_clouds;
+  for (const auto& machine : machines_) {
+    for (const auto cloud : machine->speaker().configured_clouds()) {
+      all_clouds.insert(cloud);
+    }
+  }
+  for (const auto cloud : all_clouds) {
+    const bool any_advertising = std::any_of(
+        machines_.begin(), machines_.end(),
+        [cloud](const auto& m) { return m->speaker().advertising(cloud); });
+    if (any_advertising) {
+      network_.advertise(config_.router_node, cloud);
+    } else {
+      network_.withdraw(config_.router_node, cloud);
+    }
+  }
+}
+
+bool Pop::advertising(netsim::PrefixId cloud) const {
+  return network_.is_originating(config_.router_node, cloud);
+}
+
+std::vector<Machine*> Pop::ecmp_set(netsim::PrefixId cloud) {
+  int best_med = std::numeric_limits<int>::max();
+  for (const auto& machine : machines_) {
+    const int med = machine->speaker().med(cloud);
+    if (med >= 0) best_med = std::min(best_med, med);
+  }
+  std::vector<Machine*> out;
+  for (auto& machine : machines_) {
+    if (machine->speaker().med(cloud) == best_med) out.push_back(machine.get());
+  }
+  return out;
+}
+
+Machine* Pop::ecmp_select(netsim::PrefixId cloud, const Endpoint& source) {
+  auto eligible = ecmp_set(cloud);
+  if (eligible.empty()) return nullptr;
+  // ECMP hash over (source address, source port, destination cloud).
+  // Resolvers using random ephemeral ports spread across machines;
+  // fixed-port resolvers stick to one machine (§3.1).
+  std::uint64_t h = source.addr.hash();
+  h ^= (h >> 33);
+  h = h * 0xff51afd7ed558ccdULL + source.port;
+  h ^= (h >> 29);
+  h = h * 0xc4ceb9fe1a85ec53ULL + cloud;
+  h ^= (h >> 32);
+  return eligible[h % eligible.size()];
+}
+
+void Pop::deliver(netsim::PrefixId cloud, std::span<const std::uint8_t> wire,
+                  const Endpoint& source, std::uint8_t ip_ttl, SimTime now) {
+  Machine* machine = ecmp_select(cloud, source);
+  if (!machine) return;  // no advertising machine: router had stale state
+  machine->deliver(wire, source, ip_ttl, now);
+}
+
+std::size_t Pop::pump(SimTime now) {
+  std::size_t processed = 0;
+  for (auto& machine : machines_) processed += machine->pump(now);
+  return processed;
+}
+
+}  // namespace akadns::pop

@@ -1,0 +1,70 @@
+// A point of presence (§3.1, Figure 6): a router fronting one or more
+// machines. Machines advertise anycast clouds to the router via their
+// BGP speakers; the router advertises a cloud to its (simulated) BGP
+// peers iff at least one machine advertises it, and forwards arriving
+// packets to one of the advertising machines via ECMP on the flow tuple.
+// Among advertising machines, only those with the lowest MED receive
+// traffic — the mechanism that keeps input-delayed nameservers idle
+// until everything else has withdrawn (§4.2.3).
+#pragma once
+
+#include <memory>
+
+#include "pop/machine.hpp"
+
+namespace akadns::pop {
+
+struct PopConfig {
+  std::string id = "pop";
+  netsim::NodeId router_node = netsim::kInvalidNode;
+};
+
+class Pop {
+ public:
+  Pop(PopConfig config, netsim::Network& network);
+
+  const std::string& id() const noexcept { return config_.id; }
+  netsim::NodeId router_node() const noexcept { return config_.router_node; }
+
+  /// Creates a machine inside this PoP. The machine's speaker is wired
+  /// to trigger advertisement recomputation.
+  Machine& add_machine(MachineConfig config, const zone::ZoneStore& store);
+
+  /// Adopts an externally constructed machine (e.g. one owning a private
+  /// zone-store replica for the metadata pipeline).
+  Machine& adopt_machine(std::unique_ptr<Machine> machine);
+
+  std::size_t machine_count() const noexcept { return machines_.size(); }
+  Machine& machine(std::size_t i) { return *machines_.at(i); }
+  const Machine& machine(std::size_t i) const { return *machines_.at(i); }
+  std::vector<Machine*> machines();
+
+  /// Recomputes the router's external advertisements from the machines'
+  /// speaker state (called automatically on speaker changes).
+  void recompute_advertisements();
+
+  /// True if the router currently advertises `cloud` externally.
+  bool advertising(netsim::PrefixId cloud) const;
+
+  /// The ECMP-eligible machines for a cloud: running machines advertising
+  /// it at the lowest MED currently present.
+  std::vector<Machine*> ecmp_set(netsim::PrefixId cloud);
+
+  /// Selects the machine for a flow via the ECMP hash of
+  /// (source address, source port, cloud). Returns nullptr if none.
+  Machine* ecmp_select(netsim::PrefixId cloud, const Endpoint& source);
+
+  /// Delivers an anycast packet arriving at the router for `cloud`.
+  void deliver(netsim::PrefixId cloud, std::span<const std::uint8_t> wire,
+               const Endpoint& source, std::uint8_t ip_ttl, SimTime now);
+
+  /// Drives all machines' processing loops; returns queries processed.
+  std::size_t pump(SimTime now);
+
+ private:
+  PopConfig config_;
+  netsim::Network& network_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+};
+
+}  // namespace akadns::pop

@@ -1,0 +1,42 @@
+#include "pop/suspension.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace akadns::pop {
+
+void SuspensionCoordinator::register_machine(const std::string& machine_id) {
+  fleet_.insert(machine_id);
+}
+
+void SuspensionCoordinator::unregister_machine(const std::string& machine_id) {
+  fleet_.erase(machine_id);
+  suspended_.erase(machine_id);
+}
+
+std::size_t SuspensionCoordinator::quota() const noexcept {
+  const auto by_fraction = static_cast<std::size_t>(
+      std::floor(config_.max_suspended_fraction * static_cast<double>(fleet_.size())));
+  return std::max(config_.min_allowed, by_fraction);
+}
+
+bool SuspensionCoordinator::request_suspension(const std::string& machine_id) {
+  if (!fleet_.contains(machine_id)) return false;
+  if (suspended_.contains(machine_id)) return true;
+  if (suspended_.size() >= quota()) {
+    ++denied_;
+    return false;
+  }
+  suspended_.insert(machine_id);
+  return true;
+}
+
+void SuspensionCoordinator::release(const std::string& machine_id) {
+  suspended_.erase(machine_id);
+}
+
+bool SuspensionCoordinator::is_suspended(const std::string& machine_id) const {
+  return suspended_.contains(machine_id);
+}
+
+}  // namespace akadns::pop

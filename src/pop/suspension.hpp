@@ -1,0 +1,59 @@
+// Suspension-quota coordination (§4.2.1).
+//
+// "There is a danger to self-suspension if the nameserver failure is
+// widespread or the bug is in the monitoring agent itself. Either could
+// lead to widespread self-suspension, significantly reducing capacity.
+// The Monitoring/Automated Recovery system prevents such scenarios by
+// limiting concurrent nameserver suspensions using a distributed
+// consensus algorithm."
+//
+// We model the *decision* the consensus system implements — a global
+// quota on concurrently suspended machines — behind an interface a real
+// deployment would back with Paxos/Raft. Grant order is first-come,
+// first-served; a machine holding a grant must release it on resume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+namespace akadns::pop {
+
+class SuspensionCoordinator {
+ public:
+  struct Config {
+    /// Maximum fraction of registered machines suspended at once.
+    double max_suspended_fraction = 0.25;
+    /// Absolute floor: always allow at least this many suspensions
+    /// (a single bad disk must always be suspendable).
+    std::size_t min_allowed = 1;
+  };
+
+  SuspensionCoordinator() = default;
+  explicit SuspensionCoordinator(Config config) : config_(config) {}
+
+  /// Registers a machine in the fleet (idempotent).
+  void register_machine(const std::string& machine_id);
+  void unregister_machine(const std::string& machine_id);
+
+  /// Requests permission to self-suspend. Grants iff the quota allows.
+  /// A machine that already holds a grant is re-granted trivially.
+  bool request_suspension(const std::string& machine_id);
+
+  /// Releases a grant (machine resumed or restarted healthy).
+  void release(const std::string& machine_id);
+
+  bool is_suspended(const std::string& machine_id) const;
+  std::size_t suspended_count() const noexcept { return suspended_.size(); }
+  std::size_t fleet_size() const noexcept { return fleet_.size(); }
+  std::size_t quota() const noexcept;
+  std::uint64_t denied_requests() const noexcept { return denied_; }
+
+ private:
+  Config config_;
+  std::unordered_set<std::string> fleet_;
+  std::unordered_set<std::string> suspended_;
+  std::uint64_t denied_ = 0;
+};
+
+}  // namespace akadns::pop

@@ -1,0 +1,95 @@
+#include "resolver/cache.hpp"
+
+#include <algorithm>
+
+namespace akadns::resolver {
+
+ResolverCache::ResolverCache(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+void ResolverCache::insert(const dns::DnsName& name, dns::RecordType type,
+                           std::vector<dns::ResourceRecord> records, SimTime now) {
+  if (records.empty()) return;
+  CacheEntry entry;
+  entry.expires_at = now + Duration::seconds(records.front().ttl);
+  entry.records = std::move(records);
+  const Key key{name, type};
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    if (entries_.size() >= capacity_) evict_lru();
+    lru_.push_front(key);
+    entries_.emplace(key, Slot{std::move(entry), lru_.begin()});
+  } else {
+    it->second.entry = std::move(entry);
+    touch(key, it->second);
+  }
+}
+
+void ResolverCache::insert_negative(const dns::DnsName& name, dns::RecordType type,
+                                    dns::Rcode rcode, std::uint32_t ttl_seconds, SimTime now) {
+  CacheEntry entry;
+  entry.negative = true;
+  entry.negative_rcode = rcode;
+  entry.expires_at = now + Duration::seconds(ttl_seconds);
+  const Key key{name, type};
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    if (entries_.size() >= capacity_) evict_lru();
+    lru_.push_front(key);
+    entries_.emplace(key, Slot{std::move(entry), lru_.begin()});
+  } else {
+    it->second.entry = std::move(entry);
+    touch(key, it->second);
+  }
+}
+
+std::optional<CacheEntry> ResolverCache::lookup(const dns::DnsName& name,
+                                                dns::RecordType type, SimTime now) {
+  const Key key{name, type};
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  if (it->second.entry.expires_at <= now) {
+    lru_.erase(it->second.lru_position);
+    entries_.erase(it);
+    ++misses_;
+    return std::nullopt;
+  }
+  touch(key, it->second);
+  ++hits_;
+  CacheEntry out = it->second.entry;
+  // Rewrite TTLs to the remaining lifetime (what a resolver serves).
+  const auto remaining =
+      static_cast<std::uint32_t>(std::max<std::int64_t>(0, (out.expires_at - now).count_nanos() / 1'000'000'000));
+  for (auto& rr : out.records) rr.ttl = remaining;
+  return out;
+}
+
+bool ResolverCache::evict(const dns::DnsName& name, dns::RecordType type) {
+  const Key key{name, type};
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  lru_.erase(it->second.lru_position);
+  entries_.erase(it);
+  return true;
+}
+
+void ResolverCache::clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+void ResolverCache::touch(const Key& key, Slot& slot) {
+  lru_.erase(slot.lru_position);
+  lru_.push_front(key);
+  slot.lru_position = lru_.begin();
+}
+
+void ResolverCache::evict_lru() {
+  if (lru_.empty()) return;
+  entries_.erase(lru_.back());
+  lru_.pop_back();
+}
+
+}  // namespace akadns::resolver

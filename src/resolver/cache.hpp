@@ -1,0 +1,78 @@
+// Recursive-resolver TTL cache (positive + negative entries, RFC 2308),
+// with LRU capacity eviction. TTLs drive the two-tier delegation
+// economics in §5.2: CDN hostnames carry 20-second TTLs (frequent
+// refresh against lowlevels) while the lowlevel delegation carries a
+// 4000-second TTL (infrequent toplevel contact).
+#pragma once
+
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "dns/rr.hpp"
+
+namespace akadns::resolver {
+
+struct CacheEntry {
+  std::vector<dns::ResourceRecord> records;  // empty = negative entry
+  SimTime expires_at;
+  bool negative = false;
+  dns::Rcode negative_rcode = dns::Rcode::NxDomain;
+};
+
+class ResolverCache {
+ public:
+  explicit ResolverCache(std::size_t capacity = 100'000);
+
+  /// Caches an RRset under (name, type); TTL taken from the first record.
+  void insert(const dns::DnsName& name, dns::RecordType type,
+              std::vector<dns::ResourceRecord> records, SimTime now);
+
+  /// Caches a negative answer with the given TTL (from SOA minimum).
+  void insert_negative(const dns::DnsName& name, dns::RecordType type, dns::Rcode rcode,
+                       std::uint32_t ttl_seconds, SimTime now);
+
+  /// Fetches a live entry; expired entries are removed lazily. The
+  /// returned records carry their *remaining* TTL.
+  std::optional<CacheEntry> lookup(const dns::DnsName& name, dns::RecordType type,
+                                   SimTime now);
+
+  /// Removes one entry; returns true if present.
+  bool evict(const dns::DnsName& name, dns::RecordType type);
+  void clear();
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Key {
+    dns::DnsName name;
+    dns::RecordType type;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return static_cast<std::size_t>(k.name.hash() * 31 +
+                                      static_cast<std::uint16_t>(k.type));
+    }
+  };
+  struct Slot {
+    CacheEntry entry;
+    std::list<Key>::iterator lru_position;
+  };
+
+  void touch(const Key& key, Slot& slot);
+  void evict_lru();
+
+  std::size_t capacity_;
+  std::unordered_map<Key, Slot, KeyHash> entries_;
+  std::list<Key> lru_;  // front = most recently used
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace akadns::resolver

@@ -1,0 +1,237 @@
+#include "resolver/iterative_resolver.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace akadns::resolver {
+
+using dns::DnsName;
+using dns::Message;
+using dns::Rcode;
+using dns::RecordType;
+using dns::ResourceRecord;
+
+IterativeResolver::IterativeResolver(IterativeResolverConfig config, Transport transport,
+                                     std::uint64_t seed)
+    : config_(config),
+      transport_(std::move(transport)),
+      rng_(seed),
+      cache_(config.cache_capacity) {}
+
+void IterativeResolver::add_hint(const DnsName& zone, const IpAddr& server) {
+  auto& servers = hints_[zone];
+  if (std::find(servers.begin(), servers.end(), server) == servers.end()) {
+    servers.push_back(server);
+  }
+}
+
+Duration IterativeResolver::rtt_estimate(const IpAddr& server) const {
+  const auto it = srtt_.find(server);
+  // Unknown servers are assumed moderately fast so they get explored.
+  return it == srtt_.end() ? Duration::millis(30) : it->second;
+}
+
+Duration IterativeResolver::learned_rtt(const IpAddr& server) const {
+  const auto it = srtt_.find(server);
+  return it == srtt_.end() ? Duration::zero() : it->second;
+}
+
+IterativeResolver::Delegation IterativeResolver::closest_delegation(const DnsName& qname,
+                                                                    SimTime now) {
+  // Search suffixes from longest to shortest; at each depth prefer a
+  // cached NS delegation (with resolvable addresses), else a hint.
+  for (std::size_t depth = qname.label_count() + 1; depth-- > 0;) {
+    const DnsName zone = qname.suffix(depth);
+    if (auto entry = cache_.lookup(zone, RecordType::NS, now); entry && !entry->negative) {
+      Delegation delegation;
+      for (const auto& rr : entry->records) {
+        const auto& target = std::get<dns::NsRecord>(rr.rdata).nameserver;
+        if (auto glue = cache_.lookup(target, RecordType::A, now);
+            glue && !glue->negative) {
+          for (const auto& addr_rr : glue->records) {
+            delegation.servers.push_back(std::get<dns::ARecord>(addr_rr.rdata).address);
+          }
+        }
+        if (auto glue6 = cache_.lookup(target, RecordType::AAAA, now);
+            glue6 && !glue6->negative) {
+          for (const auto& addr_rr : glue6->records) {
+            delegation.servers.push_back(std::get<dns::AaaaRecord>(addr_rr.rdata).address);
+          }
+        }
+      }
+      if (!delegation.servers.empty()) return delegation;
+    }
+    if (const auto hint = hints_.find(zone); hint != hints_.end()) {
+      return Delegation{hint->second};
+    }
+    if (depth == 0) break;
+  }
+  return {};
+}
+
+std::optional<UpstreamReply> IterativeResolver::query_servers(const Message& query,
+                                                              std::vector<IpAddr> servers,
+                                                              ResolutionResult& result) {
+  // Order servers by the selection policy, then walk the order retrying
+  // on timeout — "retry against the other clouds".
+  std::vector<IpAddr> order;
+  std::vector<Duration> rtts;
+  rtts.reserve(servers.size());
+  while (!servers.empty()) {
+    for (const auto& s : servers) rtts.push_back(rtt_estimate(s));
+    const std::size_t pick = select_delegation(rtts, config_.policy, rng_);
+    order.push_back(servers[pick]);
+    servers.erase(servers.begin() + static_cast<std::ptrdiff_t>(pick));
+    rtts.clear();
+  }
+  for (const auto& server : order) {
+    ++result.upstream_queries;
+    auto reply = transport_(query, server);
+    if (!reply) {
+      ++result.timeouts;
+      result.elapsed += config_.timeout_cost;
+      continue;
+    }
+    result.elapsed += reply->rtt;
+    if (config_.learn_rtts) {
+      auto& srtt = srtt_[server];
+      srtt = srtt == Duration::zero() ? reply->rtt
+                                      : Duration::seconds_f(0.8 * srtt.to_seconds() +
+                                                            0.2 * reply->rtt.to_seconds());
+    }
+    // Truncated over UDP: retry the same server over TCP (one extra RTT
+    // for the handshake on top of the exchange).
+    if (reply->message.header.tc && config_.retry_truncated_over_tcp && tcp_transport_) {
+      ++truncated_retries_;
+      ++result.upstream_queries;
+      if (auto tcp_reply = tcp_transport_(query, server)) {
+        result.elapsed += tcp_reply->rtt + tcp_reply->rtt;  // SYN + exchange
+        return tcp_reply;
+      }
+      ++result.timeouts;
+      result.elapsed += config_.timeout_cost;
+      continue;  // TCP failed too: try the next delegation
+    }
+    return reply;
+  }
+  return std::nullopt;
+}
+
+void IterativeResolver::cache_response(const Message& response, SimTime now) {
+  // Positive answers: group answer records by (name, type).
+  std::map<std::pair<DnsName, RecordType>, std::vector<ResourceRecord>> sets;
+  for (const auto& rr : response.answers) {
+    sets[{rr.name, rr.type()}].push_back(rr);
+  }
+  for (const auto& rr : response.additionals) {
+    if (rr.type() == RecordType::A || rr.type() == RecordType::AAAA) {
+      sets[{rr.name, rr.type()}].push_back(rr);
+    }
+  }
+  for (const auto& rr : response.authorities) {
+    if (rr.type() == RecordType::NS) sets[{rr.name, rr.type()}].push_back(rr);
+  }
+  for (auto& [key, records] : sets) {
+    cache_.insert(key.first, key.second, std::move(records), now);
+  }
+  // Negative caching from the SOA in authority (RFC 2308).
+  if (response.answers.empty()) {
+    for (const auto& rr : response.authorities) {
+      if (rr.type() == RecordType::SOA &&
+          (response.header.rcode == Rcode::NxDomain ||
+           response.header.rcode == Rcode::NoError)) {
+        const auto& q = response.questions.at(0);
+        cache_.insert_negative(q.name, q.qtype, response.header.rcode, rr.ttl, now);
+      }
+    }
+  }
+}
+
+ResolutionResult IterativeResolver::resolve(const DnsName& qname, RecordType qtype,
+                                            SimTime now) {
+  ResolutionResult result;
+  DnsName current = qname;
+  int cname_links = 0;
+
+  for (int step = 0; step < config_.max_referrals; ++step) {
+    // Cache check for the current name.
+    if (auto entry = cache_.lookup(current, qtype, now)) {
+      if (entry->negative) {
+        result.rcode = entry->negative_rcode;
+        result.from_cache = result.upstream_queries == 0;
+        return result;
+      }
+      result.answers.insert(result.answers.end(), entry->records.begin(),
+                            entry->records.end());
+      result.rcode = Rcode::NoError;
+      result.from_cache = result.upstream_queries == 0;
+      return result;
+    }
+    // Cached CNAME redirects without an upstream query.
+    if (auto cname = cache_.lookup(current, RecordType::CNAME, now);
+        cname && !cname->negative && qtype != RecordType::CNAME) {
+      if (++cname_links > config_.max_cname_chain) {
+        result.rcode = Rcode::ServFail;
+        return result;
+      }
+      result.answers.insert(result.answers.end(), cname->records.begin(),
+                            cname->records.end());
+      current = std::get<dns::CnameRecord>(cname->records.front().rdata).target;
+      continue;
+    }
+
+    const Delegation delegation = closest_delegation(current, now);
+    if (delegation.servers.empty()) {
+      result.rcode = Rcode::ServFail;  // no path to an authority
+      return result;
+    }
+    const Message query = dns::make_query(next_id_++, current, qtype);
+    auto reply = query_servers(query, delegation.servers, result);
+    if (!reply) {
+      result.rcode = Rcode::ServFail;  // every delegation timed out
+      return result;
+    }
+    const Message& response = reply->message;
+    cache_response(response, now + result.elapsed);
+
+    if (response.header.rcode == Rcode::NxDomain) {
+      result.rcode = Rcode::NxDomain;
+      return result;
+    }
+    if (response.header.rcode != Rcode::NoError) {
+      result.rcode = response.header.rcode;
+      return result;
+    }
+    if (!response.answers.empty()) {
+      // Collect answers; follow a trailing CNAME if the target type was
+      // not included.
+      result.answers.insert(result.answers.end(), response.answers.begin(),
+                            response.answers.end());
+      const auto& last = response.answers.back();
+      if (last.type() == RecordType::CNAME && qtype != RecordType::CNAME &&
+          qtype != RecordType::ANY) {
+        if (++cname_links > config_.max_cname_chain) {
+          result.rcode = Rcode::ServFail;
+          return result;
+        }
+        current = std::get<dns::CnameRecord>(last.rdata).target;
+        continue;
+      }
+      result.rcode = Rcode::NoError;
+      return result;
+    }
+    if (!response.header.aa &&
+        std::any_of(response.authorities.begin(), response.authorities.end(),
+                    [](const ResourceRecord& rr) { return rr.type() == RecordType::NS; })) {
+      // Referral: cached above; loop continues with the deeper delegation.
+      continue;
+    }
+    // NODATA.
+    result.rcode = Rcode::NoError;
+    return result;
+  }
+  result.rcode = Rcode::ServFail;  // referral loop
+  return result;
+}
+
+}  // namespace akadns::resolver

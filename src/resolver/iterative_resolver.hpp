@@ -1,0 +1,110 @@
+// An iterative (recursive-resolver-style) resolution engine.
+//
+// Resolves names the way the paper's client-side system does (§1):
+// starting from configured hints, follow referrals down the delegation
+// hierarchy until an authoritative answer arrives; cache every RRset,
+// delegation, and negative answer by TTL; on timeout, retry against the
+// other delegations of the set (§4.3.1: "resolvers, upon receiving a
+// timeout, will retry against the other 4-5 clouds assigned to that
+// zone"). The transport is injected, so the same resolver runs against
+// an in-process Responder, a Pop, or the full netsim-backed platform.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "dns/message.hpp"
+
+#include "resolver/cache.hpp"
+#include "resolver/selection.hpp"
+
+namespace akadns::resolver {
+
+/// Result of one upstream exchange.
+struct UpstreamReply {
+  dns::Message message;
+  Duration rtt;
+};
+
+/// Sends a query to a nameserver address; nullopt models a timeout.
+using Transport = std::function<std::optional<UpstreamReply>(const dns::Message& query,
+                                                             const IpAddr& server)>;
+
+struct IterativeResolverConfig {
+  int max_referrals = 16;
+  int max_cname_chain = 8;
+  /// Retry truncated (TC=1) UDP responses over TCP (RFC 7766). The TCP
+  /// exchange costs an extra round trip for the handshake.
+  bool retry_truncated_over_tcp = true;
+  /// Cost charged for a query that times out before retrying the next
+  /// delegation (a typical resolver retransmit timer).
+  Duration timeout_cost = Duration::millis(800);
+  SelectionPolicy policy = SelectionPolicy::Uniform;
+  std::size_t cache_capacity = 100'000;
+  /// Learn per-server RTTs and expose them to RTT-aware policies.
+  bool learn_rtts = true;
+};
+
+struct ResolutionResult {
+  dns::Rcode rcode = dns::Rcode::ServFail;
+  std::vector<dns::ResourceRecord> answers;
+  /// Total simulated resolution latency (sum of upstream RTTs+timeouts).
+  Duration elapsed = Duration::zero();
+  int upstream_queries = 0;
+  int timeouts = 0;
+  bool from_cache = false;
+};
+
+class IterativeResolver {
+ public:
+  IterativeResolver(IterativeResolverConfig config, Transport transport,
+                    std::uint64_t seed = 1);
+
+  /// Transport used for TCP retries after truncation; without one,
+  /// truncated responses are consumed as-is (partial answers).
+  void set_tcp_transport(Transport transport) { tcp_transport_ = std::move(transport); }
+
+  std::uint64_t truncated_retries() const noexcept { return truncated_retries_; }
+
+  /// Registers a hint: queries for names under `zone` may start at
+  /// `server` (the role the NS records in the parent zone play).
+  void add_hint(const dns::DnsName& zone, const IpAddr& server);
+
+  ResolutionResult resolve(const dns::DnsName& qname, dns::RecordType qtype, SimTime now);
+
+  ResolverCache& cache() noexcept { return cache_; }
+  const ResolverCache& cache() const noexcept { return cache_; }
+
+  /// Learned smoothed RTT for a server (zero if never contacted).
+  Duration learned_rtt(const IpAddr& server) const;
+
+ private:
+  struct Delegation {
+    std::vector<IpAddr> servers;
+  };
+
+  /// The closest enclosing delegation we know for qname: hint zones plus
+  /// cached NS/A records. Returns servers and the zone depth matched.
+  Delegation closest_delegation(const dns::DnsName& qname, SimTime now);
+
+  /// One resolution step: query the delegation set (with retries) and
+  /// classify the response.
+  std::optional<UpstreamReply> query_servers(const dns::Message& query,
+                                             std::vector<IpAddr> servers,
+                                             ResolutionResult& result);
+
+  void cache_response(const dns::Message& response, SimTime now);
+  Duration rtt_estimate(const IpAddr& server) const;
+
+  IterativeResolverConfig config_;
+  Transport transport_;
+  Transport tcp_transport_;
+  std::uint64_t truncated_retries_ = 0;
+  Rng rng_;
+  ResolverCache cache_;
+  std::map<dns::DnsName, std::vector<IpAddr>> hints_;
+  std::unordered_map<IpAddr, Duration> srtt_;
+  std::uint16_t next_id_ = 1;
+};
+
+}  // namespace akadns::resolver

@@ -1,0 +1,53 @@
+#include "resolver/selection.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace akadns::resolver {
+namespace {
+
+double clamped_seconds(Duration d) {
+  return std::max(d.to_seconds(), 1e-6);
+}
+
+}  // namespace
+
+std::size_t select_delegation(const std::vector<Duration>& rtts, SelectionPolicy policy,
+                              Rng& rng) {
+  if (rtts.empty()) throw std::invalid_argument("empty delegation set");
+  switch (policy) {
+    case SelectionPolicy::Uniform:
+      return static_cast<std::size_t>(rng.next_below(rtts.size()));
+    case SelectionPolicy::RttWeighted: {
+      double total = 0.0;
+      for (const auto rtt : rtts) total += 1.0 / clamped_seconds(rtt);
+      double target = rng.next_double() * total;
+      for (std::size_t i = 0; i < rtts.size(); ++i) {
+        target -= 1.0 / clamped_seconds(rtts[i]);
+        if (target <= 0.0) return i;
+      }
+      return rtts.size() - 1;
+    }
+    case SelectionPolicy::LowestRtt:
+      return static_cast<std::size_t>(
+          std::min_element(rtts.begin(), rtts.end()) - rtts.begin());
+  }
+  return 0;
+}
+
+Duration average_rtt(const std::vector<Duration>& rtts) {
+  if (rtts.empty()) throw std::invalid_argument("empty delegation set");
+  double total = 0.0;
+  for (const auto rtt : rtts) total += rtt.to_seconds();
+  return Duration::seconds_f(total / static_cast<double>(rtts.size()));
+}
+
+Duration weighted_rtt(const std::vector<Duration>& rtts) {
+  if (rtts.empty()) throw std::invalid_argument("empty delegation set");
+  double inv_sum = 0.0;
+  for (const auto rtt : rtts) inv_sum += 1.0 / clamped_seconds(rtt);
+  // sum(rtt_i * 1/rtt_i) / sum(1/rtt_i) = n / sum(1/rtt_i): harmonic mean.
+  return Duration::seconds_f(static_cast<double>(rtts.size()) / inv_sum);
+}
+
+}  // namespace akadns::resolver

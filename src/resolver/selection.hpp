@@ -1,0 +1,38 @@
+// Delegation (nameserver) selection policies.
+//
+// §5.2 of the paper: "Research shows a range of behaviors among
+// resolvers in sending DNS queries to delegations, from apparent
+// uniformity to preferencing delegations with lower RTT." We implement
+// both ends of that range plus strict lowest-RTT, and the two aggregate
+// RTT notions the paper uses to bound Two-Tier performance: the plain
+// average (uniform selection) and the 1/RTT-weighted average
+// (RTT-preferring selection).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+
+namespace akadns::resolver {
+
+enum class SelectionPolicy : std::uint8_t {
+  Uniform,      // pick uniformly at random
+  RttWeighted,  // pick with probability inversely proportional to RTT
+  LowestRtt,    // always the lowest-RTT delegation
+};
+
+/// Picks an index into `rtts` according to the policy. rtts must be
+/// non-empty; zero RTTs are clamped to 1 microsecond for weighting.
+std::size_t select_delegation(const std::vector<Duration>& rtts, SelectionPolicy policy,
+                              Rng& rng);
+
+/// Aggregate RTT of a delegation set under uniform selection (plain mean).
+Duration average_rtt(const std::vector<Duration>& rtts);
+
+/// Aggregate RTT under 1/RTT-weighted selection:
+/// sum(rtt_i * w_i) / sum(w_i) with w_i = 1/rtt_i  ==  n / sum(1/rtt_i)
+/// (the harmonic mean — low-RTT delegations dominate).
+Duration weighted_rtt(const std::vector<Duration>& rtts);
+
+}  // namespace akadns::resolver

@@ -1,0 +1,40 @@
+#include "server/firewall.hpp"
+
+#include <algorithm>
+
+namespace akadns::server {
+
+void Firewall::install(const dns::Question& question, SimTime now, Duration ttl) {
+  for (auto& rule : rules_) {
+    if (rule.name == question.name && rule.qtype == question.qtype) {
+      rule.expires_at = now + ttl;
+      return;
+    }
+  }
+  rules_.push_back(FirewallRule{question.name, question.qtype, now + ttl, 0});
+}
+
+void Firewall::expunge(SimTime now) {
+  std::erase_if(rules_, [now](const FirewallRule& r) { return r.expires_at <= now; });
+}
+
+bool Firewall::drops(const dns::Question& question, SimTime now) {
+  expunge(now);
+  for (auto& rule : rules_) {
+    const bool type_match =
+        rule.qtype == dns::RecordType::ANY || rule.qtype == question.qtype;
+    if (type_match && question.name.is_subdomain_of(rule.name)) {
+      ++rule.hits;
+      ++dropped_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t Firewall::rule_count(SimTime now) {
+  expunge(now);
+  return rules_.size();
+}
+
+}  // namespace akadns::server

@@ -1,0 +1,160 @@
+#include "server/nameserver.hpp"
+
+#include "dns/wire.hpp"
+
+namespace akadns::server {
+namespace {
+
+/// Cheap rcode extraction from encoded response header bytes.
+dns::Rcode rcode_of(const std::vector<std::uint8_t>& wire) {
+  return wire.size() >= 4 ? static_cast<dns::Rcode>(wire[3] & 0xF) : dns::Rcode::ServFail;
+}
+
+}  // namespace
+
+std::string to_string(ServerState s) {
+  switch (s) {
+    case ServerState::Running: return "running";
+    case ServerState::Crashed: return "crashed";
+    case ServerState::SelfSuspended: return "self-suspended";
+  }
+  return "unknown";
+}
+
+Nameserver::Nameserver(NameserverConfig config, const zone::ZoneStore& store)
+    : config_(std::move(config)),
+      responder_(store),
+      queues_(config_.queue_config),
+      compute_bucket_(config_.compute_capacity_qps, config_.compute_capacity_qps * 0.1),
+      io_bucket_(config_.io_capacity_qps, config_.io_capacity_qps * 0.05) {}
+
+void Nameserver::receive(std::span<const std::uint8_t> wire, const Endpoint& source,
+                         std::uint8_t ip_ttl, SimTime now) {
+  ++stats_.packets_received;
+  if (state_ != ServerState::Running) {
+    ++stats_.dropped_not_running;
+    return;
+  }
+  // NIC / kernel stack limit: when arrivals exceed the I/O capacity,
+  // packets are lost before the application sees them (Figure 10, A>A2).
+  if (!io_bucket_.try_take(now)) {
+    ++stats_.dropped_io;
+    return;
+  }
+  // Fast-path question decode for the firewall and the scoring filters.
+  std::optional<dns::Question> question;
+  if (auto q = dns::decode_question(wire)) {
+    question = q.value();
+  } else {
+    ++stats_.malformed;
+  }
+  if (question && firewall_.drops(*question, now)) {
+    ++stats_.dropped_firewall;
+    return;
+  }
+  double score = 0.0;
+  if (question) {
+    filters::QueryContext ctx;
+    ctx.source = source;
+    ctx.ip_ttl = ip_ttl;
+    ctx.question = *question;
+    ctx.now = now;
+    score = scoring_.score(ctx);
+  }
+  PendingQuery pending;
+  pending.wire.assign(wire.begin(), wire.end());
+  pending.source = source;
+  pending.ip_ttl = ip_ttl;
+  pending.arrival = now;
+  pending.score = score;
+  pending.question = question;
+  switch (queues_.enqueue(std::move(pending), score)) {
+    case filters::EnqueueOutcome::Enqueued:
+      ++stats_.queries_enqueued;
+      break;
+    case filters::EnqueueOutcome::DiscardedByScore:
+      ++stats_.discarded_by_score;
+      break;
+    case filters::EnqueueOutcome::DroppedQueueFull:
+      ++stats_.dropped_queue_full;
+      break;
+  }
+}
+
+bool Nameserver::process_one(SimTime now) {
+  auto item = queues_.dequeue();
+  if (!item) return false;
+  ++stats_.queries_processed;
+
+  // Query-of-death check: an unrecoverable fault in query processing.
+  if (item->question && crash_predicate_ && crash_predicate_(*item->question)) {
+    ++stats_.crashes;
+    last_qod_ = item->question;  // "write the DNS payload to disk"
+    if (config_.qod_trap_enabled) {
+      // The separate firewall-builder process installs a rule dropping
+      // similar queries for T_QoD.
+      firewall_.install(*item->question, now, config_.qod_rule_ttl);
+    }
+    state_ = ServerState::Crashed;
+    return true;
+  }
+
+  auto response = responder_.respond_wire(item->wire, item->source);
+  if (item->question) {
+    // Fan the outcome back to the filters (NXDOMAIN counting etc.).
+    filters::QueryContext ctx;
+    ctx.source = item->source;
+    ctx.ip_ttl = item->ip_ttl;
+    ctx.question = *item->question;
+    ctx.now = now;
+    scoring_.observe_response(ctx, response ? rcode_of(*response) : dns::Rcode::ServFail);
+  }
+  if (response && sink_) {
+    ++stats_.responses_sent;
+    sink_(item->source, std::move(*response));
+  }
+  return true;
+}
+
+std::size_t Nameserver::process(SimTime now) {
+  std::size_t processed = 0;
+  while (state_ == ServerState::Running && !queues_.empty() && compute_bucket_.try_take(now)) {
+    if (!process_one(now)) break;
+    ++processed;
+  }
+  return processed;
+}
+
+std::size_t Nameserver::process_unmetered(SimTime now, std::size_t budget) {
+  std::size_t processed = 0;
+  while (processed < budget && state_ == ServerState::Running && process_one(now)) {
+    ++processed;
+  }
+  return processed;
+}
+
+void Nameserver::self_suspend() noexcept {
+  if (state_ == ServerState::Running) state_ = ServerState::SelfSuspended;
+}
+
+void Nameserver::resume() noexcept {
+  if (state_ == ServerState::SelfSuspended) state_ = ServerState::Running;
+}
+
+void Nameserver::restart(SimTime now) {
+  // A restart loses in-flight queries (resolvers retry) and resets the
+  // capacity buckets; learned filter state survives in this model because
+  // production filters persist their learned tables out of process.
+  queues_ = filters::PenaltyQueueSet<PendingQuery>(config_.queue_config);
+  compute_bucket_ = TokenBucket(config_.compute_capacity_qps, config_.compute_capacity_qps * 0.1);
+  io_bucket_ = TokenBucket(config_.io_capacity_qps, config_.io_capacity_qps * 0.05);
+  state_ = ServerState::Running;
+  metadata_updated(now);
+}
+
+bool Nameserver::is_stale(SimTime now) const noexcept {
+  if (config_.input_delayed) return false;
+  return now - last_metadata_ > config_.staleness_threshold;
+}
+
+}  // namespace akadns::server

@@ -1,0 +1,172 @@
+// The authoritative nameserver instance — the paper's "specialized
+// nameserver software" running on each machine in a PoP (§3.1, Figure 6).
+//
+// Datapath per packet:
+//   receive(): firewall check (QoD rules) -> I/O capacity check (drops
+//   below the application when the NIC/stack is saturated, the A > A2
+//   region of Figure 10) -> filter scoring -> penalty queue placement.
+//   process(): work-conserving drain of the penalty queues at the
+//   compute capacity, full decode, authoritative resolution, response
+//   out through the sink, response outcome fanned back to the filters.
+//
+// Failure model:
+//   - a crash predicate marks queries-of-death (§4.2.4); processing one
+//     crashes the instance, optionally installing a firewall rule;
+//   - self-suspension (§4.2.1/4.2.2) stops serving until resumed —
+//     driven externally by the monitoring agent in src/pop;
+//   - metadata staleness tracking (§4.2.2) with a configurable threshold.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "common/token_bucket.hpp"
+#include "filters/filter.hpp"
+#include "filters/penalty_queues.hpp"
+#include "server/firewall.hpp"
+#include "server/responder.hpp"
+
+namespace akadns::server {
+
+enum class ServerState : std::uint8_t {
+  Running,
+  Crashed,        // hit a query-of-death; needs restart()
+  SelfSuspended,  // health check failed / stale metadata; needs resume()
+};
+
+std::string to_string(ServerState s);
+
+struct NameserverConfig {
+  std::string id = "ns";
+  /// Queries the application can answer per second (compute bound; the
+  /// paper: "compute tends to be the bottleneck for any attack that
+  /// arrives at the application").
+  double compute_capacity_qps = 50'000.0;
+  /// Packets the stack can hand to the application per second (I/O
+  /// bound; past this, drops happen below the application — region
+  /// A > A2 in Figure 10).
+  double io_capacity_qps = 300'000.0;
+  filters::PenaltyQueueConfig queue_config{};
+  /// T_QoD: lifetime of an installed query-of-death firewall rule.
+  Duration qod_rule_ttl = Duration::minutes(10);
+  /// The QoD trap is "only deployed on a subset of nameservers".
+  bool qod_trap_enabled = true;
+  /// Metadata older than this is considered stale (§4.2.2).
+  Duration staleness_threshold = Duration::seconds(30);
+  /// Input-delayed nameservers (§4.2.3) never self-suspend on staleness.
+  bool input_delayed = false;
+};
+
+struct NameserverStats {
+  std::uint64_t packets_received = 0;
+  std::uint64_t dropped_firewall = 0;
+  std::uint64_t dropped_io = 0;
+  std::uint64_t dropped_not_running = 0;
+  std::uint64_t discarded_by_score = 0;
+  std::uint64_t dropped_queue_full = 0;
+  std::uint64_t queries_enqueued = 0;
+  std::uint64_t queries_processed = 0;
+  std::uint64_t responses_sent = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t crashes = 0;
+};
+
+/// One enqueued query awaiting processing.
+struct PendingQuery {
+  std::vector<std::uint8_t> wire;
+  Endpoint source;
+  std::uint8_t ip_ttl = 0;
+  SimTime arrival;
+  double score = 0.0;
+  /// Question pre-decoded during scoring (absent for malformed packets).
+  std::optional<dns::Question> question;
+};
+
+class Nameserver {
+ public:
+  using ResponseSink = std::function<void(const Endpoint& dst, std::vector<std::uint8_t> wire)>;
+  using CrashPredicate = std::function<bool(const dns::Question&)>;
+
+  Nameserver(NameserverConfig config, const zone::ZoneStore& store);
+
+  const std::string& id() const noexcept { return config_.id; }
+  const NameserverConfig& config() const noexcept { return config_; }
+
+  // ---- datapath ----------------------------------------------------------
+
+  /// Accepts one packet from the wire. Drops (with accounting) when a
+  /// firewall rule matches, the I/O capacity is exceeded, the instance is
+  /// not Running, or the penalty queues discard it.
+  void receive(std::span<const std::uint8_t> wire, const Endpoint& source,
+               std::uint8_t ip_ttl, SimTime now);
+
+  /// Processes queued queries subject to the compute token bucket.
+  /// Returns the number processed. A query-of-death stops processing
+  /// immediately (the instance crashes).
+  std::size_t process(SimTime now);
+
+  /// Processes at most `budget` queries regardless of the bucket (used by
+  /// tests and by drivers that meter compute themselves).
+  std::size_t process_unmetered(SimTime now, std::size_t budget);
+
+  bool has_pending() const noexcept { return !queues_.empty(); }
+  std::size_t pending() const noexcept { return queues_.size(); }
+
+  void set_response_sink(ResponseSink sink) { sink_ = std::move(sink); }
+  void set_crash_predicate(CrashPredicate predicate) { crash_predicate_ = std::move(predicate); }
+  void set_mapping_hook(MappingHook hook) { responder_.set_mapping_hook(std::move(hook)); }
+
+  // ---- lifecycle / health -------------------------------------------------
+
+  ServerState state() const noexcept { return state_; }
+  bool running() const noexcept { return state_ == ServerState::Running; }
+
+  /// Monitoring-agent actions.
+  void self_suspend() noexcept;
+  void resume() noexcept;
+  /// Restart after a crash (clears queues — in-flight state is lost).
+  void restart(SimTime now);
+
+  /// The payload that crashed the server, if any (written "to disk" for
+  /// the firewall-builder process and operations).
+  const std::optional<dns::Question>& last_qod() const noexcept { return last_qod_; }
+
+  // ---- metadata freshness --------------------------------------------------
+
+  /// Marks a metadata delivery (zone publish / mapping update).
+  void metadata_updated(SimTime now) noexcept { last_metadata_ = now; }
+  SimTime last_metadata_update() const noexcept { return last_metadata_; }
+  /// Stale iff the newest input is older than the threshold. Input-delayed
+  /// nameservers always report fresh (they intentionally serve stale data).
+  bool is_stale(SimTime now) const noexcept;
+
+  // ---- components ----------------------------------------------------------
+
+  filters::ScoringEngine& scoring() noexcept { return scoring_; }
+  Responder& responder() noexcept { return responder_; }
+  const Responder& responder() const noexcept { return responder_; }
+  Firewall& firewall() noexcept { return firewall_; }
+  const NameserverStats& stats() const noexcept { return stats_; }
+  const filters::PenaltyQueueSet<PendingQuery>& queues() const noexcept { return queues_; }
+
+ private:
+  /// Dequeues and handles a single query; false when queues are empty.
+  bool process_one(SimTime now);
+
+  NameserverConfig config_;
+  Responder responder_;
+  filters::ScoringEngine scoring_;
+  Firewall firewall_;
+  filters::PenaltyQueueSet<PendingQuery> queues_;
+  TokenBucket compute_bucket_;
+  TokenBucket io_bucket_;
+  ResponseSink sink_;
+  CrashPredicate crash_predicate_;
+  ServerState state_ = ServerState::Running;
+  std::optional<dns::Question> last_qod_;
+  SimTime last_metadata_ = SimTime::origin();
+  NameserverStats stats_;
+};
+
+}  // namespace akadns::server

@@ -1,0 +1,150 @@
+#include "server/responder.hpp"
+
+#include "dns/wire.hpp"
+
+namespace akadns::server {
+
+using dns::CnameRecord;
+using dns::DnsName;
+using dns::Message;
+using dns::Question;
+using dns::Rcode;
+using dns::RecordType;
+
+Responder::Responder(const zone::ZoneStore& store, ResponderConfig config)
+    : store_(store), config_(config) {}
+
+Rcode Responder::resolve(const Question& question, const Endpoint& client,
+                         const std::optional<dns::ClientSubnet>& ecs, Message& response) {
+  // 1. Mapping Intelligence hook: dynamic answers (CDN/GTM) win over
+  //    static zone data for the names the mapping system owns.
+  if (mapping_hook_) {
+    if (auto mapped = mapping_hook_(question, client, ecs)) {
+      response.answers.insert(response.answers.end(), mapped->answers.begin(),
+                              mapped->answers.end());
+      if (response.edns && response.edns->client_subnet) {
+        response.edns->client_subnet->scope_prefix_len = mapped->ecs_scope_prefix_len;
+      }
+      ++stats_.mapped_answers;
+      return Rcode::NoError;
+    }
+  }
+
+  DnsName qname = question.name;
+  Rcode rcode = Rcode::NoError;
+  for (int link = 0; link <= config_.max_cname_chain; ++link) {
+    const zone::ZonePtr zone = store_.find_best_zone(qname);
+    if (!zone) {
+      // Not ours. For the original qname that means REFUSED; mid-chain it
+      // just ends the chase (the resolver follows the CNAME externally).
+      if (link == 0) return Rcode::Refused;
+      return rcode;
+    }
+    const auto result = zone->lookup(qname, question.qtype);
+    if (result.wildcard_match) ++stats_.wildcard_answers;
+    switch (result.status) {
+      case zone::LookupStatus::Answer:
+        response.answers.insert(response.answers.end(), result.records.begin(),
+                                result.records.end());
+        return Rcode::NoError;
+      case zone::LookupStatus::CnameChase: {
+        ++stats_.cname_chases;
+        response.answers.insert(response.answers.end(), result.records.begin(),
+                                result.records.end());
+        const auto& cname = std::get<CnameRecord>(result.records.front().rdata);
+        qname = cname.target;
+        continue;
+      }
+      case zone::LookupStatus::Referral: {
+        ++stats_.referrals;
+        response.authorities.insert(response.authorities.end(), result.authority.begin(),
+                                    result.authority.end());
+        response.additionals.insert(response.additionals.end(), result.additional.begin(),
+                                    result.additional.end());
+        response.header.aa = false;  // referral is not authoritative data
+        // §5.2 answer push: include the answer with the referral so the
+        // resolver caches both the delegation and the records in one
+        // round trip.
+        if (push_hook_) {
+          auto pushed = push_hook_(question, client);
+          if (!pushed.empty()) {
+            ++stats_.pushed_answers;
+            response.answers.insert(response.answers.end(),
+                                    std::make_move_iterator(pushed.begin()),
+                                    std::make_move_iterator(pushed.end()));
+          }
+        }
+        return Rcode::NoError;
+      }
+      case zone::LookupStatus::NoData:
+        ++stats_.nodata;
+        response.authorities.insert(response.authorities.end(), result.authority.begin(),
+                                    result.authority.end());
+        return rcode;  // NOERROR (or earlier chain rcode)
+      case zone::LookupStatus::NxDomain:
+        response.authorities.insert(response.authorities.end(), result.authority.begin(),
+                                    result.authority.end());
+        // RFC 2308: if the chain started with a CNAME, the rcode applies
+        // to the final name.
+        return Rcode::NxDomain;
+    }
+  }
+  // CNAME chain too long: treat as server failure (loop protection).
+  return Rcode::ServFail;
+}
+
+Message Responder::respond(const Message& query, const Endpoint& client) {
+  ++stats_.responses;
+  // Only standard queries with exactly one question are served; this is
+  // what production authoritatives do for the protocol subset we model.
+  if (query.header.opcode != dns::Opcode::Query) {
+    ++stats_.notimp;
+    return dns::make_response(query, Rcode::NotImp);
+  }
+  if (query.questions.size() != 1 ||
+      query.questions[0].qclass != dns::RecordClass::IN) {
+    ++stats_.formerr;
+    return dns::make_response(query, Rcode::FormErr);
+  }
+
+  Message response = dns::make_response(query, Rcode::NoError, /*authoritative=*/true);
+  const std::optional<dns::ClientSubnet> ecs =
+      query.edns ? query.edns->client_subnet : std::nullopt;
+  const Rcode rcode = resolve(query.questions[0], client, ecs, response);
+  response.header.rcode = rcode;
+  switch (rcode) {
+    case Rcode::NoError: ++stats_.noerror; break;
+    case Rcode::NxDomain: ++stats_.nxdomain; break;
+    case Rcode::Refused: ++stats_.refused; break;
+    case Rcode::ServFail: ++stats_.servfail; break;
+    default: break;
+  }
+  if (rcode == Rcode::Refused) response.header.aa = false;
+  if (response_observer_) response_observer_(query.questions[0], rcode);
+  return response;
+}
+
+std::optional<std::vector<std::uint8_t>> Responder::respond_wire(
+    std::span<const std::uint8_t> wire, const Endpoint& client) {
+  auto decoded = dns::decode(wire);
+  if (!decoded) {
+    // Salvage a FORMERR if at least the header + question parse.
+    auto question = dns::decode_question(wire);
+    if (!question) return std::nullopt;
+    Message query;
+    // Re-extract the id from the first two bytes (guaranteed present
+    // since decode_question succeeded).
+    query.header.id = static_cast<std::uint16_t>((wire[0] << 8) | wire[1]);
+    query.questions.push_back(question.value());
+    ++stats_.responses;
+    ++stats_.formerr;
+    return dns::encode(dns::make_response(query, Rcode::FormErr, false));
+  }
+  const Message response = respond(decoded.value(), client);
+  const std::size_t max_size =
+      decoded.value().edns ? decoded.value().edns->udp_payload_size
+                           : config_.udp_payload_default;
+  return dns::encode(response, {.max_size = max_size});
+}
+
+}  // namespace akadns::server

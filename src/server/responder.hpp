@@ -1,0 +1,103 @@
+// Authoritative response construction.
+//
+// Turns a decoded query + the zone store into a response Message:
+// answers, in-bailiwick CNAME chasing, referrals with glue, NXDOMAIN /
+// NODATA with SOA, REFUSED outside hosted zones, and the dynamic-answer
+// hook through which the Mapping Intelligence (§3.2) supplies
+// load-balanced answers for CDN/GTM hostnames (keyed on the query source
+// or its EDNS-Client-Subnet).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+
+#include "dns/message.hpp"
+#include "zone/zone_store.hpp"
+
+namespace akadns::server {
+
+/// A dynamic answer produced by the mapping system for one query.
+struct MappedAnswer {
+  std::vector<dns::ResourceRecord> answers;
+  /// ECS scope the mapping decision applies to (echoed into the
+  /// response's ECS option per RFC 7871).
+  std::uint8_t ecs_scope_prefix_len = 0;
+};
+
+/// Hook consulted before static zone data for each question; returning
+/// nullopt falls through to the zone content.
+using MappingHook = std::function<std::optional<MappedAnswer>(
+    const dns::Question& question, const Endpoint& client,
+    const std::optional<dns::ClientSubnet>& ecs)>;
+
+struct ResponderConfig {
+  /// Maximum CNAME links chased within hosted zones.
+  int max_cname_chain = 8;
+  /// Answer size cap for UDP responses without EDNS.
+  std::size_t udp_payload_default = 512;
+};
+
+/// §5.2 "Improvements": supplies answers to push alongside a referral so
+/// the resolver need not query the lowlevels in the same resolution
+/// (deployable with DNS-over-HTTPS server push). Returning an empty
+/// vector sends a plain referral.
+using ReferralPushHook = std::function<std::vector<dns::ResourceRecord>(
+    const dns::Question& question, const Endpoint& client)>;
+
+struct ResponderStats {
+  std::uint64_t responses = 0;
+  std::uint64_t noerror = 0;
+  std::uint64_t nxdomain = 0;
+  std::uint64_t nodata = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t formerr = 0;
+  std::uint64_t notimp = 0;
+  std::uint64_t servfail = 0;
+  std::uint64_t referrals = 0;
+  std::uint64_t wildcard_answers = 0;
+  std::uint64_t cname_chases = 0;
+  std::uint64_t mapped_answers = 0;
+  std::uint64_t pushed_answers = 0;
+};
+
+class Responder {
+ public:
+  explicit Responder(const zone::ZoneStore& store, ResponderConfig config = {});
+
+  /// Builds the response for a decoded query message.
+  dns::Message respond(const dns::Message& query, const Endpoint& client);
+
+  /// Convenience: wire in, wire out. Returns nullopt when the packet is
+  /// too mangled to even answer FORMERR (no parseable header/question).
+  std::optional<std::vector<std::uint8_t>> respond_wire(std::span<const std::uint8_t> wire,
+                                                        const Endpoint& client);
+
+  void set_mapping_hook(MappingHook hook) { mapping_hook_ = std::move(hook); }
+  void set_referral_push_hook(ReferralPushHook hook) { push_hook_ = std::move(hook); }
+
+  /// Observer invoked once per answered query with the final rcode —
+  /// the feed for the Data Collection/Aggregation component (§3.2).
+  using ResponseObserver = std::function<void(const dns::Question&, dns::Rcode)>;
+  void set_response_observer(ResponseObserver observer) {
+    response_observer_ = std::move(observer);
+  }
+
+  const ResponderStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  /// Resolves one question into the response being assembled; returns the
+  /// rcode for the header.
+  dns::Rcode resolve(const dns::Question& question, const Endpoint& client,
+                     const std::optional<dns::ClientSubnet>& ecs, dns::Message& response);
+
+  const zone::ZoneStore& store_;
+  ResponderConfig config_;
+  MappingHook mapping_hook_;
+  ReferralPushHook push_hook_;
+  ResponseObserver response_observer_;
+  ResponderStats stats_;
+};
+
+}  // namespace akadns::server

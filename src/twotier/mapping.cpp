@@ -1,0 +1,119 @@
+#include "twotier/mapping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace akadns::twotier {
+
+void MappingSystem::add_site(EdgeSite site) { sites_.push_back(std::move(site)); }
+
+bool MappingSystem::set_site_load(const std::string& id, double load) {
+  for (auto& site : sites_) {
+    if (site.id == id) {
+      site.load = std::clamp(load, 0.0, 1.0);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MappingSystem::set_site_alive(const std::string& id, bool alive) {
+  for (auto& site : sites_) {
+    if (site.id == id) {
+      site.alive = alive;
+      return true;
+    }
+  }
+  return false;
+}
+
+const EdgeSite* MappingSystem::find_site(const std::string& id) const {
+  for (const auto& site : sites_) {
+    if (site.id == id) return &site;
+  }
+  return nullptr;
+}
+
+void MappingSystem::register_client_prefix(const IpPrefix& prefix, GeoPoint location) {
+  client_prefixes_.emplace_back(prefix, location);
+  // Longest-prefix first so more specific registrations win.
+  std::stable_sort(client_prefixes_.begin(), client_prefixes_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first.length() > b.first.length();
+                   });
+}
+
+std::optional<GeoPoint> MappingSystem::locate(const IpAddr& client) const {
+  for (const auto& [prefix, location] : client_prefixes_) {
+    if (prefix.contains(client)) return location;
+  }
+  return std::nullopt;
+}
+
+double MappingSystem::effective_distance(const EdgeSite& site, GeoPoint client) const {
+  const double dx = site.location.x - client.x;
+  const double dy = site.location.y - client.y;
+  const double distance = std::sqrt(dx * dx + dy * dy);
+  return distance * (1.0 + config_.load_weight * site.load);
+}
+
+std::vector<const EdgeSite*> MappingSystem::select_sites(GeoPoint client,
+                                                         std::size_t count) const {
+  std::vector<const EdgeSite*> healthy;
+  std::vector<const EdgeSite*> overloaded;
+  for (const auto& site : sites_) {
+    if (!site.alive) continue;
+    (site.load >= config_.overload_threshold ? overloaded : healthy).push_back(&site);
+  }
+  auto by_distance = [this, client](const EdgeSite* a, const EdgeSite* b) {
+    const double da = effective_distance(*a, client);
+    const double db = effective_distance(*b, client);
+    if (da != db) return da < db;
+    return a->id < b->id;  // deterministic tiebreak
+  };
+  std::sort(healthy.begin(), healthy.end(), by_distance);
+  std::sort(overloaded.begin(), overloaded.end(), by_distance);
+  std::vector<const EdgeSite*> out;
+  for (const auto* site : healthy) {
+    if (out.size() >= count) break;
+    out.push_back(site);
+  }
+  // Overloaded sites only when there are not enough healthy ones.
+  for (const auto* site : overloaded) {
+    if (out.size() >= count) break;
+    out.push_back(site);
+  }
+  return out;
+}
+
+std::vector<dns::ResourceRecord> MappingSystem::answer(const dns::DnsName& qname,
+                                                       const IpAddr& client,
+                                                       std::size_t count) const {
+  GeoPoint where{0.0, 0.0};
+  if (const auto located = locate(client)) {
+    where = *located;
+  } else if (!sites_.empty()) {
+    // Unlocatable client: fall back to the centroid of alive sites so the
+    // selection degenerates to "globally reasonable".
+    double sx = 0, sy = 0;
+    std::size_t n = 0;
+    for (const auto& site : sites_) {
+      if (!site.alive) continue;
+      sx += site.location.x;
+      sy += site.location.y;
+      ++n;
+    }
+    if (n > 0) where = GeoPoint{sx / static_cast<double>(n), sy / static_cast<double>(n)};
+  }
+  std::vector<dns::ResourceRecord> records;
+  for (const auto* site : select_sites(where, count)) {
+    if (site->address.is_v6()) {
+      records.push_back(dns::make_aaaa(qname, site->address.v6(), config_.answer_ttl));
+    } else {
+      records.push_back(dns::make_a(qname, site->address.v4(), config_.answer_ttl));
+    }
+  }
+  return records;
+}
+
+}  // namespace akadns::twotier

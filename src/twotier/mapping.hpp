@@ -1,0 +1,80 @@
+// Mapping Intelligence (§3.2) — the component that decides which edge
+// servers (and which lowlevel nameservers) a client should be directed
+// to, based on client location, server liveness and load.
+//
+// The production system ingests Internet measurements continuously; we
+// model the *decision function*: sites live on a 2-D latency plane
+// (coordinates are milliseconds-ish), clients are geolocated by prefix
+// (the EdgeScape stand-in), and mapping returns the closest alive,
+// non-overloaded sites. Load and liveness changes reprioritize instantly,
+// which is what the paper's "new DNS records are computed ... and
+// propagated within seconds" relies on.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ip.hpp"
+#include "dns/rr.hpp"
+
+namespace akadns::twotier {
+
+struct GeoPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct EdgeSite {
+  std::string id;
+  IpAddr address;     // the A/AAAA answer for clients mapped here
+  GeoPoint location;
+  double load = 0.0;  // 0..1; >= overload_threshold is avoided
+  bool alive = true;
+};
+
+class MappingSystem {
+ public:
+  struct Config {
+    /// Sites at/above this load are used only when nothing else exists.
+    double overload_threshold = 0.9;
+    /// Effective distance = distance * (1 + load_weight * load).
+    double load_weight = 1.0;
+    std::uint32_t answer_ttl = 20;  // the paper's low CDN TTL
+  };
+
+  MappingSystem() = default;
+  explicit MappingSystem(Config config) : config_(config) {}
+
+  void add_site(EdgeSite site);
+  bool set_site_load(const std::string& id, double load);
+  bool set_site_alive(const std::string& id, bool alive);
+  const EdgeSite* find_site(const std::string& id) const;
+  std::size_t site_count() const noexcept { return sites_.size(); }
+
+  /// EdgeScape stand-in: registers the location of a client prefix.
+  void register_client_prefix(const IpPrefix& prefix, GeoPoint location);
+  std::optional<GeoPoint> locate(const IpAddr& client) const;
+
+  /// The `count` best sites for a client location: alive, lowest
+  /// load-adjusted distance; overloaded sites only as a last resort.
+  std::vector<const EdgeSite*> select_sites(GeoPoint client, std::size_t count) const;
+
+  /// Dynamic answers for a CDN hostname: A/AAAA of the best sites for
+  /// this client (located via ECS address when present, else the
+  /// resolver address; unlocatable clients get the globally least-loaded
+  /// sites). Returns records with the low mapping TTL.
+  std::vector<dns::ResourceRecord> answer(const dns::DnsName& qname, const IpAddr& client,
+                                          std::size_t count) const;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  double effective_distance(const EdgeSite& site, GeoPoint client) const;
+
+  Config config_;
+  std::vector<EdgeSite> sites_;
+  std::vector<std::pair<IpPrefix, GeoPoint>> client_prefixes_;
+};
+
+}  // namespace akadns::twotier

@@ -1,0 +1,37 @@
+#include "twotier/model.hpp"
+
+#include <stdexcept>
+
+namespace akadns::twotier {
+
+Duration two_tier_resolution_time(const TwoTierParams& params) {
+  if (params.r_t < 0.0 || params.r_t > 1.0) throw std::invalid_argument("r_t out of [0,1]");
+  const double l = params.lowlevel_rtt.to_seconds();
+  const double t = params.toplevel_rtt.to_seconds();
+  return Duration::seconds_f((1.0 - params.r_t) * l + params.r_t * (l + t));
+}
+
+Duration single_tier_resolution_time(const TwoTierParams& params) {
+  return params.toplevel_rtt;
+}
+
+double speedup(const TwoTierParams& params) {
+  const double denominator = two_tier_resolution_time(params).to_seconds();
+  if (denominator <= 0.0) throw std::invalid_argument("degenerate RTTs");
+  return single_tier_resolution_time(params).to_seconds() / denominator;
+}
+
+Duration two_tier_push_resolution_time(const TwoTierParams& params) {
+  if (params.r_t < 0.0 || params.r_t > 1.0) throw std::invalid_argument("r_t out of [0,1]");
+  const double l = params.lowlevel_rtt.to_seconds();
+  const double t = params.toplevel_rtt.to_seconds();
+  return Duration::seconds_f((1.0 - params.r_t) * l + params.r_t * t);
+}
+
+double speedup_with_push(const TwoTierParams& params) {
+  const double denominator = two_tier_push_resolution_time(params).to_seconds();
+  if (denominator <= 0.0) throw std::invalid_argument("degenerate RTTs");
+  return single_tier_resolution_time(params).to_seconds() / denominator;
+}
+
+}  // namespace akadns::twotier

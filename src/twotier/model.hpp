@@ -1,0 +1,49 @@
+// The Two-Tier delegation analytical model (§5.2, Eq. 1).
+//
+// Resolution cost for a CDN hostname like "a1.w10.akamai.net":
+//   - A/AAAA cached                         -> 0
+//   - lowlevel NS cached, host expired      -> L
+//   - lowlevel NS expired                   -> L + T
+// With r_T the fraction of resolutions that must contact the toplevels,
+// the average Two-Tier resolution time is (1-r_T)·L + r_T·(L+T), versus
+// T for answering from the single tier of anycast toplevels; the speedup
+//   S = T / ((1-r_T)·L + r_T·(L+T))                               (Eq. 1)
+#pragma once
+
+#include "common/sim_time.hpp"
+
+namespace akadns::twotier {
+
+struct TwoTierParams {
+  Duration toplevel_rtt;  // T
+  Duration lowlevel_rtt;  // L
+  double r_t = 0.0;       // fraction of resolutions contacting toplevels
+};
+
+/// Average resolution time under Two-Tier: (1-r_T)·L + r_T·(L+T).
+Duration two_tier_resolution_time(const TwoTierParams& params);
+
+/// Average resolution time answering from the toplevels only: T.
+Duration single_tier_resolution_time(const TwoTierParams& params);
+
+/// Eq. 1. S > 1 means Two-Tier is faster on average.
+double speedup(const TwoTierParams& params);
+
+// ---------------------------------------------------------------------------
+// §5.2 "Improvements": answer push. "If the DNS response from the
+// toplevels could, in addition to delegating to lowlevels, push an
+// answer so that the resolver need not query the lowlevels in the same
+// resolution, then Two-Tier would always be beneficial when the lowlevel
+// RTT is less than the toplevel RTT." With push, a delegation-refresh
+// resolution costs T instead of L+T:
+//   time = (1-r_T)·L + r_T·T,   S_push = T / ((1-r_T)·L + r_T·T)
+// which exceeds 1 whenever L < T, independent of r_T.
+// ---------------------------------------------------------------------------
+
+/// Average resolution time with answer push: (1-r_T)·L + r_T·T.
+Duration two_tier_push_resolution_time(const TwoTierParams& params);
+
+/// Speedup of pushed Two-Tier over the single tier.
+double speedup_with_push(const TwoTierParams& params);
+
+}  // namespace akadns::twotier

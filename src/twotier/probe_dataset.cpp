@@ -1,0 +1,57 @@
+#include "twotier/probe_dataset.hpp"
+
+namespace akadns::twotier {
+
+std::vector<Probe> generate_probe_dataset(const ProbeDatasetConfig& config,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Probe> probes;
+  probes.reserve(config.probe_count);
+  for (std::size_t i = 0; i < config.probe_count; ++i) {
+    Probe probe;
+    const double base_ms = rng.next_lognormal(config.base_rtt_mu, config.base_rtt_sigma);
+    // Per-probe CDN coverage class determines lowlevel proximity.
+    const double coverage_draw = rng.next_double();
+    double factor_lo = 0.8, factor_hi = 1.4;  // good coverage
+    if (coverage_draw >= config.good_coverage_fraction) {
+      if (coverage_draw < config.good_coverage_fraction + config.medium_coverage_fraction) {
+        factor_lo = 1.3;  // regional lowlevel only
+        factor_hi = 2.2;
+      } else {
+        factor_lo = 2.5;  // poorly covered network
+        factor_hi = 6.0;
+      }
+    }
+    const std::size_t lowlevels = static_cast<std::size_t>(rng.next_int(
+        static_cast<std::int64_t>(config.lowlevels_min),
+        static_cast<std::int64_t>(config.lowlevels_max)));
+    for (std::size_t k = 0; k < lowlevels; ++k) {
+      const double factor = rng.next_double(factor_lo, factor_hi);
+      probe.lowlevel_rtts.push_back(Duration::millis_f(std::max(1.0, base_ms * factor)));
+    }
+    // Each anycast cloud routes independently.
+    for (std::size_t c = 0; c < config.toplevel_clouds; ++c) {
+      double rtt_ms = base_ms * (1.0 + rng.next_exponential(config.anycast_inflation_rate));
+      if (rng.next_bool(config.bad_route_fraction)) {
+        rtt_ms += rng.next_double(config.bad_route_extra_ms_min,
+                                  config.bad_route_extra_ms_max);
+      }
+      probe.toplevel_rtts.push_back(Duration::millis_f(rtt_ms));
+    }
+    probes.push_back(std::move(probe));
+  }
+  return probes;
+}
+
+double fraction_lowlevel_faster(const std::vector<Probe>& probes, bool weighted) {
+  if (probes.empty()) return 0.0;
+  std::size_t faster = 0;
+  for (const auto& probe : probes) {
+    const Duration l = weighted ? probe.lowlevel_weighted() : probe.lowlevel_avg();
+    const Duration t = weighted ? probe.toplevel_weighted() : probe.toplevel_avg();
+    if (l < t) ++faster;
+  }
+  return static_cast<double>(faster) / static_cast<double>(probes.size());
+}
+
+}  // namespace akadns::twotier

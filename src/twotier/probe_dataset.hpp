@@ -1,0 +1,70 @@
+// Synthetic measurement dataset standing in for the paper's RIPE Atlas
+// experiment (§5.2 "Measuring T & L": 1,663 probes, one per ASN/country,
+// hourly DNS measurements against the 13 toplevel anycast delegations
+// and the mapping-selected unicast lowlevel delegations for one month).
+//
+// Generative model (documented in DESIGN.md substitutions):
+//   - each probe has a base last-mile latency (lognormal);
+//   - the mapping system serves a proximal lowlevel, so lowlevel RTTs
+//     cluster near the base latency;
+//   - each of the 13 toplevel anycast clouds routes the probe with an
+//     independent anycast inflation factor — usually modest, sometimes
+//     terrible (BGP choosing a distant PoP), matching the observation
+//     that "toplevel delegation RTTs vary widely due to anycast routing,
+//     often not coinciding with lowest RTT".
+// The aggregate T and L are then computed exactly as the paper does:
+// plain average (uniform delegation selection) and 1/RTT-weighted
+// average (RTT-preferring selection).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "resolver/selection.hpp"
+
+namespace akadns::twotier {
+
+struct Probe {
+  std::vector<Duration> toplevel_rtts;  // one per anycast cloud (13)
+  std::vector<Duration> lowlevel_rtts;  // mapping-selected lowlevels
+
+  Duration toplevel_avg() const { return resolver::average_rtt(toplevel_rtts); }
+  Duration toplevel_weighted() const { return resolver::weighted_rtt(toplevel_rtts); }
+  Duration lowlevel_avg() const { return resolver::average_rtt(lowlevel_rtts); }
+  Duration lowlevel_weighted() const { return resolver::weighted_rtt(lowlevel_rtts); }
+};
+
+struct ProbeDatasetConfig {
+  std::size_t probe_count = 1663;
+  std::size_t toplevel_clouds = 13;
+  std::size_t lowlevels_min = 2;
+  std::size_t lowlevels_max = 4;
+  /// Base last-mile latency: lognormal parameters (of milliseconds).
+  double base_rtt_mu = 2.2;     // exp(2.2) ~ 9 ms median
+  double base_rtt_sigma = 0.7;
+  /// Lowlevel proximity depends on how well the CDN footprint covers
+  /// the probe's network. Most probes are well covered (lowlevel RTT ~
+  /// base), some only reach a regional lowlevel, a few are poorly
+  /// covered. This is what separates the paper's 98% (average RTTs) from
+  /// 87% (weighted RTTs): medium-coverage probes lose only under
+  /// RTT-weighted toplevel selection.
+  double good_coverage_fraction = 0.86;   // factor U(0.8, 1.4)
+  double medium_coverage_fraction = 0.12; // factor U(1.3, 2.2)
+                                          // remainder: U(2.5, 6.0)
+  /// Anycast inflation per toplevel cloud: 1 + Exp(rate); small rate =
+  /// heavier inflation tail.
+  double anycast_inflation_rate = 0.9;
+  /// Fraction of (probe, cloud) pairs routed badly (continental detour).
+  double bad_route_fraction = 0.08;
+  double bad_route_extra_ms_min = 60.0;
+  double bad_route_extra_ms_max = 250.0;
+};
+
+std::vector<Probe> generate_probe_dataset(const ProbeDatasetConfig& config,
+                                          std::uint64_t seed);
+
+/// Fraction of probes with L < T under the chosen aggregates (the paper
+/// reports 98% with averages and 87% with weighted RTTs).
+double fraction_lowlevel_faster(const std::vector<Probe>& probes, bool weighted);
+
+}  // namespace akadns::twotier

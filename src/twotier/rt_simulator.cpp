@@ -1,0 +1,42 @@
+#include "twotier/rt_simulator.hpp"
+
+namespace akadns::twotier {
+
+RtEstimate simulate_rt(double qps, const RtSimConfig& config, Rng& rng) {
+  RtEstimate estimate;
+  if (qps <= 0.0) return estimate;
+  const double horizon = config.duration.to_seconds();
+  const double host_ttl = config.host_ttl.to_seconds();
+  const double delegation_ttl = config.delegation_ttl.to_seconds();
+
+  double now = 0.0;
+  double host_expires = -1.0;        // cache cold
+  double delegation_expires = -1.0;  // cache cold
+  while (true) {
+    now += rng.next_exponential(qps);
+    if (now >= horizon) break;
+    ++estimate.end_user_queries;
+    if (now < host_expires) continue;  // answered from cache
+    // Host record expired: this is a resolution (lowlevel contact).
+    ++estimate.resolutions;
+    if (now >= delegation_expires) {
+      // Delegation expired too: toplevel contact refreshes it.
+      ++estimate.toplevel_contacts;
+      delegation_expires = now + delegation_ttl;
+    }
+    host_expires = now + host_ttl;
+  }
+  return estimate;
+}
+
+double analytic_rt(double qps, const RtSimConfig& config) {
+  if (qps <= 0.0) return 1.0;
+  // Resolutions renew every (host_ttl + mean forward wait 1/q); toplevel
+  // contacts renew every (delegation_ttl + residual resolution wait),
+  // where the residual wait after the delegation expires is about one
+  // resolution cycle. Ratio of the two renewal rates:
+  const double cycle = config.host_ttl.to_seconds() + 1.0 / qps;
+  return cycle / (config.delegation_ttl.to_seconds() + cycle);
+}
+
+}  // namespace akadns::twotier

@@ -1,0 +1,48 @@
+// r_T estimation via resolver-cache simulation (§5.2 "Measuring r_T").
+//
+// A resolver's cache holds the CDN host record (TTL 20 s) and the
+// lowlevel delegation NS set (TTL 4000 s). End-user queries arrive as a
+// Poisson stream at the resolver; each arrival that misses the host
+// entry is a *resolution* (contacts the lowlevels), and a resolution
+// that also misses the delegation entry contacts the toplevels.
+// r_T = toplevel contacts / resolutions.
+//
+// The paper measures a mean r_T of 0.48 across 575K resolvers but a
+// query-weighted mean of only 0.008 — busy resolvers keep the
+// delegation hot, idle resolvers do not. The simulator reproduces both
+// ends from the per-resolver query rate.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+
+namespace akadns::twotier {
+
+struct RtSimConfig {
+  Duration host_ttl = Duration::seconds(20);
+  Duration delegation_ttl = Duration::seconds(4000);
+  Duration duration = Duration::days(1);
+};
+
+struct RtEstimate {
+  std::uint64_t end_user_queries = 0;
+  std::uint64_t resolutions = 0;         // lowlevel contacts
+  std::uint64_t toplevel_contacts = 0;
+  double r_t() const {
+    return resolutions == 0 ? 1.0
+                            : static_cast<double>(toplevel_contacts) /
+                                  static_cast<double>(resolutions);
+  }
+};
+
+/// Simulates one resolver receiving Poisson end-user queries at
+/// `qps` for the configured duration.
+RtEstimate simulate_rt(double qps, const RtSimConfig& config, Rng& rng);
+
+/// Closed-form approximation for a Poisson arrival stream: with
+/// inter-arrival rate q, an entry of TTL d is refreshed at renewal
+/// epochs; the expected fraction of resolutions that find the delegation
+/// expired. Used to cross-check the simulation.
+double analytic_rt(double qps, const RtSimConfig& config);
+
+}  // namespace akadns::twotier

@@ -1,0 +1,72 @@
+#include "workload/attacks.hpp"
+
+namespace akadns::workload {
+
+DirectQueryAttack::DirectQueryAttack(Config config, const HostedZones& zones,
+                                     std::uint64_t seed)
+    : config_(config), zones_(zones), rng_(seed) {
+  for (std::size_t i = 0; i < config_.bot_count; ++i) {
+    bots_.push_back(IpAddr(Ipv4Addr(0xCC000000u + static_cast<std::uint32_t>(i))));
+  }
+}
+
+GeneratedQuery DirectQueryAttack::next() {
+  GeneratedQuery query;
+  query.source.addr = bots_[rng_.next_below(bots_.size())];
+  query.source.port = static_cast<std::uint16_t>(1024 + rng_.next_below(64512));
+  query.ip_ttl = static_cast<std::uint8_t>(40 + rng_.next_int(0, 3));
+  query.qname = config_.query_valid_names
+                    ? zones_.sample_valid_name(config_.target_zone_rank, rng_)
+                    : zones_.random_subdomain(config_.target_zone_rank, rng_);
+  query.qtype = dns::RecordType::A;
+  return query;
+}
+
+RandomSubdomainAttack::RandomSubdomainAttack(Config config,
+                                             const ResolverPopulation& population,
+                                             const HostedZones& zones, std::uint64_t seed)
+    : config_(config), population_(population), zones_(zones), rng_(seed) {}
+
+GeneratedQuery RandomSubdomainAttack::next() {
+  GeneratedQuery query;
+  // Pass-through: the query arrives from a genuine resolver (weighted —
+  // big resolvers relay proportionally more of the attack).
+  query.resolver_index = population_.sample(rng_);
+  const ResolverInfo& resolver = population_.resolver(query.resolver_index);
+  query.source.addr = resolver.address;
+  query.source.port = static_cast<std::uint16_t>(1024 + rng_.next_below(64512));
+  query.ip_ttl = resolver.ip_ttl;  // genuine path, genuine TTL
+  query.qname = zones_.random_subdomain(config_.target_zone_rank, rng_);
+  query.qtype = dns::RecordType::A;
+  return query;
+}
+
+SpoofedAttack::SpoofedAttack(Config config, const ResolverPopulation& population,
+                             const HostedZones& zones, std::uint64_t seed)
+    : config_(config), population_(population), zones_(zones), rng_(seed) {
+  impersonation_pool_ = population_.top_by_weight(0.03);
+}
+
+GeneratedQuery SpoofedAttack::next() {
+  GeneratedQuery query;
+  if (config_.impersonate_allowlisted && !impersonation_pool_.empty()) {
+    const std::size_t victim =
+        impersonation_pool_[rng_.next_below(impersonation_pool_.size())];
+    const ResolverInfo& resolver = population_.resolver(victim);
+    query.resolver_index = victim;
+    query.source.addr = resolver.address;
+    // Class 5 forges the TTL to the victim's learned value; class 4
+    // arrives with the attacker's own hop count.
+    query.ip_ttl = config_.forge_ttl ? resolver.ip_ttl : config_.attacker_ttl;
+  } else {
+    query.source.addr =
+        IpAddr(Ipv4Addr(static_cast<std::uint32_t>(rng_.next_below(0xE0000000))));
+    query.ip_ttl = config_.attacker_ttl;
+  }
+  query.source.port = static_cast<std::uint16_t>(1024 + rng_.next_below(64512));
+  query.qname = zones_.sample_valid_name(config_.target_zone_rank, rng_);
+  query.qtype = dns::RecordType::A;
+  return query;
+}
+
+}  // namespace akadns::workload

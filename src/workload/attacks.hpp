@@ -1,0 +1,84 @@
+// Attack traffic generators for the §4.3.4 taxonomy. Each generator
+// produces queries shaped exactly like the attack class it models, so
+// the filter pipeline is exercised on the same signal it defends
+// against in production:
+//   2) Direct Query          — few real sources, high rate
+//   3) Random Subdomain      — legitimate resolver sources ("pass-
+//                              through"), random nonexistent hostnames
+//   4) Spoofed Source IP     — forged sources (random or impersonating
+//                              allowlisted resolvers) with the *wrong*
+//                              IP TTL for the claimed source
+//   5) Spoofed IP & IP TTL   — forged source AND matching IP TTL; only
+//                              the loyalty filter can catch these
+// Class 1 (volumetric) never reaches the application; it is modelled as
+// link-level load in the traffic-engineering bench, not as queries.
+#pragma once
+
+#include "workload/queries.hpp"
+
+namespace akadns::workload {
+
+class DirectQueryAttack {
+ public:
+  struct Config {
+    std::size_t bot_count = 20;
+    std::size_t target_zone_rank = 0;
+    bool query_valid_names = true;
+  };
+
+  DirectQueryAttack(Config config, const HostedZones& zones, std::uint64_t seed);
+  GeneratedQuery next();
+
+ private:
+  Config config_;
+  const HostedZones& zones_;
+  Rng rng_;
+  std::vector<IpAddr> bots_;
+};
+
+class RandomSubdomainAttack {
+ public:
+  struct Config {
+    std::size_t target_zone_rank = 0;
+  };
+
+  /// Sources are sampled from the *legitimate* resolver population —
+  /// this attack arrives through real resolvers, defeating source-based
+  /// filters by design.
+  RandomSubdomainAttack(Config config, const ResolverPopulation& population,
+                        const HostedZones& zones, std::uint64_t seed);
+  GeneratedQuery next();
+
+ private:
+  Config config_;
+  const ResolverPopulation& population_;
+  const HostedZones& zones_;
+  Rng rng_;
+};
+
+class SpoofedAttack {
+ public:
+  struct Config {
+    std::size_t target_zone_rank = 0;
+    /// Impersonate known resolvers (true) or use random sources (false).
+    bool impersonate_allowlisted = true;
+    /// Also forge the IP TTL to match the impersonated resolver's
+    /// learned value (attack class 5); otherwise the TTL reflects the
+    /// attacker's own topological position (class 4).
+    bool forge_ttl = false;
+    std::uint8_t attacker_ttl = 44;
+  };
+
+  SpoofedAttack(Config config, const ResolverPopulation& population,
+                const HostedZones& zones, std::uint64_t seed);
+  GeneratedQuery next();
+
+ private:
+  Config config_;
+  const ResolverPopulation& population_;
+  const HostedZones& zones_;
+  Rng rng_;
+  std::vector<std::size_t> impersonation_pool_;  // top resolvers by weight
+};
+
+}  // namespace akadns::workload

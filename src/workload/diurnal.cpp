@@ -1,0 +1,34 @@
+#include "workload/diurnal.hpp"
+
+#include <cmath>
+
+namespace akadns::workload {
+
+DiurnalModel::DiurnalModel(DiurnalConfig config, std::uint64_t seed) : config_(config) {
+  (void)seed;
+}
+
+double DiurnalModel::rate_at(SimTime t) const {
+  const double seconds = t.to_seconds();
+  const double hours = seconds / 3600.0;
+  const double hour_of_day = std::fmod(hours, 24.0);
+  const int day =
+      (static_cast<int>(hours / 24.0) + config_.start_day_of_week) % 7;
+  const bool weekend = day == 0 || day == 6;
+
+  // Daily sinusoid peaking at peak_hour.
+  const double phase = 2.0 * M_PI * (hour_of_day - config_.peak_hour) / 24.0;
+  const double daily = 0.5 * (1.0 + std::cos(phase));  // 1 at peak, 0 at trough
+
+  const double lo = config_.min_qps;
+  double hi = config_.max_qps;
+  if (weekend) hi = lo + (hi - lo) * config_.weekend_factor;
+  return lo + (hi - lo) * daily;
+}
+
+double DiurnalModel::noisy_rate_at(SimTime t, Rng& rng) const {
+  const double base = rate_at(t);
+  return base * (1.0 + config_.noise * rng.next_gaussian());
+}
+
+}  // namespace akadns::workload

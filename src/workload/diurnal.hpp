@@ -1,0 +1,41 @@
+// Diurnal query-rate model (Figure 1): the platform's aggregate rate
+// varies between ~3.9M and ~5.6M qps over a week, with a daily sinusoid
+// and a weekend dip, plus small high-frequency noise.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+
+namespace akadns::workload {
+
+struct DiurnalConfig {
+  double min_qps = 3.9e6;
+  double max_qps = 5.6e6;
+  /// Weekend peak as a fraction of weekday peak (Figure 1 shows visibly
+  /// lower weekend peaks).
+  double weekend_factor = 0.92;
+  /// Hour of day (UTC-ish) at which the daily peak occurs.
+  double peak_hour = 15.0;
+  /// Relative amplitude of measurement noise.
+  double noise = 0.01;
+  /// Day-of-week of t=0; 0 = Sunday (the paper's plot starts on Sunday).
+  int start_day_of_week = 0;
+};
+
+class DiurnalModel {
+ public:
+  DiurnalModel(DiurnalConfig config, std::uint64_t seed);
+
+  /// Expected aggregate qps at simulated time t (no noise).
+  double rate_at(SimTime t) const;
+
+  /// Rate with sampling noise (deterministic per (seed, call sequence)).
+  double noisy_rate_at(SimTime t, Rng& rng) const;
+
+  const DiurnalConfig& config() const noexcept { return config_; }
+
+ private:
+  DiurnalConfig config_;
+};
+
+}  // namespace akadns::workload

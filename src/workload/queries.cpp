@@ -1,0 +1,66 @@
+#include "workload/queries.hpp"
+
+#include "dns/wire.hpp"
+
+namespace akadns::workload {
+
+QueryGenerator::QueryGenerator(const ResolverPopulation& population, const HostedZones& zones,
+                               std::uint64_t seed)
+    : population_(population), zones_(zones), rng_(seed) {}
+
+GeneratedQuery QueryGenerator::next() {
+  GeneratedQuery query;
+  query.resolver_index = population_.sample(rng_);
+  const ResolverInfo& resolver = population_.resolver(query.resolver_index);
+  query.source.addr = resolver.address;
+  query.source.port = resolver.random_ports
+                          ? static_cast<std::uint16_t>(1024 + rng_.next_below(64512))
+                          : 53;
+  query.ip_ttl = resolver.ip_ttl;
+  const std::size_t zone_rank = zones_.sample_zone(rng_);
+  query.qname = zones_.sample_valid_name(zone_rank, rng_);
+  query.qtype = rng_.next_bool(0.25) ? dns::RecordType::AAAA : dns::RecordType::A;
+  return query;
+}
+
+std::vector<std::uint8_t> QueryGenerator::encode(const GeneratedQuery& query) {
+  return dns::encode(dns::make_query(next_id_++, query.qname, query.qtype));
+}
+
+std::pair<double, double> BurstModel::simulate_day(double mean_qps, std::uint32_t seconds,
+                                                   Rng& rng) const {
+  if (mean_qps <= 0.0 || seconds == 0) return {0.0, 0.0};
+  const double burst_rate = mean_qps / on_fraction;
+  const double mean_burst_s = std::max(mean_burst.to_seconds(), 1.0);
+  const double mean_gap_s = mean_burst_s * (1.0 - on_fraction) / on_fraction;
+
+  double total = 0.0;
+  double max_per_second = 0.0;
+  double t = 0.0;
+  bool on = rng.next_bool(on_fraction);
+  double state_remaining = on ? rng.next_exponential(1.0 / mean_burst_s)
+                              : rng.next_exponential(1.0 / mean_gap_s);
+  while (t < static_cast<double>(seconds)) {
+    if (on) {
+      // Walk the burst one second at a time so the 1-second max is exact.
+      const double burst_end = std::min(t + state_remaining, static_cast<double>(seconds));
+      while (t < burst_end) {
+        const double slice = std::min(1.0, burst_end - t);
+        const double count =
+            static_cast<double>(rng.next_poisson(burst_rate * slice));
+        total += count;
+        max_per_second = std::max(max_per_second, count / std::max(slice, 1e-9) * slice);
+        max_per_second = std::max(max_per_second, count);
+        t += slice;
+      }
+    } else {
+      t += state_remaining;
+    }
+    on = !on;
+    state_remaining = on ? rng.next_exponential(1.0 / mean_burst_s)
+                         : rng.next_exponential(1.0 / mean_gap_s);
+  }
+  return {total / static_cast<double>(seconds), max_per_second};
+}
+
+}  // namespace akadns::workload

@@ -1,0 +1,58 @@
+#include "zone/zone_store.hpp"
+
+namespace akadns::zone {
+
+bool ZoneStore::publish(Zone zone) {
+  auto it = zones_.find(zone.apex());
+  if (it != zones_.end() && it->second->serial() >= zone.serial()) {
+    return false;
+  }
+  const DnsName apex = zone.apex();
+  zones_[apex] = std::make_shared<const Zone>(std::move(zone));
+  ++generation_;
+  return true;
+}
+
+void ZoneStore::force_publish(Zone zone) {
+  const DnsName apex = zone.apex();
+  zones_[apex] = std::make_shared<const Zone>(std::move(zone));
+  ++generation_;
+}
+
+bool ZoneStore::remove(const DnsName& apex) {
+  if (zones_.erase(apex) == 0) return false;
+  ++generation_;
+  return true;
+}
+
+ZonePtr ZoneStore::find_best_zone(const DnsName& qname) const {
+  // Longest-suffix match: walk from the full name toward the root.
+  for (std::size_t depth = qname.label_count() + 1; depth-- > 0;) {
+    const DnsName candidate = qname.suffix(depth);
+    if (auto it = zones_.find(candidate); it != zones_.end()) {
+      return it->second;
+    }
+    if (depth == 0) break;
+  }
+  return nullptr;
+}
+
+ZonePtr ZoneStore::find_zone(const DnsName& apex) const {
+  auto it = zones_.find(apex);
+  return it == zones_.end() ? nullptr : it->second;
+}
+
+std::size_t ZoneStore::total_records() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [apex, zone] : zones_) total += zone->record_count();
+  return total;
+}
+
+std::vector<DnsName> ZoneStore::zone_apexes() const {
+  std::vector<DnsName> out;
+  out.reserve(zones_.size());
+  for (const auto& [apex, zone] : zones_) out.push_back(apex);
+  return out;
+}
+
+}  // namespace akadns::zone

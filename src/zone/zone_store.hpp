@@ -1,0 +1,54 @@
+// Versioned zone store: the nameserver-side container of published zone
+// snapshots. Publishing replaces the zone pointer atomically (snapshot
+// semantics, matching the paper's metadata pipeline where the Management
+// Portal publishes validated zone versions and nameservers subscribe).
+// Serial regressions are rejected, mirroring serial-based zone transfer
+// rules (RFC 1996 / 5936).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "zone/zone.hpp"
+
+namespace akadns::zone {
+
+class ZoneStore {
+ public:
+  /// Publishes a zone snapshot. Returns false (and keeps the old version)
+  /// if a zone with the same apex and a serial >= the new one exists.
+  bool publish(Zone zone);
+
+  /// Force-publishes regardless of serial (operator override path).
+  void force_publish(Zone zone);
+
+  /// Removes a zone; returns true if it existed.
+  bool remove(const DnsName& apex);
+
+  /// The zone whose apex is the longest suffix of `qname`, or nullptr.
+  ZonePtr find_best_zone(const DnsName& qname) const;
+
+  /// Exact-apex fetch.
+  ZonePtr find_zone(const DnsName& apex) const;
+
+  bool has_zone(const DnsName& apex) const { return zones_.contains(apex); }
+
+  std::size_t zone_count() const noexcept { return zones_.size(); }
+  std::size_t total_records() const noexcept;
+
+  /// Apexes of all hosted zones (stable canonical order).
+  std::vector<DnsName> zone_apexes() const;
+
+  /// Monotone counter incremented on every successful publish/remove;
+  /// the staleness detector uses it as a cheap change signal.
+  std::uint64_t generation() const noexcept { return generation_; }
+
+ private:
+  std::map<DnsName, ZonePtr> zones_;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace akadns::zone

@@ -1,0 +1,221 @@
+#include "zone/zone_transfer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace akadns::zone {
+
+using dns::DnsName;
+using dns::Message;
+using dns::RecordType;
+using dns::ResourceRecord;
+using dns::SoaRecord;
+
+// ---------------------------------------------------------------------------
+// AXFR
+// ---------------------------------------------------------------------------
+
+std::vector<Message> axfr_serialize(const Zone& zone, const AxfrOptions& options) {
+  const auto soa = zone.soa();
+  if (!soa) throw std::invalid_argument("cannot AXFR a zone without an apex SOA");
+
+  // all_records() puts the SOA first; append the closing SOA.
+  std::vector<ResourceRecord> records = zone.all_records();
+  records.push_back(*soa);
+
+  std::vector<Message> stream;
+  const std::size_t per_message = std::max<std::size_t>(options.records_per_message, 1);
+  for (std::size_t offset = 0; offset < records.size(); offset += per_message) {
+    Message m;
+    m.header.id = options.transaction_id;
+    m.header.qr = true;
+    m.header.aa = true;
+    if (offset == 0) {
+      m.questions.push_back(dns::Question{zone.apex(), RecordType::ANY,
+                                          dns::RecordClass::IN});
+    }
+    const std::size_t end = std::min(offset + per_message, records.size());
+    m.answers.assign(records.begin() + static_cast<std::ptrdiff_t>(offset),
+                     records.begin() + static_cast<std::ptrdiff_t>(end));
+    stream.push_back(std::move(m));
+  }
+  return stream;
+}
+
+Result<Zone> axfr_assemble(std::span<const Message> stream) {
+  auto fail = [](std::string what) { return Result<Zone>::failure(std::move(what)); };
+  if (stream.empty()) return fail("empty AXFR stream");
+
+  // Flatten answers, checking ids are consistent.
+  std::vector<ResourceRecord> records;
+  const std::uint16_t id = stream.front().header.id;
+  for (const auto& message : stream) {
+    if (message.header.id != id) return fail("inconsistent transaction ids in stream");
+    if (!message.header.qr) return fail("AXFR stream contains a non-response");
+    records.insert(records.end(), message.answers.begin(), message.answers.end());
+  }
+  if (records.size() < 2) return fail("AXFR stream too short");
+  if (records.front().type() != RecordType::SOA) return fail("stream does not open with SOA");
+  if (records.back().type() != RecordType::SOA) return fail("stream does not close with SOA");
+  if (records.front() != records.back()) {
+    return fail("opening and closing SOA differ (zone changed mid-transfer)");
+  }
+
+  const auto& soa = std::get<SoaRecord>(records.front().rdata);
+  Zone zone(records.front().name, soa.serial);
+  // Add every record once (the closing SOA duplicates the opening one).
+  for (std::size_t i = 0; i + 1 < records.size(); ++i) {
+    if (i > 0 && records[i].type() == RecordType::SOA) {
+      return fail("unexpected mid-stream SOA");
+    }
+    if (!zone.add(records[i])) {
+      return fail("inadmissible record in transfer: " + records[i].to_string());
+    }
+  }
+  return zone;
+}
+
+// ---------------------------------------------------------------------------
+// IXFR
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Canonical multiset key for a record (owner + type + rdata, TTL
+/// included: a TTL change is a delete+add in IXFR).
+std::string record_key(const ResourceRecord& rr) {
+  return rr.to_string();
+}
+
+}  // namespace
+
+ZoneDiff diff_zones(const Zone& from, const Zone& to) {
+  if (!(from.apex() == to.apex())) {
+    throw std::invalid_argument("diff across different zones");
+  }
+  if (to.serial() <= from.serial()) {
+    throw std::invalid_argument("diff target serial must increase");
+  }
+  ZoneDiff diff;
+  diff.apex = from.apex();
+  diff.from_serial = from.serial();
+  diff.to_serial = to.serial();
+
+  std::map<std::string, ResourceRecord> before, after;
+  for (const auto& rr : from.all_records()) {
+    if (rr.type() != RecordType::SOA) before.emplace(record_key(rr), rr);
+  }
+  for (const auto& rr : to.all_records()) {
+    if (rr.type() != RecordType::SOA) after.emplace(record_key(rr), rr);
+  }
+  for (const auto& [key, rr] : before) {
+    if (!after.contains(key)) diff.deletions.push_back(rr);
+  }
+  for (const auto& [key, rr] : after) {
+    if (!before.contains(key)) diff.additions.push_back(rr);
+  }
+  return diff;
+}
+
+Result<Zone> apply_diff(const Zone& base, const ZoneDiff& diff) {
+  auto fail = [](std::string what) { return Result<Zone>::failure(std::move(what)); };
+  if (!(base.apex() == diff.apex)) return fail("diff is for a different zone");
+  if (base.serial() != diff.from_serial) {
+    return fail("serial mismatch: have " + std::to_string(base.serial()) + ", diff from " +
+                std::to_string(diff.from_serial) + " (fall back to AXFR)");
+  }
+  const auto old_soa = base.soa();
+  if (!old_soa) return fail("base zone lacks an SOA");
+
+  Zone next(base.apex(), diff.to_serial);
+  // Start from the base records minus deletions.
+  std::map<std::string, int> to_delete;
+  for (const auto& rr : diff.deletions) ++to_delete[record_key(rr)];
+  for (const auto& rr : base.all_records()) {
+    if (rr.type() == RecordType::SOA) continue;
+    const auto key = record_key(rr);
+    if (auto it = to_delete.find(key); it != to_delete.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    if (!next.add(rr)) return fail("carry-over record rejected: " + rr.to_string());
+  }
+  for (const auto& [key, remaining] : to_delete) {
+    if (remaining > 0) {
+      return fail("deletion of a record the base does not hold: " + key +
+                  " (fall back to AXFR)");
+    }
+  }
+  // New SOA with the target serial.
+  auto soa_rr = *old_soa;
+  auto soa_data = std::get<SoaRecord>(soa_rr.rdata);
+  soa_data.serial = diff.to_serial;
+  soa_rr.rdata = soa_data;
+  if (!next.add(soa_rr)) return fail("failed to install the new SOA");
+  // Additions.
+  for (const auto& rr : diff.additions) {
+    if (!next.add(rr)) return fail("addition rejected: " + rr.to_string());
+  }
+  return next;
+}
+
+dns::Message ixfr_serialize(const ZoneDiff& diff, std::uint16_t transaction_id) {
+  Message m;
+  m.header.id = transaction_id;
+  m.header.qr = true;
+  m.header.aa = true;
+  m.questions.push_back(dns::Question{diff.apex, RecordType::ANY, dns::RecordClass::IN});
+
+  auto soa_with_serial = [&diff](std::uint32_t serial) {
+    SoaRecord soa;
+    soa.mname = diff.apex;
+    soa.rname = diff.apex;
+    soa.serial = serial;
+    return ResourceRecord{diff.apex, dns::RecordClass::IN, 3600, soa};
+  };
+  // RFC 1995 layout: new-SOA, old-SOA, deletions, new-SOA, additions, new-SOA.
+  m.answers.push_back(soa_with_serial(diff.to_serial));
+  m.answers.push_back(soa_with_serial(diff.from_serial));
+  m.answers.insert(m.answers.end(), diff.deletions.begin(), diff.deletions.end());
+  m.answers.push_back(soa_with_serial(diff.to_serial));
+  m.answers.insert(m.answers.end(), diff.additions.begin(), diff.additions.end());
+  m.answers.push_back(soa_with_serial(diff.to_serial));
+  return m;
+}
+
+Result<ZoneDiff> ixfr_parse(const dns::Message& message) {
+  auto fail = [](std::string what) { return Result<ZoneDiff>::failure(std::move(what)); };
+  const auto& answers = message.answers;
+  if (answers.size() < 4) return fail("IXFR message too short");
+  if (answers.front().type() != RecordType::SOA) return fail("IXFR must open with SOA");
+  if (answers.back().type() != RecordType::SOA) return fail("IXFR must close with SOA");
+
+  ZoneDiff diff;
+  diff.apex = answers.front().name;
+  diff.to_serial = std::get<SoaRecord>(answers.front().rdata).serial;
+  if (answers[1].type() != RecordType::SOA) return fail("missing old-serial SOA");
+  diff.from_serial = std::get<SoaRecord>(answers[1].rdata).serial;
+  if (std::get<SoaRecord>(answers.back().rdata).serial != diff.to_serial) {
+    return fail("closing SOA serial mismatch");
+  }
+
+  // Walk: deletions until the next SOA (with to_serial), then additions.
+  bool in_additions = false;
+  for (std::size_t i = 2; i + 1 < answers.size(); ++i) {
+    const auto& rr = answers[i];
+    if (rr.type() == RecordType::SOA) {
+      const auto serial = std::get<SoaRecord>(rr.rdata).serial;
+      if (serial != diff.to_serial || in_additions) {
+        return fail("unexpected SOA inside IXFR body");
+      }
+      in_additions = true;
+      continue;
+    }
+    (in_additions ? diff.additions : diff.deletions).push_back(rr);
+  }
+  if (!in_additions) return fail("IXFR body missing the additions separator SOA");
+  return diff;
+}
+
+}  // namespace akadns::zone

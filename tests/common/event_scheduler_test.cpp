@@ -1,0 +1,140 @@
+#include "common/event_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace akadns {
+namespace {
+
+TEST(EventScheduler, FiresInTimeOrder) {
+  EventScheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(SimTime::from_nanos(300), [&] { order.push_back(3); });
+  sched.schedule_at(SimTime::from_nanos(100), [&] { order.push_back(1); });
+  sched.schedule_at(SimTime::from_nanos(200), [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now().count_nanos(), 300);
+}
+
+TEST(EventScheduler, SameTimeFiresInInsertionOrder) {
+  EventScheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.schedule_at(SimTime::from_nanos(50), [&order, i] { order.push_back(i); });
+  }
+  sched.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventScheduler, ScheduleAfterUsesCurrentTime) {
+  EventScheduler sched;
+  SimTime fired_at;
+  sched.schedule_after(Duration::millis(5), [&] {
+    sched.schedule_after(Duration::millis(10), [&] { fired_at = sched.now(); });
+  });
+  sched.run();
+  EXPECT_EQ(fired_at, SimTime::from_nanos(15'000'000));
+}
+
+TEST(EventScheduler, CancelPreventsFiring) {
+  EventScheduler sched;
+  bool fired = false;
+  const auto id = sched.schedule_after(Duration::seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(sched.cancel(id));
+  EXPECT_FALSE(sched.cancel(id));  // double-cancel is a no-op
+  sched.run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(EventScheduler, CancelInvalidIdReturnsFalse) {
+  EventScheduler sched;
+  EXPECT_FALSE(sched.cancel(0));
+  EXPECT_FALSE(sched.cancel(9999));
+}
+
+TEST(EventScheduler, RunUntilStopsAtDeadline) {
+  EventScheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(SimTime::from_seconds(1), [&] { order.push_back(1); });
+  sched.schedule_at(SimTime::from_seconds(3), [&] { order.push_back(3); });
+  sched.run_until(SimTime::from_seconds(2));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(sched.now(), SimTime::from_seconds(2));
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventScheduler, RunUntilAdvancesTimeWithNoEvents) {
+  EventScheduler sched;
+  sched.run_until(SimTime::from_seconds(42));
+  EXPECT_EQ(sched.now(), SimTime::from_seconds(42));
+}
+
+TEST(EventScheduler, EventsCanScheduleMoreEvents) {
+  EventScheduler sched;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) sched.schedule_after(Duration::millis(1), tick);
+  };
+  sched.schedule_after(Duration::millis(1), tick);
+  sched.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sched.now(), SimTime::from_nanos(5'000'000));
+}
+
+TEST(EventScheduler, RunStepsLimitsWork) {
+  EventScheduler sched;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    sched.schedule_at(SimTime::from_nanos(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(sched.run_steps(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(sched.pending(), 6u);
+}
+
+TEST(EventScheduler, PastEventsClampToNow) {
+  EventScheduler sched;
+  sched.run_until(SimTime::from_seconds(10));
+  SimTime fired_at;
+  sched.schedule_at(SimTime::from_seconds(1), [&] { fired_at = sched.now(); });
+  sched.run();
+  EXPECT_EQ(fired_at, SimTime::from_seconds(10));
+}
+
+TEST(EventScheduler, CancelledEventBeforeDeadlineIsSkipped) {
+  EventScheduler sched;
+  bool fired = false;
+  const auto id = sched.schedule_at(SimTime::from_seconds(1), [&] { fired = true; });
+  sched.schedule_at(SimTime::from_seconds(2), [] {});
+  sched.cancel(id);
+  sched.run_until(SimTime::from_seconds(5));
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(Duration, ArithmeticAndConversions) {
+  EXPECT_EQ(Duration::seconds(1).count_nanos(), 1'000'000'000);
+  EXPECT_EQ(Duration::millis(1500).to_seconds(), 1.5);
+  EXPECT_EQ((Duration::seconds(2) + Duration::millis(500)).to_millis(), 2500.0);
+  EXPECT_EQ((Duration::seconds(2) - Duration::seconds(3)).to_seconds(), -1.0);
+  EXPECT_EQ((Duration::millis(10) * 3).to_millis(), 30.0);
+  EXPECT_EQ(Duration::seconds_f(0.25).to_millis(), 250.0);
+  EXPECT_EQ(Duration::millis(100).scaled(1.5).to_millis(), 150.0);
+  EXPECT_LT(Duration::millis(1), Duration::seconds(1));
+}
+
+TEST(SimTime, ArithmeticAndComparison) {
+  const auto t0 = SimTime::origin();
+  const auto t1 = t0 + Duration::seconds(5);
+  EXPECT_EQ((t1 - t0).to_seconds(), 5.0);
+  EXPECT_GT(t1, t0);
+  EXPECT_EQ(SimTime::from_seconds(1.5).count_nanos(), 1'500'000'000);
+}
+
+}  // namespace
+}  // namespace akadns

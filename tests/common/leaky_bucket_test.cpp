@@ -1,0 +1,122 @@
+#include "common/leaky_bucket.hpp"
+#include "common/token_bucket.hpp"
+
+#include <gtest/gtest.h>
+
+namespace akadns {
+namespace {
+
+TEST(LeakyBucket, AllowsBurstUpToCapacity) {
+  LeakyBucket bucket(1.0, 5.0);
+  const auto t = SimTime::origin();
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(bucket.offer(t));
+  EXPECT_FALSE(bucket.offer(t));
+}
+
+TEST(LeakyBucket, DrainsOverTime) {
+  LeakyBucket bucket(2.0, 4.0);  // drains 2 units/sec
+  auto t = SimTime::origin();
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(bucket.offer(t));
+  EXPECT_FALSE(bucket.offer(t));
+  t += Duration::seconds(1);  // 2 units drained
+  EXPECT_TRUE(bucket.offer(t));
+  EXPECT_TRUE(bucket.offer(t));
+  EXPECT_FALSE(bucket.offer(t));
+}
+
+TEST(LeakyBucket, SustainedRateConforms) {
+  LeakyBucket bucket(10.0, 2.0);
+  auto t = SimTime::origin();
+  int rejected = 0;
+  // Offer at exactly the drain rate: everything conforms after warmup.
+  for (int i = 0; i < 100; ++i) {
+    if (!bucket.offer(t)) ++rejected;
+    t += Duration::millis(100);
+  }
+  EXPECT_EQ(rejected, 0);
+}
+
+TEST(LeakyBucket, OverRateGetsRejected) {
+  LeakyBucket bucket(1.0, 2.0);
+  auto t = SimTime::origin();
+  int accepted = 0;
+  // 10 qps against a 1 qps bucket over 10 seconds: ~ 10 + burst accepted.
+  for (int i = 0; i < 100; ++i) {
+    if (bucket.offer(t)) ++accepted;
+    t += Duration::millis(100);
+  }
+  EXPECT_LE(accepted, 13);
+  EXPECT_GE(accepted, 10);
+}
+
+TEST(LeakyBucket, LevelReflectsDrain) {
+  LeakyBucket bucket(1.0, 10.0);
+  auto t = SimTime::origin();
+  bucket.offer(t, 6.0);
+  EXPECT_DOUBLE_EQ(bucket.level(t), 6.0);
+  t += Duration::seconds(4);
+  EXPECT_DOUBLE_EQ(bucket.level(t), 2.0);
+  t += Duration::seconds(10);
+  EXPECT_DOUBLE_EQ(bucket.level(t), 0.0);
+}
+
+TEST(LeakyBucket, ReconfigureKeepsLevel) {
+  LeakyBucket bucket(1.0, 10.0);
+  const auto t = SimTime::origin();
+  bucket.offer(t, 8.0);
+  bucket.reconfigure(5.0, 4.0);
+  EXPECT_DOUBLE_EQ(bucket.level(t), 4.0);  // clamped to new burst
+  EXPECT_DOUBLE_EQ(bucket.rate_per_sec(), 5.0);
+}
+
+TEST(LeakyBucket, TimeGoingBackwardsIsIgnored) {
+  LeakyBucket bucket(1.0, 2.0);
+  auto t = SimTime::from_seconds(10);
+  EXPECT_TRUE(bucket.offer(t));
+  EXPECT_TRUE(bucket.offer(SimTime::from_seconds(5)));  // no spurious drain
+  EXPECT_FALSE(bucket.offer(SimTime::from_seconds(5)));
+}
+
+TEST(TokenBucket, StartsFull) {
+  TokenBucket bucket(1.0, 3.0);
+  const auto t = SimTime::origin();
+  EXPECT_TRUE(bucket.try_take(t));
+  EXPECT_TRUE(bucket.try_take(t));
+  EXPECT_TRUE(bucket.try_take(t));
+  EXPECT_FALSE(bucket.try_take(t));
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+  TokenBucket bucket(2.0, 2.0);
+  auto t = SimTime::origin();
+  EXPECT_TRUE(bucket.try_take(t, 2.0));
+  EXPECT_FALSE(bucket.try_take(t, 1.0));
+  t += Duration::millis(500);  // refills 1 token
+  EXPECT_TRUE(bucket.try_take(t, 1.0));
+  EXPECT_FALSE(bucket.try_take(t, 0.5));
+}
+
+TEST(TokenBucket, CapacityCapsRefill) {
+  TokenBucket bucket(100.0, 5.0);
+  auto t = SimTime::origin() + Duration::hours(1);
+  EXPECT_DOUBLE_EQ(bucket.available(t), 5.0);
+}
+
+TEST(TokenBucket, TimeUntilAvailable) {
+  TokenBucket bucket(2.0, 4.0);
+  auto t = SimTime::origin();
+  EXPECT_TRUE(bucket.try_take(t, 4.0));
+  EXPECT_EQ(bucket.time_until_available(t, 1.0), Duration::millis(500));
+  EXPECT_EQ(bucket.time_until_available(t, 4.0), Duration::seconds(2));
+  EXPECT_EQ(bucket.time_until_available(t, 0.0), Duration::zero());
+}
+
+TEST(TokenBucket, ZeroRateNeverRefills) {
+  TokenBucket bucket(0.0, 1.0);
+  auto t = SimTime::origin();
+  EXPECT_TRUE(bucket.try_take(t));
+  EXPECT_EQ(bucket.time_until_available(t + Duration::hours(5), 1.0), Duration::max());
+}
+
+}  // namespace
+}  // namespace akadns

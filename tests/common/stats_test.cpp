@@ -1,0 +1,157 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace akadns {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStats, BasicMoments) {
+  StreamingStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, MergeMatchesCombined) {
+  StreamingStats a, b, combined;
+  for (int i = 0; i < 50; ++i) {
+    const double v = i * 0.7 - 3;
+    a.add(v);
+    combined.add(v);
+  }
+  for (int i = 0; i < 80; ++i) {
+    const double v = i * -0.3 + 11;
+    b.add(v);
+    combined.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(EmpiricalDistribution, QuantilesUnweighted) {
+  EmpiricalDistribution d;
+  for (int i = 1; i <= 100; ++i) d.add(i);
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(d.median(), 50.0);
+}
+
+TEST(EmpiricalDistribution, WeightedQuantile) {
+  EmpiricalDistribution d;
+  d.add(1.0, 1.0);
+  d.add(10.0, 99.0);
+  // 99% of weight sits at 10.
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.005), 1.0);
+}
+
+TEST(EmpiricalDistribution, CdfAt) {
+  EmpiricalDistribution d;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) d.add(v);
+  EXPECT_DOUBLE_EQ(d.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf_at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.cdf_at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(d.cdf_at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.fraction_above(2.0), 0.5);
+}
+
+TEST(EmpiricalDistribution, MeanWeighted) {
+  EmpiricalDistribution d;
+  d.add(2.0, 3.0);
+  d.add(10.0, 1.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+}
+
+TEST(EmpiricalDistribution, ZeroWeightIgnored) {
+  EmpiricalDistribution d;
+  d.add(5.0, 0.0);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(EmpiricalDistribution, QuantileOfEmptyThrows) {
+  EmpiricalDistribution d;
+  EXPECT_THROW(d.quantile(0.5), std::logic_error);
+}
+
+TEST(EmpiricalDistribution, CdfCurveMonotone) {
+  EmpiricalDistribution d;
+  for (int i = 0; i < 500; ++i) d.add(i % 37);
+  const auto curve = d.cdf_curve(20);
+  ASSERT_EQ(curve.size(), 20u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GT(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(9.99);
+  h.add(-100.0);  // clamps into the first bin
+  h.add(100.0);   // clamps into the last bin
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(5), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 5.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(5), 6.0);
+}
+
+TEST(Histogram, InvalidBoundsThrow) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(RenderBar, Extremes) {
+  EXPECT_EQ(render_bar(0.0, 10), "          ");
+  EXPECT_EQ(render_bar(1.0, 10), "##########");
+  EXPECT_EQ(render_bar(0.5, 10), "#####     ");
+}
+
+TEST(Fmt, FormatsPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+}
+
+TEST(FmtCount, ThousandsSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(fmt_count(360000000000ULL), "360,000,000,000");
+}
+
+}  // namespace
+}  // namespace akadns

@@ -1,0 +1,88 @@
+#include "common/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace akadns {
+namespace {
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler zipf(100, 1.1);
+  double total = 0;
+  for (std::size_t k = 0; k < 100; ++k) total += zipf.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfSampler, PmfMonotoneDecreasing) {
+  ZipfSampler zipf(50, 0.9, 2.0);
+  for (std::size_t k = 1; k < 50; ++k) {
+    EXPECT_LE(zipf.pmf(k), zipf.pmf(k - 1));
+  }
+}
+
+TEST(ZipfSampler, CdfEndpoints) {
+  ZipfSampler zipf(10, 1.0);
+  EXPECT_DOUBLE_EQ(zipf.cdf(0), 0.0);
+  EXPECT_DOUBLE_EQ(zipf.cdf(10), 1.0);
+  EXPECT_DOUBLE_EQ(zipf.cdf(100), 1.0);
+}
+
+TEST(ZipfSampler, SampleInRange) {
+  ZipfSampler zipf(20, 1.2);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.sample(rng), 20u);
+  }
+}
+
+TEST(ZipfSampler, SampleFrequenciesMatchPmf) {
+  ZipfSampler zipf(10, 1.0);
+  Rng rng(2);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, zipf.pmf(k), 0.01);
+  }
+}
+
+TEST(ZipfSampler, HigherExponentMoreSkew) {
+  ZipfSampler mild(1000, 0.5);
+  ZipfSampler steep(1000, 1.5);
+  EXPECT_LT(mild.cdf(10), steep.cdf(10));
+}
+
+TEST(ZipfSampler, InvalidParamsThrow) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, 1.0, -1.0), std::invalid_argument);
+}
+
+TEST(ZipfSampler, CalibrateExponentHitsTarget) {
+  // Find s such that the top 3% of 10,000 ranks carry 80% of the mass —
+  // the paper's Figure 2 "IPs" line.
+  const std::size_t n = 10000;
+  const double s = ZipfSampler::calibrate_exponent(n, 0.03, 0.80);
+  ZipfSampler zipf(n, s);
+  const auto top_k = static_cast<std::size_t>(0.03 * n);
+  EXPECT_NEAR(zipf.cdf(top_k), 0.80, 0.01);
+}
+
+TEST(ZipfSampler, CalibrateZonesLine) {
+  // Figure 2 "zones": top 1% of zones receive 88% of queries.
+  const std::size_t n = 20000;
+  const double s = ZipfSampler::calibrate_exponent(n, 0.01, 0.88);
+  ZipfSampler zipf(n, s);
+  EXPECT_NEAR(zipf.cdf(n / 100), 0.88, 0.01);
+}
+
+TEST(ZipfSampler, SingleRankAlwaysZero) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(3);
+  EXPECT_EQ(zipf.sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(zipf.pmf(0), 1.0);
+}
+
+}  // namespace
+}  // namespace akadns

@@ -1,0 +1,180 @@
+#include "control/control_plane.hpp"
+
+#include <gtest/gtest.h>
+
+namespace akadns::control {
+namespace {
+
+struct Counter : Metadata {
+  explicit Counter(int v) : value(v) {}
+  int value;
+};
+
+TEST(ControlPlane, PublishDeliversToSubscriber) {
+  EventScheduler sched;
+  ControlPlane plane(sched, 1);
+  int received = -1;
+  SubscriptionOptions options;
+  options.on_delivery = [&](const MetadataPtr& payload, SimTime) {
+    received = dynamic_cast<const Counter*>(payload.get())->value;
+  };
+  const auto id = plane.subscribe("topic", std::move(options));
+  plane.publish("topic", std::make_shared<Counter>(42));
+  sched.run();
+  EXPECT_EQ(received, 42);
+  EXPECT_EQ(plane.delivered_generation(id), 1u);
+  EXPECT_EQ(plane.deliveries(), 1u);
+}
+
+TEST(ControlPlane, MulticastFasterThanCdn) {
+  EventScheduler sched;
+  ControlPlane plane(sched, 2);
+  SimTime multicast_at, cdn_at;
+  SubscriptionOptions fast;
+  fast.delivery = DeliveryClass::RealTimeMulticast;
+  fast.on_delivery = [&](const MetadataPtr&, SimTime now) { multicast_at = now; };
+  plane.subscribe("t", std::move(fast));
+  SubscriptionOptions slow;
+  slow.delivery = DeliveryClass::CdnHttp;
+  slow.on_delivery = [&](const MetadataPtr&, SimTime now) { cdn_at = now; };
+  plane.subscribe("t", std::move(slow));
+  plane.publish("t", std::make_shared<Counter>(1));
+  sched.run();
+  EXPECT_LT(multicast_at, cdn_at);
+  // "Updates propagate in less than 1 second" for the multicast class.
+  EXPECT_LT(multicast_at.to_seconds(), 1.0);
+}
+
+TEST(ControlPlane, LatestGenerationWinsUnderRapidPublishes) {
+  EventScheduler sched;
+  ControlPlane plane(sched, 3);
+  std::vector<int> received;
+  SubscriptionOptions options;
+  options.on_delivery = [&](const MetadataPtr& payload, SimTime) {
+    received.push_back(dynamic_cast<const Counter*>(payload.get())->value);
+  };
+  plane.subscribe("t", std::move(options));
+  for (int i = 1; i <= 10; ++i) plane.publish("t", std::make_shared<Counter>(i));
+  sched.run();
+  // Coalescing: at least the final generation arrives; never an
+  // out-of-order regression.
+  ASSERT_FALSE(received.empty());
+  EXPECT_EQ(received.back(), 10);
+  for (std::size_t i = 1; i < received.size(); ++i) {
+    EXPECT_GT(received[i], received[i - 1]);
+  }
+}
+
+TEST(ControlPlane, UnreachableSubscriberCatchesUpLater) {
+  EventScheduler sched;
+  ControlPlane plane(sched, 4);
+  bool reachable = false;
+  std::vector<int> received;
+  SubscriptionOptions options;
+  options.reachable = [&] { return reachable; };
+  options.on_delivery = [&](const MetadataPtr& payload, SimTime) {
+    received.push_back(dynamic_cast<const Counter*>(payload.get())->value);
+  };
+  plane.subscribe("t", std::move(options));
+  plane.publish("t", std::make_shared<Counter>(1));
+  sched.run_until(SimTime::from_seconds(30));
+  EXPECT_TRUE(received.empty());  // partitioned
+  plane.publish("t", std::make_shared<Counter>(2));
+  sched.run_until(SimTime::from_seconds(60));
+  EXPECT_TRUE(received.empty());
+  // Connectivity restored: the subscriber catches up to the *newest*.
+  reachable = true;
+  sched.run_until(SimTime::from_seconds(120));
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], 2);
+}
+
+TEST(ControlPlane, InputDelaySubscription) {
+  EventScheduler sched;
+  ControlPlane plane(sched, 5);
+  SimTime regular_at, delayed_at;
+  SubscriptionOptions regular;
+  regular.on_delivery = [&](const MetadataPtr&, SimTime now) { regular_at = now; };
+  plane.subscribe("t", std::move(regular));
+  SubscriptionOptions delayed;
+  delayed.extra_delay = Duration::hours(1);
+  delayed.on_delivery = [&](const MetadataPtr&, SimTime now) { delayed_at = now; };
+  plane.subscribe("t", std::move(delayed));
+  plane.publish("t", std::make_shared<Counter>(1));
+  sched.run();
+  EXPECT_LT(regular_at.to_seconds(), 10.0);
+  EXPECT_GE(delayed_at.to_seconds(), 3600.0);
+}
+
+TEST(ControlPlane, PausedSubscriptionFreezes) {
+  // "The input-delayed nameservers stop receiving any new inputs upon
+  // use" — pausing freezes inputs; resuming catches up.
+  EventScheduler sched;
+  ControlPlane plane(sched, 6);
+  std::vector<int> received;
+  SubscriptionOptions options;
+  options.on_delivery = [&](const MetadataPtr& payload, SimTime) {
+    received.push_back(dynamic_cast<const Counter*>(payload.get())->value);
+  };
+  const auto id = plane.subscribe("t", std::move(options));
+  plane.set_paused(id, true);
+  EXPECT_TRUE(plane.paused(id));
+  plane.publish("t", std::make_shared<Counter>(1));
+  sched.run_until(SimTime::from_seconds(60));
+  EXPECT_TRUE(received.empty());
+  plane.set_paused(id, false);
+  sched.run_until(SimTime::from_seconds(120));
+  ASSERT_EQ(received.size(), 1u);
+}
+
+TEST(ControlPlane, LateSubscriberGetsCurrentState) {
+  EventScheduler sched;
+  ControlPlane plane(sched, 7);
+  plane.publish("t", std::make_shared<Counter>(5));
+  sched.run();
+  int received = -1;
+  SubscriptionOptions options;
+  options.on_delivery = [&](const MetadataPtr& payload, SimTime) {
+    received = dynamic_cast<const Counter*>(payload.get())->value;
+  };
+  plane.subscribe("t", std::move(options));
+  sched.run();
+  EXPECT_EQ(received, 5);
+}
+
+TEST(ControlPlane, UnsubscribeStopsDeliveries) {
+  EventScheduler sched;
+  ControlPlane plane(sched, 8);
+  int deliveries = 0;
+  SubscriptionOptions options;
+  options.on_delivery = [&](const MetadataPtr&, SimTime) { ++deliveries; };
+  const auto id = plane.subscribe("t", std::move(options));
+  plane.publish("t", std::make_shared<Counter>(1));
+  sched.run();
+  EXPECT_EQ(deliveries, 1);
+  plane.unsubscribe(id);
+  plane.publish("t", std::make_shared<Counter>(2));
+  sched.run();
+  EXPECT_EQ(deliveries, 1);
+}
+
+TEST(ControlPlane, TopicsAreIndependent) {
+  EventScheduler sched;
+  ControlPlane plane(sched, 9);
+  int received_a = 0, received_b = 0;
+  SubscriptionOptions a;
+  a.on_delivery = [&](const MetadataPtr&, SimTime) { ++received_a; };
+  plane.subscribe("a", std::move(a));
+  SubscriptionOptions b;
+  b.on_delivery = [&](const MetadataPtr&, SimTime) { ++received_b; };
+  plane.subscribe("b", std::move(b));
+  plane.publish("a", std::make_shared<Counter>(1));
+  sched.run();
+  EXPECT_EQ(received_a, 1);
+  EXPECT_EQ(received_b, 0);
+  EXPECT_EQ(plane.latest_generation("a"), 1u);
+  EXPECT_EQ(plane.latest_generation("b"), 0u);
+}
+
+}  // namespace
+}  // namespace akadns::control

@@ -1,0 +1,149 @@
+#include "control/reporting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dns/wire.hpp"
+#include "zone/zone_builder.hpp"
+
+namespace akadns::control {
+namespace {
+
+using dns::DnsName;
+using dns::Rcode;
+using dns::RecordType;
+
+TEST(TrafficAggregator, CountsPerZoneAndRcode) {
+  TrafficAggregator aggregator;
+  const auto apex = DnsName::from("ex.com");
+  const auto t = SimTime::origin();
+  aggregator.record(apex, Rcode::NoError, t);
+  aggregator.record(apex, Rcode::NoError, t);
+  aggregator.record(apex, Rcode::NxDomain, t);
+  aggregator.record(apex, Rcode::ServFail, t);
+  const auto& report = aggregator.report_for(apex);
+  EXPECT_EQ(report.queries, 4u);
+  EXPECT_EQ(report.noerror, 2u);
+  EXPECT_EQ(report.nxdomain, 1u);
+  EXPECT_EQ(report.servfail, 1u);
+  EXPECT_DOUBLE_EQ(report.nxdomain_fraction(), 0.25);
+  EXPECT_EQ(aggregator.total_events(), 4u);
+}
+
+TEST(TrafficAggregator, ZonesAreIndependent) {
+  TrafficAggregator aggregator;
+  aggregator.record(DnsName::from("a.com"), Rcode::NoError, SimTime::origin());
+  aggregator.record(DnsName::from("b.com"), Rcode::NxDomain, SimTime::origin());
+  EXPECT_EQ(aggregator.report_for(DnsName::from("a.com")).queries, 1u);
+  EXPECT_EQ(aggregator.report_for(DnsName::from("b.com")).nxdomain, 1u);
+  EXPECT_EQ(aggregator.report_for(DnsName::from("c.com")).queries, 0u);
+  EXPECT_EQ(aggregator.all_reports().size(), 2u);
+}
+
+TEST(TrafficAggregator, RecentQpsWindow) {
+  TrafficAggregator aggregator(Duration::seconds(10));
+  const auto apex = DnsName::from("ex.com");
+  // 50 events over the last 10 seconds -> 5 qps.
+  for (int i = 0; i < 50; ++i) {
+    aggregator.record(apex, Rcode::NoError,
+                      SimTime::from_seconds(90.0 + i * 0.2));
+  }
+  EXPECT_NEAR(aggregator.recent_qps(apex, SimTime::from_seconds(100)), 5.0, 0.1);
+  // 30 seconds later the window is empty.
+  EXPECT_DOUBLE_EQ(aggregator.recent_qps(apex, SimTime::from_seconds(130)), 0.0);
+}
+
+TEST(TrafficAggregator, AttachFeedsFromTheResponder) {
+  TrafficAggregator aggregator;
+  pop::Machine machine({.id = "m1"});
+  machine.local_store()->publish(zone::ZoneBuilder("ex.com", 1)
+                                     .ns("@", "ns1.ex.com")
+                                     .a("ns1", "10.0.0.1")
+                                     .a("www", "10.0.0.2")
+                                     .build());
+  SimTime clock = SimTime::origin();
+  aggregator.attach(machine, [&clock] { return clock; });
+
+  const Endpoint src{*IpAddr::parse("198.51.100.1"), 5353};
+  machine.deliver(dns::encode(dns::make_query(1, DnsName::from("www.ex.com"),
+                                              RecordType::A)),
+                  src, 57, clock);
+  machine.deliver(dns::encode(dns::make_query(2, DnsName::from("missing.ex.com"),
+                                              RecordType::A)),
+                  src, 57, clock);
+  machine.pump(clock);
+  const auto& report = aggregator.report_for(DnsName::from("ex.com"));
+  EXPECT_EQ(report.queries, 2u);
+  EXPECT_EQ(report.noerror, 1u);
+  EXPECT_EQ(report.nxdomain, 1u);
+}
+
+TEST(NoccMonitor, QuietFleetRaisesNothing) {
+  NoccMonitor monitor;
+  pop::SuspensionCoordinator coordinator;
+  pop::Machine a({.id = "a"}), b({.id = "b"});
+  a.nameserver().metadata_updated(SimTime::origin());
+  b.nameserver().metadata_updated(SimTime::origin());
+  EXPECT_EQ(monitor.observe({&a, &b}, coordinator, SimTime::origin()), 0u);
+  EXPECT_TRUE(monitor.alerts().empty());
+}
+
+TEST(NoccMonitor, WarningAndCriticalThresholds) {
+  NoccMonitor monitor({.unhealthy_warning_fraction = 0.25,
+                       .unhealthy_critical_fraction = 0.75,
+                       .alert_on_staleness = false});
+  pop::SuspensionCoordinator coordinator;
+  std::vector<std::unique_ptr<pop::Machine>> machines;
+  std::vector<pop::Machine*> fleet;
+  for (int i = 0; i < 4; ++i) {
+    machines.push_back(std::make_unique<pop::Machine>(
+        pop::MachineConfig{.id = "m" + std::to_string(i)}));
+    machines.back()->nameserver().metadata_updated(SimTime::origin());
+    fleet.push_back(machines.back().get());
+  }
+  // 1/4 suspended: warning.
+  fleet[0]->nameserver().self_suspend();
+  EXPECT_EQ(monitor.observe(fleet, coordinator, SimTime::origin()), 1u);
+  EXPECT_EQ(monitor.alerts().back().severity, AlertSeverity::Warning);
+  // 3/4 suspended: critical.
+  fleet[1]->nameserver().self_suspend();
+  fleet[2]->nameserver().self_suspend();
+  monitor.observe(fleet, coordinator, SimTime::origin());
+  EXPECT_EQ(monitor.alerts().back().severity, AlertSeverity::Critical);
+  EXPECT_EQ(monitor.alert_count(AlertSeverity::Critical), 1u);
+}
+
+TEST(NoccMonitor, StalenessAlert) {
+  NoccMonitor monitor;
+  pop::SuspensionCoordinator coordinator;
+  pop::Machine machine(
+      {.id = "m", .nameserver = {.staleness_threshold = Duration::seconds(30)}});
+  machine.nameserver().metadata_updated(SimTime::origin());
+  const auto later = SimTime::origin() + Duration::minutes(5);
+  EXPECT_GT(monitor.observe({&machine}, coordinator, later), 0u);
+  EXPECT_NE(monitor.alerts().back().message.find("stale"), std::string::npos);
+}
+
+TEST(NoccMonitor, QuotaExhaustionAlertFiresOncePerBurst) {
+  NoccMonitor monitor({.unhealthy_warning_fraction = 1.1,
+                       .unhealthy_critical_fraction = 1.1,
+                       .alert_on_staleness = false});
+  pop::SuspensionCoordinator coordinator({.max_suspended_fraction = 0.25, .min_allowed = 1});
+  pop::Machine machine({.id = "m"});
+  machine.nameserver().metadata_updated(SimTime::origin());
+  for (int i = 0; i < 4; ++i) coordinator.register_machine("x" + std::to_string(i));
+  coordinator.request_suspension("x0");
+  coordinator.request_suspension("x1");  // denied: quota 1
+  EXPECT_EQ(monitor.observe({&machine}, coordinator, SimTime::origin()), 1u);
+  EXPECT_EQ(monitor.alerts().back().severity, AlertSeverity::Critical);
+  // No new denials -> no repeated alert.
+  EXPECT_EQ(monitor.observe({&machine}, coordinator, SimTime::origin()), 0u);
+}
+
+TEST(NoccMonitor, SeverityToString) {
+  EXPECT_EQ(to_string(AlertSeverity::Info), "info");
+  EXPECT_EQ(to_string(AlertSeverity::Warning), "warning");
+  EXPECT_EQ(to_string(AlertSeverity::Critical), "critical");
+}
+
+}  // namespace
+}  // namespace akadns::control

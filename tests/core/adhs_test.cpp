@@ -1,0 +1,91 @@
+#include "core/adhs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace akadns::core {
+namespace {
+
+using dns::DnsName;
+using dns::RecordType;
+
+TEST(EnterpriseRegistry, AssignsUniqueDelegationSets) {
+  EnterpriseRegistry registry;
+  std::set<std::array<std::uint32_t, kDelegationSetSize>> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto enterprise = registry.register_enterprise("ent" + std::to_string(i));
+    EXPECT_TRUE(seen.insert(enterprise.delegation_set).second) << i;
+    EXPECT_EQ(enterprise.index, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(registry.size(), 500u);
+}
+
+TEST(EnterpriseRegistry, DuplicateNameRejected) {
+  EnterpriseRegistry registry;
+  registry.register_enterprise("acme");
+  EXPECT_THROW(registry.register_enterprise("acme"), std::invalid_argument);
+}
+
+TEST(EnterpriseRegistry, FindByName) {
+  EnterpriseRegistry registry;
+  const auto created = registry.register_enterprise("acme");
+  const auto found = registry.find("acme");
+  ASSERT_TRUE(found);
+  EXPECT_EQ(found->delegation_set, created.delegation_set);
+  EXPECT_FALSE(registry.find("ghost"));
+}
+
+TEST(EnterpriseRegistry, DistinctEnterprisesShareAtMostFive) {
+  EnterpriseRegistry registry;
+  const auto a = registry.register_enterprise("a");
+  for (int i = 0; i < 100; ++i) {
+    const auto b = registry.register_enterprise("b" + std::to_string(i));
+    EXPECT_LE(EnterpriseRegistry::shared_clouds(a, b), 5u);
+  }
+}
+
+TEST(EnterpriseRegistry, NsRecordsMatchDelegationSet) {
+  EnterpriseRegistry registry;
+  const auto enterprise = registry.register_enterprise("acme");
+  const auto apex = DnsName::from("acme.com");
+  const auto ns = registry.delegation_ns_records(enterprise, apex);
+  ASSERT_EQ(ns.size(), kDelegationSetSize);
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    EXPECT_EQ(ns[i].name, apex);
+    EXPECT_EQ(ns[i].type(), RecordType::NS);
+    const auto expected =
+        registry.cloud_nameserver_name(enterprise.delegation_set[i]);
+    EXPECT_EQ(std::get<dns::NsRecord>(ns[i].rdata).nameserver, expected);
+  }
+}
+
+TEST(EnterpriseRegistry, GlueMatchesCloudAddresses) {
+  EnterpriseRegistry registry;
+  const auto enterprise = registry.register_enterprise("acme");
+  const auto glue = registry.delegation_glue_records(enterprise);
+  ASSERT_EQ(glue.size(), kDelegationSetSize);
+  for (std::size_t i = 0; i < glue.size(); ++i) {
+    const auto cloud = enterprise.delegation_set[i];
+    EXPECT_EQ(glue[i].name, registry.cloud_nameserver_name(cloud));
+    EXPECT_EQ(std::get<dns::ARecord>(glue[i].rdata).address,
+              registry.cloud_address(cloud));
+  }
+}
+
+TEST(EnterpriseRegistry, NameserverNamesFollowConvention) {
+  EnterpriseRegistry registry({.nameserver_suffix = "akam.net",
+                               .cloud_address_base = Ipv4Addr(172, 20, 0, 0)});
+  EXPECT_EQ(registry.cloud_nameserver_name(0).to_string(), "a0.akam.net.");
+  EXPECT_EQ(registry.cloud_nameserver_name(23).to_string(), "a23.akam.net.");
+  EXPECT_EQ(registry.cloud_address(5).to_string(), "172.20.0.5");
+}
+
+TEST(EnterpriseRegistry, FirstEnterpriseGetsFirstCombination) {
+  EnterpriseRegistry registry;
+  const auto first = registry.register_enterprise("first");
+  EXPECT_EQ(first.delegation_set, (std::array<std::uint32_t, 6>{0, 1, 2, 3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace akadns::core

@@ -1,0 +1,75 @@
+#include "core/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace akadns::core {
+namespace {
+
+TEST(DecisionTree, PreferredActionIsDoNothing) {
+  // Root: resolvers not DoSed -> always I, regardless of other signals.
+  for (const bool congested : {false, true}) {
+    for (const bool compute : {false, true}) {
+      for (const bool spread : {false, true}) {
+        const AttackConditions conditions{false, congested, compute, spread};
+        EXPECT_EQ(decide(conditions), TrafficAction::DoNothing);
+      }
+    }
+  }
+}
+
+TEST(DecisionTree, UpstreamCongestionMeansWorkWithPeers) {
+  // DoSed but neither our links nor compute saturated: leaf II.
+  const AttackConditions conditions{true, false, false, false};
+  EXPECT_EQ(decide(conditions), TrafficAction::WorkWithPeers);
+}
+
+TEST(DecisionTree, ComputeSaturationDispersesAttack) {
+  const AttackConditions conditions{true, false, true, false};
+  EXPECT_EQ(decide(conditions), TrafficAction::WithdrawFractionOfAttackLinks);
+}
+
+TEST(DecisionTree, CongestedAndSpreadable) {
+  const AttackConditions conditions{.resolvers_dosed = true,
+                                    .peering_links_congested = true,
+                                    .compute_saturated = false,
+                                    .can_spread_attack = true};
+  EXPECT_EQ(decide(conditions), TrafficAction::WithdrawAllAttackLinks);
+}
+
+TEST(DecisionTree, CongestedAndNotSpreadableEvacuatesLegit) {
+  const AttackConditions conditions{.resolvers_dosed = true,
+                                    .peering_links_congested = true,
+                                    .compute_saturated = true,
+                                    .can_spread_attack = false};
+  EXPECT_EQ(decide(conditions), TrafficAction::WithdrawNonAttackLinks);
+}
+
+TEST(DecisionTree, LinkCongestionTakesPrecedenceOverCompute) {
+  // When links are congested, the compute branch is never consulted.
+  const AttackConditions conditions{.resolvers_dosed = true,
+                                    .peering_links_congested = true,
+                                    .compute_saturated = true,
+                                    .can_spread_attack = true};
+  EXPECT_EQ(decide(conditions), TrafficAction::WithdrawAllAttackLinks);
+}
+
+TEST(DecisionTree, ExplainMentionsAction) {
+  const AttackConditions conditions{};
+  const auto text = explain(conditions);
+  EXPECT_NE(text.find("do nothing"), std::string::npos);
+  EXPECT_NE(text.find("leaks information"), std::string::npos);
+}
+
+TEST(DecisionTree, ToStringDistinct) {
+  std::set<std::string> names;
+  for (const auto action :
+       {TrafficAction::DoNothing, TrafficAction::WorkWithPeers,
+        TrafficAction::WithdrawFractionOfAttackLinks, TrafficAction::WithdrawAllAttackLinks,
+        TrafficAction::WithdrawNonAttackLinks}) {
+    names.insert(to_string(action));
+  }
+  EXPECT_EQ(names.size(), 5u);
+}
+
+}  // namespace
+}  // namespace akadns::core

@@ -1,0 +1,67 @@
+#include "dns/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace akadns::dns {
+namespace {
+
+TEST(Message, MakeQuerySetsFields) {
+  const auto q = make_query(99, DnsName::from("a.b.c"), RecordType::MX, true);
+  EXPECT_EQ(q.header.id, 99);
+  EXPECT_FALSE(q.header.qr);
+  EXPECT_TRUE(q.header.rd);
+  ASSERT_EQ(q.questions.size(), 1u);
+  EXPECT_EQ(q.question().qtype, RecordType::MX);
+  EXPECT_EQ(q.question().name.to_string(), "a.b.c.");
+}
+
+TEST(Message, MakeResponseMirrorsQuery) {
+  auto q = make_query(1234, DnsName::from("www.ex.com"), RecordType::A, true);
+  const auto r = make_response(q, Rcode::NoError);
+  EXPECT_EQ(r.header.id, 1234);
+  EXPECT_TRUE(r.header.qr);
+  EXPECT_TRUE(r.header.aa);
+  EXPECT_TRUE(r.header.rd);
+  EXPECT_EQ(r.header.rcode, Rcode::NoError);
+  EXPECT_EQ(r.questions, q.questions);
+  EXPECT_FALSE(r.edns);
+}
+
+TEST(Message, MakeResponseEchoesEdns) {
+  auto q = make_query(1, DnsName::from("x.com"), RecordType::A);
+  Edns edns;
+  ClientSubnet ecs;
+  ecs.address = *IpAddr::parse("198.51.100.0");
+  ecs.source_prefix_len = 24;
+  edns.client_subnet = ecs;
+  q.edns = edns;
+  const auto r = make_response(q, Rcode::NxDomain);
+  ASSERT_TRUE(r.edns);
+  ASSERT_TRUE(r.edns->client_subnet);
+  EXPECT_EQ(r.edns->client_subnet->address.to_string(), "198.51.100.0");
+  EXPECT_EQ(r.header.rcode, Rcode::NxDomain);
+}
+
+TEST(Message, MakeResponseNonAuthoritative) {
+  const auto q = make_query(1, DnsName::from("x.com"), RecordType::A);
+  const auto r = make_response(q, Rcode::NoError, /*authoritative=*/false);
+  EXPECT_FALSE(r.header.aa);
+}
+
+TEST(Message, ToStringContainsSections) {
+  auto q = make_query(7, DnsName::from("www.example.com"), RecordType::A);
+  auto r = make_response(q, Rcode::NoError);
+  r.answers.push_back(make_a(DnsName::from("www.example.com"), Ipv4Addr(1, 2, 3, 4), 20));
+  const auto text = r.to_string();
+  EXPECT_NE(text.find("ANSWER"), std::string::npos);
+  EXPECT_NE(text.find("1.2.3.4"), std::string::npos);
+  EXPECT_NE(text.find("NOERROR"), std::string::npos);
+}
+
+TEST(Question, ToString) {
+  const Question q{DnsName::from("www.example.com"), RecordType::AAAA, RecordClass::IN};
+  EXPECT_EQ(q.to_string(), "www.example.com. IN AAAA");
+}
+
+}  // namespace
+}  // namespace akadns::dns

@@ -1,0 +1,126 @@
+#include "dns/name.hpp"
+
+#include <gtest/gtest.h>
+
+namespace akadns::dns {
+namespace {
+
+TEST(DnsName, ParseBasic) {
+  const auto name = DnsName::parse("www.Example.COM");
+  ASSERT_TRUE(name);
+  EXPECT_EQ(name->label_count(), 3u);
+  EXPECT_EQ(name->to_string(), "www.example.com.");
+}
+
+TEST(DnsName, RootForms) {
+  EXPECT_TRUE(DnsName::parse("")->is_root());
+  EXPECT_TRUE(DnsName::parse(".")->is_root());
+  EXPECT_EQ(DnsName().to_string(), ".");
+  EXPECT_EQ(DnsName().wire_length(), 1u);
+}
+
+TEST(DnsName, TrailingDotOptional) {
+  EXPECT_EQ(*DnsName::parse("a.b."), *DnsName::parse("a.b"));
+}
+
+TEST(DnsName, RejectsEmptyLabels) {
+  EXPECT_FALSE(DnsName::parse("a..b"));
+  EXPECT_FALSE(DnsName::parse(".a"));
+}
+
+TEST(DnsName, RejectsOversizedLabel) {
+  const std::string longest(63, 'x');
+  EXPECT_TRUE(DnsName::parse(longest + ".com"));
+  const std::string too_long(64, 'x');
+  EXPECT_FALSE(DnsName::parse(too_long + ".com"));
+}
+
+TEST(DnsName, RejectsOversizedName) {
+  // Four 63-byte labels => 4*64+1 = 257 > 255.
+  const std::string label(63, 'a');
+  const std::string name = label + "." + label + "." + label + "." + label;
+  EXPECT_FALSE(DnsName::parse(name));
+}
+
+TEST(DnsName, WireLength) {
+  EXPECT_EQ(DnsName::from("www.example.com").wire_length(), 17u);  // 3+1+7+1+3+1+1
+}
+
+TEST(DnsName, FromThrowsOnInvalid) {
+  EXPECT_THROW(DnsName::from("bad..name"), std::invalid_argument);
+  EXPECT_NO_THROW(DnsName::from("ok.name"));
+}
+
+TEST(DnsName, Parent) {
+  const auto name = DnsName::from("a.b.c");
+  EXPECT_EQ(name.parent().to_string(), "b.c.");
+  EXPECT_TRUE(DnsName::from("c").parent().is_root());
+  EXPECT_TRUE(DnsName().parent().is_root());
+}
+
+TEST(DnsName, PrependAndConcat) {
+  const auto base = DnsName::from("example.com");
+  EXPECT_EQ(base.prepend("www")->to_string(), "www.example.com.");
+  const auto combined = DnsName::from("a.b").concat(base);
+  ASSERT_TRUE(combined);
+  EXPECT_EQ(combined->to_string(), "a.b.example.com.");
+}
+
+TEST(DnsName, SubdomainChecks) {
+  const auto apex = DnsName::from("example.com");
+  EXPECT_TRUE(DnsName::from("example.com").is_subdomain_of(apex));
+  EXPECT_TRUE(DnsName::from("a.b.example.com").is_subdomain_of(apex));
+  EXPECT_FALSE(DnsName::from("example.org").is_subdomain_of(apex));
+  EXPECT_FALSE(DnsName::from("badexample.com").is_subdomain_of(apex));
+  EXPECT_TRUE(apex.is_subdomain_of(DnsName()));  // everything under root
+}
+
+TEST(DnsName, CommonSuffix) {
+  EXPECT_EQ(DnsName::from("a.b.example.com")
+                .common_suffix_labels(DnsName::from("x.example.com")),
+            2u);
+  EXPECT_EQ(DnsName::from("a.com").common_suffix_labels(DnsName::from("a.org")), 0u);
+}
+
+TEST(DnsName, Suffix) {
+  const auto name = DnsName::from("a.b.c.d");
+  EXPECT_EQ(name.suffix(2).to_string(), "c.d.");
+  EXPECT_EQ(name.suffix(0).to_string(), ".");
+  EXPECT_EQ(name.suffix(99), name);
+}
+
+TEST(DnsName, CanonicalOrdering) {
+  // RFC 4034 §6.1 example ordering: compare right-to-left.
+  EXPECT_LT(DnsName::from("example.com"), DnsName::from("a.example.com"));
+  EXPECT_LT(DnsName::from("a.example.com"), DnsName::from("b.example.com"));
+  EXPECT_LT(DnsName::from("b.example.com"), DnsName::from("a.b.example.com"));
+  EXPECT_LT(DnsName(), DnsName::from("com"));
+}
+
+TEST(DnsName, SubtreeIsContiguousInCanonicalOrder) {
+  // Property the zone ENT detection relies on: upper_bound(name) yields a
+  // descendant iff the subtree is non-empty.
+  const auto parent = DnsName::from("b.example.com");
+  const auto child = DnsName::from("a.b.example.com");
+  const auto sibling = DnsName::from("c.example.com");
+  EXPECT_LT(parent, child);
+  EXPECT_LT(child, sibling);
+}
+
+TEST(DnsName, CaseInsensitiveEquality) {
+  EXPECT_EQ(DnsName::from("WWW.EXAMPLE.COM"), DnsName::from("www.example.com"));
+  EXPECT_EQ(DnsName::from("WWW.EXAMPLE.COM").hash(), DnsName::from("www.example.com").hash());
+}
+
+TEST(DnsName, HashDiffers) {
+  EXPECT_NE(DnsName::from("a.example.com").hash(), DnsName::from("b.example.com").hash());
+}
+
+TEST(DnsName, FromLabelsValidation) {
+  EXPECT_TRUE(DnsName::from_labels({"a", "b"}));
+  EXPECT_FALSE(DnsName::from_labels({"a", ""}));
+  EXPECT_FALSE(DnsName::from_labels({std::string(64, 'x')}));
+}
+
+}  // namespace
+}  // namespace akadns::dns

@@ -1,0 +1,99 @@
+#include "dns/rr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace akadns::dns {
+namespace {
+
+TEST(RecordType, ToStringKnownTypes) {
+  EXPECT_EQ(to_string(RecordType::A), "A");
+  EXPECT_EQ(to_string(RecordType::AAAA), "AAAA");
+  EXPECT_EQ(to_string(RecordType::NS), "NS");
+  EXPECT_EQ(to_string(RecordType::SOA), "SOA");
+  EXPECT_EQ(to_string(RecordType::CAA), "CAA");
+  EXPECT_EQ(to_string(static_cast<RecordType>(999)), "TYPE999");
+}
+
+TEST(RecordType, ParseMnemonics) {
+  EXPECT_EQ(parse_record_type("a"), RecordType::A);
+  EXPECT_EQ(parse_record_type("AAAA"), RecordType::AAAA);
+  EXPECT_EQ(parse_record_type("Cname"), RecordType::CNAME);
+  EXPECT_EQ(parse_record_type("srv"), RecordType::SRV);
+  EXPECT_FALSE(parse_record_type("NOPE"));
+}
+
+TEST(Rcode, ToString) {
+  EXPECT_EQ(to_string(Rcode::NoError), "NOERROR");
+  EXPECT_EQ(to_string(Rcode::NxDomain), "NXDOMAIN");
+  EXPECT_EQ(to_string(Rcode::ServFail), "SERVFAIL");
+}
+
+TEST(RData, TypeDispatch) {
+  EXPECT_EQ(rdata_type(ARecord{}), RecordType::A);
+  EXPECT_EQ(rdata_type(AaaaRecord{}), RecordType::AAAA);
+  EXPECT_EQ(rdata_type(NsRecord{}), RecordType::NS);
+  EXPECT_EQ(rdata_type(CnameRecord{}), RecordType::CNAME);
+  EXPECT_EQ(rdata_type(SoaRecord{}), RecordType::SOA);
+  EXPECT_EQ(rdata_type(TxtRecord{}), RecordType::TXT);
+  EXPECT_EQ(rdata_type(MxRecord{}), RecordType::MX);
+  EXPECT_EQ(rdata_type(SrvRecord{}), RecordType::SRV);
+  EXPECT_EQ(rdata_type(RawRecord{.type = 999, .data = {}}), static_cast<RecordType>(999));
+}
+
+TEST(ResourceRecord, MakeHelpers) {
+  const auto name = DnsName::from("www.example.com");
+  const auto a = make_a(name, Ipv4Addr(1, 2, 3, 4), 300);
+  EXPECT_EQ(a.type(), RecordType::A);
+  EXPECT_EQ(a.ttl, 300u);
+  EXPECT_EQ(std::get<ARecord>(a.rdata).address.to_string(), "1.2.3.4");
+
+  const auto ns = make_ns(name, DnsName::from("ns1.example.com"), 86400);
+  EXPECT_EQ(ns.type(), RecordType::NS);
+
+  const auto soa = make_soa(DnsName::from("example.com"), DnsName::from("ns1.example.com"),
+                            DnsName::from("admin.example.com"), 2020010101, 3600);
+  EXPECT_EQ(soa.type(), RecordType::SOA);
+  EXPECT_EQ(std::get<SoaRecord>(soa.rdata).serial, 2020010101u);
+}
+
+TEST(ResourceRecord, ToStringPresentation) {
+  const auto rr = make_a(DnsName::from("www.example.com"), Ipv4Addr(93, 184, 216, 34), 300);
+  EXPECT_EQ(rr.to_string(), "www.example.com. 300 IN A 93.184.216.34");
+
+  const auto mx = ResourceRecord{DnsName::from("example.com"), RecordClass::IN, 3600,
+                                 MxRecord{10, DnsName::from("mail.example.com")}};
+  EXPECT_EQ(mx.to_string(), "example.com. 3600 IN MX 10 mail.example.com.");
+
+  const auto txt = make_txt(DnsName::from("example.com"), "v=spf1 -all", 60);
+  EXPECT_EQ(txt.to_string(), "example.com. 60 IN TXT \"v=spf1 -all\"");
+}
+
+TEST(ResourceRecord, SoaPresentation) {
+  const auto soa = make_soa(DnsName::from("ex.com"), DnsName::from("ns1.ex.com"),
+                            DnsName::from("admin.ex.com"), 7, 3600, 120);
+  EXPECT_EQ(soa.to_string(),
+            "ex.com. 3600 IN SOA ns1.ex.com. admin.ex.com. 7 3600 600 604800 120");
+}
+
+TEST(ResourceRecord, Equality) {
+  const auto a1 = make_a(DnsName::from("x.com"), Ipv4Addr(1, 1, 1, 1), 60);
+  const auto a2 = make_a(DnsName::from("x.com"), Ipv4Addr(1, 1, 1, 1), 60);
+  const auto a3 = make_a(DnsName::from("x.com"), Ipv4Addr(1, 1, 1, 2), 60);
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, a3);
+}
+
+TEST(ResourceRecord, SrvPresentation) {
+  const ResourceRecord srv{DnsName::from("_dns._udp.example.com"), RecordClass::IN, 300,
+                           SrvRecord{10, 60, 53, DnsName::from("ns.example.com")}};
+  EXPECT_EQ(srv.to_string(), "_dns._udp.example.com. 300 IN SRV 10 60 53 ns.example.com.");
+}
+
+TEST(ResourceRecord, CaaPresentation) {
+  const ResourceRecord caa{DnsName::from("example.com"), RecordClass::IN, 300,
+                           CaaRecord{0, "issue", "letsencrypt.org"}};
+  EXPECT_EQ(caa.to_string(), "example.com. 300 IN CAA 0 issue \"letsencrypt.org\"");
+}
+
+}  // namespace
+}  // namespace akadns::dns

@@ -1,0 +1,112 @@
+#include "filters/allowlist_filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace akadns::filters {
+namespace {
+
+QueryContext make_ctx(const IpAddr& addr, SimTime now) {
+  QueryContext c;
+  c.source = Endpoint{addr, 5353};
+  c.question = dns::Question{dns::DnsName::from("q.example.com"), dns::RecordType::A,
+                             dns::RecordClass::IN};
+  c.now = now;
+  return c;
+}
+
+TEST(AllowlistFilter, DormantByDefault) {
+  AllowlistFilter filter;
+  EXPECT_FALSE(filter.active());
+  // Unknown source, filter dormant: no penalty.
+  EXPECT_DOUBLE_EQ(filter.score(make_ctx(*IpAddr::parse("203.0.113.1"), SimTime::origin())),
+                   0.0);
+}
+
+TEST(AllowlistFilter, ManualActivationPenalizesUnknown) {
+  AllowlistFilter filter({.penalty = 50.0});
+  filter.allow(*IpAddr::parse("192.0.2.1"));
+  filter.set_active(true);
+  EXPECT_DOUBLE_EQ(filter.score(make_ctx(*IpAddr::parse("192.0.2.1"), SimTime::origin())), 0.0);
+  EXPECT_DOUBLE_EQ(filter.score(make_ctx(*IpAddr::parse("203.0.113.1"), SimTime::origin())),
+                   50.0);
+  EXPECT_EQ(filter.total_penalized(), 1u);
+}
+
+TEST(AllowlistFilter, BulkAllow) {
+  AllowlistFilter filter;
+  filter.allow_bulk({*IpAddr::parse("10.0.0.1"), *IpAddr::parse("10.0.0.2")});
+  EXPECT_EQ(filter.allowlist_size(), 2u);
+  EXPECT_TRUE(filter.is_allowed(*IpAddr::parse("10.0.0.1")));
+  EXPECT_FALSE(filter.is_allowed(*IpAddr::parse("10.0.0.9")));
+}
+
+TEST(AllowlistFilter, AutoActivatesUnderDiverseUnknownFlood) {
+  AllowlistFilter filter({.penalty = 50.0,
+                          .activation_unknown_qps = 100.0,
+                          .activation_unknown_sources = 50,
+                          .window = Duration::seconds(1),
+                          .auto_activate = true});
+  filter.allow(*IpAddr::parse("192.0.2.1"));
+  auto t = SimTime::origin();
+  // Flood: 1000 unknown sources at ~1000 qps for 2+ windows.
+  for (int i = 0; i < 2500; ++i) {
+    const IpAddr src = IpAddr(Ipv4Addr(0xCB007100u + static_cast<std::uint32_t>(i % 1000)));
+    filter.score(make_ctx(src, t));
+    t += Duration::millis(1);
+  }
+  EXPECT_TRUE(filter.active());
+  // Known resolver still unpenalized during the attack.
+  EXPECT_DOUBLE_EQ(filter.score(make_ctx(*IpAddr::parse("192.0.2.1"), t)), 0.0);
+  // Unknown source now penalized.
+  EXPECT_GT(filter.score(make_ctx(*IpAddr::parse("198.51.100.7"), t)), 0.0);
+}
+
+TEST(AllowlistFilter, DoesNotActivateOnLowDiversityOverrun) {
+  // High volume from a single unknown source: rate limiting's job, not
+  // the allowlist's (diversity test fails).
+  AllowlistFilter filter({.activation_unknown_qps = 100.0,
+                          .activation_unknown_sources = 50,
+                          .window = Duration::seconds(1)});
+  auto t = SimTime::origin();
+  for (int i = 0; i < 2500; ++i) {
+    filter.score(make_ctx(*IpAddr::parse("203.0.113.9"), t));
+    t += Duration::millis(1);
+  }
+  EXPECT_FALSE(filter.active());
+}
+
+TEST(AllowlistFilter, DeactivatesWhenAttackSubsides) {
+  AllowlistFilter filter({.activation_unknown_qps = 100.0,
+                          .activation_unknown_sources = 10,
+                          .window = Duration::seconds(1)});
+  auto t = SimTime::origin();
+  for (int i = 0; i < 2500; ++i) {
+    const IpAddr src = IpAddr(Ipv4Addr(0xCB007100u + static_cast<std::uint32_t>(i % 100)));
+    filter.score(make_ctx(src, t));
+    t += Duration::millis(1);
+  }
+  EXPECT_TRUE(filter.active());
+  // Quiet period: a trickle of queries over several windows.
+  for (int i = 0; i < 10; ++i) {
+    t += Duration::seconds(2);
+    filter.score(make_ctx(*IpAddr::parse("198.51.100.1"), t));
+  }
+  EXPECT_FALSE(filter.active());
+}
+
+TEST(AllowlistFilter, ManualOverrideDisablesAutoActivation) {
+  AllowlistFilter filter({.activation_unknown_qps = 1.0,
+                          .activation_unknown_sources = 1,
+                          .window = Duration::seconds(1)});
+  filter.set_active(false);
+  auto t = SimTime::origin();
+  for (int i = 0; i < 5000; ++i) {
+    const IpAddr src = IpAddr(Ipv4Addr(0xCB007100u + static_cast<std::uint32_t>(i)));
+    filter.score(make_ctx(src, t));
+    t += Duration::millis(1);
+  }
+  EXPECT_FALSE(filter.active());
+}
+
+}  // namespace
+}  // namespace akadns::filters

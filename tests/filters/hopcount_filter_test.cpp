@@ -1,0 +1,81 @@
+#include "filters/hopcount_filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace akadns::filters {
+namespace {
+
+QueryContext make_ctx(const char* ip, std::uint8_t ttl) {
+  QueryContext c;
+  c.source = Endpoint{*IpAddr::parse(ip), 5353};
+  c.ip_ttl = ttl;
+  c.question = dns::Question{dns::DnsName::from("q.example.com"), dns::RecordType::A,
+                             dns::RecordClass::IN};
+  return c;
+}
+
+TEST(HopCountFilter, UnknownSourcePasses) {
+  HopCountFilter filter;
+  EXPECT_DOUBLE_EQ(filter.score(make_ctx("10.0.0.1", 57)), 0.0);
+}
+
+TEST(HopCountFilter, NotEnforcedUntilRipe) {
+  HopCountFilter filter({.min_observations = 3});
+  // First two observations establish nothing; even wild TTLs pass.
+  EXPECT_DOUBLE_EQ(filter.score(make_ctx("10.0.0.2", 57)), 0.0);
+  EXPECT_DOUBLE_EQ(filter.score(make_ctx("10.0.0.2", 20)), 0.0);
+}
+
+TEST(HopCountFilter, LearnedTtlMatchesTraining) {
+  HopCountFilter filter;
+  const auto src = *IpAddr::parse("192.0.2.1");
+  for (int i = 0; i < 10; ++i) filter.learn(src, 57);
+  EXPECT_EQ(filter.learned_ttl(src), 57);
+}
+
+TEST(HopCountFilter, ToleratesPlusMinusOne) {
+  HopCountFilter filter({.tolerance = 1});
+  const auto src = *IpAddr::parse("192.0.2.2");
+  for (int i = 0; i < 10; ++i) filter.learn(src, 57);
+  EXPECT_DOUBLE_EQ(filter.score(make_ctx("192.0.2.2", 57)), 0.0);
+  EXPECT_DOUBLE_EQ(filter.score(make_ctx("192.0.2.2", 56)), 0.0);
+  EXPECT_DOUBLE_EQ(filter.score(make_ctx("192.0.2.2", 58)), 0.0);
+}
+
+TEST(HopCountFilter, PenalizesSpoofedTtl) {
+  HopCountFilter filter({.penalty = 50.0, .tolerance = 1});
+  const auto src = *IpAddr::parse("192.0.2.3");
+  for (int i = 0; i < 10; ++i) filter.learn(src, 57);
+  // Spoofer from a different topological location arrives with TTL 44.
+  EXPECT_DOUBLE_EQ(filter.score(make_ctx("192.0.2.3", 44)), 50.0);
+  EXPECT_EQ(filter.total_penalized(), 1u);
+}
+
+TEST(HopCountFilter, SlowAdaptationToRouteChange) {
+  HopCountFilter filter({.penalty = 50.0, .tolerance = 1, .adapt_weight = 0.05});
+  const auto src = *IpAddr::parse("192.0.2.4");
+  for (int i = 0; i < 50; ++i) filter.learn(src, 57);
+  // Route change shifts the true hop count by 2: initially penalized...
+  EXPECT_GT(filter.score(make_ctx("192.0.2.4", 60)), 0.0);
+  // ...but after enough consistent observations the EWMA converges and
+  // the new TTL passes.
+  for (int i = 0; i < 200; ++i) filter.learn(src, 60);
+  EXPECT_DOUBLE_EQ(filter.score(make_ctx("192.0.2.4", 60)), 0.0);
+}
+
+TEST(HopCountFilter, LearnedTtlUnripeReturnsMinusOne) {
+  HopCountFilter filter({.min_observations = 5});
+  const auto src = *IpAddr::parse("192.0.2.5");
+  filter.learn(src, 57);
+  EXPECT_EQ(filter.learned_ttl(src), -1);
+  EXPECT_EQ(filter.learned_ttl(*IpAddr::parse("10.1.1.1")), -1);
+}
+
+TEST(HopCountFilter, TrackedSourceCap) {
+  HopCountFilter filter({.max_tracked_sources = 3});
+  for (std::uint32_t i = 0; i < 10; ++i) filter.learn(IpAddr(Ipv4Addr(i)), 57);
+  EXPECT_EQ(filter.tracked_sources(), 3u);
+}
+
+}  // namespace
+}  // namespace akadns::filters

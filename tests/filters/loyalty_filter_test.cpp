@@ -1,0 +1,91 @@
+#include "filters/loyalty_filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace akadns::filters {
+namespace {
+
+QueryContext make_ctx(const char* ip, SimTime now) {
+  QueryContext c;
+  c.source = Endpoint{*IpAddr::parse(ip), 5353};
+  c.question = dns::Question{dns::DnsName::from("q.example.com"), dns::RecordType::A,
+                             dns::RecordClass::IN};
+  c.now = now;
+  return c;
+}
+
+TEST(LoyaltyFilter, PreTrainedSourceIsLoyal) {
+  LoyaltyFilter filter({.penalty = 40.0});
+  const auto t = SimTime::origin() + Duration::days(1);
+  filter.learn(*IpAddr::parse("192.0.2.1"), t);
+  EXPECT_TRUE(filter.is_loyal(*IpAddr::parse("192.0.2.1"), t));
+  EXPECT_DOUBLE_EQ(filter.score(make_ctx("192.0.2.1", t)), 0.0);
+}
+
+TEST(LoyaltyFilter, StrangerPenalized) {
+  LoyaltyFilter filter({.penalty = 40.0});
+  const auto t = SimTime::origin() + Duration::days(1);
+  EXPECT_DOUBLE_EQ(filter.score(make_ctx("203.0.113.1", t)), 40.0);
+  EXPECT_EQ(filter.total_penalized(), 1u);
+}
+
+TEST(LoyaltyFilter, NewcomerRipensIntoLoyalty) {
+  LoyaltyFilter filter({.penalty = 40.0, .ripen_after = Duration::hours(1)});
+  auto t = SimTime::origin() + Duration::days(1);
+  // First contact: penalized (not yet loyal), but begins ripening.
+  EXPECT_GT(filter.score(make_ctx("198.51.100.1", t)), 0.0);
+  // Still within the ripening period.
+  t += Duration::minutes(30);
+  EXPECT_GT(filter.score(make_ctx("198.51.100.1", t)), 0.0);
+  // After the ripening period, queries are clean.
+  t += Duration::minutes(31);
+  EXPECT_DOUBLE_EQ(filter.score(make_ctx("198.51.100.1", t)), 0.0);
+}
+
+TEST(LoyaltyFilter, AttackerCannotRipenDuringShortAttack) {
+  // The whole point: a spoofing attacker whose traffic starts with the
+  // attack stays penalized for the attack's duration (<< ripen_after).
+  LoyaltyFilter filter({.penalty = 40.0, .ripen_after = Duration::hours(1)});
+  auto t = SimTime::origin() + Duration::days(1);
+  int penalized = 0;
+  for (int i = 0; i < 600; ++i) {  // 10-minute attack, 1 query/sec
+    if (filter.score(make_ctx("203.0.113.66", t)) > 0) ++penalized;
+    t += Duration::seconds(1);
+  }
+  EXPECT_EQ(penalized, 600);
+}
+
+TEST(LoyaltyFilter, MembershipExpiresWhenIdle) {
+  LoyaltyFilter filter({.expiry = Duration::days(14)});
+  auto t = SimTime::origin() + Duration::days(1);
+  filter.learn(*IpAddr::parse("192.0.2.9"), t);
+  EXPECT_TRUE(filter.is_loyal(*IpAddr::parse("192.0.2.9"), t));
+  // 20 idle days later the membership is gone...
+  t += Duration::days(20);
+  EXPECT_FALSE(filter.is_loyal(*IpAddr::parse("192.0.2.9"), t));
+  // ...and the source must ripen afresh.
+  EXPECT_GT(filter.score(make_ctx("192.0.2.9", t)), 0.0);
+}
+
+TEST(LoyaltyFilter, SteadyTrafficKeepsMembershipAlive) {
+  LoyaltyFilter filter({.expiry = Duration::days(14)});
+  auto t = SimTime::origin() + Duration::days(1);
+  filter.learn(*IpAddr::parse("192.0.2.10"), t);
+  // Query every 7 days for 10 weeks: never expires.
+  for (int week = 0; week < 10; ++week) {
+    t += Duration::days(7);
+    EXPECT_DOUBLE_EQ(filter.score(make_ctx("192.0.2.10", t)), 0.0) << "week " << week;
+  }
+}
+
+TEST(LoyaltyFilter, TrackedSourceCap) {
+  LoyaltyFilter filter({.max_tracked_sources = 2});
+  const auto t = SimTime::origin() + Duration::days(1);
+  filter.learn(*IpAddr::parse("10.0.0.1"), t);
+  filter.learn(*IpAddr::parse("10.0.0.2"), t);
+  filter.learn(*IpAddr::parse("10.0.0.3"), t);
+  EXPECT_EQ(filter.tracked_sources(), 2u);
+}
+
+}  // namespace
+}  // namespace akadns::filters

@@ -1,0 +1,194 @@
+#include "filters/nxdomain_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "zone/zone_builder.hpp"
+#include "zone/zone_store.hpp"
+
+namespace akadns::filters {
+namespace {
+
+using dns::DnsName;
+using dns::Rcode;
+
+struct Fixture {
+  zone::ZoneStore store;
+  NxDomainFilter::Config config{.penalty = 100.0,
+                                .nxdomain_threshold = 10,
+                                .window = Duration::seconds(10),
+                                .disarm_after = Duration::minutes(5)};
+
+  Fixture() {
+    store.publish(zone::ZoneBuilder("example.com", 1)
+                      .ns("@", "ns1.example.com")
+                      .a("ns1", "10.0.0.1")
+                      .a("www", "10.0.0.2")
+                      .a("api", "10.0.0.3")
+                      .build());
+    store.publish(zone::ZoneBuilder("wild.net", 1)
+                      .ns("@", "ns1.wild.net")
+                      .a("ns1", "10.1.0.1")
+                      .a("*.apps", "10.1.0.9")
+                      .build());
+  }
+
+  NxDomainFilter make_filter() {
+    return NxDomainFilter(
+        config,
+        [this](const DnsName& qname) -> std::optional<DnsName> {
+          const auto zone = store.find_best_zone(qname);
+          if (!zone) return std::nullopt;
+          return zone->apex();
+        },
+        [this](const DnsName& apex) {
+          const auto zone = store.find_zone(apex);
+          return zone ? zone->all_names() : std::vector<DnsName>{};
+        });
+  }
+
+  QueryContext ctx(const char* qname, SimTime now) {
+    QueryContext c;
+    c.source = Endpoint{*IpAddr::parse("10.9.9.9"), 5353};
+    c.question = dns::Question{DnsName::from(qname), dns::RecordType::A, dns::RecordClass::IN};
+    c.now = now;
+    return c;
+  }
+};
+
+TEST(NxDomainFilter, DormantUntilThreshold) {
+  Fixture f;
+  auto filter = f.make_filter();
+  auto t = SimTime::origin();
+  // A few NXDOMAINs (below threshold) keep the filter dormant.
+  for (int i = 0; i < 5; ++i) {
+    filter.observe_response(f.ctx("nope.example.com", t), Rcode::NxDomain);
+  }
+  EXPECT_FALSE(filter.is_armed(DnsName::from("example.com")));
+  EXPECT_DOUBLE_EQ(filter.score(f.ctx("random123.example.com", t)), 0.0);
+}
+
+TEST(NxDomainFilter, ArmsAfterThresholdAndPenalizesInvalidNames) {
+  Fixture f;
+  auto filter = f.make_filter();
+  auto t = SimTime::origin();
+  for (int i = 0; i < 10; ++i) {
+    filter.observe_response(f.ctx("rnd.example.com", t), Rcode::NxDomain);
+    t += Duration::millis(10);
+  }
+  EXPECT_TRUE(filter.is_armed(DnsName::from("example.com")));
+  // Random-subdomain probe: penalized.
+  EXPECT_DOUBLE_EQ(filter.score(f.ctx("a3n92nv9.example.com", t)), 100.0);
+  // Valid names: clean.
+  EXPECT_DOUBLE_EQ(filter.score(f.ctx("www.example.com", t)), 0.0);
+  EXPECT_DOUBLE_EQ(filter.score(f.ctx("example.com", t)), 0.0);
+  EXPECT_EQ(filter.total_penalized(), 1u);
+}
+
+TEST(NxDomainFilter, OnlyAttackedZoneIsArmed) {
+  Fixture f;
+  auto filter = f.make_filter();
+  auto t = SimTime::origin();
+  for (int i = 0; i < 10; ++i) {
+    filter.observe_response(f.ctx("rnd.example.com", t), Rcode::NxDomain);
+  }
+  EXPECT_TRUE(filter.is_armed(DnsName::from("example.com")));
+  EXPECT_FALSE(filter.is_armed(DnsName::from("wild.net")));
+  // Other zones unaffected.
+  EXPECT_DOUBLE_EQ(filter.score(f.ctx("missing.wild.net", t)), 0.0);
+}
+
+TEST(NxDomainFilter, WindowResetsCounter) {
+  Fixture f;
+  auto filter = f.make_filter();
+  auto t = SimTime::origin();
+  // 6 NXDOMAINs, then a gap longer than the window, then 6 more: never
+  // 10 within one window -> stays dormant.
+  for (int i = 0; i < 6; ++i) {
+    filter.observe_response(f.ctx("rnd.example.com", t), Rcode::NxDomain);
+  }
+  t += Duration::seconds(11);
+  for (int i = 0; i < 6; ++i) {
+    filter.observe_response(f.ctx("rnd.example.com", t), Rcode::NxDomain);
+  }
+  EXPECT_FALSE(filter.is_armed(DnsName::from("example.com")));
+}
+
+TEST(NxDomainFilter, WildcardNamesAreValid) {
+  Fixture f;
+  auto filter = f.make_filter();
+  auto t = SimTime::origin();
+  for (int i = 0; i < 10; ++i) {
+    filter.observe_response(f.ctx("rnd.wild.net", t), Rcode::NxDomain);
+  }
+  ASSERT_TRUE(filter.is_armed(DnsName::from("wild.net")));
+  // Names under the wildcard parent are valid even though unenumerable.
+  EXPECT_DOUBLE_EQ(filter.score(f.ctx("anything.apps.wild.net", t)), 0.0);
+  EXPECT_DOUBLE_EQ(filter.score(f.ctx("deep.er.apps.wild.net", t)), 0.0);
+  // Outside the wildcard: penalized.
+  EXPECT_DOUBLE_EQ(filter.score(f.ctx("bogus.wild.net", t)), 100.0);
+}
+
+TEST(NxDomainFilter, DisarmsAfterQuietPeriod) {
+  Fixture f;
+  auto filter = f.make_filter();
+  auto t = SimTime::origin();
+  for (int i = 0; i < 10; ++i) {
+    filter.observe_response(f.ctx("rnd.example.com", t), Rcode::NxDomain);
+  }
+  ASSERT_TRUE(filter.is_armed(DnsName::from("example.com")));
+  // Attack stops; after disarm_after the filter stops penalizing.
+  t += Duration::minutes(6);
+  EXPECT_DOUBLE_EQ(filter.score(f.ctx("newname.example.com", t)), 0.0);
+  EXPECT_FALSE(filter.is_armed(DnsName::from("example.com")));
+}
+
+TEST(NxDomainFilter, StaysArmedWhileAttackContinues) {
+  Fixture f;
+  auto filter = f.make_filter();
+  auto t = SimTime::origin();
+  for (int i = 0; i < 10; ++i) {
+    filter.observe_response(f.ctx("rnd.example.com", t), Rcode::NxDomain);
+  }
+  // NXDOMAINs keep flowing every minute; 10 minutes later still armed.
+  for (int i = 0; i < 10; ++i) {
+    t += Duration::minutes(1);
+    filter.observe_response(f.ctx("rnd2.example.com", t), Rcode::NxDomain);
+  }
+  EXPECT_GT(filter.score(f.ctx("bogus9.example.com", t)), 0.0);
+}
+
+TEST(NxDomainFilter, NonNxdomainResponsesIgnored) {
+  Fixture f;
+  auto filter = f.make_filter();
+  auto t = SimTime::origin();
+  for (int i = 0; i < 100; ++i) {
+    filter.observe_response(f.ctx("www.example.com", t), Rcode::NoError);
+  }
+  EXPECT_FALSE(filter.is_armed(DnsName::from("example.com")));
+}
+
+TEST(NxDomainFilter, UnknownZoneIgnored) {
+  Fixture f;
+  auto filter = f.make_filter();
+  auto t = SimTime::origin();
+  for (int i = 0; i < 100; ++i) {
+    filter.observe_response(f.ctx("x.unhosted.org", t), Rcode::NxDomain);
+  }
+  EXPECT_EQ(filter.armed_zone_count(), 0u);
+  EXPECT_DOUBLE_EQ(filter.score(f.ctx("y.unhosted.org", t)), 0.0);
+}
+
+TEST(NxDomainFilter, InvalidateDropsTree) {
+  Fixture f;
+  auto filter = f.make_filter();
+  auto t = SimTime::origin();
+  for (int i = 0; i < 10; ++i) {
+    filter.observe_response(f.ctx("rnd.example.com", t), Rcode::NxDomain);
+  }
+  ASSERT_TRUE(filter.is_armed(DnsName::from("example.com")));
+  filter.invalidate(DnsName::from("example.com"));
+  EXPECT_FALSE(filter.is_armed(DnsName::from("example.com")));
+}
+
+}  // namespace
+}  // namespace akadns::filters

@@ -1,0 +1,130 @@
+#include "filters/rate_limit_filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace akadns::filters {
+namespace {
+
+QueryContext make_ctx(const char* ip, SimTime now) {
+  QueryContext c;
+  c.source = Endpoint{*IpAddr::parse(ip), 5353};
+  c.question = dns::Question{dns::DnsName::from("q.example.com"), dns::RecordType::A,
+                             dns::RecordClass::IN};
+  c.now = now;
+  return c;
+}
+
+TEST(RateLimitFilter, AllowsTrafficUnderDefaultLimit) {
+  RateLimitFilter filter({.penalty = 60.0, .default_limit_qps = 100.0});
+  auto t = SimTime::origin();
+  double total = 0;
+  for (int i = 0; i < 300; ++i) {
+    total += filter.score(make_ctx("10.0.0.1", t));
+    t += Duration::millis(20);  // 50 qps < 100 qps default
+  }
+  EXPECT_DOUBLE_EQ(total, 0.0);
+}
+
+TEST(RateLimitFilter, PenalizesSustainedOverrun) {
+  RateLimitFilter filter({.penalty = 60.0, .burst_seconds = 1.0, .default_limit_qps = 50.0});
+  auto t = SimTime::origin();
+  int penalized = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (filter.score(make_ctx("10.0.0.2", t)) > 0) ++penalized;
+    t += Duration::millis(2);  // 500 qps >> 50 qps default
+  }
+  // After the burst allowance, ~90% of the excess gets penalized.
+  EXPECT_GT(penalized, 1500);
+  EXPECT_EQ(filter.total_penalized(), static_cast<std::uint64_t>(penalized));
+}
+
+TEST(RateLimitFilter, ToleratesBurstsWithinBucket) {
+  RateLimitFilter filter({.burst_seconds = 3.0, .default_limit_qps = 10.0});
+  // 25 back-to-back queries then silence: bucket of 30 absorbs it.
+  auto t = SimTime::origin();
+  double total = 0;
+  for (int i = 0; i < 25; ++i) total += filter.score(make_ctx("10.0.0.3", t));
+  EXPECT_DOUBLE_EQ(total, 0.0);
+}
+
+TEST(RateLimitFilter, LearnedLimitReflectsHistoricalRate) {
+  RateLimitFilter filter({.headroom = 4.0,
+                          .min_limit_qps = 10.0,
+                          .learning_half_life = Duration::minutes(10),
+                          .default_limit_qps = 50.0});
+  const auto src = *IpAddr::parse("192.0.2.1");
+  // Train at ~1000 qps for 30 minutes of simulated history.
+  auto t = SimTime::origin();
+  for (int i = 0; i < 1000 * 60 * 30 / 100; ++i) {  // sample 1/100 of events
+    for (int k = 0; k < 100; ++k) filter.learn(src, t);
+    t += Duration::millis(100);
+  }
+  filter.finalize_learning(t);
+  const double limit = filter.limit_for(src);
+  // Learned ~1000 qps * headroom 4 => ~4000, within a tolerant band.
+  EXPECT_GT(limit, 2000.0);
+  EXPECT_LT(limit, 8000.0);
+}
+
+TEST(RateLimitFilter, HeavyHitterKeepsItsHeadroomButAttackerClamped) {
+  RateLimitFilter filter({.penalty = 60.0,
+                          .headroom = 2.0,
+                          .min_limit_qps = 10.0,
+                          .burst_seconds = 1.0,
+                          .default_limit_qps = 20.0});
+  const auto heavy = *IpAddr::parse("192.0.2.10");
+  auto t = SimTime::origin();
+  // Heavy resolver trains at 200 qps.
+  for (int i = 0; i < 200 * 600; ++i) {
+    filter.learn(heavy, t);
+    if (i % 200 == 199) t += Duration::seconds(1);
+  }
+  filter.finalize_learning(t);
+  EXPECT_GT(filter.limit_for(heavy), 100.0);
+  // An attacker source never seen in training gets the default 20 qps.
+  EXPECT_DOUBLE_EQ(filter.limit_for(*IpAddr::parse("203.0.113.77")), 20.0);
+
+  // Heavy resolver keeps sending 200 qps: no penalties.
+  int heavy_penalties = 0;
+  auto t2 = t;
+  for (int i = 0; i < 1000; ++i) {
+    if (filter.score(make_ctx("192.0.2.10", t2)) > 0) ++heavy_penalties;
+    t2 += Duration::millis(5);
+  }
+  EXPECT_EQ(heavy_penalties, 0);
+  // Attacker at 200 qps gets hammered.
+  int attacker_penalties = 0;
+  auto t3 = t;
+  for (int i = 0; i < 1000; ++i) {
+    if (filter.score(make_ctx("203.0.113.77", t3)) > 0) ++attacker_penalties;
+    t3 += Duration::millis(5);
+  }
+  EXPECT_GT(attacker_penalties, 800);
+}
+
+TEST(RateLimitFilter, MinLimitFloorsIdleSources) {
+  RateLimitFilter filter({.min_limit_qps = 10.0, .default_limit_qps = 50.0});
+  const auto src = *IpAddr::parse("192.0.2.2");
+  filter.learn(src, SimTime::origin());  // one query ever
+  filter.finalize_learning(SimTime::origin() + Duration::hours(1));
+  EXPECT_DOUBLE_EQ(filter.limit_for(src), 10.0);
+}
+
+TEST(RateLimitFilter, TrackedSourceCap) {
+  RateLimitFilter filter({.max_tracked_sources = 4});
+  auto t = SimTime::origin();
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    filter.learn(IpAddr(Ipv4Addr(i)), t);
+  }
+  EXPECT_EQ(filter.tracked_sources(), 4u);
+  // Untracked sources pass without penalty (fail-open).
+  EXPECT_DOUBLE_EQ(filter.score(make_ctx("203.0.113.200", t)), 0.0);
+}
+
+TEST(RateLimitFilter, NameIsStable) {
+  RateLimitFilter filter;
+  EXPECT_EQ(filter.name(), "rate_limit");
+}
+
+}  // namespace
+}  // namespace akadns::filters

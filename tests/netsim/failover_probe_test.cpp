@@ -1,0 +1,158 @@
+#include "netsim/failover_probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netsim/topology.hpp"
+
+namespace akadns::netsim {
+namespace {
+
+NetworkConfig fast_config() {
+  NetworkConfig config;
+  config.processing_delay_min = Duration::millis(1);
+  config.processing_delay_max = Duration::millis(5);
+  config.slow_mrai_fraction = 0.0;
+  config.fast_mrai_min = Duration::millis(10);
+  config.fast_mrai_max = Duration::millis(30);
+  return config;
+}
+
+struct Scenario {
+  EventScheduler sched;
+  Network net{sched, fast_config(), 21};
+  Topology topo;
+
+  Scenario() {
+    TopologyConfig tconfig;
+    tconfig.tier1_count = 4;
+    tconfig.tier2_count = 10;
+    tconfig.edge_count = 20;
+    topo = build_internet(net, tconfig, 8);
+  }
+};
+
+TEST(ProbeDriver, SteadyStateAllProbesAnswered) {
+  Scenario s;
+  const PrefixId prefix = 42;
+  const NodeId pop = s.topo.edges[0];
+  s.net.advertise(pop, prefix);
+  s.sched.run();
+
+  std::vector<NodeId> vantage(s.topo.edges.begin() + 1, s.topo.edges.begin() + 6);
+  ProbeDriver driver(s.net, prefix, vantage);
+  driver.start(s.sched.now() + Duration::seconds(2));
+  s.sched.run();
+
+  for (const NodeId vp : vantage) {
+    const auto& records = driver.records(vp);
+    EXPECT_GE(records.size(), 19u);
+    for (const auto& record : records) {
+      EXPECT_TRUE(record.answered);
+      EXPECT_EQ(record.answered_by, pop);
+      EXPECT_GT(record.rtt, Duration::zero());
+      EXPECT_LE(record.rtt, Duration::seconds(1));
+    }
+  }
+}
+
+TEST(ProbeDriver, AdvertisementFailoverObserved) {
+  Scenario s;
+  const PrefixId prefix = 42;
+  const NodeId pop_y = s.topo.edges[0];
+  const NodeId pop_x = s.topo.edges[1];
+  s.net.advertise(pop_y, prefix);
+  s.sched.run();
+
+  std::vector<NodeId> vantage(s.topo.edges.begin() + 2, s.topo.edges.end());
+  vantage.push_back(pop_x);  // the "local vantage point" in PoP X
+  ProbeDriver driver(s.net, prefix, vantage);
+  const SimTime probe_start = s.sched.now();
+  driver.start(probe_start + Duration::seconds(30));
+
+  // After 1 s of steady probing, X starts advertising.
+  SimTime advertise_time;
+  s.sched.schedule_after(Duration::seconds(1), [&] {
+    advertise_time = s.sched.now();
+    s.net.advertise(pop_x, prefix);
+  });
+  s.sched.run();
+
+  // The local vantage point reaches X almost immediately (t_L).
+  const auto t_l = driver.first_answer_from(pop_x, pop_x, advertise_time);
+  ASSERT_TRUE(t_l);
+  EXPECT_LE(*t_l - advertise_time, Duration::millis(300));
+
+  // Some remote vantage point eventually lands in X's catchment; all
+  // others keep being answered by Y (no outage during advertisement).
+  std::size_t moved = 0;
+  for (const NodeId vp : vantage) {
+    if (vp == pop_x) continue;
+    if (driver.first_answer_from(vp, pop_x, advertise_time)) ++moved;
+    // No probe should time out during an advertisement event.
+    const auto& records = driver.records(vp);
+    for (const auto& record : records) {
+      if (record.sent + Duration::seconds(1) < s.sched.now()) {
+        EXPECT_TRUE(record.answered) << "timeout during advertisement at vp "
+                                     << s.net.label(vp);
+      }
+    }
+  }
+  EXPECT_GT(moved, 0u);
+}
+
+TEST(ProbeDriver, WithdrawalFailoverObserved) {
+  Scenario s;
+  const PrefixId prefix = 42;
+  const NodeId pop_x = s.topo.edges[0];
+  const NodeId pop_y = s.topo.edges[1];
+  s.net.advertise(pop_x, prefix);
+  s.net.advertise(pop_y, prefix);
+  s.sched.run();
+
+  // Vantage points in X's catchment experience the withdrawal.
+  std::vector<NodeId> vantage;
+  for (auto it = s.topo.edges.begin() + 2; it != s.topo.edges.end(); ++it) {
+    if (s.net.catchment_origin(*it, prefix) == pop_x) vantage.push_back(*it);
+  }
+  ASSERT_FALSE(vantage.empty());
+
+  ProbeDriver driver(s.net, prefix, vantage);
+  driver.start(s.sched.now() + Duration::seconds(60));
+  SimTime withdraw_time;
+  s.sched.schedule_after(Duration::seconds(1), [&] {
+    withdraw_time = s.sched.now();
+    s.net.withdraw(pop_x, prefix);
+  });
+  s.sched.run();
+
+  // Every vantage point ends up answered by Y.
+  for (const NodeId vp : vantage) {
+    const auto t_y = driver.first_answer_from(vp, pop_y, withdraw_time);
+    ASSERT_TRUE(t_y) << s.net.label(vp);
+    // Failover (paper definition: t_Y - t_phi when timeouts occurred,
+    // else effectively instantaneous) completes well within the run.
+    EXPECT_LE(*t_y - withdraw_time, Duration::seconds(30));
+  }
+}
+
+TEST(ProbeDriver, RecordsUnknownVantageThrows) {
+  Scenario s;
+  ProbeDriver driver(s.net, 1, {s.topo.edges[0]});
+  EXPECT_THROW(driver.records(s.topo.edges[1]), std::invalid_argument);
+}
+
+TEST(ProbeDriver, TimeoutAccessors) {
+  // A vantage point probing a never-advertised prefix only times out.
+  Scenario s;
+  const NodeId vp = s.topo.edges[0];
+  ProbeDriver driver(s.net, 777, {vp});
+  driver.start(s.sched.now() + Duration::seconds(1));
+  s.sched.run();
+  EXPECT_TRUE(driver.first_timeout(vp, SimTime::origin()));
+  EXPECT_FALSE(driver.first_answer_from(vp, s.topo.edges[1], SimTime::origin()));
+  EXPECT_TRUE(driver.all_timeouts_between(vp, SimTime::origin(),
+                                          SimTime::origin() + Duration::seconds(1)));
+}
+
+}  // namespace
+}  // namespace akadns::netsim

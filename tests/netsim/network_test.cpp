@@ -1,0 +1,317 @@
+#include "netsim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netsim/topology.hpp"
+
+namespace akadns::netsim {
+namespace {
+
+NetworkConfig fast_config() {
+  NetworkConfig config;
+  config.processing_delay_min = Duration::millis(1);
+  config.processing_delay_max = Duration::millis(5);
+  config.slow_mrai_fraction = 0.0;  // deterministic-ish tests
+  config.fast_mrai_min = Duration::millis(10);
+  config.fast_mrai_max = Duration::millis(30);
+  return config;
+}
+
+TEST(Network, AddNodesAndLinks) {
+  EventScheduler sched;
+  Network net(sched, fast_config(), 1);
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  net.add_link(a, b, Duration::millis(10), LinkKind::ProviderToCustomer);
+  EXPECT_EQ(net.node_count(), 2u);
+  EXPECT_TRUE(net.has_link(a, b));
+  EXPECT_TRUE(net.has_link(b, a));
+  EXPECT_EQ(net.relationship(a, b), NeighborRel::Customer);  // b is a's customer
+  EXPECT_EQ(net.relationship(b, a), NeighborRel::Provider);
+  EXPECT_EQ(net.link_delay(a, b), Duration::millis(10));
+  EXPECT_EQ(net.label(a), "a");
+}
+
+TEST(Network, RejectsBadLinks) {
+  EventScheduler sched;
+  Network net(sched, fast_config(), 1);
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  EXPECT_THROW(net.add_link(a, a, Duration::millis(1), LinkKind::PeerToPeer),
+               std::invalid_argument);
+  net.add_link(a, b, Duration::millis(1), LinkKind::PeerToPeer);
+  EXPECT_THROW(net.add_link(b, a, Duration::millis(1), LinkKind::PeerToPeer),
+               std::invalid_argument);
+}
+
+TEST(Network, AdvertisementPropagatesAlongChain) {
+  EventScheduler sched;
+  Network net(sched, fast_config(), 2);
+  const auto chain = build_chain(net, 5, Duration::millis(10));
+  net.advertise(chain[0], /*prefix=*/7);
+  sched.run();
+  for (const auto node : chain) {
+    EXPECT_TRUE(net.has_route(node, 7)) << net.label(node);
+    EXPECT_EQ(net.catchment_origin(node, 7), chain[0]);
+  }
+  // AS path from the far end traverses the whole chain.
+  const auto path = net.best_path(chain[4], 7);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.back(), chain[0]);
+}
+
+TEST(Network, PropagationTakesLinkAndProcessingTime) {
+  EventScheduler sched;
+  Network net(sched, fast_config(), 3);
+  const auto chain = build_chain(net, 4, Duration::millis(50));
+  net.advertise(chain[0], 1);
+  // Immediately: no one else has the route yet.
+  EXPECT_FALSE(net.has_route(chain[3], 1));
+  sched.run();
+  EXPECT_TRUE(net.has_route(chain[3], 1));
+  // Propagation over 3 hops at >= 50ms+1ms each.
+  EXPECT_GE(sched.now().to_seconds(), 0.153);
+}
+
+TEST(Network, WithdrawalRemovesRoutes) {
+  EventScheduler sched;
+  Network net(sched, fast_config(), 4);
+  const auto chain = build_chain(net, 4, Duration::millis(10));
+  net.advertise(chain[0], 1);
+  sched.run();
+  net.withdraw(chain[0], 1);
+  sched.run();
+  for (const auto node : chain) {
+    EXPECT_FALSE(net.has_route(node, 1)) << net.label(node);
+    EXPECT_EQ(net.catchment_origin(node, 1), kInvalidNode);
+  }
+}
+
+/// Valley-free "tent": m2 at the top provides transit to m1 and m3;
+/// anycast origins X and Y hang off m1 and m3 as customers.
+struct Tent {
+  NodeId x, m1, m2, m3, y;
+};
+Tent build_tent(Network& net) {
+  Tent t;
+  t.x = net.add_node("X");
+  t.m1 = net.add_node("m1");
+  t.m2 = net.add_node("m2");
+  t.m3 = net.add_node("m3");
+  t.y = net.add_node("Y");
+  net.add_link(t.m1, t.x, Duration::millis(10), LinkKind::ProviderToCustomer);
+  net.add_link(t.m2, t.m1, Duration::millis(10), LinkKind::ProviderToCustomer);
+  net.add_link(t.m2, t.m3, Duration::millis(10), LinkKind::ProviderToCustomer);
+  net.add_link(t.m3, t.y, Duration::millis(10), LinkKind::ProviderToCustomer);
+  return t;
+}
+
+TEST(Network, AnycastPrefersCloserOrigin) {
+  EventScheduler sched;
+  Network net(sched, fast_config(), 5);
+  const Tent tent = build_tent(net);
+  net.advertise(tent.x, 9);
+  net.advertise(tent.y, 9);
+  sched.run();
+  // Each side routes to its own customer-side origin.
+  EXPECT_EQ(net.catchment_origin(tent.m1, 9), tent.x);
+  EXPECT_EQ(net.catchment_origin(tent.m3, 9), tent.y);
+  // The apex sees two equal customer routes; deterministic tiebreak.
+  const auto apex_origin = net.catchment_origin(tent.m2, 9);
+  EXPECT_TRUE(apex_origin == tent.x || apex_origin == tent.y);
+}
+
+TEST(Network, AnycastFailoverShiftsCatchment) {
+  EventScheduler sched;
+  Network net(sched, fast_config(), 6);
+  const Tent tent = build_tent(net);
+  net.advertise(tent.x, 9);
+  net.advertise(tent.y, 9);
+  sched.run();
+  ASSERT_EQ(net.catchment_origin(tent.m1, 9), tent.x);
+  net.withdraw(tent.x, 9);
+  sched.run();
+  // Everyone fails over to the surviving origin.
+  for (const auto node : {tent.x, tent.m1, tent.m2, tent.m3}) {
+    EXPECT_EQ(net.catchment_origin(node, 9), tent.y) << net.label(node);
+  }
+}
+
+TEST(Network, GaoRexfordPeerRoutesNotExportedToPeers) {
+  EventScheduler sched;
+  Network net(sched, fast_config(), 7);
+  // origin --customer-of--> t1 <--peer--> t2 <--peer--> t3
+  const auto origin = net.add_node("origin");
+  const auto t1 = net.add_node("t1");
+  const auto t2 = net.add_node("t2");
+  const auto t3 = net.add_node("t3");
+  net.add_link(t1, origin, Duration::millis(5), LinkKind::ProviderToCustomer);
+  net.add_link(t1, t2, Duration::millis(5), LinkKind::PeerToPeer);
+  net.add_link(t2, t3, Duration::millis(5), LinkKind::PeerToPeer);
+  net.advertise(origin, 1);
+  sched.run();
+  EXPECT_TRUE(net.has_route(t1, 1));   // customer route
+  EXPECT_TRUE(net.has_route(t2, 1));   // t1 exports customer route to peer
+  EXPECT_FALSE(net.has_route(t3, 1));  // t2 must not re-export a peer route to a peer
+}
+
+TEST(Network, CustomerRoutePreferredOverPeerRoute) {
+  EventScheduler sched;
+  Network net(sched, fast_config(), 8);
+  // t has both a customer path (longer) and a peer path (shorter) to the
+  // origin; policy prefers the customer path.
+  const auto origin = net.add_node("origin");
+  const auto mid = net.add_node("mid");
+  const auto t = net.add_node("t");
+  const auto peer = net.add_node("peer");
+  net.add_link(mid, origin, Duration::millis(5), LinkKind::ProviderToCustomer);
+  net.add_link(t, mid, Duration::millis(5), LinkKind::ProviderToCustomer);  // mid is t's customer
+  net.add_link(peer, origin, Duration::millis(5), LinkKind::ProviderToCustomer);
+  net.add_link(t, peer, Duration::millis(5), LinkKind::PeerToPeer);
+  net.advertise(origin, 1);
+  sched.run();
+  const auto path = net.best_path(t, 1);
+  ASSERT_EQ(path.size(), 2u);  // via mid (customer) though the peer path is equal length
+  EXPECT_EQ(path[0], mid);
+  EXPECT_EQ(path[1], origin);
+}
+
+TEST(Network, PerPeerExportControl) {
+  EventScheduler sched;
+  Network net(sched, fast_config(), 9);
+  const auto origin = net.add_node("origin");
+  const auto p1 = net.add_node("p1");
+  const auto p2 = net.add_node("p2");
+  net.add_link(p1, origin, Duration::millis(5), LinkKind::ProviderToCustomer);
+  net.add_link(p2, origin, Duration::millis(5), LinkKind::ProviderToCustomer);
+  // Disable export toward p2 before advertising.
+  net.set_export_enabled(origin, p2, 1, false);
+  net.advertise(origin, 1);
+  sched.run();
+  EXPECT_TRUE(net.has_route(p1, 1));
+  EXPECT_FALSE(net.has_route(p2, 1));
+  // Re-enable: p2 learns the route (traffic-engineering action undone).
+  net.set_export_enabled(origin, p2, 1, true);
+  sched.run();
+  EXPECT_TRUE(net.has_route(p2, 1));
+}
+
+TEST(Network, AnycastPacketDeliveredToCatchmentOrigin) {
+  EventScheduler sched;
+  Network net(sched, fast_config(), 10);
+  const auto chain = build_chain(net, 3, Duration::millis(10));
+  net.advertise(chain[0], 5);
+  sched.run();
+  NodeId delivered_at = kInvalidNode;
+  std::vector<std::uint8_t> delivered_payload;
+  net.attach_prefix_handler(5, [&](NodeId at, const Packet& packet) {
+    delivered_at = at;
+    delivered_payload = packet.payload;
+  });
+  net.send_to_prefix(chain[2], 5, {1, 2, 3});
+  sched.run();
+  EXPECT_EQ(delivered_at, chain[0]);
+  EXPECT_EQ(delivered_payload, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(Network, PacketDroppedWhenNoRoute) {
+  EventScheduler sched;
+  Network net(sched, fast_config(), 11);
+  const auto chain = build_chain(net, 3, Duration::millis(10));
+  std::optional<DropReason> dropped;
+  net.set_drop_handler([&](const Packet&, DropReason reason) { dropped = reason; });
+  net.send_to_prefix(chain[2], 99, {});
+  sched.run();
+  ASSERT_TRUE(dropped);
+  EXPECT_EQ(*dropped, DropReason::NoRoute);
+}
+
+TEST(Network, UnicastDeliveryAndDelay) {
+  EventScheduler sched;
+  Network net(sched, fast_config(), 12);
+  const auto chain = build_chain(net, 4, Duration::millis(10));
+  EXPECT_EQ(net.unicast_delay(chain[0], chain[3]), Duration::millis(30));
+  EXPECT_EQ(net.unicast_delay(chain[2], chain[2]), Duration::zero());
+  NodeId got = kInvalidNode;
+  net.attach_node_handler(chain[3], [&](NodeId at, const Packet&) { got = at; });
+  net.send_to_node(chain[0], chain[3], {42});
+  sched.run();
+  EXPECT_EQ(got, chain[3]);
+  EXPECT_EQ(sched.now(), SimTime::origin() + Duration::millis(30));
+}
+
+TEST(Network, InternetTopologyFullyRoutable) {
+  EventScheduler sched;
+  Network net(sched, fast_config(), 13);
+  TopologyConfig tconfig;
+  tconfig.tier1_count = 4;
+  tconfig.tier2_count = 10;
+  tconfig.edge_count = 30;
+  const auto topo = build_internet(net, tconfig, 99);
+  EXPECT_EQ(net.node_count(), 44u);
+  // Advertise from one edge; after convergence every edge can reach it.
+  net.advertise(topo.edges[0], 1);
+  sched.run();
+  for (const auto edge : topo.edges) {
+    EXPECT_EQ(net.catchment_origin(edge, 1), topo.edges[0]) << net.label(edge);
+  }
+}
+
+TEST(Network, InternetAnycastCatchmentsPartition) {
+  EventScheduler sched;
+  Network net(sched, fast_config(), 14);
+  TopologyConfig tconfig;
+  tconfig.tier1_count = 4;
+  tconfig.tier2_count = 12;
+  tconfig.edge_count = 40;
+  const auto topo = build_internet(net, tconfig, 77);
+  // Two anycast origins at opposite edges.
+  net.advertise(topo.edges[0], 1);
+  net.advertise(topo.edges[1], 1);
+  sched.run();
+  std::size_t to_a = 0, to_b = 0;
+  for (const auto edge : topo.edges) {
+    const auto origin = net.catchment_origin(edge, 1);
+    ASSERT_NE(origin, kInvalidNode) << net.label(edge);
+    if (origin == topo.edges[0]) ++to_a;
+    if (origin == topo.edges[1]) ++to_b;
+  }
+  EXPECT_EQ(to_a + to_b, topo.edges.size());
+  EXPECT_GT(to_a, 0u);
+  EXPECT_GT(to_b, 0u);
+}
+
+TEST(Network, UpdatesSentIsBounded) {
+  // Convergence must terminate (no infinite update loops).
+  EventScheduler sched;
+  Network net(sched, fast_config(), 15);
+  TopologyConfig tconfig;
+  tconfig.tier1_count = 3;
+  tconfig.tier2_count = 8;
+  tconfig.edge_count = 20;
+  const auto topo = build_internet(net, tconfig, 5);
+  net.advertise(topo.edges[0], 1);
+  sched.run();
+  const auto after_advertise = net.updates_sent();
+  EXPECT_GT(after_advertise, 0u);
+  net.withdraw(topo.edges[0], 1);
+  sched.run();
+  EXPECT_LT(net.updates_sent(), after_advertise + 100000u);
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(Network, ReadvertisementRestoresService) {
+  EventScheduler sched;
+  Network net(sched, fast_config(), 16);
+  const auto chain = build_chain(net, 4, Duration::millis(10));
+  net.advertise(chain[0], 1);
+  sched.run();
+  net.withdraw(chain[0], 1);
+  sched.run();
+  net.advertise(chain[0], 1);
+  sched.run();
+  EXPECT_EQ(net.catchment_origin(chain[3], 1), chain[0]);
+}
+
+}  // namespace
+}  // namespace akadns::netsim

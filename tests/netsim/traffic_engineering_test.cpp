@@ -1,0 +1,125 @@
+// Traffic-engineering scenarios (§4.3.2) on the data plane: a volumetric
+// attack congests a peering link; the operator actions of Figure 9 shift
+// traffic and restore legitimate goodput.
+
+#include <gtest/gtest.h>
+
+#include "core/decision_tree.hpp"
+#include "netsim/network.hpp"
+
+namespace akadns::netsim {
+namespace {
+
+NetworkConfig fast_config() {
+  NetworkConfig config;
+  config.processing_delay_min = Duration::millis(1);
+  config.processing_delay_max = Duration::millis(5);
+  config.slow_mrai_fraction = 0.0;
+  config.fast_mrai_min = Duration::millis(10);
+  config.fast_mrai_max = Duration::millis(30);
+  return config;
+}
+
+/// PoP multihomed to two providers; clients hang off each provider.
+struct Scenario {
+  EventScheduler sched;
+  Network net{sched, fast_config(), 5};
+  NodeId pop, provider_a, provider_b, client_a, client_b;
+  static constexpr PrefixId kCloud = 1;
+
+  Scenario() {
+    pop = net.add_node("pop");
+    provider_a = net.add_node("provider-a");
+    provider_b = net.add_node("provider-b");
+    client_a = net.add_node("client-a");
+    client_b = net.add_node("client-b");
+    net.add_link(provider_a, pop, Duration::millis(5), LinkKind::ProviderToCustomer);
+    net.add_link(provider_b, pop, Duration::millis(5), LinkKind::ProviderToCustomer);
+    net.add_link(provider_a, client_a, Duration::millis(5), LinkKind::ProviderToCustomer);
+    net.add_link(provider_b, client_b, Duration::millis(5), LinkKind::ProviderToCustomer);
+    net.add_link(provider_a, provider_b, Duration::millis(8), LinkKind::PeerToPeer);
+    net.advertise(pop, kCloud);
+    sched.run();
+  }
+
+  /// Sends `count` probes from a client; returns the delivered fraction.
+  double goodput(NodeId client, int count = 200) {
+    int delivered = 0;
+    net.attach_prefix_handler(kCloud, [&](NodeId, const Packet&) { ++delivered; });
+    for (int i = 0; i < count; ++i) net.send_to_prefix(client, kCloud, {1});
+    sched.run();
+    return static_cast<double>(delivered) / count;
+  }
+};
+
+TEST(TrafficEngineering, CongestedLinkDropsTraffic) {
+  Scenario s;
+  EXPECT_DOUBLE_EQ(s.goodput(s.client_a), 1.0);
+  // Volumetric attack saturates the provider-a -> pop peering link.
+  s.net.set_link_loss(s.provider_a, s.pop, 0.9);
+  const double under_attack = s.goodput(s.client_a);
+  EXPECT_LT(under_attack, 0.25);
+  EXPECT_GT(under_attack, 0.0);
+  // client-b's path is unaffected.
+  EXPECT_DOUBLE_EQ(s.goodput(s.client_b), 1.0);
+}
+
+TEST(TrafficEngineering, LeafIvWithdrawFromAttackSourcingLink) {
+  // Figure 9 leaf IV: withdraw from the congested attack-sourcing link;
+  // traffic through provider-a reroutes laterally via provider-b.
+  Scenario s;
+  s.net.set_link_loss(s.provider_a, s.pop, 0.95);
+  ASSERT_LT(s.goodput(s.client_a), 0.3);
+
+  const core::AttackConditions conditions{.resolvers_dosed = true,
+                                          .peering_links_congested = true,
+                                          .compute_saturated = false,
+                                          .can_spread_attack = true};
+  ASSERT_EQ(core::decide(conditions), core::TrafficAction::WithdrawAllAttackLinks);
+
+  s.net.set_export_enabled(s.pop, s.provider_a, Scenario::kCloud, false);
+  s.sched.run();
+  // provider-a now reaches the PoP through its peering with provider-b,
+  // bypassing the congested direct link.
+  const auto path = s.net.best_path(s.provider_a, Scenario::kCloud);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path[0], s.provider_b);
+  EXPECT_DOUBLE_EQ(s.goodput(s.client_a), 1.0);
+}
+
+TEST(TrafficEngineering, ReadvertisingRestoresTheDirectPath) {
+  Scenario s;
+  s.net.set_export_enabled(s.pop, s.provider_a, Scenario::kCloud, false);
+  s.sched.run();
+  ASSERT_EQ(s.net.best_path(s.provider_a, Scenario::kCloud)[0], s.provider_b);
+  // Attack over: clear the congestion and re-advertise (undoing leaf IV).
+  s.net.set_link_loss(s.provider_a, s.pop, 0.0);
+  s.net.set_export_enabled(s.pop, s.provider_a, Scenario::kCloud, true);
+  s.sched.run();
+  EXPECT_EQ(s.net.best_path(s.provider_a, Scenario::kCloud).size(), 1u);
+  EXPECT_DOUBLE_EQ(s.goodput(s.client_a), 1.0);
+}
+
+TEST(TrafficEngineering, LinkLossAccessors) {
+  Scenario s;
+  EXPECT_DOUBLE_EQ(s.net.link_loss(s.provider_a, s.pop), 0.0);
+  s.net.set_link_loss(s.provider_a, s.pop, 1.5);  // clamped
+  EXPECT_DOUBLE_EQ(s.net.link_loss(s.provider_a, s.pop), 1.0);
+  // Per-direction: the reverse direction is untouched.
+  EXPECT_DOUBLE_EQ(s.net.link_loss(s.pop, s.provider_a), 0.0);
+  EXPECT_THROW(s.net.link_loss(s.client_a, s.client_b), std::invalid_argument);
+}
+
+TEST(TrafficEngineering, FullLossBlackholesEverything) {
+  Scenario s;
+  s.net.set_link_loss(s.provider_a, s.pop, 1.0);
+  int congested_drops = 0;
+  s.net.set_drop_handler([&](const Packet&, DropReason reason) {
+    if (reason == DropReason::Congested) ++congested_drops;
+  });
+  EXPECT_DOUBLE_EQ(s.goodput(s.client_a, 50), 0.0);
+  EXPECT_EQ(congested_drops, 50);
+}
+
+}  // namespace
+}  // namespace akadns::netsim

@@ -1,0 +1,189 @@
+#include "pop/monitoring_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dns/wire.hpp"
+#include "zone/zone_builder.hpp"
+
+namespace akadns::pop {
+namespace {
+
+using dns::DnsName;
+using dns::RecordType;
+
+struct Fixture {
+  EventScheduler sched;
+  zone::ZoneStore store;
+  SuspensionCoordinator coordinator{{.max_suspended_fraction = 0.5, .min_allowed = 1}};
+
+  Fixture() {
+    store.publish(zone::ZoneBuilder("example.com", 1)
+                      .ns("@", "ns1.example.com")
+                      .a("ns1", "10.0.0.1")
+                      .a("www", "10.0.0.2")
+                      .build());
+  }
+
+  MachineConfig machine_config(const std::string& id) {
+    MachineConfig config;
+    config.id = id;
+    config.nameserver.staleness_threshold = Duration::seconds(30);
+    return config;
+  }
+};
+
+TEST(MonitoringAgent, HealthyMachinePasses) {
+  Fixture f;
+  Machine machine(f.machine_config("m1"), f.store);
+  machine.nameserver().metadata_updated(f.sched.now());
+  machine.speaker().advertise(7);
+  MonitoringAgent agent(machine, f.store, f.coordinator, f.sched);
+  EXPECT_TRUE(agent.check_now());
+  EXPECT_EQ(agent.stats().failures_detected, 0u);
+  EXPECT_TRUE(machine.speaker().advertising(7));
+}
+
+TEST(MonitoringAgent, DiskFailureTriggersSelfSuspension) {
+  Fixture f;
+  Machine machine(f.machine_config("m1"), f.store);
+  machine.nameserver().metadata_updated(f.sched.now());
+  machine.speaker().advertise(7);
+  MonitoringAgent agent(machine, f.store, f.coordinator, f.sched);
+  machine.inject_failure(FailureType::Disk);
+  EXPECT_FALSE(agent.check_now());
+  EXPECT_EQ(agent.stats().suspensions, 1u);
+  EXPECT_EQ(machine.nameserver().state(), server::ServerState::SelfSuspended);
+  EXPECT_FALSE(machine.speaker().advertising(7));  // traffic shifts away
+}
+
+TEST(MonitoringAgent, RecoveryResumesAndReadvertises) {
+  Fixture f;
+  Machine machine(f.machine_config("m1"), f.store);
+  machine.nameserver().metadata_updated(f.sched.now());
+  machine.speaker().advertise(7);
+  MonitoringAgent agent(machine, f.store, f.coordinator, f.sched);
+  machine.inject_failure(FailureType::Disk);
+  agent.check_now();
+  ASSERT_EQ(machine.nameserver().state(), server::ServerState::SelfSuspended);
+  // Operator replaces the disk.
+  machine.clear_failure();
+  EXPECT_TRUE(agent.check_now());
+  EXPECT_EQ(agent.stats().recoveries, 1u);
+  EXPECT_TRUE(machine.nameserver().running());
+  EXPECT_TRUE(machine.speaker().advertising(7));
+  EXPECT_EQ(f.coordinator.suspended_count(), 0u);
+}
+
+TEST(MonitoringAgent, StaleMetadataTriggersSuspension) {
+  Fixture f;
+  Machine machine(f.machine_config("m1"), f.store);
+  machine.nameserver().metadata_updated(f.sched.now());
+  MonitoringAgent agent(machine, f.store, f.coordinator, f.sched);
+  f.sched.run_until(f.sched.now() + Duration::minutes(5));  // no updates arrive
+  EXPECT_FALSE(agent.check_now());
+  EXPECT_EQ(machine.nameserver().state(), server::ServerState::SelfSuspended);
+  // Metadata flow restored.
+  machine.nameserver().metadata_updated(f.sched.now());
+  EXPECT_TRUE(agent.check_now());
+  EXPECT_TRUE(machine.nameserver().running());
+}
+
+TEST(MonitoringAgent, InputDelayedMachineIgnoresStaleness) {
+  Fixture f;
+  auto config = f.machine_config("delayed");
+  config.input_delayed = true;
+  Machine machine(std::move(config), f.store);
+  MonitoringAgent agent(machine, f.store, f.coordinator, f.sched);
+  f.sched.run_until(f.sched.now() + Duration::hours(5));
+  EXPECT_TRUE(agent.check_now());
+  EXPECT_TRUE(machine.nameserver().running());
+}
+
+TEST(MonitoringAgent, QuotaPreventsWidespreadSuspension) {
+  Fixture f;
+  // 4 machines, quota = 2. All fail simultaneously (e.g. bad software
+  // release); only 2 may suspend, the rest serve degraded.
+  std::vector<std::unique_ptr<Machine>> machines;
+  std::vector<std::unique_ptr<MonitoringAgent>> agents;
+  for (int i = 0; i < 4; ++i) {
+    machines.push_back(
+        std::make_unique<Machine>(f.machine_config("m" + std::to_string(i)), f.store));
+    machines.back()->nameserver().metadata_updated(f.sched.now());
+    machines.back()->speaker().advertise(7);
+    agents.push_back(std::make_unique<MonitoringAgent>(*machines.back(), f.store,
+                                                       f.coordinator, f.sched));
+  }
+  for (auto& m : machines) m->inject_failure(FailureType::Disk);
+  int suspended = 0;
+  for (auto& agent : agents) {
+    agent->check_now();
+  }
+  for (auto& m : machines) {
+    if (m->nameserver().state() == server::ServerState::SelfSuspended) ++suspended;
+  }
+  EXPECT_EQ(suspended, 2);
+  // The non-suspended machines keep advertising (degraded service beats
+  // no service).
+  int advertising = 0;
+  for (auto& m : machines) {
+    if (m->speaker().advertising(7)) ++advertising;
+  }
+  EXPECT_EQ(advertising, 2);
+}
+
+TEST(MonitoringAgent, CrashedNameserverIsRestarted) {
+  Fixture f;
+  Machine machine(f.machine_config("m1"), f.store);
+  machine.nameserver().metadata_updated(f.sched.now());
+  MonitoringAgent agent(machine, f.store, f.coordinator, f.sched);
+  machine.nameserver().set_crash_predicate([](const dns::Question& q) {
+    return q.name == DnsName::from("death.example.com");
+  });
+  const Endpoint src{*IpAddr::parse("198.51.100.1"), 5353};
+  const auto wire =
+      dns::encode(dns::make_query(1, DnsName::from("death.example.com"), RecordType::A));
+  machine.deliver(wire, src, 57, f.sched.now());
+  machine.pump(f.sched.now());
+  ASSERT_EQ(machine.nameserver().state(), server::ServerState::Crashed);
+  EXPECT_TRUE(agent.check_now());
+  EXPECT_EQ(agent.stats().restarts, 1u);
+  EXPECT_TRUE(machine.nameserver().running());
+}
+
+TEST(MonitoringAgent, PeriodicCheckingDetectsFailure) {
+  Fixture f;
+  Machine machine(f.machine_config("m1"), f.store);
+  machine.nameserver().metadata_updated(f.sched.now());
+  machine.speaker().advertise(7);
+  MonitoringAgentConfig agent_config;
+  agent_config.check_interval = Duration::seconds(1);
+  MonitoringAgent agent(machine, f.store, f.coordinator, f.sched, agent_config);
+  agent.start();
+  // Keep metadata fresh while we run the clock.
+  for (int i = 0; i < 10; ++i) {
+    f.sched.schedule_after(Duration::seconds(i),
+                           [&] { machine.nameserver().metadata_updated(f.sched.now()); });
+  }
+  f.sched.schedule_after(Duration::millis(3500),
+                         [&] { machine.inject_failure(FailureType::Memory); });
+  f.sched.run_until(f.sched.now() + Duration::seconds(8));
+  agent.stop();
+  f.sched.run();
+  EXPECT_GE(agent.stats().checks, 7u);
+  EXPECT_GT(agent.stats().failures_detected, 0u);
+  EXPECT_EQ(machine.nameserver().state(), server::ServerState::SelfSuspended);
+}
+
+TEST(MonitoringAgent, RegressionTestsIncluded) {
+  Fixture f;
+  Machine machine(f.machine_config("m1"), f.store);
+  machine.nameserver().metadata_updated(f.sched.now());
+  MonitoringAgentConfig config;
+  config.regression_tests.push_back(dns::Question{
+      DnsName::from("www.example.com"), RecordType::A, dns::RecordClass::IN});
+  MonitoringAgent agent(machine, f.store, f.coordinator, f.sched, config);
+  EXPECT_TRUE(agent.check_now());
+}
+
+}  // namespace
+}  // namespace akadns::pop

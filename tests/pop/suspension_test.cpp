@@ -1,0 +1,82 @@
+#include "pop/suspension.hpp"
+
+#include <gtest/gtest.h>
+
+namespace akadns::pop {
+namespace {
+
+TEST(SuspensionCoordinator, GrantsWithinQuota) {
+  SuspensionCoordinator coord({.max_suspended_fraction = 0.25, .min_allowed = 1});
+  for (int i = 0; i < 8; ++i) coord.register_machine("m" + std::to_string(i));
+  EXPECT_EQ(coord.quota(), 2u);
+  EXPECT_TRUE(coord.request_suspension("m0"));
+  EXPECT_TRUE(coord.request_suspension("m1"));
+  EXPECT_FALSE(coord.request_suspension("m2"));  // quota reached
+  EXPECT_EQ(coord.suspended_count(), 2u);
+  EXPECT_EQ(coord.denied_requests(), 1u);
+}
+
+TEST(SuspensionCoordinator, ReleaseFreesSlot) {
+  SuspensionCoordinator coord({.max_suspended_fraction = 0.25, .min_allowed = 1});
+  for (int i = 0; i < 4; ++i) coord.register_machine("m" + std::to_string(i));
+  EXPECT_TRUE(coord.request_suspension("m0"));
+  EXPECT_FALSE(coord.request_suspension("m1"));
+  coord.release("m0");
+  EXPECT_TRUE(coord.request_suspension("m1"));
+}
+
+TEST(SuspensionCoordinator, RepeatRequestFromHolderIsGranted) {
+  SuspensionCoordinator coord({.max_suspended_fraction = 0.25, .min_allowed = 1});
+  for (int i = 0; i < 4; ++i) coord.register_machine("m" + std::to_string(i));
+  EXPECT_TRUE(coord.request_suspension("m0"));
+  EXPECT_TRUE(coord.request_suspension("m0"));
+  EXPECT_EQ(coord.suspended_count(), 1u);
+}
+
+TEST(SuspensionCoordinator, MinAllowedFloor) {
+  // Tiny fleets can always suspend one bad machine.
+  SuspensionCoordinator coord({.max_suspended_fraction = 0.1, .min_allowed = 1});
+  coord.register_machine("only");
+  EXPECT_EQ(coord.quota(), 1u);
+  EXPECT_TRUE(coord.request_suspension("only"));
+}
+
+TEST(SuspensionCoordinator, WidespreadFailureIsCapped) {
+  // The scenario the paper defends against: every machine wants to
+  // self-suspend (e.g. a bug in the agent) — most are denied, capacity
+  // is preserved.
+  SuspensionCoordinator coord({.max_suspended_fraction = 0.25, .min_allowed = 1});
+  for (int i = 0; i < 100; ++i) coord.register_machine("m" + std::to_string(i));
+  int granted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (coord.request_suspension("m" + std::to_string(i))) ++granted;
+  }
+  EXPECT_EQ(granted, 25);
+  EXPECT_EQ(coord.denied_requests(), 75u);
+}
+
+TEST(SuspensionCoordinator, UnknownMachineRejected) {
+  SuspensionCoordinator coord;
+  EXPECT_FALSE(coord.request_suspension("ghost"));
+}
+
+TEST(SuspensionCoordinator, UnregisterReleasesSuspension) {
+  SuspensionCoordinator coord({.max_suspended_fraction = 0.5, .min_allowed = 1});
+  coord.register_machine("a");
+  coord.register_machine("b");
+  EXPECT_TRUE(coord.request_suspension("a"));
+  coord.unregister_machine("a");
+  EXPECT_EQ(coord.suspended_count(), 0u);
+  EXPECT_EQ(coord.fleet_size(), 1u);
+}
+
+TEST(SuspensionCoordinator, IsSuspendedQuery) {
+  SuspensionCoordinator coord;
+  coord.register_machine("a");
+  EXPECT_FALSE(coord.is_suspended("a"));
+  coord.request_suspension("a");
+  EXPECT_TRUE(coord.is_suspended("a"));
+}
+
+}  // namespace
+}  // namespace akadns::pop

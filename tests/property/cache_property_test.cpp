@@ -1,0 +1,122 @@
+// Property tests for the resolver cache against a naive reference model
+// (map + expiry), plus the LRU capacity bound and TTL-rewrite invariants.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "resolver/cache.hpp"
+
+namespace akadns::resolver {
+namespace {
+
+using dns::DnsName;
+using dns::RecordType;
+
+struct ReferenceEntry {
+  std::uint32_t ttl = 0;
+  SimTime inserted;
+  bool negative = false;
+};
+
+DnsName name_for(std::uint64_t i) {
+  return DnsName::from("n" + std::to_string(i) + ".prop.example");
+}
+
+class CacheProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CacheProperty, AgreesWithReferenceModel) {
+  Rng rng(GetParam());
+  // Capacity large enough that LRU never evicts: pure TTL semantics.
+  ResolverCache cache(100'000);
+  std::map<std::pair<DnsName, RecordType>, ReferenceEntry> reference;
+
+  SimTime now = SimTime::origin();
+  for (int op = 0; op < 4000; ++op) {
+    now += Duration::seconds_f(rng.next_double() * 5.0);
+    const DnsName name = name_for(rng.next_below(50));
+    const RecordType type = rng.next_bool(0.5) ? RecordType::A : RecordType::AAAA;
+    const auto key = std::pair(name, type);
+    switch (rng.next_below(4)) {
+      case 0: {  // positive insert
+        const auto ttl = static_cast<std::uint32_t>(1 + rng.next_below(120));
+        cache.insert(name, type, {dns::make_a(name, Ipv4Addr(1, 2, 3, 4), ttl)}, now);
+        reference[key] = ReferenceEntry{ttl, now, false};
+        break;
+      }
+      case 1: {  // negative insert
+        const auto ttl = static_cast<std::uint32_t>(1 + rng.next_below(60));
+        cache.insert_negative(name, type, dns::Rcode::NxDomain, ttl, now);
+        reference[key] = ReferenceEntry{ttl, now, true};
+        break;
+      }
+      case 2: {  // evict
+        const bool had = reference.erase(key) > 0;
+        // The cache may have lazily dropped an expired entry already;
+        // only assert agreement for unexpired entries.
+        const bool cache_had = cache.evict(name, type);
+        if (had) {
+          const auto& entry = reference.find(key);
+          (void)entry;
+        }
+        (void)cache_had;
+        break;
+      }
+      default: {  // lookup
+        const auto got = cache.lookup(name, type, now);
+        const auto it = reference.find(key);
+        const bool reference_live =
+            it != reference.end() &&
+            it->second.inserted + Duration::seconds(it->second.ttl) > now;
+        EXPECT_EQ(got.has_value(), reference_live)
+            << "op " << op << " " << name.to_string();
+        if (got && reference_live) {
+          EXPECT_EQ(got->negative, it->second.negative);
+          if (!got->negative) {
+            // Remaining TTL is original minus elapsed (floored seconds).
+            const auto remaining = (it->second.inserted +
+                                    Duration::seconds(it->second.ttl) - now)
+                                       .to_seconds();
+            EXPECT_LE(got->records[0].ttl, it->second.ttl);
+            EXPECT_NEAR(static_cast<double>(got->records[0].ttl), remaining, 1.001);
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+TEST_P(CacheProperty, SizeNeverExceedsCapacity) {
+  Rng rng(GetParam() ^ 0x11);
+  const std::size_t capacity = 16;
+  ResolverCache cache(capacity);
+  SimTime now = SimTime::origin();
+  for (int op = 0; op < 2000; ++op) {
+    now += Duration::millis(10);
+    cache.insert(name_for(rng.next_below(200)), RecordType::A,
+                 {dns::make_a(name_for(0), Ipv4Addr(1, 1, 1, 1), 3600)}, now);
+    ASSERT_LE(cache.size(), capacity);
+  }
+}
+
+TEST_P(CacheProperty, LruKeepsHotEntries) {
+  Rng rng(GetParam() ^ 0x22);
+  ResolverCache cache(8);
+  const SimTime now = SimTime::origin();
+  const DnsName hot = name_for(9999);
+  cache.insert(hot, RecordType::A, {dns::make_a(hot, Ipv4Addr(1, 1, 1, 1), 3600)}, now);
+  for (int i = 0; i < 500; ++i) {
+    // Touch the hot entry, then insert a cold one.
+    ASSERT_TRUE(cache.lookup(hot, RecordType::A, now)) << "iteration " << i;
+    cache.insert(name_for(rng.next_below(1000)), RecordType::A,
+                 {dns::make_a(hot, Ipv4Addr(2, 2, 2, 2), 3600)}, now);
+  }
+  EXPECT_TRUE(cache.lookup(hot, RecordType::A, now));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheProperty, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace akadns::resolver

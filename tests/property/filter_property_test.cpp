@@ -1,0 +1,124 @@
+// Conformance properties of the trained filters, swept over parameter
+// grids: a trained rate-limit filter admits in-profile traffic and
+// rejects overload roughly in proportion to the overload factor; the
+// hop-count filter never flags consistent sources and always flags
+// far-off spoofers; the loyalty filter's ripening bound holds for any
+// configured period.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "filters/hopcount_filter.hpp"
+#include "filters/loyalty_filter.hpp"
+#include "filters/rate_limit_filter.hpp"
+
+namespace akadns::filters {
+namespace {
+
+QueryContext make_ctx(const IpAddr& source, std::uint8_t ttl, SimTime now) {
+  QueryContext ctx;
+  ctx.source = Endpoint{source, 5353};
+  ctx.ip_ttl = ttl;
+  ctx.question = dns::Question{dns::DnsName::from("q.prop.example"), dns::RecordType::A,
+                               dns::RecordClass::IN};
+  ctx.now = now;
+  return ctx;
+}
+
+class RateLimitConformance
+    : public ::testing::TestWithParam<std::tuple<double /*trained qps*/,
+                                                 double /*overload factor*/>> {};
+
+TEST_P(RateLimitConformance, InProfilePassesOverloadPenalized) {
+  const auto [trained_qps, factor] = GetParam();
+  RateLimitFilter filter({.penalty = 60.0,
+                          .headroom = 3.0,
+                          .min_limit_qps = 1.0,
+                          .burst_seconds = 2.0,
+                          .default_limit_qps = 5.0});
+  const auto source = *IpAddr::parse("192.0.2.1");
+  // Train for 20 minutes at the profile rate (time-ordered Poisson
+  // stream — the learner's decay needs monotone timestamps).
+  Rng rng(1);
+  SimTime t = SimTime::origin();
+  double train_clock = 0.0;
+  while (train_clock < 1200.0) {
+    train_clock += rng.next_exponential(trained_qps);
+    filter.learn(source, t + Duration::seconds_f(train_clock));
+  }
+  t += Duration::minutes(20);
+  filter.finalize_learning(t);
+
+  // Offer at `factor` times the trained rate for 30 seconds.
+  const double offered = trained_qps * factor;
+  std::uint64_t penalized = 0, offered_count = 0;
+  double clock = 0.0;
+  while (clock < 30.0) {
+    clock += rng.next_exponential(offered);
+    if (clock >= 30.0) break;
+    ++offered_count;
+    if (filter.score(make_ctx(source, 57, t + Duration::seconds_f(clock))) > 0) {
+      ++penalized;
+    }
+  }
+  ASSERT_GT(offered_count, 0u);
+  const double penalized_fraction =
+      static_cast<double>(penalized) / static_cast<double>(offered_count);
+  if (factor <= 1.0) {
+    // In-profile (headroom 3x): essentially nothing penalized.
+    EXPECT_LT(penalized_fraction, 0.02)
+        << "qps=" << trained_qps << " factor=" << factor;
+  } else if (factor >= 6.0) {
+    // Far past the learned limit: at least (1 - headroom/factor) - slack.
+    EXPECT_GT(penalized_fraction, (1.0 - 3.0 / factor) - 0.15)
+        << "qps=" << trained_qps << " factor=" << factor;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RateLimitConformance,
+    ::testing::Combine(::testing::Values(5.0, 50.0, 500.0),
+                       ::testing::Values(0.5, 1.0, 6.0, 20.0)));
+
+class HopCountConformance : public ::testing::TestWithParam<int /*spoof offset*/> {};
+
+TEST_P(HopCountConformance, OffsetBeyondToleranceAlwaysFlagged) {
+  const int offset = GetParam();
+  HopCountFilter filter({.penalty = 50.0, .tolerance = 1});
+  const auto source = *IpAddr::parse("192.0.2.7");
+  for (int i = 0; i < 20; ++i) filter.learn(source, 57);
+  const auto score =
+      filter.score(make_ctx(source, static_cast<std::uint8_t>(57 + offset),
+                            SimTime::origin()));
+  if (std::abs(offset) <= 1) {
+    EXPECT_DOUBLE_EQ(score, 0.0) << "offset " << offset;
+  } else {
+    EXPECT_GT(score, 0.0) << "offset " << offset;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, HopCountConformance,
+                         ::testing::Values(-20, -5, -2, -1, 0, 1, 2, 5, 20));
+
+class LoyaltyRipening : public ::testing::TestWithParam<std::int64_t /*ripen minutes*/> {};
+
+TEST_P(LoyaltyRipening, RipensExactlyAtTheConfiguredBoundary) {
+  const auto ripen = Duration::minutes(GetParam());
+  LoyaltyFilter filter({.penalty = 40.0, .ripen_after = ripen});
+  const auto source = *IpAddr::parse("203.0.113.9");
+  SimTime t = SimTime::origin() + Duration::days(1);
+  // First sighting starts the clock (and is penalized).
+  EXPECT_GT(filter.score(make_ctx(source, 57, t)), 0.0);
+  // Just before the boundary: still penalized.
+  EXPECT_GT(filter.score(make_ctx(source, 57, t + ripen - Duration::seconds(1))), 0.0);
+  // At/after the boundary: loyal.
+  EXPECT_DOUBLE_EQ(filter.score(make_ctx(source, 57, t + ripen)), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, LoyaltyRipening,
+                         ::testing::Values<std::int64_t>(1, 10, 60, 24 * 60));
+
+}  // namespace
+}  // namespace akadns::filters

@@ -1,0 +1,155 @@
+// Property tests for the network simulator: across random topologies and
+// seeds, BGP convergence terminates, reaches every connected node, obeys
+// valley-free export rules, and the data plane agrees with the control
+// plane after convergence.
+
+#include <gtest/gtest.h>
+
+#include "netsim/topology.hpp"
+
+namespace akadns::netsim {
+namespace {
+
+struct Instance {
+  EventScheduler sched;
+  Network net;
+  Topology topo;
+
+  explicit Instance(std::uint64_t seed)
+      : net(sched,
+            [] {
+              NetworkConfig config;
+              config.processing_delay_min = Duration::millis(1);
+              config.processing_delay_max = Duration::millis(10);
+              config.slow_mrai_fraction = 0.05;
+              config.slow_mrai_min = Duration::millis(500);
+              config.slow_mrai_max = Duration::seconds(2);
+              return config;
+            }(),
+            seed) {
+    TopologyConfig tconfig;
+    tconfig.tier1_count = 3 + seed % 3;
+    tconfig.tier2_count = 6 + seed % 8;
+    tconfig.edge_count = 15 + seed % 20;
+    topo = build_internet(net, tconfig, seed ^ 0xABCDEF);
+  }
+};
+
+class NetsimProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetsimProperty, ConvergenceTerminatesAndReachesEveryone) {
+  Instance inst(GetParam());
+  inst.net.advertise(inst.topo.edges[0], 1);
+  inst.sched.run();
+  EXPECT_TRUE(inst.sched.empty());
+  // The transit-stub construction is connected: every node has a route.
+  for (NodeId node = 0; node < inst.net.node_count(); ++node) {
+    EXPECT_TRUE(inst.net.has_route(node, 1)) << inst.net.label(node);
+    EXPECT_EQ(inst.net.catchment_origin(node, 1), inst.topo.edges[0]);
+  }
+}
+
+TEST_P(NetsimProperty, WithdrawalCleansEveryTable) {
+  Instance inst(GetParam());
+  inst.net.advertise(inst.topo.edges[0], 1);
+  inst.sched.run();
+  inst.net.withdraw(inst.topo.edges[0], 1);
+  inst.sched.run();
+  for (NodeId node = 0; node < inst.net.node_count(); ++node) {
+    EXPECT_FALSE(inst.net.has_route(node, 1)) << inst.net.label(node);
+  }
+}
+
+TEST_P(NetsimProperty, BestPathsAreLoopFreeAndTerminateAtOrigin) {
+  Instance inst(GetParam());
+  const NodeId origin = inst.topo.edges[0];
+  inst.net.advertise(origin, 1);
+  inst.sched.run();
+  for (NodeId node = 0; node < inst.net.node_count(); ++node) {
+    const auto path = inst.net.best_path(node, 1);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.back(), origin);
+    std::set<NodeId> seen(path.begin(), path.end());
+    EXPECT_EQ(seen.size(), path.size()) << "AS path loop at " << inst.net.label(node);
+    if (node != origin) {
+      // The origin's own path is {origin}; everyone else must not appear
+      // in their own learned path (loop prevention).
+      EXPECT_FALSE(seen.contains(node)) << "self in path at " << inst.net.label(node);
+    }
+  }
+}
+
+TEST_P(NetsimProperty, AnycastCatchmentsCoverAllEdges) {
+  Instance inst(GetParam());
+  // Three anycast origins; after convergence every edge lands on exactly
+  // one of them, and each origin serves itself.
+  const std::vector<NodeId> origins{inst.topo.edges[0], inst.topo.edges[1],
+                                    inst.topo.edges[2]};
+  for (const auto o : origins) inst.net.advertise(o, 9);
+  inst.sched.run();
+  for (const auto edge : inst.topo.edges) {
+    const auto origin = inst.net.catchment_origin(edge, 9);
+    EXPECT_NE(origin, kInvalidNode) << inst.net.label(edge);
+    EXPECT_TRUE(std::find(origins.begin(), origins.end(), origin) != origins.end());
+  }
+  for (const auto o : origins) {
+    EXPECT_EQ(inst.net.catchment_origin(o, 9), o);
+  }
+}
+
+TEST_P(NetsimProperty, DataPlaneAgreesWithControlPlaneAfterConvergence) {
+  Instance inst(GetParam());
+  const std::vector<NodeId> origins{inst.topo.edges[0], inst.topo.edges[1]};
+  for (const auto o : origins) inst.net.advertise(o, 9);
+  inst.sched.run();
+
+  NodeId delivered_at = kInvalidNode;
+  inst.net.attach_prefix_handler(9, [&](NodeId at, const Packet&) { delivered_at = at; });
+  for (std::size_t i = 3; i < std::min<std::size_t>(inst.topo.edges.size(), 12); ++i) {
+    const NodeId from = inst.topo.edges[i];
+    delivered_at = kInvalidNode;
+    inst.net.send_to_prefix(from, 9, {1});
+    inst.sched.run();
+    EXPECT_EQ(delivered_at, inst.net.catchment_origin(from, 9))
+        << "divergence at " << inst.net.label(from);
+  }
+}
+
+TEST_P(NetsimProperty, UnicastDelayIsSymmetricAndTriangular) {
+  Instance inst(GetParam());
+  Rng rng(GetParam());
+  for (int probe = 0; probe < 20; ++probe) {
+    const NodeId a = static_cast<NodeId>(rng.next_below(inst.net.node_count()));
+    const NodeId b = static_cast<NodeId>(rng.next_below(inst.net.node_count()));
+    const NodeId c = static_cast<NodeId>(rng.next_below(inst.net.node_count()));
+    EXPECT_EQ(inst.net.unicast_delay(a, b), inst.net.unicast_delay(b, a));
+    EXPECT_LE(inst.net.unicast_delay(a, c).count_nanos(),
+              inst.net.unicast_delay(a, b).count_nanos() +
+                  inst.net.unicast_delay(b, c).count_nanos());
+  }
+}
+
+TEST_P(NetsimProperty, RepeatedFlapsAlwaysReconverge) {
+  Instance inst(GetParam());
+  const NodeId x = inst.topo.edges[0];
+  const NodeId y = inst.topo.edges[1];
+  inst.net.advertise(y, 5);
+  inst.sched.run();
+  for (int flap = 0; flap < 4; ++flap) {
+    inst.net.advertise(x, 5);
+    inst.sched.run();
+    EXPECT_EQ(inst.net.catchment_origin(x, 5), x);
+    inst.net.withdraw(x, 5);
+    inst.sched.run();
+    for (const auto edge : inst.topo.edges) {
+      EXPECT_EQ(inst.net.catchment_origin(edge, 5), y)
+          << "flap " << flap << " at " << inst.net.label(edge);
+    }
+  }
+  EXPECT_TRUE(inst.sched.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetsimProperty, ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace akadns::netsim

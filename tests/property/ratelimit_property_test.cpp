@@ -1,0 +1,111 @@
+// Parameterized conformance sweeps for the shaping primitives: over a
+// grid of (rate, burst) configurations, the leaky bucket's long-run
+// accept count never exceeds rate*T + burst, never rejects a conformant
+// constant stream, and the token bucket is its exact dual.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/leaky_bucket.hpp"
+#include "common/rng.hpp"
+#include "common/token_bucket.hpp"
+#include "common/zipf.hpp"
+
+namespace akadns {
+namespace {
+
+using Params = std::tuple<double /*rate*/, double /*burst*/, double /*offered_multiple*/>;
+
+class BucketConformance : public ::testing::TestWithParam<Params> {};
+
+TEST_P(BucketConformance, LeakyBucketNeverOverAdmits) {
+  const auto [rate, burst, offered_multiple] = GetParam();
+  LeakyBucket bucket(rate, burst);
+  Rng rng(42);
+  const double horizon = 30.0;
+  const double offered_rate = rate * offered_multiple;
+  double t = 0.0;
+  std::uint64_t accepted = 0;
+  while (t < horizon) {
+    t += rng.next_exponential(offered_rate);
+    if (t >= horizon) break;
+    if (bucket.offer(SimTime::from_seconds(t))) ++accepted;
+  }
+  // Hard conformance bound: accepted <= rate*T + burst (+1 slack).
+  EXPECT_LE(static_cast<double>(accepted), rate * horizon + burst + 1.0)
+      << "rate=" << rate << " burst=" << burst << " offered=" << offered_multiple;
+}
+
+TEST_P(BucketConformance, LeakyBucketAdmitsConformantStream) {
+  const auto [rate, burst, offered_multiple] = GetParam();
+  (void)offered_multiple;
+  LeakyBucket bucket(rate, burst);
+  // A perfectly paced stream at 95% of the drain rate never overflows.
+  const double interval = 1.0 / (rate * 0.95);
+  double t = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(bucket.offer(SimTime::from_seconds(t))) << "i=" << i;
+    t += interval;
+  }
+}
+
+TEST_P(BucketConformance, TokenBucketMirrorsLeakyBucket) {
+  const auto [rate, burst, offered_multiple] = GetParam();
+  // Offer the same arrival stream to both; a token bucket with capacity
+  // = burst admits the same arrivals as the leaky bucket (classic
+  // equivalence), modulo the initial fill (tokens start full, leaky
+  // starts empty — both admit the initial burst).
+  LeakyBucket leaky(rate, burst);
+  TokenBucket tokens(rate, burst);
+  Rng rng(7);
+  double t = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    t += rng.next_exponential(rate * offered_multiple);
+    const auto now = SimTime::from_seconds(t);
+    EXPECT_EQ(leaky.offer(now), tokens.try_take(now)) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RateBurstGrid, BucketConformance,
+    ::testing::Combine(::testing::Values(1.0, 10.0, 100.0, 1000.0),
+                       ::testing::Values(1.0, 5.0, 50.0),
+                       ::testing::Values(0.5, 1.0, 3.0, 10.0)));
+
+class ZipfCalibration
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double, double>> {};
+
+TEST_P(ZipfCalibration, CalibratedMassHitsTarget) {
+  const auto [n, top_fraction, mass] = GetParam();
+  const double s = ZipfSampler::calibrate_exponent(n, top_fraction, mass);
+  ZipfSampler zipf(n, s);
+  const auto top_k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(top_fraction * static_cast<double>(n)));
+  EXPECT_NEAR(zipf.cdf(top_k), mass, 0.02)
+      << "n=" << n << " top=" << top_fraction << " mass=" << mass;
+}
+
+TEST_P(ZipfCalibration, SamplingMatchesCdf) {
+  const auto [n, top_fraction, mass] = GetParam();
+  const double s = ZipfSampler::calibrate_exponent(n, top_fraction, mass);
+  ZipfSampler zipf(n, s);
+  Rng rng(99);
+  const auto top_k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(top_fraction * static_cast<double>(n)));
+  std::uint64_t hits = 0;
+  const int draws = 20'000;
+  for (int i = 0; i < draws; ++i) {
+    if (zipf.sample(rng) < top_k) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / draws, zipf.cdf(top_k), 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PopulationGrid, ZipfCalibration,
+    ::testing::Combine(::testing::Values<std::size_t>(1'000, 10'000, 50'000),
+                       ::testing::Values(0.01, 0.03, 0.10),
+                       ::testing::Values(0.50, 0.80, 0.88)));
+
+}  // namespace
+}  // namespace akadns

@@ -1,0 +1,211 @@
+// Property tests for the wire codec: for randomly generated messages,
+// encode/decode is the identity, compression is transparent, and no
+// byte-level mutation of a valid packet can crash the decoder.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dns/wire.hpp"
+
+namespace akadns::dns {
+namespace {
+
+/// Generates a random valid DNS name (1-5 labels, 1-12 chars each).
+DnsName random_name(Rng& rng) {
+  static const char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789-";
+  std::vector<std::string> labels;
+  const auto label_count = 1 + rng.next_below(5);
+  for (std::uint64_t i = 0; i < label_count; ++i) {
+    std::string label;
+    const auto len = 1 + rng.next_below(12);
+    for (std::uint64_t c = 0; c < len; ++c) {
+      // No leading/trailing hyphen to keep things tidy (not required).
+      label.push_back(kAlphabet[rng.next_below(36)]);
+    }
+    labels.push_back(std::move(label));
+  }
+  return *DnsName::from_labels(std::move(labels));
+}
+
+ResourceRecord random_record(Rng& rng, const DnsName& owner) {
+  const std::uint32_t ttl = static_cast<std::uint32_t>(rng.next_below(86'400));
+  switch (rng.next_below(9)) {
+    case 0:
+      return make_a(owner, Ipv4Addr(static_cast<std::uint32_t>(rng.next_u64())), ttl);
+    case 1: {
+      std::array<std::uint8_t, 16> bytes{};
+      for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_below(256));
+      return make_aaaa(owner, Ipv6Addr(bytes), ttl);
+    }
+    case 2:
+      return make_ns(owner, random_name(rng), ttl);
+    case 3:
+      return make_cname(owner, random_name(rng), ttl);
+    case 4: {
+      TxtRecord txt;
+      const auto chunks = 1 + rng.next_below(3);
+      for (std::uint64_t i = 0; i < chunks; ++i) {
+        std::string s;
+        const auto len = rng.next_below(40);
+        for (std::uint64_t c = 0; c < len; ++c) {
+          s.push_back(static_cast<char>(32 + rng.next_below(95)));
+        }
+        txt.strings.push_back(std::move(s));
+      }
+      return ResourceRecord{owner, RecordClass::IN, ttl, txt};
+    }
+    case 5:
+      return ResourceRecord{owner, RecordClass::IN, ttl,
+                            MxRecord{static_cast<std::uint16_t>(rng.next_below(65536)),
+                                     random_name(rng)}};
+    case 6:
+      return ResourceRecord{owner, RecordClass::IN, ttl,
+                            SrvRecord{static_cast<std::uint16_t>(rng.next_below(65536)),
+                                      static_cast<std::uint16_t>(rng.next_below(65536)),
+                                      static_cast<std::uint16_t>(rng.next_below(65536)),
+                                      random_name(rng)}};
+    case 7:
+      return ResourceRecord{owner, RecordClass::IN, ttl, PtrRecord{random_name(rng)}};
+    default: {
+      RawRecord raw;
+      raw.type = static_cast<std::uint16_t>(256 + rng.next_below(100));
+      const auto len = rng.next_below(32);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        raw.data.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+      }
+      return ResourceRecord{owner, RecordClass::IN, ttl, raw};
+    }
+  }
+}
+
+Message random_message(Rng& rng) {
+  Message m;
+  m.header.id = static_cast<std::uint16_t>(rng.next_below(65536));
+  m.header.qr = rng.next_bool(0.5);
+  m.header.aa = rng.next_bool(0.5);
+  m.header.rd = rng.next_bool(0.5);
+  m.header.ra = rng.next_bool(0.3);
+  m.header.rcode = static_cast<Rcode>(rng.next_below(6));
+  m.questions.push_back(Question{random_name(rng),
+                                 rng.next_bool(0.5) ? RecordType::A : RecordType::AAAA,
+                                 RecordClass::IN});
+  const auto answers = rng.next_below(6);
+  // Answers often share the question name — exercises compression.
+  for (std::uint64_t i = 0; i < answers; ++i) {
+    const DnsName owner = rng.next_bool(0.5) ? m.questions[0].name : random_name(rng);
+    m.answers.push_back(random_record(rng, owner));
+  }
+  const auto authorities = rng.next_below(3);
+  for (std::uint64_t i = 0; i < authorities; ++i) {
+    m.authorities.push_back(make_ns(random_name(rng), random_name(rng), 3600));
+  }
+  const auto additionals = rng.next_below(3);
+  for (std::uint64_t i = 0; i < additionals; ++i) {
+    m.additionals.push_back(
+        make_a(random_name(rng), Ipv4Addr(static_cast<std::uint32_t>(rng.next_u64())), 60));
+  }
+  if (rng.next_bool(0.4)) {
+    Edns edns;
+    edns.udp_payload_size = static_cast<std::uint16_t>(512 + rng.next_below(4096));
+    edns.do_bit = rng.next_bool(0.5);
+    if (rng.next_bool(0.5)) {
+      ClientSubnet ecs;
+      ecs.address = IpAddr(Ipv4Addr(static_cast<std::uint32_t>(rng.next_u64())));
+      ecs.source_prefix_len = static_cast<std::uint8_t>(rng.next_below(33));
+      edns.client_subnet = ecs;
+    }
+    m.edns = edns;
+  }
+  return m;
+}
+
+/// Canonicalizes an ECS address to its prefix bits (the codec only
+/// transmits source_prefix_len bits, so the round trip masks the rest).
+void mask_ecs(Message& m) {
+  if (!m.edns || !m.edns->client_subnet) return;
+  auto& ecs = *m.edns->client_subnet;
+  if (ecs.address.is_v4()) {
+    const std::uint32_t len = ecs.source_prefix_len;
+    const std::uint32_t kept_bytes = (len + 7) / 8;
+    std::uint32_t v = ecs.address.v4().value();
+    // Zero bytes beyond the transmitted ones (codec truncates per byte).
+    if (kept_bytes < 4) {
+      v &= kept_bytes == 0 ? 0u : ~((1u << (8 * (4 - kept_bytes))) - 1);
+    }
+    ecs.address = IpAddr(Ipv4Addr(v));
+  }
+}
+
+class WireRoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireRoundTripProperty, EncodeDecodeIsIdentity) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    Message original = random_message(rng);
+    mask_ecs(original);
+    const auto wire = encode(original);
+    ASSERT_LE(wire.size(), kMaxMessageSize);
+    const auto decoded = decode(wire);
+    ASSERT_TRUE(decoded) << decoded.error();
+    EXPECT_EQ(decoded.value(), original) << "seed=" << GetParam() << " trial=" << trial;
+  }
+}
+
+TEST_P(WireRoundTripProperty, CompressionIsTransparent) {
+  Rng rng(GetParam() ^ 0xC04F);
+  for (int trial = 0; trial < 30; ++trial) {
+    Message original = random_message(rng);
+    mask_ecs(original);
+    const auto compressed = decode(encode(original, {.compress = true}));
+    const auto plain = decode(encode(original, {.compress = false}));
+    ASSERT_TRUE(compressed);
+    ASSERT_TRUE(plain);
+    EXPECT_EQ(compressed.value(), plain.value());
+    // Compression never makes the message bigger.
+    EXPECT_LE(encode(original, {.compress = true}).size(),
+              encode(original, {.compress = false}).size());
+  }
+}
+
+TEST_P(WireRoundTripProperty, MutationNeverCrashesDecoder) {
+  Rng rng(GetParam() ^ 0xBADF00D);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Message original = random_message(rng);
+    auto wire = encode(original);
+    for (int mutation = 0; mutation < 50; ++mutation) {
+      auto corrupted = wire;
+      const auto pos = rng.next_below(corrupted.size());
+      corrupted[pos] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+      (void)decode(corrupted);  // must not crash or hang
+      // Truncations too.
+      corrupted.resize(rng.next_below(corrupted.size() + 1));
+      (void)decode(corrupted);
+    }
+  }
+  SUCCEED();
+}
+
+TEST_P(WireRoundTripProperty, TruncationAlwaysFitsAndSetsTc) {
+  Rng rng(GetParam() ^ 0x7C);
+  for (int trial = 0; trial < 20; ++trial) {
+    Message original = random_message(rng);
+    // Force a big message.
+    for (int i = 0; i < 60; ++i) {
+      original.answers.push_back(
+          make_a(original.questions[0].name,
+                 Ipv4Addr(static_cast<std::uint32_t>(rng.next_u64())), 60));
+    }
+    const std::size_t limit = 512;
+    const auto wire = encode(original, {.max_size = limit});
+    EXPECT_LE(wire.size(), limit);
+    const auto decoded = decode(wire);
+    ASSERT_TRUE(decoded) << decoded.error();
+    EXPECT_TRUE(decoded.value().header.tc);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundTripProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace akadns::dns

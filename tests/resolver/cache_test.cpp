@@ -1,0 +1,113 @@
+#include "resolver/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace akadns::resolver {
+namespace {
+
+using dns::DnsName;
+using dns::RecordType;
+
+std::vector<dns::ResourceRecord> a_records(const char* name, std::uint32_t ttl) {
+  return {dns::make_a(DnsName::from(name), Ipv4Addr(1, 2, 3, 4), ttl)};
+}
+
+TEST(ResolverCache, InsertAndLookup) {
+  ResolverCache cache;
+  const auto t = SimTime::origin();
+  cache.insert(DnsName::from("www.example.com"), RecordType::A,
+               a_records("www.example.com", 300), t);
+  const auto entry = cache.lookup(DnsName::from("www.example.com"), RecordType::A, t);
+  ASSERT_TRUE(entry);
+  EXPECT_FALSE(entry->negative);
+  ASSERT_EQ(entry->records.size(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(ResolverCache, MissOnUnknownOrWrongType) {
+  ResolverCache cache;
+  const auto t = SimTime::origin();
+  cache.insert(DnsName::from("www.example.com"), RecordType::A,
+               a_records("www.example.com", 300), t);
+  EXPECT_FALSE(cache.lookup(DnsName::from("other.example.com"), RecordType::A, t));
+  EXPECT_FALSE(cache.lookup(DnsName::from("www.example.com"), RecordType::AAAA, t));
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(ResolverCache, ExpiresByTtl) {
+  ResolverCache cache;
+  auto t = SimTime::origin();
+  cache.insert(DnsName::from("www.example.com"), RecordType::A,
+               a_records("www.example.com", 20), t);
+  EXPECT_TRUE(cache.lookup(DnsName::from("www.example.com"), RecordType::A,
+                           t + Duration::seconds(19)));
+  EXPECT_FALSE(cache.lookup(DnsName::from("www.example.com"), RecordType::A,
+                            t + Duration::seconds(20)));
+  EXPECT_EQ(cache.size(), 0u);  // lazily removed
+}
+
+TEST(ResolverCache, RemainingTtlRewritten) {
+  ResolverCache cache;
+  const auto t = SimTime::origin();
+  cache.insert(DnsName::from("www.example.com"), RecordType::A,
+               a_records("www.example.com", 300), t);
+  const auto entry =
+      cache.lookup(DnsName::from("www.example.com"), RecordType::A, t + Duration::seconds(100));
+  ASSERT_TRUE(entry);
+  EXPECT_EQ(entry->records[0].ttl, 200u);
+}
+
+TEST(ResolverCache, NegativeCaching) {
+  ResolverCache cache;
+  const auto t = SimTime::origin();
+  cache.insert_negative(DnsName::from("missing.example.com"), RecordType::A,
+                        dns::Rcode::NxDomain, 60, t);
+  const auto entry = cache.lookup(DnsName::from("missing.example.com"), RecordType::A, t);
+  ASSERT_TRUE(entry);
+  EXPECT_TRUE(entry->negative);
+  EXPECT_EQ(entry->negative_rcode, dns::Rcode::NxDomain);
+  EXPECT_FALSE(cache.lookup(DnsName::from("missing.example.com"), RecordType::A,
+                            t + Duration::seconds(61)));
+}
+
+TEST(ResolverCache, LruEvictionAtCapacity) {
+  ResolverCache cache(3);
+  const auto t = SimTime::origin();
+  for (int i = 0; i < 3; ++i) {
+    cache.insert(DnsName::from("n" + std::to_string(i) + ".com"), RecordType::A,
+                 a_records("x.com", 300), t);
+  }
+  // Touch n0 so n1 becomes LRU.
+  cache.lookup(DnsName::from("n0.com"), RecordType::A, t);
+  cache.insert(DnsName::from("n3.com"), RecordType::A, a_records("x.com", 300), t);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_TRUE(cache.lookup(DnsName::from("n0.com"), RecordType::A, t));
+  EXPECT_FALSE(cache.lookup(DnsName::from("n1.com"), RecordType::A, t));
+  EXPECT_TRUE(cache.lookup(DnsName::from("n3.com"), RecordType::A, t));
+}
+
+TEST(ResolverCache, ReinsertReplaces) {
+  ResolverCache cache;
+  const auto t = SimTime::origin();
+  cache.insert(DnsName::from("www.example.com"), RecordType::A,
+               a_records("www.example.com", 10), t);
+  cache.insert(DnsName::from("www.example.com"), RecordType::A,
+               a_records("www.example.com", 1000), t);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.lookup(DnsName::from("www.example.com"), RecordType::A,
+                           t + Duration::seconds(500)));
+}
+
+TEST(ResolverCache, EvictAndClear) {
+  ResolverCache cache;
+  const auto t = SimTime::origin();
+  cache.insert(DnsName::from("a.com"), RecordType::A, a_records("a.com", 60), t);
+  EXPECT_TRUE(cache.evict(DnsName::from("a.com"), RecordType::A));
+  EXPECT_FALSE(cache.evict(DnsName::from("a.com"), RecordType::A));
+  cache.insert(DnsName::from("b.com"), RecordType::A, a_records("b.com", 60), t);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace akadns::resolver

@@ -1,0 +1,202 @@
+#include "resolver/iterative_resolver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "server/responder.hpp"
+#include "zone/zone_builder.hpp"
+
+namespace akadns::resolver {
+namespace {
+
+using dns::DnsName;
+using dns::Rcode;
+using dns::RecordType;
+
+/// Two-tier style hierarchy served by two in-process responders:
+///   toplevel  hosts "akamai.net" with a delegation of "w10.akamai.net"
+///   lowlevel  hosts "w10.akamai.net"
+struct Fixture {
+  zone::ZoneStore toplevel_store;
+  zone::ZoneStore lowlevel_store;
+  std::unique_ptr<server::Responder> toplevel;
+  std::unique_ptr<server::Responder> lowlevel;
+  IpAddr toplevel_addr = *IpAddr::parse("10.1.0.1");
+  IpAddr lowlevel_addr = *IpAddr::parse("10.2.0.1");
+  Duration toplevel_rtt = Duration::millis(60);
+  Duration lowlevel_rtt = Duration::millis(8);
+  bool lowlevel_down = false;
+  int toplevel_queries = 0;
+  int lowlevel_queries = 0;
+
+  Fixture() {
+    toplevel_store.publish(zone::ZoneBuilder("akamai.net", 1)
+                               .ns("@", "ns1.akamai.net")
+                               .a("ns1", "10.1.0.1")
+                               .ns("w10", "n1.w10.akamai.net", 4000)
+                               .a("n1.w10", "10.2.0.1", 4000)
+                               .build());
+    lowlevel_store.publish(zone::ZoneBuilder("w10.akamai.net", 1)
+                               .ns("@", "n1.w10.akamai.net")
+                               .a("n1", "10.2.0.1")
+                               .a("a1", "172.16.0.1", 20)
+                               .build());
+    toplevel = std::make_unique<server::Responder>(toplevel_store);
+    lowlevel = std::make_unique<server::Responder>(lowlevel_store);
+  }
+
+  Transport transport() {
+    return [this](const dns::Message& query,
+                  const IpAddr& server) -> std::optional<UpstreamReply> {
+      const Endpoint resolver{*IpAddr::parse("198.51.100.53"), 5353};
+      if (server == toplevel_addr) {
+        ++toplevel_queries;
+        return UpstreamReply{toplevel->respond(query, resolver), toplevel_rtt};
+      }
+      if (server == lowlevel_addr) {
+        ++lowlevel_queries;
+        if (lowlevel_down) return std::nullopt;
+        return UpstreamReply{lowlevel->respond(query, resolver), lowlevel_rtt};
+      }
+      return std::nullopt;
+    };
+  }
+
+  IterativeResolver make_resolver(IterativeResolverConfig config = {}) {
+    IterativeResolver resolver(config, transport());
+    resolver.add_hint(DnsName::from("akamai.net"), toplevel_addr);
+    return resolver;
+  }
+};
+
+TEST(IterativeResolver, ResolvesThroughReferral) {
+  Fixture f;
+  auto resolver = f.make_resolver();
+  const auto result =
+      resolver.resolve(DnsName::from("a1.w10.akamai.net"), RecordType::A, SimTime::origin());
+  EXPECT_EQ(result.rcode, Rcode::NoError);
+  ASSERT_FALSE(result.answers.empty());
+  EXPECT_EQ(std::get<dns::ARecord>(result.answers.back().rdata).address.to_string(),
+            "172.16.0.1");
+  // One toplevel (referral) + one lowlevel (answer).
+  EXPECT_EQ(f.toplevel_queries, 1);
+  EXPECT_EQ(f.lowlevel_queries, 1);
+  EXPECT_EQ(result.elapsed, f.toplevel_rtt + f.lowlevel_rtt);
+  EXPECT_FALSE(result.from_cache);
+}
+
+TEST(IterativeResolver, SecondResolutionSkipsToplevel) {
+  // The heart of Two-Tier: with the delegation cached, only the
+  // lowlevels are contacted on refresh.
+  Fixture f;
+  auto resolver = f.make_resolver();
+  auto now = SimTime::origin();
+  resolver.resolve(DnsName::from("a1.w10.akamai.net"), RecordType::A, now);
+  // 30s later the host record (TTL 20) expired but the delegation
+  // (TTL 4000) has not.
+  now += Duration::seconds(30);
+  const auto result = resolver.resolve(DnsName::from("a1.w10.akamai.net"), RecordType::A, now);
+  EXPECT_EQ(result.rcode, Rcode::NoError);
+  EXPECT_EQ(f.toplevel_queries, 1);  // unchanged
+  EXPECT_EQ(f.lowlevel_queries, 2);
+  EXPECT_EQ(result.elapsed, f.lowlevel_rtt);
+}
+
+TEST(IterativeResolver, CacheHitIsFree) {
+  Fixture f;
+  auto resolver = f.make_resolver();
+  auto now = SimTime::origin();
+  resolver.resolve(DnsName::from("a1.w10.akamai.net"), RecordType::A, now);
+  const auto result = resolver.resolve(DnsName::from("a1.w10.akamai.net"), RecordType::A,
+                                       now + Duration::seconds(5));
+  EXPECT_TRUE(result.from_cache);
+  EXPECT_EQ(result.elapsed, Duration::zero());
+  EXPECT_EQ(f.lowlevel_queries, 1);
+}
+
+TEST(IterativeResolver, DelegationExpiryForcesToplevel) {
+  Fixture f;
+  auto resolver = f.make_resolver();
+  auto now = SimTime::origin();
+  resolver.resolve(DnsName::from("a1.w10.akamai.net"), RecordType::A, now);
+  now += Duration::seconds(4100);  // past the 4000s delegation TTL
+  resolver.resolve(DnsName::from("a1.w10.akamai.net"), RecordType::A, now);
+  EXPECT_EQ(f.toplevel_queries, 2);
+}
+
+TEST(IterativeResolver, NxDomainCachedNegatively) {
+  Fixture f;
+  auto resolver = f.make_resolver();
+  auto now = SimTime::origin();
+  const auto first =
+      resolver.resolve(DnsName::from("nope.w10.akamai.net"), RecordType::A, now);
+  EXPECT_EQ(first.rcode, Rcode::NxDomain);
+  const int upstream_after_first = f.lowlevel_queries;
+  const auto second = resolver.resolve(DnsName::from("nope.w10.akamai.net"), RecordType::A,
+                                       now + Duration::seconds(10));
+  EXPECT_EQ(second.rcode, Rcode::NxDomain);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(f.lowlevel_queries, upstream_after_first);
+}
+
+TEST(IterativeResolver, TimeoutRetriesOtherDelegation) {
+  Fixture f;
+  // Give the resolver a broken server plus the good toplevel for the
+  // same zone: it must fail over.
+  auto resolver = f.make_resolver();
+  resolver.add_hint(DnsName::from("akamai.net"), *IpAddr::parse("10.9.9.9"));  // dead
+  int successes = 0;
+  for (int i = 0; i < 10; ++i) {
+    resolver.cache().clear();
+    const auto result = resolver.resolve(DnsName::from("a1.w10.akamai.net"),
+                                         RecordType::A, SimTime::origin());
+    if (result.rcode == Rcode::NoError) ++successes;
+  }
+  EXPECT_EQ(successes, 10);  // always eventually answered
+}
+
+TEST(IterativeResolver, AllDelegationsDeadIsServFail) {
+  Fixture f;
+  IterativeResolver resolver({}, f.transport());
+  resolver.add_hint(DnsName::from("akamai.net"), *IpAddr::parse("10.9.9.1"));
+  resolver.add_hint(DnsName::from("akamai.net"), *IpAddr::parse("10.9.9.2"));
+  const auto result =
+      resolver.resolve(DnsName::from("a1.w10.akamai.net"), RecordType::A, SimTime::origin());
+  EXPECT_EQ(result.rcode, Rcode::ServFail);
+  EXPECT_EQ(result.timeouts, 2);
+  EXPECT_EQ(result.elapsed, Duration::millis(1600));  // two timeout costs
+}
+
+TEST(IterativeResolver, NoHintsIsServFail) {
+  Fixture f;
+  IterativeResolver resolver({}, f.transport());
+  const auto result =
+      resolver.resolve(DnsName::from("a1.w10.akamai.net"), RecordType::A, SimTime::origin());
+  EXPECT_EQ(result.rcode, Rcode::ServFail);
+  EXPECT_EQ(result.upstream_queries, 0);
+}
+
+TEST(IterativeResolver, LearnsServerRtts) {
+  Fixture f;
+  auto resolver = f.make_resolver();
+  resolver.resolve(DnsName::from("a1.w10.akamai.net"), RecordType::A, SimTime::origin());
+  EXPECT_EQ(resolver.learned_rtt(f.toplevel_addr), f.toplevel_rtt);
+  EXPECT_EQ(resolver.learned_rtt(f.lowlevel_addr), f.lowlevel_rtt);
+}
+
+TEST(IterativeResolver, LowestRttPolicyUsesLearnedValues) {
+  Fixture f;
+  IterativeResolverConfig config;
+  config.policy = SelectionPolicy::LowestRtt;
+  auto resolver = f.make_resolver(config);
+  // Prime RTTs.
+  resolver.resolve(DnsName::from("a1.w10.akamai.net"), RecordType::A, SimTime::origin());
+  // Add a second (dead-slow, never answering) server for w10; LowestRtt
+  // must keep choosing the learned-fast one.
+  const int before = f.lowlevel_queries;
+  resolver.resolve(DnsName::from("a1.w10.akamai.net"), RecordType::A,
+                   SimTime::origin() + Duration::seconds(30));
+  EXPECT_EQ(f.lowlevel_queries, before + 1);
+}
+
+}  // namespace
+}  // namespace akadns::resolver

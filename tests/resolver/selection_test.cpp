@@ -1,0 +1,79 @@
+#include "resolver/selection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace akadns::resolver {
+namespace {
+
+TEST(Selection, UniformCoversAll) {
+  Rng rng(1);
+  const std::vector<Duration> rtts{Duration::millis(10), Duration::millis(50),
+                                   Duration::millis(200)};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 6000; ++i) {
+    ++counts[select_delegation(rtts, SelectionPolicy::Uniform, rng)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 1700);
+    EXPECT_LT(c, 2300);
+  }
+}
+
+TEST(Selection, RttWeightedPrefersFast) {
+  Rng rng(2);
+  const std::vector<Duration> rtts{Duration::millis(10), Duration::millis(100)};
+  int fast = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (select_delegation(rtts, SelectionPolicy::RttWeighted, rng) == 0) ++fast;
+  }
+  // Weights 1/10 : 1/100 -> ~90.9% fast.
+  EXPECT_NEAR(static_cast<double>(fast) / n, 0.909, 0.03);
+}
+
+TEST(Selection, LowestRttDeterministic) {
+  Rng rng(3);
+  const std::vector<Duration> rtts{Duration::millis(30), Duration::millis(5),
+                                   Duration::millis(80)};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(select_delegation(rtts, SelectionPolicy::LowestRtt, rng), 1u);
+  }
+}
+
+TEST(Selection, EmptySetThrows) {
+  Rng rng(4);
+  EXPECT_THROW(select_delegation({}, SelectionPolicy::Uniform, rng), std::invalid_argument);
+  EXPECT_THROW(average_rtt({}), std::invalid_argument);
+  EXPECT_THROW(weighted_rtt({}), std::invalid_argument);
+}
+
+TEST(Selection, AverageRtt) {
+  const std::vector<Duration> rtts{Duration::millis(10), Duration::millis(20),
+                                   Duration::millis(60)};
+  EXPECT_NEAR(average_rtt(rtts).to_millis(), 30.0, 1e-9);
+}
+
+TEST(Selection, WeightedRttIsHarmonicMean) {
+  const std::vector<Duration> rtts{Duration::millis(10), Duration::millis(40)};
+  // Harmonic mean of 10 and 40 = 2/(1/10+1/40) = 16.
+  EXPECT_NEAR(weighted_rtt(rtts).to_millis(), 16.0, 1e-6);
+}
+
+TEST(Selection, WeightedLessThanAverageForSkewedSets) {
+  // Anycast toplevels: one close, several far. Weighted selection hides
+  // the bad delegations; average does not — the paper's two bounds.
+  const std::vector<Duration> rtts{Duration::millis(5), Duration::millis(150),
+                                   Duration::millis(200), Duration::millis(180)};
+  EXPECT_LT(weighted_rtt(rtts), average_rtt(rtts));
+}
+
+TEST(Selection, SingleDelegationDegenerate) {
+  Rng rng(5);
+  const std::vector<Duration> rtts{Duration::millis(25)};
+  EXPECT_EQ(select_delegation(rtts, SelectionPolicy::RttWeighted, rng), 0u);
+  EXPECT_EQ(average_rtt(rtts), Duration::millis(25));
+  EXPECT_NEAR(weighted_rtt(rtts).to_millis(), 25.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace akadns::resolver

@@ -1,0 +1,139 @@
+// Truncation handling: a response that does not fit the 512-byte UDP
+// limit arrives with TC=1, and the resolver retries over TCP (RFC 7766)
+// against the same server, paying the handshake round trip.
+
+#include <gtest/gtest.h>
+
+#include "dns/wire.hpp"
+#include "resolver/iterative_resolver.hpp"
+#include "server/responder.hpp"
+#include "zone/zone_builder.hpp"
+
+namespace akadns::resolver {
+namespace {
+
+using dns::DnsName;
+using dns::Rcode;
+using dns::RecordType;
+
+struct Fixture {
+  zone::ZoneStore store;
+  std::unique_ptr<server::Responder> responder;
+  IpAddr server_addr = *IpAddr::parse("10.0.0.1");
+  Duration rtt = Duration::millis(20);
+  int udp_queries = 0;
+  int tcp_queries = 0;
+
+  Fixture() {
+    // A name with enough A records that the response exceeds 512 bytes.
+    zone::ZoneBuilder builder("big.com", 1);
+    builder.soa("ns1.big.com", "hostmaster.big.com", 1);
+    builder.ns("@", "ns1.big.com");
+    builder.a("ns1", "10.0.0.1");
+    for (int i = 0; i < 60; ++i) {
+      builder.a("many", Ipv4Addr(198, 51, 100, static_cast<std::uint8_t>(i)).to_string());
+    }
+    store.publish(builder.build());
+    responder = std::make_unique<server::Responder>(store);
+  }
+
+  /// UDP transport: responses over 512 bytes are truncated, exactly as
+  /// Responder::respond_wire would do for a no-EDNS query.
+  Transport udp() {
+    return [this](const dns::Message& query,
+                  const IpAddr& server) -> std::optional<UpstreamReply> {
+      if (!(server == server_addr)) return std::nullopt;
+      ++udp_queries;
+      const Endpoint client{*IpAddr::parse("198.51.100.53"), 5353};
+      auto response = responder->respond(query, client);
+      // Emulate the UDP size limit: encode with the 512-byte cap and
+      // decode what actually fits.
+      const auto wire = dns::encode(response, {.max_size = 512});
+      return UpstreamReply{dns::decode(wire).take(), rtt};
+    };
+  }
+
+  Transport tcp() {
+    return [this](const dns::Message& query,
+                  const IpAddr& server) -> std::optional<UpstreamReply> {
+      if (!(server == server_addr)) return std::nullopt;
+      ++tcp_queries;
+      const Endpoint client{*IpAddr::parse("198.51.100.53"), 5353};
+      return UpstreamReply{responder->respond(query, client), rtt};
+    };
+  }
+};
+
+TEST(TcpFallback, TruncatedResponseRetriedOverTcp) {
+  Fixture f;
+  IterativeResolver resolver({}, f.udp());
+  resolver.set_tcp_transport(f.tcp());
+  resolver.add_hint(DnsName::from("big.com"), f.server_addr);
+
+  const auto result =
+      resolver.resolve(DnsName::from("many.big.com"), RecordType::A, SimTime::origin());
+  EXPECT_EQ(result.rcode, Rcode::NoError);
+  EXPECT_EQ(result.answers.size(), 60u);  // the full RRset, via TCP
+  EXPECT_EQ(f.udp_queries, 1);
+  EXPECT_EQ(f.tcp_queries, 1);
+  EXPECT_EQ(resolver.truncated_retries(), 1u);
+  // Cost: UDP rtt + TCP handshake rtt + TCP exchange rtt.
+  EXPECT_EQ(result.elapsed, f.rtt * 3);
+}
+
+TEST(TcpFallback, SmallResponsesStayOnUdp) {
+  Fixture f;
+  IterativeResolver resolver({}, f.udp());
+  resolver.set_tcp_transport(f.tcp());
+  resolver.add_hint(DnsName::from("big.com"), f.server_addr);
+
+  const auto result =
+      resolver.resolve(DnsName::from("ns1.big.com"), RecordType::A, SimTime::origin());
+  EXPECT_EQ(result.rcode, Rcode::NoError);
+  EXPECT_EQ(f.tcp_queries, 0);
+  EXPECT_EQ(resolver.truncated_retries(), 0u);
+}
+
+TEST(TcpFallback, WithoutTcpTransportPartialAnswerIsUsed) {
+  Fixture f;
+  IterativeResolver resolver({}, f.udp());
+  resolver.add_hint(DnsName::from("big.com"), f.server_addr);
+
+  const auto result =
+      resolver.resolve(DnsName::from("many.big.com"), RecordType::A, SimTime::origin());
+  EXPECT_EQ(result.rcode, Rcode::NoError);
+  // Truncation drops whole sections; without TCP the resolver is left
+  // with whatever survived (here: nothing — the RRset did not fit).
+  EXPECT_LT(result.answers.size(), 60u);
+  EXPECT_EQ(f.tcp_queries, 0);
+}
+
+TEST(TcpFallback, DisabledByConfig) {
+  Fixture f;
+  IterativeResolverConfig config;
+  config.retry_truncated_over_tcp = false;
+  IterativeResolver resolver(config, f.udp());
+  resolver.set_tcp_transport(f.tcp());
+  resolver.add_hint(DnsName::from("big.com"), f.server_addr);
+  resolver.resolve(DnsName::from("many.big.com"), RecordType::A, SimTime::origin());
+  EXPECT_EQ(f.tcp_queries, 0);
+}
+
+TEST(TcpFallback, TcpFailureFallsToNextDelegation) {
+  Fixture f;
+  IterativeResolver resolver({}, f.udp());
+  // TCP transport that always times out.
+  resolver.set_tcp_transport(
+      [](const dns::Message&, const IpAddr&) -> std::optional<UpstreamReply> {
+        return std::nullopt;
+      });
+  resolver.add_hint(DnsName::from("big.com"), f.server_addr);
+  const auto result =
+      resolver.resolve(DnsName::from("many.big.com"), RecordType::A, SimTime::origin());
+  // Only one delegation exists, so the resolution fails upstream-wise.
+  EXPECT_EQ(result.rcode, Rcode::ServFail);
+  EXPECT_EQ(result.timeouts, 1);
+}
+
+}  // namespace
+}  // namespace akadns::resolver

@@ -1,0 +1,99 @@
+#include "server/firewall.hpp"
+
+#include <gtest/gtest.h>
+
+namespace akadns::server {
+namespace {
+
+using dns::DnsName;
+using dns::Question;
+using dns::RecordClass;
+using dns::RecordType;
+
+Question q(const char* name, RecordType type = RecordType::A) {
+  return Question{DnsName::from(name), type, RecordClass::IN};
+}
+
+TEST(Firewall, EmptyDropsNothing) {
+  Firewall fw;
+  EXPECT_FALSE(fw.drops(q("anything.example.com"), SimTime::origin()));
+  EXPECT_EQ(fw.total_dropped(), 0u);
+}
+
+TEST(Firewall, InstalledRuleDropsExactMatch) {
+  Firewall fw;
+  const auto t = SimTime::origin();
+  fw.install(q("evil.example.com"), t, Duration::minutes(10));
+  EXPECT_TRUE(fw.drops(q("evil.example.com"), t));
+  EXPECT_EQ(fw.total_dropped(), 1u);
+}
+
+TEST(Firewall, RuleDropsSimilarSubdomainQueries) {
+  Firewall fw;
+  const auto t = SimTime::origin();
+  fw.install(q("evil.example.com"), t, Duration::minutes(10));
+  EXPECT_TRUE(fw.drops(q("deeper.evil.example.com"), t));
+}
+
+TEST(Firewall, RuleIsTypeSpecific) {
+  Firewall fw;
+  const auto t = SimTime::origin();
+  fw.install(q("evil.example.com", RecordType::TXT), t, Duration::minutes(10));
+  EXPECT_TRUE(fw.drops(q("evil.example.com", RecordType::TXT), t));
+  // Dissimilar queries (different type) still answered.
+  EXPECT_FALSE(fw.drops(q("evil.example.com", RecordType::A), t));
+}
+
+TEST(Firewall, AnyTypeRuleMatchesAllTypes) {
+  Firewall fw;
+  const auto t = SimTime::origin();
+  fw.install(q("evil.example.com", RecordType::ANY), t, Duration::minutes(10));
+  EXPECT_TRUE(fw.drops(q("evil.example.com", RecordType::A), t));
+  EXPECT_TRUE(fw.drops(q("evil.example.com", RecordType::TXT), t));
+}
+
+TEST(Firewall, UnrelatedNamesUnaffected) {
+  Firewall fw;
+  const auto t = SimTime::origin();
+  fw.install(q("evil.example.com"), t, Duration::minutes(10));
+  EXPECT_FALSE(fw.drops(q("good.example.com"), t));
+  EXPECT_FALSE(fw.drops(q("evil.example.org"), t));
+}
+
+TEST(Firewall, RuleExpiresAfterTQod) {
+  // "The rule is expunged after T_QoD so the nameserver will occasionally
+  // attempt to answer potential QoDs" — false positives recover.
+  Firewall fw;
+  auto t = SimTime::origin();
+  fw.install(q("evil.example.com"), t, Duration::minutes(10));
+  t += Duration::minutes(9);
+  EXPECT_TRUE(fw.drops(q("evil.example.com"), t));
+  t += Duration::minutes(2);
+  EXPECT_FALSE(fw.drops(q("evil.example.com"), t));
+  EXPECT_EQ(fw.rule_count(t), 0u);
+}
+
+TEST(Firewall, ReinstallRefreshesExpiry) {
+  Firewall fw;
+  auto t = SimTime::origin();
+  fw.install(q("evil.example.com"), t, Duration::minutes(10));
+  t += Duration::minutes(8);
+  fw.install(q("evil.example.com"), t, Duration::minutes(10));  // crash again
+  EXPECT_EQ(fw.rules().size(), 1u);  // no duplicate rules
+  t += Duration::minutes(8);         // 16 min after first install
+  EXPECT_TRUE(fw.drops(q("evil.example.com"), t));
+}
+
+TEST(Firewall, MultipleIndependentRules) {
+  Firewall fw;
+  const auto t = SimTime::origin();
+  fw.install(q("a.example.com"), t, Duration::minutes(10));
+  fw.install(q("b.example.com"), t, Duration::minutes(10));
+  EXPECT_EQ(fw.rule_count(t), 2u);
+  EXPECT_TRUE(fw.drops(q("a.example.com"), t));
+  EXPECT_TRUE(fw.drops(q("b.example.com"), t));
+  EXPECT_EQ(fw.rules()[0].hits + fw.rules()[1].hits, 2u);
+}
+
+}  // namespace
+}  // namespace akadns::server

@@ -1,0 +1,145 @@
+// §5.2 "Improvements" — answer push alongside referrals: with the push
+// hook installed, a toplevel's referral carries the answer, so a cold
+// resolver completes the resolution in ONE round trip, and Two-Tier is
+// beneficial whenever L < T regardless of r_T.
+
+#include <gtest/gtest.h>
+
+#include "resolver/iterative_resolver.hpp"
+#include "server/responder.hpp"
+#include "twotier/model.hpp"
+#include "zone/zone_builder.hpp"
+
+namespace akadns::server {
+namespace {
+
+using dns::DnsName;
+using dns::Rcode;
+using dns::RecordType;
+
+struct Fixture {
+  zone::ZoneStore toplevel_store;
+  zone::ZoneStore lowlevel_store;
+  std::unique_ptr<Responder> toplevel;
+  std::unique_ptr<Responder> lowlevel;
+  Endpoint client{*IpAddr::parse("198.51.100.53"), 5353};
+
+  Fixture() {
+    toplevel_store.publish(zone::ZoneBuilder("akamai.net", 1)
+                               .soa("ns1.akamai.net", "hostmaster.akamai.net", 1)
+                               .ns("@", "ns1.akamai.net")
+                               .a("ns1", "10.1.0.1")
+                               .ns("w10", "n1.w10.akamai.net", 4000)
+                               .a("n1.w10", "10.2.0.1", 4000)
+                               .build());
+    lowlevel_store.publish(zone::ZoneBuilder("w10.akamai.net", 1)
+                               .soa("n1.w10.akamai.net", "hostmaster.akamai.net", 1)
+                               .ns("@", "n1.w10.akamai.net")
+                               .a("n1", "10.2.0.1")
+                               .a("a1", "172.16.0.1", 20)
+                               .build());
+    toplevel = std::make_unique<Responder>(toplevel_store);
+    lowlevel = std::make_unique<Responder>(lowlevel_store);
+    // The toplevel pushes whatever the lowlevel would answer (in
+    // production the toplevel consults the same mapping intelligence).
+    toplevel->set_referral_push_hook(
+        [this](const dns::Question& question, const Endpoint& c) {
+          auto response =
+              lowlevel->respond(dns::make_query(0, question.name, question.qtype), c);
+          return response.answers;
+        });
+  }
+};
+
+TEST(ReferralPush, ReferralCarriesTheAnswer) {
+  Fixture f;
+  const auto query =
+      dns::make_query(1, DnsName::from("a1.w10.akamai.net"), RecordType::A);
+  const auto response = f.toplevel->respond(query, f.client);
+  EXPECT_EQ(response.header.rcode, Rcode::NoError);
+  // The referral (NS in authority) AND the pushed answer coexist.
+  ASSERT_FALSE(response.authorities.empty());
+  EXPECT_EQ(response.authorities[0].type(), RecordType::NS);
+  ASSERT_EQ(response.answers.size(), 1u);
+  EXPECT_EQ(std::get<dns::ARecord>(response.answers[0].rdata).address.to_string(),
+            "172.16.0.1");
+  EXPECT_EQ(f.toplevel->stats().pushed_answers, 1u);
+}
+
+TEST(ReferralPush, EmptyPushFallsBackToPlainReferral) {
+  Fixture f;
+  f.toplevel->set_referral_push_hook(
+      [](const dns::Question&, const Endpoint&) { return std::vector<dns::ResourceRecord>{}; });
+  const auto query =
+      dns::make_query(1, DnsName::from("a1.w10.akamai.net"), RecordType::A);
+  const auto response = f.toplevel->respond(query, f.client);
+  EXPECT_TRUE(response.answers.empty());
+  EXPECT_FALSE(response.authorities.empty());
+  EXPECT_EQ(f.toplevel->stats().pushed_answers, 0u);
+}
+
+TEST(ReferralPush, ColdResolverCompletesInOneRoundTrip) {
+  Fixture f;
+  int toplevel_queries = 0, lowlevel_queries = 0;
+  resolver::IterativeResolver iterative(
+      {}, [&](const dns::Message& query,
+              const IpAddr& server) -> std::optional<resolver::UpstreamReply> {
+        if (server == *IpAddr::parse("10.1.0.1")) {
+          ++toplevel_queries;
+          return resolver::UpstreamReply{f.toplevel->respond(query, f.client),
+                                         Duration::millis(60)};
+        }
+        if (server == *IpAddr::parse("10.2.0.1")) {
+          ++lowlevel_queries;
+          return resolver::UpstreamReply{f.lowlevel->respond(query, f.client),
+                                         Duration::millis(10)};
+        }
+        return std::nullopt;
+      });
+  iterative.add_hint(DnsName::from("akamai.net"), *IpAddr::parse("10.1.0.1"));
+
+  auto now = SimTime::origin();
+  const auto cold = iterative.resolve(DnsName::from("a1.w10.akamai.net"),
+                                      RecordType::A, now);
+  EXPECT_EQ(cold.rcode, Rcode::NoError);
+  EXPECT_EQ(toplevel_queries, 1);
+  EXPECT_EQ(lowlevel_queries, 0);  // pushed: no second round trip
+  EXPECT_EQ(cold.elapsed, Duration::millis(60));  // T, not L+T
+
+  // The delegation was cached from the authority section: the next
+  // refresh (host TTL expired) goes straight to the lowlevel at cost L.
+  now += Duration::seconds(30);
+  const auto refresh = iterative.resolve(DnsName::from("a1.w10.akamai.net"),
+                                         RecordType::A, now);
+  EXPECT_EQ(refresh.rcode, Rcode::NoError);
+  EXPECT_EQ(toplevel_queries, 1);
+  EXPECT_EQ(lowlevel_queries, 1);
+  EXPECT_EQ(refresh.elapsed, Duration::millis(10));
+}
+
+TEST(ReferralPush, ModelAlwaysBeneficialWhenLowlevelFaster) {
+  using namespace twotier;
+  // Sweep r_T across [0, 1]: classic Two-Tier dips below 1 at high r_T;
+  // pushed Two-Tier never does (L < T).
+  const Duration t = Duration::millis(60), l = Duration::millis(10);
+  bool classic_ever_below_1 = false;
+  for (double rt = 0.0; rt <= 1.0; rt += 0.05) {
+    const TwoTierParams params{t, l, rt};
+    if (speedup(params) < 1.0) classic_ever_below_1 = true;
+    EXPECT_GE(speedup_with_push(params), 1.0) << "rt=" << rt;
+  }
+  EXPECT_TRUE(classic_ever_below_1);
+  // At r_T = 1 the pushed system degenerates to exactly the single tier.
+  EXPECT_NEAR(speedup_with_push(TwoTierParams{t, l, 1.0}), 1.0, 1e-9);
+}
+
+TEST(ReferralPush, ModelStillLosesWhenLowlevelSlower) {
+  using namespace twotier;
+  // Push cannot rescue a resolver whose lowlevel RTT exceeds its anycast
+  // toplevel RTT (the 2-13% of probes in Figure 11).
+  const TwoTierParams params{Duration::millis(20), Duration::millis(50), 0.1};
+  EXPECT_LT(speedup_with_push(params), 1.0);
+}
+
+}  // namespace
+}  // namespace akadns::server

@@ -1,0 +1,242 @@
+#include "server/responder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dns/wire.hpp"
+#include "zone/zone_builder.hpp"
+
+namespace akadns::server {
+namespace {
+
+using dns::DnsName;
+using dns::Message;
+using dns::Rcode;
+using dns::RecordType;
+
+struct Fixture {
+  zone::ZoneStore store;
+  Endpoint client{*IpAddr::parse("198.51.100.1"), 4242};
+
+  Fixture() {
+    store.publish(zone::ZoneBuilder("example.com", 1)
+                      .ns("@", "ns1.example.com")
+                      .a("ns1", "10.0.0.1")
+                      .a("www", "93.184.216.34")
+                      .cname("alias", "www.example.com")
+                      .cname("hop1", "hop2.example.com")
+                      .cname("hop2", "www.example.com")
+                      .cname("external", "cdn.example.net")
+                      .cname("loop1", "loop2.example.com")
+                      .cname("loop2", "loop1.example.com")
+                      .ns("sub", "ns.sub.example.com")
+                      .a("ns.sub", "10.0.1.1")
+                      .build());
+    store.publish(zone::ZoneBuilder("edgesuite.net", 1)
+                      .ns("@", "ns1.edgesuite.net")
+                      .a("ns1", "10.2.0.1")
+                      .cname("ex", "a1.w10.akamai.net.")
+                      .build());
+    store.publish(zone::ZoneBuilder("akamai.net", 1)
+                      .ns("@", "ns1.akamai.net")
+                      .a("ns1", "10.3.0.1")
+                      .a("a1.w10", "172.16.5.5")
+                      .build());
+  }
+
+  Message ask(const char* qname, RecordType qtype, Responder& responder) {
+    const auto query = dns::make_query(42, DnsName::from(qname), qtype);
+    return responder.respond(query, client);
+  }
+};
+
+TEST(Responder, AnswersHostedName) {
+  Fixture f;
+  Responder responder(f.store);
+  const auto response = f.ask("www.example.com", RecordType::A, responder);
+  EXPECT_EQ(response.header.rcode, Rcode::NoError);
+  EXPECT_TRUE(response.header.aa);
+  ASSERT_EQ(response.answers.size(), 1u);
+  EXPECT_EQ(response.answers[0].to_string(), "www.example.com. 300 IN A 93.184.216.34");
+  EXPECT_EQ(responder.stats().noerror, 1u);
+}
+
+TEST(Responder, RefusesUnhostedZone) {
+  Fixture f;
+  Responder responder(f.store);
+  const auto response = f.ask("www.google.com", RecordType::A, responder);
+  EXPECT_EQ(response.header.rcode, Rcode::Refused);
+  EXPECT_FALSE(response.header.aa);
+  EXPECT_EQ(responder.stats().refused, 1u);
+}
+
+TEST(Responder, NxDomainWithSoa) {
+  Fixture f;
+  Responder responder(f.store);
+  const auto response = f.ask("missing.example.com", RecordType::A, responder);
+  EXPECT_EQ(response.header.rcode, Rcode::NxDomain);
+  ASSERT_EQ(response.authorities.size(), 1u);
+  EXPECT_EQ(response.authorities[0].type(), RecordType::SOA);
+}
+
+TEST(Responder, CnameChaseInZone) {
+  Fixture f;
+  Responder responder(f.store);
+  const auto response = f.ask("alias.example.com", RecordType::A, responder);
+  EXPECT_EQ(response.header.rcode, Rcode::NoError);
+  ASSERT_EQ(response.answers.size(), 2u);
+  EXPECT_EQ(response.answers[0].type(), RecordType::CNAME);
+  EXPECT_EQ(response.answers[1].type(), RecordType::A);
+  EXPECT_EQ(responder.stats().cname_chases, 1u);
+}
+
+TEST(Responder, MultiHopCnameChase) {
+  Fixture f;
+  Responder responder(f.store);
+  const auto response = f.ask("hop1.example.com", RecordType::A, responder);
+  EXPECT_EQ(response.header.rcode, Rcode::NoError);
+  ASSERT_EQ(response.answers.size(), 3u);  // CNAME, CNAME, A
+}
+
+TEST(Responder, CrossZoneCnameChase) {
+  // "www.ex.com" => "ex.edgesuite.net" => "a1.w10.akamai.net" pattern:
+  // both zones hosted here, so the chain is answered in one response.
+  Fixture f;
+  Responder responder(f.store);
+  const auto response = f.ask("ex.edgesuite.net", RecordType::A, responder);
+  EXPECT_EQ(response.header.rcode, Rcode::NoError);
+  ASSERT_EQ(response.answers.size(), 2u);
+  EXPECT_EQ(response.answers[1].name.to_string(), "a1.w10.akamai.net.");
+}
+
+TEST(Responder, CnameToExternalZoneEndsChain) {
+  Fixture f;
+  Responder responder(f.store);
+  const auto response = f.ask("external.example.com", RecordType::A, responder);
+  EXPECT_EQ(response.header.rcode, Rcode::NoError);
+  ASSERT_EQ(response.answers.size(), 1u);
+  EXPECT_EQ(response.answers[0].type(), RecordType::CNAME);
+}
+
+TEST(Responder, CnameLoopIsServFail) {
+  Fixture f;
+  Responder responder(f.store);
+  const auto response = f.ask("loop1.example.com", RecordType::A, responder);
+  EXPECT_EQ(response.header.rcode, Rcode::ServFail);
+  EXPECT_EQ(responder.stats().servfail, 1u);
+}
+
+TEST(Responder, ReferralForDelegatedSubzone) {
+  Fixture f;
+  Responder responder(f.store);
+  const auto response = f.ask("host.sub.example.com", RecordType::A, responder);
+  EXPECT_EQ(response.header.rcode, Rcode::NoError);
+  EXPECT_FALSE(response.header.aa);  // referrals are not authoritative
+  ASSERT_FALSE(response.authorities.empty());
+  EXPECT_EQ(response.authorities[0].type(), RecordType::NS);
+  ASSERT_FALSE(response.additionals.empty());  // glue
+  EXPECT_EQ(responder.stats().referrals, 1u);
+}
+
+TEST(Responder, NotImpForNonQueryOpcode) {
+  Fixture f;
+  Responder responder(f.store);
+  auto query = dns::make_query(1, DnsName::from("www.example.com"), RecordType::A);
+  query.header.opcode = dns::Opcode::Update;
+  const auto response = responder.respond(query, f.client);
+  EXPECT_EQ(response.header.rcode, Rcode::NotImp);
+}
+
+TEST(Responder, FormErrForZeroQuestions) {
+  Fixture f;
+  Responder responder(f.store);
+  Message query;
+  query.header.id = 9;
+  const auto response = responder.respond(query, f.client);
+  EXPECT_EQ(response.header.rcode, Rcode::FormErr);
+}
+
+TEST(Responder, MappingHookOverridesZoneData) {
+  Fixture f;
+  Responder responder(f.store);
+  responder.set_mapping_hook(
+      [](const dns::Question& q, const Endpoint& client,
+         const std::optional<dns::ClientSubnet>&) -> std::optional<MappedAnswer> {
+        if (q.name != DnsName::from("www.example.com")) return std::nullopt;
+        MappedAnswer mapped;
+        // Mapping returns a client-proximal edge IP, not the static one.
+        const bool east = client.addr.v4().octets()[0] >= 128;
+        mapped.answers.push_back(dns::make_a(q.name, east ? Ipv4Addr(172, 16, 0, 1)
+                                                          : Ipv4Addr(172, 16, 0, 2), 20));
+        mapped.ecs_scope_prefix_len = 24;
+        return mapped;
+      });
+  const auto response = f.ask("www.example.com", RecordType::A, responder);
+  EXPECT_EQ(response.header.rcode, Rcode::NoError);
+  ASSERT_EQ(response.answers.size(), 1u);
+  EXPECT_EQ(std::get<dns::ARecord>(response.answers[0].rdata).address.to_string(),
+            "172.16.0.1");
+  EXPECT_EQ(response.answers[0].ttl, 20u);  // low TTL for rapid remapping
+  EXPECT_EQ(responder.stats().mapped_answers, 1u);
+}
+
+TEST(Responder, MappingHookEcsScopeEchoed) {
+  Fixture f;
+  Responder responder(f.store);
+  responder.set_mapping_hook([](const dns::Question& q, const Endpoint&,
+                                const std::optional<dns::ClientSubnet>& ecs)
+                                 -> std::optional<MappedAnswer> {
+    MappedAnswer mapped;
+    mapped.answers.push_back(dns::make_a(q.name, Ipv4Addr(172, 16, 9, 9), 20));
+    mapped.ecs_scope_prefix_len = ecs ? 24 : 0;
+    return mapped;
+  });
+  auto query = dns::make_query(5, DnsName::from("www.example.com"), RecordType::A);
+  dns::Edns edns;
+  dns::ClientSubnet ecs;
+  ecs.address = *IpAddr::parse("203.0.113.0");
+  ecs.source_prefix_len = 24;
+  edns.client_subnet = ecs;
+  query.edns = edns;
+  const auto response = responder.respond(query, f.client);
+  ASSERT_TRUE(response.edns);
+  ASSERT_TRUE(response.edns->client_subnet);
+  EXPECT_EQ(response.edns->client_subnet->scope_prefix_len, 24);
+}
+
+TEST(Responder, RespondWireRoundTrip) {
+  Fixture f;
+  Responder responder(f.store);
+  const auto query = dns::make_query(7, DnsName::from("www.example.com"), RecordType::A);
+  const auto wire = dns::encode(query);
+  const auto response_wire = responder.respond_wire(wire, f.client);
+  ASSERT_TRUE(response_wire);
+  const auto decoded = dns::decode(*response_wire);
+  ASSERT_TRUE(decoded) << decoded.error();
+  EXPECT_EQ(decoded.value().header.id, 7);
+  EXPECT_EQ(decoded.value().header.rcode, Rcode::NoError);
+  ASSERT_EQ(decoded.value().answers.size(), 1u);
+}
+
+TEST(Responder, RespondWireGarbageReturnsNullopt) {
+  Fixture f;
+  Responder responder(f.store);
+  const std::vector<std::uint8_t> garbage{0xFF, 0x00, 0x01};
+  EXPECT_FALSE(responder.respond_wire(garbage, f.client));
+}
+
+TEST(Responder, StatsAccumulateAndReset) {
+  Fixture f;
+  Responder responder(f.store);
+  f.ask("www.example.com", RecordType::A, responder);
+  f.ask("missing.example.com", RecordType::A, responder);
+  f.ask("other.org", RecordType::A, responder);
+  EXPECT_EQ(responder.stats().responses, 3u);
+  EXPECT_EQ(responder.stats().noerror, 1u);
+  EXPECT_EQ(responder.stats().nxdomain, 1u);
+  EXPECT_EQ(responder.stats().refused, 1u);
+  responder.reset_stats();
+  EXPECT_EQ(responder.stats().responses, 0u);
+}
+
+}  // namespace
+}  // namespace akadns::server

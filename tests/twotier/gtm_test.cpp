@@ -1,0 +1,137 @@
+#include "twotier/gtm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace akadns::twotier {
+namespace {
+
+using dns::DnsName;
+
+GtmProperty three_datacenters(GtmPolicy policy) {
+  GtmProperty property({.hostname = DnsName::from("www.acme.com"), .policy = policy});
+  property.add_datacenter(
+      {"us-east", *IpAddr::parse("203.0.113.1"), 3.0, {0.0, 0.0}, true, 0.0});
+  property.add_datacenter(
+      {"eu-west", *IpAddr::parse("203.0.113.2"), 1.0, {100.0, 0.0}, true, 0.0});
+  property.add_datacenter(
+      {"ap-south", *IpAddr::parse("203.0.113.3"), 1.0, {200.0, 0.0}, true, 0.0});
+  return property;
+}
+
+std::string answered_address(const std::vector<dns::ResourceRecord>& records) {
+  return std::get<dns::ARecord>(records.at(0).rdata).address.to_string();
+}
+
+TEST(Gtm, FailoverPrefersPrimary) {
+  auto property = three_datacenters(GtmPolicy::Failover);
+  Rng rng(1);
+  EXPECT_EQ(answered_address(property.answer(std::nullopt, rng)), "203.0.113.1");
+}
+
+TEST(Gtm, FailoverSkipsDeadPrimary) {
+  auto property = three_datacenters(GtmPolicy::Failover);
+  Rng rng(1);
+  EXPECT_TRUE(property.set_alive("us-east", false));
+  EXPECT_EQ(answered_address(property.answer(std::nullopt, rng)), "203.0.113.2");
+  property.set_alive("eu-west", false);
+  EXPECT_EQ(answered_address(property.answer(std::nullopt, rng)), "203.0.113.3");
+}
+
+TEST(Gtm, FailbackWhenPrimaryRecovers) {
+  auto property = three_datacenters(GtmPolicy::Failover);
+  Rng rng(1);
+  property.set_alive("us-east", false);
+  ASSERT_EQ(answered_address(property.answer(std::nullopt, rng)), "203.0.113.2");
+  property.set_alive("us-east", true);
+  EXPECT_EQ(answered_address(property.answer(std::nullopt, rng)), "203.0.113.1");
+}
+
+TEST(Gtm, AllDownYieldsNoAnswer) {
+  auto property = three_datacenters(GtmPolicy::Failover);
+  Rng rng(1);
+  for (const char* id : {"us-east", "eu-west", "ap-south"}) property.set_alive(id, false);
+  EXPECT_TRUE(property.answer(std::nullopt, rng).empty());
+  EXPECT_TRUE(property.eligible().empty());
+}
+
+TEST(Gtm, WeightedRoundRobinFollowsWeights) {
+  auto property = three_datacenters(GtmPolicy::WeightedRoundRobin);
+  Rng rng(7);
+  std::map<std::string, int> hits;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) ++hits[answered_address(property.answer(std::nullopt, rng))];
+  // Weights 3:1:1 -> 60% / 20% / 20%.
+  EXPECT_NEAR(hits["203.0.113.1"] / static_cast<double>(n), 0.6, 0.02);
+  EXPECT_NEAR(hits["203.0.113.2"] / static_cast<double>(n), 0.2, 0.02);
+  EXPECT_NEAR(hits["203.0.113.3"] / static_cast<double>(n), 0.2, 0.02);
+}
+
+TEST(Gtm, WeightedExcludesDeadAndRenormalizes) {
+  auto property = three_datacenters(GtmPolicy::WeightedRoundRobin);
+  property.set_alive("us-east", false);
+  Rng rng(9);
+  std::map<std::string, int> hits;
+  const int n = 10'000;
+  for (int i = 0; i < n; ++i) ++hits[answered_address(property.answer(std::nullopt, rng))];
+  EXPECT_EQ(hits.count("203.0.113.1"), 0u);
+  EXPECT_NEAR(hits["203.0.113.2"] / static_cast<double>(n), 0.5, 0.03);
+}
+
+TEST(Gtm, PerformancePicksNearest) {
+  auto property = three_datacenters(GtmPolicy::Performance);
+  Rng rng(3);
+  EXPECT_EQ(answered_address(property.answer(GeoPoint{10.0, 0.0}, rng)), "203.0.113.1");
+  EXPECT_EQ(answered_address(property.answer(GeoPoint{110.0, 0.0}, rng)), "203.0.113.2");
+  EXPECT_EQ(answered_address(property.answer(GeoPoint{500.0, 0.0}, rng)), "203.0.113.3");
+}
+
+TEST(Gtm, PerformanceSkipsDeadNearest) {
+  auto property = three_datacenters(GtmPolicy::Performance);
+  Rng rng(3);
+  property.set_alive("us-east", false);
+  EXPECT_EQ(answered_address(property.answer(GeoPoint{10.0, 0.0}, rng)), "203.0.113.2");
+}
+
+TEST(Gtm, PerformanceUnlocatableClientFallsBack) {
+  auto property = three_datacenters(GtmPolicy::Performance);
+  Rng rng(3);
+  EXPECT_EQ(answered_address(property.answer(std::nullopt, rng)), "203.0.113.1");
+}
+
+TEST(Gtm, OverloadedDatacenterExcluded) {
+  auto property = three_datacenters(GtmPolicy::Failover);
+  Rng rng(1);
+  property.set_load("us-east", 0.99);
+  EXPECT_EQ(answered_address(property.answer(std::nullopt, rng)), "203.0.113.2");
+  property.set_load("us-east", 0.5);  // back under the threshold
+  EXPECT_EQ(answered_address(property.answer(std::nullopt, rng)), "203.0.113.1");
+}
+
+TEST(Gtm, AnswersCarryLowTtl) {
+  auto property = three_datacenters(GtmPolicy::Failover);
+  Rng rng(1);
+  const auto records = property.answer(std::nullopt, rng);
+  ASSERT_FALSE(records.empty());
+  EXPECT_EQ(records[0].ttl, 30u);
+  EXPECT_EQ(records[0].name.to_string(), "www.acme.com.");
+}
+
+TEST(Gtm, Ipv6DatacenterYieldsAaaa) {
+  GtmProperty property({.hostname = DnsName::from("www.acme.com")});
+  property.add_datacenter({"v6", *IpAddr::parse("2001:db8::1"), 1.0, {}, true, 0.0});
+  Rng rng(1);
+  const auto records = property.answer(std::nullopt, rng);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].type(), dns::RecordType::AAAA);
+}
+
+TEST(Gtm, UnknownDatacenterOperationsReturnFalse) {
+  auto property = three_datacenters(GtmPolicy::Failover);
+  EXPECT_FALSE(property.set_alive("nope", false));
+  EXPECT_FALSE(property.set_load("nope", 0.5));
+}
+
+}  // namespace
+}  // namespace akadns::twotier

@@ -1,0 +1,110 @@
+#include "twotier/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+namespace akadns::twotier {
+namespace {
+
+using dns::DnsName;
+
+MappingSystem three_sites() {
+  MappingSystem mapping;
+  mapping.add_site({"us-east", *IpAddr::parse("172.16.1.1"), {0.0, 0.0}, 0.0, true});
+  mapping.add_site({"eu-west", *IpAddr::parse("172.16.2.1"), {100.0, 0.0}, 0.0, true});
+  mapping.add_site({"ap-south", *IpAddr::parse("172.16.3.1"), {200.0, 50.0}, 0.0, true});
+  return mapping;
+}
+
+TEST(MappingSystem, SelectsNearestSites) {
+  const auto mapping = three_sites();
+  const auto picks = mapping.select_sites({10.0, 0.0}, 2);
+  ASSERT_EQ(picks.size(), 2u);
+  EXPECT_EQ(picks[0]->id, "us-east");
+  EXPECT_EQ(picks[1]->id, "eu-west");
+}
+
+TEST(MappingSystem, DeadSiteSkipped) {
+  auto mapping = three_sites();
+  EXPECT_TRUE(mapping.set_site_alive("us-east", false));
+  const auto picks = mapping.select_sites({10.0, 0.0}, 2);
+  ASSERT_EQ(picks.size(), 2u);
+  EXPECT_EQ(picks[0]->id, "eu-west");
+}
+
+TEST(MappingSystem, LoadSteersAway) {
+  auto mapping = three_sites();
+  // us-east nearest but heavily loaded (below the overload threshold, so
+  // still eligible — just depreferred).
+  EXPECT_TRUE(mapping.set_site_load("us-east", 0.85));
+  const auto picks = mapping.select_sites({60.0, 0.0}, 1);
+  ASSERT_EQ(picks.size(), 1u);
+  // effective(us-east) = 60 * 1.85 = 111; effective(eu-west) = 40.
+  EXPECT_EQ(picks[0]->id, "eu-west");
+}
+
+TEST(MappingSystem, OverloadedSiteOnlyAsLastResort) {
+  auto mapping = three_sites();
+  mapping.set_site_load("us-east", 0.95);  // over threshold
+  const auto picks = mapping.select_sites({0.0, 0.0}, 3);
+  ASSERT_EQ(picks.size(), 3u);
+  EXPECT_EQ(picks.back()->id, "us-east");  // pushed to the end
+  // With enough healthy alternatives requested, overloaded is excluded.
+  const auto two = mapping.select_sites({0.0, 0.0}, 2);
+  EXPECT_EQ(two[0]->id, "eu-west");
+  EXPECT_EQ(two[1]->id, "ap-south");
+}
+
+TEST(MappingSystem, GeolocationByPrefix) {
+  auto mapping = three_sites();
+  mapping.register_client_prefix(*IpPrefix::parse("198.51.100.0/24"), {100.0, 0.0});
+  mapping.register_client_prefix(*IpPrefix::parse("198.51.0.0/16"), {0.0, 0.0});
+  // Longest prefix wins.
+  const auto located = mapping.locate(*IpAddr::parse("198.51.100.7"));
+  ASSERT_TRUE(located);
+  EXPECT_DOUBLE_EQ(located->x, 100.0);
+  const auto broader = mapping.locate(*IpAddr::parse("198.51.7.7"));
+  ASSERT_TRUE(broader);
+  EXPECT_DOUBLE_EQ(broader->x, 0.0);
+  EXPECT_FALSE(mapping.locate(*IpAddr::parse("203.0.113.1")));
+}
+
+TEST(MappingSystem, AnswerUsesClientLocation) {
+  auto mapping = three_sites();
+  mapping.register_client_prefix(*IpPrefix::parse("198.51.100.0/24"), {100.0, 0.0});
+  const auto records =
+      mapping.answer(DnsName::from("a1.w10.akamai.net"), *IpAddr::parse("198.51.100.5"), 1);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(std::get<dns::ARecord>(records[0].rdata).address.to_string(), "172.16.2.1");
+  EXPECT_EQ(records[0].ttl, 20u);  // the paper's low CDN TTL
+}
+
+TEST(MappingSystem, AnswerForUnknownClientStillWorks) {
+  const auto mapping = three_sites();
+  const auto records =
+      mapping.answer(DnsName::from("a1.w10.akamai.net"), *IpAddr::parse("203.0.113.5"), 2);
+  EXPECT_EQ(records.size(), 2u);
+}
+
+TEST(MappingSystem, LivenessChangeRemapsInstantly) {
+  // The reconfigurability story: a site dies, the next answer avoids it.
+  auto mapping = three_sites();
+  mapping.register_client_prefix(*IpPrefix::parse("198.51.100.0/24"), {0.0, 0.0});
+  const auto before =
+      mapping.answer(DnsName::from("x.w10.akamai.net"), *IpAddr::parse("198.51.100.5"), 1);
+  EXPECT_EQ(std::get<dns::ARecord>(before[0].rdata).address.to_string(), "172.16.1.1");
+  mapping.set_site_alive("us-east", false);
+  const auto after =
+      mapping.answer(DnsName::from("x.w10.akamai.net"), *IpAddr::parse("198.51.100.5"), 1);
+  EXPECT_EQ(std::get<dns::ARecord>(after[0].rdata).address.to_string(), "172.16.2.1");
+}
+
+TEST(MappingSystem, UnknownSiteOperationsReturnFalse) {
+  auto mapping = three_sites();
+  EXPECT_FALSE(mapping.set_site_load("nope", 0.5));
+  EXPECT_FALSE(mapping.set_site_alive("nope", false));
+  EXPECT_EQ(mapping.find_site("nope"), nullptr);
+  EXPECT_NE(mapping.find_site("us-east"), nullptr);
+}
+
+}  // namespace
+}  // namespace akadns::twotier

@@ -1,0 +1,59 @@
+#include "twotier/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace akadns::twotier {
+namespace {
+
+TEST(TwoTierModel, Equation1Basic) {
+  // T=60ms, L=10ms, rT=0.1: avg = 0.9*10 + 0.1*70 = 16ms; S = 60/16.
+  TwoTierParams params{Duration::millis(60), Duration::millis(10), 0.1};
+  EXPECT_NEAR(two_tier_resolution_time(params).to_millis(), 16.0, 1e-9);
+  EXPECT_NEAR(single_tier_resolution_time(params).to_millis(), 60.0, 1e-9);
+  EXPECT_NEAR(speedup(params), 60.0 / 16.0, 1e-9);
+}
+
+TEST(TwoTierModel, SmallRtLargeGapMaximizesSpeedup) {
+  // "Two-Tier is most beneficial when rT is small and T - L is large."
+  TwoTierParams busy{Duration::millis(60), Duration::millis(10), 0.008};
+  TwoTierParams idle{Duration::millis(60), Duration::millis(10), 0.48};
+  EXPECT_GT(speedup(busy), speedup(idle));
+  TwoTierParams small_gap{Duration::millis(12), Duration::millis(10), 0.008};
+  EXPECT_GT(speedup(busy), speedup(small_gap));
+}
+
+TEST(TwoTierModel, RtOneIsAlwaysSlower) {
+  // Every resolution pays L+T: S = T/(L+T) < 1.
+  TwoTierParams params{Duration::millis(60), Duration::millis(10), 1.0};
+  EXPECT_NEAR(speedup(params), 60.0 / 70.0, 1e-9);
+  EXPECT_LT(speedup(params), 1.0);
+}
+
+TEST(TwoTierModel, RtZeroGivesFullRatio) {
+  TwoTierParams params{Duration::millis(60), Duration::millis(10), 0.0};
+  EXPECT_NEAR(speedup(params), 6.0, 1e-9);
+}
+
+TEST(TwoTierModel, BreakEvenCondition) {
+  // S = 1 iff T = (1-rT)L + rT(L+T) iff (1-rT)T = L.
+  const double rt = 0.2;
+  TwoTierParams params{Duration::millis(100), Duration::millis_f(100.0 * (1.0 - rt)), rt};
+  EXPECT_NEAR(speedup(params), 1.0, 1e-9);
+}
+
+TEST(TwoTierModel, SlowLowlevelMakesTwoTierWorse) {
+  // An RTT-weighting resolver whose lowlevel is farther than its anycast
+  // toplevel loses with Two-Tier (the paper's "cost for some resolvers").
+  TwoTierParams params{Duration::millis(20), Duration::millis(50), 0.05};
+  EXPECT_LT(speedup(params), 1.0);
+}
+
+TEST(TwoTierModel, InvalidRtThrows) {
+  TwoTierParams params{Duration::millis(60), Duration::millis(10), 1.5};
+  EXPECT_THROW(speedup(params), std::invalid_argument);
+  params.r_t = -0.1;
+  EXPECT_THROW(two_tier_resolution_time(params), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace akadns::twotier

@@ -1,0 +1,75 @@
+#include "twotier/probe_dataset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace akadns::twotier {
+namespace {
+
+TEST(ProbeDataset, GeneratesConfiguredShape) {
+  ProbeDatasetConfig config;
+  config.probe_count = 200;
+  const auto probes = generate_probe_dataset(config, 1);
+  ASSERT_EQ(probes.size(), 200u);
+  for (const auto& probe : probes) {
+    EXPECT_EQ(probe.toplevel_rtts.size(), 13u);
+    EXPECT_GE(probe.lowlevel_rtts.size(), config.lowlevels_min);
+    EXPECT_LE(probe.lowlevel_rtts.size(), config.lowlevels_max);
+    for (const auto rtt : probe.toplevel_rtts) EXPECT_GT(rtt, Duration::zero());
+    for (const auto rtt : probe.lowlevel_rtts) EXPECT_GT(rtt, Duration::zero());
+  }
+}
+
+TEST(ProbeDataset, DeterministicForSeed) {
+  ProbeDatasetConfig config;
+  config.probe_count = 50;
+  const auto a = generate_probe_dataset(config, 7);
+  const auto b = generate_probe_dataset(config, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].toplevel_rtts, b[i].toplevel_rtts);
+    EXPECT_EQ(a[i].lowlevel_rtts, b[i].lowlevel_rtts);
+  }
+  const auto c = generate_probe_dataset(config, 8);
+  EXPECT_NE(a[0].toplevel_rtts, c[0].toplevel_rtts);
+}
+
+TEST(ProbeDataset, LowlevelFasterForMostProbes) {
+  // The paper's headline: L < T for 98% of probes with average RTTs and
+  // 87% with weighted RTTs. Verify the generative model lands in the
+  // right neighborhood (shape fidelity, not exact numbers).
+  const auto probes = generate_probe_dataset({}, 42);
+  const double avg_fraction = fraction_lowlevel_faster(probes, /*weighted=*/false);
+  const double wgt_fraction = fraction_lowlevel_faster(probes, /*weighted=*/true);
+  EXPECT_GT(avg_fraction, 0.92);
+  EXPECT_LE(avg_fraction, 1.0);
+  EXPECT_GT(wgt_fraction, 0.78);
+  EXPECT_LT(wgt_fraction, 0.95);
+  EXPECT_LT(wgt_fraction, avg_fraction);  // weighting always narrows the gap
+}
+
+TEST(ProbeDataset, WeightedToplevelLeqAverage) {
+  const auto probes = generate_probe_dataset({}, 3);
+  for (const auto& probe : probes) {
+    EXPECT_LE(probe.toplevel_weighted().to_seconds(),
+              probe.toplevel_avg().to_seconds() + 1e-12);
+  }
+}
+
+TEST(ProbeDataset, AnycastInflationMakesToplevelsVary) {
+  const auto probes = generate_probe_dataset({}, 4);
+  // Within a probe, toplevel RTTs should spread widely (anycast routing
+  // "often not coinciding with lowest RTT").
+  std::size_t wide = 0;
+  for (const auto& probe : probes) {
+    const auto minmax =
+        std::minmax_element(probe.toplevel_rtts.begin(), probe.toplevel_rtts.end());
+    if (minmax.second->to_seconds() > 2.0 * minmax.first->to_seconds()) ++wide;
+  }
+  EXPECT_GT(static_cast<double>(wide) / static_cast<double>(probes.size()), 0.5);
+}
+
+TEST(ProbeDataset, EmptyFractionIsZero) {
+  EXPECT_DOUBLE_EQ(fraction_lowlevel_faster({}, false), 0.0);
+}
+
+}  // namespace
+}  // namespace akadns::twotier

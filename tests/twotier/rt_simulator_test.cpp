@@ -1,0 +1,75 @@
+#include "twotier/rt_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace akadns::twotier {
+namespace {
+
+TEST(RtSimulator, BusyResolverHasTinyRt) {
+  Rng rng(1);
+  // A public-DNS-scale resolver: 100 qps for this hostname.
+  const auto estimate = simulate_rt(100.0, {}, rng);
+  EXPECT_GT(estimate.resolutions, 1000u);
+  // Host TTL 20s, delegation TTL 4000s: roughly one toplevel contact per
+  // 200 resolutions.
+  EXPECT_NEAR(estimate.r_t(), 0.005, 0.002);
+}
+
+TEST(RtSimulator, IdleResolverHasRtNearOne) {
+  Rng rng(2);
+  // One end-user query every ~12 hours: the 4000-second delegation TTL
+  // almost never survives to the next arrival.
+  RtSimConfig config;
+  config.duration = Duration::days(60);  // enough arrivals for stable stats
+  const auto estimate = simulate_rt(1.0 / 43200.0, config, rng);
+  EXPECT_GT(estimate.resolutions, 50u);
+  EXPECT_GT(estimate.r_t(), 0.8);
+}
+
+TEST(RtSimulator, MidRateResolverInBetween) {
+  Rng rng(3);
+  // ~1 query/minute.
+  const auto estimate = simulate_rt(1.0 / 60.0, {}, rng);
+  EXPECT_GT(estimate.r_t(), 0.01);
+  EXPECT_LT(estimate.r_t(), 0.9);
+}
+
+TEST(RtSimulator, ZeroRateDegenerates) {
+  Rng rng(4);
+  const auto estimate = simulate_rt(0.0, {}, rng);
+  EXPECT_EQ(estimate.end_user_queries, 0u);
+  EXPECT_DOUBLE_EQ(estimate.r_t(), 1.0);  // convention: cold resolver
+}
+
+TEST(RtSimulator, ResolutionsNeverExceedQueries) {
+  Rng rng(5);
+  const auto estimate = simulate_rt(5.0, {}, rng);
+  EXPECT_LE(estimate.resolutions, estimate.end_user_queries);
+  EXPECT_LE(estimate.toplevel_contacts, estimate.resolutions);
+}
+
+TEST(RtSimulator, AnalyticMatchesSimulation) {
+  for (const double qps : {100.0, 1.0, 1.0 / 60.0, 1.0 / 3600.0}) {
+    Rng rng(7);
+    RtSimConfig config;
+    config.duration = Duration::days(7);  // long horizon for tight stats
+    const auto simulated = simulate_rt(qps, config, rng);
+    const double analytic = analytic_rt(qps, config);
+    EXPECT_NEAR(simulated.r_t(), analytic, std::max(0.05, analytic * 0.3))
+        << "qps=" << qps;
+  }
+}
+
+TEST(RtSimulator, HigherDelegationTtlLowersRt) {
+  Rng rng_a(9), rng_b(9);
+  RtSimConfig short_ttl;
+  short_ttl.delegation_ttl = Duration::seconds(400);
+  RtSimConfig long_ttl;
+  long_ttl.delegation_ttl = Duration::seconds(40000);
+  const auto with_short = simulate_rt(1.0, short_ttl, rng_a);
+  const auto with_long = simulate_rt(1.0, long_ttl, rng_b);
+  EXPECT_GT(with_short.r_t(), with_long.r_t());
+}
+
+}  // namespace
+}  // namespace akadns::twotier

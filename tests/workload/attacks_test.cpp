@@ -1,0 +1,102 @@
+#include "workload/attacks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace akadns::workload {
+namespace {
+
+struct Fixture {
+  ResolverPopulation population{{.resolver_count = 5'000, .asn_count = 200}, 1};
+  HostedZones zones{{.zone_count = 200, .wildcard_fraction = 0.0}, 2};
+};
+
+TEST(DirectQueryAttack, UsesFewSources) {
+  Fixture f;
+  DirectQueryAttack attack({.bot_count = 5, .target_zone_rank = 0}, f.zones, 3);
+  std::set<std::string> sources;
+  for (int i = 0; i < 500; ++i) sources.insert(attack.next().source.addr.to_string());
+  EXPECT_EQ(sources.size(), 5u);
+}
+
+TEST(DirectQueryAttack, TargetsConfiguredZone) {
+  Fixture f;
+  DirectQueryAttack attack({.bot_count = 3, .target_zone_rank = 7}, f.zones, 4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(attack.next().qname.is_subdomain_of(f.zones.apex(7)));
+  }
+}
+
+TEST(RandomSubdomainAttack, SourcesAreLegitimateResolvers) {
+  Fixture f;
+  RandomSubdomainAttack attack({.target_zone_rank = 0}, f.population, f.zones, 5);
+  std::set<std::string> population_addresses;
+  for (const auto& r : f.population.resolvers()) {
+    population_addresses.insert(r.address.to_string());
+  }
+  for (int i = 0; i < 200; ++i) {
+    const auto query = attack.next();
+    EXPECT_TRUE(population_addresses.contains(query.source.addr.to_string()));
+    // Genuine path: TTL matches the resolver's real TTL.
+    EXPECT_EQ(query.ip_ttl, f.population.resolver(query.resolver_index).ip_ttl);
+  }
+}
+
+TEST(RandomSubdomainAttack, NamesAreNonexistent) {
+  Fixture f;
+  RandomSubdomainAttack attack({.target_zone_rank = 0}, f.population, f.zones, 6);
+  for (int i = 0; i < 100; ++i) {
+    const auto query = attack.next();
+    const auto zone = f.zones.store().find_best_zone(query.qname);
+    ASSERT_NE(zone, nullptr);
+    EXPECT_EQ(zone->lookup(query.qname, dns::RecordType::A).status,
+              zone::LookupStatus::NxDomain);
+  }
+}
+
+TEST(RandomSubdomainAttack, NamesAreDiverse) {
+  Fixture f;
+  RandomSubdomainAttack attack({.target_zone_rank = 0}, f.population, f.zones, 7);
+  std::set<std::string> names;
+  for (int i = 0; i < 500; ++i) names.insert(attack.next().qname.to_string());
+  EXPECT_GT(names.size(), 495u);  // effectively all unique
+}
+
+TEST(SpoofedAttack, ImpersonatesTopResolvers) {
+  Fixture f;
+  SpoofedAttack attack({.impersonate_allowlisted = true, .forge_ttl = false},
+                       f.population, f.zones, 8);
+  const auto top = f.population.top_by_weight(0.03);
+  std::set<std::string> top_addresses;
+  for (const auto idx : top) {
+    top_addresses.insert(f.population.resolver(idx).address.to_string());
+  }
+  for (int i = 0; i < 200; ++i) {
+    const auto query = attack.next();
+    EXPECT_TRUE(top_addresses.contains(query.source.addr.to_string()));
+    // Class 4: the TTL betrays the attacker's own topology.
+    EXPECT_EQ(query.ip_ttl, 44);
+  }
+}
+
+TEST(SpoofedAttack, ForgedTtlMatchesVictim) {
+  Fixture f;
+  SpoofedAttack attack({.impersonate_allowlisted = true, .forge_ttl = true},
+                       f.population, f.zones, 9);
+  for (int i = 0; i < 200; ++i) {
+    const auto query = attack.next();
+    EXPECT_EQ(query.ip_ttl, f.population.resolver(query.resolver_index).ip_ttl);
+  }
+}
+
+TEST(SpoofedAttack, RandomSourcesWhenNotImpersonating) {
+  Fixture f;
+  SpoofedAttack attack({.impersonate_allowlisted = false}, f.population, f.zones, 10);
+  std::set<std::string> sources;
+  for (int i = 0; i < 300; ++i) sources.insert(attack.next().source.addr.to_string());
+  EXPECT_GT(sources.size(), 290u);  // source-diverse
+}
+
+}  // namespace
+}  // namespace akadns::workload

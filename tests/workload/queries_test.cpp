@@ -1,0 +1,124 @@
+#include "workload/queries.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dns/wire.hpp"
+#include "workload/diurnal.hpp"
+
+namespace akadns::workload {
+namespace {
+
+struct Fixture {
+  ResolverPopulation population{{.resolver_count = 5'000, .asn_count = 200}, 1};
+  HostedZones zones{{.zone_count = 500}, 2};
+};
+
+TEST(QueryGenerator, ProducesResolvableQueries) {
+  Fixture f;
+  QueryGenerator generator(f.population, f.zones, 3);
+  for (int i = 0; i < 100; ++i) {
+    const auto query = generator.next();
+    EXPECT_LT(query.resolver_index, f.population.size());
+    EXPECT_EQ(query.source.addr, f.population.resolver(query.resolver_index).address);
+    const auto zone = f.zones.store().find_best_zone(query.qname);
+    EXPECT_NE(zone, nullptr) << query.qname.to_string();
+  }
+}
+
+TEST(QueryGenerator, EncodeProducesValidWire) {
+  Fixture f;
+  QueryGenerator generator(f.population, f.zones, 4);
+  const auto query = generator.next();
+  const auto wire = generator.encode(query);
+  const auto decoded = dns::decode(wire);
+  ASSERT_TRUE(decoded) << decoded.error();
+  EXPECT_EQ(decoded.value().question().name, query.qname);
+}
+
+TEST(QueryGenerator, FixedPortResolversKeepPort53) {
+  Fixture f;
+  QueryGenerator generator(f.population, f.zones, 5);
+  bool saw_fixed = false, saw_random = false;
+  for (int i = 0; i < 2000 && !(saw_fixed && saw_random); ++i) {
+    const auto query = generator.next();
+    const auto& resolver = f.population.resolver(query.resolver_index);
+    if (resolver.random_ports) {
+      EXPECT_GE(query.source.port, 1024);
+      saw_random = true;
+    } else {
+      EXPECT_EQ(query.source.port, 53);
+      saw_fixed = true;
+    }
+  }
+  EXPECT_TRUE(saw_random);
+}
+
+TEST(BurstModel, AverageApproximatesMean) {
+  BurstModel model;
+  Rng rng(6);
+  const auto [avg, max] = model.simulate_day(10.0, 86'400, rng);
+  EXPECT_NEAR(avg, 10.0, 2.0);
+  EXPECT_GT(max, avg);
+}
+
+TEST(BurstModel, BurstinessAmplifiesMax) {
+  // Figure 3's key property: max >> avg. With on_fraction 0.15 the burst
+  // rate is ~6.7x the mean, plus Poisson noise.
+  BurstModel model{.on_fraction = 0.15, .mean_burst = Duration::seconds(30)};
+  Rng rng(7);
+  const auto [avg, max] = model.simulate_day(5.0, 86'400, rng);
+  EXPECT_GT(max / std::max(avg, 1e-9), 4.0);
+}
+
+TEST(BurstModel, ZeroRateProducesNothing) {
+  BurstModel model;
+  Rng rng(8);
+  const auto [avg, max] = model.simulate_day(0.0, 3600, rng);
+  EXPECT_DOUBLE_EQ(avg, 0.0);
+  EXPECT_DOUBLE_EQ(max, 0.0);
+}
+
+TEST(DiurnalModel, RangeMatchesPaper) {
+  DiurnalModel model({}, 1);
+  double lo = 1e18, hi = 0;
+  for (int hour = 0; hour < 24 * 7; ++hour) {
+    const double rate = model.rate_at(SimTime::from_seconds(hour * 3600.0));
+    lo = std::min(lo, rate);
+    hi = std::max(hi, rate);
+  }
+  EXPECT_NEAR(lo, 3.9e6, 1e5);
+  EXPECT_NEAR(hi, 5.6e6, 1e5);
+}
+
+TEST(DiurnalModel, DailyPeriodicity) {
+  DiurnalModel model({}, 1);
+  // Same hour on two consecutive weekdays (Mon 10:00 vs Tue 10:00 with
+  // start Sunday): nearly equal rates.
+  const double monday = model.rate_at(SimTime::from_seconds((24 + 10) * 3600.0));
+  const double tuesday = model.rate_at(SimTime::from_seconds((48 + 10) * 3600.0));
+  EXPECT_NEAR(monday, tuesday, monday * 0.01);
+}
+
+TEST(DiurnalModel, WeekendDip) {
+  DiurnalConfig config;
+  config.start_day_of_week = 0;  // t=0 is Sunday
+  DiurnalModel model(config, 1);
+  const double sunday_peak =
+      model.rate_at(SimTime::from_seconds(config.peak_hour * 3600.0));
+  const double monday_peak =
+      model.rate_at(SimTime::from_seconds((24 + config.peak_hour) * 3600.0));
+  EXPECT_LT(sunday_peak, monday_peak);
+}
+
+TEST(DiurnalModel, NoisyRateNearBase) {
+  DiurnalModel model({}, 1);
+  Rng rng(9);
+  const auto t = SimTime::from_seconds(3600.0);
+  const double base = model.rate_at(t);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_NEAR(model.noisy_rate_at(t, rng), base, base * 0.08);
+  }
+}
+
+}  // namespace
+}  // namespace akadns::workload

@@ -1,0 +1,223 @@
+#include "zone/zone_parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace akadns::zone {
+namespace {
+
+using dns::DnsName;
+using dns::RecordType;
+
+constexpr const char* kSampleZone = R"(
+$ORIGIN example.com.
+$TTL 3600
+@   IN SOA ns1.example.com. hostmaster.example.com. (
+        2020120701 ; serial
+        7200       ; refresh
+        900        ; retry
+        1209600    ; expire
+        300 )      ; minimum
+@       IN NS  ns1
+@       IN NS  ns2.example.net.
+ns1     IN A   10.0.0.1
+www 300 IN A   93.184.216.34
+www     IN AAAA 2001:db8::34
+ftp     IN CNAME www
+@       IN MX  10 mail
+mail    IN A   10.0.0.25
+@       IN TXT "v=spf1 mx -all"
+_sip._tcp IN SRV 10 60 5060 sip
+sip     IN A   10.0.0.80
+@       IN CAA 0 issue "letsencrypt.org"
+*.dev   IN A   10.7.7.7
+)";
+
+TEST(ZoneParser, ParsesSampleZone) {
+  const auto result = parse_master_file(kSampleZone, {});
+  ASSERT_TRUE(result) << result.error();
+  const Zone& zone = result.value();
+  EXPECT_EQ(zone.apex().to_string(), "example.com.");
+  EXPECT_EQ(zone.serial(), 2020120701u);
+  EXPECT_TRUE(zone.validate().empty());
+}
+
+TEST(ZoneParser, SoaFieldsParsed) {
+  const auto result = parse_master_file(kSampleZone, {});
+  ASSERT_TRUE(result) << result.error();
+  const auto soa = result.value().soa();
+  ASSERT_TRUE(soa);
+  const auto& soa_data = std::get<dns::SoaRecord>(soa->rdata);
+  EXPECT_EQ(soa_data.mname.to_string(), "ns1.example.com.");
+  EXPECT_EQ(soa_data.refresh, 7200u);
+  EXPECT_EQ(soa_data.minimum, 300u);
+}
+
+TEST(ZoneParser, RelativeAndAbsoluteNames) {
+  const auto result = parse_master_file(kSampleZone, {});
+  ASSERT_TRUE(result) << result.error();
+  const Zone& zone = result.value();
+  const auto* ns = zone.find(zone.apex(), RecordType::NS);
+  ASSERT_NE(ns, nullptr);
+  ASSERT_EQ(ns->records.size(), 2u);
+  // "ns1" resolves against origin; "ns2.example.net." stays absolute.
+  const auto targets = std::pair(
+      std::get<dns::NsRecord>(ns->records[0].rdata).nameserver.to_string(),
+      std::get<dns::NsRecord>(ns->records[1].rdata).nameserver.to_string());
+  EXPECT_EQ(targets.first, "ns1.example.com.");
+  EXPECT_EQ(targets.second, "ns2.example.net.");
+}
+
+TEST(ZoneParser, ExplicitTtlOverridesDefault) {
+  const auto result = parse_master_file(kSampleZone, {});
+  ASSERT_TRUE(result) << result.error();
+  const auto* www = result.value().find(DnsName::from("www.example.com"), RecordType::A);
+  ASSERT_NE(www, nullptr);
+  EXPECT_EQ(www->ttl(), 300u);
+  const auto* mail = result.value().find(DnsName::from("mail.example.com"), RecordType::A);
+  ASSERT_NE(mail, nullptr);
+  EXPECT_EQ(mail->ttl(), 3600u);  // $TTL default
+}
+
+TEST(ZoneParser, QuotedTxtWithSpaces) {
+  const auto result = parse_master_file(kSampleZone, {});
+  ASSERT_TRUE(result) << result.error();
+  const auto* txt = result.value().find(DnsName::from("example.com"), RecordType::TXT);
+  ASSERT_NE(txt, nullptr);
+  EXPECT_EQ(std::get<dns::TxtRecord>(txt->records[0].rdata).strings[0], "v=spf1 mx -all");
+}
+
+TEST(ZoneParser, SrvAndCaaParsed) {
+  const auto result = parse_master_file(kSampleZone, {});
+  ASSERT_TRUE(result) << result.error();
+  const auto* srv =
+      result.value().find(DnsName::from("_sip._tcp.example.com"), RecordType::SRV);
+  ASSERT_NE(srv, nullptr);
+  const auto& srv_data = std::get<dns::SrvRecord>(srv->records[0].rdata);
+  EXPECT_EQ(srv_data.port, 5060u);
+  EXPECT_EQ(srv_data.target.to_string(), "sip.example.com.");
+  const auto* caa = result.value().find(DnsName::from("example.com"), RecordType::CAA);
+  ASSERT_NE(caa, nullptr);
+  EXPECT_EQ(std::get<dns::CaaRecord>(caa->records[0].rdata).value, "letsencrypt.org");
+}
+
+TEST(ZoneParser, WildcardParsed) {
+  const auto result = parse_master_file(kSampleZone, {});
+  ASSERT_TRUE(result) << result.error();
+  const auto r = result.value().lookup(DnsName::from("x.dev.example.com"), RecordType::A);
+  EXPECT_EQ(r.status, LookupStatus::Answer);
+  EXPECT_TRUE(r.wildcard_match);
+}
+
+TEST(ZoneParser, TtlUnitSuffixes) {
+  const char* zone_text =
+      "$ORIGIN t.com.\n"
+      "@ 1h IN SOA ns.t.com. root.t.com. 1 1d 2h 1w 30m\n"
+      "@ IN NS ns\n"
+      "ns 90s IN A 10.0.0.1\n";
+  const auto result = parse_master_file(zone_text, {});
+  ASSERT_TRUE(result) << result.error();
+  const auto soa = result.value().soa();
+  ASSERT_TRUE(soa);
+  EXPECT_EQ(soa->ttl, 3600u);
+  const auto& soa_data = std::get<dns::SoaRecord>(soa->rdata);
+  EXPECT_EQ(soa_data.refresh, 86400u);
+  EXPECT_EQ(soa_data.retry, 7200u);
+  EXPECT_EQ(soa_data.expire, 604800u);
+  EXPECT_EQ(soa_data.minimum, 1800u);
+  EXPECT_EQ(result.value().find(DnsName::from("ns.t.com"), RecordType::A)->ttl(), 90u);
+}
+
+TEST(ZoneParser, ErrorsCarryLineNumbers) {
+  const char* bad =
+      "$ORIGIN x.com.\n"
+      "@ IN SOA ns.x.com. root.x.com. 1 1 1 1 1\n"
+      "@ IN NS ns\n"
+      "oops IN A not-an-ip\n";
+  const auto result = parse_master_file(bad, {});
+  ASSERT_FALSE(result);
+  EXPECT_NE(result.error().find("line 4"), std::string::npos);
+}
+
+TEST(ZoneParser, MissingSoaIsError) {
+  const auto result = parse_master_file("$ORIGIN x.com.\n@ IN NS ns.x.com.\n", {});
+  ASSERT_FALSE(result);
+  EXPECT_NE(result.error().find("no SOA"), std::string::npos);
+}
+
+TEST(ZoneParser, DuplicateSoaIsError) {
+  const char* bad =
+      "$ORIGIN x.com.\n"
+      "@ IN SOA ns.x.com. root.x.com. 1 1 1 1 1\n"
+      "@ IN SOA ns.x.com. root.x.com. 2 1 1 1 1\n";
+  EXPECT_FALSE(parse_master_file(bad, {}));
+}
+
+TEST(ZoneParser, UnbalancedParensIsError) {
+  const auto result = parse_master_file("@ IN SOA a. b. ( 1 1 1 1 1\n", {});
+  EXPECT_FALSE(result);
+}
+
+TEST(ZoneParser, UnterminatedQuoteIsError) {
+  const auto result =
+      parse_master_file("$ORIGIN x.com.\n@ IN TXT \"unterminated\n", {});
+  EXPECT_FALSE(result);
+}
+
+TEST(ZoneParser, UnknownDirectiveIsError) {
+  const auto result = parse_master_file("$BOGUS foo\n", {});
+  ASSERT_FALSE(result);
+  EXPECT_NE(result.error().find("$BOGUS"), std::string::npos);
+}
+
+TEST(ZoneParser, RecordWithoutOwnerIsError) {
+  // First record line starts with a type and no prior owner.
+  const auto result = parse_master_file("$ORIGIN x.com.\nIN A 1.2.3.4\n", {});
+  EXPECT_FALSE(result);
+}
+
+TEST(ZoneParser, CommentsIgnoredEverywhere) {
+  const char* zone_text =
+      "; leading comment\n"
+      "$ORIGIN c.com. ; trailing comment\n"
+      "@ IN SOA ns.c.com. r.c.com. 5 1 1 1 1 ; soa comment\n"
+      "@ IN NS ns ; ns comment\n"
+      "ns IN A 10.0.0.1\n"
+      "; done\n";
+  const auto result = parse_master_file(zone_text, {});
+  ASSERT_TRUE(result) << result.error();
+  EXPECT_EQ(result.value().serial(), 5u);
+}
+
+TEST(ZoneParser, RoundTripThroughMasterFile) {
+  const auto first = parse_master_file(kSampleZone, {});
+  ASSERT_TRUE(first) << first.error();
+  const auto text = to_master_file(first.value());
+  const auto second = parse_master_file(text, {});
+  ASSERT_TRUE(second) << second.error();
+  EXPECT_EQ(second.value().record_count(), first.value().record_count());
+  EXPECT_EQ(second.value().serial(), first.value().serial());
+  // Every original record survives the round trip.
+  const auto originals = first.value().all_records();
+  for (const auto& rr : originals) {
+    const auto* set = second.value().find(rr.name, rr.type());
+    ASSERT_NE(set, nullptr) << rr.to_string();
+  }
+}
+
+TEST(ZoneParser, OwnerContinuationUsesLastOwner) {
+  const char* zone_text =
+      "$ORIGIN m.com.\n"
+      "@ IN SOA ns.m.com. r.m.com. 1 1 1 1 1\n"
+      "@ IN NS ns\n"
+      "ns IN A 10.0.0.1\n"
+      "multi IN A 10.0.0.2\n"
+      "      IN A 10.0.0.3\n";
+  const auto result = parse_master_file(zone_text, {});
+  ASSERT_TRUE(result) << result.error();
+  const auto* set = result.value().find(DnsName::from("multi.m.com"), RecordType::A);
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(set->records.size(), 2u);
+}
+
+}  // namespace
+}  // namespace akadns::zone

@@ -1,0 +1,112 @@
+#include "zone/zone_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "zone/zone_builder.hpp"
+
+namespace akadns::zone {
+namespace {
+
+using dns::DnsName;
+
+Zone simple_zone(std::string_view apex, std::uint32_t serial) {
+  return ZoneBuilder(apex, serial)
+      .ns("@", std::string("ns1.") + std::string(apex))
+      .a("ns1", "10.0.0.1")
+      .a("www", "10.0.0.2")
+      .build();
+}
+
+TEST(ZoneStore, PublishAndFind) {
+  ZoneStore store;
+  EXPECT_TRUE(store.publish(simple_zone("example.com", 1)));
+  EXPECT_EQ(store.zone_count(), 1u);
+  EXPECT_TRUE(store.has_zone(DnsName::from("example.com")));
+  const auto zone = store.find_zone(DnsName::from("example.com"));
+  ASSERT_NE(zone, nullptr);
+  EXPECT_EQ(zone->serial(), 1u);
+}
+
+TEST(ZoneStore, SerialMustIncrease) {
+  ZoneStore store;
+  EXPECT_TRUE(store.publish(simple_zone("example.com", 5)));
+  EXPECT_FALSE(store.publish(simple_zone("example.com", 5)));
+  EXPECT_FALSE(store.publish(simple_zone("example.com", 4)));
+  EXPECT_TRUE(store.publish(simple_zone("example.com", 6)));
+  EXPECT_EQ(store.find_zone(DnsName::from("example.com"))->serial(), 6u);
+}
+
+TEST(ZoneStore, ForcePublishOverridesSerial) {
+  ZoneStore store;
+  store.publish(simple_zone("example.com", 10));
+  store.force_publish(simple_zone("example.com", 2));
+  EXPECT_EQ(store.find_zone(DnsName::from("example.com"))->serial(), 2u);
+}
+
+TEST(ZoneStore, LongestSuffixMatch) {
+  ZoneStore store;
+  store.publish(simple_zone("com", 1));
+  store.publish(simple_zone("example.com", 1));
+  store.publish(simple_zone("deep.example.com", 1));
+
+  EXPECT_EQ(store.find_best_zone(DnsName::from("www.deep.example.com"))->apex().to_string(),
+            "deep.example.com.");
+  EXPECT_EQ(store.find_best_zone(DnsName::from("www.example.com"))->apex().to_string(),
+            "example.com.");
+  EXPECT_EQ(store.find_best_zone(DnsName::from("other.com"))->apex().to_string(), "com.");
+  EXPECT_EQ(store.find_best_zone(DnsName::from("example.org")), nullptr);
+}
+
+TEST(ZoneStore, ApexItselfMatches) {
+  ZoneStore store;
+  store.publish(simple_zone("example.com", 1));
+  const auto zone = store.find_best_zone(DnsName::from("example.com"));
+  ASSERT_NE(zone, nullptr);
+  EXPECT_EQ(zone->apex().to_string(), "example.com.");
+}
+
+TEST(ZoneStore, RemoveZone) {
+  ZoneStore store;
+  store.publish(simple_zone("example.com", 1));
+  EXPECT_TRUE(store.remove(DnsName::from("example.com")));
+  EXPECT_FALSE(store.remove(DnsName::from("example.com")));
+  EXPECT_EQ(store.find_best_zone(DnsName::from("www.example.com")), nullptr);
+}
+
+TEST(ZoneStore, GenerationAdvancesOnChange) {
+  ZoneStore store;
+  const auto g0 = store.generation();
+  store.publish(simple_zone("a.com", 1));
+  const auto g1 = store.generation();
+  EXPECT_GT(g1, g0);
+  store.publish(simple_zone("a.com", 1));  // rejected: no change
+  EXPECT_EQ(store.generation(), g1);
+  store.remove(DnsName::from("a.com"));
+  EXPECT_GT(store.generation(), g1);
+}
+
+TEST(ZoneStore, SnapshotsAreStable) {
+  ZoneStore store;
+  store.publish(simple_zone("example.com", 1));
+  const auto snapshot = store.find_zone(DnsName::from("example.com"));
+  store.publish(simple_zone("example.com", 2));
+  // The old snapshot is still valid and unchanged (readers never see
+  // partial updates — mirrors the paper's atomic metadata swap).
+  EXPECT_EQ(snapshot->serial(), 1u);
+  EXPECT_EQ(store.find_zone(DnsName::from("example.com"))->serial(), 2u);
+}
+
+TEST(ZoneStore, TotalRecordsAndApexes) {
+  ZoneStore store;
+  store.publish(simple_zone("a.com", 1));
+  store.publish(simple_zone("b.com", 1));
+  EXPECT_EQ(store.zone_count(), 2u);
+  EXPECT_GT(store.total_records(), 0u);
+  const auto apexes = store.zone_apexes();
+  ASSERT_EQ(apexes.size(), 2u);
+  EXPECT_EQ(apexes[0].to_string(), "a.com.");
+  EXPECT_EQ(apexes[1].to_string(), "b.com.");
+}
+
+}  // namespace
+}  // namespace akadns::zone

@@ -1,0 +1,269 @@
+#include "zone/zone.hpp"
+
+#include <gtest/gtest.h>
+
+#include "zone/zone_builder.hpp"
+
+namespace akadns::zone {
+namespace {
+
+using dns::DnsName;
+using dns::RecordType;
+
+Zone cdn_like_zone() {
+  return ZoneBuilder("example.com", 100)
+      .soa("ns1.example.com", "admin.example.com", 100)
+      .ns("@", "ns1.example.com")
+      .ns("@", "ns2.example.com")
+      .a("ns1", "10.0.0.1")
+      .a("ns2", "10.0.0.2")
+      .a("www", "93.184.216.34")
+      .aaaa("www", "2001:db8::34")
+      .cname("cdn", "www.example.com")
+      .txt("@", "v=spf1 -all")
+      .a("*.wild", "10.9.9.9")
+      // In-zone delegation with glue (like w10.akamai.net under akamai.net).
+      .ns("sub", "ns.sub.example.com")
+      .a("ns.sub", "10.0.1.1")
+      .build();
+}
+
+TEST(Zone, ExactMatchAnswer) {
+  const auto zone = cdn_like_zone();
+  const auto r = zone.lookup(DnsName::from("www.example.com"), RecordType::A);
+  EXPECT_EQ(r.status, LookupStatus::Answer);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0].to_string(), "www.example.com. 300 IN A 93.184.216.34");
+  EXPECT_FALSE(r.wildcard_match);
+}
+
+TEST(Zone, NoDataForMissingType) {
+  const auto zone = cdn_like_zone();
+  const auto r = zone.lookup(DnsName::from("www.example.com"), RecordType::MX);
+  EXPECT_EQ(r.status, LookupStatus::NoData);
+  ASSERT_EQ(r.authority.size(), 1u);
+  EXPECT_EQ(r.authority[0].type(), RecordType::SOA);
+  // Negative TTL = min(SOA ttl, SOA minimum) = 300.
+  EXPECT_EQ(r.authority[0].ttl, 300u);
+}
+
+TEST(Zone, NxDomainForMissingName) {
+  const auto zone = cdn_like_zone();
+  const auto r = zone.lookup(DnsName::from("nope.example.com"), RecordType::A);
+  EXPECT_EQ(r.status, LookupStatus::NxDomain);
+  ASSERT_EQ(r.authority.size(), 1u);
+  EXPECT_EQ(r.authority[0].type(), RecordType::SOA);
+}
+
+TEST(Zone, CnameChase) {
+  const auto zone = cdn_like_zone();
+  const auto r = zone.lookup(DnsName::from("cdn.example.com"), RecordType::A);
+  EXPECT_EQ(r.status, LookupStatus::CnameChase);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0].type(), RecordType::CNAME);
+}
+
+TEST(Zone, CnameExactTypeIsAnswer) {
+  const auto zone = cdn_like_zone();
+  const auto r = zone.lookup(DnsName::from("cdn.example.com"), RecordType::CNAME);
+  EXPECT_EQ(r.status, LookupStatus::Answer);
+}
+
+TEST(Zone, DelegationReferralWithGlue) {
+  const auto zone = cdn_like_zone();
+  const auto r = zone.lookup(DnsName::from("deep.sub.example.com"), RecordType::A);
+  EXPECT_EQ(r.status, LookupStatus::Referral);
+  ASSERT_EQ(r.authority.size(), 1u);
+  EXPECT_EQ(r.authority[0].type(), RecordType::NS);
+  EXPECT_EQ(r.authority[0].name.to_string(), "sub.example.com.");
+  ASSERT_EQ(r.additional.size(), 1u);
+  EXPECT_EQ(r.additional[0].name.to_string(), "ns.sub.example.com.");
+}
+
+TEST(Zone, DelegationAppliesAtCutItself) {
+  const auto zone = cdn_like_zone();
+  const auto r = zone.lookup(DnsName::from("sub.example.com"), RecordType::A);
+  EXPECT_EQ(r.status, LookupStatus::Referral);
+}
+
+TEST(Zone, ApexNsIsAnswerNotReferral) {
+  const auto zone = cdn_like_zone();
+  const auto r = zone.lookup(DnsName::from("example.com"), RecordType::NS);
+  EXPECT_EQ(r.status, LookupStatus::Answer);
+  EXPECT_EQ(r.records.size(), 2u);
+}
+
+TEST(Zone, WildcardSynthesis) {
+  const auto zone = cdn_like_zone();
+  const auto r = zone.lookup(DnsName::from("anything.wild.example.com"), RecordType::A);
+  EXPECT_EQ(r.status, LookupStatus::Answer);
+  EXPECT_TRUE(r.wildcard_match);
+  ASSERT_EQ(r.records.size(), 1u);
+  // Owner rewritten to the query name (RFC 4592).
+  EXPECT_EQ(r.records[0].name.to_string(), "anything.wild.example.com.");
+}
+
+TEST(Zone, WildcardDeepMatch) {
+  const auto zone = cdn_like_zone();
+  const auto r = zone.lookup(DnsName::from("a.b.c.wild.example.com"), RecordType::A);
+  EXPECT_EQ(r.status, LookupStatus::Answer);
+  EXPECT_TRUE(r.wildcard_match);
+}
+
+TEST(Zone, WildcardNoDataForOtherType) {
+  const auto zone = cdn_like_zone();
+  const auto r = zone.lookup(DnsName::from("x.wild.example.com"), RecordType::MX);
+  EXPECT_EQ(r.status, LookupStatus::NoData);
+}
+
+TEST(Zone, WildcardDoesNotMatchExistingName) {
+  // "www" exists, so *.example.com (if it existed) must not shadow it —
+  // and a missing type at www is NODATA, not a wildcard answer.
+  auto zone = ZoneBuilder("example.com", 1)
+                  .ns("@", "ns1.example.com")
+                  .a("ns1", "10.0.0.1")
+                  .a("www", "10.0.0.2")
+                  .a("*", "10.255.255.255")
+                  .build();
+  const auto direct = zone.lookup(DnsName::from("www.example.com"), RecordType::A);
+  EXPECT_EQ(direct.status, LookupStatus::Answer);
+  EXPECT_EQ(std::get<dns::ARecord>(direct.records[0].rdata).address.to_string(), "10.0.0.2");
+  const auto other = zone.lookup(DnsName::from("other.example.com"), RecordType::A);
+  EXPECT_EQ(other.status, LookupStatus::Answer);
+  EXPECT_TRUE(other.wildcard_match);
+}
+
+TEST(Zone, WildcardBlockedByCloserEncloser) {
+  // RFC 4592: with a.b present, z.b does not match *.example.com because
+  // b.example.com (an ENT) is the closest encloser.
+  auto zone = ZoneBuilder("example.com", 1)
+                  .ns("@", "ns1.example.com")
+                  .a("ns1", "10.0.0.1")
+                  .a("a.b", "10.0.0.5")
+                  .a("*", "10.255.255.255")
+                  .build();
+  const auto r = zone.lookup(DnsName::from("z.b.example.com"), RecordType::A);
+  EXPECT_EQ(r.status, LookupStatus::NxDomain);
+}
+
+TEST(Zone, EmptyNonTerminalIsNoData) {
+  auto zone = ZoneBuilder("example.com", 1)
+                  .ns("@", "ns1.example.com")
+                  .a("ns1", "10.0.0.1")
+                  .a("a.b.c", "10.1.1.1")
+                  .build();
+  // "b.c.example.com" has no records but has a descendant -> NODATA.
+  const auto r = zone.lookup(DnsName::from("b.c.example.com"), RecordType::A);
+  EXPECT_EQ(r.status, LookupStatus::NoData);
+  const auto r2 = zone.lookup(DnsName::from("c.example.com"), RecordType::A);
+  EXPECT_EQ(r2.status, LookupStatus::NoData);
+}
+
+TEST(Zone, AnyQueryReturnsAllRrsets) {
+  const auto zone = cdn_like_zone();
+  const auto r = zone.lookup(DnsName::from("www.example.com"), RecordType::ANY);
+  EXPECT_EQ(r.status, LookupStatus::Answer);
+  EXPECT_EQ(r.records.size(), 2u);  // A + AAAA
+}
+
+TEST(Zone, RejectsOutOfZoneRecord) {
+  Zone zone(DnsName::from("example.com"), 1);
+  EXPECT_FALSE(zone.add(dns::make_a(DnsName::from("www.other.com"), Ipv4Addr(1, 1, 1, 1), 60)));
+}
+
+TEST(Zone, RejectsCnameCoexistence) {
+  Zone zone(DnsName::from("example.com"), 1);
+  const auto owner = DnsName::from("x.example.com");
+  EXPECT_TRUE(zone.add(dns::make_a(owner, Ipv4Addr(1, 1, 1, 1), 60)));
+  EXPECT_FALSE(zone.add(dns::make_cname(owner, DnsName::from("y.example.com"), 60)));
+  const auto owner2 = DnsName::from("y.example.com");
+  EXPECT_TRUE(zone.add(dns::make_cname(owner2, DnsName::from("z.example.com"), 60)));
+  EXPECT_FALSE(zone.add(dns::make_a(owner2, Ipv4Addr(1, 1, 1, 2), 60)));
+}
+
+TEST(Zone, RejectsNonApexSoa) {
+  Zone zone(DnsName::from("example.com"), 1);
+  EXPECT_FALSE(zone.add(dns::make_soa(DnsName::from("sub.example.com"),
+                                      DnsName::from("ns.example.com"),
+                                      DnsName::from("admin.example.com"), 1, 3600)));
+}
+
+TEST(Zone, DuplicateRecordSuppressed) {
+  Zone zone(DnsName::from("example.com"), 1);
+  const auto rr = dns::make_a(DnsName::from("www.example.com"), Ipv4Addr(1, 1, 1, 1), 60);
+  EXPECT_TRUE(zone.add(rr));
+  EXPECT_TRUE(zone.add(rr));  // accepted but not duplicated
+  EXPECT_EQ(zone.record_count(), 1u);
+}
+
+TEST(Zone, RrsetTtlNormalized) {
+  Zone zone(DnsName::from("example.com"), 1);
+  const auto owner = DnsName::from("multi.example.com");
+  zone.add(dns::make_a(owner, Ipv4Addr(1, 1, 1, 1), 100));
+  zone.add(dns::make_a(owner, Ipv4Addr(1, 1, 1, 2), 999));
+  const auto* set = zone.find(owner, RecordType::A);
+  ASSERT_NE(set, nullptr);
+  ASSERT_EQ(set->records.size(), 2u);
+  EXPECT_EQ(set->records[1].ttl, 100u);  // RFC 2181 §5.2
+}
+
+TEST(Zone, RemoveRrset) {
+  auto zone = cdn_like_zone();
+  const auto name = DnsName::from("www.example.com");
+  EXPECT_EQ(zone.remove(name, RecordType::A), 1u);
+  EXPECT_EQ(zone.remove(name, RecordType::A), 0u);
+  // AAAA remains.
+  EXPECT_EQ(zone.lookup(name, RecordType::AAAA).status, LookupStatus::Answer);
+  EXPECT_EQ(zone.lookup(name, RecordType::A).status, LookupStatus::NoData);
+}
+
+TEST(Zone, AllRecordsSoaFirst) {
+  const auto zone = cdn_like_zone();
+  const auto all = zone.all_records();
+  ASSERT_FALSE(all.empty());
+  EXPECT_EQ(all[0].type(), RecordType::SOA);
+  EXPECT_EQ(all.size(), zone.record_count());
+}
+
+TEST(Zone, AllNamesListsOwners) {
+  const auto zone = cdn_like_zone();
+  const auto names = zone.all_names();
+  EXPECT_EQ(names.size(), zone.name_count());
+  EXPECT_NE(std::find(names.begin(), names.end(), DnsName::from("www.example.com")),
+            names.end());
+}
+
+TEST(Zone, ValidateWellFormedZone) {
+  const auto zone = cdn_like_zone();
+  EXPECT_TRUE(zone.validate().empty());
+}
+
+TEST(Zone, ValidateFlagsMissingSoaAndNs) {
+  Zone zone(DnsName::from("bad.com"), 1);
+  zone.add(dns::make_a(DnsName::from("www.bad.com"), Ipv4Addr(1, 1, 1, 1), 60));
+  const auto problems = zone.validate();
+  EXPECT_EQ(problems.size(), 2u);  // missing SOA + missing NS
+}
+
+TEST(Zone, ValidateFlagsMissingGlue) {
+  auto zone = ZoneBuilder("example.com", 1)
+                  .ns("@", "ns1.example.com")
+                  .a("ns1", "10.0.0.1")
+                  .ns("sub", "ns.sub.example.com")  // glue missing
+                  .build();
+  const auto problems = zone.validate();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("lacks glue"), std::string::npos);
+}
+
+TEST(Zone, NegativeTtlUsesMinimum) {
+  auto zone = ZoneBuilder("example.com", 1)
+                  .soa("ns1.example.com", "admin.example.com", 1, /*ttl=*/3600, /*minimum=*/30)
+                  .ns("@", "ns1.example.com")
+                  .a("ns1", "10.0.0.1")
+                  .build();
+  EXPECT_EQ(zone.negative_ttl(), 30u);
+}
+
+}  // namespace
+}  // namespace akadns::zone
