@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_delegation_sets"
+  "../bench/bench_ablation_delegation_sets.pdb"
+  "CMakeFiles/bench_ablation_delegation_sets.dir/bench_ablation_delegation_sets.cpp.o"
+  "CMakeFiles/bench_ablation_delegation_sets.dir/bench_ablation_delegation_sets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_delegation_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ecmp_spread"
+  "../bench/bench_ecmp_spread.pdb"
+  "CMakeFiles/bench_ecmp_spread.dir/bench_ecmp_spread.cpp.o"
+  "CMakeFiles/bench_ecmp_spread.dir/bench_ecmp_spread.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ecmp_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_nxdomain"
+  "../bench/bench_fig10_nxdomain.pdb"
+  "CMakeFiles/bench_fig10_nxdomain.dir/bench_fig10_nxdomain.cpp.o"
+  "CMakeFiles/bench_fig10_nxdomain.dir/bench_fig10_nxdomain.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_nxdomain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_restime"
+  "../bench/bench_fig12_restime.pdb"
+  "CMakeFiles/bench_fig12_restime.dir/bench_fig12_restime.cpp.o"
+  "CMakeFiles/bench_fig12_restime.dir/bench_fig12_restime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_restime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

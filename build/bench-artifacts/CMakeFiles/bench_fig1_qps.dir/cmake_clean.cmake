@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_qps"
+  "../bench/bench_fig1_qps.pdb"
+  "CMakeFiles/bench_fig1_qps.dir/bench_fig1_qps.cpp.o"
+  "CMakeFiles/bench_fig1_qps.dir/bench_fig1_qps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_qps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_skew"
+  "../bench/bench_fig2_skew.pdb"
+  "CMakeFiles/bench_fig2_skew.dir/bench_fig2_skew.cpp.o"
+  "CMakeFiles/bench_fig2_skew.dir/bench_fig2_skew.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

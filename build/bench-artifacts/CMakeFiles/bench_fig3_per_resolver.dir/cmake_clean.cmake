@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_per_resolver"
+  "../bench/bench_fig3_per_resolver.pdb"
+  "CMakeFiles/bench_fig3_per_resolver.dir/bench_fig3_per_resolver.cpp.o"
+  "CMakeFiles/bench_fig3_per_resolver.dir/bench_fig3_per_resolver.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_per_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

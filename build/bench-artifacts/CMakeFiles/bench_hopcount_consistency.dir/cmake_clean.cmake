@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hopcount_consistency"
+  "../bench/bench_hopcount_consistency.pdb"
+  "CMakeFiles/bench_hopcount_consistency.dir/bench_hopcount_consistency.cpp.o"
+  "CMakeFiles/bench_hopcount_consistency.dir/bench_hopcount_consistency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hopcount_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rt_estimation"
+  "../bench/bench_rt_estimation.pdb"
+  "CMakeFiles/bench_rt_estimation.dir/bench_rt_estimation.cpp.o"
+  "CMakeFiles/bench_rt_estimation.dir/bench_rt_estimation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rt_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples-bin/example_adhs_gtm"
+  "../examples-bin/example_adhs_gtm.pdb"
+  "CMakeFiles/example_adhs_gtm.dir/example_adhs_gtm.cpp.o"
+  "CMakeFiles/example_adhs_gtm.dir/example_adhs_gtm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adhs_gtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

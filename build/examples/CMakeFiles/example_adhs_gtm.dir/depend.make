@@ -1,0 +1,2 @@
+# Empty dependencies file for example_adhs_gtm.
+# This may be replaced when dependencies are built.

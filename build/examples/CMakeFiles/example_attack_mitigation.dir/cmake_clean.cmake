@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples-bin/example_attack_mitigation"
+  "../examples-bin/example_attack_mitigation.pdb"
+  "CMakeFiles/example_attack_mitigation.dir/example_attack_mitigation.cpp.o"
+  "CMakeFiles/example_attack_mitigation.dir/example_attack_mitigation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_attack_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

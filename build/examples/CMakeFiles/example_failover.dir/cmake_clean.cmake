@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples-bin/example_failover"
+  "../examples-bin/example_failover.pdb"
+  "CMakeFiles/example_failover.dir/example_failover.cpp.o"
+  "CMakeFiles/example_failover.dir/example_failover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples-bin/example_two_tier"
+  "../examples-bin/example_two_tier.pdb"
+  "CMakeFiles/example_two_tier.dir/example_two_tier.cpp.o"
+  "CMakeFiles/example_two_tier.dir/example_two_tier.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_two_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

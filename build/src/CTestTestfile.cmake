@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("dns")
+subdirs("zone")
+subdirs("filters")
+subdirs("server")
+subdirs("netsim")
+subdirs("pop")
+subdirs("resolver")
+subdirs("twotier")
+subdirs("control")
+subdirs("workload")
+subdirs("core")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/event_scheduler.cpp" "src/common/CMakeFiles/akadns_common.dir/event_scheduler.cpp.o" "gcc" "src/common/CMakeFiles/akadns_common.dir/event_scheduler.cpp.o.d"
+  "/root/repo/src/common/ip.cpp" "src/common/CMakeFiles/akadns_common.dir/ip.cpp.o" "gcc" "src/common/CMakeFiles/akadns_common.dir/ip.cpp.o.d"
+  "/root/repo/src/common/leaky_bucket.cpp" "src/common/CMakeFiles/akadns_common.dir/leaky_bucket.cpp.o" "gcc" "src/common/CMakeFiles/akadns_common.dir/leaky_bucket.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/akadns_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/akadns_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/akadns_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/akadns_common.dir/stats.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/common/CMakeFiles/akadns_common.dir/strings.cpp.o" "gcc" "src/common/CMakeFiles/akadns_common.dir/strings.cpp.o.d"
+  "/root/repo/src/common/token_bucket.cpp" "src/common/CMakeFiles/akadns_common.dir/token_bucket.cpp.o" "gcc" "src/common/CMakeFiles/akadns_common.dir/token_bucket.cpp.o.d"
+  "/root/repo/src/common/zipf.cpp" "src/common/CMakeFiles/akadns_common.dir/zipf.cpp.o" "gcc" "src/common/CMakeFiles/akadns_common.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/akadns_common.dir/event_scheduler.cpp.o"
+  "CMakeFiles/akadns_common.dir/event_scheduler.cpp.o.d"
+  "CMakeFiles/akadns_common.dir/ip.cpp.o"
+  "CMakeFiles/akadns_common.dir/ip.cpp.o.d"
+  "CMakeFiles/akadns_common.dir/leaky_bucket.cpp.o"
+  "CMakeFiles/akadns_common.dir/leaky_bucket.cpp.o.d"
+  "CMakeFiles/akadns_common.dir/rng.cpp.o"
+  "CMakeFiles/akadns_common.dir/rng.cpp.o.d"
+  "CMakeFiles/akadns_common.dir/stats.cpp.o"
+  "CMakeFiles/akadns_common.dir/stats.cpp.o.d"
+  "CMakeFiles/akadns_common.dir/strings.cpp.o"
+  "CMakeFiles/akadns_common.dir/strings.cpp.o.d"
+  "CMakeFiles/akadns_common.dir/token_bucket.cpp.o"
+  "CMakeFiles/akadns_common.dir/token_bucket.cpp.o.d"
+  "CMakeFiles/akadns_common.dir/zipf.cpp.o"
+  "CMakeFiles/akadns_common.dir/zipf.cpp.o.d"
+  "libakadns_common.a"
+  "libakadns_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/akadns_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

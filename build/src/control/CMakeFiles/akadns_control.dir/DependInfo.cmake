@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/control_plane.cpp" "src/control/CMakeFiles/akadns_control.dir/control_plane.cpp.o" "gcc" "src/control/CMakeFiles/akadns_control.dir/control_plane.cpp.o.d"
+  "/root/repo/src/control/machine_subscriber.cpp" "src/control/CMakeFiles/akadns_control.dir/machine_subscriber.cpp.o" "gcc" "src/control/CMakeFiles/akadns_control.dir/machine_subscriber.cpp.o.d"
+  "/root/repo/src/control/reporting.cpp" "src/control/CMakeFiles/akadns_control.dir/reporting.cpp.o" "gcc" "src/control/CMakeFiles/akadns_control.dir/reporting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pop/CMakeFiles/akadns_pop.dir/DependInfo.cmake"
+  "/root/repo/build/src/zone/CMakeFiles/akadns_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/akadns_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/akadns_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/akadns_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/filters/CMakeFiles/akadns_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/akadns_dns.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

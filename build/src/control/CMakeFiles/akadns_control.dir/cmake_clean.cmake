@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/akadns_control.dir/control_plane.cpp.o"
+  "CMakeFiles/akadns_control.dir/control_plane.cpp.o.d"
+  "CMakeFiles/akadns_control.dir/machine_subscriber.cpp.o"
+  "CMakeFiles/akadns_control.dir/machine_subscriber.cpp.o.d"
+  "CMakeFiles/akadns_control.dir/reporting.cpp.o"
+  "CMakeFiles/akadns_control.dir/reporting.cpp.o.d"
+  "libakadns_control.a"
+  "libakadns_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/akadns_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

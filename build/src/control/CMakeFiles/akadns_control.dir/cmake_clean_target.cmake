@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libakadns_control.a"
+)

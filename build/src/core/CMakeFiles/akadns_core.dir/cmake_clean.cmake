@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/akadns_core.dir/adhs.cpp.o"
+  "CMakeFiles/akadns_core.dir/adhs.cpp.o.d"
+  "CMakeFiles/akadns_core.dir/decision_tree.cpp.o"
+  "CMakeFiles/akadns_core.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/akadns_core.dir/delegation_sets.cpp.o"
+  "CMakeFiles/akadns_core.dir/delegation_sets.cpp.o.d"
+  "CMakeFiles/akadns_core.dir/platform.cpp.o"
+  "CMakeFiles/akadns_core.dir/platform.cpp.o.d"
+  "libakadns_core.a"
+  "libakadns_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/akadns_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

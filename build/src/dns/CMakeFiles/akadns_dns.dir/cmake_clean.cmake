@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/akadns_dns.dir/message.cpp.o"
+  "CMakeFiles/akadns_dns.dir/message.cpp.o.d"
+  "CMakeFiles/akadns_dns.dir/name.cpp.o"
+  "CMakeFiles/akadns_dns.dir/name.cpp.o.d"
+  "CMakeFiles/akadns_dns.dir/rr.cpp.o"
+  "CMakeFiles/akadns_dns.dir/rr.cpp.o.d"
+  "CMakeFiles/akadns_dns.dir/wire.cpp.o"
+  "CMakeFiles/akadns_dns.dir/wire.cpp.o.d"
+  "libakadns_dns.a"
+  "libakadns_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/akadns_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

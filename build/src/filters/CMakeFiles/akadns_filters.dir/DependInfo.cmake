@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filters/allowlist_filter.cpp" "src/filters/CMakeFiles/akadns_filters.dir/allowlist_filter.cpp.o" "gcc" "src/filters/CMakeFiles/akadns_filters.dir/allowlist_filter.cpp.o.d"
+  "/root/repo/src/filters/filter.cpp" "src/filters/CMakeFiles/akadns_filters.dir/filter.cpp.o" "gcc" "src/filters/CMakeFiles/akadns_filters.dir/filter.cpp.o.d"
+  "/root/repo/src/filters/hopcount_filter.cpp" "src/filters/CMakeFiles/akadns_filters.dir/hopcount_filter.cpp.o" "gcc" "src/filters/CMakeFiles/akadns_filters.dir/hopcount_filter.cpp.o.d"
+  "/root/repo/src/filters/loyalty_filter.cpp" "src/filters/CMakeFiles/akadns_filters.dir/loyalty_filter.cpp.o" "gcc" "src/filters/CMakeFiles/akadns_filters.dir/loyalty_filter.cpp.o.d"
+  "/root/repo/src/filters/nxdomain_filter.cpp" "src/filters/CMakeFiles/akadns_filters.dir/nxdomain_filter.cpp.o" "gcc" "src/filters/CMakeFiles/akadns_filters.dir/nxdomain_filter.cpp.o.d"
+  "/root/repo/src/filters/rate_limit_filter.cpp" "src/filters/CMakeFiles/akadns_filters.dir/rate_limit_filter.cpp.o" "gcc" "src/filters/CMakeFiles/akadns_filters.dir/rate_limit_filter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/akadns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/zone/CMakeFiles/akadns_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/akadns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/akadns_filters.dir/allowlist_filter.cpp.o"
+  "CMakeFiles/akadns_filters.dir/allowlist_filter.cpp.o.d"
+  "CMakeFiles/akadns_filters.dir/filter.cpp.o"
+  "CMakeFiles/akadns_filters.dir/filter.cpp.o.d"
+  "CMakeFiles/akadns_filters.dir/hopcount_filter.cpp.o"
+  "CMakeFiles/akadns_filters.dir/hopcount_filter.cpp.o.d"
+  "CMakeFiles/akadns_filters.dir/loyalty_filter.cpp.o"
+  "CMakeFiles/akadns_filters.dir/loyalty_filter.cpp.o.d"
+  "CMakeFiles/akadns_filters.dir/nxdomain_filter.cpp.o"
+  "CMakeFiles/akadns_filters.dir/nxdomain_filter.cpp.o.d"
+  "CMakeFiles/akadns_filters.dir/rate_limit_filter.cpp.o"
+  "CMakeFiles/akadns_filters.dir/rate_limit_filter.cpp.o.d"
+  "libakadns_filters.a"
+  "libakadns_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/akadns_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

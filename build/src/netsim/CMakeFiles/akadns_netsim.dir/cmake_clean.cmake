@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/akadns_netsim.dir/failover_probe.cpp.o"
+  "CMakeFiles/akadns_netsim.dir/failover_probe.cpp.o.d"
+  "CMakeFiles/akadns_netsim.dir/network.cpp.o"
+  "CMakeFiles/akadns_netsim.dir/network.cpp.o.d"
+  "CMakeFiles/akadns_netsim.dir/topology.cpp.o"
+  "CMakeFiles/akadns_netsim.dir/topology.cpp.o.d"
+  "libakadns_netsim.a"
+  "libakadns_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/akadns_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

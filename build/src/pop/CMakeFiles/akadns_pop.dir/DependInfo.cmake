@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pop/bgp_speaker.cpp" "src/pop/CMakeFiles/akadns_pop.dir/bgp_speaker.cpp.o" "gcc" "src/pop/CMakeFiles/akadns_pop.dir/bgp_speaker.cpp.o.d"
+  "/root/repo/src/pop/machine.cpp" "src/pop/CMakeFiles/akadns_pop.dir/machine.cpp.o" "gcc" "src/pop/CMakeFiles/akadns_pop.dir/machine.cpp.o.d"
+  "/root/repo/src/pop/monitoring_agent.cpp" "src/pop/CMakeFiles/akadns_pop.dir/monitoring_agent.cpp.o" "gcc" "src/pop/CMakeFiles/akadns_pop.dir/monitoring_agent.cpp.o.d"
+  "/root/repo/src/pop/pop.cpp" "src/pop/CMakeFiles/akadns_pop.dir/pop.cpp.o" "gcc" "src/pop/CMakeFiles/akadns_pop.dir/pop.cpp.o.d"
+  "/root/repo/src/pop/suspension.cpp" "src/pop/CMakeFiles/akadns_pop.dir/suspension.cpp.o" "gcc" "src/pop/CMakeFiles/akadns_pop.dir/suspension.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/akadns_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/akadns_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/filters/CMakeFiles/akadns_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/zone/CMakeFiles/akadns_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/akadns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/akadns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

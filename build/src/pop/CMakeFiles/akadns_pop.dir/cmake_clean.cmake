@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/akadns_pop.dir/bgp_speaker.cpp.o"
+  "CMakeFiles/akadns_pop.dir/bgp_speaker.cpp.o.d"
+  "CMakeFiles/akadns_pop.dir/machine.cpp.o"
+  "CMakeFiles/akadns_pop.dir/machine.cpp.o.d"
+  "CMakeFiles/akadns_pop.dir/monitoring_agent.cpp.o"
+  "CMakeFiles/akadns_pop.dir/monitoring_agent.cpp.o.d"
+  "CMakeFiles/akadns_pop.dir/pop.cpp.o"
+  "CMakeFiles/akadns_pop.dir/pop.cpp.o.d"
+  "CMakeFiles/akadns_pop.dir/suspension.cpp.o"
+  "CMakeFiles/akadns_pop.dir/suspension.cpp.o.d"
+  "libakadns_pop.a"
+  "libakadns_pop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/akadns_pop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resolver/cache.cpp" "src/resolver/CMakeFiles/akadns_resolver.dir/cache.cpp.o" "gcc" "src/resolver/CMakeFiles/akadns_resolver.dir/cache.cpp.o.d"
+  "/root/repo/src/resolver/iterative_resolver.cpp" "src/resolver/CMakeFiles/akadns_resolver.dir/iterative_resolver.cpp.o" "gcc" "src/resolver/CMakeFiles/akadns_resolver.dir/iterative_resolver.cpp.o.d"
+  "/root/repo/src/resolver/selection.cpp" "src/resolver/CMakeFiles/akadns_resolver.dir/selection.cpp.o" "gcc" "src/resolver/CMakeFiles/akadns_resolver.dir/selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/akadns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/akadns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/akadns_resolver.dir/cache.cpp.o"
+  "CMakeFiles/akadns_resolver.dir/cache.cpp.o.d"
+  "CMakeFiles/akadns_resolver.dir/iterative_resolver.cpp.o"
+  "CMakeFiles/akadns_resolver.dir/iterative_resolver.cpp.o.d"
+  "CMakeFiles/akadns_resolver.dir/selection.cpp.o"
+  "CMakeFiles/akadns_resolver.dir/selection.cpp.o.d"
+  "libakadns_resolver.a"
+  "libakadns_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/akadns_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/firewall.cpp" "src/server/CMakeFiles/akadns_server.dir/firewall.cpp.o" "gcc" "src/server/CMakeFiles/akadns_server.dir/firewall.cpp.o.d"
+  "/root/repo/src/server/nameserver.cpp" "src/server/CMakeFiles/akadns_server.dir/nameserver.cpp.o" "gcc" "src/server/CMakeFiles/akadns_server.dir/nameserver.cpp.o.d"
+  "/root/repo/src/server/responder.cpp" "src/server/CMakeFiles/akadns_server.dir/responder.cpp.o" "gcc" "src/server/CMakeFiles/akadns_server.dir/responder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/filters/CMakeFiles/akadns_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/zone/CMakeFiles/akadns_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/akadns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/akadns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/akadns_server.dir/firewall.cpp.o"
+  "CMakeFiles/akadns_server.dir/firewall.cpp.o.d"
+  "CMakeFiles/akadns_server.dir/nameserver.cpp.o"
+  "CMakeFiles/akadns_server.dir/nameserver.cpp.o.d"
+  "CMakeFiles/akadns_server.dir/responder.cpp.o"
+  "CMakeFiles/akadns_server.dir/responder.cpp.o.d"
+  "libakadns_server.a"
+  "libakadns_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/akadns_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/twotier/gtm.cpp" "src/twotier/CMakeFiles/akadns_twotier.dir/gtm.cpp.o" "gcc" "src/twotier/CMakeFiles/akadns_twotier.dir/gtm.cpp.o.d"
+  "/root/repo/src/twotier/mapping.cpp" "src/twotier/CMakeFiles/akadns_twotier.dir/mapping.cpp.o" "gcc" "src/twotier/CMakeFiles/akadns_twotier.dir/mapping.cpp.o.d"
+  "/root/repo/src/twotier/model.cpp" "src/twotier/CMakeFiles/akadns_twotier.dir/model.cpp.o" "gcc" "src/twotier/CMakeFiles/akadns_twotier.dir/model.cpp.o.d"
+  "/root/repo/src/twotier/probe_dataset.cpp" "src/twotier/CMakeFiles/akadns_twotier.dir/probe_dataset.cpp.o" "gcc" "src/twotier/CMakeFiles/akadns_twotier.dir/probe_dataset.cpp.o.d"
+  "/root/repo/src/twotier/rt_simulator.cpp" "src/twotier/CMakeFiles/akadns_twotier.dir/rt_simulator.cpp.o" "gcc" "src/twotier/CMakeFiles/akadns_twotier.dir/rt_simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/resolver/CMakeFiles/akadns_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/akadns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/akadns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/akadns_twotier.dir/gtm.cpp.o"
+  "CMakeFiles/akadns_twotier.dir/gtm.cpp.o.d"
+  "CMakeFiles/akadns_twotier.dir/mapping.cpp.o"
+  "CMakeFiles/akadns_twotier.dir/mapping.cpp.o.d"
+  "CMakeFiles/akadns_twotier.dir/model.cpp.o"
+  "CMakeFiles/akadns_twotier.dir/model.cpp.o.d"
+  "CMakeFiles/akadns_twotier.dir/probe_dataset.cpp.o"
+  "CMakeFiles/akadns_twotier.dir/probe_dataset.cpp.o.d"
+  "CMakeFiles/akadns_twotier.dir/rt_simulator.cpp.o"
+  "CMakeFiles/akadns_twotier.dir/rt_simulator.cpp.o.d"
+  "libakadns_twotier.a"
+  "libakadns_twotier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/akadns_twotier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/attacks.cpp" "src/workload/CMakeFiles/akadns_workload.dir/attacks.cpp.o" "gcc" "src/workload/CMakeFiles/akadns_workload.dir/attacks.cpp.o.d"
+  "/root/repo/src/workload/diurnal.cpp" "src/workload/CMakeFiles/akadns_workload.dir/diurnal.cpp.o" "gcc" "src/workload/CMakeFiles/akadns_workload.dir/diurnal.cpp.o.d"
+  "/root/repo/src/workload/population.cpp" "src/workload/CMakeFiles/akadns_workload.dir/population.cpp.o" "gcc" "src/workload/CMakeFiles/akadns_workload.dir/population.cpp.o.d"
+  "/root/repo/src/workload/queries.cpp" "src/workload/CMakeFiles/akadns_workload.dir/queries.cpp.o" "gcc" "src/workload/CMakeFiles/akadns_workload.dir/queries.cpp.o.d"
+  "/root/repo/src/workload/zones.cpp" "src/workload/CMakeFiles/akadns_workload.dir/zones.cpp.o" "gcc" "src/workload/CMakeFiles/akadns_workload.dir/zones.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zone/CMakeFiles/akadns_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/akadns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/akadns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/akadns_workload.dir/attacks.cpp.o"
+  "CMakeFiles/akadns_workload.dir/attacks.cpp.o.d"
+  "CMakeFiles/akadns_workload.dir/diurnal.cpp.o"
+  "CMakeFiles/akadns_workload.dir/diurnal.cpp.o.d"
+  "CMakeFiles/akadns_workload.dir/population.cpp.o"
+  "CMakeFiles/akadns_workload.dir/population.cpp.o.d"
+  "CMakeFiles/akadns_workload.dir/queries.cpp.o"
+  "CMakeFiles/akadns_workload.dir/queries.cpp.o.d"
+  "CMakeFiles/akadns_workload.dir/zones.cpp.o"
+  "CMakeFiles/akadns_workload.dir/zones.cpp.o.d"
+  "libakadns_workload.a"
+  "libakadns_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/akadns_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

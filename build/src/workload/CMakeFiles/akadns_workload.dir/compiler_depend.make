@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for akadns_workload.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zone/zone.cpp" "src/zone/CMakeFiles/akadns_zone.dir/zone.cpp.o" "gcc" "src/zone/CMakeFiles/akadns_zone.dir/zone.cpp.o.d"
+  "/root/repo/src/zone/zone_builder.cpp" "src/zone/CMakeFiles/akadns_zone.dir/zone_builder.cpp.o" "gcc" "src/zone/CMakeFiles/akadns_zone.dir/zone_builder.cpp.o.d"
+  "/root/repo/src/zone/zone_parser.cpp" "src/zone/CMakeFiles/akadns_zone.dir/zone_parser.cpp.o" "gcc" "src/zone/CMakeFiles/akadns_zone.dir/zone_parser.cpp.o.d"
+  "/root/repo/src/zone/zone_store.cpp" "src/zone/CMakeFiles/akadns_zone.dir/zone_store.cpp.o" "gcc" "src/zone/CMakeFiles/akadns_zone.dir/zone_store.cpp.o.d"
+  "/root/repo/src/zone/zone_transfer.cpp" "src/zone/CMakeFiles/akadns_zone.dir/zone_transfer.cpp.o" "gcc" "src/zone/CMakeFiles/akadns_zone.dir/zone_transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/akadns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/akadns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/akadns_zone.dir/zone.cpp.o"
+  "CMakeFiles/akadns_zone.dir/zone.cpp.o.d"
+  "CMakeFiles/akadns_zone.dir/zone_builder.cpp.o"
+  "CMakeFiles/akadns_zone.dir/zone_builder.cpp.o.d"
+  "CMakeFiles/akadns_zone.dir/zone_parser.cpp.o"
+  "CMakeFiles/akadns_zone.dir/zone_parser.cpp.o.d"
+  "CMakeFiles/akadns_zone.dir/zone_store.cpp.o"
+  "CMakeFiles/akadns_zone.dir/zone_store.cpp.o.d"
+  "CMakeFiles/akadns_zone.dir/zone_transfer.cpp.o"
+  "CMakeFiles/akadns_zone.dir/zone_transfer.cpp.o.d"
+  "libakadns_zone.a"
+  "libakadns_zone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/akadns_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

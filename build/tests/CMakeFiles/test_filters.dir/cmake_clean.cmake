@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_filters.dir/filters/allowlist_filter_test.cpp.o"
+  "CMakeFiles/test_filters.dir/filters/allowlist_filter_test.cpp.o.d"
+  "CMakeFiles/test_filters.dir/filters/filter_test.cpp.o"
+  "CMakeFiles/test_filters.dir/filters/filter_test.cpp.o.d"
+  "CMakeFiles/test_filters.dir/filters/hopcount_filter_test.cpp.o"
+  "CMakeFiles/test_filters.dir/filters/hopcount_filter_test.cpp.o.d"
+  "CMakeFiles/test_filters.dir/filters/loyalty_filter_test.cpp.o"
+  "CMakeFiles/test_filters.dir/filters/loyalty_filter_test.cpp.o.d"
+  "CMakeFiles/test_filters.dir/filters/nxdomain_filter_test.cpp.o"
+  "CMakeFiles/test_filters.dir/filters/nxdomain_filter_test.cpp.o.d"
+  "CMakeFiles/test_filters.dir/filters/rate_limit_filter_test.cpp.o"
+  "CMakeFiles/test_filters.dir/filters/rate_limit_filter_test.cpp.o.d"
+  "test_filters"
+  "test_filters.pdb"
+  "test_filters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

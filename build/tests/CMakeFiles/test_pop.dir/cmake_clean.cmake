@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pop.dir/pop/monitoring_agent_test.cpp.o"
+  "CMakeFiles/test_pop.dir/pop/monitoring_agent_test.cpp.o.d"
+  "CMakeFiles/test_pop.dir/pop/pop_test.cpp.o"
+  "CMakeFiles/test_pop.dir/pop/pop_test.cpp.o.d"
+  "CMakeFiles/test_pop.dir/pop/suspension_test.cpp.o"
+  "CMakeFiles/test_pop.dir/pop/suspension_test.cpp.o.d"
+  "test_pop"
+  "test_pop.pdb"
+  "test_pop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property.dir/property/cache_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/cache_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/filter_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/filter_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/netsim_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/netsim_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/queue_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/queue_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/ratelimit_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/ratelimit_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/wire_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/wire_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/zone_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/zone_property_test.cpp.o.d"
+  "test_property"
+  "test_property.pdb"
+  "test_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resolver.dir/resolver/cache_test.cpp.o"
+  "CMakeFiles/test_resolver.dir/resolver/cache_test.cpp.o.d"
+  "CMakeFiles/test_resolver.dir/resolver/iterative_resolver_test.cpp.o"
+  "CMakeFiles/test_resolver.dir/resolver/iterative_resolver_test.cpp.o.d"
+  "CMakeFiles/test_resolver.dir/resolver/selection_test.cpp.o"
+  "CMakeFiles/test_resolver.dir/resolver/selection_test.cpp.o.d"
+  "CMakeFiles/test_resolver.dir/resolver/tcp_fallback_test.cpp.o"
+  "CMakeFiles/test_resolver.dir/resolver/tcp_fallback_test.cpp.o.d"
+  "test_resolver"
+  "test_resolver.pdb"
+  "test_resolver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_twotier.dir/twotier/gtm_test.cpp.o"
+  "CMakeFiles/test_twotier.dir/twotier/gtm_test.cpp.o.d"
+  "CMakeFiles/test_twotier.dir/twotier/mapping_test.cpp.o"
+  "CMakeFiles/test_twotier.dir/twotier/mapping_test.cpp.o.d"
+  "CMakeFiles/test_twotier.dir/twotier/model_test.cpp.o"
+  "CMakeFiles/test_twotier.dir/twotier/model_test.cpp.o.d"
+  "CMakeFiles/test_twotier.dir/twotier/probe_dataset_test.cpp.o"
+  "CMakeFiles/test_twotier.dir/twotier/probe_dataset_test.cpp.o.d"
+  "CMakeFiles/test_twotier.dir/twotier/rt_simulator_test.cpp.o"
+  "CMakeFiles/test_twotier.dir/twotier/rt_simulator_test.cpp.o.d"
+  "test_twotier"
+  "test_twotier.pdb"
+  "test_twotier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_twotier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

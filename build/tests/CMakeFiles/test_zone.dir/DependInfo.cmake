@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/zone/zone_parser_test.cpp" "tests/CMakeFiles/test_zone.dir/zone/zone_parser_test.cpp.o" "gcc" "tests/CMakeFiles/test_zone.dir/zone/zone_parser_test.cpp.o.d"
+  "/root/repo/tests/zone/zone_store_test.cpp" "tests/CMakeFiles/test_zone.dir/zone/zone_store_test.cpp.o" "gcc" "tests/CMakeFiles/test_zone.dir/zone/zone_store_test.cpp.o.d"
+  "/root/repo/tests/zone/zone_test.cpp" "tests/CMakeFiles/test_zone.dir/zone/zone_test.cpp.o" "gcc" "tests/CMakeFiles/test_zone.dir/zone/zone_test.cpp.o.d"
+  "/root/repo/tests/zone/zone_transfer_test.cpp" "tests/CMakeFiles/test_zone.dir/zone/zone_transfer_test.cpp.o" "gcc" "tests/CMakeFiles/test_zone.dir/zone/zone_transfer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/akadns_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/akadns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/zone/CMakeFiles/akadns_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/filters/CMakeFiles/akadns_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/akadns_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/akadns_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pop/CMakeFiles/akadns_pop.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/akadns_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/twotier/CMakeFiles/akadns_twotier.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/akadns_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/akadns_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/akadns_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
