@@ -58,18 +58,17 @@ int main() {
   std::uint64_t spoof_caught = 0, legit_flagged = 0;
   const auto top = population.top_by_weight(0.03);
   const int trials = 5'000;
+  const dns::Question question{dns::DnsName::from("www.example.com"), dns::RecordType::A,
+                               dns::RecordClass::IN};
   for (int i = 0; i < trials; ++i) {
     const auto& victim = population.resolver(top[rng.next_below(top.size())]);
-    filters::QueryContext spoof;
-    spoof.source = Endpoint{victim.address, 4444};
-    spoof.ip_ttl = static_cast<std::uint8_t>(30 + rng.next_int(0, 10));  // attacker's path
-    spoof.question = dns::Question{dns::DnsName::from("www.example.com"),
-                                   dns::RecordType::A, dns::RecordClass::IN};
+    const filters::QueryContext spoof{
+        Endpoint{victim.address, 4444},
+        static_cast<std::uint8_t>(30 + rng.next_int(0, 10)),  // attacker's path
+        question, SimTime()};
     if (filter.score(spoof) > 0) ++spoof_caught;
-    filters::QueryContext legit;
-    legit.source = Endpoint{victim.address, 5555};
-    legit.ip_ttl = victim.ip_ttl;
-    legit.question = spoof.question;
+    const filters::QueryContext legit{Endpoint{victim.address, 5555}, victim.ip_ttl,
+                                      question, SimTime()};
     if (filter.score(legit) > 0) ++legit_flagged;
   }
   bench::print_row("spoofed queries penalized", 100.0 * spoof_caught / trials, "%");

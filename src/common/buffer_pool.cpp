@@ -1,0 +1,44 @@
+#include "common/buffer_pool.hpp"
+
+namespace akadns {
+
+PooledBuffer& PooledBuffer::operator=(PooledBuffer&& other) noexcept {
+  if (this != &other) {
+    if (pool_) pool_->release(std::move(data_));
+    pool_ = other.pool_;
+    data_ = std::move(other.data_);
+    other.pool_ = nullptr;
+    other.data_.clear();
+  }
+  return *this;
+}
+
+PooledBuffer::~PooledBuffer() {
+  if (pool_) pool_->release(std::move(data_));
+}
+
+PooledBuffer BufferPool::copy_of(std::span<const std::uint8_t> bytes) {
+  ++stats_.acquired;
+  std::vector<std::uint8_t> storage;
+  if (!free_.empty()) {
+    storage = std::move(free_.back());
+    free_.pop_back();
+    ++stats_.reused;
+  } else {
+    ++stats_.allocated;
+  }
+  storage.assign(bytes.begin(), bytes.end());
+  return PooledBuffer(this, std::move(storage));
+}
+
+void BufferPool::release(std::vector<std::uint8_t>&& storage) noexcept {
+  if (free_.size() >= config_.max_pooled || storage.capacity() > config_.max_retained_capacity) {
+    ++stats_.discarded;
+    return;  // storage freed here
+  }
+  storage.clear();
+  free_.push_back(std::move(storage));
+  ++stats_.released;
+}
+
+}  // namespace akadns

@@ -1,0 +1,85 @@
+// Pooled wire buffers for the per-query datapath.
+//
+// The seed datapath copied every packet's bytes into a freshly allocated
+// std::vector per query (PendingQuery::wire). At attack rates that is an
+// allocator round-trip per packet — exactly the per-query discipline ZDNS
+// identifies as separating a toy stack from one that sustains millions of
+// qps. A BufferPool recycles the byte storage: after warmup, admitting a
+// packet costs one memcpy and zero heap allocations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace akadns {
+
+class BufferPool;
+
+/// A byte buffer leased from a BufferPool. Move-only; returns its storage
+/// to the pool on destruction so the next packet reuses the capacity.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  PooledBuffer(BufferPool* pool, std::vector<std::uint8_t> storage) noexcept
+      : pool_(pool), data_(std::move(storage)) {}
+
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+  PooledBuffer(PooledBuffer&& other) noexcept
+      : pool_(other.pool_), data_(std::move(other.data_)) {
+    other.pool_ = nullptr;
+    other.data_.clear();
+  }
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept;
+  ~PooledBuffer();
+
+  std::span<const std::uint8_t> bytes() const noexcept { return data_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  std::vector<std::uint8_t> data_;
+};
+
+/// Free-list of byte vectors. Not thread-safe (one pool per nameserver,
+/// matching the single-threaded per-instance datapath).
+class BufferPool {
+ public:
+  struct Config {
+    /// Free-list cap; returns beyond it free their storage instead.
+    std::size_t max_pooled = 8192;
+    /// Buffers that grew past this are not retained (keeps a burst of
+    /// jumbo TCP messages from pinning memory forever).
+    std::size_t max_retained_capacity = 4096;
+  };
+
+  struct Stats {
+    std::uint64_t acquired = 0;   // total leases
+    std::uint64_t reused = 0;     // leases served from the free list
+    std::uint64_t allocated = 0;  // leases that had to allocate
+    std::uint64_t released = 0;   // buffers returned to the free list
+    std::uint64_t discarded = 0;  // returns dropped (list full / too big)
+  };
+
+  BufferPool() = default;
+  explicit BufferPool(Config config) : config_(config) {}
+
+  /// Leases a buffer holding a copy of `bytes` (the packet's lifetime is
+  /// the caller's from here on; the source span may be reused).
+  PooledBuffer copy_of(std::span<const std::uint8_t> bytes);
+
+  /// Returns storage to the free list (called by ~PooledBuffer).
+  void release(std::vector<std::uint8_t>&& storage) noexcept;
+
+  const Stats& stats() const noexcept { return stats_; }
+  std::size_t free_count() const noexcept { return free_.size(); }
+
+ private:
+  Config config_;
+  std::vector<std::vector<std::uint8_t>> free_;
+  Stats stats_;
+};
+
+}  // namespace akadns

@@ -1,0 +1,21 @@
+#include "common/drop_reason.hpp"
+
+namespace akadns {
+
+std::string_view to_string(DropReason reason) noexcept {
+  switch (reason) {
+    case DropReason::NotRunning: return "not-running";
+    case DropReason::IoOverload: return "io-overload";
+    case DropReason::Malformed: return "malformed";
+    case DropReason::Firewall: return "firewall";
+    case DropReason::ScoreDiscard: return "score-discard";
+    case DropReason::QueueFull: return "queue-full";
+    case DropReason::QueryOfDeath: return "query-of-death";
+    case DropReason::RestartFlush: return "restart-flush";
+    case DropReason::NicFailure: return "nic-failure";
+    case DropReason::kCount: break;
+  }
+  return "unknown";
+}
+
+}  // namespace akadns

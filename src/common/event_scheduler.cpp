@@ -8,7 +8,7 @@ EventScheduler::EventId EventScheduler::schedule_at(SimTime at, Callback cb) {
   if (at < now_) at = now_;
   const EventId id = next_id_++;
   queue_.push(Entry{at, next_seq_++, id, std::move(cb)});
-  ++live_events_;
+  pending_ids_.insert(id);
   return id;
 }
 
@@ -17,12 +17,11 @@ EventScheduler::EventId EventScheduler::schedule_after(Duration delay, Callback 
 }
 
 bool EventScheduler::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  if (!cancelled_.insert(id).second) return false;
-  // The entry may already have fired; fire_next() removes ids from the
-  // cancelled set when it skips them, so a stale id simply leaves a
-  // tombstone that is reclaimed when (if) the entry pops.
-  if (live_events_ > 0) --live_events_;
+  // Only ids still queued can be cancelled: a fired or doubly-cancelled id
+  // must not leave a tombstone (it could shadow nothing forever) nor touch
+  // the live count.
+  if (pending_ids_.erase(id) == 0) return false;
+  cancelled_.insert(id);
   return true;
 }
 
@@ -37,7 +36,7 @@ bool EventScheduler::fire_next() {
       continue;
     }
     now_ = entry.at;
-    --live_events_;
+    pending_ids_.erase(entry.id);
     entry.cb();
     return true;
   }

@@ -49,9 +49,9 @@ class EventScheduler {
   std::size_t run_steps(std::size_t max_events);
 
   /// Number of pending (non-cancelled) events.
-  std::size_t pending() const noexcept { return live_events_; }
+  std::size_t pending() const noexcept { return pending_ids_.size(); }
 
-  bool empty() const noexcept { return live_events_ == 0; }
+  bool empty() const noexcept { return pending_ids_.empty(); }
 
  private:
   struct Entry {
@@ -74,8 +74,12 @@ class EventScheduler {
   SimTime now_ = SimTime::origin();
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
-  std::size_t live_events_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  /// Ids of queued, not-yet-fired, not-cancelled events. Membership is
+  /// what makes cancel() exact: cancelling a fired or already-cancelled
+  /// id is a no-op instead of corrupting the live count with a permanent
+  /// tombstone.
+  std::unordered_set<EventId> pending_ids_;
   std::unordered_set<EventId> cancelled_;
 };
 

@@ -1,0 +1,47 @@
+#include "common/stage_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace akadns {
+
+void LatencyRecorder::record(double value) noexcept {
+  moments_.add(value);
+  histogram_.add(std::log10(std::max(value, 1.0)));
+}
+
+double LatencyRecorder::quantile(double q) const {
+  if (histogram_.total() <= 0.0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * histogram_.total();
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < histogram_.bin_count(); ++i) {
+    const double c = histogram_.count(i);
+    if (cumulative + c >= target && c > 0.0) {
+      const double within = c > 0.0 ? (target - cumulative) / c : 0.0;
+      const double log_value =
+          histogram_.bin_lo(i) + within * (histogram_.bin_hi(i) - histogram_.bin_lo(i));
+      // Clamp to observed extremes: the edge bins absorb outliers.
+      return std::clamp(std::pow(10.0, log_value), moments_.min(), moments_.max());
+    }
+    cumulative += c;
+  }
+  return moments_.max();
+}
+
+void LatencyRecorder::merge(const LatencyRecorder& other) {
+  moments_.merge(other.moments_);
+  histogram_.merge(other.histogram_);
+}
+
+std::string LatencyRecorder::summary() const {
+  std::string out;
+  out += "count=" + fmt_count(count());
+  out += " mean=" + fmt(moments_.mean(), 1);
+  out += " p50=" + fmt(quantile(0.50), 1);
+  out += " p99=" + fmt(quantile(0.99), 1);
+  out += " max=" + fmt(moments_.max(), 1);
+  return out;
+}
+
+}  // namespace akadns

@@ -1,0 +1,72 @@
+// Per-stage latency recording for hot paths, built on the existing
+// streaming-stats / histogram primitives in stats.hpp.
+//
+// A LatencyRecorder keeps Welford moments plus a log10-bucketed histogram
+// so it can answer mean and approximate quantiles over values spanning
+// nanoseconds to seconds with O(1) memory per stage — suitable for
+// recording every packet of an attack-rate stream. Recorders merge, so
+// control/reporting can aggregate a fleet's stage telemetry (the
+// Figure 5 Data Collection feed).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/stats.hpp"
+
+namespace akadns {
+
+class LatencyRecorder {
+ public:
+  /// Buckets cover [1, 10^kDecades) in `kBinsPerDecade` log-spaced bins.
+  static constexpr double kDecades = 9.0;  // up to ~1 s in nanoseconds
+  static constexpr std::size_t kBinsPerDecade = 8;
+
+  LatencyRecorder()
+      : histogram_(0.0, kDecades, static_cast<std::size_t>(kDecades) * kBinsPerDecade) {}
+
+  /// Records one sample in the recorder's native unit (e.g. nanoseconds).
+  void record(double value) noexcept;
+
+  std::uint64_t count() const noexcept { return moments_.count(); }
+  const StreamingStats& moments() const noexcept { return moments_; }
+  const Histogram& histogram() const noexcept { return histogram_; }
+
+  /// Approximate quantile reconstructed from the log-scale histogram
+  /// (log-linear interpolation inside the containing bin).
+  double quantile(double q) const;
+
+  void merge(const LatencyRecorder& other);
+
+  /// One-line summary: "count=N mean=... p50=... p99=... max=...".
+  std::string summary() const;
+
+ private:
+  StreamingStats moments_;
+  Histogram histogram_;
+};
+
+/// RAII wall-clock timer: records elapsed nanoseconds into a recorder at
+/// scope exit. The datapath stages wrap themselves in one of these.
+class StageTimer {
+ public:
+  explicit StageTimer(LatencyRecorder& recorder) noexcept
+      : recorder_(&recorder), start_(std::chrono::steady_clock::now()) {}
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  ~StageTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    recorder_->record(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  }
+
+ private:
+  LatencyRecorder* recorder_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace akadns

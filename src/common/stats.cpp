@@ -143,6 +143,14 @@ void Histogram::add(double x, double weight) noexcept {
   total_ += weight;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ || other.counts_.size() != counts_.size()) {
+    throw std::invalid_argument("histogram axes differ");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
 double Histogram::bin_lo(std::size_t i) const noexcept { return lo_ + width_ * static_cast<double>(i); }
 double Histogram::bin_hi(std::size_t i) const noexcept { return bin_lo(i) + width_; }
 

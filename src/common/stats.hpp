@@ -78,6 +78,8 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x, double weight = 1.0) noexcept;
+  /// Element-wise merge; throws std::invalid_argument on mismatched axes.
+  void merge(const Histogram& other);
   std::size_t bin_count() const noexcept { return counts_.size(); }
   double bin_lo(std::size_t i) const noexcept;
   double bin_hi(std::size_t i) const noexcept;

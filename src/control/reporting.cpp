@@ -4,6 +4,40 @@
 
 namespace akadns::control {
 
+std::string DatapathReport::render() const {
+  std::string out = "datapath: received=" + std::to_string(packets_received) +
+                    " responded=" + std::to_string(responses_sent) +
+                    " pending=" + std::to_string(pending) +
+                    " dropped=" + std::to_string(drops.total()) +
+                    (conservative() ? "" : " [UNACCOUNTED PACKETS]") + "\n";
+  for (std::size_t i = 0; i < kDropReasonCount; ++i) {
+    const auto reason = static_cast<DropReason>(i);
+    if (drops[reason] == 0) continue;
+    out += "  drop/";
+    out += to_string(reason);
+    out += ": " + std::to_string(drops[reason]) + "\n";
+  }
+  out += telemetry.render();
+  return out;
+}
+
+DatapathReport collect_datapath(const std::vector<pop::Machine*>& fleet) {
+  DatapathReport report;
+  for (const auto* machine : fleet) {
+    const auto& ns = machine->nameserver().stats();
+    // NIC-level losses never reach the nameserver, so the machine's
+    // arrival count is its nameserver's plus those drops.
+    report.packets_received +=
+        ns.packets_received + machine->stats().drops[DropReason::NicFailure];
+    report.responses_sent += ns.responses_sent;
+    report.pending += machine->nameserver().pending();
+    report.drops.merge(ns.drops);
+    report.drops.merge(machine->stats().drops);
+    report.telemetry.merge(machine->nameserver().telemetry());
+  }
+  return report;
+}
+
 void TrafficAggregator::record(const dns::DnsName& zone_apex, dns::Rcode rcode, SimTime now) {
   ZoneReport& report = reports_[zone_apex];
   ++report.queries;

@@ -24,6 +24,32 @@
 
 namespace akadns::control {
 
+/// Fleet-wide datapath accounting: the merged drop taxonomy, per-stage
+/// telemetry, and the conservation check over every machine's counters.
+/// This is the report the NOCC reads to see *where* an attack's packets
+/// are dying (firewall vs I/O vs score vs queue — Figure 10's regions).
+struct DatapathReport {
+  std::uint64_t packets_received = 0;  // includes machine-level NIC losses
+  std::uint64_t responses_sent = 0;
+  std::uint64_t pending = 0;  // still sitting in penalty queues
+  DropCounters drops;
+  server::DatapathTelemetry telemetry;
+
+  /// Packets with a known fate.
+  std::uint64_t accounted() const noexcept {
+    return responses_sent + drops.total() + pending;
+  }
+  /// The invariant: every packet either got a response, was dropped with
+  /// a recorded reason, or is still queued.
+  bool conservative() const noexcept { return packets_received == accounted(); }
+
+  /// Multi-line human-readable rendering for the Management Portal / NOCC.
+  std::string render() const;
+};
+
+/// Merges the datapath counters and telemetry of every machine in `fleet`.
+DatapathReport collect_datapath(const std::vector<pop::Machine*>& fleet);
+
 class TrafficAggregator {
  public:
   struct ZoneReport {

@@ -47,20 +47,32 @@ Message make_query(std::uint16_t id, const DnsName& name, RecordType qtype,
 }
 
 Message make_response(const Message& query, Rcode rcode, bool authoritative) {
+  Message m = make_response(query.header,
+                            query.questions.empty() ? nullptr : &query.questions[0],
+                            query.edns, rcode, authoritative);
+  for (std::size_t i = 1; i < query.questions.size(); ++i) {
+    m.questions.push_back(query.questions[i]);
+  }
+  return m;
+}
+
+Message make_response(const Header& query_header, const Question* question,
+                      const std::optional<Edns>& query_edns, Rcode rcode,
+                      bool authoritative) {
   Message m;
-  m.header.id = query.header.id;
+  m.header.id = query_header.id;
   m.header.qr = true;
-  m.header.opcode = query.header.opcode;
+  m.header.opcode = query_header.opcode;
   m.header.aa = authoritative;
-  m.header.rd = query.header.rd;
+  m.header.rd = query_header.rd;
   m.header.rcode = rcode;
-  m.questions = query.questions;
-  if (query.edns) {
+  if (question) m.questions.push_back(*question);
+  if (query_edns) {
     Edns edns;
     edns.udp_payload_size = 4096;
     // Echo the client-subnet with a concrete scope so resolvers can cache
     // per-subnet (RFC 7871 §7.2.1); the nameserver fills in scope later.
-    edns.client_subnet = query.edns->client_subnet;
+    edns.client_subnet = query_edns->client_subnet;
     m.edns = edns;
   }
   return m;

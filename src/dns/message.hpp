@@ -86,4 +86,11 @@ Message make_query(std::uint16_t id, const DnsName& name, RecordType qtype,
 /// Builds a response skeleton mirroring the query's id/question/EDNS.
 Message make_response(const Message& query, Rcode rcode, bool authoritative = true);
 
+/// Same, from pre-decoded pieces instead of a full Message — the
+/// zero-reparse datapath hands the once-decoded header/question/EDNS
+/// straight through. `question` may be null (no question echoed).
+Message make_response(const Header& query_header, const Question* question,
+                      const std::optional<Edns>& query_edns, Rcode rcode,
+                      bool authoritative = true);
+
 }  // namespace akadns::dns

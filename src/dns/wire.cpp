@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstring>
-#include <map>
 
 namespace akadns::dns {
 namespace {
@@ -13,7 +12,12 @@ namespace {
 
 class Encoder {
  public:
-  explicit Encoder(bool compress) : compress_(compress) {}
+  explicit Encoder(bool compress) : compress_(compress) {
+    // One up-front reservation covers virtually every real message; the
+    // hot path then appends without reallocating.
+    out_.reserve(512);
+    if (compress_) offsets_.reserve(16);
+  }
 
   std::size_t size() const noexcept { return out_.size(); }
   std::vector<std::uint8_t> take() && { return std::move(out_); }
@@ -39,17 +43,20 @@ class Encoder {
 
   /// Writes a name, emitting a compression pointer when a suffix of the
   /// name was already written at a pointer-reachable offset (< 0x4000).
+  /// Written suffixes are indexed as (name pointer, first label) pairs —
+  /// the names being encoded outlive the encoder, so no DnsName is ever
+  /// copied on this path (the seed keyed a std::map by DnsName value,
+  /// which allocated per suffix per name).
   void name(const DnsName& n) {
     const auto& labels = n.labels();
     for (std::size_t i = 0; i < labels.size(); ++i) {
-      const DnsName suffix = n.suffix(labels.size() - i);
       if (compress_) {
-        if (auto it = offsets_.find(suffix); it != offsets_.end()) {
-          u16(static_cast<std::uint16_t>(0xC000 | it->second));
+        if (const SuffixRef* hit = find_suffix(labels, i)) {
+          u16(static_cast<std::uint16_t>(0xC000 | hit->offset));
           return;
         }
         if (out_.size() < 0x3FFF) {
-          offsets_.emplace(suffix, static_cast<std::uint16_t>(out_.size()));
+          offsets_.push_back(SuffixRef{&n, i, static_cast<std::uint16_t>(out_.size())});
         }
       }
       u8(static_cast<std::uint8_t>(labels[i].size()));
@@ -61,13 +68,42 @@ class Encoder {
   void truncate_to(std::size_t n) {
     out_.resize(n);
     // Drop compression offsets that now point past the end.
-    std::erase_if(offsets_, [n](const auto& kv) { return kv.second >= n; });
+    std::erase_if(offsets_, [n](const SuffixRef& s) { return s.offset >= n; });
   }
 
  private:
+  /// The suffix of `*name` starting at label index `start`, written at
+  /// wire offset `offset`.
+  struct SuffixRef {
+    const DnsName* name;
+    std::size_t start;
+    std::uint16_t offset;
+  };
+
+  /// Linear scan beats a map here: messages hold a handful of names, the
+  /// entries are contiguous, and labels are lowercased at construction so
+  /// string equality is exact name equality.
+  const SuffixRef* find_suffix(const std::vector<std::string>& labels,
+                               std::size_t start) const noexcept {
+    const std::size_t count = labels.size() - start;
+    for (const SuffixRef& ref : offsets_) {
+      const auto& other = ref.name->labels();
+      if (other.size() - ref.start != count) continue;
+      bool equal = true;
+      for (std::size_t j = 0; j < count; ++j) {
+        if (labels[start + j] != other[ref.start + j]) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) return &ref;
+    }
+    return nullptr;
+  }
+
   bool compress_;
   std::vector<std::uint8_t> out_;
-  std::map<DnsName, std::uint16_t> offsets_;
+  std::vector<SuffixRef> offsets_;
 };
 
 void encode_rdata(Encoder& enc, const RData& rdata) {
@@ -536,6 +572,65 @@ Result<Message> decode(std::span<const std::uint8_t> wire) {
     return Result<Message>::failure(r.error());
   }
   return m;
+}
+
+Result<QueryView> decode_query_view(std::span<const std::uint8_t> wire) {
+  Decoder dec(wire);
+  std::uint16_t counts[4] = {};
+  auto header = decode_header(dec, counts);
+  if (!header) return Result<QueryView>::failure(header.error());
+  QueryView view;
+  view.header = header.value();
+  view.qdcount = counts[0];
+  view.ancount = counts[1];
+  view.nscount = counts[2];
+  view.arcount = counts[3];
+  if (view.qdcount == 0) return Result<QueryView>::failure("no question");
+  std::uint16_t qtype = 0, qclass = 0;
+  if (!dec.name(view.question.name) || !dec.u16(qtype) || !dec.u16(qclass)) {
+    return Result<QueryView>::failure("bad question");
+  }
+  view.question.qtype = static_cast<RecordType>(qtype);
+  view.question.qclass = static_cast<RecordClass>(qclass);
+  // Walk any further questions (a conforming query has exactly one; the
+  // responder answers FORMERR otherwise) so questions_end is exact.
+  for (std::uint16_t i = 1; i < view.qdcount; ++i) {
+    DnsName ignored;
+    std::uint16_t t = 0, c = 0;
+    if (!dec.name(ignored) || !dec.u16(t) || !dec.u16(c)) {
+      return Result<QueryView>::failure("bad question");
+    }
+  }
+  view.questions_end = dec.pos();
+  return view;
+}
+
+Result<bool> decode_query_edns(std::span<const std::uint8_t> wire, QueryView& view) {
+  if (view.tail_parsed) return true;
+  Decoder dec(wire);
+  if (!dec.skip(view.questions_end)) return Result<bool>::failure("bad question offset");
+  const std::size_t records = static_cast<std::size_t>(view.ancount) +
+                              static_cast<std::size_t>(view.nscount) +
+                              static_cast<std::size_t>(view.arcount);
+  for (std::size_t i = 0; i < records; ++i) {
+    DnsName name;
+    std::uint16_t type = 0, rclass = 0, rdlen = 0;
+    std::uint32_t ttl = 0;
+    if (!dec.name(name) || !dec.u16(type) || !dec.u16(rclass) || !dec.u32(ttl) ||
+        !dec.u16(rdlen) || dec.remaining() < rdlen) {
+      return Result<bool>::failure("bad record header");
+    }
+    if (static_cast<RecordType>(type) == RecordType::OPT) {
+      if (view.edns) return Result<bool>::failure("duplicate OPT record");
+      auto edns = decode_opt(dec, view.header, rclass, ttl, rdlen);
+      if (!edns) return Result<bool>::failure(edns.error());
+      view.edns = edns.value();
+    } else if (!dec.skip(rdlen)) {
+      return Result<bool>::failure("bad record body");
+    }
+  }
+  view.tail_parsed = true;
+  return true;
 }
 
 Result<Question> decode_question(std::span<const std::uint8_t> wire) {

@@ -43,4 +43,37 @@ Result<Message> decode(std::span<const std::uint8_t> wire);
 /// score queries before full processing).
 Result<Question> decode_question(std::span<const std::uint8_t> wire);
 
+/// Everything the datapath needs from a query packet, decoded exactly
+/// once over the wire span at receive() time: header, first question, and
+/// the offset where the question section ends so later stages (EDNS
+/// extraction, response construction) never re-parse what was already
+/// parsed. The in-place view is what lets firewall, scoring, penalty
+/// queues and the responder all share one decode.
+struct QueryView {
+  Header header;
+  std::uint16_t qdcount = 0;
+  std::uint16_t ancount = 0;
+  std::uint16_t nscount = 0;
+  std::uint16_t arcount = 0;
+  /// First question (the only one a conforming query carries).
+  Question question;
+  /// Wire offset just past the whole question section.
+  std::size_t questions_end = 0;
+  /// Filled by decode_query_edns() at process time (deferred so traffic
+  /// discarded by the filters never pays for the OPT walk).
+  std::optional<Edns> edns;
+  bool tail_parsed = false;
+};
+
+/// One-pass header + question decode (receive-time stage). Fails on a
+/// truncated header, absent/truncated question, or invalid name
+/// (including compression-pointer loops) — the Malformed drop bucket.
+Result<QueryView> decode_query_view(std::span<const std::uint8_t> wire);
+
+/// Completes a viewed query's decode: walks the record sections after
+/// `questions_end` looking for the OPT pseudo-RR, filling `view.edns`.
+/// Idempotent. Fails on structurally invalid trailing records (the
+/// caller answers FORMERR); the header and question remain usable.
+Result<bool> decode_query_edns(std::span<const std::uint8_t> wire, QueryView& view);
+
 }  // namespace akadns::dns

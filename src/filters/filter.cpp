@@ -17,7 +17,7 @@ ScoreBreakdown ScoringEngine::score_detailed(const QueryContext& ctx) {
   for (auto& filter : filters_) {
     const double penalty = filter->score(ctx);
     if (penalty > 0.0) {
-      breakdown.contributions.emplace_back(std::string(filter->name()), penalty);
+      breakdown.contributions.emplace_back(filter->name(), penalty);
     }
     breakdown.total += penalty;
   }

@@ -22,10 +22,16 @@ namespace akadns::filters {
 /// Everything a filter may inspect about an incoming query. Mirrors what
 /// the production filters use: source address (rate limit / allowlist /
 /// loyalty), IP TTL (hop-count), and the question (NXDOMAIN filter).
+///
+/// The question is *referenced*, not owned: it is decoded exactly once at
+/// the nameserver's receive() and every scoring/observe pass shares that
+/// decode. The referenced Question must outlive the context (true by
+/// construction: the server's QueryContext owns it for the packet's whole
+/// lifetime). Scoring a clean query performs zero allocations.
 struct QueryContext {
   Endpoint source;
   std::uint8_t ip_ttl = 64;  // received IP TTL
-  dns::Question question;
+  const dns::Question& question;
   SimTime now;
 };
 
@@ -46,11 +52,13 @@ class Filter {
   }
 };
 
-/// Per-query scoring outcome.
+/// Per-query scoring outcome. Filter names are string_views into the
+/// filters' static name() storage — recording a breakdown allocates only
+/// when a filter actually fires.
 struct ScoreBreakdown {
   double total = 0.0;
   /// (filter name, penalty) for each filter that fired.
-  std::vector<std::pair<std::string, double>> contributions;
+  std::vector<std::pair<std::string_view, double>> contributions;
 };
 
 /// Runs a configurable sequence of filters over each query.

@@ -37,8 +37,12 @@ Machine::Machine(MachineConfig config)
 void Machine::deliver(std::span<const std::uint8_t> wire, const Endpoint& source,
                       std::uint8_t ip_ttl, SimTime now) {
   if (failure_ == FailureType::Nic || failure_ == FailureType::ConnectivityLoss) {
-    return;  // packets lost before the application
+    // Packets lost below the stack — the nameserver never counts them,
+    // so the machine accounts for them (conservation at the PoP level).
+    stats_.drops.add(DropReason::NicFailure);
+    return;
   }
+  ++stats_.delivered;
   nameserver_.receive(wire, source, ip_ttl, now);
 }
 

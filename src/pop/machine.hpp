@@ -31,6 +31,14 @@ struct MachineConfig {
   bool input_delayed = false;
 };
 
+/// Machine-level accounting for packets that die before the nameserver
+/// ever sees them (injected NIC/connectivity failures). Folded into the
+/// fleet-wide conservation check by control/reporting.
+struct MachineStats {
+  std::uint64_t delivered = 0;  // packets handed to the nameserver
+  DropCounters drops;           // NicFailure: lost below the stack
+};
+
 class Machine {
  public:
   /// Machine serving from a shared (externally owned) zone store.
@@ -68,6 +76,8 @@ class Machine {
   /// Whether metadata deliveries currently reach this machine.
   bool metadata_reachable() const noexcept;
 
+  const MachineStats& stats() const noexcept { return stats_; }
+
   // ---- failure injection ----------------------------------------------------
 
   void inject_failure(FailureType failure) noexcept { failure_ = failure; }
@@ -85,6 +95,7 @@ class Machine {
   server::Nameserver nameserver_;
   BgpSpeaker speaker_;
   std::optional<FailureType> failure_;
+  MachineStats stats_;
 };
 
 }  // namespace akadns::pop

@@ -24,59 +24,62 @@ std::string to_string(ServerState s) {
 Nameserver::Nameserver(NameserverConfig config, const zone::ZoneStore& store)
     : config_(std::move(config)),
       responder_(store),
+      pool_(std::make_unique<BufferPool>()),
       queues_(config_.queue_config),
       compute_bucket_(config_.compute_capacity_qps, config_.compute_capacity_qps * 0.1),
       io_bucket_(config_.io_capacity_qps, config_.io_capacity_qps * 0.05) {}
 
 void Nameserver::receive(std::span<const std::uint8_t> wire, const Endpoint& source,
                          std::uint8_t ip_ttl, SimTime now) {
+  StageTimer receive_timer(telemetry_.stage(Stage::Receive));
   ++stats_.packets_received;
   if (state_ != ServerState::Running) {
-    ++stats_.dropped_not_running;
+    stats_.drops.add(DropReason::NotRunning);
     return;
   }
   // NIC / kernel stack limit: when arrivals exceed the I/O capacity,
   // packets are lost before the application sees them (Figure 10, A>A2).
   if (!io_bucket_.try_take(now)) {
-    ++stats_.dropped_io;
+    stats_.drops.add(DropReason::IoOverload);
     return;
   }
-  // Fast-path question decode for the firewall and the scoring filters.
-  std::optional<dns::Question> question;
-  if (auto q = dns::decode_question(wire)) {
-    question = q.value();
-  } else {
-    ++stats_.malformed;
+  // The once-only decode: header + question parsed here, shared by the
+  // firewall, the filters, and (completed in place) the responder.
+  QueryContext ctx;
+  {
+    StageTimer parse_timer(telemetry_.stage(Stage::Parse));
+    auto view = dns::decode_query_view(wire);
+    if (!view) {
+      // Unanswerable: no parseable header/question means no FORMERR
+      // either, so the packet dies here instead of wasting queue space.
+      stats_.drops.add(DropReason::Malformed);
+      return;
+    }
+    ctx.view = std::move(view).value();
+    ctx.parsed = true;
   }
-  if (question && firewall_.drops(*question, now)) {
-    ++stats_.dropped_firewall;
+  if (firewall_.drops(ctx.view.question, now)) {
+    stats_.drops.add(DropReason::Firewall);
     return;
   }
-  double score = 0.0;
-  if (question) {
-    filters::QueryContext ctx;
-    ctx.source = source;
-    ctx.ip_ttl = ip_ttl;
-    ctx.question = *question;
-    ctx.now = now;
-    score = scoring_.score(ctx);
+  ctx.source = source;
+  ctx.ip_ttl = ip_ttl;
+  ctx.arrival = now;
+  {
+    StageTimer score_timer(telemetry_.stage(Stage::Score));
+    ctx.score = scoring_.score(ctx.filter_view(now));
   }
-  PendingQuery pending;
-  pending.wire.assign(wire.begin(), wire.end());
-  pending.source = source;
-  pending.ip_ttl = ip_ttl;
-  pending.arrival = now;
-  pending.score = score;
-  pending.question = question;
-  switch (queues_.enqueue(std::move(pending), score)) {
+  ctx.wire = pool_->copy_of(wire);
+  const double score = ctx.score;  // read before the move below
+  switch (queues_.enqueue(std::move(ctx), score)) {
     case filters::EnqueueOutcome::Enqueued:
       ++stats_.queries_enqueued;
       break;
     case filters::EnqueueOutcome::DiscardedByScore:
-      ++stats_.discarded_by_score;
+      stats_.drops.add(DropReason::ScoreDiscard);
       break;
     case filters::EnqueueOutcome::DroppedQueueFull:
-      ++stats_.dropped_queue_full;
+      stats_.drops.add(DropReason::QueueFull);
       break;
   }
 }
@@ -85,34 +88,31 @@ bool Nameserver::process_one(SimTime now) {
   auto item = queues_.dequeue();
   if (!item) return false;
   ++stats_.queries_processed;
+  telemetry_.queue_wait().record((now - item->arrival).to_micros());
 
   // Query-of-death check: an unrecoverable fault in query processing.
-  if (item->question && crash_predicate_ && crash_predicate_(*item->question)) {
+  if (crash_predicate_ && crash_predicate_(item->question())) {
     ++stats_.crashes;
-    last_qod_ = item->question;  // "write the DNS payload to disk"
+    stats_.drops.add(DropReason::QueryOfDeath);
+    last_qod_ = item->question();  // "write the DNS payload to disk"
     if (config_.qod_trap_enabled) {
       // The separate firewall-builder process installs a rule dropping
       // similar queries for T_QoD.
-      firewall_.install(*item->question, now, config_.qod_rule_ttl);
+      firewall_.install(item->question(), now, config_.qod_rule_ttl);
     }
     state_ = ServerState::Crashed;
     return true;
   }
 
-  auto response = responder_.respond_wire(item->wire, item->source);
-  if (item->question) {
-    // Fan the outcome back to the filters (NXDOMAIN counting etc.).
-    filters::QueryContext ctx;
-    ctx.source = item->source;
-    ctx.ip_ttl = item->ip_ttl;
-    ctx.question = *item->question;
-    ctx.now = now;
-    scoring_.observe_response(ctx, response ? rcode_of(*response) : dns::Rcode::ServFail);
+  std::vector<std::uint8_t> response;
+  {
+    StageTimer resolve_timer(telemetry_.stage(Stage::Resolve));
+    response = responder_.respond_view(item->bytes(), item->view, item->source);
   }
-  if (response && sink_) {
-    ++stats_.responses_sent;
-    sink_(item->source, std::move(*response));
-  }
+  // Fan the outcome back to the filters (NXDOMAIN counting etc.).
+  scoring_.observe_response(item->filter_view(now), rcode_of(response));
+  ++stats_.responses_sent;
+  if (sink_) sink_(item->source, std::move(response));
   return true;
 }
 
@@ -145,7 +145,8 @@ void Nameserver::restart(SimTime now) {
   // A restart loses in-flight queries (resolvers retry) and resets the
   // capacity buckets; learned filter state survives in this model because
   // production filters persist their learned tables out of process.
-  queues_ = filters::PenaltyQueueSet<PendingQuery>(config_.queue_config);
+  stats_.drops.add(DropReason::RestartFlush, queues_.size());
+  queues_ = filters::PenaltyQueueSet<QueryContext>(config_.queue_config);
   compute_bucket_ = TokenBucket(config_.compute_capacity_qps, config_.compute_capacity_qps * 0.1);
   io_bucket_ = TokenBucket(config_.io_capacity_qps, config_.io_capacity_qps * 0.05);
   state_ = ServerState::Running;

@@ -1,13 +1,20 @@
 // The authoritative nameserver instance — the paper's "specialized
 // nameserver software" running on each machine in a PoP (§3.1, Figure 6).
 //
-// Datapath per packet:
-//   receive(): firewall check (QoD rules) -> I/O capacity check (drops
-//   below the application when the NIC/stack is saturated, the A > A2
-//   region of Figure 10) -> filter scoring -> penalty queue placement.
+// Datapath per packet (one QueryContext, created at receive() and moved
+// through every stage — no copies, no re-parsing):
+//   receive(): one-pass QueryView decode (header + question) -> firewall
+//   check (QoD rules) -> I/O capacity check (drops below the application
+//   when the NIC/stack is saturated, the A > A2 region of Figure 10) ->
+//   filter scoring over the decoded question -> penalty queue placement
+//   with the packet bytes in a pooled buffer.
 //   process(): work-conserving drain of the penalty queues at the
-//   compute capacity, full decode, authoritative resolution, response
-//   out through the sink, response outcome fanned back to the filters.
+//   compute capacity, EDNS walk completed in place, authoritative
+//   resolution, response out through the sink, response outcome fanned
+//   back to the filters.
+// Every drop is accounted against the unified DropReason taxonomy so
+//   packets_received == responses_sent + drops.total() + pending
+// holds exactly; each stage records its latency into DatapathTelemetry.
 //
 // Failure model:
 //   - a crash predicate marks queries-of-death (§4.2.4); processing one
@@ -18,14 +25,19 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 
+#include "common/buffer_pool.hpp"
+#include "common/drop_reason.hpp"
 #include "common/token_bucket.hpp"
 #include "filters/filter.hpp"
 #include "filters/penalty_queues.hpp"
 #include "server/firewall.hpp"
+#include "server/query_context.hpp"
 #include "server/responder.hpp"
+#include "server/telemetry.hpp"
 
 namespace akadns::server {
 
@@ -60,27 +72,21 @@ struct NameserverConfig {
 
 struct NameserverStats {
   std::uint64_t packets_received = 0;
-  std::uint64_t dropped_firewall = 0;
-  std::uint64_t dropped_io = 0;
-  std::uint64_t dropped_not_running = 0;
-  std::uint64_t discarded_by_score = 0;
-  std::uint64_t dropped_queue_full = 0;
   std::uint64_t queries_enqueued = 0;
   std::uint64_t queries_processed = 0;
   std::uint64_t responses_sent = 0;
-  std::uint64_t malformed = 0;
   std::uint64_t crashes = 0;
-};
+  /// Every dropped packet, bucketed by the stage that killed it.
+  DropCounters drops;
 
-/// One enqueued query awaiting processing.
-struct PendingQuery {
-  std::vector<std::uint8_t> wire;
-  Endpoint source;
-  std::uint8_t ip_ttl = 0;
-  SimTime arrival;
-  double score = 0.0;
-  /// Question pre-decoded during scoring (absent for malformed packets).
-  std::optional<dns::Question> question;
+  // Named views over the taxonomy (the seed kept these as disjoint
+  // fields; they are now projections of the same counters).
+  std::uint64_t dropped_firewall() const noexcept { return drops[DropReason::Firewall]; }
+  std::uint64_t dropped_io() const noexcept { return drops[DropReason::IoOverload]; }
+  std::uint64_t dropped_not_running() const noexcept { return drops[DropReason::NotRunning]; }
+  std::uint64_t discarded_by_score() const noexcept { return drops[DropReason::ScoreDiscard]; }
+  std::uint64_t dropped_queue_full() const noexcept { return drops[DropReason::QueueFull]; }
+  std::uint64_t malformed() const noexcept { return drops[DropReason::Malformed]; }
 };
 
 class Nameserver {
@@ -97,7 +103,8 @@ class Nameserver {
 
   /// Accepts one packet from the wire. Drops (with accounting) when a
   /// firewall rule matches, the I/O capacity is exceeded, the instance is
-  /// not Running, or the penalty queues discard it.
+  /// not Running, the wire fails to decode, or the penalty queues discard
+  /// it. A surviving packet becomes a QueryContext in a penalty queue.
   void receive(std::span<const std::uint8_t> wire, const Endpoint& source,
                std::uint8_t ip_ttl, SimTime now);
 
@@ -125,7 +132,8 @@ class Nameserver {
   /// Monitoring-agent actions.
   void self_suspend() noexcept;
   void resume() noexcept;
-  /// Restart after a crash (clears queues — in-flight state is lost).
+  /// Restart after a crash (flushes queued queries — accounted as
+  /// RestartFlush drops; resolvers retry).
   void restart(SimTime now);
 
   /// The payload that crashed the server, if any (written "to disk" for
@@ -148,7 +156,9 @@ class Nameserver {
   const Responder& responder() const noexcept { return responder_; }
   Firewall& firewall() noexcept { return firewall_; }
   const NameserverStats& stats() const noexcept { return stats_; }
-  const filters::PenaltyQueueSet<PendingQuery>& queues() const noexcept { return queues_; }
+  const filters::PenaltyQueueSet<QueryContext>& queues() const noexcept { return queues_; }
+  const BufferPool& pool() const noexcept { return *pool_; }
+  const DatapathTelemetry& telemetry() const noexcept { return telemetry_; }
 
  private:
   /// Dequeues and handles a single query; false when queues are empty.
@@ -158,7 +168,12 @@ class Nameserver {
   Responder responder_;
   filters::ScoringEngine scoring_;
   Firewall firewall_;
-  filters::PenaltyQueueSet<PendingQuery> queues_;
+  // The pool must outlive the queues (queued PooledBuffers release into
+  // it on destruction) — declared first so it destructs last. It lives
+  // behind a unique_ptr because Nameserver is movable and the buffers
+  // hold a stable pointer to the pool.
+  std::unique_ptr<BufferPool> pool_;
+  filters::PenaltyQueueSet<QueryContext> queues_;
   TokenBucket compute_bucket_;
   TokenBucket io_bucket_;
   ResponseSink sink_;
@@ -167,6 +182,7 @@ class Nameserver {
   std::optional<dns::Question> last_qod_;
   SimTime last_metadata_ = SimTime::origin();
   NameserverStats stats_;
+  DatapathTelemetry telemetry_;
 };
 
 }  // namespace akadns::server

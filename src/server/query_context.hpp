@@ -1,0 +1,42 @@
+// The single per-query object of the nameserver datapath.
+//
+// Created once at Nameserver::receive() and *moved* — never copied —
+// through firewall → I/O check → scoring → penalty queue → resolution →
+// response sink. It owns the packet bytes in a pooled buffer (zero heap
+// allocations per packet after warmup) and the once-decoded QueryView
+// that every stage shares: the firewall matches view.question, the
+// filters score a reference to it, and the responder completes the
+// decode in place instead of re-parsing the wire.
+#pragma once
+
+#include "common/buffer_pool.hpp"
+#include "common/drop_reason.hpp"
+#include "common/ip.hpp"
+#include "common/sim_time.hpp"
+#include "dns/wire.hpp"
+#include "filters/filter.hpp"
+
+namespace akadns::server {
+
+struct QueryContext {
+  PooledBuffer wire;  // pooled copy of the packet bytes
+  Endpoint source;
+  std::uint8_t ip_ttl = 64;
+  SimTime arrival;
+  double score = 0.0;
+  /// Header + question + section offsets, decoded once at receive().
+  /// Valid only when `parsed` (a Malformed drop never reaches a queue).
+  dns::QueryView view;
+  bool parsed = false;
+
+  std::span<const std::uint8_t> bytes() const noexcept { return wire.bytes(); }
+  const dns::Question& question() const noexcept { return view.question; }
+
+  /// The narrow view the filter pipeline scores — references this
+  /// context's decoded question, copies nothing.
+  filters::QueryContext filter_view(SimTime now) const noexcept {
+    return filters::QueryContext{source, ip_ttl, view.question, now};
+  }
+};
+
+}  // namespace akadns::server

@@ -40,27 +40,32 @@ Rcode Responder::resolve(const Question& question, const Endpoint& client,
       if (link == 0) return Rcode::Refused;
       return rcode;
     }
-    const auto result = zone->lookup(qname, question.qtype);
+    auto result = zone->lookup(qname, question.qtype);
     if (result.wildcard_match) ++stats_.wildcard_answers;
     switch (result.status) {
       case zone::LookupStatus::Answer:
-        response.answers.insert(response.answers.end(), result.records.begin(),
-                                result.records.end());
+        // The lookup result is already a private copy — move the records
+        // into the response instead of copying their names again.
+        response.answers.insert(response.answers.end(),
+                                std::make_move_iterator(result.records.begin()),
+                                std::make_move_iterator(result.records.end()));
         return Rcode::NoError;
       case zone::LookupStatus::CnameChase: {
         ++stats_.cname_chases;
-        response.answers.insert(response.answers.end(), result.records.begin(),
-                                result.records.end());
-        const auto& cname = std::get<CnameRecord>(result.records.front().rdata);
-        qname = cname.target;
+        qname = std::get<CnameRecord>(result.records.front().rdata).target;
+        response.answers.insert(response.answers.end(),
+                                std::make_move_iterator(result.records.begin()),
+                                std::make_move_iterator(result.records.end()));
         continue;
       }
       case zone::LookupStatus::Referral: {
         ++stats_.referrals;
-        response.authorities.insert(response.authorities.end(), result.authority.begin(),
-                                    result.authority.end());
-        response.additionals.insert(response.additionals.end(), result.additional.begin(),
-                                    result.additional.end());
+        response.authorities.insert(response.authorities.end(),
+                                    std::make_move_iterator(result.authority.begin()),
+                                    std::make_move_iterator(result.authority.end()));
+        response.additionals.insert(response.additionals.end(),
+                                    std::make_move_iterator(result.additional.begin()),
+                                    std::make_move_iterator(result.additional.end()));
         response.header.aa = false;  // referral is not authoritative data
         // §5.2 answer push: include the answer with the referral so the
         // resolver caches both the delegation and the records in one
@@ -78,12 +83,14 @@ Rcode Responder::resolve(const Question& question, const Endpoint& client,
       }
       case zone::LookupStatus::NoData:
         ++stats_.nodata;
-        response.authorities.insert(response.authorities.end(), result.authority.begin(),
-                                    result.authority.end());
+        response.authorities.insert(response.authorities.end(),
+                                    std::make_move_iterator(result.authority.begin()),
+                                    std::make_move_iterator(result.authority.end()));
         return rcode;  // NOERROR (or earlier chain rcode)
       case zone::LookupStatus::NxDomain:
-        response.authorities.insert(response.authorities.end(), result.authority.begin(),
-                                    result.authority.end());
+        response.authorities.insert(response.authorities.end(),
+                                    std::make_move_iterator(result.authority.begin()),
+                                    std::make_move_iterator(result.authority.end()));
         // RFC 2308: if the chain started with a CNAME, the rcode applies
         // to the final name.
         return Rcode::NxDomain;
@@ -93,24 +100,26 @@ Rcode Responder::resolve(const Question& question, const Endpoint& client,
   return Rcode::ServFail;
 }
 
-Message Responder::respond(const Message& query, const Endpoint& client) {
+Message Responder::respond_core(const dns::Header& query_header, std::size_t question_count,
+                                const Question* question,
+                                const std::optional<dns::Edns>& edns,
+                                const Endpoint& client) {
   ++stats_.responses;
   // Only standard queries with exactly one question are served; this is
   // what production authoritatives do for the protocol subset we model.
-  if (query.header.opcode != dns::Opcode::Query) {
+  if (query_header.opcode != dns::Opcode::Query) {
     ++stats_.notimp;
-    return dns::make_response(query, Rcode::NotImp);
+    return dns::make_response(query_header, question, edns, Rcode::NotImp);
   }
-  if (query.questions.size() != 1 ||
-      query.questions[0].qclass != dns::RecordClass::IN) {
+  if (question_count != 1 || !question || question->qclass != dns::RecordClass::IN) {
     ++stats_.formerr;
-    return dns::make_response(query, Rcode::FormErr);
+    return dns::make_response(query_header, question, edns, Rcode::FormErr);
   }
 
-  Message response = dns::make_response(query, Rcode::NoError, /*authoritative=*/true);
-  const std::optional<dns::ClientSubnet> ecs =
-      query.edns ? query.edns->client_subnet : std::nullopt;
-  const Rcode rcode = resolve(query.questions[0], client, ecs, response);
+  Message response =
+      dns::make_response(query_header, question, edns, Rcode::NoError, /*authoritative=*/true);
+  const std::optional<dns::ClientSubnet> ecs = edns ? edns->client_subnet : std::nullopt;
+  const Rcode rcode = resolve(*question, client, ecs, response);
   response.header.rcode = rcode;
   switch (rcode) {
     case Rcode::NoError: ++stats_.noerror; break;
@@ -120,31 +129,40 @@ Message Responder::respond(const Message& query, const Endpoint& client) {
     default: break;
   }
   if (rcode == Rcode::Refused) response.header.aa = false;
-  if (response_observer_) response_observer_(query.questions[0], rcode);
+  if (response_observer_) response_observer_(*question, rcode);
   return response;
+}
+
+Message Responder::respond(const Message& query, const Endpoint& client) {
+  return respond_core(query.header, query.questions.size(),
+                      query.questions.empty() ? nullptr : &query.questions[0], query.edns,
+                      client);
+}
+
+std::vector<std::uint8_t> Responder::respond_view(std::span<const std::uint8_t> wire,
+                                                  dns::QueryView& view,
+                                                  const Endpoint& client) {
+  if (!dns::decode_query_edns(wire, view)) {
+    // Mangled record tail: the header and question already decoded, so
+    // salvage a FORMERR (what the seed path did after a failed full
+    // decode) without re-parsing either.
+    ++stats_.responses;
+    ++stats_.formerr;
+    return dns::encode(
+        dns::make_response(view.header, &view.question, std::nullopt, Rcode::FormErr, false));
+  }
+  const Message response =
+      respond_core(view.header, view.qdcount, &view.question, view.edns, client);
+  const std::size_t max_size =
+      view.edns ? view.edns->udp_payload_size : config_.udp_payload_default;
+  return dns::encode(response, {.max_size = max_size});
 }
 
 std::optional<std::vector<std::uint8_t>> Responder::respond_wire(
     std::span<const std::uint8_t> wire, const Endpoint& client) {
-  auto decoded = dns::decode(wire);
-  if (!decoded) {
-    // Salvage a FORMERR if at least the header + question parse.
-    auto question = dns::decode_question(wire);
-    if (!question) return std::nullopt;
-    Message query;
-    // Re-extract the id from the first two bytes (guaranteed present
-    // since decode_question succeeded).
-    query.header.id = static_cast<std::uint16_t>((wire[0] << 8) | wire[1]);
-    query.questions.push_back(question.value());
-    ++stats_.responses;
-    ++stats_.formerr;
-    return dns::encode(dns::make_response(query, Rcode::FormErr, false));
-  }
-  const Message response = respond(decoded.value(), client);
-  const std::size_t max_size =
-      decoded.value().edns ? decoded.value().edns->udp_payload_size
-                           : config_.udp_payload_default;
-  return dns::encode(response, {.max_size = max_size});
+  auto view = dns::decode_query_view(wire);
+  if (!view) return std::nullopt;
+  return respond_view(wire, view.value(), client);
 }
 
 }  // namespace akadns::server

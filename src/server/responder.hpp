@@ -13,6 +13,7 @@
 #include <span>
 
 #include "dns/message.hpp"
+#include "dns/wire.hpp"
 #include "zone/zone_store.hpp"
 
 namespace akadns::server {
@@ -73,6 +74,13 @@ class Responder {
   std::optional<std::vector<std::uint8_t>> respond_wire(std::span<const std::uint8_t> wire,
                                                         const Endpoint& client);
 
+  /// The pipeline's zero-reparse path: answers from a QueryView decoded
+  /// once at receive(), completing the EDNS walk in place. Never
+  /// re-parses the header or question; a mangled record tail degrades to
+  /// the FORMERR salvage answer. Always produces response bytes.
+  std::vector<std::uint8_t> respond_view(std::span<const std::uint8_t> wire,
+                                         dns::QueryView& view, const Endpoint& client);
+
   void set_mapping_hook(MappingHook hook) { mapping_hook_ = std::move(hook); }
   void set_referral_push_hook(ReferralPushHook hook) { push_hook_ = std::move(hook); }
 
@@ -91,6 +99,13 @@ class Responder {
   /// rcode for the header.
   dns::Rcode resolve(const dns::Question& question, const Endpoint& client,
                      const std::optional<dns::ClientSubnet>& ecs, dns::Message& response);
+
+  /// Shared core behind respond() and respond_view(): operates on the
+  /// pre-extracted header/question/EDNS pieces so neither entry point
+  /// ever re-decodes. `question` may be null (empty question section).
+  dns::Message respond_core(const dns::Header& query_header, std::size_t question_count,
+                            const dns::Question* question,
+                            const std::optional<dns::Edns>& edns, const Endpoint& client);
 
   const zone::ZoneStore& store_;
   ResponderConfig config_;

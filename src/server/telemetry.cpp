@@ -1,0 +1,37 @@
+#include "server/telemetry.hpp"
+
+namespace akadns::server {
+
+std::string_view to_string(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::Receive: return "receive";
+    case Stage::Parse: return "parse";
+    case Stage::Score: return "score";
+    case Stage::Resolve: return "resolve";
+    case Stage::kCount: break;
+  }
+  return "unknown";
+}
+
+void DatapathTelemetry::merge(const DatapathTelemetry& other) {
+  for (std::size_t i = 0; i < kStageCount; ++i) stages_[i].merge(other.stages_[i]);
+  queue_wait_.merge(other.queue_wait_);
+}
+
+std::string DatapathTelemetry::render() const {
+  std::string out;
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const auto s = static_cast<Stage>(i);
+    out += "  ";
+    out += to_string(s);
+    out += " (ns): ";
+    out += stages_[i].summary();
+    out += "\n";
+  }
+  out += "  queue-wait (sim us): ";
+  out += queue_wait_.summary();
+  out += "\n";
+  return out;
+}
+
+}  // namespace akadns::server

@@ -1,0 +1,55 @@
+// Per-stage datapath telemetry (the nameserver side of the Figure 5
+// Data Collection feed).
+//
+// Each stage of the receive/process pipeline wraps itself in a
+// StageTimer; the recorders keep wall-clock cost distributions per stage
+// so "where does a query's budget go" is answerable per machine and,
+// merged through control/reporting, per fleet. Queue wait is recorded in
+// *simulated* microseconds (arrival → dequeue), since it is governed by
+// the simulation clock rather than host speed.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "common/stage_stats.hpp"
+
+namespace akadns::server {
+
+enum class Stage : std::uint8_t {
+  Receive,  // whole admission path (firewall + parse + score + enqueue)
+  Parse,    // one-pass QueryView decode
+  Score,    // filter pipeline
+  Resolve,  // responder: zone lookup + response encode
+  kCount,
+};
+
+inline constexpr std::size_t kStageCount = static_cast<std::size_t>(Stage::kCount);
+
+std::string_view to_string(Stage stage) noexcept;
+
+class DatapathTelemetry {
+ public:
+  LatencyRecorder& stage(Stage s) noexcept {
+    return stages_[static_cast<std::size_t>(s)];
+  }
+  const LatencyRecorder& stage(Stage s) const noexcept {
+    return stages_[static_cast<std::size_t>(s)];
+  }
+
+  /// Simulated microseconds spent queued (arrival → dequeue).
+  LatencyRecorder& queue_wait() noexcept { return queue_wait_; }
+  const LatencyRecorder& queue_wait() const noexcept { return queue_wait_; }
+
+  void merge(const DatapathTelemetry& other);
+
+  /// Multi-line "stage: count/mean/p50/p99" rendering for reports.
+  std::string render() const;
+
+ private:
+  std::array<LatencyRecorder, kStageCount> stages_;
+  LatencyRecorder queue_wait_;
+};
+
+}  // namespace akadns::server

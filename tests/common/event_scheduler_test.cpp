@@ -117,6 +117,37 @@ TEST(EventScheduler, CancelledEventBeforeDeadlineIsSkipped) {
   EXPECT_TRUE(sched.empty());
 }
 
+// Regression: cancelling an id that already fired must return false and
+// must not disturb the pending() count. The old implementation tracked
+// cancellations as permanent tombstones subtracted from the queue size,
+// so a post-fire cancel() made pending() under-count forever (and a
+// later schedule/cancel cycle could report empty() with live events).
+TEST(EventScheduler, CancelAfterFireIsRejectedAndKeepsCountExact) {
+  EventScheduler sched;
+  bool late_fired = false;
+  const auto fired_id = sched.schedule_at(SimTime::from_nanos(10), [] {});
+  sched.schedule_at(SimTime::from_nanos(20), [&] { late_fired = true; });
+  EXPECT_EQ(sched.run_steps(1), 1u);  // fires fired_id only
+  EXPECT_EQ(sched.pending(), 1u);
+
+  EXPECT_FALSE(sched.cancel(fired_id));  // already fired: must be a no-op
+  EXPECT_EQ(sched.pending(), 1u);        // count undamaged
+  EXPECT_FALSE(sched.empty());
+
+  // A cancel inside a callback targeting the running event is also a fired-id
+  // cancel and must not corrupt the count.
+  EventScheduler::EventId self_id = 0;
+  sched.schedule_at(SimTime::from_nanos(30), [&] {
+    EXPECT_FALSE(sched.cancel(self_id));
+    EXPECT_EQ(sched.pending(), 0u);
+  });
+  self_id = sched.schedule_at(SimTime::from_nanos(25), [] {});
+  sched.run();
+  EXPECT_TRUE(late_fired);
+  EXPECT_TRUE(sched.empty());
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
 TEST(Duration, ArithmeticAndConversions) {
   EXPECT_EQ(Duration::seconds(1).count_nanos(), 1'000'000'000);
   EXPECT_EQ(Duration::millis(1500).to_seconds(), 1.5);

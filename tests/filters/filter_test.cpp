@@ -25,12 +25,16 @@ class FixedFilter : public Filter {
   double penalty_;
 };
 
+// QueryContext references its question; a static keeps it alive.
+const dns::Question& fixed_question() {
+  static const dns::Question q{dns::DnsName::from("x.example.com"), dns::RecordType::A,
+                               dns::RecordClass::IN};
+  return q;
+}
+
 QueryContext ctx() {
-  QueryContext c;
-  c.source = Endpoint{*IpAddr::parse("10.0.0.1"), 5353};
-  c.question = dns::Question{dns::DnsName::from("x.example.com"), dns::RecordType::A,
-                             dns::RecordClass::IN};
-  return c;
+  return QueryContext{Endpoint{*IpAddr::parse("10.0.0.1"), 5353}, 64, fixed_question(),
+                      SimTime()};
 }
 
 TEST(ScoringEngine, SumsFilterPenalties) {

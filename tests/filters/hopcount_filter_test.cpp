@@ -5,13 +5,15 @@
 namespace akadns::filters {
 namespace {
 
+// QueryContext references its question; a static keeps it alive.
+const dns::Question& fixed_question() {
+  static const dns::Question q{dns::DnsName::from("q.example.com"), dns::RecordType::A,
+                               dns::RecordClass::IN};
+  return q;
+}
+
 QueryContext make_ctx(const char* ip, std::uint8_t ttl) {
-  QueryContext c;
-  c.source = Endpoint{*IpAddr::parse(ip), 5353};
-  c.ip_ttl = ttl;
-  c.question = dns::Question{dns::DnsName::from("q.example.com"), dns::RecordType::A,
-                             dns::RecordClass::IN};
-  return c;
+  return QueryContext{Endpoint{*IpAddr::parse(ip), 5353}, ttl, fixed_question(), SimTime()};
 }
 
 TEST(HopCountFilter, UnknownSourcePasses) {

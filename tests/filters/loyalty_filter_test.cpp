@@ -5,13 +5,15 @@
 namespace akadns::filters {
 namespace {
 
+// QueryContext references its question; a static keeps it alive.
+const dns::Question& fixed_question() {
+  static const dns::Question q{dns::DnsName::from("q.example.com"), dns::RecordType::A,
+                               dns::RecordClass::IN};
+  return q;
+}
+
 QueryContext make_ctx(const char* ip, SimTime now) {
-  QueryContext c;
-  c.source = Endpoint{*IpAddr::parse(ip), 5353};
-  c.question = dns::Question{dns::DnsName::from("q.example.com"), dns::RecordType::A,
-                             dns::RecordClass::IN};
-  c.now = now;
-  return c;
+  return QueryContext{Endpoint{*IpAddr::parse(ip), 5353}, 64, fixed_question(), now};
 }
 
 TEST(LoyaltyFilter, PreTrainedSourceIsLoyal) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+
 #include "zone/zone_builder.hpp"
 #include "zone/zone_store.hpp"
 
@@ -46,12 +48,14 @@ struct Fixture {
         });
   }
 
+  // QueryContext references its question; the deque gives each one
+  // stable storage for the fixture's lifetime.
+  std::deque<dns::Question> questions;
+
   QueryContext ctx(const char* qname, SimTime now) {
-    QueryContext c;
-    c.source = Endpoint{*IpAddr::parse("10.9.9.9"), 5353};
-    c.question = dns::Question{DnsName::from(qname), dns::RecordType::A, dns::RecordClass::IN};
-    c.now = now;
-    return c;
+    questions.push_back(
+        dns::Question{DnsName::from(qname), dns::RecordType::A, dns::RecordClass::IN});
+    return QueryContext{Endpoint{*IpAddr::parse("10.9.9.9"), 5353}, 64, questions.back(), now};
   }
 };
 

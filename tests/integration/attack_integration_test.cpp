@@ -133,7 +133,7 @@ TEST(AttackIntegration, UnfilteredPlatformAnswersEverything) {
   const double goodput = unfiltered.run_attack(50, 400, 4);
   EXPECT_GT(goodput, 0.95);
   const auto& stats = unfiltered.platform.pop_at(0).machine(0).nameserver().stats();
-  EXPECT_EQ(stats.discarded_by_score, 0u);
+  EXPECT_EQ(stats.discarded_by_score(), 0u);
   // The responder emitted a large number of NXDOMAINs.
   EXPECT_GT(unfiltered.platform.pop_at(0).machine(0).nameserver().responder().stats().nxdomain,
             1000u);
@@ -145,7 +145,7 @@ TEST(AttackIntegration, FilteredPlatformDiscardsAttackQueries) {
   const auto& stats = filtered.platform.pop_at(0).machine(0).nameserver().stats();
   // Once armed, attack queries score nxdomain(250) >= S_max (200) and
   // are discarded outright.
-  EXPECT_GT(stats.discarded_by_score, 300u);
+  EXPECT_GT(stats.discarded_by_score(), 300u);
 }
 
 }  // namespace

@@ -17,14 +17,15 @@
 namespace akadns::filters {
 namespace {
 
-QueryContext make_ctx(const IpAddr& source, std::uint8_t ttl, SimTime now) {
-  QueryContext ctx;
-  ctx.source = Endpoint{source, 5353};
-  ctx.ip_ttl = ttl;
-  ctx.question = dns::Question{dns::DnsName::from("q.prop.example"), dns::RecordType::A,
+// QueryContext references its question; a static keeps it alive.
+const dns::Question& fixed_question() {
+  static const dns::Question q{dns::DnsName::from("q.prop.example"), dns::RecordType::A,
                                dns::RecordClass::IN};
-  ctx.now = now;
-  return ctx;
+  return q;
+}
+
+QueryContext make_ctx(const IpAddr& source, std::uint8_t ttl, SimTime now) {
+  return QueryContext{Endpoint{source, 5353}, ttl, fixed_question(), now};
 }
 
 class RateLimitConformance

@@ -1,0 +1,206 @@
+// The QueryContext pipeline: malformed wires die at receive() with a
+// Malformed drop (never crash, never enqueue), the buffer pool recycles
+// packet storage, per-stage telemetry records every packet, and the
+// drop taxonomy keeps the conservation invariant
+//   packets_received == responses_sent + drops.total() + pending.
+#include <gtest/gtest.h>
+
+#include "dns/wire.hpp"
+#include "server/nameserver.hpp"
+#include "zone/zone_builder.hpp"
+
+namespace akadns::server {
+namespace {
+
+using dns::DnsName;
+using dns::RecordType;
+
+struct Fixture {
+  zone::ZoneStore store;
+  std::vector<std::pair<Endpoint, std::vector<std::uint8_t>>> responses;
+  Endpoint client{*IpAddr::parse("198.51.100.1"), 4242};
+
+  Fixture() {
+    store.publish(zone::ZoneBuilder("example.com", 1)
+                      .ns("@", "ns1.example.com")
+                      .a("ns1", "10.0.0.1")
+                      .a("www", "93.184.216.34")
+                      .build());
+  }
+
+  Nameserver make(NameserverConfig config = {}) {
+    Nameserver ns(std::move(config), store);
+    ns.set_response_sink([this](const Endpoint& dst, std::vector<std::uint8_t> wire) {
+      responses.emplace_back(dst, std::move(wire));
+    });
+    return ns;
+  }
+
+  std::vector<std::uint8_t> query_wire(const char* name, std::uint16_t id = 1) {
+    return dns::encode(dns::make_query(id, DnsName::from(name), RecordType::A));
+  }
+
+  static std::uint64_t conservation_gap(const Nameserver& ns) {
+    const auto& s = ns.stats();
+    return s.packets_received - (s.responses_sent + s.drops.total() + ns.pending());
+  }
+};
+
+/// A 12-byte header claiming one question, followed by `question_bytes`.
+std::vector<std::uint8_t> header_plus(std::vector<std::uint8_t> question_bytes) {
+  std::vector<std::uint8_t> wire = {0x12, 0x34, 0x00, 0x00, 0x00, 0x01,
+                                    0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+  wire.insert(wire.end(), question_bytes.begin(), question_bytes.end());
+  return wire;
+}
+
+TEST(Datapath, TruncatedHeaderDropsAsMalformed) {
+  Fixture f;
+  auto ns = f.make();
+  ns.receive(std::vector<std::uint8_t>{1, 2, 3}, f.client, 57, SimTime::origin());
+  EXPECT_EQ(ns.stats().drops[DropReason::Malformed], 1u);
+  EXPECT_EQ(ns.pending(), 0u);
+  ns.process(SimTime::origin());
+  EXPECT_TRUE(f.responses.empty());
+  EXPECT_EQ(Fixture::conservation_gap(ns), 0u);
+}
+
+TEST(Datapath, TruncatedQuestionDropsAsMalformed) {
+  Fixture f;
+  auto ns = f.make();
+  // Name starts with a 5-byte label but the wire ends after 3 bytes.
+  ns.receive(header_plus({5, 'w', 'w'}), f.client, 57, SimTime::origin());
+  EXPECT_EQ(ns.stats().drops[DropReason::Malformed], 1u);
+  EXPECT_EQ(ns.pending(), 0u);
+  EXPECT_EQ(Fixture::conservation_gap(ns), 0u);
+}
+
+TEST(Datapath, CompressionPointerLoopsDropAsMalformed) {
+  Fixture f;
+  auto ns = f.make();
+  // Self-pointing name at offset 12 (0xC00C -> 12).
+  ns.receive(header_plus({0xC0, 0x0C, 0x00, 0x01, 0x00, 0x01}), f.client, 57,
+             SimTime::origin());
+  // Two-pointer cycle: offset 12 -> 14 -> 12.
+  ns.receive(header_plus({0xC0, 0x0E, 0xC0, 0x0C, 0x00, 0x01, 0x00, 0x01}), f.client, 57,
+             SimTime::origin());
+  EXPECT_EQ(ns.stats().drops[DropReason::Malformed], 2u);
+  EXPECT_EQ(ns.pending(), 0u);
+  ns.process(SimTime::origin());
+  EXPECT_TRUE(f.responses.empty());
+  EXPECT_EQ(Fixture::conservation_gap(ns), 0u);
+}
+
+TEST(Datapath, BufferPoolRecyclesPacketStorage) {
+  Fixture f;
+  auto ns = f.make();
+  auto t = SimTime::origin();
+  for (int i = 0; i < 10; ++i) {
+    ns.receive(f.query_wire("www.example.com"), f.client, 57, t);
+    ns.process(t);
+    t += Duration::millis(1);
+  }
+  const auto& pool = ns.pool().stats();
+  EXPECT_EQ(pool.acquired, 10u);
+  // The first lease allocates; every later one reuses the returned buffer.
+  EXPECT_EQ(pool.allocated, 1u);
+  EXPECT_EQ(pool.reused, 9u);
+  EXPECT_EQ(f.responses.size(), 10u);
+}
+
+TEST(Datapath, TelemetryRecordsEveryStage) {
+  Fixture f;
+  auto ns = f.make();
+  const auto t = SimTime::origin();
+  ns.receive(f.query_wire("www.example.com"), f.client, 57, t);
+  ns.receive(std::vector<std::uint8_t>{1, 2, 3}, f.client, 57, t);  // malformed
+  ns.process(t + Duration::micros(250));
+  const auto& tele = ns.telemetry();
+  EXPECT_EQ(tele.stage(Stage::Receive).count(), 2u);  // every packet
+  EXPECT_EQ(tele.stage(Stage::Parse).count(), 2u);    // both attempted the decode
+  EXPECT_EQ(tele.stage(Stage::Score).count(), 1u);    // malformed never scored
+  EXPECT_EQ(tele.stage(Stage::Resolve).count(), 1u);
+  EXPECT_EQ(tele.queue_wait().count(), 1u);
+  // Queue wait is recorded in simulated microseconds.
+  EXPECT_NEAR(tele.queue_wait().moments().mean(), 250.0, 1e-6);
+  EXPECT_FALSE(tele.render().empty());
+}
+
+TEST(Datapath, RestartFlushAccountsQueuedQueries) {
+  Fixture f;
+  auto ns = f.make();
+  ns.set_crash_predicate([](const dns::Question& q) {
+    return q.name == DnsName::from("death.example.com");
+  });
+  const auto t = SimTime::origin();
+  ns.receive(f.query_wire("death.example.com"), f.client, 57, t);
+  ns.receive(f.query_wire("www.example.com", 2), f.client, 57, t);
+  ns.receive(f.query_wire("www.example.com", 3), f.client, 57, t);
+  ns.process(t);  // first query kills the instance
+  EXPECT_EQ(ns.state(), ServerState::Crashed);
+  EXPECT_EQ(ns.stats().drops[DropReason::QueryOfDeath], 1u);
+  EXPECT_EQ(ns.pending(), 2u);
+  EXPECT_EQ(Fixture::conservation_gap(ns), 0u);
+
+  ns.restart(t + Duration::seconds(1));
+  EXPECT_EQ(ns.stats().drops[DropReason::RestartFlush], 2u);
+  EXPECT_EQ(ns.pending(), 0u);
+  EXPECT_EQ(Fixture::conservation_gap(ns), 0u);
+}
+
+TEST(Datapath, EveryReceiveSideDropKeepsConservation) {
+  Fixture f;
+  // Small I/O burst (100 qps -> 5 tokens) and a one-slot queue so every
+  // overload path triggers within a handful of packets.
+  NameserverConfig config;
+  config.io_capacity_qps = 100.0;
+  config.queue_config.queue_capacity = 1;
+  config.queue_config.discard_score = 50.0;
+  auto ns = f.make(std::move(config));
+  ns.scoring().add_filter([] {
+    class Hostile : public filters::Filter {
+     public:
+      std::string_view name() const noexcept override { return "hostile"; }
+      double score(const filters::QueryContext& ctx) override {
+        return ctx.question.name.labels().front() == "evil" ? 100.0 : 0.0;
+      }
+    };
+    return std::make_unique<Hostile>();
+  }());
+
+  const auto t = SimTime::origin();
+  ns.firewall().install(
+      dns::Question{DnsName::from("blocked.example.com"), RecordType::A,
+                    dns::RecordClass::IN},
+      t, Duration::minutes(5));
+
+  ns.receive(f.query_wire("blocked.example.com"), f.client, 57, t);      // firewall
+  ns.receive(f.query_wire("evil.example.com", 2), f.client, 57, t);      // score discard
+  ns.receive(f.query_wire("www.example.com", 3), f.client, 57, t);      // enqueued
+  ns.receive(f.query_wire("www.example.com", 4), f.client, 57, t);      // queue full
+  ns.receive(std::vector<std::uint8_t>{9}, f.client, 57, t);            // malformed
+  ns.receive(f.query_wire("www.example.com", 5), f.client, 57,
+             t + Duration::millis(1));                                   // io overload
+  ns.self_suspend();
+  ns.receive(f.query_wire("www.example.com", 6), f.client, 57, t);      // not running
+  ns.resume();
+
+  const auto& s = ns.stats();
+  EXPECT_EQ(s.drops[DropReason::Firewall], 1u);
+  EXPECT_EQ(s.drops[DropReason::ScoreDiscard], 1u);
+  EXPECT_EQ(s.drops[DropReason::QueueFull], 1u);
+  EXPECT_EQ(s.drops[DropReason::Malformed], 1u);
+  EXPECT_EQ(s.drops[DropReason::IoOverload], 1u);
+  EXPECT_EQ(s.drops[DropReason::NotRunning], 1u);
+  EXPECT_EQ(s.packets_received, 7u);
+  EXPECT_EQ(ns.pending(), 1u);
+  EXPECT_EQ(Fixture::conservation_gap(ns), 0u);
+
+  ns.process(t + Duration::seconds(1));
+  EXPECT_EQ(s.responses_sent, 1u);
+  EXPECT_EQ(ns.pending(), 0u);
+  EXPECT_EQ(Fixture::conservation_gap(ns), 0u);
+}
+
+}  // namespace
+}  // namespace akadns::server

@@ -61,8 +61,9 @@ TEST(Nameserver, MalformedPacketStillCounted) {
   auto ns = f.make();
   const std::vector<std::uint8_t> garbage{1, 2, 3};
   ns.receive(garbage, f.client, 57, SimTime::origin());
-  EXPECT_EQ(ns.stats().malformed, 1u);
-  // Enqueued (score 0) but produces no response.
+  EXPECT_EQ(ns.stats().malformed(), 1u);
+  // Dropped at receive(): never enqueued, never answered.
+  EXPECT_EQ(ns.pending(), 0u);
   ns.process(SimTime::origin());
   EXPECT_TRUE(f.responses.empty());
 }
@@ -98,7 +99,7 @@ TEST(Nameserver, IoCapacityDropsBelowApplication) {
   for (int i = 0; i < 1000; ++i) {
     ns.receive(f.query_wire("www.example.com", static_cast<std::uint16_t>(i)), f.client, 57, t);
   }
-  EXPECT_GT(ns.stats().dropped_io, 0u);
+  EXPECT_GT(ns.stats().dropped_io(), 0u);
   EXPECT_LT(ns.pending(), 1000u);
 }
 
@@ -124,7 +125,7 @@ TEST(Nameserver, QodCrashesAndTrapInstallsFirewallRule) {
   ns.restart(t);
   EXPECT_TRUE(ns.running());
   ns.receive(f.query_wire("death.example.com"), f.client, 57, t);
-  EXPECT_EQ(ns.stats().dropped_firewall, 1u);
+  EXPECT_EQ(ns.stats().dropped_firewall(), 1u);
   EXPECT_EQ(ns.process(t), 0u);
   EXPECT_TRUE(ns.running());  // survived
 
@@ -186,7 +187,7 @@ TEST(Nameserver, SelfSuspendStopsServing) {
   ns.self_suspend();
   EXPECT_EQ(ns.state(), ServerState::SelfSuspended);
   ns.receive(f.query_wire("www.example.com"), f.client, 57, t);
-  EXPECT_EQ(ns.stats().dropped_not_running, 1u);
+  EXPECT_EQ(ns.stats().dropped_not_running(), 1u);
   EXPECT_EQ(ns.process(t), 0u);
   ns.resume();
   EXPECT_TRUE(ns.running());
@@ -250,7 +251,7 @@ TEST(Nameserver, ScoringDiscardsDefinitivelyMalicious) {
   const auto t = SimTime::origin();
   ns.receive(f.query_wire("bad.example.com"), f.client, 57, t);
   ns.receive(f.query_wire("www.example.com"), f.client, 57, t);
-  EXPECT_EQ(ns.stats().discarded_by_score, 1u);
+  EXPECT_EQ(ns.stats().discarded_by_score(), 1u);
   EXPECT_EQ(ns.stats().queries_enqueued, 1u);
   ns.process(t);
   EXPECT_EQ(f.responses.size(), 1u);
