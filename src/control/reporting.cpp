@@ -17,12 +17,22 @@ std::string DatapathReport::render() const {
     out += to_string(reason);
     out += ": " + std::to_string(drops[reason]) + "\n";
   }
+  out += "  answers: compiled=" + std::to_string(compiled_answers) +
+         " cached=" + std::to_string(cache_hits) +
+         " interpreted=" + std::to_string(interpreted_answers) + " (cache hit rate " +
+         std::to_string(cache_hit_rate() * 100.0) + "%" +
+         (cache_evictions ? ", evictions=" + std::to_string(cache_evictions) : "") +
+         (cache_invalidations ? ", invalidations=" + std::to_string(cache_invalidations) : "") +
+         ")\n";
+  out += "  publish: compiles=" + std::to_string(zone_compiles) +
+         " compile_time=" + std::to_string(zone_compile_micros) + "us\n";
   out += telemetry.render();
   return out;
 }
 
 DatapathReport collect_datapath(const std::vector<pop::Machine*>& fleet) {
   DatapathReport report;
+  std::vector<const zone::ZoneStore*> seen_stores;  // shared stores count once
   for (const auto* machine : fleet) {
     const auto& ns = machine->nameserver().stats();
     // NIC-level losses never reach the nameserver, so the machine's
@@ -34,6 +44,19 @@ DatapathReport collect_datapath(const std::vector<pop::Machine*>& fleet) {
     report.drops.merge(ns.drops);
     report.drops.merge(machine->stats().drops);
     report.telemetry.merge(machine->nameserver().telemetry());
+
+    const auto& responder = machine->nameserver().responder();
+    report.compiled_answers += responder.stats().compiled_answers;
+    report.cache_hits += responder.stats().cache_hits;
+    report.interpreted_answers += responder.stats().interpreted_answers;
+    report.cache_evictions += responder.answer_cache().stats().evictions;
+    report.cache_invalidations += responder.answer_cache().stats().invalidations;
+    const zone::ZoneStore* store = &machine->zone_store();
+    if (std::find(seen_stores.begin(), seen_stores.end(), store) == seen_stores.end()) {
+      seen_stores.push_back(store);
+      report.zone_compiles += store->compile_stats().compiles;
+      report.zone_compile_micros += store->compile_stats().total_micros;
+    }
   }
   return report;
 }

@@ -35,6 +35,24 @@ struct DatapathReport {
   DropCounters drops;
   server::DatapathTelemetry telemetry;
 
+  // Compiled-snapshot datapath: how responses were produced (fragments /
+  // answer-cache replay / interpreted Message encoder) and what the
+  // publish-time compilation cost — the compile-once/serve-many split the
+  // NOCC watches to confirm the fast path is actually carrying traffic.
+  std::uint64_t compiled_answers = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t interpreted_answers = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_invalidations = 0;
+  std::uint64_t zone_compiles = 0;
+  std::uint64_t zone_compile_micros = 0;
+
+  /// Fraction of fast-path responses served straight from the cache.
+  double cache_hit_rate() const noexcept {
+    const std::uint64_t fast = cache_hits + compiled_answers;
+    return fast ? static_cast<double>(cache_hits) / static_cast<double>(fast) : 0.0;
+  }
+
   /// Packets with a known fate.
   std::uint64_t accounted() const noexcept {
     return responses_sent + drops.total() + pending;

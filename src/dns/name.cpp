@@ -1,5 +1,6 @@
 #include "dns/name.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/strings.hpp"
@@ -100,6 +101,25 @@ std::size_t DnsName::common_suffix_labels(const DnsName& other) const noexcept {
     ++it_b;
   }
   return count;
+}
+
+bool DnsName::equals_tail_of(const DnsName& other, std::size_t n) const noexcept {
+  if (labels_.size() != n || other.labels_.size() < n) return false;
+  return std::equal(labels_.rbegin(), labels_.rend(), other.labels_.rbegin());
+}
+
+std::uint64_t DnsName::suffix_hash_extend(std::uint64_t h, std::string_view label) noexcept {
+  h ^= fnv1a(label);
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+std::uint64_t DnsName::suffix_hash() const noexcept {
+  std::uint64_t h = kSuffixHashSeed;
+  for (auto it = labels_.rbegin(); it != labels_.rend(); ++it) {
+    h = suffix_hash_extend(h, *it);
+  }
+  return h;
 }
 
 DnsName DnsName::suffix(std::size_t n) const {

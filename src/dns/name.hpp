@@ -61,6 +61,25 @@ class DnsName {
   /// The trailing `n` labels as a name (n >= label_count() returns *this).
   DnsName suffix(std::size_t n) const;
 
+  /// True if this name equals the trailing `n` labels of `other` — the
+  /// allocation-free form of `*this == other.suffix(n)`.
+  bool equals_tail_of(const DnsName& other, std::size_t n) const noexcept;
+
+  // -- incremental suffix hashing -------------------------------------------
+  //
+  // A right-to-left fold over the labels: the hash of a name's trailing
+  // n+1 labels derives from the trailing-n hash and one more label, so a
+  // lookup can probe every suffix depth of a query name with a single
+  // pass and zero DnsName constructions (the compiled-zone node index and
+  // the zone store's longest-suffix match both key on this).
+  static constexpr std::uint64_t kSuffixHashSeed = 0xcbf29ce484222325ULL;
+
+  /// Folds one more label (the next one to the left) into a suffix hash.
+  static std::uint64_t suffix_hash_extend(std::uint64_t h, std::string_view label) noexcept;
+
+  /// The suffix hash of the whole name (root hashes to the seed).
+  std::uint64_t suffix_hash() const noexcept;
+
   /// Canonical DNS ordering (RFC 4034 §6.1): compare label sequences
   /// right-to-left. Used by the zone tree.
   std::strong_ordering operator<=>(const DnsName& other) const noexcept;

@@ -12,15 +12,19 @@ namespace {
 
 class Encoder {
  public:
-  explicit Encoder(bool compress) : compress_(compress) {
+  /// Writes into `out`, reusing whatever capacity it already has — the
+  /// per-query encode allocates nothing once the buffer reached working
+  /// size.
+  Encoder(std::vector<std::uint8_t>& out, bool compress)
+      : compress_(compress), out_(out), offsets_(scratch_offsets()) {
+    out_.clear();
     // One up-front reservation covers virtually every real message; the
     // hot path then appends without reallocating.
-    out_.reserve(512);
-    if (compress_) offsets_.reserve(16);
+    if (out_.capacity() < 512) out_.reserve(512);
+    offsets_.clear();
   }
 
   std::size_t size() const noexcept { return out_.size(); }
-  std::vector<std::uint8_t> take() && { return std::move(out_); }
 
   void u8(std::uint8_t v) { out_.push_back(v); }
   void u16(std::uint16_t v) {
@@ -71,6 +75,23 @@ class Encoder {
     std::erase_if(offsets_, [n](const SuffixRef& s) { return s.offset >= n; });
   }
 
+  /// Emits one precompiled record. Names (owner and any RDATA name
+  /// fields) go through name() — the same compression decisions as the
+  /// record-by-record path — and RDLENGTH is patched after the body, so
+  /// the output is byte-identical to encode_rr() on the source record.
+  void fragment(const WireFragment& f, const DnsName* owner_override) {
+    name(owner_override ? *owner_override : *f.owner);
+    bytes(f.fixed);
+    const std::size_t len_at = size();
+    u16(0);
+    const std::size_t body_at = size();
+    for (const auto& op : f.rdata) {
+      bytes(op.literal);
+      if (op.name) name(*op.name);
+    }
+    patch_u16(len_at, static_cast<std::uint16_t>(size() - body_at));
+  }
+
  private:
   /// The suffix of `*name` starting at label index `start`, written at
   /// wire offset `offset`.
@@ -101,10 +122,32 @@ class Encoder {
     return nullptr;
   }
 
+  /// The compression index is borrowed from a thread-local scratch so the
+  /// steady-state encode touches the heap zero times. Safe because every
+  /// entry point constructs exactly one Encoder and finishes with it
+  /// before returning (encoders never nest); cleared on construction.
+  static std::vector<SuffixRef>& scratch_offsets() {
+    static thread_local std::vector<SuffixRef> scratch;
+    return scratch;
+  }
+
   bool compress_;
-  std::vector<std::uint8_t> out_;
-  std::vector<SuffixRef> offsets_;
+  std::vector<std::uint8_t>& out_;
+  std::vector<SuffixRef>& offsets_;
 };
+
+/// The DNS header flags word for `h`.
+std::uint16_t header_flags(const Header& h) noexcept {
+  std::uint16_t flags = 0;
+  if (h.qr) flags |= 0x8000;
+  flags |= static_cast<std::uint16_t>(static_cast<std::uint8_t>(h.opcode) & 0xF) << 11;
+  if (h.aa) flags |= 0x0400;
+  if (h.tc) flags |= 0x0200;
+  if (h.rd) flags |= 0x0100;
+  if (h.ra) flags |= 0x0080;
+  flags |= static_cast<std::uint16_t>(h.rcode) & 0xF;
+  return flags;
+}
 
 void encode_rdata(Encoder& enc, const RData& rdata) {
   // Length placeholder, patched after the body is written.
@@ -463,25 +506,16 @@ Result<Edns> decode_opt(Decoder& dec, Header& header, std::uint16_t rclass, std:
 
 }  // namespace
 
-std::vector<std::uint8_t> encode(const Message& message, const EncodeOptions& options) {
+void encode_into(const Message& message, const EncodeOptions& options,
+                 std::vector<std::uint8_t>& out) {
   // Encode greedily; if the limit is exceeded, retry with whole trailing
   // sections removed and TC set. Section-granular truncation is simpler
   // than RRset-granular and adequate for both production behaviour
   // modelling and tests.
   for (int drop = 0; drop <= 3; ++drop) {
-    Encoder enc(options.compress);
+    Encoder enc(out, options.compress);
     Header h = message.header;
-    const bool truncating = drop > 0;
-    if (truncating) h.tc = true;
-
-    std::uint16_t flags = 0;
-    if (h.qr) flags |= 0x8000;
-    flags |= static_cast<std::uint16_t>(static_cast<std::uint8_t>(h.opcode) & 0xF) << 11;
-    if (h.aa) flags |= 0x0400;
-    if (h.tc) flags |= 0x0200;
-    if (h.rd) flags |= 0x0100;
-    if (h.ra) flags |= 0x0080;
-    flags |= static_cast<std::uint16_t>(h.rcode) & 0xF;
+    if (drop > 0) h.tc = true;
 
     const bool keep_answers = drop < 3;
     const bool keep_auth = drop < 2;
@@ -491,7 +525,7 @@ std::vector<std::uint8_t> encode(const Message& message, const EncodeOptions& op
     const std::size_t n_add = keep_additional ? message.additionals.size() : 0;
 
     enc.u16(h.id);
-    enc.u16(flags);
+    enc.u16(header_flags(h));
     enc.u16(static_cast<std::uint16_t>(message.questions.size()));
     enc.u16(static_cast<std::uint16_t>(n_ans));
     enc.u16(static_cast<std::uint16_t>(n_auth));
@@ -507,11 +541,141 @@ std::vector<std::uint8_t> encode(const Message& message, const EncodeOptions& op
     for (std::size_t i = 0; i < n_add; ++i) encode_rr(enc, message.additionals[i]);
     if (message.edns) encode_opt(enc, *message.edns, h.rcode);
 
-    if (enc.size() <= options.max_size || drop == 3) {
-      return std::move(enc).take();
-    }
+    if (enc.size() <= options.max_size || drop == 3) return;
   }
-  return {};  // unreachable
+}
+
+std::vector<std::uint8_t> encode(const Message& message, const EncodeOptions& options) {
+  std::vector<std::uint8_t> out;
+  encode_into(message, options, out);
+  return out;
+}
+
+void encode_fragments(const FragmentMessage& message, const EncodeOptions& options,
+                      std::vector<std::uint8_t>& out) {
+  const bool has_edns = message.edns && message.edns->has_value();
+  const auto span_count = [](std::span<const FragmentSpan> spans) {
+    std::size_t n = 0;
+    for (const auto& s : spans) n += s.size();
+    return n;
+  };
+  const std::size_t all_ans = span_count(message.answers);
+  const std::size_t all_auth = span_count(message.authorities);
+  const std::size_t all_add = span_count(message.additionals);
+
+  // Same whole-section truncation ladder as encode_into(): additional,
+  // then authority, then answers are dropped until the message fits.
+  for (int drop = 0; drop <= 3; ++drop) {
+    Encoder enc(out, options.compress);
+    Header h = message.header;
+    if (drop > 0) h.tc = true;
+
+    const std::size_t n_ans = drop < 3 ? all_ans : 0;
+    const std::size_t n_auth = drop < 2 ? all_auth : 0;
+    const std::size_t n_add = drop < 1 ? all_add : 0;
+
+    enc.u16(h.id);
+    enc.u16(header_flags(h));
+    enc.u16(message.question ? 1 : 0);
+    enc.u16(static_cast<std::uint16_t>(n_ans));
+    enc.u16(static_cast<std::uint16_t>(n_auth));
+    enc.u16(static_cast<std::uint16_t>(n_add + (has_edns ? 1 : 0)));
+
+    if (message.question) {
+      enc.name(message.question->name);
+      enc.u16(static_cast<std::uint16_t>(message.question->qtype));
+      enc.u16(static_cast<std::uint16_t>(message.question->qclass));
+    }
+    const auto emit = [&enc](std::span<const FragmentSpan> spans) {
+      for (const auto& s : spans) {
+        for (const auto& f : s.fragments) enc.fragment(f, s.owner_override);
+      }
+    };
+    if (n_ans) emit(message.answers);
+    if (n_auth) emit(message.authorities);
+    if (n_add) emit(message.additionals);
+    if (has_edns) encode_opt(enc, **message.edns, h.rcode);
+
+    if (enc.size() <= options.max_size || drop == 3) return;
+  }
+}
+
+WireFragment make_wire_fragment(const ResourceRecord& rr) {
+  WireFragment f;
+  f.owner = &rr.name;
+  const std::uint16_t type = static_cast<std::uint16_t>(rr.type());
+  f.fixed[0] = static_cast<std::uint8_t>(type >> 8);
+  f.fixed[1] = static_cast<std::uint8_t>(type);
+  const std::uint16_t rclass = static_cast<std::uint16_t>(rr.rclass);
+  f.fixed[2] = static_cast<std::uint8_t>(rclass >> 8);
+  f.fixed[3] = static_cast<std::uint8_t>(rclass);
+  f.set_ttl(rr.ttl);
+
+  // RDATA splits at each compressible name field, mirroring
+  // encode_rdata()'s layout exactly; everything else becomes literal
+  // bytes computed once here.
+  auto lit_u8 = [](std::vector<std::uint8_t>& v, std::uint8_t x) { v.push_back(x); };
+  auto lit_u16 = [](std::vector<std::uint8_t>& v, std::uint16_t x) {
+    v.push_back(static_cast<std::uint8_t>(x >> 8));
+    v.push_back(static_cast<std::uint8_t>(x));
+  };
+  auto lit_u32 = [&lit_u16](std::vector<std::uint8_t>& v, std::uint32_t x) {
+    lit_u16(v, static_cast<std::uint16_t>(x >> 16));
+    lit_u16(v, static_cast<std::uint16_t>(x));
+  };
+  std::visit(
+      [&](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        WireFragment::RdataOp op;
+        if constexpr (std::is_same_v<T, ARecord>) {
+          lit_u32(op.literal, r.address.value());
+        } else if constexpr (std::is_same_v<T, AaaaRecord>) {
+          const auto b = r.address.bytes();
+          op.literal.assign(b.begin(), b.end());
+        } else if constexpr (std::is_same_v<T, NsRecord>) {
+          op.name = &r.nameserver;
+        } else if constexpr (std::is_same_v<T, CnameRecord>) {
+          op.name = &r.target;
+        } else if constexpr (std::is_same_v<T, PtrRecord>) {
+          op.name = &r.target;
+        } else if constexpr (std::is_same_v<T, SoaRecord>) {
+          op.name = &r.mname;
+          f.rdata.push_back(std::move(op));
+          op = {};
+          op.name = &r.rname;
+          f.rdata.push_back(std::move(op));
+          op = {};
+          lit_u32(op.literal, r.serial);
+          lit_u32(op.literal, r.refresh);
+          lit_u32(op.literal, r.retry);
+          lit_u32(op.literal, r.expire);
+          lit_u32(op.literal, r.minimum);
+        } else if constexpr (std::is_same_v<T, TxtRecord>) {
+          for (const auto& s : r.strings) {
+            const auto chunk = s.substr(0, 255);
+            lit_u8(op.literal, static_cast<std::uint8_t>(chunk.size()));
+            op.literal.insert(op.literal.end(), chunk.begin(), chunk.end());
+          }
+        } else if constexpr (std::is_same_v<T, MxRecord>) {
+          lit_u16(op.literal, r.preference);
+          op.name = &r.exchange;
+        } else if constexpr (std::is_same_v<T, SrvRecord>) {
+          lit_u16(op.literal, r.priority);
+          lit_u16(op.literal, r.weight);
+          lit_u16(op.literal, r.port);
+          op.name = &r.target;
+        } else if constexpr (std::is_same_v<T, CaaRecord>) {
+          lit_u8(op.literal, r.flags);
+          lit_u8(op.literal, static_cast<std::uint8_t>(r.tag.size()));
+          op.literal.insert(op.literal.end(), r.tag.begin(), r.tag.end());
+          op.literal.insert(op.literal.end(), r.value.begin(), r.value.end());
+        } else {
+          op.literal.assign(r.data.begin(), r.data.end());
+        }
+        f.rdata.push_back(std::move(op));
+      },
+      rr.rdata);
+  return f;
 }
 
 Result<Message> decode(std::span<const std::uint8_t> wire) {

@@ -10,6 +10,7 @@
 // i.e. parsers must simply never crash on one).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -35,6 +36,79 @@ struct EncodeOptions {
 /// (additional, authority, answer) and the TC bit is set, matching
 /// standard server behaviour.
 std::vector<std::uint8_t> encode(const Message& message, const EncodeOptions& options = {});
+
+/// Like encode() but reuses `out`'s capacity — the per-query form for
+/// callers that hold a response scratch buffer (zero steady-state heap
+/// traffic once the buffer has grown to working size).
+void encode_into(const Message& message, const EncodeOptions& options,
+                 std::vector<std::uint8_t>& out);
+
+// ---------------------------------------------------------------------------
+// Precompiled wire fragments
+// ---------------------------------------------------------------------------
+//
+// A WireFragment is one resource record compiled at zone-publish time
+// into the pieces the encoder needs at answer time: the fixed
+// TYPE/CLASS/TTL bytes and the RDATA split into literal byte runs and
+// compressible name references. Emitting a fragment routes every name
+// through the encoder's normal compression logic, so a response stitched
+// from fragments is byte-identical to one serialized from
+// ResourceRecords — the interpreted path stays the reference
+// implementation and the compiled path is checkable against it.
+
+struct WireFragment {
+  /// Owner name (points at storage owned by the compiling zone). May be
+  /// overridden at emission for wildcard-synthesized answers.
+  const DnsName* owner = nullptr;
+  /// TYPE (2), CLASS (2), TTL (4) — written verbatim after the owner.
+  std::array<std::uint8_t, 8> fixed{};
+  /// One RDATA piece: literal bytes, then an optional compressible name.
+  struct RdataOp {
+    std::vector<std::uint8_t> literal;
+    const DnsName* name = nullptr;
+  };
+  std::vector<RdataOp> rdata;
+
+  void set_ttl(std::uint32_t ttl) noexcept {
+    fixed[4] = static_cast<std::uint8_t>(ttl >> 24);
+    fixed[5] = static_cast<std::uint8_t>(ttl >> 16);
+    fixed[6] = static_cast<std::uint8_t>(ttl >> 8);
+    fixed[7] = static_cast<std::uint8_t>(ttl);
+  }
+};
+
+/// Compiles one record. The fragment's name pointers alias `rr`'s name
+/// fields — the record must outlive the fragment.
+WireFragment make_wire_fragment(const ResourceRecord& rr);
+
+/// A run of fragments destined for one message section. When
+/// `owner_override` is set every fragment in the run is emitted with
+/// that owner instead of its stored one (RFC 4592 wildcard synthesis:
+/// the owner becomes the query name).
+struct FragmentSpan {
+  std::span<const WireFragment> fragments;
+  const DnsName* owner_override = nullptr;
+
+  std::size_t size() const noexcept { return fragments.size(); }
+};
+
+/// A response described by precompiled fragments instead of decoded
+/// ResourceRecords — the compiled-zone answer path's input to the
+/// encoder.
+struct FragmentMessage {
+  Header header;
+  const Question* question = nullptr;
+  const std::optional<Edns>* edns = nullptr;  // response EDNS, already built
+  std::span<const FragmentSpan> answers;
+  std::span<const FragmentSpan> authorities;
+  std::span<const FragmentSpan> additionals;
+};
+
+/// Serializes a fragment-described response, byte-identical to encoding
+/// the equivalent Message (same compression, same whole-section
+/// truncation with TC). Reuses `out`'s capacity.
+void encode_fragments(const FragmentMessage& message, const EncodeOptions& options,
+                      std::vector<std::uint8_t>& out);
 
 /// Parses wire bytes into a Message. All compression forms accepted.
 Result<Message> decode(std::span<const std::uint8_t> wire);

@@ -27,11 +27,12 @@ server::NameserverConfig with_id(MachineConfig& config) {
 }  // namespace
 
 Machine::Machine(MachineConfig config, const zone::ZoneStore& store)
-    : config_(std::move(config)), nameserver_(with_id(config_), store) {}
+    : config_(std::move(config)), store_(&store), nameserver_(with_id(config_), store) {}
 
 Machine::Machine(MachineConfig config)
     : config_(std::move(config)),
       owned_store_(std::make_unique<zone::ZoneStore>()),
+      store_(owned_store_.get()),
       nameserver_(with_id(config_), *owned_store_) {}
 
 void Machine::deliver(std::span<const std::uint8_t> wire, const Endpoint& source,

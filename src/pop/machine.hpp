@@ -53,6 +53,10 @@ class Machine {
   /// The private replica (nullptr for shared-store machines).
   zone::ZoneStore* local_store() noexcept { return owned_store_.get(); }
 
+  /// The store this machine serves from (owned replica or the shared
+  /// one) — the telemetry surface for publish-time compile stats.
+  const zone::ZoneStore& zone_store() const noexcept { return *store_; }
+
   const std::string& id() const noexcept { return config_.id; }
   bool input_delayed() const noexcept { return config_.input_delayed; }
 
@@ -92,6 +96,7 @@ class Machine {
  private:
   MachineConfig config_;
   std::unique_ptr<zone::ZoneStore> owned_store_;  // set before nameserver_
+  const zone::ZoneStore* store_ = nullptr;        // whichever store serves
   server::Nameserver nameserver_;
   BgpSpeaker speaker_;
   std::optional<FailureType> failure_;

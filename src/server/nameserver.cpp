@@ -104,15 +104,19 @@ bool Nameserver::process_one(SimTime now) {
     return true;
   }
 
-  std::vector<std::uint8_t> response;
   {
     StageTimer resolve_timer(telemetry_.stage(Stage::Resolve));
-    response = responder_.respond_view(item->bytes(), item->view, item->source);
+    responder_.respond_view_into(item->bytes(), item->view, item->source, now,
+                                 response_scratch_);
   }
   // Fan the outcome back to the filters (NXDOMAIN counting etc.).
-  scoring_.observe_response(item->filter_view(now), rcode_of(response));
+  scoring_.observe_response(item->filter_view(now), rcode_of(response_scratch_));
   ++stats_.responses_sent;
-  if (sink_) sink_(item->source, std::move(response));
+  if (span_sink_) {
+    span_sink_(item->source, std::span<const std::uint8_t>(response_scratch_));
+  } else if (sink_) {
+    sink_(item->source, response_scratch_);  // legacy sinks get an owned copy
+  }
   return true;
 }
 

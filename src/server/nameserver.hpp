@@ -92,6 +92,11 @@ struct NameserverStats {
 class Nameserver {
  public:
   using ResponseSink = std::function<void(const Endpoint& dst, std::vector<std::uint8_t> wire)>;
+  /// Zero-copy sink: the span aliases the nameserver's reusable response
+  /// buffer and is only valid for the duration of the call. When set it
+  /// takes precedence over the owning ResponseSink.
+  using ResponseSpanSink =
+      std::function<void(const Endpoint& dst, std::span<const std::uint8_t> wire)>;
   using CrashPredicate = std::function<bool(const dns::Question&)>;
 
   Nameserver(NameserverConfig config, const zone::ZoneStore& store);
@@ -121,6 +126,7 @@ class Nameserver {
   std::size_t pending() const noexcept { return queues_.size(); }
 
   void set_response_sink(ResponseSink sink) { sink_ = std::move(sink); }
+  void set_response_span_sink(ResponseSpanSink sink) { span_sink_ = std::move(sink); }
   void set_crash_predicate(CrashPredicate predicate) { crash_predicate_ = std::move(predicate); }
   void set_mapping_hook(MappingHook hook) { responder_.set_mapping_hook(std::move(hook)); }
 
@@ -177,6 +183,10 @@ class Nameserver {
   TokenBucket compute_bucket_;
   TokenBucket io_bucket_;
   ResponseSink sink_;
+  ResponseSpanSink span_sink_;
+  /// Reused across queries; the responder encodes into it in place, so
+  /// steady-state processing performs no per-query heap allocation.
+  std::vector<std::uint8_t> response_scratch_;
   CrashPredicate crash_predicate_;
   ServerState state_ = ServerState::Running;
   std::optional<dns::Question> last_qod_;

@@ -1,5 +1,8 @@
 #include "server/responder.hpp"
 
+#include <algorithm>
+#include <array>
+
 #include "dns/wire.hpp"
 
 namespace akadns::server {
@@ -11,23 +14,47 @@ using dns::Question;
 using dns::Rcode;
 using dns::RecordType;
 
+namespace {
+
+/// Fast-path bound on CNAME chain pins (stack arrays of zone snapshots
+/// and answer spans). Configs chasing deeper fall back to the
+/// interpreted path.
+constexpr std::size_t kMaxChainPins = 16;
+
+}  // namespace
+
 Responder::Responder(const zone::ZoneStore& store, ResponderConfig config)
-    : store_(store), config_(config) {}
+    : store_(store), config_(config), cache_(config.answer_cache_entries) {}
+
+void Responder::count_rcode(Rcode rcode) noexcept {
+  switch (rcode) {
+    case Rcode::NoError: ++stats_.noerror; break;
+    case Rcode::NxDomain: ++stats_.nxdomain; break;
+    case Rcode::Refused: ++stats_.refused; break;
+    case Rcode::ServFail: ++stats_.servfail; break;
+    default: break;
+  }
+}
 
 Rcode Responder::resolve(const Question& question, const Endpoint& client,
-                         const std::optional<dns::ClientSubnet>& ecs, Message& response) {
+                         const std::optional<dns::ClientSubnet>& ecs, Message& response,
+                         const std::optional<MappedAnswer>* mapped_state) {
   // 1. Mapping Intelligence hook: dynamic answers (CDN/GTM) win over
-  //    static zone data for the names the mapping system owns.
-  if (mapping_hook_) {
-    if (auto mapped = mapping_hook_(question, client, ecs)) {
-      response.answers.insert(response.answers.end(), mapped->answers.begin(),
-                              mapped->answers.end());
-      if (response.edns && response.edns->client_subnet) {
-        response.edns->client_subnet->scope_prefix_len = mapped->ecs_scope_prefix_len;
-      }
-      ++stats_.mapped_answers;
-      return Rcode::NoError;
+  //    static zone data for the names the mapping system owns. A caller
+  //    that already consulted the hook passes the outcome in so the hook
+  //    runs exactly once per query.
+  const std::optional<MappedAnswer> mapped_local =
+      (mapped_state == nullptr && mapping_hook_) ? mapping_hook_(question, client, ecs)
+                                                 : std::nullopt;
+  const std::optional<MappedAnswer>& mapped = mapped_state ? *mapped_state : mapped_local;
+  if (mapped) {
+    response.answers.insert(response.answers.end(), mapped->answers.begin(),
+                            mapped->answers.end());
+    if (response.edns && response.edns->client_subnet) {
+      response.edns->client_subnet->scope_prefix_len = mapped->ecs_scope_prefix_len;
     }
+    ++stats_.mapped_answers;
+    return Rcode::NoError;
   }
 
   DnsName qname = question.name;
@@ -102,8 +129,8 @@ Rcode Responder::resolve(const Question& question, const Endpoint& client,
 
 Message Responder::respond_core(const dns::Header& query_header, std::size_t question_count,
                                 const Question* question,
-                                const std::optional<dns::Edns>& edns,
-                                const Endpoint& client) {
+                                const std::optional<dns::Edns>& edns, const Endpoint& client,
+                                const std::optional<MappedAnswer>* mapped_state) {
   ++stats_.responses;
   // Only standard queries with exactly one question are served; this is
   // what production authoritatives do for the protocol subset we model.
@@ -119,18 +146,145 @@ Message Responder::respond_core(const dns::Header& query_header, std::size_t que
   Message response =
       dns::make_response(query_header, question, edns, Rcode::NoError, /*authoritative=*/true);
   const std::optional<dns::ClientSubnet> ecs = edns ? edns->client_subnet : std::nullopt;
-  const Rcode rcode = resolve(*question, client, ecs, response);
+  const Rcode rcode = resolve(*question, client, ecs, response, mapped_state);
   response.header.rcode = rcode;
-  switch (rcode) {
-    case Rcode::NoError: ++stats_.noerror; break;
-    case Rcode::NxDomain: ++stats_.nxdomain; break;
-    case Rcode::Refused: ++stats_.refused; break;
-    case Rcode::ServFail: ++stats_.servfail; break;
-    default: break;
-  }
+  count_rcode(rcode);
   if (rcode == Rcode::Refused) response.header.aa = false;
   if (response_observer_) response_observer_(*question, rcode);
   return response;
+}
+
+bool Responder::try_compiled(const Question& question, const dns::Header& query_header,
+                             const std::optional<dns::Edns>& edns, SimTime now,
+                             std::vector<std::uint8_t>& out) {
+  if (config_.max_cname_chain < 0 ||
+      static_cast<std::size_t>(config_.max_cname_chain) + 1 > kMaxChainPins) {
+    return false;
+  }
+  const std::size_t max_size = edns ? edns->udp_payload_size : config_.udp_payload_default;
+
+  // 1. Answer cache: a hit replays the finished wire (id patched) and the
+  //    stat delta its miss counted, so cached and uncached queries are
+  //    indistinguishable in every counter.
+  if (config_.enable_answer_cache) {
+    cache_.sync_generation(store_.generation());
+    if (const auto hit = cache_.lookup(question, query_header.rd, edns, now, query_header.id,
+                                       out)) {
+      ++stats_.responses;
+      ++stats_.cache_hits;
+      count_rcode(hit->rcode);
+      stats_.nodata += hit->nodata;
+      stats_.referrals += hit->referrals;
+      stats_.wildcard_answers += hit->wildcard_answers;
+      stats_.cname_chases += hit->cname_chases;
+      if (response_observer_) response_observer_(question, hit->rcode);
+      return true;
+    }
+  }
+
+  // 2. Fragment-stitched resolution: the same chase loop as resolve(),
+  //    but over CompiledZone snapshots. Each link's snapshot is pinned so
+  //    its fragments stay alive through encoding even if a concurrent
+  //    republish swaps the store.
+  std::array<zone::CompiledZonePtr, kMaxChainPins> pins;
+  std::array<dns::FragmentSpan, kMaxChainPins> answer_spans;
+  std::size_t n_answers = 0;
+  dns::FragmentSpan authority_span;
+  dns::FragmentSpan additional_span;
+  CachedStatDelta delta;
+  std::uint32_t min_ttl = UINT32_MAX;
+  bool authoritative = true;
+  bool done = false;
+  Rcode rcode = Rcode::NoError;
+
+  const DnsName* qname = &question.name;
+  for (int link = 0; !done && link <= config_.max_cname_chain; ++link) {
+    zone::CompiledZonePtr zone = store_.find_best_compiled(*qname);
+    if (!zone) {
+      if (link == 0) {
+        rcode = Rcode::Refused;  // not ours — the common attack outcome
+        authoritative = false;
+      }
+      done = true;  // mid-chain: the resolver follows the CNAME externally
+      break;
+    }
+    const zone::CompiledAnswer answer = zone->lookup(*qname, question.qtype);
+    pins[static_cast<std::size_t>(link)] = std::move(zone);
+    if (answer.wildcard_match) ++delta.wildcard_answers;
+    min_ttl = std::min(min_ttl, answer.min_ttl);
+    switch (answer.status) {
+      case zone::LookupStatus::Answer:
+        answer_spans[n_answers++] = {answer.answers,
+                                     answer.wildcard_match ? qname : nullptr};
+        done = true;
+        break;
+      case zone::LookupStatus::CnameChase:
+        ++delta.cname_chases;
+        answer_spans[n_answers++] = {answer.answers,
+                                     answer.wildcard_match ? qname : nullptr};
+        qname = answer.cname_target;
+        break;
+      case zone::LookupStatus::Referral:
+        if (push_hook_) return false;  // answer push builds Messages
+        ++delta.referrals;
+        authority_span = {answer.authority, nullptr};
+        additional_span = {answer.additional, nullptr};
+        authoritative = false;
+        done = true;
+        break;
+      case zone::LookupStatus::NoData:
+        ++delta.nodata;
+        authority_span = {answer.authority, nullptr};
+        done = true;
+        break;
+      case zone::LookupStatus::NxDomain:
+        authority_span = {answer.authority, nullptr};
+        rcode = Rcode::NxDomain;
+        done = true;
+        break;
+    }
+  }
+  if (!done) rcode = Rcode::ServFail;  // chain too long (answers kept, as interpreted)
+
+  // 3. Header + response EDNS exactly as dns::make_response builds them.
+  dns::FragmentMessage fm;
+  fm.header.id = query_header.id;
+  fm.header.qr = true;
+  fm.header.opcode = query_header.opcode;
+  fm.header.aa = authoritative;
+  fm.header.rd = query_header.rd;
+  fm.header.rcode = rcode;
+  fm.question = &question;
+  std::optional<dns::Edns> response_edns;
+  if (edns) {
+    response_edns.emplace();
+    response_edns->udp_payload_size = 4096;
+    response_edns->client_subnet = edns->client_subnet;
+  }
+  fm.edns = &response_edns;
+  fm.answers = {answer_spans.data(), n_answers};
+  fm.authorities = {&authority_span, authority_span.size() ? 1u : 0u};
+  fm.additionals = {&additional_span, additional_span.size() ? 1u : 0u};
+  dns::encode_fragments(fm, {.max_size = max_size}, out);
+
+  ++stats_.responses;
+  ++stats_.compiled_answers;
+  delta.rcode = rcode;
+  count_rcode(rcode);
+  stats_.nodata += delta.nodata;
+  stats_.referrals += delta.referrals;
+  stats_.wildcard_answers += delta.wildcard_answers;
+  stats_.cname_chases += delta.cname_chases;
+  if (response_observer_) response_observer_(question, rcode);
+
+  // 4. Cacheable: positive or negative data with a real TTL. REFUSED is
+  //    never cached (attacker-controlled keyspace) and ServFail never
+  //    either (loop protection, not data).
+  if (config_.enable_answer_cache && min_ttl != UINT32_MAX && min_ttl > 0 &&
+      (rcode == Rcode::NoError || rcode == Rcode::NxDomain)) {
+    cache_.insert(question, query_header.rd, edns, now, min_ttl, delta, out);
+  }
+  return true;
 }
 
 Message Responder::respond(const Message& query, const Endpoint& client) {
@@ -139,30 +293,65 @@ Message Responder::respond(const Message& query, const Endpoint& client) {
                       client);
 }
 
-std::vector<std::uint8_t> Responder::respond_view(std::span<const std::uint8_t> wire,
-                                                  dns::QueryView& view,
-                                                  const Endpoint& client) {
+void Responder::respond_view_into(std::span<const std::uint8_t> wire, dns::QueryView& view,
+                                  const Endpoint& client, SimTime now,
+                                  std::vector<std::uint8_t>& out) {
   if (!dns::decode_query_edns(wire, view)) {
     // Mangled record tail: the header and question already decoded, so
     // salvage a FORMERR (what the seed path did after a failed full
     // decode) without re-parsing either.
     ++stats_.responses;
     ++stats_.formerr;
-    return dns::encode(
-        dns::make_response(view.header, &view.question, std::nullopt, Rcode::FormErr, false));
+    ++stats_.interpreted_answers;
+    dns::encode_into(
+        dns::make_response(view.header, &view.question, std::nullopt, Rcode::FormErr, false),
+        {}, out);
+    return;
   }
-  const Message response =
-      respond_core(view.header, view.qdcount, &view.question, view.edns, client);
   const std::size_t max_size =
       view.edns ? view.edns->udp_payload_size : config_.udp_payload_default;
-  return dns::encode(response, {.max_size = max_size});
+
+  if (config_.enable_compiled_path && view.header.opcode == dns::Opcode::Query &&
+      view.qdcount == 1 && view.question.qclass == dns::RecordClass::IN) {
+    // The mapping hook runs before cache and zone data; a mapped answer
+    // takes the interpreted encoder (dynamic, never cached).
+    std::optional<MappedAnswer> mapped;
+    if (mapping_hook_) {
+      const std::optional<dns::ClientSubnet> ecs =
+          view.edns ? view.edns->client_subnet : std::nullopt;
+      mapped = mapping_hook_(view.question, client, ecs);
+    }
+    if (!mapped && try_compiled(view.question, view.header, view.edns, now, out)) {
+      return;
+    }
+    // Fallback (mapped answer, referral push, deep chain): interpreted
+    // path, with the hook outcome handed over so it is not re-consulted.
+    ++stats_.interpreted_answers;
+    const Message response = respond_core(view.header, view.qdcount, &view.question, view.edns,
+                                          client, &mapped);
+    dns::encode_into(response, {.max_size = max_size}, out);
+    return;
+  }
+
+  ++stats_.interpreted_answers;
+  const Message response =
+      respond_core(view.header, view.qdcount, &view.question, view.edns, client);
+  dns::encode_into(response, {.max_size = max_size}, out);
+}
+
+std::vector<std::uint8_t> Responder::respond_view(std::span<const std::uint8_t> wire,
+                                                  dns::QueryView& view, const Endpoint& client,
+                                                  SimTime now) {
+  std::vector<std::uint8_t> out;
+  respond_view_into(wire, view, client, now, out);
+  return out;
 }
 
 std::optional<std::vector<std::uint8_t>> Responder::respond_wire(
-    std::span<const std::uint8_t> wire, const Endpoint& client) {
+    std::span<const std::uint8_t> wire, const Endpoint& client, SimTime now) {
   auto view = dns::decode_query_view(wire);
   if (!view) return std::nullopt;
-  return respond_view(wire, view.value(), client);
+  return respond_view(wire, view.value(), client, now);
 }
 
 }  // namespace akadns::server

@@ -1,19 +1,32 @@
 // Authoritative response construction.
 //
-// Turns a decoded query + the zone store into a response Message:
-// answers, in-bailiwick CNAME chasing, referrals with glue, NXDOMAIN /
-// NODATA with SOA, REFUSED outside hosted zones, and the dynamic-answer
-// hook through which the Mapping Intelligence (§3.2) supplies
-// load-balanced answers for CDN/GTM hostnames (keyed on the query source
-// or its EDNS-Client-Subnet).
+// Turns a decoded query + the zone store into a response: answers,
+// in-bailiwick CNAME chasing, referrals with glue, NXDOMAIN / NODATA with
+// SOA, REFUSED outside hosted zones, and the dynamic-answer hook through
+// which the Mapping Intelligence (§3.2) supplies load-balanced answers
+// for CDN/GTM hostnames (keyed on the query source or its
+// EDNS-Client-Subnet).
+//
+// Two implementations share one contract:
+//   - the compiled path (default) resolves against the store's
+//     CompiledZone snapshots and stitches precoded wire fragments
+//     straight into the caller's buffer, consulting a per-machine answer
+//     cache first — zero heap allocations steady-state;
+//   - the interpreted path builds a dns::Message through Zone::lookup and
+//     the full encoder. It remains the reference implementation: the
+//     differential property suite asserts the two emit identical bytes,
+//     and it serves everything the fast path declines (non-Query opcodes,
+//     FORMERR, mapped answers, referral push).
 #pragma once
 
 #include <functional>
 #include <optional>
 #include <span>
 
+#include "common/sim_time.hpp"
 #include "dns/message.hpp"
 #include "dns/wire.hpp"
+#include "server/answer_cache.hpp"
 #include "zone/zone_store.hpp"
 
 namespace akadns::server {
@@ -27,7 +40,8 @@ struct MappedAnswer {
 };
 
 /// Hook consulted before static zone data for each question; returning
-/// nullopt falls through to the zone content.
+/// nullopt falls through to the zone content. Runs before the answer
+/// cache too, so mapped (GTM) answers can never be served stale.
 using MappingHook = std::function<std::optional<MappedAnswer>(
     const dns::Question& question, const Endpoint& client,
     const std::optional<dns::ClientSubnet>& ecs)>;
@@ -37,6 +51,13 @@ struct ResponderConfig {
   int max_cname_chain = 8;
   /// Answer size cap for UDP responses without EDNS.
   std::size_t udp_payload_default = 512;
+  /// Serve from CompiledZone snapshots / wire fragments (the interpreted
+  /// Message path stays available as the differential reference).
+  bool enable_compiled_path = true;
+  /// Consult the per-machine answer cache (compiled path only).
+  bool enable_answer_cache = true;
+  /// Bound on cached responses (FIFO eviction beyond this).
+  std::size_t answer_cache_entries = 4096;
 };
 
 /// §5.2 "Improvements": supplies answers to push alongside a referral so
@@ -60,26 +81,38 @@ struct ResponderStats {
   std::uint64_t cname_chases = 0;
   std::uint64_t mapped_answers = 0;
   std::uint64_t pushed_answers = 0;
+  // Datapath breakdown: every wire response is exactly one of these.
+  std::uint64_t compiled_answers = 0;     // stitched from precompiled fragments
+  std::uint64_t cache_hits = 0;           // replayed from the answer cache
+  std::uint64_t interpreted_answers = 0;  // built via the Message encoder
 };
 
 class Responder {
  public:
   explicit Responder(const zone::ZoneStore& store, ResponderConfig config = {});
 
-  /// Builds the response for a decoded query message.
+  /// Builds the response for a decoded query message (interpreted path;
+  /// the reference implementation).
   dns::Message respond(const dns::Message& query, const Endpoint& client);
 
   /// Convenience: wire in, wire out. Returns nullopt when the packet is
   /// too mangled to even answer FORMERR (no parseable header/question).
   std::optional<std::vector<std::uint8_t>> respond_wire(std::span<const std::uint8_t> wire,
-                                                        const Endpoint& client);
+                                                        const Endpoint& client,
+                                                        SimTime now = SimTime::origin());
 
   /// The pipeline's zero-reparse path: answers from a QueryView decoded
   /// once at receive(), completing the EDNS walk in place. Never
   /// re-parses the header or question; a mangled record tail degrades to
   /// the FORMERR salvage answer. Always produces response bytes.
   std::vector<std::uint8_t> respond_view(std::span<const std::uint8_t> wire,
-                                         dns::QueryView& view, const Endpoint& client);
+                                         dns::QueryView& view, const Endpoint& client,
+                                         SimTime now = SimTime::origin());
+
+  /// Like respond_view() but emits into `out` (reused capacity — the
+  /// zero-allocation per-query form the nameserver drives).
+  void respond_view_into(std::span<const std::uint8_t> wire, dns::QueryView& view,
+                         const Endpoint& client, SimTime now, std::vector<std::uint8_t>& out);
 
   void set_mapping_hook(MappingHook hook) { mapping_hook_ = std::move(hook); }
   void set_referral_push_hook(ReferralPushHook hook) { push_hook_ = std::move(hook); }
@@ -94,18 +127,36 @@ class Responder {
   const ResponderStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 
+  const AnswerCache& answer_cache() const noexcept { return cache_; }
+  AnswerCache& answer_cache() noexcept { return cache_; }
+
  private:
   /// Resolves one question into the response being assembled; returns the
-  /// rcode for the header.
+  /// rcode for the header. `mapped_state` carries a mapping-hook result
+  /// already obtained by the caller (so the hook runs exactly once per
+  /// query); when null the hook is consulted here.
   dns::Rcode resolve(const dns::Question& question, const Endpoint& client,
-                     const std::optional<dns::ClientSubnet>& ecs, dns::Message& response);
+                     const std::optional<dns::ClientSubnet>& ecs, dns::Message& response,
+                     const std::optional<MappedAnswer>* mapped_state);
 
-  /// Shared core behind respond() and respond_view(): operates on the
-  /// pre-extracted header/question/EDNS pieces so neither entry point
-  /// ever re-decodes. `question` may be null (empty question section).
+  /// Shared core behind respond() and the interpreted fallbacks: operates
+  /// on the pre-extracted header/question/EDNS pieces so neither entry
+  /// point ever re-decodes. `question` may be null (empty question
+  /// section).
   dns::Message respond_core(const dns::Header& query_header, std::size_t question_count,
                             const dns::Question* question,
-                            const std::optional<dns::Edns>& edns, const Endpoint& client);
+                            const std::optional<dns::Edns>& edns, const Endpoint& client,
+                            const std::optional<MappedAnswer>* mapped_state = nullptr);
+
+  /// Compiled fast path: cache probe, then fragment-stitched resolution.
+  /// Returns false — having emitted nothing and counted nothing — when
+  /// the query needs the interpreted path (referral push hook, CNAME
+  /// chain deeper than the fast path pins).
+  bool try_compiled(const dns::Question& question, const dns::Header& query_header,
+                    const std::optional<dns::Edns>& edns, SimTime now,
+                    std::vector<std::uint8_t>& out);
+
+  void count_rcode(dns::Rcode rcode) noexcept;
 
   const zone::ZoneStore& store_;
   ResponderConfig config_;
@@ -113,6 +164,7 @@ class Responder {
   ReferralPushHook push_hook_;
   ResponseObserver response_observer_;
   ResponderStats stats_;
+  AnswerCache cache_;
 };
 
 }  // namespace akadns::server

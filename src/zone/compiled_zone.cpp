@@ -1,0 +1,263 @@
+#include "zone/compiled_zone.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+
+namespace akadns::zone {
+
+using dns::CnameRecord;
+using dns::NsRecord;
+using dns::WireFragment;
+
+namespace {
+
+// DnsName caps wire length at 255 octets, so a name can never exceed 127
+// labels; the lookup's per-depth hash table lives on the stack.
+constexpr std::size_t kMaxDepth = 127;
+
+std::span<const WireFragment> subspan(const std::vector<WireFragment>& v,
+                                      std::uint32_t begin, std::uint32_t end) noexcept {
+  return std::span<const WireFragment>(v.data() + begin, end - begin);
+}
+
+}  // namespace
+
+CompiledZonePtr CompiledZone::compile(ZonePtr source) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto out = std::make_shared<CompiledZone>();
+  const Zone& z = *source;
+  out->source_ = std::move(source);
+  const DnsName& apex = z.apex();
+  const std::size_t apex_depth = apex.label_count();
+
+  // 1. Every existing name, with empty non-terminals materialized: each
+  //    zone name plus all its ancestors down to the apex. With ENTs
+  //    explicit, "some descendant exists" becomes "this name is in the
+  //    table", which is what lets lookup() be a pure top-down walk.
+  std::set<DnsName> name_set;
+  name_set.insert(apex);
+  for (const DnsName& name : z.all_names()) {
+    DnsName cur = name;
+    while (cur.label_count() > apex_depth) {
+      if (!name_set.insert(cur).second) break;  // ancestors already present
+      cur = cur.parent();
+    }
+  }
+
+  out->names_.assign(name_set.begin(), name_set.end());
+  std::map<DnsName, std::uint32_t> index_of;
+  for (std::uint32_t i = 0; i < out->names_.size(); ++i) index_of.emplace(out->names_[i], i);
+
+  // 2. Per-node record compilation: fragments in RecordType map order
+  //    (the interpreted iteration order), type ranges, CNAME target, and
+  //    the referral group for delegation cuts.
+  out->nodes_.reserve(out->names_.size());
+  for (std::uint32_t i = 0; i < out->names_.size(); ++i) {
+    const DnsName& name = out->names_[i];
+    Node node;
+    node.name_index = i;
+    node.depth = static_cast<std::uint16_t>(name.label_count());
+    node.ranges_begin = static_cast<std::uint32_t>(out->type_ranges_.size());
+    node.frag_begin = static_cast<std::uint32_t>(out->fragments_.size());
+    if (const auto* rrsets = z.rrsets_at(name)) {
+      for (const auto& [type, set] : *rrsets) {
+        TypeRange range;
+        range.type = type;
+        range.begin = static_cast<std::uint32_t>(out->fragments_.size());
+        range.ttl = set.ttl();
+        for (const auto& rr : set.records) out->fragments_.push_back(dns::make_wire_fragment(rr));
+        range.end = static_cast<std::uint32_t>(out->fragments_.size());
+        out->type_ranges_.push_back(range);
+        if (type == RecordType::CNAME && !set.records.empty()) {
+          node.cname_target = &std::get<CnameRecord>(set.records.front().rdata).target;
+        }
+      }
+    }
+    node.ranges_end = static_cast<std::uint32_t>(out->type_ranges_.size());
+    node.frag_end = static_cast<std::uint32_t>(out->fragments_.size());
+
+    // A non-apex NS RRset is a zone cut: precompile the whole referral
+    // (NS authority, then glue in attach_glue() order — A then AAAA per
+    // NS record, duplicates preserved).
+    const RrSet* ns = (name == apex) ? nullptr : z.find(name, RecordType::NS);
+    if (ns != nullptr && !ns->records.empty()) {
+      ReferralGroup group;
+      group.auth_begin = static_cast<std::uint32_t>(out->referral_fragments_.size());
+      std::uint32_t min_ttl = ns->ttl();
+      for (const auto& rr : ns->records) {
+        out->referral_fragments_.push_back(dns::make_wire_fragment(rr));
+      }
+      group.auth_end = static_cast<std::uint32_t>(out->referral_fragments_.size());
+      for (const auto& rr : ns->records) {
+        const auto& target = std::get<NsRecord>(rr.rdata).nameserver;
+        if (!target.is_subdomain_of(apex)) continue;
+        for (const RecordType t : {RecordType::A, RecordType::AAAA}) {
+          if (const RrSet* glue = z.find(target, t)) {
+            min_ttl = std::min(min_ttl, glue->ttl());
+            for (const auto& grr : glue->records) {
+              out->referral_fragments_.push_back(dns::make_wire_fragment(grr));
+            }
+          }
+        }
+      }
+      group.add_end = static_cast<std::uint32_t>(out->referral_fragments_.size());
+      group.min_ttl = min_ttl;
+      node.referral = static_cast<std::int32_t>(out->referral_groups_.size());
+      out->referral_groups_.push_back(group);
+    }
+    out->nodes_.push_back(node);
+  }
+
+  // 3. Wildcard links: "*.parent" hangs off its parent node so the
+  //    closest-encloser check is one indexed load.
+  for (std::uint32_t i = 0; i < out->names_.size(); ++i) {
+    const DnsName& name = out->names_[i];
+    if (name.label_count() > apex_depth && name.label(0) == "*") {
+      out->nodes_[index_of.at(name.parent())].wildcard = static_cast<std::int32_t>(i);
+    }
+  }
+
+  // 4. Negative-answer authority: the apex SOA with its TTL clamped to
+  //    negative_ttl() (RFC 2308), shared by every NXDOMAIN/NODATA.
+  if (const RrSet* soa = z.find(apex, RecordType::SOA); soa != nullptr && !soa->records.empty()) {
+    out->negative_ttl_ = z.negative_ttl();
+    WireFragment fragment = dns::make_wire_fragment(soa->records.front());
+    fragment.set_ttl(out->negative_ttl_);
+    out->negative_soa_.push_back(std::move(fragment));
+  }
+
+  // 5. Hash index over all existing names, sorted for binary search.
+  out->index_.reserve(out->names_.size());
+  for (std::uint32_t i = 0; i < out->names_.size(); ++i) {
+    out->index_.emplace_back(out->names_[i].suffix_hash(), i);
+  }
+  std::sort(out->index_.begin(), out->index_.end());
+  out->apex_node_ = index_of.at(apex);
+
+  out->compile_micros_ = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() - t0)
+          .count());
+  return out;
+}
+
+const CompiledZone::Node* CompiledZone::find_node(std::uint64_t hash, const DnsName& qname,
+                                                  std::size_t depth) const noexcept {
+  auto it = std::lower_bound(
+      index_.begin(), index_.end(), hash,
+      [](const std::pair<std::uint64_t, std::uint32_t>& entry, std::uint64_t h) {
+        return entry.first < h;
+      });
+  for (; it != index_.end() && it->first == hash; ++it) {
+    const Node& node = nodes_[it->second];
+    if (node.depth == depth && names_[node.name_index].equals_tail_of(qname, depth)) {
+      return &node;
+    }
+  }
+  return nullptr;
+}
+
+const CompiledZone::TypeRange* CompiledZone::find_range(const Node& node,
+                                                        dns::RecordType type) const noexcept {
+  for (std::uint32_t i = node.ranges_begin; i < node.ranges_end; ++i) {
+    if (type_ranges_[i].type == type) return &type_ranges_[i];
+  }
+  return nullptr;
+}
+
+CompiledAnswer CompiledZone::negative(LookupStatus status) const noexcept {
+  CompiledAnswer out;
+  out.status = status;
+  out.authority = std::span<const WireFragment>(negative_soa_);
+  out.min_ttl = negative_ttl_;
+  return out;
+}
+
+CompiledAnswer CompiledZone::lookup(const DnsName& qname, dns::RecordType qtype) const noexcept {
+  CompiledAnswer out;
+  if (!qname.is_subdomain_of(apex())) return out;  // out of bailiwick; caller guards
+  const std::size_t qn = qname.label_count();
+  const std::size_t an = apex().label_count();
+  if (qn > kMaxDepth) return negative(LookupStatus::NxDomain);  // unreachable by DnsName limits
+
+  // One right-to-left pass computes the suffix hash at every depth.
+  std::uint64_t hashes[kMaxDepth + 1];
+  std::uint64_t h = DnsName::kSuffixHashSeed;
+  for (std::size_t depth = 1; depth <= qn; ++depth) {
+    h = DnsName::suffix_hash_extend(h, qname.label(qn - depth));
+    hashes[depth] = h;
+  }
+
+  // Top-down walk from the apex. Because ENTs are materialized, the first
+  // missing depth proves the qname does not exist and the previous node
+  // is the closest encloser; a delegation cut is caught the moment the
+  // walk steps onto it (shallowest cut wins, as in the interpreted
+  // delegation-first ordering).
+  const Node* node = &nodes_[apex_node_];
+  for (std::size_t depth = an + 1; depth <= qn; ++depth) {
+    const Node* next = find_node(hashes[depth], qname, depth);
+    if (next == nullptr) {
+      if (node->wildcard >= 0) {  // wildcard at the closest encloser (RFC 4592)
+        const Node& wild = nodes_[static_cast<std::uint32_t>(node->wildcard)];
+        out.wildcard_match = true;
+        if (const TypeRange* range = find_range(wild, qtype)) {
+          out.status = LookupStatus::Answer;
+          out.answers = subspan(fragments_, range->begin, range->end);
+          out.min_ttl = range->ttl;
+          return out;
+        }
+        if (const TypeRange* range = find_range(wild, RecordType::CNAME)) {
+          out.status = LookupStatus::CnameChase;
+          out.answers = subspan(fragments_, range->begin, range->end);
+          out.cname_target = wild.cname_target;
+          out.min_ttl = range->ttl;
+          return out;
+        }
+        CompiledAnswer neg = negative(LookupStatus::NoData);
+        neg.wildcard_match = true;
+        return neg;
+      }
+      return negative(LookupStatus::NxDomain);
+    }
+    if (next->referral >= 0) {
+      const ReferralGroup& group = referral_groups_[static_cast<std::uint32_t>(next->referral)];
+      out.status = LookupStatus::Referral;
+      out.authority = subspan(referral_fragments_, group.auth_begin, group.auth_end);
+      out.additional = subspan(referral_fragments_, group.auth_end, group.add_end);
+      out.min_ttl = group.min_ttl;
+      return out;
+    }
+    node = next;
+  }
+
+  // Exact match (possibly an ENT, whose empty ranges fall through to
+  // NODATA — including for ANY, matching the interpreted path where an
+  // ENT is not a node at all).
+  if (const TypeRange* range = find_range(*node, qtype)) {
+    out.status = LookupStatus::Answer;
+    out.answers = subspan(fragments_, range->begin, range->end);
+    out.min_ttl = range->ttl;
+    return out;
+  }
+  if (qtype == RecordType::ANY && node->frag_end > node->frag_begin) {
+    out.status = LookupStatus::Answer;
+    out.answers = subspan(fragments_, node->frag_begin, node->frag_end);
+    std::uint32_t min_ttl = UINT32_MAX;
+    for (std::uint32_t i = node->ranges_begin; i < node->ranges_end; ++i) {
+      min_ttl = std::min(min_ttl, type_ranges_[i].ttl);
+    }
+    out.min_ttl = min_ttl;
+    return out;
+  }
+  if (const TypeRange* range = find_range(*node, RecordType::CNAME)) {
+    out.status = LookupStatus::CnameChase;
+    out.answers = subspan(fragments_, range->begin, range->end);
+    out.cname_target = node->cname_target;
+    out.min_ttl = range->ttl;
+    return out;
+  }
+  return negative(LookupStatus::NoData);
+}
+
+}  // namespace akadns::zone

@@ -1,0 +1,137 @@
+// Immutable answer-ready zone snapshots, compiled once per publish.
+//
+// The paper's read path is many orders of magnitude hotter than its
+// publish path: zone data changes only through whole-snapshot publishes
+// from the metadata pipeline (§3.1, §5) while each machine answers up to
+// millions of queries per second. CompiledZone exploits that asymmetry by
+// doing, at publish time, all the work the interpreted Zone::lookup redid
+// per query:
+//
+//   - every owner name (including empty non-terminals, materialized
+//     explicitly) lands in a flat node table indexed by an incremental
+//     suffix hash, so a lookup is one hash fold over the query name and
+//     O(depth) probes — no DnsName construction, no std::map walk;
+//   - each node carries its precomputed outcome metadata: delegation cut
+//     (with the referral's NS + glue fragment group), wildcard child,
+//     CNAME target, per-type RRset ranges;
+//   - every RRset is pre-encoded into dns::WireFragments, so the
+//     responder stitches answers into the encoder instead of
+//     re-serializing ResourceRecords — byte-identical to the interpreted
+//     path, which stays as the differential-testing reference.
+//
+// A CompiledZone pins its source Zone (fragments alias names owned by the
+// zone's records) and is always handed around behind shared_ptr, so
+// in-flight lookups survive a concurrent republish exactly like the
+// interpreted ZonePtr snapshots did.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dns/wire.hpp"
+#include "zone/zone.hpp"
+
+namespace akadns::zone {
+
+/// Outcome of a compiled lookup: the same LookupStatus taxonomy as the
+/// interpreted path, but sections are spans over precompiled fragments
+/// instead of freshly copied ResourceRecords.
+struct CompiledAnswer {
+  LookupStatus status = LookupStatus::NxDomain;
+  bool wildcard_match = false;
+  std::span<const dns::WireFragment> answers;
+  std::span<const dns::WireFragment> authority;
+  std::span<const dns::WireFragment> additional;
+  /// Set when status == CnameChase: the target to continue the chase at
+  /// (points into the source zone; stable for the snapshot's lifetime).
+  const dns::DnsName* cname_target = nullptr;
+  /// Minimum TTL across the emitted records — the answer cache's expiry.
+  std::uint32_t min_ttl = 0;
+};
+
+class CompiledZone;
+using CompiledZonePtr = std::shared_ptr<const CompiledZone>;
+
+class CompiledZone {
+ public:
+  /// Compiles a published snapshot. O(names × depth) once per publish.
+  static CompiledZonePtr compile(ZonePtr source);
+
+  const Zone& zone() const noexcept { return *source_; }
+  const ZonePtr& source() const noexcept { return source_; }
+  const DnsName& apex() const noexcept { return source_->apex(); }
+  std::uint32_t serial() const noexcept { return source_->serial(); }
+
+  /// Full RFC 1034 lookup against the compiled tables. Performs zero
+  /// heap allocations; agreement with Zone::lookup (status, wildcard
+  /// flag, and the wire bytes of every section) is enforced by the
+  /// differential property suite.
+  CompiledAnswer lookup(const DnsName& qname, dns::RecordType qtype) const noexcept;
+
+  // -- compile-time facts (telemetry / tests) -------------------------------
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t fragment_count() const noexcept {
+    return fragments_.size() + referral_fragments_.size() + negative_soa_.size();
+  }
+  /// Host wall-clock cost of compile() in microseconds.
+  std::uint64_t compile_micros() const noexcept { return compile_micros_; }
+
+ private:
+  /// RRsets of one type at a node: a contiguous fragment range.
+  struct TypeRange {
+    dns::RecordType type{};
+    std::uint32_t begin = 0;  // into fragments_
+    std::uint32_t end = 0;
+    std::uint32_t ttl = 0;
+  };
+
+  /// One existing name (real or empty non-terminal).
+  struct Node {
+    std::uint32_t name_index = 0;  // into names_
+    std::uint16_t depth = 0;       // label count of the owner name
+    std::uint32_t ranges_begin = 0;  // into type_ranges_
+    std::uint32_t ranges_end = 0;
+    std::uint32_t frag_begin = 0;  // all fragments at this node, map order
+    std::uint32_t frag_end = 0;
+    std::int32_t referral = -1;  // into referral_groups_ (cuts below apex)
+    std::int32_t wildcard = -1;  // node index of the "*" child, if any
+    const dns::DnsName* cname_target = nullptr;  // set iff a CNAME lives here
+  };
+
+  /// Referral payload for a delegation cut: NS RRset then glue, matching
+  /// the interpreted attach_glue() order, stored contiguously in
+  /// referral_fragments_.
+  struct ReferralGroup {
+    std::uint32_t auth_begin = 0;
+    std::uint32_t auth_end = 0;  // == glue begin
+    std::uint32_t add_end = 0;
+    std::uint32_t min_ttl = 0;
+  };
+
+  const Node* find_node(std::uint64_t hash, const DnsName& qname,
+                        std::size_t depth) const noexcept;
+  const TypeRange* find_range(const Node& node, dns::RecordType type) const noexcept;
+  CompiledAnswer negative(LookupStatus status) const noexcept;
+
+  ZonePtr source_;
+  std::vector<DnsName> names_;  // node owner names (zone names + ENTs)
+  std::vector<Node> nodes_;
+  /// (suffix hash of owner name, node index), sorted by hash for binary
+  /// search; collisions resolved by label comparison against the qname.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> index_;
+  std::vector<TypeRange> type_ranges_;
+  std::vector<dns::WireFragment> fragments_;
+  std::vector<dns::WireFragment> referral_fragments_;
+  std::vector<ReferralGroup> referral_groups_;
+  /// The apex SOA with TTL clamped to negative_ttl() (RFC 2308), emitted
+  /// in the authority section of every negative answer. Empty when the
+  /// zone has no SOA (mirrors attach_negative_authority()).
+  std::vector<dns::WireFragment> negative_soa_;
+  std::uint32_t negative_ttl_ = 0;
+  std::uint32_t apex_node_ = 0;
+  std::uint64_t compile_micros_ = 0;
+};
+
+}  // namespace akadns::zone

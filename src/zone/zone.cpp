@@ -64,6 +64,11 @@ const Zone::Node* Zone::find_node(const DnsName& name) const {
   return it == nodes_.end() ? nullptr : &it->second;
 }
 
+const std::map<RecordType, RrSet>* Zone::rrsets_at(const DnsName& name) const {
+  const Node* node = find_node(name);
+  return node ? &node->rrsets : nullptr;
+}
+
 const RrSet* Zone::find(const DnsName& name, RecordType type) const {
   const Node* node = find_node(name);
   if (!node) return nullptr;

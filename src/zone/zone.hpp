@@ -72,6 +72,11 @@ class Zone {
   /// The RRset at (name, type), or nullptr.
   const RrSet* find(const DnsName& name, RecordType type) const;
 
+  /// All RRsets at an exact name in RecordType order, or nullptr if the
+  /// name owns nothing — the zone compiler's iteration surface. The
+  /// returned map (and every record in it) lives as long as the zone.
+  const std::map<RecordType, RrSet>* rrsets_at(const DnsName& name) const;
+
   /// Full RFC 1034 lookup: exact match, in-zone delegation referral,
   /// CNAME, wildcard synthesis, NODATA, NXDOMAIN.
   LookupResult lookup(const DnsName& qname, RecordType qtype) const;

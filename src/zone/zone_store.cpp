@@ -1,50 +1,99 @@
 #include "zone/zone_store.hpp"
 
+#include <algorithm>
+
 namespace akadns::zone {
+
+void ZoneStore::store(Zone zone) {
+  const DnsName apex = zone.apex();
+  CompiledZonePtr compiled = CompiledZone::compile(std::make_shared<const Zone>(std::move(zone)));
+  ++compile_stats_.compiles;
+  compile_stats_.total_micros += compiled->compile_micros();
+  compile_stats_.last_micros = compiled->compile_micros();
+  compile_stats_.last_nodes = compiled->node_count();
+  compile_stats_.last_fragments = compiled->fragment_count();
+  zones_[apex] = std::move(compiled);
+  ++generation_;
+  rebuild_index();
+}
 
 bool ZoneStore::publish(Zone zone) {
   auto it = zones_.find(zone.apex());
   if (it != zones_.end() && it->second->serial() >= zone.serial()) {
     return false;
   }
-  const DnsName apex = zone.apex();
-  zones_[apex] = std::make_shared<const Zone>(std::move(zone));
-  ++generation_;
+  store(std::move(zone));
   return true;
 }
 
-void ZoneStore::force_publish(Zone zone) {
-  const DnsName apex = zone.apex();
-  zones_[apex] = std::make_shared<const Zone>(std::move(zone));
-  ++generation_;
-}
+void ZoneStore::force_publish(Zone zone) { store(std::move(zone)); }
 
 bool ZoneStore::remove(const DnsName& apex) {
   if (zones_.erase(apex) == 0) return false;
   ++generation_;
+  rebuild_index();
   return true;
 }
 
-ZonePtr ZoneStore::find_best_zone(const DnsName& qname) const {
-  // Longest-suffix match: walk from the full name toward the root.
-  for (std::size_t depth = qname.label_count() + 1; depth-- > 0;) {
-    const DnsName candidate = qname.suffix(depth);
-    if (auto it = zones_.find(candidate); it != zones_.end()) {
-      return it->second;
+void ZoneStore::rebuild_index() {
+  apex_index_.clear();
+  apex_index_.reserve(zones_.size());
+  apex_depths_.reset();
+  for (const auto& entry : zones_) {
+    ApexIndexEntry e;
+    e.hash = entry.first.suffix_hash();
+    e.depth = static_cast<std::uint16_t>(entry.first.label_count());
+    e.entry = &entry;
+    apex_index_.push_back(e);
+    apex_depths_.set(e.depth);
+  }
+  std::sort(apex_index_.begin(), apex_index_.end(),
+            [](const ApexIndexEntry& a, const ApexIndexEntry& b) { return a.hash < b.hash; });
+}
+
+CompiledZonePtr ZoneStore::find_best_compiled(const DnsName& qname) const noexcept {
+  if (apex_index_.empty()) return nullptr;
+  const std::size_t qn = qname.label_count();  // <= 127 by DnsName limits
+  std::uint64_t hashes[128];
+  std::uint64_t h = DnsName::kSuffixHashSeed;
+  hashes[0] = h;
+  for (std::size_t depth = 1; depth <= qn; ++depth) {
+    h = DnsName::suffix_hash_extend(h, qname.label(qn - depth));
+    hashes[depth] = h;
+  }
+  // Longest-suffix match, deepest first; skip depths with no apex at all.
+  for (std::size_t depth = qn + 1; depth-- > 0;) {
+    if (!apex_depths_.test(depth)) continue;
+    auto it = std::lower_bound(
+        apex_index_.begin(), apex_index_.end(), hashes[depth],
+        [](const ApexIndexEntry& e, std::uint64_t target) { return e.hash < target; });
+    for (; it != apex_index_.end() && it->hash == hashes[depth]; ++it) {
+      if (it->depth == depth && it->entry->first.equals_tail_of(qname, depth)) {
+        return it->entry->second;
+      }
     }
-    if (depth == 0) break;
   }
   return nullptr;
 }
 
+ZonePtr ZoneStore::find_best_zone(const DnsName& qname) const {
+  CompiledZonePtr best = find_best_compiled(qname);
+  return best ? best->source() : nullptr;
+}
+
 ZonePtr ZoneStore::find_zone(const DnsName& apex) const {
+  auto it = zones_.find(apex);
+  return it == zones_.end() ? nullptr : it->second->source();
+}
+
+CompiledZonePtr ZoneStore::find_compiled(const DnsName& apex) const {
   auto it = zones_.find(apex);
   return it == zones_.end() ? nullptr : it->second;
 }
 
 std::size_t ZoneStore::total_records() const noexcept {
   std::size_t total = 0;
-  for (const auto& [apex, zone] : zones_) total += zone->record_count();
+  for (const auto& [apex, zone] : zones_) total += zone->zone().record_count();
   return total;
 }
 

@@ -4,22 +4,42 @@
 // Portal publishes validated zone versions and nameservers subscribe).
 // Serial regressions are rejected, mirroring serial-based zone transfer
 // rules (RFC 1996 / 5936).
+//
+// Every accepted publish compiles the snapshot into a CompiledZone
+// (answer-ready node table + wire fragments) before the swap, so the hot
+// read path only ever sees fully-built snapshots. The query-time entry
+// point, find_best_compiled(), does longest-suffix matching with one
+// incremental hash pass over the query name — zero heap allocations even
+// on the miss path, which is what a REFUSED flood exercises.
 #pragma once
 
+#include <bitset>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <optional>
+#include <utility>
 #include <vector>
 
+#include "zone/compiled_zone.hpp"
 #include "zone/zone.hpp"
 
 namespace akadns::zone {
+
+/// Cumulative cost of publish-time compilation (telemetry surface).
+struct CompileStats {
+  std::uint64_t compiles = 0;
+  std::uint64_t total_micros = 0;
+  std::uint64_t last_micros = 0;
+  std::uint64_t last_nodes = 0;
+  std::uint64_t last_fragments = 0;
+};
 
 class ZoneStore {
  public:
   /// Publishes a zone snapshot. Returns false (and keeps the old version)
   /// if a zone with the same apex and a serial >= the new one exists.
+  /// Compilation happens before the swap; readers never see a half-built
+  /// snapshot.
   bool publish(Zone zone);
 
   /// Force-publishes regardless of serial (operator override path).
@@ -28,11 +48,19 @@ class ZoneStore {
   /// Removes a zone; returns true if it existed.
   bool remove(const DnsName& apex);
 
+  /// The compiled zone whose apex is the longest suffix of `qname`, or
+  /// nullptr. Allocation-free: probes a hashed apex index at each
+  /// populated depth instead of materializing suffix names.
+  CompiledZonePtr find_best_compiled(const DnsName& qname) const noexcept;
+
   /// The zone whose apex is the longest suffix of `qname`, or nullptr.
   ZonePtr find_best_zone(const DnsName& qname) const;
 
   /// Exact-apex fetch.
   ZonePtr find_zone(const DnsName& apex) const;
+
+  /// Exact-apex fetch of the compiled snapshot.
+  CompiledZonePtr find_compiled(const DnsName& apex) const;
 
   bool has_zone(const DnsName& apex) const { return zones_.contains(apex); }
 
@@ -43,12 +71,33 @@ class ZoneStore {
   std::vector<DnsName> zone_apexes() const;
 
   /// Monotone counter incremented on every successful publish/remove;
-  /// the staleness detector uses it as a cheap change signal.
+  /// the staleness detector and the answer cache use it as a cheap
+  /// change signal.
   std::uint64_t generation() const noexcept { return generation_; }
 
+  const CompileStats& compile_stats() const noexcept { return compile_stats_; }
+
  private:
-  std::map<DnsName, ZonePtr> zones_;
+  /// One apex in the hash index. `entry` points at the map node (stable
+  /// across rebuilds of the vector; map nodes never move).
+  struct ApexIndexEntry {
+    std::uint64_t hash = 0;
+    std::uint16_t depth = 0;
+    const std::pair<const DnsName, CompiledZonePtr>* entry = nullptr;
+  };
+
+  void store(Zone zone);
+  void rebuild_index();
+
+  std::map<DnsName, CompiledZonePtr> zones_;
+  /// Sorted by hash; rebuilt on publish/remove (rare) so lookups (hot)
+  /// are a binary search.
+  std::vector<ApexIndexEntry> apex_index_;
+  /// Which apex depths exist at all — lets the miss path skip depths
+  /// without touching the index.
+  std::bitset<128> apex_depths_;
   std::uint64_t generation_ = 0;
+  CompileStats compile_stats_;
 };
 
 }  // namespace akadns::zone

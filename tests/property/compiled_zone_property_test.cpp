@@ -1,0 +1,314 @@
+// Differential property suite for the compiled answer path (the core
+// acceptance gate of the snapshot-compilation refactor): over randomly
+// generated zones — wildcards, delegations with multi-NS glue, CNAME
+// chains (in-zone, cross-zone, into wildcards, loops, dangling), empty
+// non-terminals, multi-type nodes — the compiled tables and the fragment
+// responder must agree with the interpreted reference *byte for byte*.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dns/wire.hpp"
+#include "server/responder.hpp"
+#include "zone/compiled_zone.hpp"
+#include "zone/zone_builder.hpp"
+#include "zone/zone_store.hpp"
+
+namespace akadns::server {
+namespace {
+
+using dns::DnsName;
+using dns::RecordType;
+using zone::CompiledZone;
+using zone::LookupStatus;
+using zone::Zone;
+
+struct GeneratedZone {
+  Zone zone;
+  std::vector<DnsName> names;             // every record owner we created
+  std::vector<DnsName> wildcard_parents;  // encloser of each "*" child
+  std::vector<DnsName> delegation_cuts;
+};
+
+std::string random_label(Rng& rng) {
+  static const char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz";
+  std::string label;
+  const auto len = 1 + rng.next_below(8);
+  for (std::uint64_t i = 0; i < len; ++i) label.push_back(kAlphabet[rng.next_below(26)]);
+  return label;
+}
+
+// Richer than zone_property_test's generator: deep names (ENT chains),
+// several record types per node, CNAME chains of every flavour the
+// responder has to chase, and delegations with two nameservers so glue
+// duplication order is exercised.
+GeneratedZone generate_zone(Rng& rng) {
+  zone::ZoneBuilder builder("gen.example", 1);
+  builder.soa("ns1.gen.example", "hostmaster.gen.example", 1, 3600,
+              static_cast<std::uint32_t>(60 + rng.next_below(600)));
+  builder.ns("@", "ns1.gen.example");
+  builder.a("ns1", "10.0.0.1");
+  GeneratedZone out{Zone(DnsName::from("gen.example"), 1), {}, {}, {}};
+  out.names.push_back(DnsName::from("gen.example"));
+  out.names.push_back(DnsName::from("ns1.gen.example"));
+  std::set<std::string> used{"ns1"};
+
+  auto ttl = [&rng] { return static_cast<std::uint32_t>(30 + rng.next_below(3600)); };
+
+  // Hosts: one to three levels deep (deep names force explicit ENTs),
+  // with a mix of types so ANY and per-type probes diverge.
+  const auto hosts = 4 + rng.next_below(20);
+  for (std::uint64_t i = 0; i < hosts; ++i) {
+    std::string owner = "h" + random_label(rng);
+    if (rng.next_bool(0.4)) owner += "." + random_label(rng);
+    if (rng.next_bool(0.2)) owner += "." + random_label(rng);
+    if (!used.insert(owner).second) continue;
+    builder.a(owner, Ipv4Addr(192, 0, 2, static_cast<std::uint8_t>(i + 1)).to_string(), ttl());
+    if (rng.next_bool(0.3)) builder.aaaa(owner, "2001:db8::1", ttl());
+    if (rng.next_bool(0.3)) builder.txt(owner, "v=" + random_label(rng), ttl());
+    if (rng.next_bool(0.2)) builder.mx(owner, 10, "ns1.gen.example.", ttl());
+    out.names.push_back(DnsName::from(owner + ".gen.example"));
+  }
+
+  // Wildcards (A-record and CNAME-bearing) under their own subtrees.
+  const auto wildcards = rng.next_below(3);
+  for (std::uint64_t i = 0; i < wildcards; ++i) {
+    const std::string parent = "w" + random_label(rng);
+    if (!used.insert("*." + parent).second) continue;
+    if (rng.next_bool(0.7)) {
+      builder.a("*." + parent, "10.9.9.9", ttl());
+    } else {
+      builder.cname("*." + parent, "ns1.gen.example.", ttl());
+    }
+    out.wildcard_parents.push_back(DnsName::from(parent + ".gen.example"));
+  }
+
+  // Delegations: two NS records, glue for both (A then AAAA per target).
+  const auto cuts = rng.next_below(3);
+  for (std::uint64_t i = 0; i < cuts; ++i) {
+    const std::string cut = "d" + random_label(rng);
+    if (!used.insert(cut).second) continue;
+    builder.ns(cut, "nsa." + cut + ".gen.example", ttl());
+    builder.ns(cut, "nsb." + cut + ".gen.example", ttl());
+    builder.a("nsa." + cut, "10.0.1.1", ttl());
+    builder.a("nsb." + cut, "10.0.1.2", ttl());
+    if (rng.next_bool(0.5)) builder.aaaa("nsa." + cut, "2001:db8::53", ttl());
+    out.delegation_cuts.push_back(DnsName::from(cut + ".gen.example"));
+    out.names.push_back(DnsName::from(cut + ".gen.example"));
+  }
+
+  // CNAME chains: a few links ending at a host, a missing in-zone name,
+  // an out-of-store name, or a cross-zone name in aux.example.
+  const auto chains = 1 + rng.next_below(3);
+  for (std::uint64_t c = 0; c < chains; ++c) {
+    const auto links = 1 + rng.next_below(4);
+    const std::string base = "c" + std::to_string(c) + random_label(rng);
+    for (std::uint64_t l = 0; l + 1 < links; ++l) {
+      builder.cname(base + std::to_string(l), base + std::to_string(l + 1) + ".gen.example.",
+                    ttl());
+    }
+    std::string tail;
+    switch (rng.next_below(4)) {
+      case 0: tail = "ns1.gen.example."; break;                    // existing host
+      case 1: tail = "missing" + random_label(rng) + ".gen.example."; break;
+      case 2: tail = "cdn." + random_label(rng) + ".example."; break;  // out of store
+      default: tail = "target.aux.example."; break;                // cross-zone
+    }
+    builder.cname(base + std::to_string(links - 1), tail, ttl());
+    for (std::uint64_t l = 0; l < links; ++l) {
+      out.names.push_back(DnsName::from(base + std::to_string(l) + ".gen.example"));
+    }
+  }
+  // A chain into a wildcard subtree, and a two-node loop.
+  if (!out.wildcard_parents.empty()) {
+    // to_string() is already absolute (trailing dot).
+    builder.cname("cwild", random_label(rng) + "." + out.wildcard_parents.front().to_string(),
+                  ttl());
+    out.names.push_back(DnsName::from("cwild.gen.example"));
+  }
+  if (rng.next_bool(0.5)) {
+    builder.cname("cloopa", "cloopb.gen.example.", ttl());
+    builder.cname("cloopb", "cloopa.gen.example.", ttl());
+    out.names.push_back(DnsName::from("cloopa.gen.example"));
+  }
+
+  out.zone = builder.build();
+  return out;
+}
+
+zone::Zone aux_zone() {
+  return zone::ZoneBuilder("aux.example", 1)
+      .ns("@", "ns1.aux.example")
+      .a("ns1", "10.8.0.1")
+      .a("target", "198.18.0.1")
+      .build();
+}
+
+// Probe names covering every interesting region: real names, children of
+// real names (NXDOMAIN / wildcard / below-cut), ENT ancestors, and junk.
+std::vector<DnsName> make_probes(const GeneratedZone& g, Rng& rng) {
+  std::vector<DnsName> probes = g.names;
+  probes.push_back(DnsName::from("gen.example"));
+  probes.push_back(DnsName::from("aux.example"));
+  probes.push_back(DnsName::from("target.aux.example"));
+  probes.push_back(DnsName::from("www.unhosted.example"));  // REFUSED
+  for (const auto& name : g.names) {
+    if (rng.next_bool(0.5)) {
+      if (const auto child = name.prepend(random_label(rng))) probes.push_back(*child);
+    }
+    if (name.label_count() > 2 && rng.next_bool(0.5)) probes.push_back(name.parent());  // ENTs
+  }
+  for (const auto& parent : g.wildcard_parents) {
+    if (const auto under = parent.prepend(random_label(rng))) {
+      probes.push_back(*under);
+      if (const auto deeper = under->prepend(random_label(rng))) probes.push_back(*deeper);
+    }
+  }
+  for (const auto& cut : g.delegation_cuts) {
+    probes.push_back(cut);
+    if (const auto below = cut.prepend(random_label(rng))) probes.push_back(*below);
+  }
+  for (int i = 0; i < 10; ++i) {
+    probes.push_back(DnsName::from(random_label(rng) + "." + random_label(rng) + ".gen.example"));
+  }
+  return probes;
+}
+
+RecordType random_qtype(Rng& rng) {
+  static const RecordType kTypes[] = {RecordType::A,   RecordType::AAAA, RecordType::TXT,
+                                      RecordType::MX,  RecordType::NS,   RecordType::CNAME,
+                                      RecordType::ANY, RecordType::SOA};
+  return kTypes[rng.next_below(std::size(kTypes))];
+}
+
+class CompiledZoneProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The compiled lookup tables agree with Zone::lookup on status and
+// wildcard flag for every probe (section bytes are covered end-to-end by
+// the responder test below).
+TEST_P(CompiledZoneProperty, LookupAgreesWithInterpreted) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto generated = generate_zone(rng);
+    auto snapshot = std::make_shared<const Zone>(generated.zone);
+    const auto compiled = CompiledZone::compile(snapshot);
+    for (const auto& qname : make_probes(generated, rng)) {
+      if (!qname.is_subdomain_of(compiled->apex())) continue;
+      for (int t = 0; t < 3; ++t) {
+        const auto qtype = random_qtype(rng);
+        const auto expect = snapshot->lookup(qname, qtype);
+        const auto got = compiled->lookup(qname, qtype);
+        EXPECT_EQ(got.status, expect.status)
+            << qname.to_string() << " qtype=" << static_cast<int>(qtype);
+        EXPECT_EQ(got.wildcard_match, expect.wildcard_match) << qname.to_string();
+        if (expect.status == LookupStatus::Answer ||
+            expect.status == LookupStatus::CnameChase) {
+          EXPECT_EQ(got.answers.size(), expect.records.size()) << qname.to_string();
+          EXPECT_FALSE(got.answers.empty());
+        }
+        if (got.status == LookupStatus::CnameChase) {
+          ASSERT_NE(got.cname_target, nullptr);
+          ASSERT_FALSE(expect.records.empty());
+          EXPECT_EQ(*got.cname_target,
+                    std::get<dns::CnameRecord>(expect.records[0].rdata).target);
+        }
+      }
+    }
+  }
+}
+
+// End-to-end byte identity: a compiled-path responder and an interpreted
+// responder over the same store emit identical wire for every probe, in
+// every EDNS variant (none / large payload / small payload with ECS —
+// the last exercising the truncation ladder on big ANY answers), and a
+// cache-enabled responder replays those same bytes on repeat queries.
+TEST_P(CompiledZoneProperty, ResponderWireByteIdentical) {
+  Rng rng(GetParam() ^ 0xD1FFu);
+  const Endpoint client{*IpAddr::parse("198.51.100.7"), 5353};
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto generated = generate_zone(rng);
+    zone::ZoneStore store;
+    ASSERT_TRUE(store.publish(generated.zone));
+    ASSERT_TRUE(store.publish(aux_zone()));
+
+    Responder compiled(store, {.enable_compiled_path = true, .enable_answer_cache = false});
+    Responder cached(store, {.enable_compiled_path = true, .enable_answer_cache = true});
+    Responder interpreted(store, {.enable_compiled_path = false});
+
+    for (const auto& qname : make_probes(generated, rng)) {
+      const auto qtype = random_qtype(rng);
+      auto query = dns::make_query(0x4242, qname, qtype, rng.next_bool(0.5));
+      switch (rng.next_below(3)) {
+        case 0: break;  // no EDNS
+        case 1:
+          query.edns.emplace();
+          query.edns->udp_payload_size = 4096;
+          break;
+        default:
+          query.edns.emplace();
+          query.edns->udp_payload_size = 512;
+          if (rng.next_bool(0.5)) {
+            query.edns->client_subnet =
+                dns::ClientSubnet{*IpAddr::parse("203.0.113.0"), 24, 0};
+          }
+          break;
+      }
+      const auto wire = dns::encode(query);
+
+      const auto from_compiled = compiled.respond_wire(wire, client);
+      const auto from_interpreted = interpreted.respond_wire(wire, client);
+      ASSERT_TRUE(from_compiled.has_value());
+      ASSERT_TRUE(from_interpreted.has_value());
+      EXPECT_EQ(*from_compiled, *from_interpreted)
+          << qname.to_string() << " qtype=" << static_cast<int>(qtype);
+
+      // Cache miss then hit must both reproduce the reference bytes.
+      const auto miss = cached.respond_wire(wire, client);
+      const auto hit = cached.respond_wire(wire, client);
+      ASSERT_TRUE(miss.has_value() && hit.has_value());
+      EXPECT_EQ(*miss, *from_interpreted) << qname.to_string();
+      EXPECT_EQ(*hit, *from_interpreted) << qname.to_string();
+    }
+
+    // Exact stat parity: the fast path must count queries the way the
+    // reference does (the datapath breakdown fields are the only
+    // difference). The cached responder answered every probe twice, so
+    // delta replay on hits must land it at exactly twice the reference —
+    // any drift means a hit and a miss are counted differently.
+    const auto& a = compiled.stats();
+    const auto& c = cached.stats();
+    const auto& b = interpreted.stats();
+    EXPECT_EQ(a.responses, b.responses);
+    EXPECT_EQ(a.noerror, b.noerror);
+    EXPECT_EQ(a.nxdomain, b.nxdomain);
+    EXPECT_EQ(a.nodata, b.nodata);
+    EXPECT_EQ(a.refused, b.refused);
+    EXPECT_EQ(a.servfail, b.servfail);
+    EXPECT_EQ(a.referrals, b.referrals);
+    EXPECT_EQ(a.wildcard_answers, b.wildcard_answers);
+    EXPECT_EQ(a.cname_chases, b.cname_chases);
+    EXPECT_EQ(c.responses, 2 * b.responses);
+    EXPECT_EQ(c.noerror, 2 * b.noerror);
+    EXPECT_EQ(c.nxdomain, 2 * b.nxdomain);
+    EXPECT_EQ(c.nodata, 2 * b.nodata);
+    EXPECT_EQ(c.refused, 2 * b.refused);
+    EXPECT_EQ(c.servfail, 2 * b.servfail);
+    EXPECT_EQ(c.referrals, 2 * b.referrals);
+    EXPECT_EQ(c.wildcard_answers, 2 * b.wildcard_answers);
+    EXPECT_EQ(c.cname_chases, 2 * b.cname_chases);
+    EXPECT_EQ(interpreted.stats().compiled_answers, 0u);
+    EXPECT_EQ(interpreted.stats().cache_hits, 0u);
+    EXPECT_GT(compiled.stats().compiled_answers, 0u);
+    EXPECT_GT(cached.stats().cache_hits, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompiledZoneProperty,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace akadns::server

@@ -1,0 +1,207 @@
+// CompiledZone unit tests: the publish-time compilation facts (node
+// table with materialized ENTs, fragment counts, referral groups,
+// negative-TTL clamping) and the compiled lookup outcomes on a
+// hand-built zone, plus ZoneStore's compile-on-publish bookkeeping and
+// the hashed longest-suffix apex index.
+
+#include "zone/compiled_zone.hpp"
+
+#include <gtest/gtest.h>
+
+#include "zone/zone_builder.hpp"
+#include "zone/zone_store.hpp"
+
+namespace akadns::zone {
+namespace {
+
+using dns::DnsName;
+using dns::RecordType;
+
+Zone test_zone(std::uint32_t serial = 1) {
+  return ZoneBuilder("example.com", serial)
+      .soa("ns1.example.com", "hostmaster.example.com", serial, 3600, 300)
+      .ns("@", "ns1.example.com")
+      .a("ns1", "10.0.0.1")
+      .a("www", "93.184.216.34", 120)
+      .txt("www", "v=spf1 -all", 600)
+      .a("a.b.c", "192.0.2.7")          // forces ENTs at b.c and c
+      .a("*.wild", "10.9.9.9", 60)
+      .cname("alias", "www.example.com", 240)
+      .ns("sub", "nsa.sub.example.com", 3600)
+      .ns("sub", "nsb.sub.example.com", 3600)
+      .a("nsa.sub", "10.0.1.1", 900)
+      .aaaa("nsa.sub", "2001:db8::1", 800)
+      .a("nsb.sub", "10.0.1.2", 700)
+      .build();
+}
+
+CompiledZonePtr compile_test_zone() {
+  return CompiledZone::compile(std::make_shared<const Zone>(test_zone()));
+}
+
+TEST(CompiledZone, MaterializesEmptyNonTerminals) {
+  const auto compiled = compile_test_zone();
+  // Real owners: apex, ns1, www, a.b.c, *.wild, alias, sub, nsa.sub,
+  // nsb.sub (9) — plus ENTs b.c, c, wild (3).
+  EXPECT_EQ(compiled->node_count(), 12u);
+
+  // An ENT answers NODATA (the name exists), never NXDOMAIN — for ANY too.
+  for (const char* ent : {"c.example.com", "b.c.example.com", "wild.example.com"}) {
+    for (const auto qtype : {RecordType::A, RecordType::ANY}) {
+      const auto answer = compiled->lookup(DnsName::from(ent), qtype);
+      EXPECT_EQ(answer.status, LookupStatus::NoData) << ent;
+      EXPECT_TRUE(answer.answers.empty());
+      ASSERT_EQ(answer.authority.size(), 1u);  // the clamped SOA
+    }
+  }
+  // Below the deep name is NXDOMAIN.
+  const auto below = compiled->lookup(DnsName::from("x.a.b.c.example.com"), RecordType::A);
+  EXPECT_EQ(below.status, LookupStatus::NxDomain);
+}
+
+TEST(CompiledZone, ExactMatchUsesTypeRanges) {
+  const auto compiled = compile_test_zone();
+  const auto a = compiled->lookup(DnsName::from("www.example.com"), RecordType::A);
+  EXPECT_EQ(a.status, LookupStatus::Answer);
+  EXPECT_FALSE(a.wildcard_match);
+  EXPECT_EQ(a.answers.size(), 1u);
+  EXPECT_EQ(a.min_ttl, 120u);
+
+  // ANY at a multi-type node emits every RRset; min_ttl spans them all.
+  const auto any = compiled->lookup(DnsName::from("www.example.com"), RecordType::ANY);
+  EXPECT_EQ(any.status, LookupStatus::Answer);
+  EXPECT_EQ(any.answers.size(), 2u);  // A + TXT
+  EXPECT_EQ(any.min_ttl, 120u);
+
+  const auto nodata = compiled->lookup(DnsName::from("www.example.com"), RecordType::MX);
+  EXPECT_EQ(nodata.status, LookupStatus::NoData);
+}
+
+TEST(CompiledZone, CnameTargetIsPrecomputed) {
+  const auto compiled = compile_test_zone();
+  const auto chase = compiled->lookup(DnsName::from("alias.example.com"), RecordType::A);
+  EXPECT_EQ(chase.status, LookupStatus::CnameChase);
+  ASSERT_NE(chase.cname_target, nullptr);
+  EXPECT_EQ(*chase.cname_target, DnsName::from("www.example.com"));
+  EXPECT_EQ(chase.answers.size(), 1u);
+  EXPECT_EQ(chase.min_ttl, 240u);
+
+  // Asking for the CNAME itself is an exact answer, not a chase.
+  const auto exact = compiled->lookup(DnsName::from("alias.example.com"), RecordType::CNAME);
+  EXPECT_EQ(exact.status, LookupStatus::Answer);
+}
+
+TEST(CompiledZone, WildcardSynthesisAtClosestEncloser) {
+  const auto compiled = compile_test_zone();
+  const auto hit = compiled->lookup(DnsName::from("anything.wild.example.com"), RecordType::A);
+  EXPECT_EQ(hit.status, LookupStatus::Answer);
+  EXPECT_TRUE(hit.wildcard_match);
+  EXPECT_EQ(hit.min_ttl, 60u);
+
+  // Deeper names are still covered (closest encloser is `wild`).
+  const auto deep = compiled->lookup(DnsName::from("x.y.wild.example.com"), RecordType::A);
+  EXPECT_EQ(deep.status, LookupStatus::Answer);
+  EXPECT_TRUE(deep.wildcard_match);
+
+  // Wrong type at the wildcard: NODATA, wildcard flag preserved.
+  const auto nodata = compiled->lookup(DnsName::from("z.wild.example.com"), RecordType::AAAA);
+  EXPECT_EQ(nodata.status, LookupStatus::NoData);
+  EXPECT_TRUE(nodata.wildcard_match);
+}
+
+TEST(CompiledZone, ReferralGroupCarriesNsAndGlue) {
+  const auto compiled = compile_test_zone();
+  for (const char* qname : {"sub.example.com", "deep.sub.example.com", "a.b.sub.example.com"}) {
+    const auto referral = compiled->lookup(DnsName::from(qname), RecordType::A);
+    EXPECT_EQ(referral.status, LookupStatus::Referral) << qname;
+    EXPECT_EQ(referral.authority.size(), 2u);   // both NS records
+    EXPECT_EQ(referral.additional.size(), 3u);  // nsa A + AAAA, nsb A
+    EXPECT_EQ(referral.min_ttl, 700u);          // weakest glue TTL
+  }
+}
+
+TEST(CompiledZone, NegativeTtlClampsSoa) {
+  // SOA minimum (300) below SOA TTL (3600): negative TTL is the minimum.
+  const auto compiled = compile_test_zone();
+  const auto nx = compiled->lookup(DnsName::from("nope.example.com"), RecordType::A);
+  EXPECT_EQ(nx.status, LookupStatus::NxDomain);
+  ASSERT_EQ(nx.authority.size(), 1u);
+  EXPECT_EQ(nx.min_ttl, 300u);
+
+  // SOA TTL below the minimum field: the TTL wins (RFC 2308 §5).
+  const auto low_ttl = CompiledZone::compile(std::make_shared<const Zone>(
+      ZoneBuilder("low.test", 1)
+          .soa("ns1.low.test", "h.low.test", 1, 120, 3600)
+          .ns("@", "ns1.low.test")
+          .build()));
+  EXPECT_EQ(low_ttl->lookup(DnsName::from("nope.low.test"), RecordType::A).min_ttl, 120u);
+}
+
+TEST(CompiledZone, CompileFactsExposed) {
+  const auto compiled = compile_test_zone();
+  EXPECT_GT(compiled->fragment_count(), 0u);
+  EXPECT_EQ(compiled->serial(), 1u);
+  EXPECT_EQ(compiled->apex(), DnsName::from("example.com"));
+}
+
+TEST(ZoneStore, PublishCompilesBeforeSwap) {
+  ZoneStore store;
+  ASSERT_TRUE(store.publish(test_zone(1)));
+  const auto compiled = store.find_compiled(DnsName::from("example.com"));
+  ASSERT_NE(compiled, nullptr);
+  EXPECT_EQ(compiled->serial(), 1u);
+  EXPECT_EQ(store.compile_stats().compiles, 1u);
+  EXPECT_EQ(store.compile_stats().last_nodes, compiled->node_count());
+  EXPECT_EQ(store.compile_stats().last_fragments, compiled->fragment_count());
+
+  // Serial regression: rejected, no recompile, no generation bump.
+  const auto generation = store.generation();
+  EXPECT_FALSE(store.publish(test_zone(1)));
+  EXPECT_EQ(store.compile_stats().compiles, 1u);
+  EXPECT_EQ(store.generation(), generation);
+
+  // Accepted republish swaps in a fresh snapshot; the old one stays
+  // valid for whoever still pins it (in-flight lookups).
+  ASSERT_TRUE(store.publish(test_zone(2)));
+  EXPECT_EQ(store.compile_stats().compiles, 2u);
+  EXPECT_GT(store.generation(), generation);
+  EXPECT_EQ(store.find_compiled(DnsName::from("example.com"))->serial(), 2u);
+  EXPECT_EQ(compiled->serial(), 1u);  // the pinned snapshot is immutable
+}
+
+TEST(ZoneStore, FindBestCompiledLongestSuffixWins) {
+  ZoneStore store;
+  store.publish(ZoneBuilder("com", 1).ns("@", "ns1.com").build());
+  store.publish(test_zone());
+  store.publish(ZoneBuilder("deep.sub.example.com", 1).ns("@", "ns1.deep.sub.example.com").build());
+
+  auto apex_of = [&store](const char* qname) -> std::string {
+    const auto z = store.find_best_compiled(DnsName::from(qname));
+    return z ? z->apex().to_string() : ".";
+  };
+  EXPECT_EQ(apex_of("www.example.com"), "example.com.");
+  EXPECT_EQ(apex_of("example.com"), "example.com.");
+  EXPECT_EQ(apex_of("x.deep.sub.example.com"), "deep.sub.example.com.");
+  EXPECT_EQ(apex_of("other.com"), "com.");
+  EXPECT_EQ(apex_of("www.example.org"), ".");
+  EXPECT_EQ(apex_of("org"), ".");
+
+  // Agreement with the interpreted finder on every probe.
+  for (const char* qname :
+       {"www.example.com", "deep.sub.example.com", "a.b.c.d.e.com", "nothing.net"}) {
+    const auto fast = store.find_best_compiled(DnsName::from(qname));
+    const auto reference = store.find_best_zone(DnsName::from(qname));
+    EXPECT_EQ(fast == nullptr, reference == nullptr) << qname;
+    if (fast && reference) {
+      EXPECT_EQ(fast->apex(), reference->apex()) << qname;
+    }
+  }
+
+  // Removal updates the index.
+  ASSERT_TRUE(store.remove(DnsName::from("com")));
+  EXPECT_EQ(apex_of("other.com"), ".");
+  EXPECT_EQ(apex_of("www.example.com"), "example.com.");
+}
+
+}  // namespace
+}  // namespace akadns::zone
