@@ -1,0 +1,154 @@
+// Parallel scaling of the sharded datapath (google-benchmark): one
+// 8-lane nameserver with a fixed workload balanced across lanes, drained
+// through a WorkerPool of 1/2/4/8 threads via the begin_phase /
+// run_lane / end_phase contract — the exact path Pop::pump drives.
+//
+// The timed region is the query-serving hot path only: budget
+// assignment, the parallel lane drain (dequeue → resolve → encode into
+// the lane-local response batch), and the serial lane-order flush.
+// Refilling the penalty queues through receive() is serial by contract
+// (the event scheduler owns it) and happens under PauseTiming.
+//
+// Determinism note: the responses and stats are bit-identical across
+// every thread count (tests/integration/parallel_determinism_test.cpp
+// proves it); this bench measures how much wall clock that freedom buys.
+// On a host with >= 4 cores the 4-thread run should clear 3x the
+// 1-thread throughput; on fewer cores the curve plateaus at the core
+// count.
+//
+// Run with --benchmark_out=parallel_scaling.json
+// --benchmark_out_format=json for the machine-readable record (wired in
+// bench/CMakeLists.txt as the bench_json target).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/worker_pool.hpp"
+#include "dns/wire.hpp"
+#include "server/nameserver.hpp"
+#include "zone/zone_builder.hpp"
+
+namespace {
+
+using namespace akadns;
+
+constexpr std::size_t kLanes = 8;
+constexpr std::size_t kPerLane = 512;
+
+const zone::ZoneStore& store() {
+  static const zone::ZoneStore instance = [] {
+    zone::ZoneBuilder builder("bench.example", 1);
+    builder.soa("ns1.bench.example", "hostmaster.bench.example", 1);
+    builder.ns("@", "ns1.bench.example");
+    builder.a("ns1", "10.0.0.1");
+    for (int i = 0; i < 500; ++i) {
+      builder.a("host" + std::to_string(i), "192.0.2.1");
+    }
+    zone::ZoneStore s;
+    s.publish(builder.build());
+    return s;
+  }();
+  return instance;
+}
+
+struct Packet {
+  std::vector<std::uint8_t> wire;
+  Endpoint source;
+};
+
+/// A fixed batch with exactly kPerLane packets hashing to every lane, so
+/// the drain is perfectly balanced and the speedup ceiling is the thread
+/// count, not the workload skew.
+std::vector<Packet> make_workload(const server::Nameserver& ns) {
+  std::vector<std::size_t> per_lane(kLanes, 0);
+  std::vector<Packet> packets;
+  packets.reserve(kLanes * kPerLane);
+  Rng rng(0xBE7C4ULL);
+  std::uint16_t id = 0;
+  while (packets.size() < kLanes * kPerLane) {
+    const Endpoint source{
+        IpAddr(Ipv4Addr(0x0A000000u | static_cast<std::uint32_t>(rng.next_below(1u << 20)))),
+        static_cast<std::uint16_t>(1024 + rng.next_below(60000))};
+    const std::size_t lane = ns.lane_of(source);
+    if (per_lane[lane] >= kPerLane) continue;
+    ++per_lane[lane];
+    const std::string name = "host" + std::to_string(rng.next_below(500)) + ".bench.example";
+    packets.push_back({dns::encode(dns::make_query(
+                           ++id, dns::DnsName::from(name), dns::RecordType::A)),
+                       source});
+  }
+  return packets;
+}
+
+void BM_ShardedLaneDrain(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+
+  server::NameserverConfig config;
+  config.lanes = kLanes;
+  config.compute_capacity_qps = 1e12;  // never the bottleneck: measure the drain
+  config.io_capacity_qps = 1e12;
+  config.queue_config.queue_capacity = kPerLane * 2;
+  server::Nameserver ns(config, store());
+
+  std::uint64_t responses = 0;
+  std::uint64_t response_bytes = 0;
+  ns.set_response_span_sink([&](const Endpoint&, std::span<const std::uint8_t> wire) {
+    ++responses;
+    response_bytes += wire.size();
+  });
+
+  const std::vector<Packet> packets = make_workload(ns);
+  WorkerPool pool(threads);
+  std::vector<std::size_t> lanes;
+  lanes.reserve(kLanes);
+  std::int64_t nanos = 0;
+
+  const auto fill = [&] {
+    const auto now = SimTime::from_nanos(nanos += 1'000'000);
+    for (const auto& p : packets) ns.receive(p.wire, p.source, 57, now);
+    return now;
+  };
+  const auto drain = [&](SimTime now) {
+    if (!ns.begin_phase(now)) return;
+    lanes.clear();
+    for (std::size_t i = 0; i < ns.lane_count(); ++i) {
+      if (ns.lane_phase_budget(i) > 0) lanes.push_back(i);
+    }
+    pool.parallel_for(lanes.size(), [&](std::size_t k) { ns.run_lane(lanes[k], now); });
+    ns.end_phase(now);
+  };
+
+  // Warm: populate the per-lane answer caches, size every scratch buffer
+  // and batch arena, and spin the pool's threads up once.
+  drain(fill());
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    const SimTime now = fill();
+    state.ResumeTiming();
+    drain(now);
+  }
+
+  benchmark::DoNotOptimize(responses);
+  benchmark::DoNotOptimize(response_bytes);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(packets.size()));
+  state.counters["lanes"] = static_cast<double>(kLanes);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["host_cores"] = static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(BM_ShardedLaneDrain)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

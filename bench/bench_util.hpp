@@ -1,9 +1,18 @@
 // Shared output helpers for the experiment benches: every bench prints
 // the rows/series of the paper figure it regenerates, plus an ASCII
 // rendition where a curve helps eyeballing shape fidelity.
+//
+// Machine-readable output: when AKADNS_BENCH_JSON=<path> is set in the
+// environment (or enable_json_output() is called), every heading /
+// subheading / print_row / print_count_row call is also recorded and
+// flushed at exit as a JSON document — the same wiring the
+// google-benchmark binaries get from --benchmark_out=<path>
+// --benchmark_out_format=json, so CI can archive every bench's numbers
+// without scraping stdout.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -11,15 +20,99 @@
 
 namespace akadns::bench {
 
+namespace detail {
+
+struct JsonRow {
+  std::string section;
+  std::string label;
+  double value = 0.0;
+  std::string unit;
+  bool integral = false;  // emit as integer (count rows)
+};
+
+struct JsonState {
+  bool enabled = false;
+  std::string path;
+  std::string title;    // first heading() becomes the bench title
+  std::string section;  // current subheading
+  std::vector<JsonRow> rows;
+
+  void flush() const;
+  // Flushing from the destructor (not atexit) keeps the write correctly
+  // ordered with the destruction of this function-local static.
+  ~JsonState() { flush(); }
+};
+
+inline std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+inline JsonState& json_state() {
+  static JsonState state = [] {
+    JsonState s;
+    if (const char* path = std::getenv("AKADNS_BENCH_JSON")) {
+      s.enabled = true;
+      s.path = path;
+    }
+    return s;
+  }();
+  return state;
+}
+
+inline void JsonState::flush() const {
+  const JsonState& s = *this;
+  if (!s.enabled || s.path.empty()) return;
+  std::FILE* f = std::fopen(s.path.c_str(), "w");
+  if (!f) return;
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [", json_escape(s.title).c_str());
+  for (std::size_t i = 0; i < s.rows.size(); ++i) {
+    const JsonRow& row = s.rows[i];
+    std::fprintf(f, "%s\n    {\"section\": \"%s\", \"label\": \"%s\", ", i ? "," : "",
+                 json_escape(row.section).c_str(), json_escape(row.label).c_str());
+    if (row.integral) {
+      std::fprintf(f, "\"value\": %lld", static_cast<long long>(row.value));
+    } else {
+      std::fprintf(f, "\"value\": %.6f", row.value);
+    }
+    if (!row.unit.empty()) std::fprintf(f, ", \"unit\": \"%s\"", json_escape(row.unit).c_str());
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace detail
+
+/// Turns on JSON recording programmatically (the env var does the same).
+inline void enable_json_output(const std::string& path) {
+  detail::json_state().enabled = true;
+  detail::json_state().path = path;
+}
+
 inline void heading(const std::string& title, const std::string& paper_ref) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("reproduces: %s\n", paper_ref.c_str());
   std::printf("================================================================\n");
+  auto& json = detail::json_state();
+  if (json.title.empty()) json.title = title;
+  json.section = title;
 }
 
 inline void subheading(const std::string& title) {
   std::printf("\n-- %s --\n", title.c_str());
+  detail::json_state().section = title;
 }
 
 /// Prints a CDF as rows "x  F(x)  bar".
@@ -35,10 +128,16 @@ inline void print_cdf(const EmpiricalDistribution& dist, const std::vector<doubl
 
 inline void print_row(const char* label, double value, const char* unit = "") {
   std::printf("  %-44s %12.3f %s\n", label, value, unit);
+  auto& json = detail::json_state();
+  if (json.enabled) json.rows.push_back({json.section, label, value, unit, false});
 }
 
 inline void print_count_row(const char* label, std::uint64_t value) {
   std::printf("  %-44s %12s\n", label, fmt_count(value).c_str());
+  auto& json = detail::json_state();
+  if (json.enabled) {
+    json.rows.push_back({json.section, label, static_cast<double>(value), "", true});
+  }
 }
 
 }  // namespace akadns::bench

@@ -54,6 +54,8 @@ class DropCounters {
     for (std::size_t i = 0; i < kDropReasonCount; ++i) counts_[i] += other.counts_[i];
   }
 
+  bool operator==(const DropCounters&) const noexcept = default;
+
  private:
   std::array<std::uint64_t, kDropReasonCount> counts_{};
 };

@@ -23,6 +23,10 @@ bool TokenBucket::try_take(SimTime now, double tokens) noexcept {
   return true;
 }
 
+void TokenBucket::credit(double tokens) noexcept {
+  tokens_ = std::min(capacity_, tokens_ + std::max(tokens, 0.0));
+}
+
 double TokenBucket::available(SimTime now) noexcept {
   refill(now);
   return tokens_;

@@ -15,6 +15,11 @@ class TokenBucket {
   /// Attempts to take `tokens`; returns true on success.
   bool try_take(SimTime now, double tokens = 1.0) noexcept;
 
+  /// Returns `tokens` taken but not spent (capped at capacity). Used by
+  /// the phased datapath, which reserves a processing budget up front
+  /// and refunds the part a crash left unconsumed.
+  void credit(double tokens) noexcept;
+
   /// Available tokens after refilling to `now`.
   double available(SimTime now) noexcept;
 

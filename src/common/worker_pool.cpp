@@ -1,0 +1,80 @@
+#include "common/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace akadns {
+
+WorkerPool::WorkerPool(std::size_t threads)
+    : threads_(std::max<std::size_t>(1, threads)), errors_(threads_) {
+  helpers_.reserve(threads_ - 1);
+  for (std::size_t w = 1; w < threads_; ++w) {
+    helpers_.emplace_back([this, w] { helper_loop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  phase_start_.notify_all();
+  for (auto& helper : helpers_) helper.join();
+}
+
+void WorkerPool::run_stripe(std::size_t worker) {
+  // Static striping: the work→thread assignment depends only on
+  // (count, threads_), never on scheduling, so per-thread effects are
+  // reproducible run to run.
+  for (std::size_t i = worker; i < phase_count_; i += threads_) {
+    try {
+      (*phase_task_)(i);
+    } catch (...) {
+      if (!errors_[worker]) errors_[worker] = std::current_exception();
+    }
+  }
+}
+
+void WorkerPool::helper_loop(std::size_t worker) {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      phase_start_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+    }
+    run_stripe(worker);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++helpers_done_;
+    }
+    phase_done_.notify_one();
+  }
+}
+
+void WorkerPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  phase_count_ = count;
+  phase_task_ = &task;
+  std::fill(errors_.begin(), errors_.end(), nullptr);
+  if (threads_ == 1) {
+    run_stripe(0);  // pure inline execution; no synchronization at all
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      helpers_done_ = 0;
+      ++generation_;
+    }
+    phase_start_.notify_all();
+    run_stripe(0);  // the caller is worker 0
+    std::unique_lock<std::mutex> lock(mutex_);
+    phase_done_.wait(lock, [&] { return helpers_done_ == threads_ - 1; });
+  }
+  phase_task_ = nullptr;
+  for (auto& error : errors_) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace akadns

@@ -1,0 +1,67 @@
+// Deterministic worker-pool executor for the sharded datapath.
+//
+// The paper's platform scales inside a machine by spreading query
+// processing across cores; this pool supplies the execution side of that
+// shape: a fixed set of long-lived threads driven through *barriered
+// parallel phases*. A phase (`parallel_for`) hands out indices
+// [0, count) by static striping — worker w runs indices w, w+T, w+2T, …
+// — so the assignment of work to threads is a pure function of (count,
+// thread_count), never of runtime timing. Combined with shard-local
+// state (each index touches only its own lane) and a serial lane-order
+// merge after the barrier, every result is bit-identical whether the
+// pool has 1 thread or 16.
+//
+// The calling thread participates as worker 0, so thread_count == 1
+// means pure inline execution with zero synchronization — the serial
+// datapath pays nothing for the parallel machinery existing.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace akadns {
+
+class WorkerPool {
+ public:
+  /// A pool executing phases on `threads` workers (the caller counts as
+  /// one; `threads - 1` helper threads are spawned). 0 is clamped to 1.
+  explicit WorkerPool(std::size_t threads = 1);
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  ~WorkerPool();
+
+  std::size_t thread_count() const noexcept { return threads_; }
+
+  /// Runs task(0) … task(count-1) across the workers and returns only
+  /// when all have finished (a barrier). Tasks must be independent —
+  /// each index may touch only its own shard's state. If any task
+  /// throws, the first exception (in worker order) is rethrown here
+  /// after the barrier completes.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& task);
+
+ private:
+  void helper_loop(std::size_t worker);
+  void run_stripe(std::size_t worker);
+
+  std::size_t threads_;
+  std::vector<std::thread> helpers_;
+
+  std::mutex mutex_;
+  std::condition_variable phase_start_;
+  std::condition_variable phase_done_;
+  std::uint64_t generation_ = 0;
+  std::size_t phase_count_ = 0;
+  const std::function<void(std::size_t)>* phase_task_ = nullptr;
+  std::size_t helpers_done_ = 0;
+  std::vector<std::exception_ptr> errors_;  // one slot per worker
+  bool stopping_ = false;
+};
+
+}  // namespace akadns

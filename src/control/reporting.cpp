@@ -26,6 +26,17 @@ std::string DatapathReport::render() const {
          ")\n";
   out += "  publish: compiles=" + std::to_string(zone_compiles) +
          " compile_time=" + std::to_string(zone_compile_micros) + "us\n";
+  if (lanes.size() > 1) {
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      const auto& lane = lanes[i];
+      out += "  lane[" + std::to_string(i) + "]: received=" +
+             std::to_string(lane.packets_received) +
+             " responded=" + std::to_string(lane.responses_sent) +
+             " pending=" + std::to_string(lane.pending) +
+             " dropped=" + std::to_string(lane.drops.total()) +
+             (lane.conservative() ? "" : " [UNACCOUNTED PACKETS]") + "\n";
+    }
+  }
   out += telemetry.render();
   return out;
 }
@@ -45,12 +56,28 @@ DatapathReport collect_datapath(const std::vector<pop::Machine*>& fleet) {
     report.drops.merge(machine->stats().drops);
     report.telemetry.merge(machine->nameserver().telemetry());
 
-    const auto& responder = machine->nameserver().responder();
-    report.compiled_answers += responder.stats().compiled_answers;
-    report.cache_hits += responder.stats().cache_hits;
-    report.interpreted_answers += responder.stats().interpreted_answers;
-    report.cache_evictions += responder.answer_cache().stats().evictions;
-    report.cache_invalidations += responder.answer_cache().stats().invalidations;
+    // Per-lane conservation: fold lane i of this machine into the
+    // fleet-wide lane[i] bucket.
+    const auto& nameserver = machine->nameserver();
+    if (nameserver.lane_count() > report.lanes.size()) {
+      report.lanes.resize(nameserver.lane_count());
+    }
+    for (std::size_t i = 0; i < nameserver.lane_count(); ++i) {
+      const auto& lane_stats = nameserver.lane_stats(i);
+      auto& lane = report.lanes[i];
+      lane.packets_received += lane_stats.packets_received;
+      lane.responses_sent += lane_stats.responses_sent;
+      lane.pending += nameserver.lane_pending(i);
+      lane.drops.merge(lane_stats.drops);
+    }
+
+    const auto responder_stats = nameserver.responder_stats();
+    report.compiled_answers += responder_stats.compiled_answers;
+    report.cache_hits += responder_stats.cache_hits;
+    report.interpreted_answers += responder_stats.interpreted_answers;
+    const auto cache_stats = nameserver.answer_cache_stats();
+    report.cache_evictions += cache_stats.evictions;
+    report.cache_invalidations += cache_stats.invalidations;
     const zone::ZoneStore* store = &machine->zone_store();
     if (std::find(seen_stores.begin(), seen_stores.end(), store) == seen_stores.end()) {
       seen_stores.push_back(store);
@@ -62,6 +89,7 @@ DatapathReport collect_datapath(const std::vector<pop::Machine*>& fleet) {
 }
 
 void TrafficAggregator::record(const dns::DnsName& zone_apex, dns::Rcode rcode, SimTime now) {
+  const std::lock_guard<std::mutex> lock(record_mutex_);
   ZoneReport& report = reports_[zone_apex];
   ++report.queries;
   switch (rcode) {
@@ -76,7 +104,7 @@ void TrafficAggregator::record(const dns::DnsName& zone_apex, dns::Rcode rcode, 
 
 void TrafficAggregator::attach(pop::Machine& machine, std::function<SimTime()> now_fn) {
   zone::ZoneStore* store = machine.local_store();
-  machine.nameserver().responder().set_response_observer(
+  machine.nameserver().set_response_observer(
       [this, store, now_fn = std::move(now_fn)](const dns::Question& question,
                                                 dns::Rcode rcode) {
         dns::DnsName apex;  // root = "not a hosted zone" bucket

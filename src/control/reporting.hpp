@@ -14,6 +14,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,25 @@ struct DatapathReport {
   std::uint64_t pending = 0;  // still sitting in penalty queues
   DropCounters drops;
   server::DatapathTelemetry telemetry;
+
+  /// Conservation accounting for one lane index, summed across the fleet
+  /// (lane i of every machine). The invariant holds per lane exactly as
+  /// it does fleet-wide — a lane leaking packets shows up here even when
+  /// the machine totals still balance.
+  struct LaneReport {
+    std::uint64_t packets_received = 0;
+    std::uint64_t responses_sent = 0;
+    std::uint64_t pending = 0;
+    DropCounters drops;
+
+    std::uint64_t accounted() const noexcept {
+      return responses_sent + drops.total() + pending;
+    }
+    bool conservative() const noexcept { return packets_received == accounted(); }
+    bool operator==(const LaneReport&) const noexcept = default;
+  };
+  /// Indexed by lane; sized to the widest machine in the fleet.
+  std::vector<LaneReport> lanes;
 
   // Compiled-snapshot datapath: how responses were produced (fragments /
   // answer-cache replay / interpreted Message encoder) and what the
@@ -83,7 +103,10 @@ class TrafficAggregator {
   explicit TrafficAggregator(Duration rate_window = Duration::seconds(60))
       : rate_window_(rate_window) {}
 
-  /// Ingests one response event attributed to a zone apex.
+  /// Ingests one response event attributed to a zone apex. Thread-safe:
+  /// attached observers fire from the lanes of a parallel drain, so the
+  /// maps are guarded by an internal mutex (the counts are commutative,
+  /// so the aggregate stays deterministic in the worker count).
   void record(const dns::DnsName& zone_apex, dns::Rcode rcode, SimTime now);
 
   /// Wires a machine's responder into the aggregator: each answered
@@ -103,6 +126,8 @@ class TrafficAggregator {
 
  private:
   Duration rate_window_;
+  /// Serializes record() against itself; readers run between phases.
+  std::mutex record_mutex_;
   std::map<dns::DnsName, ZoneReport> reports_;
   // Per-zone event timestamps inside the trailing window (pruned lazily).
   mutable std::map<dns::DnsName, std::vector<SimTime>> recent_;

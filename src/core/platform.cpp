@@ -1,5 +1,7 @@
 #include "core/platform.hpp"
 
+#include <algorithm>
+
 #include "filters/nxdomain_filter.hpp"
 #include "filters/rate_limit_filter.hpp"
 
@@ -67,6 +69,8 @@ std::optional<Deframed> deframe(std::span<const std::uint8_t> payload) {
 
 Platform::Platform(PlatformConfig config)
     : config_(config),
+      pool_(config.worker_threads > 1 ? std::make_unique<WorkerPool>(config.worker_threads)
+                                      : nullptr),
       network_(scheduler_, config.network, config.seed),
       control_(scheduler_, config.control, config.seed ^ 0x51CA75ULL),
       coordinator_(config.suspension),
@@ -139,6 +143,7 @@ pop::Pop& Platform::add_pop(netsim::NodeId edge_node, std::size_t machine_count,
     pop::MachineConfig mconfig;
     mconfig.id = pop.id() + "/m" + std::to_string(machine_counter_++);
     mconfig.input_delayed = input_delayed;
+    mconfig.nameserver.lanes = config_.machine_lanes;
     // Machines own private stores fed by the control plane.
     pop::Machine& machine = pop.adopt_machine(std::make_unique<pop::Machine>(std::move(mconfig)));
     machine_zone_filters_[&machine] = zone_filter;
@@ -205,25 +210,37 @@ void Platform::install_filter_pipeline() { install_filter_pipeline(FilterDefault
 void Platform::install_filter_pipeline(const FilterDefaults& defaults) {
   for (auto& pop : pops_) {
     for (auto* machine : pop->machines()) {
-      auto& scoring = machine->nameserver().scoring();
-      if (scoring.find("rate_limit") || scoring.find("nxdomain")) continue;  // idempotent
-      scoring.add_filter(std::make_unique<filters::RateLimitFilter>(
-          filters::RateLimitFilter::Config{
-              .penalty = defaults.rate_limit_penalty,
-              .default_limit_qps = defaults.rate_limit_default_qps}));
+      auto& ns = machine->nameserver();
+      // Filters are installed uniformly on every lane, so probing lane 0
+      // keeps this idempotent.
+      if (ns.scoring().find("rate_limit") || ns.scoring().find("nxdomain")) continue;
+      ns.install_filter([&defaults](std::size_t, std::size_t) {
+        // Per-source state: lanes pin flows, so each lane's instance sees
+        // every packet of its sources — no threshold scaling needed.
+        return std::make_unique<filters::RateLimitFilter>(filters::RateLimitFilter::Config{
+            .penalty = defaults.rate_limit_penalty,
+            .default_limit_qps = defaults.rate_limit_default_qps});
+      });
       zone::ZoneStore* store = machine->local_store();
-      scoring.add_filter(std::make_unique<filters::NxDomainFilter>(
-          filters::NxDomainFilter::Config{.penalty = defaults.nxdomain_penalty,
-                                          .nxdomain_threshold = defaults.nxdomain_threshold},
-          [store](const dns::DnsName& qname) -> std::optional<dns::DnsName> {
-            const auto zone = store->find_best_zone(qname);
-            if (!zone) return std::nullopt;
-            return zone->apex();
-          },
-          [store](const dns::DnsName& apex) {
-            const auto zone = store->find_zone(apex);
-            return zone ? zone->all_names() : std::vector<dns::DnsName>{};
-          }));
+      ns.install_filter([&defaults, store](std::size_t, std::size_t shard_count) {
+        // Per-zone state: a zone's queries spread across all lanes, so
+        // the per-zone NXDOMAIN threshold scales down with the lane count
+        // to keep the machine-level trip point roughly constant.
+        const std::uint64_t threshold = std::max<std::uint64_t>(
+            1, defaults.nxdomain_threshold / static_cast<std::uint64_t>(shard_count));
+        return std::make_unique<filters::NxDomainFilter>(
+            filters::NxDomainFilter::Config{.penalty = defaults.nxdomain_penalty,
+                                            .nxdomain_threshold = threshold},
+            [store](const dns::DnsName& qname) -> std::optional<dns::DnsName> {
+              const auto zone = store->find_best_zone(qname);
+              if (!zone) return std::nullopt;
+              return zone->apex();
+            },
+            [store](const dns::DnsName& apex) {
+              const auto zone = store->find_zone(apex);
+              return zone ? zone->all_names() : std::vector<dns::DnsName>{};
+            });
+      });
     }
   }
 }
@@ -251,7 +268,7 @@ void Platform::schedule_pump(pop::Pop& pop) {
   pump_scheduled_[&pop] = true;
   scheduler_.schedule_after(config_.process_latency, [this, pop_ptr = &pop] {
     pump_scheduled_[pop_ptr] = false;
-    pop_ptr->pump(scheduler_.now());
+    pop_ptr->pump(scheduler_.now(), pool_.get());
     // Backlog remains (compute-bound): keep pumping.
     for (auto* machine : pop_ptr->machines()) {
       if (machine->nameserver().has_pending()) {

@@ -13,6 +13,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/worker_pool.hpp"
 #include "control/machine_subscriber.hpp"
 #include "core/delegation_sets.hpp"
 #include "netsim/topology.hpp"
@@ -34,6 +35,11 @@ struct PlatformConfig {
   Duration process_latency = Duration::micros(200);
   /// Re-pump interval while queries remain queued (compute backlog).
   Duration pump_interval = Duration::millis(1);
+  /// Datapath lanes per machine (configuration: results depend on it).
+  std::size_t machine_lanes = 1;
+  /// Worker threads draining the lanes at each pump (execution: results
+  /// are bit-identical for any value; >1 enables the parallel drain).
+  std::size_t worker_threads = 1;
 };
 
 class Platform {
@@ -147,6 +153,10 @@ class Platform {
 
   PlatformConfig config_;
   EventScheduler scheduler_;
+  /// Drains machine lanes at pump time (nullptr = serial). The scheduler
+  /// remains the single source of simulated time; workers only run
+  /// lane-local query processing between the serial phase boundaries.
+  std::unique_ptr<WorkerPool> pool_;
   netsim::Network network_;
   netsim::Topology topology_;
   control::ControlPlane control_;

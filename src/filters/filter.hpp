@@ -8,6 +8,7 @@
 // driven by the nameserver in src/server).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -60,6 +61,15 @@ struct ScoreBreakdown {
   /// (filter name, penalty) for each filter that fired.
   std::vector<std::pair<std::string_view, double>> contributions;
 };
+
+/// Builds one filter instance for a datapath shard. The sharded
+/// nameserver keeps an independent ScoringEngine per lane; a factory is
+/// invoked once per lane with (shard, shard_count) so stateful filters
+/// can scale per-shard thresholds (e.g. an NXDOMAIN limit of N per zone
+/// becomes N / shard_count per lane, since each lane only sees its own
+/// slice of the traffic).
+using FilterFactory =
+    std::function<std::unique_ptr<Filter>(std::size_t shard, std::size_t shard_count)>;
 
 /// Runs a configurable sequence of filters over each query.
 class ScoringEngine {

@@ -59,21 +59,28 @@ class PenaltyQueueSet {
     }
     queues_[idx].push_back(std::move(item));
     ++enqueued_;
+    ++size_;
+    if (idx < first_nonempty_) first_nonempty_ = idx;
     return EnqueueOutcome::Enqueued;
   }
 
   /// Pops the head of the lowest-penalty non-empty queue (work-conserving:
   /// higher-penalty queues are served whenever lower ones are empty).
+  /// Resumes the scan from the lowest possibly-non-empty index instead of
+  /// rescanning all queues from 0 on every pop — `first_nonempty_` only
+  /// moves forward here and is pulled back by enqueue(), so a drain of n
+  /// items costs O(n + queues), not O(n * queues).
   std::optional<Item> dequeue() {
-    for (auto& q : queues_) {
-      if (!q.empty()) {
-        Item item = std::move(q.front());
-        q.pop_front();
-        ++dequeued_;
-        return item;
-      }
+    while (first_nonempty_ < queues_.size() && queues_[first_nonempty_].empty()) {
+      ++first_nonempty_;
     }
-    return std::nullopt;
+    if (first_nonempty_ == queues_.size()) return std::nullopt;
+    auto& q = queues_[first_nonempty_];
+    Item item = std::move(q.front());
+    q.pop_front();
+    ++dequeued_;
+    --size_;
+    return item;
   }
 
   /// Queue a score would map to (exposed for tests/diagnostics).
@@ -86,18 +93,9 @@ class PenaltyQueueSet {
     return config_.max_scores.size() - 1;
   }
 
-  bool empty() const noexcept {
-    for (const auto& q : queues_) {
-      if (!q.empty()) return false;
-    }
-    return true;
-  }
+  bool empty() const noexcept { return size_ == 0; }
 
-  std::size_t size() const noexcept {
-    std::size_t n = 0;
-    for (const auto& q : queues_) n += q.size();
-    return n;
-  }
+  std::size_t size() const noexcept { return size_; }
 
   std::size_t queue_depth(std::size_t i) const { return queues_.at(i).size(); }
   std::size_t queue_count() const noexcept { return queues_.size(); }
@@ -112,6 +110,9 @@ class PenaltyQueueSet {
  private:
   PenaltyQueueConfig config_;
   std::vector<std::deque<Item>> queues_;
+  /// Lowest index that may hold items; dequeue() resumes its scan here.
+  std::size_t first_nonempty_ = 0;
+  std::size_t size_ = 0;
   std::uint64_t enqueued_ = 0;
   std::uint64_t dequeued_ = 0;
   std::uint64_t discarded_ = 0;

@@ -48,10 +48,16 @@ void Machine::deliver(std::span<const std::uint8_t> wire, const Endpoint& source
 }
 
 std::size_t Machine::pump(SimTime now) {
+  if (!begin_pump_phase(now)) return 0;
+  for (std::size_t i = 0; i < nameserver_.lane_count(); ++i) run_pump_lane(i, now);
+  return end_pump_phase(now);
+}
+
+bool Machine::begin_pump_phase(SimTime now) {
   if (failure_ == FailureType::SoftwareBug) {
-    return 0;  // hung process: queries accepted but never answered
+    return false;  // hung process: queries accepted but never answered
   }
-  return nameserver_.process(now);
+  return nameserver_.begin_phase(now);
 }
 
 bool Machine::metadata_reachable() const noexcept {

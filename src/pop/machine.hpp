@@ -74,8 +74,22 @@ class Machine {
   void deliver(std::span<const std::uint8_t> wire, const Endpoint& source,
                std::uint8_t ip_ttl, SimTime now);
 
-  /// Drives the nameserver's processing loop.
+  /// Drives the nameserver's processing loop (all lanes inline).
   std::size_t pump(SimTime now);
+
+  // Phased pump — the machine-level wrappers around the nameserver's
+  // begin_phase/run_lane/end_phase, honoring injected failures. Pop::pump
+  // uses these to drain many machines' lanes across a worker pool:
+  //   begin (serial) → run lanes (any thread) → end (serial, in order).
+
+  /// Serial. False when this machine has nothing to process this round
+  /// (hung process, crashed/suspended nameserver, no backlog or tokens);
+  /// end_pump_phase must not be called in that case.
+  bool begin_pump_phase(SimTime now);
+  /// Parallel-safe for distinct (machine, lane) pairs.
+  void run_pump_lane(std::size_t lane, SimTime now) { nameserver_.run_lane(lane, now); }
+  /// Serial. Returns the number of queries processed this phase.
+  std::size_t end_pump_phase(SimTime now) { return nameserver_.end_phase(now); }
 
   /// Whether metadata deliveries currently reach this machine.
   bool metadata_reachable() const noexcept;

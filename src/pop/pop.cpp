@@ -85,9 +85,39 @@ void Pop::deliver(netsim::PrefixId cloud, std::span<const std::uint8_t> wire,
   machine->deliver(wire, source, ip_ttl, now);
 }
 
-std::size_t Pop::pump(SimTime now) {
+std::size_t Pop::pump(SimTime now, WorkerPool* pool) {
+  // One code path for serial and parallel: begin every machine's phase
+  // (serial, machine order), run all (machine, lane) tasks, then settle
+  // every phase (serial, machine order). Lanes are independent and the
+  // serial steps are ordered, so the drain is deterministic in the
+  // worker count.
+  std::vector<Machine*> active;
+  active.reserve(machines_.size());
+  for (auto& machine : machines_) {
+    if (machine->begin_pump_phase(now)) active.push_back(machine.get());
+  }
+  if (active.empty()) return 0;
+
+  struct LaneTask {
+    Machine* machine;
+    std::size_t lane;
+  };
+  std::vector<LaneTask> tasks;
+  for (Machine* machine : active) {
+    const auto& ns = machine->nameserver();
+    for (std::size_t lane = 0; lane < ns.lane_count(); ++lane) {
+      if (ns.lane_phase_budget(lane) > 0) tasks.push_back({machine, lane});
+    }
+  }
+  if (pool && pool->thread_count() > 1) {
+    pool->parallel_for(tasks.size(),
+                       [&](std::size_t i) { tasks[i].machine->run_pump_lane(tasks[i].lane, now); });
+  } else {
+    for (const auto& task : tasks) task.machine->run_pump_lane(task.lane, now);
+  }
+
   std::size_t processed = 0;
-  for (auto& machine : machines_) processed += machine->pump(now);
+  for (Machine* machine : active) processed += machine->end_pump_phase(now);
   return processed;
 }
 

@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "common/worker_pool.hpp"
 #include "pop/machine.hpp"
 
 namespace akadns::pop {
@@ -59,7 +60,13 @@ class Pop {
                const Endpoint& source, std::uint8_t ip_ttl, SimTime now);
 
   /// Drives all machines' processing loops; returns queries processed.
-  std::size_t pump(SimTime now);
+  /// With a worker pool, every machine's lanes drain concurrently across
+  /// its threads: phase budgets are assigned serially per machine, the
+  /// (machine, lane) tasks run in parallel (each touches only its own
+  /// lane), and responses/crashes/stats settle serially in machine order
+  /// — so the result is bit-identical to the serial drain (pool omitted
+  /// or single-threaded) for any thread count.
+  std::size_t pump(SimTime now, WorkerPool* pool = nullptr);
 
  private:
   PopConfig config_;

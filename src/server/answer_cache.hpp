@@ -49,6 +49,18 @@ class AnswerCache {
     std::uint64_t evictions = 0;
     std::uint64_t expired = 0;       // hits refused because the TTL ran out
     std::uint64_t invalidations = 0; // whole-cache clears on generation change
+
+    /// Accumulates another cache's counters (per-lane → machine view).
+    void merge(const Stats& o) noexcept {
+      hits += o.hits;
+      misses += o.misses;
+      insertions += o.insertions;
+      evictions += o.evictions;
+      expired += o.expired;
+      invalidations += o.invalidations;
+    }
+
+    bool operator==(const Stats&) const noexcept = default;
   };
 
   explicit AnswerCache(std::size_t max_entries) : max_entries_(max_entries) {}

@@ -1,5 +1,7 @@
 #include "server/nameserver.hpp"
 
+#include <algorithm>
+
 #include "dns/wire.hpp"
 
 namespace akadns::server {
@@ -23,117 +25,222 @@ std::string to_string(ServerState s) {
 
 Nameserver::Nameserver(NameserverConfig config, const zone::ZoneStore& store)
     : config_(std::move(config)),
-      responder_(store),
-      pool_(std::make_unique<BufferPool>()),
-      queues_(config_.queue_config),
       compute_bucket_(config_.compute_capacity_qps, config_.compute_capacity_qps * 0.1),
-      io_bucket_(config_.io_capacity_qps, config_.io_capacity_qps * 0.05) {}
+      io_bucket_(config_.io_capacity_qps, config_.io_capacity_qps * 0.05) {
+  const std::size_t lanes = std::max<std::size_t>(1, config_.lanes);
+  lanes_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) lanes_.emplace_back(config_, store);
+}
+
+std::size_t Nameserver::lane_of(const Endpoint& source) const noexcept {
+  if (lanes_.size() == 1) return 0;
+  // RSS-style flow pinning: every packet of a (addr, port) flow lands in
+  // the same lane, so per-source filter state (rate limits, loyalty) is
+  // lane-local without sharing. Deliberately different mix constants from
+  // Pop::ecmp_select — reusing that hash would correlate the machine pick
+  // with the lane pick and skew every machine's traffic onto few lanes.
+  std::uint64_t h = source.addr.hash();
+  h ^= h >> 31;
+  h *= 0x9e3779b97f4a7c15ULL;
+  h += source.port;
+  h ^= h >> 27;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 33;
+  return static_cast<std::size_t>(h % lanes_.size());
+}
 
 void Nameserver::receive(std::span<const std::uint8_t> wire, const Endpoint& source,
                          std::uint8_t ip_ttl, SimTime now) {
-  StageTimer receive_timer(telemetry_.stage(Stage::Receive));
+  Lane& lane = lanes_[lane_of(source)];
+  StageTimer receive_timer(lane.telemetry.stage(Stage::Receive));
+  ++lane.stats.packets_received;
   ++stats_.packets_received;
   if (state_ != ServerState::Running) {
-    stats_.drops.add(DropReason::NotRunning);
+    count_drop(lane, DropReason::NotRunning);
     return;
   }
   // NIC / kernel stack limit: when arrivals exceed the I/O capacity,
   // packets are lost before the application sees them (Figure 10, A>A2).
+  // The bucket is machine-wide (one NIC) and receive() is serial.
   if (!io_bucket_.try_take(now)) {
-    stats_.drops.add(DropReason::IoOverload);
+    count_drop(lane, DropReason::IoOverload);
     return;
   }
   // The once-only decode: header + question parsed here, shared by the
   // firewall, the filters, and (completed in place) the responder.
   QueryContext ctx;
   {
-    StageTimer parse_timer(telemetry_.stage(Stage::Parse));
+    StageTimer parse_timer(lane.telemetry.stage(Stage::Parse));
     auto view = dns::decode_query_view(wire);
     if (!view) {
       // Unanswerable: no parseable header/question means no FORMERR
       // either, so the packet dies here instead of wasting queue space.
-      stats_.drops.add(DropReason::Malformed);
+      count_drop(lane, DropReason::Malformed);
       return;
     }
     ctx.view = std::move(view).value();
     ctx.parsed = true;
   }
   if (firewall_.drops(ctx.view.question, now)) {
-    stats_.drops.add(DropReason::Firewall);
+    count_drop(lane, DropReason::Firewall);
     return;
   }
   ctx.source = source;
   ctx.ip_ttl = ip_ttl;
   ctx.arrival = now;
   {
-    StageTimer score_timer(telemetry_.stage(Stage::Score));
-    ctx.score = scoring_.score(ctx.filter_view(now));
+    StageTimer score_timer(lane.telemetry.stage(Stage::Score));
+    ctx.score = lane.scoring.score(ctx.filter_view(now));
   }
-  ctx.wire = pool_->copy_of(wire);
+  ctx.wire = lane.pool->copy_of(wire);
   const double score = ctx.score;  // read before the move below
-  switch (queues_.enqueue(std::move(ctx), score)) {
+  switch (lane.queues.enqueue(std::move(ctx), score)) {
     case filters::EnqueueOutcome::Enqueued:
+      ++lane.stats.queries_enqueued;
       ++stats_.queries_enqueued;
       break;
     case filters::EnqueueOutcome::DiscardedByScore:
-      stats_.drops.add(DropReason::ScoreDiscard);
+      count_drop(lane, DropReason::ScoreDiscard);
       break;
     case filters::EnqueueOutcome::DroppedQueueFull:
-      stats_.drops.add(DropReason::QueueFull);
+      count_drop(lane, DropReason::QueueFull);
       break;
   }
 }
 
-bool Nameserver::process_one(SimTime now) {
-  auto item = queues_.dequeue();
-  if (!item) return false;
-  ++stats_.queries_processed;
-  telemetry_.queue_wait().record((now - item->arrival).to_micros());
-
-  // Query-of-death check: an unrecoverable fault in query processing.
-  if (crash_predicate_ && crash_predicate_(item->question())) {
-    ++stats_.crashes;
-    stats_.drops.add(DropReason::QueryOfDeath);
-    last_qod_ = item->question();  // "write the DNS payload to disk"
-    if (config_.qod_trap_enabled) {
-      // The separate firewall-builder process installs a rule dropping
-      // similar queries for T_QoD.
-      firewall_.install(item->question(), now, config_.qod_rule_ttl);
+bool Nameserver::begin_phase(SimTime now) {
+  phase_metered_ = true;
+  for (auto& lane : lanes_) {
+    lane.budget = 0;
+    lane.processed = 0;
+  }
+  if (state_ != ServerState::Running) return false;
+  // One token at a time, round-robin in lane order: with one lane this is
+  // exactly the serial loop's take-one/process-one token sequence; with
+  // many, compute is shared fairly and the assignment is a pure function
+  // of (backlogs, bucket level) — deterministic regardless of threads.
+  bool any = false;
+  bool assigned = true;
+  while (assigned) {
+    assigned = false;
+    for (auto& lane : lanes_) {
+      if (lane.budget >= lane.queues.size()) continue;
+      if (!compute_bucket_.try_take(now)) return any;
+      ++lane.budget;
+      any = true;
+      assigned = true;
     }
-    state_ = ServerState::Crashed;
-    return true;
   }
+  return any;
+}
 
-  {
-    StageTimer resolve_timer(telemetry_.stage(Stage::Resolve));
-    responder_.respond_view_into(item->bytes(), item->view, item->source, now,
-                                 response_scratch_);
+void Nameserver::run_lane(std::size_t lane_index, SimTime now) {
+  Lane& lane = lanes_[lane_index];
+  while (lane.processed < lane.budget) {
+    auto item = lane.queues.dequeue();
+    if (!item) break;  // defensive: budgets never exceed the backlog
+    ++lane.processed;
+    ++lane.stats.queries_processed;
+    lane.telemetry.queue_wait().record((now - item->arrival).to_micros());
+
+    // Query-of-death check: an unrecoverable fault in query processing.
+    // Only this lane stops; end_phase crashes the whole instance.
+    if (crash_predicate_ && crash_predicate_(item->question())) {
+      ++lane.stats.crashes;
+      lane.stats.drops.add(DropReason::QueryOfDeath);
+      lane.crashed = true;
+      lane.qod = item->question();  // "write the DNS payload to disk"
+      break;
+    }
+
+    {
+      StageTimer resolve_timer(lane.telemetry.stage(Stage::Resolve));
+      lane.responder.respond_view_into(item->bytes(), item->view, item->source, now,
+                                       lane.response_scratch);
+    }
+    // Fan the outcome back to this lane's filters (NXDOMAIN counting etc.).
+    lane.scoring.observe_response(item->filter_view(now), rcode_of(lane.response_scratch));
+    ++lane.stats.responses_sent;
+    lane.batch.append(item->source, lane.response_scratch);
   }
-  // Fan the outcome back to the filters (NXDOMAIN counting etc.).
-  scoring_.observe_response(item->filter_view(now), rcode_of(response_scratch_));
-  ++stats_.responses_sent;
-  if (span_sink_) {
-    span_sink_(item->source, std::span<const std::uint8_t>(response_scratch_));
-  } else if (sink_) {
-    sink_(item->source, response_scratch_);  // legacy sinks get an owned copy
+}
+
+std::size_t Nameserver::end_phase(SimTime now) {
+  // Flush buffered responses in lane order — the sink call sequence is a
+  // pure function of lane contents, identical for 1 or N worker threads.
+  for (auto& lane : lanes_) {
+    for (const auto& entry : lane.batch.entries) {
+      const std::span<const std::uint8_t> wire(lane.batch.bytes.data() + entry.offset,
+                                               entry.len);
+      if (span_sink_) {
+        span_sink_(entry.dst, wire);
+      } else if (sink_) {
+        sink_(entry.dst, std::vector<std::uint8_t>(wire.begin(), wire.end()));
+      }
+    }
+    lane.batch.clear();
   }
-  return true;
+  // Settle budgets and crash effects, again in lane order.
+  std::size_t total = 0;
+  bool first_crash = true;
+  for (auto& lane : lanes_) {
+    total += lane.processed;
+    if (phase_metered_ && lane.budget > lane.processed) {
+      // A crash left part of this lane's reserved compute unspent.
+      compute_bucket_.credit(static_cast<double>(lane.budget - lane.processed));
+    }
+    if (lane.crashed) {
+      if (first_crash) {
+        last_qod_ = lane.qod;
+        first_crash = false;
+      }
+      if (config_.qod_trap_enabled && lane.qod) {
+        // The separate firewall-builder process installs a rule dropping
+        // similar queries for T_QoD.
+        firewall_.install(*lane.qod, now, config_.qod_rule_ttl);
+      }
+      state_ = ServerState::Crashed;
+      lane.crashed = false;
+      lane.qod.reset();
+    }
+    lane.budget = 0;
+    lane.processed = 0;
+  }
+  // Re-merge the machine view: receive-side counters were dual-written,
+  // process-side ones live only in the lanes until this point.
+  stats_ = NameserverStats{};
+  for (const auto& lane : lanes_) stats_.merge(lane.stats);
+  return total;
 }
 
 std::size_t Nameserver::process(SimTime now) {
-  std::size_t processed = 0;
-  while (state_ == ServerState::Running && !queues_.empty() && compute_bucket_.try_take(now)) {
-    if (!process_one(now)) break;
-    ++processed;
-  }
-  return processed;
+  if (!begin_phase(now)) return 0;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) run_lane(i, now);
+  return end_phase(now);
 }
 
 std::size_t Nameserver::process_unmetered(SimTime now, std::size_t budget) {
-  std::size_t processed = 0;
-  while (processed < budget && state_ == ServerState::Running && process_one(now)) {
-    ++processed;
+  if (state_ != ServerState::Running || budget == 0) return 0;
+  for (auto& lane : lanes_) {
+    lane.budget = 0;
+    lane.processed = 0;
   }
+  std::size_t remaining = budget;
+  bool assigned = true;
+  while (remaining > 0 && assigned) {
+    assigned = false;
+    for (auto& lane : lanes_) {
+      if (remaining == 0) break;
+      if (lane.budget >= lane.queues.size()) continue;
+      ++lane.budget;
+      --remaining;
+      assigned = true;
+    }
+  }
+  phase_metered_ = false;  // budgets came from the caller, not the bucket
+  for (std::size_t i = 0; i < lanes_.size(); ++i) run_lane(i, now);
+  const std::size_t processed = end_phase(now);
+  phase_metered_ = true;
   return processed;
 }
 
@@ -149,8 +256,17 @@ void Nameserver::restart(SimTime now) {
   // A restart loses in-flight queries (resolvers retry) and resets the
   // capacity buckets; learned filter state survives in this model because
   // production filters persist their learned tables out of process.
-  stats_.drops.add(DropReason::RestartFlush, queues_.size());
-  queues_ = filters::PenaltyQueueSet<QueryContext>(config_.queue_config);
+  for (auto& lane : lanes_) {
+    const std::size_t flushed = lane.queues.size();
+    lane.stats.drops.add(DropReason::RestartFlush, flushed);
+    stats_.drops.add(DropReason::RestartFlush, flushed);
+    lane.queues = filters::PenaltyQueueSet<QueryContext>(config_.queue_config);
+    lane.batch.clear();
+    lane.budget = 0;
+    lane.processed = 0;
+    lane.crashed = false;
+    lane.qod.reset();
+  }
   compute_bucket_ = TokenBucket(config_.compute_capacity_qps, config_.compute_capacity_qps * 0.1);
   io_bucket_ = TokenBucket(config_.io_capacity_qps, config_.io_capacity_qps * 0.05);
   state_ = ServerState::Running;

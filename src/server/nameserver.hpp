@@ -1,24 +1,43 @@
 // The authoritative nameserver instance — the paper's "specialized
 // nameserver software" running on each machine in a PoP (§3.1, Figure 6).
 //
+// The datapath is sharded into N independent *lanes* (RSS-style): receive()
+// hashes the packet's source endpoint to a lane, and each lane owns its own
+// penalty-queue set, scoring-engine filter state, responder (with answer
+// cache), scratch buffers, and telemetry. Because every flow is pinned to
+// one lane and lanes never share mutable state mid-phase, the lanes of one
+// machine can be drained by any number of worker threads and produce
+// bit-identical results — the lane COUNT is configuration, the thread
+// count is not.
+//
 // Datapath per packet (one QueryContext, created at receive() and moved
 // through every stage — no copies, no re-parsing):
-//   receive(): one-pass QueryView decode (header + question) -> firewall
-//   check (QoD rules) -> I/O capacity check (drops below the application
-//   when the NIC/stack is saturated, the A > A2 region of Figure 10) ->
-//   filter scoring over the decoded question -> penalty queue placement
-//   with the packet bytes in a pooled buffer.
-//   process(): work-conserving drain of the penalty queues at the
-//   compute capacity, EDNS walk completed in place, authoritative
-//   resolution, response out through the sink, response outcome fanned
-//   back to the filters.
+//   receive(): lane selection -> one-pass QueryView decode (header +
+//   question) -> firewall check (QoD rules) -> I/O capacity check (drops
+//   below the application when the NIC/stack is saturated, the A > A2
+//   region of Figure 10) -> lane-local filter scoring over the decoded
+//   question -> lane-local penalty queue placement with the packet bytes
+//   in a pooled buffer.
+//   process(): a barriered three-step phase —
+//     begin_phase(): serial; meters the compute token bucket into
+//       per-lane budgets, round-robin one token at a time in lane order;
+//     run_lane(i): parallel-safe; work-conserving drain of lane i's
+//       penalty queues up to its budget, responses buffered lane-locally;
+//     end_phase(): serial; flushes buffered responses in lane order,
+//       applies crash effects in lane order, refunds unspent budget to
+//       the bucket, and re-merges per-lane stats into the machine view.
+//   process() runs the three steps inline; Pop::pump may interleave many
+//   machines' run_lane calls across a WorkerPool between the serial ends.
 // Every drop is accounted against the unified DropReason taxonomy so
 //   packets_received == responses_sent + drops.total() + pending
-// holds exactly; each stage records its latency into DatapathTelemetry.
+// holds exactly — per lane and for the machine; each stage records its
+// latency into the owning lane's DatapathTelemetry.
 //
 // Failure model:
 //   - a crash predicate marks queries-of-death (§4.2.4); processing one
-//     crashes the instance, optionally installing a firewall rule;
+//     stops the hitting lane's phase immediately, the other lanes finish
+//     their budgets, and end_phase() crashes the instance (optionally
+//     installing a firewall rule per hit);
 //   - self-suspension (§4.2.1/4.2.2) stops serving until resumed —
 //     driven externally by the monitoring agent in src/pop;
 //   - metadata staleness tracking (§4.2.2) with a configurable threshold.
@@ -59,6 +78,11 @@ struct NameserverConfig {
   /// bound; past this, drops happen below the application — region
   /// A > A2 in Figure 10).
   double io_capacity_qps = 300'000.0;
+  /// Independent datapath lanes per machine. Results depend on this
+  /// value (it is configuration, like core count) but never on how many
+  /// threads drain the lanes. Each lane gets its own queue set (with
+  /// `queue_config` capacities), filter state, and answer cache.
+  std::size_t lanes = 1;
   filters::PenaltyQueueConfig queue_config{};
   /// T_QoD: lifetime of an installed query-of-death firewall rule.
   Duration qod_rule_ttl = Duration::minutes(10);
@@ -87,16 +111,30 @@ struct NameserverStats {
   std::uint64_t discarded_by_score() const noexcept { return drops[DropReason::ScoreDiscard]; }
   std::uint64_t dropped_queue_full() const noexcept { return drops[DropReason::QueueFull]; }
   std::uint64_t malformed() const noexcept { return drops[DropReason::Malformed]; }
+
+  /// Accumulates another instance's counters (per-lane → machine view).
+  void merge(const NameserverStats& o) noexcept {
+    packets_received += o.packets_received;
+    queries_enqueued += o.queries_enqueued;
+    queries_processed += o.queries_processed;
+    responses_sent += o.responses_sent;
+    crashes += o.crashes;
+    drops.merge(o.drops);
+  }
+
+  bool operator==(const NameserverStats&) const noexcept = default;
 };
 
 class Nameserver {
  public:
   using ResponseSink = std::function<void(const Endpoint& dst, std::vector<std::uint8_t> wire)>;
-  /// Zero-copy sink: the span aliases the nameserver's reusable response
-  /// buffer and is only valid for the duration of the call. When set it
-  /// takes precedence over the owning ResponseSink.
+  /// Zero-copy sink: the span aliases the lane's response batch and is
+  /// only valid for the duration of the call. When set it takes
+  /// precedence over the owning ResponseSink.
   using ResponseSpanSink =
       std::function<void(const Endpoint& dst, std::span<const std::uint8_t> wire)>;
+  /// Must be pure/thread-safe: lanes evaluate it concurrently under a
+  /// parallel drain.
   using CrashPredicate = std::function<bool(const dns::Question&)>;
 
   Nameserver(NameserverConfig config, const zone::ZoneStore& store);
@@ -106,29 +144,95 @@ class Nameserver {
 
   // ---- datapath ----------------------------------------------------------
 
-  /// Accepts one packet from the wire. Drops (with accounting) when a
+  /// Accepts one packet from the wire (serial — driven by the event
+  /// scheduler, never during a phase). Drops (with accounting) when a
   /// firewall rule matches, the I/O capacity is exceeded, the instance is
   /// not Running, the wire fails to decode, or the penalty queues discard
-  /// it. A surviving packet becomes a QueryContext in a penalty queue.
+  /// it. A surviving packet becomes a QueryContext in the penalty queue
+  /// of the lane its source endpoint hashes to.
   void receive(std::span<const std::uint8_t> wire, const Endpoint& source,
                std::uint8_t ip_ttl, SimTime now);
 
-  /// Processes queued queries subject to the compute token bucket.
-  /// Returns the number processed. A query-of-death stops processing
-  /// immediately (the instance crashes).
+  /// Processes queued queries subject to the compute token bucket
+  /// (begin_phase → run every lane inline → end_phase). Returns the
+  /// number processed.
   std::size_t process(SimTime now);
 
   /// Processes at most `budget` queries regardless of the bucket (used by
-  /// tests and by drivers that meter compute themselves).
+  /// tests and by drivers that meter compute themselves); the budget is
+  /// spread round-robin across lanes with backlog.
   std::size_t process_unmetered(SimTime now, std::size_t budget);
 
-  bool has_pending() const noexcept { return !queues_.empty(); }
-  std::size_t pending() const noexcept { return queues_.size(); }
+  // ---- phased processing (the parallel-drain contract) -------------------
+  //
+  // Pop::pump drives many machines' lanes concurrently:
+  //   for each machine:           begin_phase(now)        (serial)
+  //   for each (machine, lane):   run_lane(lane, now)     (any thread)
+  //   for each machine:           end_phase(now)          (serial, in order)
+  // run_lane touches only that lane's state, so distinct (machine, lane)
+  // pairs never race; begin/end own all shared state (buckets, firewall,
+  // machine stats, sinks).
+
+  /// Serial. Assigns per-lane processing budgets from the compute bucket
+  /// (one token at a time, round-robin in lane order — the take sequence
+  /// a serial take-one/process-one loop would produce). Returns false when
+  /// there is nothing to process (not Running, no backlog, or no tokens);
+  /// end_phase must not be called in that case.
+  bool begin_phase(SimTime now);
+
+  /// Parallel-safe for distinct lanes. Drains lane `lane` up to its phase
+  /// budget; responses are buffered lane-locally, a query-of-death stops
+  /// only this lane. No-op when the lane's budget is zero.
+  void run_lane(std::size_t lane, SimTime now);
+
+  /// Serial. Flushes buffered responses through the sink in lane order,
+  /// applies crash effects in lane order, refunds unspent budget to the
+  /// compute bucket, and re-merges lane stats into the machine view.
+  /// Returns the number of queries processed this phase.
+  std::size_t end_phase(SimTime now);
+
+  /// Budget begin_phase assigned to `lane` (0 outside a phase). Drivers
+  /// may skip run_lane for zero-budget lanes.
+  std::size_t lane_phase_budget(std::size_t lane) const noexcept {
+    return lanes_[lane].budget;
+  }
+
+  bool has_pending() const noexcept {
+    for (const auto& lane : lanes_) {
+      if (!lane.queues.empty()) return true;
+    }
+    return false;
+  }
+  std::size_t pending() const noexcept {
+    std::size_t n = 0;
+    for (const auto& lane : lanes_) n += lane.queues.size();
+    return n;
+  }
 
   void set_response_sink(ResponseSink sink) { sink_ = std::move(sink); }
   void set_response_span_sink(ResponseSpanSink sink) { span_sink_ = std::move(sink); }
   void set_crash_predicate(CrashPredicate predicate) { crash_predicate_ = std::move(predicate); }
-  void set_mapping_hook(MappingHook hook) { responder_.set_mapping_hook(std::move(hook)); }
+
+  // Hook setters fan out to every lane's responder. Hooks are invoked
+  // from run_lane and must therefore be thread-safe (the mapping hook is
+  // pure by construction; observers synchronize internally).
+  void set_mapping_hook(MappingHook hook) {
+    for (auto& lane : lanes_) lane.responder.set_mapping_hook(hook);
+  }
+  void set_referral_push_hook(ReferralPushHook hook) {
+    for (auto& lane : lanes_) lane.responder.set_referral_push_hook(hook);
+  }
+  void set_response_observer(Responder::ResponseObserver observer) {
+    for (auto& lane : lanes_) lane.responder.set_response_observer(observer);
+  }
+
+  /// Installs one filter instance per lane via the factory (each lane
+  /// scores independently, so stateful filters shard their learned state).
+  void install_filter(const filters::FilterFactory& factory) {
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      lanes_[i].scoring.add_filter(factory(i, lanes_.size()));
+    }
+  }
 
   // ---- lifecycle / health -------------------------------------------------
 
@@ -138,12 +242,13 @@ class Nameserver {
   /// Monitoring-agent actions.
   void self_suspend() noexcept;
   void resume() noexcept;
-  /// Restart after a crash (flushes queued queries — accounted as
-  /// RestartFlush drops; resolvers retry).
+  /// Restart after a crash (flushes queued queries in every lane —
+  /// accounted as RestartFlush drops; resolvers retry).
   void restart(SimTime now);
 
   /// The payload that crashed the server, if any (written "to disk" for
-  /// the firewall-builder process and operations).
+  /// the firewall-builder process and operations). With several lanes
+  /// crashing in one phase, the first in lane order.
   const std::optional<dns::Question>& last_qod() const noexcept { return last_qod_; }
 
   // ---- metadata freshness --------------------------------------------------
@@ -156,43 +261,139 @@ class Nameserver {
   bool is_stale(SimTime now) const noexcept;
 
   // ---- components ----------------------------------------------------------
+  //
+  // The unqualified accessors address lane 0 — exact whole-machine views
+  // when lanes == 1 (the default), convenient handles otherwise (probes,
+  // single-lane tests). The lane-indexed overloads and the merged views
+  // serve multi-lane callers.
 
-  filters::ScoringEngine& scoring() noexcept { return scoring_; }
-  Responder& responder() noexcept { return responder_; }
-  const Responder& responder() const noexcept { return responder_; }
+  std::size_t lane_count() const noexcept { return lanes_.size(); }
+  /// Lane a source endpoint is pinned to (exposed for tests/diagnostics).
+  std::size_t lane_of(const Endpoint& source) const noexcept;
+
+  filters::ScoringEngine& scoring() noexcept { return lanes_[0].scoring; }
+  filters::ScoringEngine& scoring(std::size_t lane) noexcept { return lanes_[lane].scoring; }
+  Responder& responder() noexcept { return lanes_[0].responder; }
+  const Responder& responder() const noexcept { return lanes_[0].responder; }
+  Responder& responder(std::size_t lane) noexcept { return lanes_[lane].responder; }
   Firewall& firewall() noexcept { return firewall_; }
+
+  /// Machine-level stats: live for all receive-side counters, refreshed
+  /// from the lanes at every end_phase for process-side ones. The
+  /// reference is stable across the nameserver's lifetime.
   const NameserverStats& stats() const noexcept { return stats_; }
-  const filters::PenaltyQueueSet<QueryContext>& queues() const noexcept { return queues_; }
-  const BufferPool& pool() const noexcept { return *pool_; }
-  const DatapathTelemetry& telemetry() const noexcept { return telemetry_; }
+  const NameserverStats& lane_stats(std::size_t lane) const noexcept {
+    return lanes_[lane].stats;
+  }
+  std::size_t lane_pending(std::size_t lane) const noexcept {
+    return lanes_[lane].queues.size();
+  }
+
+  const filters::PenaltyQueueSet<QueryContext>& queues() const noexcept {
+    return lanes_[0].queues;
+  }
+  const filters::PenaltyQueueSet<QueryContext>& queues(std::size_t lane) const noexcept {
+    return lanes_[lane].queues;
+  }
+  const BufferPool& pool() const noexcept { return *lanes_[0].pool; }
+  const BufferPool& pool(std::size_t lane) const noexcept { return *lanes_[lane].pool; }
+
+  /// Machine view: all lanes' telemetry merged (counts are exact; latency
+  /// moments merge per LatencyRecorder::merge).
+  DatapathTelemetry telemetry() const {
+    DatapathTelemetry merged;
+    for (const auto& lane : lanes_) merged.merge(lane.telemetry);
+    return merged;
+  }
+  const DatapathTelemetry& lane_telemetry(std::size_t lane) const noexcept {
+    return lanes_[lane].telemetry;
+  }
+
+  /// Machine view: all lanes' responder counters summed.
+  ResponderStats responder_stats() const {
+    ResponderStats merged;
+    for (const auto& lane : lanes_) merged.merge(lane.responder.stats());
+    return merged;
+  }
+  /// Machine view: all lanes' answer-cache counters summed.
+  AnswerCache::Stats answer_cache_stats() const {
+    AnswerCache::Stats merged;
+    for (const auto& lane : lanes_) merged.merge(lane.responder.answer_cache().stats());
+    return merged;
+  }
 
  private:
-  /// Dequeues and handles a single query; false when queues are empty.
-  bool process_one(SimTime now);
+  /// Responses a lane produced this phase, buffered so end_phase can
+  /// flush them in deterministic lane order. One byte arena + offsets:
+  /// reused capacity, so steady state allocates nothing per query.
+  struct ResponseBatch {
+    struct Entry {
+      Endpoint dst;
+      std::size_t offset = 0;
+      std::size_t len = 0;
+    };
+    std::vector<std::uint8_t> bytes;
+    std::vector<Entry> entries;
+
+    void append(const Endpoint& dst, std::span<const std::uint8_t> wire) {
+      entries.push_back({dst, bytes.size(), wire.size()});
+      bytes.insert(bytes.end(), wire.begin(), wire.end());
+    }
+    void clear() noexcept {
+      bytes.clear();
+      entries.clear();
+    }
+  };
+
+  /// One independent datapath shard. Everything a query touches after
+  /// lane selection lives here; run_lane mutates nothing else.
+  struct Lane {
+    Lane(const NameserverConfig& config, const zone::ZoneStore& store)
+        : responder(store), pool(std::make_unique<BufferPool>()), queues(config.queue_config) {}
+
+    Responder responder;
+    filters::ScoringEngine scoring;
+    // The pool must outlive the queues (queued PooledBuffers release into
+    // it on destruction) — declared first so it destructs last. It lives
+    // behind a unique_ptr because lanes are movable and the buffers hold
+    // a stable pointer to the pool.
+    std::unique_ptr<BufferPool> pool;
+    filters::PenaltyQueueSet<QueryContext> queues;
+    /// Reused across queries; the responder encodes into it in place.
+    std::vector<std::uint8_t> response_scratch;
+    NameserverStats stats;
+    DatapathTelemetry telemetry;
+    ResponseBatch batch;
+
+    // Phase state, owned by begin_phase/end_phase.
+    std::size_t budget = 0;
+    std::size_t processed = 0;
+    bool crashed = false;
+    std::optional<dns::Question> qod;
+  };
+
+  /// Dual-write: receive-side accounting lands in the lane AND the
+  /// machine view so stats() stays live between phases.
+  void count_drop(Lane& lane, DropReason reason) noexcept {
+    lane.stats.drops.add(reason);
+    stats_.drops.add(reason);
+  }
 
   NameserverConfig config_;
-  Responder responder_;
-  filters::ScoringEngine scoring_;
   Firewall firewall_;
-  // The pool must outlive the queues (queued PooledBuffers release into
-  // it on destruction) — declared first so it destructs last. It lives
-  // behind a unique_ptr because Nameserver is movable and the buffers
-  // hold a stable pointer to the pool.
-  std::unique_ptr<BufferPool> pool_;
-  filters::PenaltyQueueSet<QueryContext> queues_;
+  std::vector<Lane> lanes_;
   TokenBucket compute_bucket_;
   TokenBucket io_bucket_;
   ResponseSink sink_;
   ResponseSpanSink span_sink_;
-  /// Reused across queries; the responder encodes into it in place, so
-  /// steady-state processing performs no per-query heap allocation.
-  std::vector<std::uint8_t> response_scratch_;
   CrashPredicate crash_predicate_;
   ServerState state_ = ServerState::Running;
+  /// False while finishing a process_unmetered phase (its budgets were
+  /// never taken from the bucket, so end_phase must not refund them).
+  bool phase_metered_ = true;
   std::optional<dns::Question> last_qod_;
   SimTime last_metadata_ = SimTime::origin();
   NameserverStats stats_;
-  DatapathTelemetry telemetry_;
 };
 
 }  // namespace akadns::server

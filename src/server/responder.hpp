@@ -85,6 +85,28 @@ struct ResponderStats {
   std::uint64_t compiled_answers = 0;     // stitched from precompiled fragments
   std::uint64_t cache_hits = 0;           // replayed from the answer cache
   std::uint64_t interpreted_answers = 0;  // built via the Message encoder
+
+  /// Accumulates another responder's counters (per-lane → machine view).
+  void merge(const ResponderStats& o) noexcept {
+    responses += o.responses;
+    noerror += o.noerror;
+    nxdomain += o.nxdomain;
+    nodata += o.nodata;
+    refused += o.refused;
+    formerr += o.formerr;
+    notimp += o.notimp;
+    servfail += o.servfail;
+    referrals += o.referrals;
+    wildcard_answers += o.wildcard_answers;
+    cname_chases += o.cname_chases;
+    mapped_answers += o.mapped_answers;
+    pushed_answers += o.pushed_answers;
+    compiled_answers += o.compiled_answers;
+    cache_hits += o.cache_hits;
+    interpreted_answers += o.interpreted_answers;
+  }
+
+  bool operator==(const ResponderStats&) const noexcept = default;
 };
 
 class Responder {

@@ -1,0 +1,105 @@
+// The barriered worker-pool executor: every index runs exactly once,
+// the caller participates as worker 0, work→thread assignment is static
+// striping (a pure function of count and thread count), exceptions cross
+// the barrier, and the pool is reusable across many phases.
+#include "common/worker_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace akadns {
+namespace {
+
+TEST(WorkerPool, RunsEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    for (const std::size_t count : {0u, 1u, 3u, 7u, 64u, 129u}) {
+      WorkerPool pool(threads);
+      EXPECT_EQ(pool.thread_count(), threads);
+      std::vector<int> hits(count, 0);
+      // Distinct indices touch distinct elements, so no synchronization
+      // is needed — exactly the lane-local contract the datapath relies on.
+      pool.parallel_for(count, [&](std::size_t i) { ++hits[i]; });
+      EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), static_cast<int>(count))
+          << "threads=" << threads << " count=" << count;
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(hits[i], 1) << "threads=" << threads << " index " << i;
+      }
+    }
+  }
+}
+
+TEST(WorkerPool, ZeroThreadsClampsToOne) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  int ran = 0;
+  pool.parallel_for(3, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(WorkerPool, CallerIsWorkerZeroWithStaticStriping) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kCount = 19;
+  WorkerPool pool(kThreads);
+  std::vector<std::thread::id> ran_on(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) { ran_on[i] = std::this_thread::get_id(); });
+  // Worker 0 is the calling thread and runs exactly indices 0, T, 2T, …
+  // — the assignment depends only on (count, threads), never on timing.
+  const auto caller = std::this_thread::get_id();
+  for (std::size_t i = 0; i < kCount; ++i) {
+    if (i % kThreads == 0) {
+      EXPECT_EQ(ran_on[i], caller) << "index " << i;
+    } else {
+      EXPECT_NE(ran_on[i], caller) << "index " << i;
+    }
+  }
+  // Each stripe stays on one thread.
+  for (std::size_t w = 0; w < kThreads; ++w) {
+    std::set<std::thread::id> stripe_threads;
+    for (std::size_t i = w; i < kCount; i += kThreads) stripe_threads.insert(ran_on[i]);
+    EXPECT_EQ(stripe_threads.size(), 1u) << "stripe " << w;
+  }
+}
+
+TEST(WorkerPool, SingleThreadRunsInline) {
+  WorkerPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for(16, [&](std::size_t) { EXPECT_EQ(std::this_thread::get_id(), caller); });
+}
+
+TEST(WorkerPool, TaskExceptionIsRethrownAfterTheBarrier) {
+  WorkerPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.parallel_for(16,
+                                 [&](std::size_t i) {
+                                   if (i == 5) throw std::runtime_error("lane fault");
+                                   ++completed;
+                                 }),
+               std::runtime_error);
+  // The barrier still completed: every non-throwing task ran.
+  EXPECT_EQ(completed.load(), 15);
+  // The pool survives and serves further phases (atomic: the four
+  // indices land on four different workers).
+  std::atomic<int> ran{0};
+  pool.parallel_for(4, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(WorkerPool, ReusableAcrossManyPhases) {
+  WorkerPool pool(3);
+  std::vector<std::uint64_t> totals(64, 0);
+  for (int phase = 0; phase < 500; ++phase) {
+    pool.parallel_for(totals.size(), [&](std::size_t i) { totals[i] += i; });
+  }
+  for (std::size_t i = 0; i < totals.size(); ++i) {
+    EXPECT_EQ(totals[i], 500u * i);
+  }
+}
+
+}  // namespace
+}  // namespace akadns

@@ -138,5 +138,45 @@ TEST_P(QueueProperty, AccountingIdentityHolds) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QueueProperty, ::testing::Range<std::uint64_t>(1, 7));
 
+// Directed parity test for the dequeue scan-resume optimization: dequeue
+// remembers the lowest possibly-non-empty queue instead of rescanning
+// from index 0, and enqueue must pull that cursor back when a
+// lower-penalty item arrives. This sequence exercises every cursor
+// transition: advance past emptied queues, full drain, and pull-back.
+TEST(QueueScanResume, EnqueueAfterDrainReachesLowerPenaltyQueuesAgain) {
+  PenaltyQueueConfig config;
+  config.max_scores = {0.0, 50.0, 150.0};
+  config.discard_score = 200.0;
+  PenaltyQueueSet<int> queues(config);
+
+  // Fill only the highest-penalty queue; the scan must advance past the
+  // two empty ones.
+  queues.enqueue(30, 140.0);
+  queues.enqueue(31, 140.0);
+  EXPECT_EQ(queues.dequeue(), 30);
+
+  // A lower-penalty arrival after the cursor advanced must be served
+  // first again (work-conserving order, not scan-cursor order).
+  queues.enqueue(10, 0.0);
+  queues.enqueue(20, 40.0);
+  EXPECT_EQ(queues.dequeue(), 10);
+  EXPECT_EQ(queues.dequeue(), 20);
+  EXPECT_EQ(queues.dequeue(), 31);
+  EXPECT_EQ(queues.dequeue(), std::nullopt);
+  EXPECT_TRUE(queues.empty());
+  EXPECT_EQ(queues.size(), 0u);
+
+  // After a full drain (cursor at the end), the lowest queue works again.
+  queues.enqueue(11, 0.0);
+  EXPECT_FALSE(queues.empty());
+  EXPECT_EQ(queues.size(), 1u);
+  EXPECT_EQ(queues.dequeue(), 11);
+  EXPECT_EQ(queues.dequeue(), std::nullopt);
+
+  // Accounting survived all cursor movement.
+  EXPECT_EQ(queues.total_enqueued(), 5u);
+  EXPECT_EQ(queues.total_dequeued(), 5u);
+}
+
 }  // namespace
 }  // namespace akadns::filters
