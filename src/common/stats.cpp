@@ -158,6 +158,64 @@ double Histogram::fraction(std::size_t i) const noexcept {
   return total_ > 0.0 ? counts_[i] / total_ : 0.0;
 }
 
+LogHistogram::LogHistogram(double lo, double growth, std::size_t bins)
+    : lo_(lo), log_growth_(1.0 / std::log(growth)), growth_(growth), counts_(bins, 0) {}
+
+void LogHistogram::add(double x) noexcept {
+  if (total_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++total_;
+  sum_ += x;
+  std::size_t bin = 0;
+  if (x > lo_) {
+    bin = static_cast<std::size_t>(std::log(x / lo_) * log_growth_);
+    if (bin >= counts_.size()) bin = counts_.size() - 1;
+  }
+  ++counts_[bin];
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (counts_.size() != other.counts_.size() || lo_ != other.lo_ || growth_ != other.growth_) {
+    throw std::invalid_argument("LogHistogram::merge: mismatched axes");
+  }
+  if (other.total_ == 0) return;
+  if (total_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+double LogHistogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<double>(total_) * q;
+  double seen = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double next = seen + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      // Interpolate within the bucket; clamp to the observed extremes so
+      // q=0 / q=1 report the true min/max.
+      const double bucket_lo = lo_ * std::pow(growth_, static_cast<double>(i));
+      const double bucket_hi = bucket_lo * growth_;
+      const double frac = counts_[i] ? (target - seen) / static_cast<double>(counts_[i]) : 0.0;
+      return std::clamp(bucket_lo + (bucket_hi - bucket_lo) * frac, min_, max_);
+    }
+    seen = next;
+  }
+  return max_;
+}
+
 std::string render_bar(double fraction, std::size_t width) {
   fraction = std::clamp(fraction, 0.0, 1.0);
   const auto filled = static_cast<std::size_t>(fraction * static_cast<double>(width) + 0.5);

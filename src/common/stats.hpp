@@ -94,6 +94,44 @@ class Histogram {
   std::vector<double> counts_;
 };
 
+/// Log-bucketed latency histogram for high-rate recording paths (the
+/// real-socket load generator records one sample per response at
+/// hundreds of thousands per second — a sample vector would churn memory
+/// and an arithmetic-bin histogram cannot span ns..seconds). Buckets
+/// grow geometrically from `lo`; add() is two flops and an increment,
+/// quantile() interpolates within the winning bucket. Values below lo
+/// clamp into the first bucket, values beyond the top into the last.
+class LogHistogram {
+ public:
+  /// Covers [lo, lo * growth^bins) — the default spans 100ns to >100s.
+  explicit LogHistogram(double lo = 100.0, double growth = 1.08,
+                        std::size_t bins = 256);
+
+  void add(double x) noexcept;
+  void merge(const LogHistogram& other);
+
+  std::uint64_t count() const noexcept { return total_; }
+  double min() const noexcept { return total_ ? min_ : 0.0; }
+  double max() const noexcept { return total_ ? max_ : 0.0; }
+  double mean() const noexcept {
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+  }
+
+  /// Quantile estimate, q in [0, 1]; exact to within one bucket's width
+  /// (≤ `growth` relative error).
+  double quantile(double q) const noexcept;
+
+ private:
+  double lo_;
+  double log_growth_;  // precomputed 1/ln(growth) for bucket lookup
+  double growth_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 /// Renders a crude ASCII sparkline/bar chart for bench output, e.g.
 ///   render_bar(0.76, 40) -> "##############################          ".
 std::string render_bar(double fraction, std::size_t width);

@@ -1,0 +1,216 @@
+// akadns-loadgen: replay the synthetic workload at a running server.
+//
+//   akadns-loadgen --target 127.0.0.1:5300 --synthetic 1000 --seed 42
+//                  --queries 100000 --sockets 4 --verify
+//
+// Builds the same deterministic corpus the server's --synthetic mode
+// publishes, blasts it over UDP with sendmmsg/recvmmsg batching, and
+// reports qps + latency percentiles. With --verify it also computes
+// every expected answer through the local (simulator) Responder and
+// byte-compares each received datagram — exit status is nonzero if
+// anything dropped or mismatched, which is what the CI smoke keys on.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "net/loadgen.hpp"
+#include "workload/population.hpp"
+#include "workload/zones.hpp"
+
+namespace {
+
+struct CliOptions {
+  std::string target = "127.0.0.1:5300";
+  std::size_t synthetic_zones = 1000;
+  std::uint64_t seed = 1;
+  std::uint64_t queries = 100'000;
+  std::size_t sockets = 4;
+  std::size_t batch = 32;
+  std::size_t window = 512;
+  std::size_t corpus_size = 4096;
+  double attack_fraction = 0.0;
+  bool verify = false;
+  std::string json_path;
+  bool help = false;
+};
+
+void print_usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --target IP:PORT    server address (default 127.0.0.1:5300)\n"
+      "  --synthetic N       zone count matching the server's --synthetic (default 1000)\n"
+      "  --seed S            seed matching the server's --seed (default 1)\n"
+      "  --queries N         total queries to send (default 100000)\n"
+      "  --sockets N         parallel client sockets/threads (default 4)\n"
+      "  --batch N           datagrams per syscall (default 32)\n"
+      "  --window N          max in-flight per socket (default 512)\n"
+      "  --corpus N          distinct queries in the replay mix (default 4096)\n"
+      "  --attack-fraction F mix in attack traffic, 0..1 (default 0)\n"
+      "  --verify            byte-compare responses against the local Responder\n"
+      "  --json PATH         write the report as JSON\n"
+      "exit status: 0 iff nothing dropped, mismatched, or unexpected\n",
+      argv0);
+}
+
+bool parse_args(int argc, char** argv, CliOptions& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+      return true;
+    } else if (arg == "--target") {
+      if (!(v = need_value())) return false;
+      opts.target = v;
+    } else if (arg == "--synthetic") {
+      if (!(v = need_value())) return false;
+      opts.synthetic_zones = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--seed") {
+      if (!(v = need_value())) return false;
+      opts.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--queries") {
+      if (!(v = need_value())) return false;
+      opts.queries = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--sockets") {
+      if (!(v = need_value())) return false;
+      opts.sockets = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--batch") {
+      if (!(v = need_value())) return false;
+      opts.batch = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--window") {
+      if (!(v = need_value())) return false;
+      opts.window = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--corpus") {
+      if (!(v = need_value())) return false;
+      opts.corpus_size = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--attack-fraction") {
+      if (!(v = need_value())) return false;
+      opts.attack_fraction = std::strtod(v, nullptr);
+    } else if (arg == "--verify") {
+      opts.verify = true;
+    } else if (arg == "--json") {
+      if (!(v = need_value())) return false;
+      opts.json_path = v;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string report_json(const akadns::net::LoadgenReport& r, const CliOptions& opts) {
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf),
+                "{\n"
+                "  \"target\": \"%s\",\n"
+                "  \"queries\": %llu,\n"
+                "  \"sockets\": %zu,\n"
+                "  \"sent\": %llu,\n"
+                "  \"received\": %llu,\n"
+                "  \"dropped\": %llu,\n"
+                "  \"mismatched\": %llu,\n"
+                "  \"unexpected\": %llu,\n"
+                "  \"seconds\": %.4f,\n"
+                "  \"qps\": %.0f,\n"
+                "  \"p50_us\": %.1f,\n"
+                "  \"p90_us\": %.1f,\n"
+                "  \"p99_us\": %.1f,\n"
+                "  \"p999_us\": %.1f,\n"
+                "  \"max_us\": %.1f\n"
+                "}\n",
+                opts.target.c_str(), (unsigned long long)opts.queries, opts.sockets,
+                (unsigned long long)r.sent, (unsigned long long)r.received,
+                (unsigned long long)r.dropped, (unsigned long long)r.mismatched,
+                (unsigned long long)r.unexpected, r.seconds, r.qps, r.p50_us, r.p90_us,
+                r.p99_us, r.p999_us, r.max_us);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  if (!parse_args(argc, argv, opts)) {
+    print_usage(argv[0]);
+    return 2;
+  }
+  if (opts.help) {
+    print_usage(argv[0]);
+    return 0;
+  }
+
+  const auto colon = opts.target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "bad --target (want IP:PORT): %s\n", opts.target.c_str());
+    return 2;
+  }
+  const auto addr = akadns::Ipv4Addr::parse(opts.target.substr(0, colon));
+  const auto port = std::strtoul(opts.target.c_str() + colon + 1, nullptr, 10);
+  if (!addr || port == 0 || port > 65535) {
+    std::fprintf(stderr, "bad --target (want IP:PORT): %s\n", opts.target.c_str());
+    return 2;
+  }
+
+  // Rebuild the server's world from the same (count, seed) — self-play.
+  std::fprintf(stderr, "building %zu synthetic zones (seed %llu)...\n", opts.synthetic_zones,
+               (unsigned long long)opts.seed);
+  akadns::workload::HostedZonesConfig zc;
+  zc.zone_count = opts.synthetic_zones;
+  akadns::workload::HostedZones zones(zc, opts.seed);
+  akadns::workload::PopulationConfig pc;
+  pc.resolver_count = 10'000;
+  akadns::workload::ResolverPopulation population(pc, opts.seed ^ 0xC0FFEEULL);
+
+  akadns::workload::ReplayMixConfig mix;
+  mix.corpus_size = opts.corpus_size;
+  mix.attack_fraction = opts.attack_fraction;
+  mix.seed = opts.seed;
+  akadns::workload::ReplayCorpus corpus(mix, population, zones);
+  std::fprintf(stderr, "corpus ready: %zu entries (%zu attack)\n", corpus.size(),
+               corpus.attack_count());
+
+  std::vector<std::vector<std::uint8_t>> expected;
+  if (opts.verify) {
+    expected = akadns::net::expected_responses(corpus, zones.store());
+    std::fprintf(stderr, "computed %zu expected responses\n", expected.size());
+  }
+
+  akadns::net::LoadgenConfig config;
+  config.target = akadns::Endpoint{akadns::IpAddr(*addr), static_cast<std::uint16_t>(port)};
+  config.sockets = opts.sockets;
+  config.batch = opts.batch;
+  config.window = opts.window;
+  config.total_queries = opts.queries;
+
+  akadns::net::Loadgen loadgen(config, corpus, std::move(expected));
+  const auto report = loadgen.run();
+
+  std::printf("sent        %llu\n", (unsigned long long)report.sent);
+  std::printf("received    %llu\n", (unsigned long long)report.received);
+  std::printf("dropped     %llu\n", (unsigned long long)report.dropped);
+  std::printf("mismatched  %llu\n", (unsigned long long)report.mismatched);
+  std::printf("unexpected  %llu\n", (unsigned long long)report.unexpected);
+  std::printf("seconds     %.4f\n", report.seconds);
+  std::printf("qps         %.0f\n", report.qps);
+  std::printf("latency_us  p50=%.1f p90=%.1f p99=%.1f p99.9=%.1f max=%.1f\n", report.p50_us,
+              report.p90_us, report.p99_us, report.p999_us, report.max_us);
+
+  if (!opts.json_path.empty()) {
+    std::ofstream out(opts.json_path);
+    out << report_json(report, opts);
+    std::fprintf(stderr, "wrote %s\n", opts.json_path.c_str());
+  }
+
+  return (report.dropped == 0 && report.mismatched == 0 && report.unexpected == 0) ? 0 : 1;
+}

@@ -1,0 +1,274 @@
+#include "net/loadgen.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "net/socket.hpp"
+
+namespace akadns::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t now_ns(Clock::time_point epoch) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch).count();
+}
+
+/// One client socket's world: connected fd, send/recv batch plumbing,
+/// and the id-indexed in-flight table. Runs on its own thread.
+struct SocketLane {
+  LoadgenConfig config;
+  const std::vector<workload::ReplayEntry>* corpus = nullptr;
+  const std::vector<std::vector<std::uint8_t>>* expected = nullptr;
+  std::uint64_t quota = 0;
+  std::size_t corpus_offset = 0;
+  Clock::time_point epoch;
+
+  // Results.
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t mismatched = 0;
+  std::uint64_t unexpected = 0;
+  LogHistogram latency_ns;
+  std::string error;
+
+  struct Outstanding {
+    std::uint32_t corpus_idx = 0;
+    std::int64_t send_ns = 0;
+    bool active = false;
+  };
+
+  void run() {
+    auto opened = UdpSocket::open(Ipv4Addr(127, 0, 0, 1), 0, config.rcvbuf, config.sndbuf);
+    if (!opened) {
+      error = opened.error();
+      return;
+    }
+    UdpSocket sock = std::move(opened).take();
+    // connect() pins the peer: sends need no address, and the kernel
+    // filters inbound datagrams to the server's endpoint.
+    sockaddr_storage target{};
+    const socklen_t target_len = sockaddr_from_endpoint(config.target, target);
+    if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&target), target_len) != 0) {
+      error = errno_message("connect");
+      return;
+    }
+
+    const std::size_t batch = config.batch;
+    // Send-side storage: per-slot query copies (id patched in place).
+    std::vector<std::vector<std::uint8_t>> tx_bufs(batch);
+    std::vector<iovec> tx_iovecs(batch);
+    std::vector<mmsghdr> tx_hdrs(batch);
+    // Receive-side storage.
+    std::vector<std::vector<std::uint8_t>> rx_bufs(batch);
+    for (auto& buf : rx_bufs) buf.resize(4096);
+    std::vector<iovec> rx_iovecs(batch);
+    std::vector<mmsghdr> rx_hdrs(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      std::memset(&rx_hdrs[i], 0, sizeof(mmsghdr));
+      rx_iovecs[i].iov_base = rx_bufs[i].data();
+      rx_iovecs[i].iov_len = rx_bufs[i].size();
+      rx_hdrs[i].msg_hdr.msg_iov = &rx_iovecs[i];
+      rx_hdrs[i].msg_hdr.msg_iovlen = 1;
+    }
+
+    std::vector<Outstanding> inflight(65536);
+    std::size_t inflight_count = 0;
+    std::uint32_t seq = 0;
+    const std::int64_t timeout_ns = config.response_timeout.count_nanos();
+    std::int64_t last_progress = now_ns(epoch);
+
+    const auto drain_responses = [&] {
+      while (inflight_count > 0) {
+        int n;
+        do {
+          n = ::recvmmsg(sock.fd(), rx_hdrs.data(), static_cast<unsigned>(batch), 0, nullptr);
+        } while (n < 0 && errno == EINTR);
+        if (n <= 0) break;
+        const std::int64_t t = now_ns(epoch);
+        for (int i = 0; i < n; ++i) {
+          const auto len = static_cast<std::size_t>(rx_hdrs[static_cast<std::size_t>(i)].msg_len);
+          const auto& buf = rx_bufs[static_cast<std::size_t>(i)];
+          if (len < 2) {
+            ++unexpected;
+            continue;
+          }
+          const std::uint16_t id = static_cast<std::uint16_t>((buf[0] << 8) | buf[1]);
+          Outstanding& slot = inflight[id];
+          if (!slot.active) {
+            ++unexpected;  // late duplicate or stray datagram
+            continue;
+          }
+          slot.active = false;
+          --inflight_count;
+          ++received;
+          latency_ns.add(static_cast<double>(t - slot.send_ns));
+          last_progress = t;
+          if (expected && !expected->empty()) {
+            // Expected wires carry id 0; compare everything after it.
+            const auto& want = (*expected)[slot.corpus_idx];
+            if (len != want.size() ||
+                std::memcmp(buf.data() + 2, want.data() + 2, len - 2) != 0) {
+              ++mismatched;
+            }
+          }
+        }
+        if (static_cast<std::size_t>(n) < batch) break;
+      }
+    };
+
+    while (sent < quota || inflight_count > 0) {
+      // Send phase: fill the window in batch-sized syscalls.
+      const std::size_t room = config.window - inflight_count;
+      const std::size_t to_send = std::min({batch, room,
+                                            static_cast<std::size_t>(quota - sent)});
+      if (to_send > 0) {
+        const std::int64_t t = now_ns(epoch);
+        for (std::size_t j = 0; j < to_send; ++j) {
+          const std::size_t idx = (corpus_offset + sent + j) % corpus->size();
+          const auto& wire = (*corpus)[idx].wire;
+          auto& buf = tx_bufs[j];
+          buf.assign(wire.begin(), wire.end());
+          const std::uint16_t id = static_cast<std::uint16_t>(seq + j);
+          buf[0] = static_cast<std::uint8_t>(id >> 8);
+          buf[1] = static_cast<std::uint8_t>(id & 0xff);
+          inflight[id] = {static_cast<std::uint32_t>(idx), t, true};
+          tx_iovecs[j].iov_base = buf.data();
+          tx_iovecs[j].iov_len = buf.size();
+          std::memset(&tx_hdrs[j], 0, sizeof(mmsghdr));
+          tx_hdrs[j].msg_hdr.msg_iov = &tx_iovecs[j];
+          tx_hdrs[j].msg_hdr.msg_iovlen = 1;
+        }
+        std::size_t flushed = 0;
+        while (flushed < to_send) {
+          const int n = ::sendmmsg(sock.fd(), tx_hdrs.data() + flushed,
+                                   static_cast<unsigned>(to_send - flushed), 0);
+          if (n < 0) {
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+              drain_responses();  // free the send queue by consuming replies
+              pollfd pfd{sock.fd(), POLLOUT, 0};
+              ::poll(&pfd, 1, 10);
+              continue;
+            }
+            break;
+          }
+          flushed += static_cast<std::size_t>(n);
+        }
+        // Un-book anything the kernel never took (hard error path).
+        for (std::size_t j = flushed; j < to_send; ++j) {
+          const std::uint16_t id = static_cast<std::uint16_t>(seq + j);
+          if (inflight[id].active) {
+            inflight[id].active = false;
+            ++dropped;
+          }
+        }
+        inflight_count += flushed;
+        seq = static_cast<std::uint32_t>((seq + to_send) & 0xffff);
+        sent += to_send;
+        last_progress = now_ns(epoch);
+      }
+
+      drain_responses();
+
+      if (inflight_count > 0 && (to_send == 0 || inflight_count >= config.window)) {
+        // Window full or everything sent: block briefly for responses.
+        pollfd pfd{sock.fd(), POLLIN, 0};
+        ::poll(&pfd, 1, 5);
+        drain_responses();
+      }
+
+      // Straggler expiry: no progress for a full timeout — everything
+      // still in flight is gone (loss on the loopback path means the
+      // server or a socket buffer dropped it).
+      if (inflight_count > 0 && now_ns(epoch) - last_progress > timeout_ns) {
+        for (auto& slot : inflight) {
+          if (slot.active) {
+            slot.active = false;
+            ++dropped;
+          }
+        }
+        inflight_count = 0;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<std::uint8_t>> expected_responses(
+    const workload::ReplayCorpus& corpus, const zone::ZoneStore& store,
+    const server::ResponderConfig& responder_config) {
+  // Fresh responder per call; cache disabled so the reference is the
+  // pure compiled/interpreted datapath (hits replay identical bytes
+  // anyway, but the reference should not depend on that).
+  server::ResponderConfig config = responder_config;
+  config.enable_answer_cache = false;
+  server::Responder responder(store, config);
+  std::vector<std::vector<std::uint8_t>> expected;
+  expected.reserve(corpus.size());
+  for (const auto& entry : corpus.entries()) {
+    auto wire = responder.respond_wire(entry.wire, entry.source);
+    expected.push_back(wire ? std::move(*wire) : std::vector<std::uint8_t>{});
+  }
+  return expected;
+}
+
+Loadgen::Loadgen(LoadgenConfig config, const workload::ReplayCorpus& corpus,
+                 std::vector<std::vector<std::uint8_t>> expected)
+    : config_(config), corpus_(corpus), expected_(std::move(expected)) {}
+
+LoadgenReport Loadgen::run() {
+  const std::size_t lanes_n = std::max<std::size_t>(1, config_.sockets);
+  std::vector<SocketLane> lanes(lanes_n);
+  const auto epoch = Clock::now();
+  const std::uint64_t per_lane = config_.total_queries / lanes_n;
+  const std::uint64_t remainder = config_.total_queries % lanes_n;
+  for (std::size_t i = 0; i < lanes_n; ++i) {
+    lanes[i].config = config_;
+    lanes[i].config.window = std::min<std::size_t>(config_.window, 32768);
+    lanes[i].corpus = &corpus_.entries();
+    lanes[i].expected = expected_.empty() ? nullptr : &expected_;
+    lanes[i].quota = per_lane + (i < remainder ? 1 : 0);
+    // Stagger starting offsets so lanes do not replay the corpus in
+    // lockstep (better cache/zone mix at the server).
+    lanes[i].corpus_offset = (corpus_.size() * i) / lanes_n;
+    lanes[i].epoch = epoch;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(lanes_n);
+  for (auto& lane : lanes) threads.emplace_back([&lane] { lane.run(); });
+  for (auto& thread : threads) thread.join();
+  const double seconds =
+      static_cast<double>(now_ns(epoch)) / 1e9;
+
+  LoadgenReport report;
+  for (const auto& lane : lanes) {
+    report.sent += lane.sent;
+    report.received += lane.received;
+    report.dropped += lane.dropped;
+    report.mismatched += lane.mismatched;
+    report.unexpected += lane.unexpected;
+    report.latency_ns.merge(lane.latency_ns);
+  }
+  report.seconds = seconds;
+  report.qps = seconds > 0.0 ? static_cast<double>(report.received) / seconds : 0.0;
+  report.p50_us = report.latency_ns.quantile(0.50) / 1e3;
+  report.p90_us = report.latency_ns.quantile(0.90) / 1e3;
+  report.p99_us = report.latency_ns.quantile(0.99) / 1e3;
+  report.p999_us = report.latency_ns.quantile(0.999) / 1e3;
+  report.max_us = report.latency_ns.max() / 1e3;
+  return report;
+}
+
+}  // namespace akadns::net

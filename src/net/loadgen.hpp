@@ -1,0 +1,86 @@
+// akadns-loadgen: self-play load generation over real sockets.
+//
+// Blasts a ReplayCorpus (workload/replay.hpp — legitimate + attack mix)
+// at an authoritative server over UDP, recvmmsg/sendmmsg-batched with a
+// bounded in-flight window per socket, and reports achieved qps plus
+// latency percentiles. Several client sockets run in parallel threads —
+// each gets its own ephemeral source port, which is exactly what spreads
+// the flows across the server's SO_REUSEPORT workers (the kernel hashes
+// the 4-tuple, as it would hash real resolvers).
+//
+// Self-play verification: when the corpus was built from the same
+// (zones, seed) the server publishes, expected_responses() computes the
+// byte-exact answer for every corpus entry through the simulator's own
+// Responder, and the loadgen compares each received datagram against it
+// (transaction id aside). A mismatch means the socket frontend and the
+// sim datapath diverged — the differential property the loopback test
+// pins, kept continuously measurable under load.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "common/stats.hpp"
+#include "server/responder.hpp"
+#include "workload/replay.hpp"
+#include "zone/zone_store.hpp"
+
+namespace akadns::net {
+
+struct LoadgenConfig {
+  /// Server address (v4) and UDP port.
+  Endpoint target;
+  /// Parallel client sockets, one thread each.
+  std::size_t sockets = 4;
+  /// Datagrams per sendmmsg/recvmmsg syscall.
+  std::size_t batch = 32;
+  /// Max in-flight queries per socket (must stay < 65536: the DNS
+  /// transaction id doubles as the window slot).
+  std::size_t window = 512;
+  /// Queries to send in total, spread across sockets.
+  std::uint64_t total_queries = 100'000;
+  /// How long to wait for stragglers after the last send before
+  /// declaring the remainder dropped.
+  Duration response_timeout = Duration::millis(1000);
+  int rcvbuf = 1 << 22;
+  int sndbuf = 1 << 22;
+};
+
+struct LoadgenReport {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t dropped = 0;     // timed out waiting
+  std::uint64_t mismatched = 0;  // byte-compare against expected failed
+  std::uint64_t unexpected = 0;  // response id matching nothing in flight
+  double seconds = 0.0;          // wall time of the whole run
+  double qps = 0.0;              // received / seconds
+  /// Round-trip latency in microseconds.
+  double p50_us = 0.0, p90_us = 0.0, p99_us = 0.0, p999_us = 0.0, max_us = 0.0;
+  LogHistogram latency_ns;  // merged raw histogram (ns)
+};
+
+/// Runs the sim Responder over every corpus entry and returns the
+/// expected wire response per entry (transaction id 0). Pass the same
+/// ResponderConfig the server runs with.
+std::vector<std::vector<std::uint8_t>> expected_responses(
+    const workload::ReplayCorpus& corpus, const zone::ZoneStore& store,
+    const server::ResponderConfig& responder_config = {});
+
+class Loadgen {
+ public:
+  /// `expected` may be empty (no verification). When non-empty it must
+  /// be index-aligned with the corpus.
+  Loadgen(LoadgenConfig config, const workload::ReplayCorpus& corpus,
+          std::vector<std::vector<std::uint8_t>> expected = {});
+
+  /// Blocks until every query is sent and answered (or timed out).
+  LoadgenReport run();
+
+ private:
+  LoadgenConfig config_;
+  const workload::ReplayCorpus& corpus_;
+  std::vector<std::vector<std::uint8_t>> expected_;
+};
+
+}  // namespace akadns::net

@@ -1,0 +1,371 @@
+#include "net/server.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+
+#include "dns/wire.hpp"
+#include "net/tcp_framing.hpp"
+#include "net/udp_batch.hpp"
+
+namespace akadns::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One established TCP connection (truncation-fallback path).
+struct Conn {
+  FdHandle fd;
+  Endpoint peer;
+  FrameDecoder decoder;
+  /// Length-framed responses not yet accepted by the kernel.
+  std::vector<std::uint8_t> out;
+  std::size_t out_off = 0;
+  /// Response scratch reused across this connection's queries.
+  std::vector<std::uint8_t> scratch;
+  bool closing = false;     // flush `out`, then close
+  bool want_write = false;  // EPOLLOUT currently registered
+};
+
+}  // namespace
+
+struct Server::Worker {
+  Worker(const ServeConfig& cfg, const zone::ZoneStore& store)
+      : config(cfg), responder(store, cfg.responder), batch(cfg.udp_batch) {}
+
+  const ServeConfig& config;
+  server::Responder responder;
+  UdpBatch batch;
+  UdpSocket udp;
+  TcpListener listener;
+  FdHandle stop_event;
+  FrontendStats stats;
+  Clock::time_point epoch;
+
+  FdHandle epoll;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns;
+  std::vector<std::uint8_t> tcp_read_buf = std::vector<std::uint8_t>(64 * 1024);
+
+  /// Wall time mapped onto the repo's SimTime axis (answer-cache TTL
+  /// expiry is the only consumer; the origin is the server's start).
+  SimTime now() const noexcept {
+    return SimTime::from_nanos(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch).count());
+  }
+
+  void run();
+  bool drain_udp(bool draining);
+  void accept_loop();
+  void handle_conn(int fd, std::uint32_t events);
+  void process_frames(Conn& conn);
+  void flush_conn(Conn& conn);
+  void set_want_write(Conn& conn, bool want);
+  void close_conn(int fd);
+  bool any_pending_output() const;
+};
+
+bool Server::Worker::drain_udp(bool draining) {
+  const int fd = udp.fd();
+  bool saw_data = false;
+  while (true) {
+    const int n = batch.recv(fd);
+    if (n <= 0) break;
+    saw_data = true;
+    ++stats.udp_batches;
+    stats.udp_packets += static_cast<std::uint64_t>(n);
+    if (draining) stats.drain_flushed += static_cast<std::uint64_t>(n);
+    std::size_t want = 0;
+    for (int i = 0; i < n; ++i) {
+      const auto wire = batch.packet(static_cast<std::size_t>(i));
+      auto view = dns::decode_query_view(wire);
+      if (!view) {
+        // No parseable header/question: nothing to answer, nothing to
+        // amplify. The empty response slot makes send() skip it.
+        ++stats.udp_malformed;
+        continue;
+      }
+      const Endpoint client = endpoint_from_sockaddr(batch.source(static_cast<std::size_t>(i)));
+      responder.respond_view_into(wire, view.value(), client, now(),
+                                  batch.response(static_cast<std::size_t>(i)));
+      ++want;
+    }
+    const std::size_t sent = batch.send(fd);
+    stats.udp_responses += sent;
+    stats.udp_send_failures += want - sent;
+    if (static_cast<std::size_t>(n) < batch.capacity()) break;  // socket empty
+  }
+  return saw_data;
+}
+
+void Server::Worker::accept_loop() {
+  while (true) {
+    sockaddr_storage peer_addr{};
+    FdHandle conn_fd = listener.accept(peer_addr);
+    if (!conn_fd.valid()) break;
+    if (conns.size() >= config.tcp_max_connections) {
+      ++stats.tcp_rejected;
+      continue;  // FdHandle closes it
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->peer = endpoint_from_sockaddr(peer_addr);
+    conn->decoder = FrameDecoder(config.tcp_max_frame);
+    const int fd = conn_fd.get();
+    conn->fd = std::move(conn_fd);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll.get(), EPOLL_CTL_ADD, fd, &ev) != 0) continue;
+    conns.emplace(fd, std::move(conn));
+    ++stats.tcp_accepted;
+  }
+}
+
+void Server::Worker::process_frames(Conn& conn) {
+  while (auto frame = conn.decoder.next()) {
+    ++stats.tcp_queries;
+    auto view = dns::decode_query_view(*frame);
+    if (!view) {
+      // A framed payload that is not even a DNS header is a protocol
+      // error; drop the connection rather than guess (RFC 7766 §8).
+      ++stats.tcp_protocol_errors;
+      conn.closing = true;
+      conn.decoder = FrameDecoder(0);  // stop consuming further frames
+      break;
+    }
+    // TCP responses are never truncated and never touch the UDP-keyed
+    // answer cache: the full message limit is the transport ceiling.
+    responder.respond_view_into(*frame, view.value(), conn.peer, now(), conn.scratch,
+                                dns::kMaxMessageSize);
+    const auto prefix = frame_prefix(conn.scratch.size());
+    conn.out.insert(conn.out.end(), prefix.begin(), prefix.end());
+    conn.out.insert(conn.out.end(), conn.scratch.begin(), conn.scratch.end());
+    ++stats.tcp_responses;
+  }
+  if (conn.decoder.poisoned() && !conn.closing) {
+    ++stats.tcp_protocol_errors;
+    conn.closing = true;
+  }
+}
+
+void Server::Worker::set_want_write(Conn& conn, bool want) {
+  if (conn.want_write == want) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.fd = conn.fd.get();
+  ::epoll_ctl(epoll.get(), EPOLL_CTL_MOD, conn.fd.get(), &ev);
+  conn.want_write = want;
+}
+
+void Server::Worker::flush_conn(Conn& conn) {
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n = ::write(conn.fd.get(), conn.out.data() + conn.out_off,
+                              conn.out.size() - conn.out_off);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      set_want_write(conn, true);
+      return;
+    }
+    // Peer vanished mid-write: nothing left to flush.
+    conn.closing = true;
+    break;
+  }
+  conn.out.clear();
+  conn.out_off = 0;
+  set_want_write(conn, false);
+}
+
+void Server::Worker::close_conn(int fd) {
+  conns.erase(fd);  // FdHandle close() drops the epoll registration too
+}
+
+void Server::Worker::handle_conn(int fd, std::uint32_t events) {
+  auto it = conns.find(fd);
+  if (it == conns.end()) return;
+  Conn& conn = *it->second;
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    close_conn(fd);
+    return;
+  }
+  if (events & EPOLLIN) {
+    while (true) {
+      const ssize_t n = ::read(fd, tcp_read_buf.data(), tcp_read_buf.size());
+      if (n > 0) {
+        conn.decoder.feed({tcp_read_buf.data(), static_cast<std::size_t>(n)});
+        process_frames(conn);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      // EOF or hard error. A clean EOF at a frame boundary just means
+      // the client is done; mid-frame it abandoned a query — either way
+      // flush what we owe and close.
+      conn.closing = true;
+      break;
+    }
+  }
+  if ((events & EPOLLOUT) || !conn.out.empty()) flush_conn(conn);
+  if (conn.closing && conn.out_off >= conn.out.size()) close_conn(fd);
+}
+
+bool Server::Worker::any_pending_output() const {
+  for (const auto& [fd, conn] : conns) {
+    if (conn->out_off < conn->out.size()) return true;
+  }
+  return false;
+}
+
+void Server::Worker::run() {
+  epoll = FdHandle(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll.valid()) return;
+  const auto add = [&](int fd) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll.get(), EPOLL_CTL_ADD, fd, &ev);
+  };
+  add(udp.fd());
+  add(listener.fd());
+  add(stop_event.get());
+
+  bool draining = false;
+  Clock::time_point drain_deadline{};
+  std::array<epoll_event, 64> events{};
+  while (true) {
+    int timeout_ms = -1;
+    if (draining) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          drain_deadline - Clock::now());
+      timeout_ms = static_cast<int>(std::max<std::int64_t>(0, left.count()));
+    }
+    const int n = ::epoll_wait(epoll.get(), events.data(), static_cast<int>(events.size()),
+                               timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[static_cast<std::size_t>(i)].data.fd;
+      const std::uint32_t ev = events[static_cast<std::size_t>(i)].events;
+      if (fd == stop_event.get()) {
+        std::uint64_t v = 0;
+        [[maybe_unused]] const ssize_t r = ::read(stop_event.get(), &v, sizeof(v));
+        draining = true;
+        drain_deadline = Clock::now() + std::chrono::nanoseconds(
+                                            config.drain_timeout.count_nanos());
+        // Stop accepting: no new connections, and after one final sweep
+        // of already-queued datagrams, no new UDP either.
+        listener.close();
+        drain_udp(/*draining=*/true);
+        udp.close();
+      } else if (udp.fd() >= 0 && fd == udp.fd()) {
+        drain_udp(draining);
+      } else if (listener.fd() >= 0 && fd == listener.fd()) {
+        accept_loop();
+      } else {
+        handle_conn(fd, ev);
+      }
+    }
+    if (draining) {
+      // In-flight means: bytes owed to established TCP clients. Leave
+      // when they are flushed (or the deadline passes — resolvers retry).
+      if (!any_pending_output() || Clock::now() >= drain_deadline) break;
+    }
+  }
+  conns.clear();
+}
+
+Server::Server(ServeConfig config, const zone::ZoneStore& store)
+    : config_(config), store_(store) {}
+
+Server::~Server() { stop(); }
+
+Result<bool> Server::start() {
+  if (running_ || stopped_) return Error{"server already started"};
+  if (config_.workers == 0) return Error{"workers must be >= 1"};
+
+  workers_.clear();
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>(config_, store_));
+  }
+
+  // Worker 0 resolves the (possibly ephemeral) ports; the rest join its
+  // SO_REUSEPORT groups so the kernel shards flows across all of them.
+  std::uint16_t udp_port = config_.port;
+  std::uint16_t tcp_port = config_.port;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    auto udp = UdpSocket::open(config_.bind_addr, udp_port, config_.udp_rcvbuf,
+                               config_.udp_sndbuf);
+    if (!udp) return Error{"worker udp: " + udp.error()};
+    workers_[i]->udp = std::move(udp).take();
+    if (i == 0) {
+      udp_port = workers_[0]->udp.port();
+      // Prefer TCP on the same port number (how DNS is deployed); with
+      // an ephemeral UDP port that number may be taken for TCP, in which
+      // case any free port does — callers read tcp_port() separately.
+      if (tcp_port == 0) tcp_port = udp_port;
+    }
+    auto listener = TcpListener::open(config_.bind_addr, tcp_port);
+    if (!listener && i == 0 && config_.port == 0) {
+      tcp_port = 0;
+      listener = TcpListener::open(config_.bind_addr, 0);
+    }
+    if (!listener) return Error{"worker tcp: " + listener.error()};
+    workers_[i]->listener = std::move(listener).take();
+    if (i == 0) tcp_port = workers_[0]->listener.port();
+
+    const int efd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (efd < 0) return Error{errno_message("eventfd")};
+    workers_[i]->stop_event = FdHandle(efd);
+  }
+  udp_port_ = udp_port;
+  tcp_port_ = tcp_port;
+
+  const auto epoch = Clock::now();
+  for (auto& worker : workers_) worker->epoch = epoch;
+  running_ = true;
+  threads_.reserve(workers_.size());
+  for (auto& worker : workers_) {
+    threads_.emplace_back([w = worker.get()] { w->run(); });
+  }
+  return true;
+}
+
+void Server::stop() {
+  if (!running_) return;
+  for (auto& worker : workers_) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t r =
+        ::write(worker->stop_event.get(), &one, sizeof(one));
+  }
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+  running_ = false;
+  stopped_ = true;
+}
+
+ServerStats Server::stats() const {
+  ServerStats merged;
+  for (const auto& worker : workers_) {
+    merged.frontend.merge(worker->stats);
+    merged.responder.merge(worker->responder.stats());
+    merged.answer_cache.merge(worker->responder.answer_cache().stats());
+    merged.per_worker_udp.push_back(worker->stats.udp_packets);
+  }
+  return merged;
+}
+
+}  // namespace akadns::net

@@ -1,0 +1,141 @@
+// akadns-serve: the authoritative frontend on real Linux sockets.
+//
+// N worker threads each own one SO_REUSEPORT UDP socket bound to the
+// same port — the kernel's receive-side flow hash shards resolvers
+// across workers exactly as the simulator's lane-pinning hash shards
+// them across lanes (§5b of DESIGN.md), so "worker" here is the physical
+// realization of a lane: each owns its own Responder (answer cache,
+// scratch buffers), its own batch storage, and its own statistics, and
+// no query ever crosses a worker boundary. The datapath is the sim's,
+// unchanged: decode_query_view once, respond_view_into with pooled
+// response buffers — zero per-query heap allocation on the UDP hot path.
+//
+// UDP moves through recvmmsg/sendmmsg in batches; TCP (the truncation
+// fallback — clients retry over TCP when a response comes back TC) is a
+// per-worker SO_REUSEPORT listener with RFC 1035 two-byte length
+// framing, pipelining supported, responses never truncated.
+//
+// Graceful drain: stop() (or the daemon's SIGTERM handler) makes every
+// worker close its TCP listener, take one final sweep of datagrams
+// already queued in its UDP socket, flush established connections'
+// pending responses until the drain deadline, and exit. Stats are
+// merged after the join, so the daemon's final telemetry dump sees
+// every counted packet.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/sim_time.hpp"
+#include "net/socket.hpp"
+#include "server/responder.hpp"
+#include "zone/zone_store.hpp"
+
+namespace akadns::net {
+
+struct ServeConfig {
+  Ipv4Addr bind_addr = Ipv4Addr(127, 0, 0, 1);
+  /// UDP and TCP port (0 binds an ephemeral port; read it back from
+  /// udp_port() — tests and the loopback differential suite do this).
+  std::uint16_t port = 0;
+  std::size_t workers = 4;
+  /// Datagrams per recvmmsg/sendmmsg syscall.
+  std::size_t udp_batch = 32;
+  /// Requested socket buffer sizes (kernel clamps to its limits).
+  int udp_rcvbuf = 1 << 22;
+  int udp_sndbuf = 1 << 22;
+  /// TCP frames larger than this poison the connection (RFC 7766 §8).
+  std::size_t tcp_max_frame = 65535;
+  /// Established connections a worker will hold; accepts beyond this are
+  /// closed immediately (backpressure against connection floods).
+  std::size_t tcp_max_connections = 1024;
+  /// How long stop() lets workers flush in-flight TCP responses.
+  Duration drain_timeout = Duration::seconds(5);
+  server::ResponderConfig responder{};
+};
+
+/// Frontend I/O counters, per worker and merged. (Responder/cache
+/// counters live in server::ResponderStats / AnswerCache::Stats.)
+struct FrontendStats {
+  std::uint64_t udp_packets = 0;     // datagrams received
+  std::uint64_t udp_responses = 0;   // datagrams handed to sendmmsg
+  std::uint64_t udp_malformed = 0;   // dropped: no parseable header/question
+  std::uint64_t udp_send_failures = 0;  // responses the kernel refused
+  std::uint64_t udp_batches = 0;     // recvmmsg calls that returned data
+  std::uint64_t tcp_accepted = 0;
+  std::uint64_t tcp_rejected = 0;    // over the connection cap
+  std::uint64_t tcp_queries = 0;     // complete frames decoded
+  std::uint64_t tcp_responses = 0;
+  std::uint64_t tcp_protocol_errors = 0;  // framing violations / bad frames
+  std::uint64_t drain_flushed = 0;   // UDP datagrams answered during drain
+
+  void merge(const FrontendStats& o) noexcept {
+    udp_packets += o.udp_packets;
+    udp_responses += o.udp_responses;
+    udp_malformed += o.udp_malformed;
+    udp_send_failures += o.udp_send_failures;
+    udp_batches += o.udp_batches;
+    tcp_accepted += o.tcp_accepted;
+    tcp_rejected += o.tcp_rejected;
+    tcp_queries += o.tcp_queries;
+    tcp_responses += o.tcp_responses;
+    tcp_protocol_errors += o.tcp_protocol_errors;
+    drain_flushed += o.drain_flushed;
+  }
+};
+
+/// Whole-server view assembled after the workers stop.
+struct ServerStats {
+  FrontendStats frontend;
+  server::ResponderStats responder;
+  server::AnswerCache::Stats answer_cache;
+  /// Per-worker UDP packet counts — the observable shard balance the
+  /// kernel's RSS hash produced.
+  std::vector<std::uint64_t> per_worker_udp;
+};
+
+class Server {
+ public:
+  /// The store must outlive the server and must not be mutated while
+  /// workers run (publish before start(), exactly like the sim publishes
+  /// before pumping queries).
+  Server(ServeConfig config, const zone::ZoneStore& store);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds every worker's sockets and launches the threads. On error
+  /// nothing is left running.
+  Result<bool> start();
+
+  /// Graceful drain: stop accepting, sweep queued datagrams, flush
+  /// in-flight TCP, join every worker. Idempotent.
+  void stop();
+
+  bool running() const noexcept { return running_; }
+  std::uint16_t udp_port() const noexcept { return udp_port_; }
+  std::uint16_t tcp_port() const noexcept { return tcp_port_; }
+
+  /// Merged statistics. Only stable after stop() — workers own their
+  /// counters while running.
+  ServerStats stats() const;
+
+ private:
+  struct Worker;
+
+  ServeConfig config_;
+  const zone::ZoneStore& store_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> running_{false};
+  bool stopped_ = false;
+  std::uint16_t udp_port_ = 0;
+  std::uint16_t tcp_port_ = 0;
+};
+
+}  // namespace akadns::net

@@ -1,0 +1,97 @@
+// Thin RAII wrappers over the Linux socket API for the real-I/O
+// frontend: SO_REUSEPORT UDP sockets (one per worker — the kernel's
+// receive-side hash shards flows across workers exactly as the
+// simulator's lane-pinning hash does), a TCP listener for the truncation
+// fallback, and conversions between sockaddr and the repo's Endpoint
+// value type so the responder sees the same client identity either way.
+//
+// All sockets are nonblocking; syscall failures surface as Result errors
+// (errno text attached) rather than exceptions — the daemon's hot path
+// treats EAGAIN/EINTR as flow control, not failure.
+#pragma once
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/ip.hpp"
+#include "common/result.hpp"
+
+namespace akadns::net {
+
+/// Owns a file descriptor; closes on destruction. Move-only.
+class FdHandle {
+ public:
+  FdHandle() noexcept = default;
+  explicit FdHandle(int fd) noexcept : fd_(fd) {}
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+  FdHandle(FdHandle&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  FdHandle& operator=(FdHandle&& other) noexcept;
+  ~FdHandle();
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  /// Closes now (drain path: stop accepting before the object dies).
+  void reset() noexcept;
+  int release() noexcept { return std::exchange(fd_, -1); }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Converts a kernel socket address to the repo's Endpoint (v4 and v6).
+Endpoint endpoint_from_sockaddr(const sockaddr_storage& ss) noexcept;
+
+/// Fills a sockaddr for `ep`; returns the populated length.
+socklen_t sockaddr_from_endpoint(const Endpoint& ep, sockaddr_storage& ss) noexcept;
+
+/// A bound, nonblocking IPv4 UDP socket with SO_REUSEPORT set, so N
+/// workers can bind the same port and let the kernel shard flows.
+/// `port` 0 binds an ephemeral port (tests); after open(), port() holds
+/// the actual one.
+class UdpSocket {
+ public:
+  /// Binds `addr:port`. `rcvbuf`/`sndbuf` are requested via SO_RCVBUF /
+  /// SO_SNDBUF (the kernel clamps to its limits silently; 0 keeps the
+  /// default).
+  Result<UdpSocket> static open(Ipv4Addr addr, std::uint16_t port, int rcvbuf = 0,
+                                int sndbuf = 0);
+
+  int fd() const noexcept { return fd_.get(); }
+  std::uint16_t port() const noexcept { return port_; }
+  void close() noexcept { fd_.reset(); }
+
+ private:
+  FdHandle fd_;
+  std::uint16_t port_ = 0;
+};
+
+/// A listening, nonblocking IPv4 TCP socket with SO_REUSEPORT, for the
+/// TC-bit retry path. accept4() returns nonblocking connection fds.
+class TcpListener {
+ public:
+  Result<TcpListener> static open(Ipv4Addr addr, std::uint16_t port, int backlog = 512);
+
+  int fd() const noexcept { return fd_.get(); }
+  std::uint16_t port() const noexcept { return port_; }
+  /// Stops accepting (graceful drain: close the listener, keep serving
+  /// established connections).
+  void close() noexcept { fd_.reset(); }
+
+  /// Accepts one connection; returns an invalid handle on EAGAIN (and on
+  /// transient per-connection errors, which are not listener failures).
+  FdHandle accept(sockaddr_storage& peer) noexcept;
+
+ private:
+  FdHandle fd_;
+  std::uint16_t port_ = 0;
+};
+
+/// errno → "what failed: strerror" for Result errors.
+std::string errno_message(const char* what) noexcept;
+
+}  // namespace akadns::net

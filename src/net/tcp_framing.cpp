@@ -1,0 +1,41 @@
+#include "net/tcp_framing.hpp"
+
+#include <cstring>
+
+namespace akadns::net {
+
+void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  if (poisoned() || bytes.empty()) return;
+  // Compact before growing: everything before consumed_ has been handed
+  // out already and its spans are invalidated by contract on feed().
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+FrameDecoder::Frame FrameDecoder::next() {
+  if (poisoned()) return {};
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < 2) return {};  // length prefix incomplete
+  const std::size_t len = (static_cast<std::size_t>(buffer_[consumed_]) << 8) |
+                          buffer_[consumed_ + 1];
+  if (len == 0) {
+    error_ = FrameError::EmptyFrame;
+    return {};
+  }
+  if (len > max_frame_) {
+    error_ = FrameError::Oversized;
+    return {};
+  }
+  if (avail < 2 + len) return {};  // payload incomplete
+  Frame frame;
+  frame.payload = {buffer_.data() + consumed_ + 2, len};
+  frame.has_frame = true;
+  consumed_ += 2 + len;
+  return frame;
+}
+
+}  // namespace akadns::net

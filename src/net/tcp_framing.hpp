@@ -1,0 +1,94 @@
+// DNS-over-TCP two-byte length framing (RFC 1035 §4.2.2 / RFC 7766).
+//
+// Every message on a TCP connection is preceded by a 16-bit big-endian
+// length. The decoder here is a pure incremental state machine — no
+// sockets, no allocation per frame once the reassembly buffer has grown
+// to working size — so the byte-stream edge cases (partial reads that
+// split the length prefix or the payload, zero-length frames, frames
+// larger than the server will buffer, many pipelined queries arriving in
+// one read) are all testable without a kernel in the loop. The epoll
+// frontend feeds it whatever read() returned and drains complete frames;
+// the property suite feeds it adversarial chunkings of adversarial
+// streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace akadns::net {
+
+/// Why a FrameDecoder refused further input. A conforming client never
+/// triggers either; both mean "drop the connection" (RFC 7766 §8: a
+/// server MUST treat a malformed stream as a protocol error).
+enum class FrameError : std::uint8_t {
+  None,
+  /// A zero-length frame: no DNS header can fit, and accepting it would
+  /// let a client spin the server with empty messages.
+  EmptyFrame,
+  /// The advertised length exceeds the decoder's configured maximum
+  /// (a query has no business approaching 64 KiB; the cap bounds
+  /// per-connection memory against hostile peers).
+  Oversized,
+};
+
+/// Incremental reassembler for length-prefixed DNS messages.
+///
+///   decoder.feed(bytes_from_read);
+///   while (auto frame = decoder.next()) handle(*frame);
+///   if (decoder.error() != FrameError::None) close_connection();
+///
+/// The span returned by next() points into the decoder's reassembly
+/// buffer and is invalidated by the following feed() or next() call.
+class FrameDecoder {
+ public:
+  /// `max_frame` caps the accepted payload length; queries beyond it
+  /// poison the decoder with FrameError::Oversized.
+  explicit FrameDecoder(std::size_t max_frame = 65535) noexcept : max_frame_(max_frame) {}
+
+  /// Appends stream bytes. Any chunking is legal, including one byte at
+  /// a time and chunks spanning many frames. No-op once poisoned.
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Returns the next complete frame payload, or an empty optional-like
+  /// span signalled by `has_frame` when more bytes are needed. Call in a
+  /// loop: pipelined queries yield one frame per call.
+  struct Frame {
+    std::span<const std::uint8_t> payload;
+    bool has_frame = false;
+    explicit operator bool() const noexcept { return has_frame; }
+    std::span<const std::uint8_t> operator*() const noexcept { return payload; }
+  };
+  Frame next();
+
+  FrameError error() const noexcept { return error_; }
+  bool poisoned() const noexcept { return error_ != FrameError::None; }
+
+  /// Bytes buffered but not yet returned as frames (diagnostics; also
+  /// lets the drain path see whether a connection is mid-message).
+  std::size_t buffered() const noexcept { return buffer_.size() - consumed_; }
+
+  /// True when the stream ends cleanly here: no partial length prefix or
+  /// partial payload is pending. The drain path uses this to distinguish
+  /// an idle connection from one cut off mid-frame.
+  bool at_frame_boundary() const noexcept { return buffered() == 0; }
+
+ private:
+  std::size_t max_frame_;
+  std::vector<std::uint8_t> buffer_;
+  /// Prefix of buffer_ already handed out as frames; compacted lazily so
+  /// a burst of pipelined frames costs one memmove, not one per frame.
+  std::size_t consumed_ = 0;
+  FrameError error_ = FrameError::None;
+};
+
+/// Encodes the two-byte big-endian length prefix for `payload_len`.
+/// The caller is responsible for payload_len <= 65535 (the DNS encoder
+/// never emits more — kMaxMessageSize).
+inline std::array<std::uint8_t, 2> frame_prefix(std::size_t payload_len) noexcept {
+  return {static_cast<std::uint8_t>((payload_len >> 8) & 0xff),
+          static_cast<std::uint8_t>(payload_len & 0xff)};
+}
+
+}  // namespace akadns::net

@@ -156,17 +156,17 @@ Message Responder::respond_core(const dns::Header& query_header, std::size_t que
 
 bool Responder::try_compiled(const Question& question, const dns::Header& query_header,
                              const std::optional<dns::Edns>& edns, SimTime now,
+                             std::size_t max_size, bool use_cache,
                              std::vector<std::uint8_t>& out) {
   if (config_.max_cname_chain < 0 ||
       static_cast<std::size_t>(config_.max_cname_chain) + 1 > kMaxChainPins) {
     return false;
   }
-  const std::size_t max_size = edns ? edns->udp_payload_size : config_.udp_payload_default;
 
   // 1. Answer cache: a hit replays the finished wire (id patched) and the
   //    stat delta its miss counted, so cached and uncached queries are
   //    indistinguishable in every counter.
-  if (config_.enable_answer_cache) {
+  if (use_cache) {
     cache_.sync_generation(store_.generation());
     if (const auto hit = cache_.lookup(question, query_header.rd, edns, now, query_header.id,
                                        out)) {
@@ -280,7 +280,7 @@ bool Responder::try_compiled(const Question& question, const dns::Header& query_
   // 4. Cacheable: positive or negative data with a real TTL. REFUSED is
   //    never cached (attacker-controlled keyspace) and ServFail never
   //    either (loop protection, not data).
-  if (config_.enable_answer_cache && min_ttl != UINT32_MAX && min_ttl > 0 &&
+  if (use_cache && min_ttl != UINT32_MAX && min_ttl > 0 &&
       (rcode == Rcode::NoError || rcode == Rcode::NxDomain)) {
     cache_.insert(question, query_header.rd, edns, now, min_ttl, delta, out);
   }
@@ -295,7 +295,8 @@ Message Responder::respond(const Message& query, const Endpoint& client) {
 
 void Responder::respond_view_into(std::span<const std::uint8_t> wire, dns::QueryView& view,
                                   const Endpoint& client, SimTime now,
-                                  std::vector<std::uint8_t>& out) {
+                                  std::vector<std::uint8_t>& out,
+                                  std::size_t wire_size_limit) {
   if (!dns::decode_query_edns(wire, view)) {
     // Mangled record tail: the header and question already decoded, so
     // salvage a FORMERR (what the seed path did after a failed full
@@ -308,8 +309,12 @@ void Responder::respond_view_into(std::span<const std::uint8_t> wire, dns::Query
         {}, out);
     return;
   }
+  // One truncation limit per query, shared by every path below: TCP
+  // callers pass their frame ceiling; UDP derives it from the clamped
+  // EDNS advertisement (never trusting the client's raw bufsize).
+  const bool udp_semantics = wire_size_limit == 0;
   const std::size_t max_size =
-      view.edns ? view.edns->udp_payload_size : config_.udp_payload_default;
+      udp_semantics ? effective_udp_payload(view.edns) : wire_size_limit;
 
   if (config_.enable_compiled_path && view.header.opcode == dns::Opcode::Query &&
       view.qdcount == 1 && view.question.qclass == dns::RecordClass::IN) {
@@ -321,7 +326,8 @@ void Responder::respond_view_into(std::span<const std::uint8_t> wire, dns::Query
           view.edns ? view.edns->client_subnet : std::nullopt;
       mapped = mapping_hook_(view.question, client, ecs);
     }
-    if (!mapped && try_compiled(view.question, view.header, view.edns, now, out)) {
+    if (!mapped && try_compiled(view.question, view.header, view.edns, now, max_size,
+                                config_.enable_answer_cache && udp_semantics, out)) {
       return;
     }
     // Fallback (mapped answer, referral push, deep chain): interpreted
@@ -341,17 +347,18 @@ void Responder::respond_view_into(std::span<const std::uint8_t> wire, dns::Query
 
 std::vector<std::uint8_t> Responder::respond_view(std::span<const std::uint8_t> wire,
                                                   dns::QueryView& view, const Endpoint& client,
-                                                  SimTime now) {
+                                                  SimTime now, std::size_t wire_size_limit) {
   std::vector<std::uint8_t> out;
-  respond_view_into(wire, view, client, now, out);
+  respond_view_into(wire, view, client, now, out, wire_size_limit);
   return out;
 }
 
 std::optional<std::vector<std::uint8_t>> Responder::respond_wire(
-    std::span<const std::uint8_t> wire, const Endpoint& client, SimTime now) {
+    std::span<const std::uint8_t> wire, const Endpoint& client, SimTime now,
+    std::size_t wire_size_limit) {
   auto view = dns::decode_query_view(wire);
   if (!view) return std::nullopt;
-  return respond_view(wire, view.value(), client, now);
+  return respond_view(wire, view.value(), client, now, wire_size_limit);
 }
 
 }  // namespace akadns::server

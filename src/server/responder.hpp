@@ -19,6 +19,7 @@
 //     FORMERR, mapped answers, referral push).
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <optional>
 #include <span>
@@ -51,6 +52,13 @@ struct ResponderConfig {
   int max_cname_chain = 8;
   /// Answer size cap for UDP responses without EDNS.
   std::size_t udp_payload_default = 512;
+  /// Ceiling applied to the client's advertised EDNS UDP payload size
+  /// (DNS Flag Day 2020: 1232 avoids IP fragmentation on virtually every
+  /// path). Clients advertise arbitrary values — a spoofed-source flood
+  /// advertising 65535 would otherwise turn the server into an
+  /// amplification cannon. Advertisements below 512 are raised to 512
+  /// (RFC 6891 §6.2.3: values below 512 are treated as 512).
+  std::size_t edns_udp_payload_max = 1232;
   /// Serve from CompiledZone snapshots / wire fragments (the interpreted
   /// Message path stays available as the differential reference).
   bool enable_compiled_path = true;
@@ -119,9 +127,14 @@ class Responder {
 
   /// Convenience: wire in, wire out. Returns nullopt when the packet is
   /// too mangled to even answer FORMERR (no parseable header/question).
+  /// `wire_size_limit` selects the transport semantics: 0 (UDP) derives
+  /// the truncation limit from the clamped EDNS advertisement; non-zero
+  /// (TCP — pass dns::kMaxMessageSize) uses that limit verbatim and
+  /// bypasses the answer cache, whose keys are UDP-shaped.
   std::optional<std::vector<std::uint8_t>> respond_wire(std::span<const std::uint8_t> wire,
                                                         const Endpoint& client,
-                                                        SimTime now = SimTime::origin());
+                                                        SimTime now = SimTime::origin(),
+                                                        std::size_t wire_size_limit = 0);
 
   /// The pipeline's zero-reparse path: answers from a QueryView decoded
   /// once at receive(), completing the EDNS walk in place. Never
@@ -129,12 +142,23 @@ class Responder {
   /// the FORMERR salvage answer. Always produces response bytes.
   std::vector<std::uint8_t> respond_view(std::span<const std::uint8_t> wire,
                                          dns::QueryView& view, const Endpoint& client,
-                                         SimTime now = SimTime::origin());
+                                         SimTime now = SimTime::origin(),
+                                         std::size_t wire_size_limit = 0);
 
   /// Like respond_view() but emits into `out` (reused capacity — the
   /// zero-allocation per-query form the nameserver drives).
   void respond_view_into(std::span<const std::uint8_t> wire, dns::QueryView& view,
-                         const Endpoint& client, SimTime now, std::vector<std::uint8_t>& out);
+                         const Endpoint& client, SimTime now, std::vector<std::uint8_t>& out,
+                         std::size_t wire_size_limit = 0);
+
+  /// The truncation limit a UDP response to `edns` gets: the advertised
+  /// payload size clamped to [512, edns_udp_payload_max], or
+  /// udp_payload_default without EDNS. Exposed so transports and tests
+  /// agree on one definition.
+  std::size_t effective_udp_payload(const std::optional<dns::Edns>& edns) const noexcept {
+    if (!edns) return config_.udp_payload_default;
+    return std::clamp<std::size_t>(edns->udp_payload_size, 512, config_.edns_udp_payload_max);
+  }
 
   void set_mapping_hook(MappingHook hook) { mapping_hook_ = std::move(hook); }
   void set_referral_push_hook(ReferralPushHook hook) { push_hook_ = std::move(hook); }
@@ -173,10 +197,12 @@ class Responder {
   /// Compiled fast path: cache probe, then fragment-stitched resolution.
   /// Returns false — having emitted nothing and counted nothing — when
   /// the query needs the interpreted path (referral push hook, CNAME
-  /// chain deeper than the fast path pins).
+  /// chain deeper than the fast path pins). `max_size` is the already-
+  /// computed truncation limit; `use_cache` is false for transports the
+  /// cache keys cannot distinguish (TCP).
   bool try_compiled(const dns::Question& question, const dns::Header& query_header,
-                    const std::optional<dns::Edns>& edns, SimTime now,
-                    std::vector<std::uint8_t>& out);
+                    const std::optional<dns::Edns>& edns, SimTime now, std::size_t max_size,
+                    bool use_cache, std::vector<std::uint8_t>& out);
 
   void count_rcode(dns::Rcode rcode) noexcept;
 

@@ -1,0 +1,64 @@
+#include "workload/replay.hpp"
+
+#include "dns/wire.hpp"
+
+namespace akadns::workload {
+
+namespace {
+
+/// The EDNS advertisement ladder the responder's clamp branches on:
+/// below-minimum, the Flag Day default, a common large value, and the
+/// maximum a client can claim.
+constexpr std::uint16_t kEdnsSizes[] = {512, 1232, 4096, 65535};
+
+}  // namespace
+
+ReplayCorpus::ReplayCorpus(const ReplayMixConfig& config,
+                           const ResolverPopulation& population, const HostedZones& zones) {
+  Rng rng(config.seed);
+  QueryGenerator legit(population, zones, config.seed ^ 0x9E3779B97F4A7C15ULL);
+  RandomSubdomainAttack nxd({.target_zone_rank = 0}, population, zones,
+                            config.seed ^ 0xA5A5A5A5ULL);
+  DirectQueryAttack direct({.bot_count = 24, .target_zone_rank = 1}, zones,
+                           config.seed ^ 0x5A5A5A5AULL);
+  SpoofedAttack spoofed({.target_zone_rank = 0, .impersonate_allowlisted = true},
+                        population, zones, config.seed ^ 0x0F0F0F0FULL);
+
+  const double aw_total = config.random_subdomain_weight + config.direct_query_weight +
+                          config.spoofed_weight;
+  entries_.reserve(config.corpus_size);
+  std::size_t edns_cursor = 0;
+  for (std::size_t i = 0; i < config.corpus_size; ++i) {
+    ReplayEntry entry;
+    GeneratedQuery generated;
+    if (rng.next_bool(config.attack_fraction) && aw_total > 0.0) {
+      entry.is_attack = true;
+      ++attack_count_;
+      const double pick = rng.next_double() * aw_total;
+      if (pick < config.random_subdomain_weight) {
+        generated = nxd.next();
+      } else if (pick < config.random_subdomain_weight + config.direct_query_weight) {
+        generated = direct.next();
+      } else {
+        generated = spoofed.next();
+      }
+    } else {
+      generated = legit.next();
+    }
+    entry.source = generated.source;
+
+    auto query = dns::make_query(0, generated.qname, generated.qtype);
+    if (rng.next_bool(config.edns_fraction)) {
+      query.edns.emplace();
+      query.edns->udp_payload_size = kEdnsSizes[edns_cursor++ % std::size(kEdnsSizes)];
+      if (query.edns->udp_payload_size == 1232 && rng.next_bool(0.5)) {
+        // The /24 the modelled resolver would forward for its clients.
+        query.edns->client_subnet = dns::ClientSubnet{generated.source.addr, 24, 0};
+      }
+    }
+    entry.wire = dns::encode(query);
+    entries_.push_back(std::move(entry));
+  }
+}
+
+}  // namespace akadns::workload

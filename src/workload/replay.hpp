@@ -1,0 +1,63 @@
+// Deterministic wire-encoded query corpora for replay over real sockets.
+//
+// The simulator's generators (QueryGenerator + the §4.3.4 attack
+// classes) produce abstract GeneratedQuery values; the real-socket
+// frontend needs finished wire bytes it can blast with sendmmsg. A
+// ReplayCorpus samples a fixed-size mix — legitimate traffic plus a
+// configurable attack blend, with the EDNS/ECS variants the responder
+// branches on — and encodes every entry once, with transaction id 0 so
+// the sender can patch a sequence number in place. Identical (config,
+// seed) always yields an identical corpus, which is what lets
+// akadns-loadgen verify responses byte-for-byte against a local
+// reference responder built from the same seed ("self-play").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/attacks.hpp"
+#include "workload/queries.hpp"
+
+namespace akadns::workload {
+
+struct ReplayMixConfig {
+  std::size_t corpus_size = 4096;
+  /// Fraction of entries drawn from attack generators instead of the
+  /// legitimate query stream.
+  double attack_fraction = 0.0;
+  /// Composition within the attack fraction (normalized internally).
+  double random_subdomain_weight = 0.5;
+  double direct_query_weight = 0.3;
+  double spoofed_weight = 0.2;
+  /// Fraction of entries carrying an OPT record; of those, the
+  /// advertised size cycles through {512, 1232, 4096, 65535} and half
+  /// the 1232 ones add an EDNS-Client-Subnet option.
+  double edns_fraction = 0.5;
+  std::uint64_t seed = 1;
+};
+
+struct ReplayEntry {
+  /// Encoded query, transaction id 0 (bytes 0-1) for in-place patching.
+  std::vector<std::uint8_t> wire;
+  /// The modelled source (informational over real sockets — the kernel
+  /// supplies the true source; the sim's filters would key on this).
+  Endpoint source;
+  bool is_attack = false;
+};
+
+/// A fixed, deterministic query mix ready for socket replay.
+class ReplayCorpus {
+ public:
+  ReplayCorpus(const ReplayMixConfig& config, const ResolverPopulation& population,
+               const HostedZones& zones);
+
+  const std::vector<ReplayEntry>& entries() const noexcept { return entries_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t attack_count() const noexcept { return attack_count_; }
+
+ private:
+  std::vector<ReplayEntry> entries_;
+  std::size_t attack_count_ = 0;
+};
+
+}  // namespace akadns::workload

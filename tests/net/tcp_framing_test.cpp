@@ -1,0 +1,151 @@
+#include "net/tcp_framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace akadns::net {
+namespace {
+
+std::vector<std::uint8_t> framed(const std::vector<std::uint8_t>& payload) {
+  const auto prefix = frame_prefix(payload.size());
+  std::vector<std::uint8_t> out(prefix.begin(), prefix.end());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<std::uint8_t> payload_of(std::size_t n, std::uint8_t start = 0) {
+  std::vector<std::uint8_t> p(n);
+  std::iota(p.begin(), p.end(), start);
+  return p;
+}
+
+TEST(FramePrefix, BigEndian) {
+  EXPECT_EQ(frame_prefix(0x0102), (std::array<std::uint8_t, 2>{0x01, 0x02}));
+  EXPECT_EQ(frame_prefix(12), (std::array<std::uint8_t, 2>{0x00, 0x0c}));
+  EXPECT_EQ(frame_prefix(65535), (std::array<std::uint8_t, 2>{0xff, 0xff}));
+}
+
+TEST(FrameDecoder, WholeFrameInOneFeed) {
+  FrameDecoder dec;
+  const auto payload = payload_of(40);
+  dec.feed(framed(payload));
+  auto frame = dec.next();
+  ASSERT_TRUE(frame);
+  EXPECT_EQ(std::vector<std::uint8_t>((*frame).begin(), (*frame).end()), payload);
+  EXPECT_FALSE(dec.next());
+  EXPECT_TRUE(dec.at_frame_boundary());
+  EXPECT_FALSE(dec.poisoned());
+}
+
+TEST(FrameDecoder, OneByteAtATime) {
+  FrameDecoder dec;
+  const auto payload = payload_of(300);  // length needs both prefix bytes
+  const auto wire = framed(payload);
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    dec.feed(std::span(&wire[i], 1));
+    if (i + 1 < wire.size()) {
+      EXPECT_FALSE(dec.next()) << "frame completed early at byte " << i;
+      EXPECT_FALSE(dec.at_frame_boundary());
+    }
+  }
+  auto frame = dec.next();
+  ASSERT_TRUE(frame);
+  EXPECT_EQ(std::vector<std::uint8_t>((*frame).begin(), (*frame).end()), payload);
+  EXPECT_TRUE(dec.at_frame_boundary());
+}
+
+TEST(FrameDecoder, SplitInsideLengthPrefix) {
+  FrameDecoder dec;
+  const auto payload = payload_of(5);
+  const auto wire = framed(payload);
+  dec.feed(std::span(wire.data(), 1));  // half the length prefix
+  EXPECT_FALSE(dec.next());
+  dec.feed(std::span(wire.data() + 1, wire.size() - 1));
+  ASSERT_TRUE(dec.next());
+}
+
+TEST(FrameDecoder, PipelinedFramesInOneFeed) {
+  FrameDecoder dec;
+  std::vector<std::uint8_t> stream;
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (std::size_t n : {12u, 1u, 512u, 60u}) {
+    payloads.push_back(payload_of(n, static_cast<std::uint8_t>(n)));
+    const auto w = framed(payloads.back());
+    stream.insert(stream.end(), w.begin(), w.end());
+  }
+  dec.feed(stream);
+  for (const auto& expect : payloads) {
+    auto frame = dec.next();
+    ASSERT_TRUE(frame);
+    EXPECT_EQ(std::vector<std::uint8_t>((*frame).begin(), (*frame).end()), expect);
+  }
+  EXPECT_FALSE(dec.next());
+  EXPECT_TRUE(dec.at_frame_boundary());
+}
+
+TEST(FrameDecoder, ZeroLengthFramePoisons) {
+  FrameDecoder dec;
+  dec.feed(std::vector<std::uint8_t>{0x00, 0x00});
+  EXPECT_FALSE(dec.next());
+  EXPECT_EQ(dec.error(), FrameError::EmptyFrame);
+  EXPECT_TRUE(dec.poisoned());
+  // Poisoned: further input is ignored, no frames ever emerge.
+  dec.feed(framed(payload_of(10)));
+  EXPECT_FALSE(dec.next());
+  EXPECT_EQ(dec.error(), FrameError::EmptyFrame);
+}
+
+TEST(FrameDecoder, OversizedFramePoisons) {
+  FrameDecoder dec(512);
+  const auto prefix = frame_prefix(513);
+  dec.feed(prefix);
+  EXPECT_FALSE(dec.next());
+  EXPECT_EQ(dec.error(), FrameError::Oversized);
+  dec.feed(payload_of(64));
+  EXPECT_FALSE(dec.next());
+}
+
+TEST(FrameDecoder, ExactlyMaxFrameAccepted) {
+  FrameDecoder dec(512);
+  const auto payload = payload_of(512);
+  dec.feed(framed(payload));
+  auto frame = dec.next();
+  ASSERT_TRUE(frame);
+  EXPECT_EQ((*frame).size(), 512u);
+  EXPECT_FALSE(dec.poisoned());
+}
+
+TEST(FrameDecoder, ChunkSpanningFrameBoundary) {
+  FrameDecoder dec;
+  const auto p1 = payload_of(20, 1);
+  const auto p2 = payload_of(30, 2);
+  auto w1 = framed(p1);
+  const auto w2 = framed(p2);
+  // First feed: all of frame 1 plus the first 3 bytes of frame 2.
+  w1.insert(w1.end(), w2.begin(), w2.begin() + 3);
+  dec.feed(w1);
+  auto f1 = dec.next();
+  ASSERT_TRUE(f1);
+  EXPECT_EQ(std::vector<std::uint8_t>((*f1).begin(), (*f1).end()), p1);
+  EXPECT_FALSE(dec.next());
+  dec.feed(std::span(w2.data() + 3, w2.size() - 3));
+  auto f2 = dec.next();
+  ASSERT_TRUE(f2);
+  EXPECT_EQ(std::vector<std::uint8_t>((*f2).begin(), (*f2).end()), p2);
+}
+
+TEST(FrameDecoder, BufferedCountsPendingBytes) {
+  FrameDecoder dec;
+  EXPECT_EQ(dec.buffered(), 0u);
+  dec.feed(std::vector<std::uint8_t>{0x00, 0x05, 0xaa});
+  EXPECT_EQ(dec.buffered(), 3u);
+  dec.feed(std::vector<std::uint8_t>{0xbb, 0xcc, 0xdd, 0xee});
+  EXPECT_EQ(dec.buffered(), 7u);
+  ASSERT_TRUE(dec.next());
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace akadns::net

@@ -1,0 +1,158 @@
+// Property tests for the DNS-over-TCP length framing: for any sequence
+// of frames and ANY chunking of the byte stream — including one byte at
+// a time, chunks that split the length prefix, and chunks spanning many
+// pipelined frames — the decoder reassembles exactly the frames that
+// were sent, in order. Malformed streams (zero-length frames, lengths
+// beyond the cap) poison the decoder at the first offending frame and
+// never yield another frame afterwards.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/tcp_framing.hpp"
+
+namespace akadns::net {
+namespace {
+
+std::vector<std::uint8_t> random_payload(Rng& rng, std::size_t max_len) {
+  std::vector<std::uint8_t> p(1 + rng.next_below(max_len));
+  for (auto& b : p) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return p;
+}
+
+void append_framed(std::vector<std::uint8_t>& stream, const std::vector<std::uint8_t>& payload) {
+  const auto prefix = frame_prefix(payload.size());
+  stream.insert(stream.end(), prefix.begin(), prefix.end());
+  stream.insert(stream.end(), payload.begin(), payload.end());
+}
+
+/// Feeds `stream` to `dec` in random chunks, collecting every frame.
+std::vector<std::vector<std::uint8_t>> feed_chunked(FrameDecoder& dec,
+                                                    const std::vector<std::uint8_t>& stream,
+                                                    Rng& rng, std::size_t max_chunk) {
+  std::vector<std::vector<std::uint8_t>> frames;
+  std::size_t off = 0;
+  while (off < stream.size()) {
+    const std::size_t n = std::min<std::size_t>(1 + rng.next_below(max_chunk),
+                                                stream.size() - off);
+    dec.feed(std::span(stream.data() + off, n));
+    off += n;
+    while (auto frame = dec.next()) {
+      frames.emplace_back((*frame).begin(), (*frame).end());
+    }
+  }
+  return frames;
+}
+
+TEST(TcpFramingProperty, AnyChunkingReassemblesExactly) {
+  Rng rng(0xF4A3);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::vector<std::uint8_t>> sent;
+    std::vector<std::uint8_t> stream;
+    const auto frame_count = 1 + rng.next_below(12);
+    for (std::uint64_t i = 0; i < frame_count; ++i) {
+      sent.push_back(random_payload(rng, round % 3 == 0 ? 2000 : 80));
+      append_framed(stream, sent.back());
+    }
+    // Chunk sizes from pathological (1 byte) to many-frames-per-read.
+    const std::size_t max_chunk = 1 + rng.next_below(round % 2 == 0 ? 3 : 4096);
+    FrameDecoder dec;
+    const auto got = feed_chunked(dec, stream, rng, max_chunk);
+    ASSERT_EQ(got, sent) << "round " << round << " max_chunk " << max_chunk;
+    EXPECT_TRUE(dec.at_frame_boundary());
+    EXPECT_FALSE(dec.poisoned());
+  }
+}
+
+TEST(TcpFramingProperty, TruncatedStreamNeverInventsAFrame) {
+  Rng rng(0xBEEF);
+  for (int round = 0; round < 200; ++round) {
+    const auto payload = random_payload(rng, 500);
+    std::vector<std::uint8_t> stream;
+    append_framed(stream, payload);
+    // Cut the stream anywhere strictly inside the frame.
+    const std::size_t cut = 1 + rng.next_below(stream.size() - 1);
+    FrameDecoder dec;
+    dec.feed(std::span(stream.data(), cut));
+    EXPECT_FALSE(dec.next()) << "cut at " << cut << " of " << stream.size();
+    EXPECT_FALSE(dec.at_frame_boundary());
+    EXPECT_FALSE(dec.poisoned());
+    // The remainder completes exactly the original frame.
+    dec.feed(std::span(stream.data() + cut, stream.size() - cut));
+    auto frame = dec.next();
+    ASSERT_TRUE(frame);
+    EXPECT_EQ(std::vector<std::uint8_t>((*frame).begin(), (*frame).end()), payload);
+  }
+}
+
+TEST(TcpFramingProperty, ZeroLengthFramePoisonsAtExactPosition) {
+  Rng rng(0x5EED);
+  for (int round = 0; round < 100; ++round) {
+    // Valid frames, then an empty frame, then more valid frames that
+    // must never be surfaced.
+    const auto good_before = rng.next_below(5);
+    std::vector<std::uint8_t> stream;
+    std::size_t expect_frames = 0;
+    for (std::uint64_t i = 0; i < good_before; ++i) {
+      append_framed(stream, random_payload(rng, 60));
+      ++expect_frames;
+    }
+    stream.push_back(0x00);
+    stream.push_back(0x00);
+    for (std::uint64_t i = 0; i < 3; ++i) append_framed(stream, random_payload(rng, 60));
+
+    FrameDecoder dec;
+    const auto got = feed_chunked(dec, stream, rng, 1 + rng.next_below(64));
+    EXPECT_EQ(got.size(), expect_frames);
+    EXPECT_EQ(dec.error(), FrameError::EmptyFrame);
+  }
+}
+
+TEST(TcpFramingProperty, OversizedLengthPoisonsRegardlessOfChunking) {
+  Rng rng(0xCAFE);
+  for (int round = 0; round < 100; ++round) {
+    const std::size_t cap = 256 + rng.next_below(1024);
+    const std::size_t bad_len = cap + 1 + rng.next_below(1000);
+    std::vector<std::uint8_t> stream;
+    const auto good_before = rng.next_below(4);
+    for (std::uint64_t i = 0; i < good_before; ++i) {
+      append_framed(stream, random_payload(rng, cap));
+    }
+    const auto prefix = frame_prefix(bad_len);
+    stream.insert(stream.end(), prefix.begin(), prefix.end());
+    // Garbage after the poison point; must be ignored.
+    for (std::uint64_t i = 0; i < 50; ++i) {
+      stream.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+    }
+
+    FrameDecoder dec(cap);
+    const auto got = feed_chunked(dec, stream, rng, 1 + rng.next_below(32));
+    EXPECT_EQ(got.size(), good_before);
+    EXPECT_EQ(dec.error(), FrameError::Oversized);
+  }
+}
+
+TEST(TcpFramingProperty, PipelinedSingleFeedMatchesChunkedFeeds) {
+  Rng rng(0xD00D);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<std::vector<std::uint8_t>> sent;
+    std::vector<std::uint8_t> stream;
+    const auto frame_count = 2 + rng.next_below(20);
+    for (std::uint64_t i = 0; i < frame_count; ++i) {
+      sent.push_back(random_payload(rng, 40));
+      append_framed(stream, sent.back());
+    }
+    // Entire pipelined burst in one feed — the single-read fast case.
+    FrameDecoder dec;
+    dec.feed(stream);
+    std::vector<std::vector<std::uint8_t>> got;
+    while (auto frame = dec.next()) got.emplace_back((*frame).begin(), (*frame).end());
+    EXPECT_EQ(got, sent);
+    EXPECT_TRUE(dec.at_frame_boundary());
+  }
+}
+
+}  // namespace
+}  // namespace akadns::net

@@ -1,0 +1,186 @@
+// The EDNS payload-size clamp (DNS Flag Day 2020): the client's
+// advertised UDP payload size is honored only up to a configurable
+// ceiling (default 1232) and never below 512 — an advertisement of
+// 65535 must not turn the server into an amplification cannon, and a
+// sub-512 advertisement is treated as 512 per RFC 6891 §6.2.3. TCP is
+// exempt: its limit is the transport's (kMaxMessageSize), so anything
+// truncated by the clamp arrives whole on retry.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "dns/wire.hpp"
+#include "server/responder.hpp"
+#include "zone/zone_builder.hpp"
+
+namespace akadns::server {
+namespace {
+
+using dns::DnsName;
+using dns::RecordType;
+
+zone::ZoneStore make_store() {
+  auto builder = zone::ZoneBuilder("example.com", 1)
+                     .ns("@", "ns1.example.com")
+                     .a("ns1", "10.0.0.1")
+                     .a("www", "93.184.216.34");
+  // ~30 TXT records ≈ 2.5 KiB of answer: bigger than the 1232 ceiling,
+  // smaller than 4096 — so the clamp (not the advertisement) decides.
+  for (int i = 0; i < 30; ++i) {
+    builder.txt("fat", "record-" + std::to_string(i) + "-" + std::string(64, 'y'));
+  }
+  zone::ZoneStore store;
+  store.publish(builder.build());
+  return store;
+}
+
+std::vector<std::uint8_t> query_wire(std::optional<std::uint16_t> advertised,
+                                     const char* qname = "fat.example.com",
+                                     RecordType qtype = RecordType::TXT) {
+  auto query = dns::make_query(77, DnsName::from(qname), qtype);
+  if (advertised) {
+    query.edns.emplace();
+    query.edns->udp_payload_size = *advertised;
+  }
+  return dns::encode(query);
+}
+
+dns::Message respond(Responder& responder, std::optional<std::uint16_t> advertised,
+                     std::size_t wire_size_limit = 0) {
+  const Endpoint client{*IpAddr::parse("203.0.113.9"), 3553};
+  auto wire = responder.respond_wire(query_wire(advertised), client, SimTime::origin(),
+                                     wire_size_limit);
+  EXPECT_TRUE(wire.has_value());
+  auto decoded = dns::decode(*wire);
+  EXPECT_TRUE(decoded.ok()) << decoded.error();
+  return std::move(decoded).take();
+}
+
+TEST(EdnsClamp, EffectivePayloadClampsTheLadder) {
+  auto store = make_store();
+  Responder responder(store);
+  const auto with = [](std::uint16_t advertised) {
+    dns::Edns edns;
+    edns.udp_payload_size = advertised;
+    return std::optional<dns::Edns>(edns);
+  };
+  // No EDNS: the pre-EDNS default.
+  EXPECT_EQ(responder.effective_udp_payload(std::nullopt), 512u);
+  // Below the RFC 6891 floor: raised to 512.
+  EXPECT_EQ(responder.effective_udp_payload(with(100)), 512u);
+  EXPECT_EQ(responder.effective_udp_payload(with(512)), 512u);
+  // At/below the ceiling: honored.
+  EXPECT_EQ(responder.effective_udp_payload(with(1232)), 1232u);
+  // Above the ceiling: clamped.
+  EXPECT_EQ(responder.effective_udp_payload(with(4096)), 1232u);
+  EXPECT_EQ(responder.effective_udp_payload(with(65535)), 1232u);
+}
+
+TEST(EdnsClamp, ConfigurableCeiling) {
+  auto store = make_store();
+  ResponderConfig config;
+  config.edns_udp_payload_max = 4096;
+  Responder responder(store, config);
+  dns::Edns edns;
+  edns.udp_payload_size = 65535;
+  EXPECT_EQ(responder.effective_udp_payload(edns), 4096u);
+  edns.udp_payload_size = 1400;
+  EXPECT_EQ(responder.effective_udp_payload(edns), 1400u);
+}
+
+TEST(EdnsClamp, Advertise512Truncates) {
+  auto store = make_store();
+  Responder responder(store);
+  const auto response = respond(responder, 512);
+  EXPECT_TRUE(response.header.tc);
+  EXPECT_TRUE(response.answers.empty());
+}
+
+TEST(EdnsClamp, Advertise1232TruncatesTheFatAnswer) {
+  auto store = make_store();
+  Responder responder(store);
+  // The answer (~2.5 KiB) exceeds 1232, so even the honored Flag Day
+  // advertisement truncates — the client is told to retry over TCP.
+  const auto response = respond(responder, 1232);
+  EXPECT_TRUE(response.header.tc);
+}
+
+TEST(EdnsClamp, Advertise65535IsClampedTo1232) {
+  auto store = make_store();
+  Responder responder(store);
+  // Without the clamp a 65535 advertisement would carry the whole
+  // answer; with it the response behaves exactly like a 1232 one.
+  const auto at_65535 = respond(responder, 65535);
+  EXPECT_TRUE(at_65535.header.tc) << "clamp must override the huge advertisement";
+
+  // Raise the ceiling and the same advertisement passes untruncated.
+  ResponderConfig config;
+  config.edns_udp_payload_max = 65535;
+  Responder generous(store, config);
+  const auto unclamped = respond(generous, 65535);
+  EXPECT_FALSE(unclamped.header.tc);
+  EXPECT_EQ(unclamped.answers.size(), 30u);
+}
+
+TEST(EdnsClamp, SmallAnswerUnaffectedByClamp) {
+  auto store = make_store();
+  Responder responder(store);
+  const Endpoint client{*IpAddr::parse("203.0.113.9"), 3553};
+  auto wire = responder.respond_wire(query_wire(65535, "www.example.com", RecordType::A),
+                                     client);
+  ASSERT_TRUE(wire.has_value());
+  auto decoded = dns::decode(*wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded.value().header.tc);
+  EXPECT_EQ(decoded.value().answers.size(), 1u);
+}
+
+TEST(EdnsClamp, TcpTransportLimitBypassesClamp) {
+  auto store = make_store();
+  Responder responder(store);
+  // TCP semantics: the caller passes the transport ceiling, the clamp
+  // (a UDP anti-amplification measure) does not apply.
+  const auto response = respond(responder, 65535, dns::kMaxMessageSize);
+  EXPECT_FALSE(response.header.tc);
+  EXPECT_EQ(response.answers.size(), 30u);
+  // Even a 512 advertisement rides free over TCP.
+  const auto small_advert = respond(responder, 512, dns::kMaxMessageSize);
+  EXPECT_FALSE(small_advert.header.tc);
+  EXPECT_EQ(small_advert.answers.size(), 30u);
+}
+
+TEST(EdnsClamp, TcpResponsesBypassTheAnswerCache) {
+  auto store = make_store();
+  Responder responder(store);
+  // Two TCP responses: neither consults nor populates the UDP-keyed
+  // answer cache.
+  respond(responder, 65535, dns::kMaxMessageSize);
+  respond(responder, 65535, dns::kMaxMessageSize);
+  EXPECT_EQ(responder.answer_cache().stats().hits, 0u);
+  EXPECT_EQ(responder.answer_cache().stats().insertions, 0u);
+  // The same query over UDP does use the cache.
+  respond(responder, 65535);
+  respond(responder, 65535);
+  EXPECT_EQ(responder.answer_cache().stats().insertions, 1u);
+  EXPECT_EQ(responder.answer_cache().stats().hits, 1u);
+}
+
+TEST(EdnsClamp, CacheKeysDistinguishAdvertisedSizes) {
+  auto store = make_store();
+  Responder responder(store);
+  // 512 and 1232 advertisements truncate at different limits, so they
+  // must occupy distinct cache slots — a shared slot would replay the
+  // wrong truncation.
+  const auto first = respond(responder, 512);
+  const auto second = respond(responder, 1232);
+  EXPECT_EQ(responder.answer_cache().stats().hits, 0u);
+  const auto first_again = respond(responder, 512);
+  EXPECT_EQ(responder.answer_cache().stats().hits, 1u);
+  EXPECT_TRUE(first.header.tc);
+  EXPECT_TRUE(first_again.header.tc);
+}
+
+}  // namespace
+}  // namespace akadns::server

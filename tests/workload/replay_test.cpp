@@ -1,0 +1,93 @@
+#include "workload/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dns/wire.hpp"
+#include "workload/population.hpp"
+#include "workload/zones.hpp"
+
+namespace akadns::workload {
+namespace {
+
+struct Fixture {
+  HostedZones zones{{.zone_count = 50}, 7};
+  ResolverPopulation population{{.resolver_count = 500}, 11};
+};
+
+TEST(ReplayCorpus, DeterministicForSameSeed) {
+  Fixture f;
+  ReplayMixConfig config;
+  config.corpus_size = 128;
+  config.attack_fraction = 0.25;
+  config.seed = 99;
+  const ReplayCorpus a(config, f.population, f.zones);
+  const ReplayCorpus b(config, f.population, f.zones);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.entries()[i].wire, b.entries()[i].wire) << "entry " << i;
+    EXPECT_EQ(a.entries()[i].source, b.entries()[i].source);
+    EXPECT_EQ(a.entries()[i].is_attack, b.entries()[i].is_attack);
+  }
+}
+
+TEST(ReplayCorpus, DifferentSeedDiverges) {
+  Fixture f;
+  ReplayMixConfig config;
+  config.corpus_size = 64;
+  const ReplayCorpus a(config, f.population, f.zones);
+  config.seed = 2;
+  const ReplayCorpus b(config, f.population, f.zones);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.entries()[i].wire == b.entries()[i].wire) ++same;
+  }
+  EXPECT_LT(same, a.size() / 2);
+}
+
+TEST(ReplayCorpus, EveryEntryDecodesWithIdZero) {
+  Fixture f;
+  ReplayMixConfig config;
+  config.corpus_size = 256;
+  config.attack_fraction = 0.3;
+  const ReplayCorpus corpus(config, f.population, f.zones);
+  ASSERT_EQ(corpus.size(), 256u);
+  std::size_t with_edns = 0, with_ecs = 0;
+  for (const auto& entry : corpus.entries()) {
+    auto decoded = dns::decode(entry.wire);
+    ASSERT_TRUE(decoded.ok()) << decoded.error();
+    const auto& msg = decoded.value();
+    EXPECT_EQ(msg.header.id, 0) << "replay wires must leave the id patchable";
+    EXPECT_EQ(msg.questions.size(), 1u);
+    if (msg.edns) {
+      ++with_edns;
+      if (msg.edns->client_subnet) ++with_ecs;
+    }
+  }
+  // edns_fraction defaults to 0.5; allow generous slack on 256 samples.
+  EXPECT_GT(with_edns, 64u);
+  EXPECT_LT(with_edns, 192u);
+  EXPECT_GT(with_ecs, 0u);
+}
+
+TEST(ReplayCorpus, AttackFractionRoughlyHonored) {
+  Fixture f;
+  ReplayMixConfig config;
+  config.corpus_size = 512;
+  config.attack_fraction = 0.5;
+  const ReplayCorpus corpus(config, f.population, f.zones);
+  EXPECT_GT(corpus.attack_count(), 512u / 4);
+  EXPECT_LT(corpus.attack_count(), 3 * 512u / 4);
+}
+
+TEST(ReplayCorpus, ZeroAttackFractionIsAllLegit) {
+  Fixture f;
+  ReplayMixConfig config;
+  config.corpus_size = 64;
+  config.attack_fraction = 0.0;
+  const ReplayCorpus corpus(config, f.population, f.zones);
+  EXPECT_EQ(corpus.attack_count(), 0u);
+  for (const auto& entry : corpus.entries()) EXPECT_FALSE(entry.is_attack);
+}
+
+}  // namespace
+}  // namespace akadns::workload
