@@ -23,15 +23,20 @@ namespace {
 struct RunResult {
   akadns::net::LoadgenReport report;
   std::vector<std::uint64_t> per_worker;
+  akadns::defense::DefenseLaneStats defense;
 };
 
 RunResult run_once(const akadns::zone::ZoneStore& store,
                    const akadns::workload::ReplayCorpus& corpus,
                    std::vector<std::vector<std::uint8_t>> expected, std::size_t workers,
-                   std::uint64_t queries) {
+                   std::uint64_t queries,
+                   const akadns::net::DefenseOptions* defense = nullptr,
+                   akadns::Duration timeout = akadns::Duration::millis(1000),
+                   std::size_t window = 512) {
   akadns::net::ServeConfig config;
   config.port = 0;
   config.workers = workers;
+  if (defense) config.defense = *defense;
   akadns::net::Server server(config, store);
   auto started = server.start();
   if (!started) {
@@ -44,10 +49,14 @@ RunResult run_once(const akadns::zone::ZoneStore& store,
                                server.udp_port()};
   lg.sockets = workers;  // one flow per worker is the best the hash can do
   lg.total_queries = queries;
+  lg.window = window;
+  lg.response_timeout = timeout;
   akadns::net::Loadgen loadgen(lg, corpus, std::move(expected));
-  RunResult result{loadgen.run(), {}};
+  RunResult result{loadgen.run(), {}, {}};
   server.stop();
-  result.per_worker = server.stats().per_worker_udp;
+  const auto stats = server.stats();
+  result.per_worker = stats.per_worker_udp;
+  result.defense = stats.defense;
   return result;
 }
 
@@ -85,6 +94,46 @@ int main() {
       bench::print_count_row(("worker " + std::to_string(w) + " udp packets").c_str(),
                              run.per_worker[w]);
     }
+  }
+
+  // Defense A/B: a random-subdomain flood sharing the loadgen's sockets
+  // with legitimate traffic, replayed twice against the same zone set —
+  // once with the defense engine off (the flood starves the responder
+  // behind its compute meter) and once on (armed-zone probes are
+  // discarded at enqueue). Both modes' per-class counters land in the
+  // bench JSON so CI archives the shed alongside the throughput rows.
+  workload::ReplayMixConfig attack_mix;
+  attack_mix.corpus_size = 4096;
+  attack_mix.attack_fraction = 0.5;
+  attack_mix.random_subdomain_weight = 1.0;
+  attack_mix.direct_query_weight = 0.0;
+  attack_mix.spoofed_weight = 0.0;
+  attack_mix.seed = 42;
+  const workload::ReplayCorpus attack_corpus(attack_mix, population, zones);
+  const auto attack_expected = net::expected_responses(attack_corpus, zones.store());
+
+  const std::uint64_t ab_queries = 40'000;
+  for (const bool defense_on : {false, true}) {
+    bench::subheading(std::string("attack mix 0.5, defense = ") +
+                      (defense_on ? "on" : "off"));
+    net::DefenseOptions defense;
+    defense.enabled = defense_on;
+    defense.compute_qps = 6000.0;       // meter the responder like a busy edge
+    defense.nxdomain_threshold = 4;     // arm fast at bench scale
+    defense.nxdomain_penalty = 200.0;   // >= S_max: discard at enqueue
+    const auto run = run_once(zones.store(), attack_corpus, attack_expected,
+                              /*workers=*/2, ab_queries, &defense,
+                              Duration::millis(500), /*window=*/1024);
+    const auto& r = run.report;
+    bench::print_count_row("legit sent", r.legit.sent);
+    bench::print_count_row("legit received", r.legit.received);
+    bench::print_count_row("legit mismatched", r.legit.mismatched);
+    bench::print_row("legit goodput", r.legit.goodput());
+    bench::print_count_row("attack sent", r.attack.sent);
+    bench::print_count_row("attack received", r.attack.received);
+    bench::print_row("attack goodput", r.attack.goodput());
+    bench::print_count_row("defense scored", run.defense.scored);
+    bench::print_count_row("defense shed", run.defense.drops.total());
   }
   return 0;
 }

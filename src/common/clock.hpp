@@ -1,0 +1,76 @@
+// The clock abstraction that makes the defense pipeline transport-
+// agnostic.
+//
+// The query-scoring defense stack (src/defense) is pure control logic
+// over *time*: leaky/token buckets refill against it, NXDOMAIN windows
+// and firewall rule TTLs expire against it, loyalty ages against it.
+// The simulator needs that time to be the EventScheduler's simulated
+// instant (bit-for-bit determinism); the real-socket frontend needs it
+// to be CLOCK_MONOTONIC. Both are expressed as a Timepoint — nanoseconds
+// since a clock-defined epoch — read through the Clock interface, so one
+// DefenseEngine implementation serves both frontends.
+//
+// Timepoint deliberately aliases SimTime: every duration/arithmetic
+// helper, every filter, and every bucket already speaks SimTime, and the
+// alias makes "sim time" just one Clock among others instead of a
+// pervasive assumption.
+#pragma once
+
+#include <chrono>
+
+#include "common/sim_time.hpp"
+
+namespace akadns {
+
+/// An instant on some Clock's axis: nanoseconds since that clock's epoch.
+using Timepoint = SimTime;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// The current instant. Implementations must be safe to call from the
+  /// thread(s) driving the owning engine (the sim's ManualClock is
+  /// written only between parallel phases; MonotonicClock is stateless).
+  virtual Timepoint now() const noexcept = 0;
+};
+
+/// Externally-driven clock for simulated frontends: the driver sets the
+/// instant (from the EventScheduler) before invoking the consumer, so
+/// results depend only on the injected schedule — never on wall time.
+class ManualClock final : public Clock {
+ public:
+  ManualClock() = default;
+  explicit ManualClock(Timepoint start) noexcept : now_(start) {}
+
+  Timepoint now() const noexcept override { return now_; }
+
+  void set(Timepoint t) noexcept { now_ = t; }
+  void advance(Duration d) noexcept { now_ += d; }
+
+ private:
+  Timepoint now_ = Timepoint::origin();
+};
+
+/// Wall clock for real frontends: CLOCK_MONOTONIC, with the epoch fixed
+/// at construction (or shared explicitly so several components — e.g.
+/// every worker of a server — agree on one axis).
+class MonotonicClock final : public Clock {
+ public:
+  using Steady = std::chrono::steady_clock;
+
+  MonotonicClock() noexcept : epoch_(Steady::now()) {}
+  explicit MonotonicClock(Steady::time_point epoch) noexcept : epoch_(epoch) {}
+
+  Timepoint now() const noexcept override {
+    return Timepoint::from_nanos(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Steady::now() - epoch_).count());
+  }
+
+  Steady::time_point epoch() const noexcept { return epoch_; }
+
+ private:
+  Steady::time_point epoch_;
+};
+
+}  // namespace akadns

@@ -26,6 +26,17 @@ std::string DatapathReport::render() const {
          ")\n";
   out += "  publish: compiles=" + std::to_string(zone_compiles) +
          " compile_time=" + std::to_string(zone_compile_micros) + "us\n";
+  out += "  defense: scored=" + std::to_string(defense.scored) +
+         " enqueued=" + std::to_string(defense.enqueued) +
+         " released=" + std::to_string(defense.released) +
+         " shed=" + std::to_string(defense.drops.total()) + "\n";
+  if (!penalty_queue_depths.empty()) {
+    out += "  penalty_queues:";
+    for (std::size_t q = 0; q < penalty_queue_depths.size(); ++q) {
+      out += " q" + std::to_string(q) + "=" + std::to_string(penalty_queue_depths[q]);
+    }
+    out += "\n";
+  }
   if (lanes.size() > 1) {
     for (std::size_t i = 0; i < lanes.size(); ++i) {
       const auto& lane = lanes[i];
@@ -70,6 +81,13 @@ DatapathReport collect_datapath(const std::vector<pop::Machine*>& fleet) {
       lane.pending += nameserver.lane_pending(i);
       lane.drops.merge(lane_stats.drops);
     }
+
+    report.defense.merge(nameserver.defense().stats());
+    const auto depths = nameserver.defense().queue_depths();
+    if (depths.size() > report.penalty_queue_depths.size()) {
+      report.penalty_queue_depths.resize(depths.size(), 0);
+    }
+    for (std::size_t q = 0; q < depths.size(); ++q) report.penalty_queue_depths[q] += depths[q];
 
     const auto responder_stats = nameserver.responder_stats();
     report.compiled_answers += responder_stats.compiled_answers;

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "defense/defense_engine.hpp"
 #include "dns/message.hpp"
 #include "pop/machine.hpp"
 #include "pop/suspension.hpp"
@@ -54,6 +55,13 @@ struct DatapathReport {
   };
   /// Indexed by lane; sized to the widest machine in the fleet.
   std::vector<LaneReport> lanes;
+
+  // Defense-engine accounting (§4.3.3): the fleet's merged filter/queue
+  // counters plus the live penalty-queue backlog shape, per priority
+  // index — during an attack the NOCC reads the skew (deep high-penalty
+  // queues, shallow queue 0) as "the filters are classifying".
+  defense::DefenseLaneStats defense;
+  std::vector<std::size_t> penalty_queue_depths;
 
   // Compiled-snapshot datapath: how responses were produced (fragments /
   // answer-cache replay / interpreted Message encoder) and what the

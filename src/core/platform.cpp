@@ -2,8 +2,7 @@
 
 #include <algorithm>
 
-#include "filters/nxdomain_filter.hpp"
-#include "filters/rate_limit_filter.hpp"
+#include "defense/filter_chain.hpp"
 
 #include "dns/wire.hpp"
 
@@ -214,33 +213,15 @@ void Platform::install_filter_pipeline(const FilterDefaults& defaults) {
       // Filters are installed uniformly on every lane, so probing lane 0
       // keeps this idempotent.
       if (ns.scoring().find("rate_limit") || ns.scoring().find("nxdomain")) continue;
-      ns.install_filter([&defaults](std::size_t, std::size_t) {
-        // Per-source state: lanes pin flows, so each lane's instance sees
-        // every packet of its sources — no threshold scaling needed.
-        return std::make_unique<filters::RateLimitFilter>(filters::RateLimitFilter::Config{
-            .penalty = defaults.rate_limit_penalty,
-            .default_limit_qps = defaults.rate_limit_default_qps});
-      });
-      zone::ZoneStore* store = machine->local_store();
-      ns.install_filter([&defaults, store](std::size_t, std::size_t shard_count) {
-        // Per-zone state: a zone's queries spread across all lanes, so
-        // the per-zone NXDOMAIN threshold scales down with the lane count
-        // to keep the machine-level trip point roughly constant.
-        const std::uint64_t threshold = std::max<std::uint64_t>(
-            1, defaults.nxdomain_threshold / static_cast<std::uint64_t>(shard_count));
-        return std::make_unique<filters::NxDomainFilter>(
-            filters::NxDomainFilter::Config{.penalty = defaults.nxdomain_penalty,
-                                            .nxdomain_threshold = threshold},
-            [store](const dns::DnsName& qname) -> std::optional<dns::DnsName> {
-              const auto zone = store->find_best_zone(qname);
-              if (!zone) return std::nullopt;
-              return zone->apex();
-            },
-            [store](const dns::DnsName& apex) {
-              const auto zone = store->find_zone(apex);
-              return zone ? zone->all_names() : std::vector<dns::DnsName>{};
-            });
-      });
+      ns.install_filter(defense::rate_limit_factory(filters::RateLimitFilter::Config{
+          .penalty = defaults.rate_limit_penalty,
+          .default_limit_qps = defaults.rate_limit_default_qps}));
+      // The factory scales the machine-level NXDOMAIN threshold down by
+      // the lane count (a zone's queries spread across all lanes).
+      ns.install_filter(defense::nxdomain_factory(
+          filters::NxDomainFilter::Config{.penalty = defaults.nxdomain_penalty,
+                                          .nxdomain_threshold = defaults.nxdomain_threshold},
+          defense::zone_store_hooks(*machine->local_store())));
     }
   }
 }

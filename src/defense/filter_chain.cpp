@@ -1,0 +1,61 @@
+#include "defense/filter_chain.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace akadns::defense {
+
+filters::FilterFactory rate_limit_factory(filters::RateLimitFilter::Config config) {
+  return [config](std::size_t, std::size_t) {
+    return std::make_unique<filters::RateLimitFilter>(config);
+  };
+}
+
+NxDomainHooks zone_store_hooks(const zone::ZoneStore& store) {
+  const zone::ZoneStore* s = &store;
+  return NxDomainHooks{
+      [s](const dns::DnsName& qname) -> std::optional<dns::DnsName> {
+        const auto zone = s->find_best_zone(qname);
+        if (!zone) return std::nullopt;
+        return zone->apex();
+      },
+      [s](const dns::DnsName& apex) {
+        const auto zone = s->find_zone(apex);
+        return zone ? zone->all_names() : std::vector<dns::DnsName>{};
+      }};
+}
+
+filters::FilterFactory nxdomain_factory(filters::NxDomainFilter::Config config,
+                                        NxDomainHooks hooks) {
+  return [config, hooks](std::size_t, std::size_t shard_count) {
+    filters::NxDomainFilter::Config scaled = config;
+    scaled.nxdomain_threshold = std::max<std::uint64_t>(
+        1, config.nxdomain_threshold / static_cast<std::uint64_t>(shard_count));
+    return std::make_unique<filters::NxDomainFilter>(scaled, hooks.zone_of, hooks.names_of);
+  };
+}
+
+filters::FilterFactory hopcount_factory(filters::HopCountFilter::Config config) {
+  return [config](std::size_t, std::size_t) {
+    return std::make_unique<filters::HopCountFilter>(config);
+  };
+}
+
+filters::FilterFactory loyalty_factory(filters::LoyaltyFilter::Config config) {
+  return [config](std::size_t, std::size_t) {
+    return std::make_unique<filters::LoyaltyFilter>(config);
+  };
+}
+
+filters::FilterFactory allowlist_factory(filters::AllowlistFilter::Config config) {
+  return [config](std::size_t, std::size_t shard_count) {
+    filters::AllowlistFilter::Config scaled = config;
+    scaled.activation_unknown_qps =
+        config.activation_unknown_qps / static_cast<double>(shard_count);
+    scaled.activation_unknown_sources = std::max<std::size_t>(
+        1, config.activation_unknown_sources / shard_count);
+    return std::make_unique<filters::AllowlistFilter>(scaled);
+  };
+}
+
+}  // namespace akadns::defense

@@ -1,0 +1,69 @@
+// Factory builders for the standard filter chain (§4.3.4).
+//
+// Both frontends install the same filters through the same builders —
+// the simulated platform's pipeline (core/platform.cpp) and the socket
+// workers (net/server.cpp) differ only in which subset they pick and
+// which clock drives the engine:
+//
+//   - per-source filters (rate_limit, loyalty, allowlist, hopcount)
+//     discriminate by source endpoint / IP TTL and need genuine source
+//     diversity to be meaningful;
+//   - content filters (nxdomain) discriminate by what is asked, so they
+//     work even when every packet shares one source (e.g. loopback
+//     self-play), which is why the socket frontend's default chain is
+//     content-based.
+//
+// Each builder returns a filters::FilterFactory: invoked once per lane
+// with (shard, shard_count) so stateful filters can scale per-machine
+// thresholds down to per-lane ones.
+#pragma once
+
+#include <cstdint>
+
+#include "filters/allowlist_filter.hpp"
+#include "filters/filter.hpp"
+#include "filters/hopcount_filter.hpp"
+#include "filters/loyalty_filter.hpp"
+#include "filters/nxdomain_filter.hpp"
+#include "filters/rate_limit_filter.hpp"
+#include "zone/zone_store.hpp"
+
+namespace akadns::defense {
+
+/// Per-source leaky-bucket rate limiting. Lanes pin flows, so each lane's
+/// instance sees every packet of its sources — no threshold scaling.
+filters::FilterFactory rate_limit_factory(filters::RateLimitFilter::Config config = {});
+
+/// The two zone-stack hooks the NXDOMAIN filter needs, decoupled from the
+/// store type at the filter and rebound here for convenience.
+struct NxDomainHooks {
+  filters::NxDomainFilter::ZoneOfFn zone_of;
+  filters::NxDomainFilter::NamesOfFn names_of;
+};
+
+/// Binds the hooks to a zone store. The store must outlive every filter
+/// built from the hooks (true for both frontends: the machine's local
+/// store and the server's store outlive their engines).
+NxDomainHooks zone_store_hooks(const zone::ZoneStore& store);
+
+/// Random-subdomain detection. `config.nxdomain_threshold` is the
+/// MACHINE-level trip point: a zone's queries spread across all lanes, so
+/// the factory scales it down by shard_count (min 1) to keep the
+/// machine-level behaviour roughly constant.
+filters::FilterFactory nxdomain_factory(filters::NxDomainFilter::Config config,
+                                        NxDomainHooks hooks);
+
+/// IP-TTL divergence detection (spoofed sources). Per-source state; no
+/// scaling needed.
+filters::FilterFactory hopcount_factory(filters::HopCountFilter::Config config = {});
+
+/// Historically-loyal-resolver membership. Per-source state; no scaling.
+filters::FilterFactory loyalty_factory(filters::LoyaltyFilter::Config config = {});
+
+/// Top-talker allowlist with volume/diversity auto-activation. Activation
+/// thresholds are machine-level: the factory scales `activation_unknown_qps`
+/// and `activation_unknown_sources` down by shard_count (min 1) since each
+/// lane sees only its slice of the traffic.
+filters::FilterFactory allowlist_factory(filters::AllowlistFilter::Config config = {});
+
+}  // namespace akadns::defense

@@ -1,10 +1,10 @@
-#include "server/firewall.hpp"
+#include "defense/firewall.hpp"
 
 #include <algorithm>
 
-namespace akadns::server {
+namespace akadns::defense {
 
-void Firewall::install(const dns::Question& question, SimTime now, Duration ttl) {
+void Firewall::install(const dns::Question& question, Timepoint now, Duration ttl) {
   for (auto& rule : rules_) {
     if (rule.name == question.name && rule.qtype == question.qtype) {
       rule.expires_at = now + ttl;
@@ -14,11 +14,11 @@ void Firewall::install(const dns::Question& question, SimTime now, Duration ttl)
   rules_.push_back(FirewallRule{question.name, question.qtype, now + ttl, 0});
 }
 
-void Firewall::expunge(SimTime now) {
+void Firewall::expunge(Timepoint now) {
   std::erase_if(rules_, [now](const FirewallRule& r) { return r.expires_at <= now; });
 }
 
-bool Firewall::drops(const dns::Question& question, SimTime now) {
+bool Firewall::drops(const dns::Question& question, Timepoint now) {
   expunge(now);
   for (auto& rule : rules_) {
     const bool type_match =
@@ -32,9 +32,9 @@ bool Firewall::drops(const dns::Question& question, SimTime now) {
   return false;
 }
 
-std::size_t Firewall::rule_count(SimTime now) {
+std::size_t Firewall::rule_count(Timepoint now) {
   expunge(now);
   return rules_.size();
 }
 
-}  // namespace akadns::server
+}  // namespace akadns::defense

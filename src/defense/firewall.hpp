@@ -1,0 +1,53 @@
+// Query-of-death firewall (§4.2.4).
+//
+// "The nameservers detect unrecoverable faults in their query processing
+// logic and write the DNS payload of the packet being processed to disk.
+// A separate process constructs and inserts a firewall rule to drop
+// similar DNS queries ... the rule is expunged after a configurable time
+// T_QoD, so the nameserver will occasionally attempt to answer potential
+// QoDs while limiting the crash rate to at most once per T_QoD."
+//
+// A rule matches "similar" queries: same qtype and a qname at/below the
+// rule's name (the pattern generalization a production system derives
+// from the crashing payload). Rule expiry runs on an abstract Timepoint
+// axis (common/clock.hpp), so the same table serves the simulated
+// nameserver and the real-socket workers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "dns/message.hpp"
+
+namespace akadns::defense {
+
+struct FirewallRule {
+  dns::DnsName name;         // matches this name and everything below it
+  dns::RecordType qtype;     // RecordType::ANY matches all types
+  Timepoint expires_at;
+  std::uint64_t hits = 0;
+};
+
+class Firewall {
+ public:
+  /// Installs a rule derived from a crashing query; replaces an identical
+  /// existing rule (refreshing its expiry).
+  void install(const dns::Question& question, Timepoint now, Duration ttl);
+
+  /// True if the query matches a live rule (and counts the hit).
+  /// Expired rules are lazily expunged.
+  bool drops(const dns::Question& question, Timepoint now);
+
+  std::size_t rule_count(Timepoint now);
+  const std::vector<FirewallRule>& rules() const noexcept { return rules_; }
+  std::uint64_t total_dropped() const noexcept { return dropped_; }
+
+ private:
+  void expunge(Timepoint now);
+
+  std::vector<FirewallRule> rules_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace akadns::defense

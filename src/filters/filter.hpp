@@ -14,8 +14,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/ip.hpp"
-#include "common/sim_time.hpp"
 #include "dns/message.hpp"
 
 namespace akadns::filters {
@@ -33,7 +33,10 @@ struct QueryContext {
   Endpoint source;
   std::uint8_t ip_ttl = 64;  // received IP TTL
   const dns::Question& question;
-  SimTime now;
+  /// The owning engine's clock reading at scoring time (common/clock.hpp):
+  /// simulated time in the sim, CLOCK_MONOTONIC in the socket frontend.
+  /// Filters age state against this axis and never read wall time.
+  Timepoint now;
 };
 
 class Filter {

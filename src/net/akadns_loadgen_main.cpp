@@ -32,6 +32,14 @@ struct CliOptions {
   std::size_t window = 512;
   std::size_t corpus_size = 4096;
   double attack_fraction = 0.0;
+  double w_random_subdomain = 0.5;
+  double w_direct = 0.3;
+  double w_spoofed = 0.2;
+  /// What the server is running ("on"/"off"), recorded in the report and
+  /// selecting the exit policy under an attack mix (see main()).
+  std::string defense = "off";
+  std::uint64_t timeout_ms = 1000;
+  double goodput_min = 0.9;
   bool verify = false;
   std::string json_path;
   bool help = false;
@@ -49,9 +57,18 @@ void print_usage(const char* argv0) {
       "  --window N          max in-flight per socket (default 512)\n"
       "  --corpus N          distinct queries in the replay mix (default 4096)\n"
       "  --attack-fraction F mix in attack traffic, 0..1 (default 0)\n"
+      "  --attack-mix F      alias for --attack-fraction\n"
+      "  --attack-weights R,D,S  random-subdomain/direct/spoofed blend (default 0.5,0.3,0.2)\n"
+      "  --defense MODE      what the server runs: off|on (recorded; selects exit policy)\n"
+      "  --timeout-ms N      per-query response timeout (default 1000)\n"
+      "  --goodput-min F     legit goodput floor for --defense on (default 0.9)\n"
       "  --verify            byte-compare responses against the local Responder\n"
       "  --json PATH         write the report as JSON\n"
-      "exit status: 0 iff nothing dropped, mismatched, or unexpected\n",
+      "exit status without an attack mix: 0 iff nothing dropped, mismatched, or unexpected.\n"
+      "With an attack mix the server is *supposed* to shed attack traffic, so the gate\n"
+      "moves to the legitimate class: --defense on exits 0 iff legit goodput >= the floor\n"
+      "and no legit response mismatched; --defense off is a baseline measurement and\n"
+      "exits 0 whenever the run completed (counters still reported).\n",
       argv0);
 }
 
@@ -93,9 +110,36 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
     } else if (arg == "--corpus") {
       if (!(v = need_value())) return false;
       opts.corpus_size = std::strtoull(v, nullptr, 10);
-    } else if (arg == "--attack-fraction") {
+    } else if (arg == "--attack-fraction" || arg == "--attack-mix") {
       if (!(v = need_value())) return false;
       opts.attack_fraction = std::strtod(v, nullptr);
+    } else if (arg == "--attack-weights") {
+      if (!(v = need_value())) return false;
+      char* end = nullptr;
+      opts.w_random_subdomain = std::strtod(v, &end);
+      if (!end || *end != ',') {
+        std::fprintf(stderr, "--attack-weights wants R,D,S\n");
+        return false;
+      }
+      opts.w_direct = std::strtod(end + 1, &end);
+      if (!end || *end != ',') {
+        std::fprintf(stderr, "--attack-weights wants R,D,S\n");
+        return false;
+      }
+      opts.w_spoofed = std::strtod(end + 1, nullptr);
+    } else if (arg == "--defense") {
+      if (!(v = need_value())) return false;
+      opts.defense = v;
+      if (opts.defense != "on" && opts.defense != "off") {
+        std::fprintf(stderr, "--defense wants on|off\n");
+        return false;
+      }
+    } else if (arg == "--timeout-ms") {
+      if (!(v = need_value())) return false;
+      opts.timeout_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--goodput-min") {
+      if (!(v = need_value())) return false;
+      opts.goodput_min = std::strtod(v, nullptr);
     } else if (arg == "--verify") {
       opts.verify = true;
     } else if (arg == "--json") {
@@ -109,18 +153,39 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
   return true;
 }
 
+std::string class_json(const char* name, const akadns::net::ClassCounters& c) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"%s\": {\"sent\": %llu, \"received\": %llu, \"dropped\": %llu,"
+                " \"mismatched\": %llu, \"goodput\": %.4f},\n",
+                name, (unsigned long long)c.sent, (unsigned long long)c.received,
+                (unsigned long long)c.dropped, (unsigned long long)c.mismatched,
+                c.goodput());
+  return buf;
+}
+
 std::string report_json(const akadns::net::LoadgenReport& r, const CliOptions& opts) {
-  char buf[1024];
+  char buf[1536];
   std::snprintf(buf, sizeof(buf),
                 "{\n"
                 "  \"target\": \"%s\",\n"
                 "  \"queries\": %llu,\n"
                 "  \"sockets\": %zu,\n"
+                "  \"defense\": \"%s\",\n"
+                "  \"attack_fraction\": %.4f,\n"
                 "  \"sent\": %llu,\n"
                 "  \"received\": %llu,\n"
                 "  \"dropped\": %llu,\n"
                 "  \"mismatched\": %llu,\n"
-                "  \"unexpected\": %llu,\n"
+                "  \"unexpected\": %llu,\n",
+                opts.target.c_str(), (unsigned long long)opts.queries, opts.sockets,
+                opts.defense.c_str(), opts.attack_fraction, (unsigned long long)r.sent,
+                (unsigned long long)r.received, (unsigned long long)r.dropped,
+                (unsigned long long)r.mismatched, (unsigned long long)r.unexpected);
+  std::string out = buf;
+  out += class_json("legit", r.legit);
+  out += class_json("attack", r.attack);
+  std::snprintf(buf, sizeof(buf),
                 "  \"seconds\": %.4f,\n"
                 "  \"qps\": %.0f,\n"
                 "  \"p50_us\": %.1f,\n"
@@ -129,12 +194,9 @@ std::string report_json(const akadns::net::LoadgenReport& r, const CliOptions& o
                 "  \"p999_us\": %.1f,\n"
                 "  \"max_us\": %.1f\n"
                 "}\n",
-                opts.target.c_str(), (unsigned long long)opts.queries, opts.sockets,
-                (unsigned long long)r.sent, (unsigned long long)r.received,
-                (unsigned long long)r.dropped, (unsigned long long)r.mismatched,
-                (unsigned long long)r.unexpected, r.seconds, r.qps, r.p50_us, r.p90_us,
-                r.p99_us, r.p999_us, r.max_us);
-  return buf;
+                r.seconds, r.qps, r.p50_us, r.p90_us, r.p99_us, r.p999_us, r.max_us);
+  out += buf;
+  return out;
 }
 
 }  // namespace
@@ -175,6 +237,9 @@ int main(int argc, char** argv) {
   akadns::workload::ReplayMixConfig mix;
   mix.corpus_size = opts.corpus_size;
   mix.attack_fraction = opts.attack_fraction;
+  mix.random_subdomain_weight = opts.w_random_subdomain;
+  mix.direct_query_weight = opts.w_direct;
+  mix.spoofed_weight = opts.w_spoofed;
   mix.seed = opts.seed;
   akadns::workload::ReplayCorpus corpus(mix, population, zones);
   std::fprintf(stderr, "corpus ready: %zu entries (%zu attack)\n", corpus.size(),
@@ -192,6 +257,7 @@ int main(int argc, char** argv) {
   config.batch = opts.batch;
   config.window = opts.window;
   config.total_queries = opts.queries;
+  config.response_timeout = akadns::Duration::millis(static_cast<std::int64_t>(opts.timeout_ms));
 
   akadns::net::Loadgen loadgen(config, corpus, std::move(expected));
   const auto report = loadgen.run();
@@ -201,6 +267,16 @@ int main(int argc, char** argv) {
   std::printf("dropped     %llu\n", (unsigned long long)report.dropped);
   std::printf("mismatched  %llu\n", (unsigned long long)report.mismatched);
   std::printf("unexpected  %llu\n", (unsigned long long)report.unexpected);
+  if (opts.attack_fraction > 0.0) {
+    std::printf("legit       sent=%llu received=%llu dropped=%llu mismatched=%llu goodput=%.4f\n",
+                (unsigned long long)report.legit.sent, (unsigned long long)report.legit.received,
+                (unsigned long long)report.legit.dropped,
+                (unsigned long long)report.legit.mismatched, report.legit.goodput());
+    std::printf("attack      sent=%llu received=%llu dropped=%llu mismatched=%llu goodput=%.4f\n",
+                (unsigned long long)report.attack.sent, (unsigned long long)report.attack.received,
+                (unsigned long long)report.attack.dropped,
+                (unsigned long long)report.attack.mismatched, report.attack.goodput());
+  }
   std::printf("seconds     %.4f\n", report.seconds);
   std::printf("qps         %.0f\n", report.qps);
   std::printf("latency_us  p50=%.1f p90=%.1f p99=%.1f p99.9=%.1f max=%.1f\n", report.p50_us,
@@ -212,5 +288,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wrote %s\n", opts.json_path.c_str());
   }
 
+  if (opts.attack_fraction > 0.0) {
+    // Under an attack mix shed attack traffic is the *intended* outcome,
+    // so total-drop counts cannot gate. The property that matters is
+    // collateral damage: did legitimate traffic keep flowing, unchanged?
+    if (opts.defense == "on") {
+      const bool ok = report.legit.goodput() >= opts.goodput_min &&
+                      report.legit.mismatched == 0 && report.legit.sent > 0;
+      std::printf("defense-on gate: legit goodput %.4f (floor %.2f), legit mismatches %llu -> %s\n",
+                  report.legit.goodput(), opts.goodput_min,
+                  (unsigned long long)report.legit.mismatched, ok ? "PASS" : "FAIL");
+      return ok ? 0 : 1;
+    }
+    // Baseline (defense off): a measurement, not a gate.
+    return report.sent > 0 ? 0 : 1;
+  }
   return (report.dropped == 0 && report.mismatched == 0 && report.unexpected == 0) ? 0 : 1;
 }

@@ -20,6 +20,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/drop_reason.hpp"
+#include "dns/name.hpp"
 #include "net/server.hpp"
 #include "workload/zones.hpp"
 #include "zone/zone_parser.hpp"
@@ -39,6 +41,11 @@ struct CliOptions {
   std::size_t workers = 4;
   std::size_t batch = 32;
   std::size_t edns_max = 1232;
+  bool defense = false;
+  double compute_qps = 0.0;
+  std::uint64_t nxdomain_threshold = 0;  // 0 = keep the DefenseOptions default
+  double nxdomain_penalty = 0.0;         // 0 = keep the DefenseOptions default
+  std::vector<std::string> qod_drops;
   bool help = false;
 };
 
@@ -53,6 +60,16 @@ void print_usage(const char* argv0) {
       "  --workers N        SO_REUSEPORT worker threads (default 4)\n"
       "  --batch N          datagrams per recvmmsg/sendmmsg (default 32)\n"
       "  --edns-max N       EDNS payload-size ceiling (default 1232)\n"
+      "  --defense MODE     off|on: route queries through the filter chain +\n"
+      "                     penalty queues ahead of the responder (default off)\n"
+      "  --compute-qps Q    defense compute metering, answers/sec server-wide\n"
+      "                     (0 = unmetered; only meaningful with --defense on)\n"
+      "  --qod-drop NAME    install a query-of-death firewall rule dropping NAME\n"
+      "                     and everything below it (repeatable)\n"
+      "  --nxdomain-threshold N  server-wide NXDOMAINs per zone per window that arm\n"
+      "                     the random-subdomain filter (default 200)\n"
+      "  --nxdomain-penalty P  score added to random-subdomain probes of an armed\n"
+      "                     zone; >= 200 discards them outright (default 150)\n"
       "SIGTERM/SIGINT drains gracefully and dumps telemetry JSON.\n",
       argv0);
 }
@@ -102,6 +119,33 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       const char* v = need_value();
       if (!v) return false;
       opts.edns_max = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--defense") {
+      const char* v = need_value();
+      if (!v) return false;
+      if (std::strcmp(v, "on") == 0) {
+        opts.defense = true;
+      } else if (std::strcmp(v, "off") == 0) {
+        opts.defense = false;
+      } else {
+        std::fprintf(stderr, "--defense wants on|off\n");
+        return false;
+      }
+    } else if (arg == "--compute-qps") {
+      const char* v = need_value();
+      if (!v) return false;
+      opts.compute_qps = std::strtod(v, nullptr);
+    } else if (arg == "--qod-drop") {
+      const char* v = need_value();
+      if (!v) return false;
+      opts.qod_drops.emplace_back(v);
+    } else if (arg == "--nxdomain-threshold") {
+      const char* v = need_value();
+      if (!v) return false;
+      opts.nxdomain_threshold = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--nxdomain-penalty") {
+      const char* v = need_value();
+      if (!v) return false;
+      opts.nxdomain_penalty = std::strtod(v, nullptr);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -131,6 +175,29 @@ bool load_zone_file(const std::string& path, akadns::zone::ZoneStore& store) {
   }
   std::fprintf(stderr, "published %s from %s\n", apex.c_str(), path.c_str());
   return true;
+}
+
+/// One defense stats object as JSON: scored/enqueued/released plus every
+/// nonzero drop reason by name. With `name` emits `"name": {...}` at the
+/// given indent; without, just the object (for array elements).
+void print_defense_stats(const char* name, const akadns::defense::DefenseLaneStats& d,
+                         int indent) {
+  std::printf("%*s", indent, "");
+  if (name) std::printf("\"%s\": ", name);
+  std::printf("{\"scored\": %llu, \"enqueued\": %llu, \"released\": %llu, \"drops\": {",
+              (unsigned long long)d.scored, (unsigned long long)d.enqueued,
+              (unsigned long long)d.released);
+  bool first = true;
+  for (std::size_t i = 0; i < akadns::kDropReasonCount; ++i) {
+    const auto reason = static_cast<akadns::DropReason>(i);
+    const std::uint64_t n = d.drops[reason];
+    if (n == 0) continue;
+    std::printf("%s\"%.*s\": %llu", first ? "" : ", ",
+                static_cast<int>(akadns::to_string(reason).size()),
+                akadns::to_string(reason).data(), (unsigned long long)n);
+    first = false;
+  }
+  std::printf("}}");
 }
 
 void dump_telemetry(const akadns::net::ServerStats& stats) {
@@ -163,7 +230,17 @@ void dump_telemetry(const akadns::net::ServerStats& stats) {
   for (std::size_t i = 0; i < stats.per_worker_udp.size(); ++i) {
     std::printf("%s%llu", i ? ", " : "", (unsigned long long)stats.per_worker_udp[i]);
   }
-  std::printf("]\n}\n");
+  std::printf("],\n");
+  print_defense_stats("defense", stats.defense, 2);
+  std::printf(",\n  \"per_worker_defense\": [");
+  for (std::size_t i = 0; i < stats.per_worker_defense.size(); ++i) {
+    std::printf("%s\n", i ? "," : "");
+    print_defense_stats(nullptr, stats.per_worker_defense[i], 4);
+  }
+  std::printf("\n  ],\n");
+  std::printf("  \"defense_enabled\": %s,\n", stats.defense_enabled ? "true" : "false");
+  std::printf("  \"firewall_rules\": %zu\n", stats.firewall_rules);
+  std::printf("}\n");
 }
 
 }  // namespace
@@ -215,6 +292,18 @@ int main(int argc, char** argv) {
   config.workers = opts.workers;
   config.udp_batch = opts.batch;
   config.responder.edns_udp_payload_max = opts.edns_max;
+  config.defense.enabled = opts.defense;
+  config.defense.compute_qps = opts.compute_qps;
+  if (opts.nxdomain_threshold > 0) config.defense.nxdomain_threshold = opts.nxdomain_threshold;
+  if (opts.nxdomain_penalty > 0.0) config.defense.nxdomain_penalty = opts.nxdomain_penalty;
+  for (const auto& name_text : opts.qod_drops) {
+    auto name = akadns::dns::DnsName::parse(name_text);
+    if (!name) {
+      std::fprintf(stderr, "bad --qod-drop name: %s\n", name_text.c_str());
+      return 2;
+    }
+    config.defense.qod_rules.push_back(std::move(*name));
+  }
 
   akadns::net::Server server(config, *store);
   auto started = server.start();
@@ -224,9 +313,10 @@ int main(int argc, char** argv) {
   }
 
   // Machine-scrapable readiness line (tests and the CI smoke parse it).
-  std::printf("akadns-serve ready addr=%s udp_port=%u tcp_port=%u workers=%zu zones=%zu\n",
-              opts.addr.c_str(), server.udp_port(), server.tcp_port(), opts.workers,
-              store->zone_count());
+  std::printf(
+      "akadns-serve ready addr=%s udp_port=%u tcp_port=%u workers=%zu zones=%zu defense=%s\n",
+      opts.addr.c_str(), server.udp_port(), server.tcp_port(), opts.workers,
+      store->zone_count(), opts.defense ? "on" : "off");
   std::fflush(stdout);
 
   struct sigaction sa {};

@@ -32,11 +32,10 @@ struct SocketLane {
   std::size_t corpus_offset = 0;
   Clock::time_point epoch;
 
-  // Results.
-  std::uint64_t sent = 0;
-  std::uint64_t received = 0;
-  std::uint64_t dropped = 0;
-  std::uint64_t mismatched = 0;
+  // Results, split by traffic class (totals are derived at merge time).
+  std::uint64_t sent = 0;  // loop control: queries handed to sendmmsg
+  ClassCounters legit;
+  ClassCounters attack;
   std::uint64_t unexpected = 0;
   LogHistogram latency_ns;
   std::string error;
@@ -45,7 +44,10 @@ struct SocketLane {
     std::uint32_t corpus_idx = 0;
     std::int64_t send_ns = 0;
     bool active = false;
+    bool is_attack = false;
   };
+
+  ClassCounters& bucket(bool is_attack) { return is_attack ? attack : legit; }
 
   void run() {
     auto opened = UdpSocket::open(Ipv4Addr(127, 0, 0, 1), 0, config.rcvbuf, config.sndbuf);
@@ -85,7 +87,11 @@ struct SocketLane {
     std::size_t inflight_count = 0;
     std::uint32_t seq = 0;
     const std::int64_t timeout_ns = config.response_timeout.count_nanos();
-    std::int64_t last_progress = now_ns(epoch);
+    // Expiry sweeps are amortized: scanning the slot table every loop
+    // iteration would dominate, so sweep at most every timeout/8 (>=1ms).
+    const std::int64_t sweep_interval_ns =
+        std::max<std::int64_t>(timeout_ns / 8, 1'000'000);
+    std::int64_t last_sweep = now_ns(epoch);
 
     const auto drain_responses = [&] {
       while (inflight_count > 0) {
@@ -110,15 +116,15 @@ struct SocketLane {
           }
           slot.active = false;
           --inflight_count;
-          ++received;
+          ClassCounters& cls = bucket(slot.is_attack);
+          ++cls.received;
           latency_ns.add(static_cast<double>(t - slot.send_ns));
-          last_progress = t;
           if (expected && !expected->empty()) {
             // Expected wires carry id 0; compare everything after it.
             const auto& want = (*expected)[slot.corpus_idx];
             if (len != want.size() ||
                 std::memcmp(buf.data() + 2, want.data() + 2, len - 2) != 0) {
-              ++mismatched;
+              ++cls.mismatched;
             }
           }
         }
@@ -135,13 +141,14 @@ struct SocketLane {
         const std::int64_t t = now_ns(epoch);
         for (std::size_t j = 0; j < to_send; ++j) {
           const std::size_t idx = (corpus_offset + sent + j) % corpus->size();
-          const auto& wire = (*corpus)[idx].wire;
+          const auto& entry = (*corpus)[idx];
+          const auto& wire = entry.wire;
           auto& buf = tx_bufs[j];
           buf.assign(wire.begin(), wire.end());
           const std::uint16_t id = static_cast<std::uint16_t>(seq + j);
           buf[0] = static_cast<std::uint8_t>(id >> 8);
           buf[1] = static_cast<std::uint8_t>(id & 0xff);
-          inflight[id] = {static_cast<std::uint32_t>(idx), t, true};
+          inflight[id] = {static_cast<std::uint32_t>(idx), t, true, entry.is_attack};
           tx_iovecs[j].iov_base = buf.data();
           tx_iovecs[j].iov_len = buf.size();
           std::memset(&tx_hdrs[j], 0, sizeof(mmsghdr));
@@ -164,18 +171,22 @@ struct SocketLane {
           }
           flushed += static_cast<std::size_t>(n);
         }
-        // Un-book anything the kernel never took (hard error path).
-        for (std::size_t j = flushed; j < to_send; ++j) {
+        // Everything the kernel took counts as sent, per class. Un-book
+        // anything it never took (hard error path).
+        for (std::size_t j = 0; j < to_send; ++j) {
           const std::uint16_t id = static_cast<std::uint16_t>(seq + j);
-          if (inflight[id].active) {
-            inflight[id].active = false;
-            ++dropped;
+          Outstanding& slot = inflight[id];
+          if (j < flushed) {
+            ++bucket(slot.is_attack).sent;
+          } else if (slot.active) {
+            slot.active = false;
+            ++bucket(slot.is_attack).sent;
+            ++bucket(slot.is_attack).dropped;
           }
         }
         inflight_count += flushed;
         seq = static_cast<std::uint32_t>((seq + to_send) & 0xffff);
         sent += to_send;
-        last_progress = now_ns(epoch);
       }
 
       drain_responses();
@@ -187,17 +198,24 @@ struct SocketLane {
         drain_responses();
       }
 
-      // Straggler expiry: no progress for a full timeout — everything
-      // still in flight is gone (loss on the loopback path means the
-      // server or a socket buffer dropped it).
-      if (inflight_count > 0 && now_ns(epoch) - last_progress > timeout_ns) {
-        for (auto& slot : inflight) {
-          if (slot.active) {
-            slot.active = false;
-            ++dropped;
+      // Per-slot straggler expiry: any query unanswered for a full
+      // timeout is gone (loss on the loopback path means the server shed
+      // it or a socket buffer overflowed). Expiring slots individually —
+      // rather than only when the whole lane stalls — keeps the window
+      // turning over when the server is deliberately shedding one class
+      // of traffic while answering the other.
+      if (inflight_count > 0) {
+        const std::int64_t t = now_ns(epoch);
+        if (t - last_sweep >= sweep_interval_ns) {
+          last_sweep = t;
+          for (auto& slot : inflight) {
+            if (slot.active && t - slot.send_ns > timeout_ns) {
+              slot.active = false;
+              --inflight_count;
+              ++bucket(slot.is_attack).dropped;
+            }
           }
         }
-        inflight_count = 0;
       }
     }
   }
@@ -254,13 +272,15 @@ LoadgenReport Loadgen::run() {
 
   LoadgenReport report;
   for (const auto& lane : lanes) {
-    report.sent += lane.sent;
-    report.received += lane.received;
-    report.dropped += lane.dropped;
-    report.mismatched += lane.mismatched;
+    report.legit.merge(lane.legit);
+    report.attack.merge(lane.attack);
     report.unexpected += lane.unexpected;
     report.latency_ns.merge(lane.latency_ns);
   }
+  report.sent = report.legit.sent + report.attack.sent;
+  report.received = report.legit.received + report.attack.received;
+  report.dropped = report.legit.dropped + report.attack.dropped;
+  report.mismatched = report.legit.mismatched + report.attack.mismatched;
   report.seconds = seconds;
   report.qps = seconds > 0.0 ? static_cast<double>(report.received) / seconds : 0.0;
   report.p50_us = report.latency_ns.quantile(0.50) / 1e3;

@@ -47,6 +47,29 @@ struct LoadgenConfig {
   int sndbuf = 1 << 22;
 };
 
+/// Per-traffic-class accounting (legitimate vs attack, per the corpus
+/// entry's is_attack flag). Under an attack mix with the server's defense
+/// on, the interesting quantity is not aggregate loss but *who* lost:
+/// legit goodput should hold while attack traffic is shed.
+struct ClassCounters {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t dropped = 0;     // timed out waiting
+  std::uint64_t mismatched = 0;  // byte-compare against expected failed
+
+  /// Fraction of sent queries answered (1.0 when nothing was sent).
+  double goodput() const noexcept {
+    return sent == 0 ? 1.0 : static_cast<double>(received) / static_cast<double>(sent);
+  }
+
+  void merge(const ClassCounters& o) noexcept {
+    sent += o.sent;
+    received += o.received;
+    dropped += o.dropped;
+    mismatched += o.mismatched;
+  }
+};
+
 struct LoadgenReport {
   std::uint64_t sent = 0;
   std::uint64_t received = 0;
@@ -58,6 +81,9 @@ struct LoadgenReport {
   /// Round-trip latency in microseconds.
   double p50_us = 0.0, p90_us = 0.0, p99_us = 0.0, p999_us = 0.0, max_us = 0.0;
   LogHistogram latency_ns;  // merged raw histogram (ns)
+  /// The same counters split by traffic class.
+  ClassCounters legit;
+  ClassCounters attack;
 };
 
 /// Runs the sim Responder over every corpus entry and returns the

@@ -1,5 +1,6 @@
 #include "net/server.hpp"
 
+#include <poll.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <unistd.h>
@@ -11,15 +12,23 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "common/buffer_pool.hpp"
+#include "defense/filter_chain.hpp"
 #include "dns/wire.hpp"
 #include "net/tcp_framing.hpp"
 #include "net/udp_batch.hpp"
+#include "server/query_context.hpp"
 
 namespace akadns::net {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Cheap rcode extraction from encoded response header bytes.
+dns::Rcode rcode_of(const std::vector<std::uint8_t>& wire) {
+  return wire.size() >= 4 ? static_cast<dns::Rcode>(wire[3] & 0xF) : dns::Rcode::ServFail;
+}
 
 /// One established TCP connection (truncation-fallback path).
 struct Conn {
@@ -35,11 +44,126 @@ struct Conn {
   bool want_write = false;  // EPOLLOUT currently registered
 };
 
+/// Deferred-response transmit batch for the defense path. A penalty-
+/// queued query outlives the receive batch it arrived in, so its response
+/// cannot reuse UdpBatch's per-slot reply buffers; this batch owns its
+/// own arena (one byte vector + offsets, capacity retained — zero
+/// steady-state allocation) and flushes via sendmmsg in batch-sized
+/// chunks.
+class TxBatch {
+ public:
+  explicit TxBatch(std::size_t batch) : cap_(std::max<std::size_t>(1, batch)) {
+    addrs_.resize(cap_);
+    hdrs_.resize(cap_);
+    iovecs_.resize(cap_);
+  }
+
+  void append(int fd, const Endpoint& dst, std::span<const std::uint8_t> wire,
+              FrontendStats& stats) {
+    if (entries_.size() == cap_) flush(fd, stats);
+    Entry e;
+    e.offset = bytes_.size();
+    e.len = wire.size();
+    e.addrlen = sockaddr_from_endpoint(dst, addrs_[entries_.size()]);
+    entries_.push_back(e);
+    bytes_.insert(bytes_.end(), wire.begin(), wire.end());
+  }
+
+  void flush(int fd, FrontendStats& stats) {
+    if (entries_.empty()) return;
+    if (fd < 0) {  // socket already closed (late drain): nothing to send
+      entries_.clear();
+      bytes_.clear();
+      return;
+    }
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      iovecs_[i].iov_base = bytes_.data() + entries_[i].offset;
+      iovecs_[i].iov_len = entries_[i].len;
+      std::memset(&hdrs_[i], 0, sizeof(mmsghdr));
+      hdrs_[i].msg_hdr.msg_iov = &iovecs_[i];
+      hdrs_[i].msg_hdr.msg_iovlen = 1;
+      hdrs_[i].msg_hdr.msg_name = &addrs_[i];
+      hdrs_[i].msg_hdr.msg_namelen = entries_[i].addrlen;
+    }
+    std::size_t sent = 0;
+    while (sent < entries_.size()) {
+      const int n = ::sendmmsg(fd, hdrs_.data() + sent,
+                               static_cast<unsigned>(entries_.size() - sent), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          pollfd pfd{fd, POLLOUT, 0};
+          ::poll(&pfd, 1, 10);
+          continue;
+        }
+        break;  // hard error: drop the rest of the batch
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    stats.udp_responses += sent;
+    stats.udp_send_failures += entries_.size() - sent;
+    entries_.clear();
+    bytes_.clear();
+  }
+
+ private:
+  struct Entry {
+    std::size_t offset = 0;
+    std::size_t len = 0;
+    socklen_t addrlen = 0;
+  };
+
+  std::size_t cap_;
+  std::vector<std::uint8_t> bytes_;
+  std::vector<Entry> entries_;
+  std::vector<sockaddr_storage> addrs_;
+  std::vector<mmsghdr> hdrs_;
+  std::vector<iovec> iovecs_;
+};
+
+/// The per-worker slice of the server-wide defense configuration.
+defense::DefenseConfig worker_engine_config(const ServeConfig& cfg) {
+  defense::DefenseConfig d;
+  d.lanes = 1;  // the kernel's RSS hash is the lane selector
+  if (cfg.defense.compute_qps > 0.0) {
+    d.compute_capacity_qps =
+        cfg.defense.compute_qps / static_cast<double>(std::max<std::size_t>(1, cfg.workers));
+  }
+  d.queue_config = cfg.defense.queue_config;
+  return d;
+}
+
 }  // namespace
 
 struct Server::Worker {
-  Worker(const ServeConfig& cfg, const zone::ZoneStore& store)
-      : config(cfg), responder(store, cfg.responder), batch(cfg.udp_batch) {}
+  Worker(const ServeConfig& cfg, const zone::ZoneStore& store, Clock::time_point epoch_tp)
+      : config(cfg),
+        responder(store, cfg.responder),
+        batch(cfg.udp_batch),
+        epoch(epoch_tp),
+        clock(epoch_tp),
+        pool(std::make_unique<BufferPool>()),
+        engine(worker_engine_config(cfg), clock),
+        tx(cfg.udp_batch),
+        defense_on(cfg.defense.enabled),
+        queue_path(cfg.defense.enabled || cfg.defense.compute_qps > 0.0) {
+    if (defense_on) {
+      // Content-based chain: the NXDOMAIN filter discriminates by what
+      // is asked, so it works even when all traffic shares a few source
+      // ports; hopcount rides along for spoofed-source coverage.
+      filters::NxDomainFilter::Config nx;
+      nx.penalty = cfg.defense.nxdomain_penalty;
+      nx.nxdomain_threshold = std::max<std::uint64_t>(
+          1, cfg.defense.nxdomain_threshold /
+                 static_cast<std::uint64_t>(std::max<std::size_t>(1, cfg.workers)));
+      engine.install_filter(defense::nxdomain_factory(nx, defense::zone_store_hooks(store)));
+      if (cfg.defense.hopcount) engine.install_filter(defense::hopcount_factory());
+    }
+    for (const auto& name : cfg.defense.qod_rules) {
+      engine.firewall().install(dns::Question{name, dns::RecordType::ANY}, clock.now(),
+                                Duration::days(3650));
+    }
+  }
 
   const ServeConfig& config;
   server::Responder responder;
@@ -49,6 +173,21 @@ struct Server::Worker {
   FdHandle stop_event;
   FrontendStats stats;
   Clock::time_point epoch;
+
+  // ---- defense path (§4.3.3 on CLOCK_MONOTONIC) ----
+  MonotonicClock clock;
+  /// Backing storage for queued packets; must outlive `engine` (queued
+  /// PooledBuffers release into it), hence declared first.
+  std::unique_ptr<BufferPool> pool;
+  defense::DefenseEngine<server::QueryContext> engine;
+  TxBatch tx;
+  std::vector<std::uint8_t> backlog_scratch;
+  /// Filters installed and scoring active.
+  const bool defense_on;
+  /// Queries go through the penalty queues (scoring on, or compute
+  /// metering requested without filters). Off: the inline fast path
+  /// answers straight out of the receive batch.
+  const bool queue_path;
 
   FdHandle epoll;
   std::unordered_map<int, std::unique_ptr<Conn>> conns;
@@ -63,6 +202,9 @@ struct Server::Worker {
 
   void run();
   bool drain_udp(bool draining);
+  void answer_queued(server::QueryContext& item);
+  void process_backlog();
+  void drain_backlog();
   void accept_loop();
   void handle_conn(int fd, std::uint32_t events);
   void process_frames(Conn& conn);
@@ -82,6 +224,9 @@ bool Server::Worker::drain_udp(bool draining) {
     ++stats.udp_batches;
     stats.udp_packets += static_cast<std::uint64_t>(n);
     if (draining) stats.drain_flushed += static_cast<std::uint64_t>(n);
+    // Rule-table lookups only cost anything when rules exist; an empty
+    // table is bypassed (nothing could match, so no drop is miscounted).
+    const bool check_firewall = !engine.firewall().rules().empty();
     std::size_t want = 0;
     for (int i = 0; i < n; ++i) {
       const auto wire = batch.packet(static_cast<std::size_t>(i));
@@ -92,17 +237,71 @@ bool Server::Worker::drain_udp(bool draining) {
         ++stats.udp_malformed;
         continue;
       }
+      // Query-of-death firewall ahead of everything else (§4.2.4):
+      // matching queries are dropped before they reach the responder, on
+      // the fast path and the defense path alike. Counted as a Firewall
+      // drop in the engine's defense stats.
+      if (check_firewall && engine.firewall_drops(0, view.value().question)) continue;
       const Endpoint client = endpoint_from_sockaddr(batch.source(static_cast<std::size_t>(i)));
-      responder.respond_view_into(wire, view.value(), client, now(),
-                                  batch.response(static_cast<std::size_t>(i)));
-      ++want;
+      if (!queue_path) {
+        responder.respond_view_into(wire, view.value(), client, now(),
+                                    batch.response(static_cast<std::size_t>(i)));
+        ++want;
+        continue;
+      }
+      // Defense path: score against the filter chain, then into the
+      // penalty queues (or shed — ScoreDiscard / QueueFull). The packet
+      // bytes move to a pooled buffer because the queued query outlives
+      // this receive batch.
+      server::QueryContext ctx;
+      ctx.view = std::move(view).value();
+      ctx.parsed = true;
+      ctx.source = client;
+      ctx.ip_ttl = 64;  // not surfaced by recvmmsg on this path
+      ctx.arrival = engine.clock().now();
+      if (defense_on) ctx.score = engine.score(0, ctx.filter_view(ctx.arrival));
+      ctx.wire = pool->copy_of(wire);
+      const double score = ctx.score;  // read before the move below
+      engine.enqueue(0, std::move(ctx), score);
     }
-    const std::size_t sent = batch.send(fd);
-    stats.udp_responses += sent;
-    stats.udp_send_failures += want - sent;
+    if (want > 0) {
+      const std::size_t sent = batch.send(fd);
+      stats.udp_responses += sent;
+      stats.udp_send_failures += want - sent;
+    }
     if (static_cast<std::size_t>(n) < batch.capacity()) break;  // socket empty
   }
   return saw_data;
+}
+
+void Server::Worker::answer_queued(server::QueryContext& item) {
+  responder.respond_view_into(item.bytes(), item.view, item.source, now(), backlog_scratch);
+  // Fan the outcome back to the filters (NXDOMAIN counting etc.).
+  engine.observe_response(0, item.filter_view(engine.clock().now()),
+                          rcode_of(backlog_scratch));
+  tx.append(udp.fd(), item.source, backlog_scratch, stats);
+}
+
+void Server::Worker::process_backlog() {
+  // begin_phase meters the worker's compute slice into a budget (the
+  // whole backlog when unmetered); the work-conserving scheduler then
+  // releases queued queries in increasing-penalty order.
+  if (!engine.has_pending()) return;
+  if (!engine.begin_phase()) return;
+  while (auto item = engine.next(0)) answer_queued(*item);
+  engine.end_phase();
+  tx.flush(udp.fd(), stats);
+}
+
+void Server::Worker::drain_backlog() {
+  // Final unmetered drain before the UDP socket closes: everything still
+  // queued was already admitted, so answer it rather than dropping it
+  // (the shed queries were already accounted at enqueue time).
+  if (!engine.has_pending()) return;
+  engine.begin_phase_unmetered(engine.pending());
+  while (auto item = engine.next(0)) answer_queued(*item);
+  engine.end_phase();
+  tx.flush(udp.fd(), stats);
 }
 
 void Server::Worker::accept_loop() {
@@ -248,6 +447,10 @@ void Server::Worker::run() {
       const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
           drain_deadline - Clock::now());
       timeout_ms = static_cast<int>(std::max<std::int64_t>(0, left.count()));
+    } else if (queue_path && engine.has_pending()) {
+      // Backlogged defense queues: wake shortly so the compute bucket's
+      // refill turns into answered queries even when the socket is idle.
+      timeout_ms = 1;
     }
     const int n = ::epoll_wait(epoll.get(), events.data(), static_cast<int>(events.size()),
                                timeout_ms);
@@ -265,9 +468,11 @@ void Server::Worker::run() {
         drain_deadline = Clock::now() + std::chrono::nanoseconds(
                                             config.drain_timeout.count_nanos());
         // Stop accepting: no new connections, and after one final sweep
-        // of already-queued datagrams, no new UDP either.
+        // of already-queued datagrams (answering whatever the defense
+        // queues still hold), no new UDP either.
         listener.close();
         drain_udp(/*draining=*/true);
+        if (queue_path) drain_backlog();
         udp.close();
       } else if (udp.fd() >= 0 && fd == udp.fd()) {
         drain_udp(draining);
@@ -277,6 +482,7 @@ void Server::Worker::run() {
         handle_conn(fd, ev);
       }
     }
+    if (!draining && queue_path) process_backlog();
     if (draining) {
       // In-flight means: bytes owed to established TCP clients. Leave
       // when they are flushed (or the deadline passes — resolvers retry).
@@ -296,8 +502,11 @@ Result<bool> Server::start() {
   if (config_.workers == 0) return Error{"workers must be >= 1"};
 
   workers_.clear();
+  // One shared epoch: every worker's MonotonicClock (and SimTime view)
+  // reads the same axis, so merged defense telemetry is coherent.
+  const auto epoch = Clock::now();
   for (std::size_t i = 0; i < config_.workers; ++i) {
-    workers_.push_back(std::make_unique<Worker>(config_, store_));
+    workers_.push_back(std::make_unique<Worker>(config_, store_, epoch));
   }
 
   // Worker 0 resolves the (possibly ephemeral) ports; the rest join its
@@ -332,8 +541,6 @@ Result<bool> Server::start() {
   udp_port_ = udp_port;
   tcp_port_ = tcp_port;
 
-  const auto epoch = Clock::now();
-  for (auto& worker : workers_) worker->epoch = epoch;
   running_ = true;
   threads_.reserve(workers_.size());
   for (auto& worker : workers_) {
@@ -359,11 +566,18 @@ void Server::stop() {
 
 ServerStats Server::stats() const {
   ServerStats merged;
+  merged.defense_enabled = config_.defense.enabled;
   for (const auto& worker : workers_) {
     merged.frontend.merge(worker->stats);
     merged.responder.merge(worker->responder.stats());
     merged.answer_cache.merge(worker->responder.answer_cache().stats());
     merged.per_worker_udp.push_back(worker->stats.udp_packets);
+    const auto defense = worker->engine.stats();
+    merged.defense.merge(defense);
+    merged.per_worker_defense.push_back(defense);
+  }
+  if (!workers_.empty()) {
+    merged.firewall_rules = workers_.front()->engine.firewall().rules().size();
   }
   return merged;
 }

@@ -31,11 +31,43 @@
 
 #include "common/result.hpp"
 #include "common/sim_time.hpp"
+#include "defense/defense_engine.hpp"
 #include "net/socket.hpp"
 #include "server/responder.hpp"
 #include "zone/zone_store.hpp"
 
 namespace akadns::net {
+
+/// Defense stack for the socket frontend: each worker runs its own
+/// single-lane defense::DefenseEngine on CLOCK_MONOTONIC, ahead of the
+/// Responder — the same engine the simulated nameserver drives on
+/// simulated time. The worker's kernel-RSS shard plays the role of the
+/// sim's lane, so per-worker filter state needs no sharing or locking.
+struct DefenseOptions {
+  /// Routes queries through the filter chain + penalty queues. Off by
+  /// default: the inline zero-alloc fast path answers straight out of
+  /// the receive batch (the firewall rule table is consulted either way).
+  bool enabled = false;
+  /// Server-wide compute metering (answers/sec the engine releases to
+  /// the responders; split evenly across workers). <= 0: unmetered —
+  /// with `enabled` the queues then only shed by score, never shape.
+  double compute_qps = 0.0;
+  /// Per-worker penalty-queue shape (M_i thresholds, S_max, capacity).
+  filters::PenaltyQueueConfig queue_config{};
+  /// NXDOMAIN (random-subdomain) filter tuning. The threshold is
+  /// server-level: it is scaled down by the worker count, as each worker
+  /// sees only its RSS shard of the traffic. This is the discriminating
+  /// filter for the socket frontend — it scores what is *asked*, so it
+  /// works even when all traffic shares a few source ports (loopback).
+  double nxdomain_penalty = 150.0;
+  std::uint64_t nxdomain_threshold = 200;
+  /// Also install the hop-count filter (spoofed-source detection via IP
+  /// TTL divergence; inert on loopback where every packet hops zero).
+  bool hopcount = true;
+  /// Query-of-death firewall rules installed at startup (each drops the
+  /// qname and everything below it, any qtype, no practical expiry).
+  std::vector<dns::DnsName> qod_rules;
+};
 
 struct ServeConfig {
   Ipv4Addr bind_addr = Ipv4Addr(127, 0, 0, 1);
@@ -56,6 +88,7 @@ struct ServeConfig {
   /// How long stop() lets workers flush in-flight TCP responses.
   Duration drain_timeout = Duration::seconds(5);
   server::ResponderConfig responder{};
+  DefenseOptions defense{};
 };
 
 /// Frontend I/O counters, per worker and merged. (Responder/cache
@@ -96,6 +129,15 @@ struct ServerStats {
   /// Per-worker UDP packet counts — the observable shard balance the
   /// kernel's RSS hash produced.
   std::vector<std::uint64_t> per_worker_udp;
+  /// Whether queries were routed through the filter chain + queues.
+  bool defense_enabled = false;
+  /// Defense accounting (scored / enqueued / released / shed-by-reason),
+  /// merged across workers and per worker.
+  defense::DefenseLaneStats defense;
+  std::vector<defense::DefenseLaneStats> per_worker_defense;
+  /// Query-of-death firewall rules live at shutdown (per worker the
+  /// tables are identical by construction; worker 0 reported).
+  std::size_t firewall_rules = 0;
 };
 
 class Server {

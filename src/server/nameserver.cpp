@@ -25,33 +25,18 @@ std::string to_string(ServerState s) {
 
 Nameserver::Nameserver(NameserverConfig config, const zone::ZoneStore& store)
     : config_(std::move(config)),
-      compute_bucket_(config_.compute_capacity_qps, config_.compute_capacity_qps * 0.1),
-      io_bucket_(config_.io_capacity_qps, config_.io_capacity_qps * 0.05) {
-  const std::size_t lanes = std::max<std::size_t>(1, config_.lanes);
+      clock_(std::make_unique<ManualClock>()),
+      engine_(config_.defense_config(), *clock_) {
+  const std::size_t lanes = engine_.lane_count();
   lanes_.reserve(lanes);
   for (std::size_t i = 0; i < lanes; ++i) lanes_.emplace_back(config_, store);
 }
 
-std::size_t Nameserver::lane_of(const Endpoint& source) const noexcept {
-  if (lanes_.size() == 1) return 0;
-  // RSS-style flow pinning: every packet of a (addr, port) flow lands in
-  // the same lane, so per-source filter state (rate limits, loyalty) is
-  // lane-local without sharing. Deliberately different mix constants from
-  // Pop::ecmp_select — reusing that hash would correlate the machine pick
-  // with the lane pick and skew every machine's traffic onto few lanes.
-  std::uint64_t h = source.addr.hash();
-  h ^= h >> 31;
-  h *= 0x9e3779b97f4a7c15ULL;
-  h += source.port;
-  h ^= h >> 27;
-  h *= 0xbf58476d1ce4e5b9ULL;
-  h ^= h >> 33;
-  return static_cast<std::size_t>(h % lanes_.size());
-}
-
 void Nameserver::receive(std::span<const std::uint8_t> wire, const Endpoint& source,
                          std::uint8_t ip_ttl, SimTime now) {
-  Lane& lane = lanes_[lane_of(source)];
+  clock_->set(now);
+  const std::size_t li = engine_.lane_of(source);
+  Lane& lane = lanes_[li];
   StageTimer receive_timer(lane.telemetry.stage(Stage::Receive));
   ++lane.stats.packets_received;
   ++stats_.packets_received;
@@ -61,8 +46,8 @@ void Nameserver::receive(std::span<const std::uint8_t> wire, const Endpoint& sou
   }
   // NIC / kernel stack limit: when arrivals exceed the I/O capacity,
   // packets are lost before the application sees them (Figure 10, A>A2).
-  // The bucket is machine-wide (one NIC) and receive() is serial.
-  if (!io_bucket_.try_take(now)) {
+  // The engine's bucket is machine-wide (one NIC) and receive() is serial.
+  if (!engine_.io_admit(li)) {
     count_drop(lane, DropReason::IoOverload);
     return;
   }
@@ -81,7 +66,7 @@ void Nameserver::receive(std::span<const std::uint8_t> wire, const Endpoint& sou
     ctx.view = std::move(view).value();
     ctx.parsed = true;
   }
-  if (firewall_.drops(ctx.view.question, now)) {
+  if (engine_.firewall_drops(li, ctx.view.question)) {
     count_drop(lane, DropReason::Firewall);
     return;
   }
@@ -90,11 +75,11 @@ void Nameserver::receive(std::span<const std::uint8_t> wire, const Endpoint& sou
   ctx.arrival = now;
   {
     StageTimer score_timer(lane.telemetry.stage(Stage::Score));
-    ctx.score = lane.scoring.score(ctx.filter_view(now));
+    ctx.score = engine_.score(li, ctx.filter_view(now));
   }
   ctx.wire = lane.pool->copy_of(wire);
   const double score = ctx.score;  // read before the move below
-  switch (lane.queues.enqueue(std::move(ctx), score)) {
+  switch (engine_.enqueue(li, std::move(ctx), score)) {
     case filters::EnqueueOutcome::Enqueued:
       ++lane.stats.queries_enqueued;
       ++stats_.queries_enqueued;
@@ -109,37 +94,17 @@ void Nameserver::receive(std::span<const std::uint8_t> wire, const Endpoint& sou
 }
 
 bool Nameserver::begin_phase(SimTime now) {
-  phase_metered_ = true;
-  for (auto& lane : lanes_) {
-    lane.budget = 0;
-    lane.processed = 0;
+  clock_->set(now);
+  if (state_ != ServerState::Running) {
+    engine_.begin_phase_unmetered(0);  // zero any stale budgets defensively
+    return false;
   }
-  if (state_ != ServerState::Running) return false;
-  // One token at a time, round-robin in lane order: with one lane this is
-  // exactly the serial loop's take-one/process-one token sequence; with
-  // many, compute is shared fairly and the assignment is a pure function
-  // of (backlogs, bucket level) — deterministic regardless of threads.
-  bool any = false;
-  bool assigned = true;
-  while (assigned) {
-    assigned = false;
-    for (auto& lane : lanes_) {
-      if (lane.budget >= lane.queues.size()) continue;
-      if (!compute_bucket_.try_take(now)) return any;
-      ++lane.budget;
-      any = true;
-      assigned = true;
-    }
-  }
-  return any;
+  return engine_.begin_phase();
 }
 
 void Nameserver::run_lane(std::size_t lane_index, SimTime now) {
   Lane& lane = lanes_[lane_index];
-  while (lane.processed < lane.budget) {
-    auto item = lane.queues.dequeue();
-    if (!item) break;  // defensive: budgets never exceed the backlog
-    ++lane.processed;
+  while (auto item = engine_.next(lane_index)) {
     ++lane.stats.queries_processed;
     lane.telemetry.queue_wait().record((now - item->arrival).to_micros());
 
@@ -159,13 +124,14 @@ void Nameserver::run_lane(std::size_t lane_index, SimTime now) {
                                        lane.response_scratch);
     }
     // Fan the outcome back to this lane's filters (NXDOMAIN counting etc.).
-    lane.scoring.observe_response(item->filter_view(now), rcode_of(lane.response_scratch));
+    engine_.observe_response(lane_index, item->filter_view(now), rcode_of(lane.response_scratch));
     ++lane.stats.responses_sent;
     lane.batch.append(item->source, lane.response_scratch);
   }
 }
 
 std::size_t Nameserver::end_phase(SimTime now) {
+  clock_->set(now);
   // Flush buffered responses in lane order — the sink call sequence is a
   // pure function of lane contents, identical for 1 or N worker threads.
   for (auto& lane : lanes_) {
@@ -180,15 +146,11 @@ std::size_t Nameserver::end_phase(SimTime now) {
     }
     lane.batch.clear();
   }
-  // Settle budgets and crash effects, again in lane order.
-  std::size_t total = 0;
+  // Settle budgets (unspent metered compute is refunded inside the
+  // engine) and apply crash effects, in lane order.
+  const std::size_t total = engine_.end_phase();
   bool first_crash = true;
   for (auto& lane : lanes_) {
-    total += lane.processed;
-    if (phase_metered_ && lane.budget > lane.processed) {
-      // A crash left part of this lane's reserved compute unspent.
-      compute_bucket_.credit(static_cast<double>(lane.budget - lane.processed));
-    }
     if (lane.crashed) {
       if (first_crash) {
         last_qod_ = lane.qod;
@@ -197,14 +159,12 @@ std::size_t Nameserver::end_phase(SimTime now) {
       if (config_.qod_trap_enabled && lane.qod) {
         // The separate firewall-builder process installs a rule dropping
         // similar queries for T_QoD.
-        firewall_.install(*lane.qod, now, config_.qod_rule_ttl);
+        engine_.firewall().install(*lane.qod, now, config_.qod_rule_ttl);
       }
       state_ = ServerState::Crashed;
       lane.crashed = false;
       lane.qod.reset();
     }
-    lane.budget = 0;
-    lane.processed = 0;
   }
   // Re-merge the machine view: receive-side counters were dual-written,
   // process-side ones live only in the lanes until this point.
@@ -220,28 +180,11 @@ std::size_t Nameserver::process(SimTime now) {
 }
 
 std::size_t Nameserver::process_unmetered(SimTime now, std::size_t budget) {
+  clock_->set(now);
   if (state_ != ServerState::Running || budget == 0) return 0;
-  for (auto& lane : lanes_) {
-    lane.budget = 0;
-    lane.processed = 0;
-  }
-  std::size_t remaining = budget;
-  bool assigned = true;
-  while (remaining > 0 && assigned) {
-    assigned = false;
-    for (auto& lane : lanes_) {
-      if (remaining == 0) break;
-      if (lane.budget >= lane.queues.size()) continue;
-      ++lane.budget;
-      --remaining;
-      assigned = true;
-    }
-  }
-  phase_metered_ = false;  // budgets came from the caller, not the bucket
+  engine_.begin_phase_unmetered(budget);
   for (std::size_t i = 0; i < lanes_.size(); ++i) run_lane(i, now);
-  const std::size_t processed = end_phase(now);
-  phase_metered_ = true;
-  return processed;
+  return end_phase(now);
 }
 
 void Nameserver::self_suspend() noexcept {
@@ -253,22 +196,19 @@ void Nameserver::resume() noexcept {
 }
 
 void Nameserver::restart(SimTime now) {
+  clock_->set(now);
   // A restart loses in-flight queries (resolvers retry) and resets the
   // capacity buckets; learned filter state survives in this model because
   // production filters persist their learned tables out of process.
-  for (auto& lane : lanes_) {
-    const std::size_t flushed = lane.queues.size();
-    lane.stats.drops.add(DropReason::RestartFlush, flushed);
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    const std::size_t flushed = engine_.flush_lane(i);
+    lanes_[i].stats.drops.add(DropReason::RestartFlush, flushed);
     stats_.drops.add(DropReason::RestartFlush, flushed);
-    lane.queues = filters::PenaltyQueueSet<QueryContext>(config_.queue_config);
-    lane.batch.clear();
-    lane.budget = 0;
-    lane.processed = 0;
-    lane.crashed = false;
-    lane.qod.reset();
+    lanes_[i].batch.clear();
+    lanes_[i].crashed = false;
+    lanes_[i].qod.reset();
   }
-  compute_bucket_ = TokenBucket(config_.compute_capacity_qps, config_.compute_capacity_qps * 0.1);
-  io_bucket_ = TokenBucket(config_.io_capacity_qps, config_.io_capacity_qps * 0.05);
+  engine_.reset_buckets();
   state_ = ServerState::Running;
   metadata_updated(now);
 }

@@ -10,6 +10,15 @@
 // bit-identical results — the lane COUNT is configuration, the thread
 // count is not.
 //
+// The defense stack — firewall, I/O admission, filter scoring, penalty
+// queues, compute-budget metering, defense drop accounting — lives in a
+// transport-agnostic defense::DefenseEngine (src/defense). This class owns
+// one engine with N lanes and drives it on a ManualClock it advances to
+// the scheduler's instant at every entry point, so engine behaviour is a
+// pure function of the injected schedule (bit-identical to the original
+// in-class implementation). net::Server runs the same engine per worker on
+// CLOCK_MONOTONIC.
+//
 // Datapath per packet (one QueryContext, created at receive() and moved
 // through every stage — no copies, no re-parsing):
 //   receive(): lane selection -> one-pass QueryView decode (header +
@@ -49,8 +58,9 @@
 #include <string>
 
 #include "common/buffer_pool.hpp"
+#include "common/clock.hpp"
 #include "common/drop_reason.hpp"
-#include "common/token_bucket.hpp"
+#include "defense/defense_engine.hpp"
 #include "filters/filter.hpp"
 #include "filters/penalty_queues.hpp"
 #include "server/firewall.hpp"
@@ -92,6 +102,17 @@ struct NameserverConfig {
   Duration staleness_threshold = Duration::seconds(30);
   /// Input-delayed nameservers (§4.2.3) never self-suspend on staleness.
   bool input_delayed = false;
+
+  /// The defense-engine slice of this config (the engine meters compute
+  /// and I/O and owns the penalty queues).
+  defense::DefenseConfig defense_config() const {
+    defense::DefenseConfig d;
+    d.lanes = lanes;
+    d.compute_capacity_qps = compute_capacity_qps;
+    d.io_capacity_qps = io_capacity_qps;
+    d.queue_config = queue_config;
+    return d;
+  }
 };
 
 struct NameserverStats {
@@ -136,6 +157,8 @@ class Nameserver {
   /// Must be pure/thread-safe: lanes evaluate it concurrently under a
   /// parallel drain.
   using CrashPredicate = std::function<bool(const dns::Question&)>;
+
+  using Defense = defense::DefenseEngine<QueryContext>;
 
   Nameserver(NameserverConfig config, const zone::ZoneStore& store);
 
@@ -194,20 +217,11 @@ class Nameserver {
   /// Budget begin_phase assigned to `lane` (0 outside a phase). Drivers
   /// may skip run_lane for zero-budget lanes.
   std::size_t lane_phase_budget(std::size_t lane) const noexcept {
-    return lanes_[lane].budget;
+    return engine_.lane_budget(lane);
   }
 
-  bool has_pending() const noexcept {
-    for (const auto& lane : lanes_) {
-      if (!lane.queues.empty()) return true;
-    }
-    return false;
-  }
-  std::size_t pending() const noexcept {
-    std::size_t n = 0;
-    for (const auto& lane : lanes_) n += lane.queues.size();
-    return n;
-  }
+  bool has_pending() const noexcept { return engine_.has_pending(); }
+  std::size_t pending() const noexcept { return engine_.pending(); }
 
   void set_response_sink(ResponseSink sink) { sink_ = std::move(sink); }
   void set_response_span_sink(ResponseSpanSink sink) { span_sink_ = std::move(sink); }
@@ -229,9 +243,7 @@ class Nameserver {
   /// Installs one filter instance per lane via the factory (each lane
   /// scores independently, so stateful filters shard their learned state).
   void install_filter(const filters::FilterFactory& factory) {
-    for (std::size_t i = 0; i < lanes_.size(); ++i) {
-      lanes_[i].scoring.add_filter(factory(i, lanes_.size()));
-    }
+    engine_.install_filter(factory);
   }
 
   // ---- lifecycle / health -------------------------------------------------
@@ -269,14 +281,19 @@ class Nameserver {
 
   std::size_t lane_count() const noexcept { return lanes_.size(); }
   /// Lane a source endpoint is pinned to (exposed for tests/diagnostics).
-  std::size_t lane_of(const Endpoint& source) const noexcept;
+  std::size_t lane_of(const Endpoint& source) const noexcept { return engine_.lane_of(source); }
 
-  filters::ScoringEngine& scoring() noexcept { return lanes_[0].scoring; }
-  filters::ScoringEngine& scoring(std::size_t lane) noexcept { return lanes_[lane].scoring; }
+  /// The defense stack this instance delegates to (filters, queues,
+  /// buckets, firewall, defense drop accounting).
+  Defense& defense() noexcept { return engine_; }
+  const Defense& defense() const noexcept { return engine_; }
+
+  filters::ScoringEngine& scoring() noexcept { return engine_.scoring(0); }
+  filters::ScoringEngine& scoring(std::size_t lane) noexcept { return engine_.scoring(lane); }
   Responder& responder() noexcept { return lanes_[0].responder; }
   const Responder& responder() const noexcept { return lanes_[0].responder; }
   Responder& responder(std::size_t lane) noexcept { return lanes_[lane].responder; }
-  Firewall& firewall() noexcept { return firewall_; }
+  Firewall& firewall() noexcept { return engine_.firewall(); }
 
   /// Machine-level stats: live for all receive-side counters, refreshed
   /// from the lanes at every end_phase for process-side ones. The
@@ -286,14 +303,14 @@ class Nameserver {
     return lanes_[lane].stats;
   }
   std::size_t lane_pending(std::size_t lane) const noexcept {
-    return lanes_[lane].queues.size();
+    return engine_.lane_pending(lane);
   }
 
   const filters::PenaltyQueueSet<QueryContext>& queues() const noexcept {
-    return lanes_[0].queues;
+    return engine_.queues(0);
   }
   const filters::PenaltyQueueSet<QueryContext>& queues(std::size_t lane) const noexcept {
-    return lanes_[lane].queues;
+    return engine_.queues(lane);
   }
   const BufferPool& pool() const noexcept { return *lanes_[0].pool; }
   const BufferPool& pool(std::size_t lane) const noexcept { return *lanes_[lane].pool; }
@@ -345,29 +362,29 @@ class Nameserver {
     }
   };
 
-  /// One independent datapath shard. Everything a query touches after
-  /// lane selection lives here; run_lane mutates nothing else.
+  /// The transport-side half of a datapath shard: responder, buffers, and
+  /// telemetry. The defense-side half (filter chain, penalty queues,
+  /// budgets, defense drops) lives in the engine's lane of the same
+  /// index; run_lane mutates nothing outside this pair.
   struct Lane {
     Lane(const NameserverConfig& config, const zone::ZoneStore& store)
-        : responder(store), pool(std::make_unique<BufferPool>()), queues(config.queue_config) {}
+        : responder(store), pool(std::make_unique<BufferPool>()) {
+      (void)config;
+    }
 
     Responder responder;
-    filters::ScoringEngine scoring;
-    // The pool must outlive the queues (queued PooledBuffers release into
-    // it on destruction) — declared first so it destructs last. It lives
-    // behind a unique_ptr because lanes are movable and the buffers hold
-    // a stable pointer to the pool.
+    // The pool must outlive the engine's queues (queued PooledBuffers
+    // release into it on destruction). It lives behind a unique_ptr
+    // because lanes are movable and the buffers hold a stable pointer to
+    // the pool.
     std::unique_ptr<BufferPool> pool;
-    filters::PenaltyQueueSet<QueryContext> queues;
     /// Reused across queries; the responder encodes into it in place.
     std::vector<std::uint8_t> response_scratch;
     NameserverStats stats;
     DatapathTelemetry telemetry;
     ResponseBatch batch;
 
-    // Phase state, owned by begin_phase/end_phase.
-    std::size_t budget = 0;
-    std::size_t processed = 0;
+    // Crash state, owned by run_lane/end_phase.
     bool crashed = false;
     std::optional<dns::Question> qod;
   };
@@ -380,17 +397,19 @@ class Nameserver {
   }
 
   NameserverConfig config_;
-  Firewall firewall_;
+  /// The engine's time source; set to the scheduler's `now` at every
+  /// public entry point. Heap-allocated so the engine's pointer to it
+  /// survives moves of the Nameserver.
+  std::unique_ptr<ManualClock> clock_;
+  /// Declared before engine_: the engine's queued QueryContexts hold
+  /// PooledBuffers that release into the lanes' pools on destruction, so
+  /// the engine must be destroyed first (reverse declaration order).
   std::vector<Lane> lanes_;
-  TokenBucket compute_bucket_;
-  TokenBucket io_bucket_;
+  Defense engine_;
   ResponseSink sink_;
   ResponseSpanSink span_sink_;
   CrashPredicate crash_predicate_;
   ServerState state_ = ServerState::Running;
-  /// False while finishing a process_unmetered phase (its budgets were
-  /// never taken from the bucket, so end_phase must not refund them).
-  bool phase_metered_ = true;
   std::optional<dns::Question> last_qod_;
   SimTime last_metadata_ = SimTime::origin();
   NameserverStats stats_;

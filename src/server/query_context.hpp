@@ -34,7 +34,7 @@ struct QueryContext {
 
   /// The narrow view the filter pipeline scores — references this
   /// context's decoded question, copies nothing.
-  filters::QueryContext filter_view(SimTime now) const noexcept {
+  filters::QueryContext filter_view(Timepoint now) const noexcept {
     return filters::QueryContext{source, ip_ttl, view.question, now};
   }
 };

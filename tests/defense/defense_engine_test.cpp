@@ -1,0 +1,265 @@
+// DefenseEngine unit tests: the transport-agnostic pipeline driven on a
+// ManualClock, with plain ints as the queued Item — no nameserver, no
+// sockets. Covers the firewall hook, the I/O gate, enqueue outcome
+// accounting, metered/unmetered phase budgeting with refunds, restart
+// flushing, and the introspection surface the telemetry dumps read.
+
+#include <gtest/gtest.h>
+
+#include "common/clock.hpp"
+#include "defense/defense_engine.hpp"
+#include "dns/message.hpp"
+
+namespace akadns::defense {
+namespace {
+
+using dns::DnsName;
+using dns::RecordType;
+
+using Engine = DefenseEngine<int>;
+
+dns::Question question(const char* name, RecordType qtype = RecordType::A) {
+  return dns::Question{DnsName::from(name), qtype, dns::RecordClass::IN};
+}
+
+TEST(DefenseEngine, LaneOfIsStableAndCoversAllLanes) {
+  ManualClock clock;
+  DefenseConfig config;
+  config.lanes = 8;
+  Engine engine(config, clock);
+
+  std::vector<std::size_t> hits(engine.lane_count(), 0);
+  for (std::uint32_t i = 0; i < 4096; ++i) {
+    const Endpoint source{IpAddr(Ipv4Addr(10, (i >> 8) & 0xff, i & 0xff, 1)),
+                          static_cast<std::uint16_t>(1024 + (i % 7))};
+    const std::size_t lane = engine.lane_of(source);
+    ASSERT_LT(lane, engine.lane_count());
+    EXPECT_EQ(lane, engine.lane_of(source));  // stable per flow
+    ++hits[lane];
+  }
+  for (const auto count : hits) EXPECT_GT(count, 0u);  // no dead lane
+}
+
+TEST(DefenseEngine, SingleLaneSkipsHashing) {
+  ManualClock clock;
+  Engine engine(DefenseConfig{}, clock);
+  EXPECT_EQ(engine.lane_count(), 1u);
+  EXPECT_EQ(engine.lane_of(Endpoint{IpAddr(Ipv4Addr(1, 2, 3, 4)), 53}), 0u);
+}
+
+TEST(DefenseEngine, FirewallDropsAndExpiresOnTheInjectedClock) {
+  ManualClock clock;
+  Engine engine(DefenseConfig{}, clock);
+
+  engine.firewall().install(question("evil.example.com"), clock.now(), Duration::seconds(10));
+  EXPECT_TRUE(engine.firewall_drops(0, question("evil.example.com")));
+  EXPECT_TRUE(engine.firewall_drops(0, question("sub.evil.example.com")));
+  EXPECT_FALSE(engine.firewall_drops(0, question("fine.example.com")));
+  EXPECT_EQ(engine.lane_stats(0).drops[DropReason::Firewall], 2u);
+
+  clock.advance(Duration::seconds(11));  // past the rule TTL
+  EXPECT_FALSE(engine.firewall_drops(0, question("evil.example.com")));
+  EXPECT_EQ(engine.lane_stats(0).drops[DropReason::Firewall], 2u);
+}
+
+TEST(DefenseEngine, IoGateDisabledAdmitsEverything) {
+  ManualClock clock;
+  DefenseConfig config;
+  config.io_capacity_qps = 0.0;  // <= 0 disables the gate entirely
+  Engine engine(config, clock);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(engine.io_admit(0));
+  EXPECT_EQ(engine.lane_stats(0).drops[DropReason::IoOverload], 0u);
+}
+
+TEST(DefenseEngine, IoGateMetersAgainstTheClock) {
+  ManualClock clock;
+  DefenseConfig config;
+  config.io_capacity_qps = 100.0;
+  config.io_burst_fraction = 0.05;  // burst capacity: 5 tokens
+  Engine engine(config, clock);
+
+  int admitted = 0;
+  for (int i = 0; i < 10; ++i) admitted += engine.io_admit(0) ? 1 : 0;
+  EXPECT_EQ(admitted, 5);
+  EXPECT_EQ(engine.lane_stats(0).drops[DropReason::IoOverload], 5u);
+
+  clock.advance(Duration::millis(20));  // 100 qps * 20ms = 2 tokens back
+  EXPECT_TRUE(engine.io_admit(0));
+  EXPECT_TRUE(engine.io_admit(0));
+  EXPECT_FALSE(engine.io_admit(0));
+}
+
+TEST(DefenseEngine, EnqueueOutcomeAccounting) {
+  ManualClock clock;
+  DefenseConfig config;
+  config.queue_config.queue_capacity = 2;
+  Engine engine(config, clock);
+
+  EXPECT_EQ(engine.enqueue(0, 1, 0.0), filters::EnqueueOutcome::Enqueued);
+  EXPECT_EQ(engine.enqueue(0, 2, 0.0), filters::EnqueueOutcome::Enqueued);
+  EXPECT_EQ(engine.enqueue(0, 3, 0.0), filters::EnqueueOutcome::DroppedQueueFull);
+  EXPECT_EQ(engine.enqueue(0, 4, 250.0), filters::EnqueueOutcome::DiscardedByScore);
+
+  const auto& stats = engine.lane_stats(0);
+  EXPECT_EQ(stats.enqueued, 2u);
+  EXPECT_EQ(stats.drops[DropReason::QueueFull], 1u);
+  EXPECT_EQ(stats.drops[DropReason::ScoreDiscard], 1u);
+  EXPECT_EQ(engine.pending(), 2u);
+}
+
+TEST(DefenseEngine, UnmeteredBeginPhaseBudgetsTheWholeBacklog) {
+  ManualClock clock;
+  Engine engine(DefenseConfig{}, clock);  // compute_capacity_qps = 0: no meter
+
+  EXPECT_FALSE(engine.begin_phase());  // nothing queued
+  engine.enqueue(0, 10, 0.0);
+  engine.enqueue(0, 11, 0.0);
+  engine.enqueue(0, 12, 0.0);
+
+  ASSERT_TRUE(engine.begin_phase());
+  EXPECT_EQ(engine.lane_budget(0), 3u);
+  EXPECT_EQ(engine.next(0).value(), 10);
+  EXPECT_EQ(engine.next(0).value(), 11);
+  EXPECT_EQ(engine.next(0).value(), 12);
+  EXPECT_FALSE(engine.next(0).has_value());
+  EXPECT_EQ(engine.end_phase(), 3u);
+  EXPECT_EQ(engine.stats().released, 3u);
+}
+
+TEST(DefenseEngine, MeteredBudgetIsRoundRobinAndBacklogCapped) {
+  ManualClock clock;
+  DefenseConfig config;
+  config.lanes = 2;
+  config.compute_capacity_qps = 10.0;
+  config.compute_burst_fraction = 0.5;  // 5 tokens available at origin
+  Engine engine(config, clock);
+
+  for (int i = 0; i < 4; ++i) engine.enqueue(0, i, 0.0);
+  engine.enqueue(1, 100, 0.0);
+
+  ASSERT_TRUE(engine.begin_phase());
+  // Round-robin one token at a time: lane 1 caps at its backlog of 1,
+  // lane 0 absorbs the rest of the 5-token burst.
+  EXPECT_EQ(engine.lane_budget(0), 4u);
+  EXPECT_EQ(engine.lane_budget(1), 1u);
+  while (engine.next(0)) {
+  }
+  while (engine.next(1)) {
+  }
+  EXPECT_EQ(engine.end_phase(), 5u);
+
+  // The burst is spent; with the clock unmoved there are no tokens left.
+  engine.enqueue(0, 5, 0.0);
+  EXPECT_FALSE(engine.begin_phase());
+}
+
+TEST(DefenseEngine, EndPhaseRefundsUnspentMeteredBudget) {
+  ManualClock clock;
+  DefenseConfig config;
+  config.compute_capacity_qps = 10.0;
+  config.compute_burst_fraction = 0.5;  // 5 tokens
+  Engine engine(config, clock);
+
+  for (int i = 0; i < 5; ++i) engine.enqueue(0, i, 0.0);
+  ASSERT_TRUE(engine.begin_phase());
+  EXPECT_EQ(engine.lane_budget(0), 5u);
+  EXPECT_EQ(engine.next(0).value(), 0);  // a driver that stopped early
+  EXPECT_EQ(engine.end_phase(), 1u);
+
+  // The 4 unspent tokens were refunded: a new phase at the same instant
+  // can budget the remaining backlog of 4.
+  ASSERT_TRUE(engine.begin_phase());
+  EXPECT_EQ(engine.lane_budget(0), 4u);
+  EXPECT_EQ(engine.end_phase(), 0u);
+}
+
+TEST(DefenseEngine, UnmeteredPhaseBypassesTheComputeBucket) {
+  ManualClock clock;
+  DefenseConfig config;
+  config.compute_capacity_qps = 10.0;
+  config.compute_burst_fraction = 0.5;  // 5 tokens
+  Engine engine(config, clock);
+
+  for (int i = 0; i < 8; ++i) engine.enqueue(0, i, 0.0);
+  engine.begin_phase_unmetered(3);
+  EXPECT_EQ(engine.lane_budget(0), 3u);
+  while (engine.next(0)) {
+  }
+  EXPECT_EQ(engine.end_phase(), 3u);
+
+  // The bucket never saw the unmetered phase: all 5 burst tokens remain.
+  ASSERT_TRUE(engine.begin_phase());
+  EXPECT_EQ(engine.lane_budget(0), 5u);
+  EXPECT_EQ(engine.end_phase(), 0u);
+}
+
+TEST(DefenseEngine, FlushLaneAccountsRestartFlushAndEmptiesQueues) {
+  ManualClock clock;
+  Engine engine(DefenseConfig{}, clock);
+  for (int i = 0; i < 3; ++i) engine.enqueue(0, i, 0.0);
+
+  EXPECT_EQ(engine.flush_lane(0), 3u);
+  EXPECT_EQ(engine.lane_stats(0).drops[DropReason::RestartFlush], 3u);
+  EXPECT_EQ(engine.pending(), 0u);
+  EXPECT_FALSE(engine.has_pending());
+  EXPECT_EQ(engine.flush_lane(0), 0u);  // idempotent on an empty lane
+}
+
+TEST(DefenseEngine, ResetBucketsRestoresFullBurst) {
+  ManualClock clock;
+  DefenseConfig config;
+  config.compute_capacity_qps = 10.0;
+  config.compute_burst_fraction = 0.5;  // 5 tokens
+  Engine engine(config, clock);
+
+  for (int i = 0; i < 5; ++i) engine.enqueue(0, i, 0.0);
+  ASSERT_TRUE(engine.begin_phase());
+  while (engine.next(0)) {
+  }
+  engine.end_phase();  // burst fully spent
+
+  for (int i = 0; i < 5; ++i) engine.enqueue(0, i, 0.0);
+  EXPECT_FALSE(engine.begin_phase());  // still dry at the same instant
+
+  engine.reset_buckets();  // restart semantics: full capacity again
+  ASSERT_TRUE(engine.begin_phase());
+  EXPECT_EQ(engine.lane_budget(0), 5u);
+  engine.end_phase();
+}
+
+TEST(DefenseEngine, QueueDepthsExposeTheBacklogShape) {
+  ManualClock clock;
+  Engine engine(DefenseConfig{}, clock);  // default M_i = {0, 50, 150}
+
+  engine.enqueue(0, 1, 0.0);    // queue 0
+  engine.enqueue(0, 2, 40.0);   // queue 1
+  engine.enqueue(0, 3, 100.0);  // queue 2
+  engine.enqueue(0, 4, 180.0);  // above last M_i but below S_max: last queue
+
+  const auto depths = engine.queue_depths();
+  ASSERT_EQ(depths.size(), 3u);
+  EXPECT_EQ(depths[0], 1u);
+  EXPECT_EQ(depths[1], 1u);
+  EXPECT_EQ(depths[2], 2u);
+}
+
+TEST(DefenseEngine, StatsMergeAcrossLanes) {
+  ManualClock clock;
+  DefenseConfig config;
+  config.lanes = 3;
+  Engine engine(config, clock);
+
+  engine.enqueue(0, 1, 0.0);
+  engine.enqueue(1, 2, 0.0);
+  engine.enqueue(2, 3, 999.0);  // discard
+
+  const auto merged = engine.stats();
+  EXPECT_EQ(merged.enqueued, 2u);
+  EXPECT_EQ(merged.drops[DropReason::ScoreDiscard], 1u);
+  EXPECT_EQ(engine.lane_pending(0), 1u);
+  EXPECT_EQ(engine.lane_pending(1), 1u);
+  EXPECT_EQ(engine.lane_pending(2), 0u);
+}
+
+}  // namespace
+}  // namespace akadns::defense

@@ -1,0 +1,135 @@
+// Directed per-filter tests on the wall-clock axis (MonotonicClock) via
+// the defense::filter_chain factories — exactly what a net::Server worker
+// installs. The sim's filter tests pin behaviour on ManualClock/SimTime;
+// these pin that nothing in any filter secretly assumed simulated time:
+// every timestamp below is a genuine CLOCK_MONOTONIC reading, and the
+// window/ripening cases advance real time with short sleeps.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "defense/filter_chain.hpp"
+#include "zone/zone_builder.hpp"
+
+namespace akadns::defense {
+namespace {
+
+using dns::DnsName;
+using dns::RecordType;
+
+filters::QueryContext ctx_for(const Endpoint& source, const dns::Question& q, Timepoint now,
+                              std::uint8_t ip_ttl = 64) {
+  return filters::QueryContext{source, ip_ttl, q, now};
+}
+
+const Endpoint kSource{IpAddr(Ipv4Addr(203, 0, 113, 9)), 53001};
+const Endpoint kOther{IpAddr(Ipv4Addr(198, 51, 100, 7)), 40044};
+
+TEST(WallclockFilters, RateLimitPenalizesBurstsOnRealTime) {
+  MonotonicClock clock;
+  filters::RateLimitFilter::Config config;
+  config.penalty = 60.0;
+  config.default_limit_qps = 5.0;
+  config.burst_seconds = 1.0;  // bucket capacity: 5 queries
+  auto filter = rate_limit_factory(config)(0, 1);
+
+  const dns::Question q{DnsName::from("www.example.com"), RecordType::A};
+  int penalized = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (filter->score(ctx_for(kSource, q, clock.now())) > 0.0) ++penalized;
+  }
+  // The burst capacity admits ~5 back-to-back queries; the remainder of
+  // the tight loop must be penalized (the loop runs in far under 1s, so
+  // refill contributes at most a token).
+  EXPECT_GE(penalized, 4);
+  EXPECT_EQ(filter->score(ctx_for(kOther, q, clock.now())), 0.0);  // fresh source: own bucket
+}
+
+TEST(WallclockFilters, NxDomainArmsFromObservedResponsesAndScoresProbes) {
+  MonotonicClock clock;
+  zone::ZoneStore store;
+  store.publish(zone::ZoneBuilder("example.com", 1)
+                    .ns("@", "ns1.example.com")
+                    .a("ns1", "10.0.0.1")
+                    .a("www", "93.184.216.34")
+                    .build());
+
+  filters::NxDomainFilter::Config config;
+  config.penalty = 150.0;
+  config.nxdomain_threshold = 3;
+  auto filter = nxdomain_factory(config, zone_store_hooks(store))(0, 1);
+
+  const dns::Question valid{DnsName::from("www.example.com"), RecordType::A};
+  const dns::Question probe{DnsName::from("xq3wz.example.com"), RecordType::A};
+
+  // Not armed yet: probes score clean.
+  EXPECT_EQ(filter->score(ctx_for(kSource, probe, clock.now())), 0.0);
+
+  // A run of NXDOMAIN responses inside the window arms the zone.
+  for (int i = 0; i < 4; ++i) {
+    filter->observe_response(ctx_for(kSource, probe, clock.now()), dns::Rcode::NxDomain);
+  }
+
+  EXPECT_EQ(filter->score(ctx_for(kSource, probe, clock.now())), 150.0);
+  EXPECT_EQ(filter->score(ctx_for(kSource, valid, clock.now())), 0.0);
+}
+
+TEST(WallclockFilters, HopCountFlagsTtlDivergence) {
+  MonotonicClock clock;
+  filters::HopCountFilter::Config config;
+  config.penalty = 50.0;
+  config.tolerance = 1;
+  config.min_observations = 3;
+  auto filter = hopcount_factory(config)(0, 1);
+
+  const dns::Question q{DnsName::from("www.example.com"), RecordType::A};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(filter->score(ctx_for(kSource, q, clock.now(), 64)), 0.0);  // learning
+  }
+  EXPECT_EQ(filter->score(ctx_for(kSource, q, clock.now(), 30)), 50.0);  // spoofed path
+  EXPECT_EQ(filter->score(ctx_for(kSource, q, clock.now(), 64)), 0.0);   // genuine path
+}
+
+TEST(WallclockFilters, LoyaltyRipensOnRealElapsedTime) {
+  MonotonicClock clock;
+  filters::LoyaltyFilter::Config config;
+  config.penalty = 40.0;
+  config.ripen_after = Duration::millis(40);
+  auto filter = loyalty_factory(config)(0, 1);
+
+  const dns::Question q{DnsName::from("www.example.com"), RecordType::A};
+  // First sight: tracked but unripe — penalized.
+  EXPECT_EQ(filter->score(ctx_for(kSource, q, clock.now())), 40.0);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));  // > ripen_after
+
+  // The membership ripened against CLOCK_MONOTONIC: now loyal.
+  EXPECT_EQ(filter->score(ctx_for(kSource, q, clock.now())), 0.0);
+  // A source first seen mid-attack is still unripe.
+  EXPECT_EQ(filter->score(ctx_for(kOther, q, clock.now())), 40.0);
+}
+
+TEST(WallclockFilters, AllowlistPenalizesUnknownSourcesWhenActive) {
+  MonotonicClock clock;
+  filters::AllowlistFilter::Config config;
+  config.penalty = 50.0;
+  config.auto_activate = false;  // operator-armed for the test
+  auto filter = allowlist_factory(config)(0, 1);
+
+  auto* allowlist = dynamic_cast<filters::AllowlistFilter*>(filter.get());
+  ASSERT_NE(allowlist, nullptr);
+  allowlist->allow(kSource.addr);
+
+  const dns::Question q{DnsName::from("www.example.com"), RecordType::A};
+  EXPECT_EQ(filter->score(ctx_for(kOther, q, clock.now())), 0.0);  // not armed yet
+
+  allowlist->set_active(true);
+  EXPECT_EQ(filter->score(ctx_for(kSource, q, clock.now())), 0.0);  // allowlisted
+  EXPECT_EQ(filter->score(ctx_for(kOther, q, clock.now())), 50.0);  // unknown under attack
+}
+
+}  // namespace
+}  // namespace akadns::defense
