@@ -87,6 +87,8 @@ void scenario_b_stale_state() {
   bench::subheading("B) partial connectivity -> stale -> suspend -> catch up (§4.2.2)");
   EventScheduler sched;
   control::ControlPlane plane(sched, 5);
+  control::SchedulerClock clock(sched);
+  propagation::ZonePublisher publisher(clock);
   pop::Machine machine(
       {.id = "edge", .nameserver = {.staleness_threshold = Duration::seconds(30)}});
   control::subscribe_machine_to_zone(plane, machine, dns::DnsName::from("ex.com"));
@@ -94,13 +96,13 @@ void scenario_b_stale_state() {
   pop::SuspensionCoordinator coordinator;
   pop::MonitoringAgent agent(machine, *machine.local_store(), coordinator, sched);
   machine.speaker().advertise(1);
-  control::publish_zone(plane, example_zone(1));
+  control::publish_zone(plane, publisher, example_zone(1));
   sched.run();
   agent.check_now();
   bench::print_row("healthy and serving", machine.nameserver().running() ? 1 : 0, "(1=yes)");
 
   machine.inject_failure(pop::FailureType::PartialConnectivity);
-  control::publish_zone(plane, example_zone(2));
+  control::publish_zone(plane, publisher, example_zone(2));
   sched.run_until(sched.now() + Duration::minutes(2));
   agent.check_now();
   bench::print_row("stale after transit-link failure; suspended",
@@ -131,6 +133,8 @@ void scenario_c_input_delayed() {
   const auto upstream = net.add_node("upstream");
   net.add_link(upstream, router, Duration::millis(5), netsim::LinkKind::ProviderToCustomer);
   control::ControlPlane plane(sched, 8);
+  control::SchedulerClock clock(sched);
+  propagation::ZonePublisher publisher(clock);
   pop::Pop site({.id = "p", .router_node = router}, net);
   auto& regular1 = site.adopt_machine(std::make_unique<pop::Machine>(
       pop::MachineConfig{.id = "regular-1"}));
@@ -147,13 +151,13 @@ void scenario_c_input_delayed() {
   regular2.speaker().advertise(1, pop::BgpSpeaker::kDefaultMed);
   delayed.speaker().advertise(1, pop::BgpSpeaker::kInputDelayedMed);
 
-  control::publish_zone(plane, example_zone(1));
+  control::publish_zone(plane, publisher, example_zone(1));
   sched.run_until(sched.now() + Duration::hours(2));  // delayed copy has v1 too
   bench::print_row("ECMP set size (regulars only, MED)",
                    static_cast<double>(site.ecmp_set(1).size()), "");
 
   // A poisoned v2 crashes every regular nameserver on receipt.
-  control::publish_zone(plane, example_zone(2));
+  control::publish_zone(plane, publisher, example_zone(2));
   sched.run_until(sched.now() + Duration::seconds(30));
   for (auto* machine : {&regular1, &regular2}) {
     if (machine->local_store()->find_zone(dns::DnsName::from("ex.com"))->serial() == 2) {

@@ -1,0 +1,175 @@
+// Zone propagation bench: what a zone update costs end to end.
+//
+// Three sections. (1) Full vs incremental recompile across zone size ×
+// delta size — the case for compile_incremental is that a 1-record
+// change in a 100k-record zone should cost the delta, not the zone.
+// (2) The publisher pipeline: diff + journal + incremental compile per
+// publish, sustained over a long serial chain. (3) Publish-to-visible
+// latency at a subscriber, for both the in-process adoption path and
+// the wire-style delta-replay path.
+//
+// With AKADNS_BENCH_JSON=<path> every row is also written as JSON (the
+// CI artifact).
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "propagation/zone_publisher.hpp"
+#include "propagation/zone_subscriber.hpp"
+#include "zone/compiled_zone.hpp"
+#include "zone/zone_builder.hpp"
+
+namespace akadns {
+namespace {
+
+using zone::CompiledZone;
+using zone::Zone;
+using zone::ZoneBuilder;
+
+double elapsed_us(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// A zone with `hosts` A records; `serial` rotates the first `churn`
+// addresses so consecutive serials differ in exactly `churn` records.
+Zone make_zone(std::size_t hosts, std::uint32_t serial, std::size_t churn) {
+  ZoneBuilder builder("bench.example", serial);
+  builder.soa("ns1.bench.example", "hostmaster.bench.example", serial);
+  builder.ns("@", "ns1.bench.example");
+  builder.a("ns1", "10.0.0.1");
+  for (std::size_t i = 0; i < hosts; ++i) {
+    const std::uint32_t rotate = i < churn ? serial : 0;
+    builder.a("h" + std::to_string(i), "10." + std::to_string((i >> 14) & 255) + "." +
+                                           std::to_string((i >> 6) & 255) + "." +
+                                           std::to_string((i + rotate) % 250 + 1));
+  }
+  return builder.build();
+}
+
+void compile_section() {
+  bench::subheading("recompile cost: full vs incremental");
+  std::printf("  %-10s %-8s %14s %14s %10s\n", "zone", "delta", "full (us)", "incr (us)",
+              "speedup");
+
+  for (const std::size_t hosts : {1'000ULL, 10'000ULL, 50'000ULL}) {
+    for (const std::size_t churn : {1ULL, 16ULL, 256ULL}) {
+      const auto base = std::make_shared<const Zone>(make_zone(hosts, 1, churn));
+      const auto next = std::make_shared<const Zone>(make_zone(hosts, 2, churn));
+      const zone::ZoneDiff diff = zone::diff_zones(*base, *next);
+      const auto compiled_base = CompiledZone::compile(base);
+
+      constexpr int kReps = 5;
+      double full_us = 0.0;
+      double incr_us = 0.0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        auto t0 = std::chrono::steady_clock::now();
+        const auto scratch = CompiledZone::compile(next);
+        full_us += elapsed_us(t0);
+
+        t0 = std::chrono::steady_clock::now();
+        const auto incremental = CompiledZone::compile_incremental(*compiled_base, next, diff);
+        incr_us += elapsed_us(t0);
+
+        if (incremental->content_hash() != scratch->content_hash()) {
+          std::printf("  !! incremental diverged from scratch at %zu/%zu\n", hosts, churn);
+          return;
+        }
+      }
+      full_us /= kReps;
+      incr_us /= kReps;
+
+      const std::string label =
+          std::to_string(hosts) + " rr x " + std::to_string(churn) + " delta";
+      std::printf("  %-10zu %-8zu %14.1f %14.1f %9.1fx\n", hosts, churn, full_us, incr_us,
+                  full_us / incr_us);
+      bench::print_row((label + ": full compile").c_str(), full_us, "us");
+      bench::print_row((label + ": incremental").c_str(), incr_us, "us");
+      bench::print_row((label + ": speedup").c_str(), full_us / incr_us, "x");
+    }
+  }
+}
+
+void publisher_section() {
+  bench::subheading("publisher pipeline: diff + journal + incremental compile");
+  MonotonicClock clock;
+
+  for (const std::size_t hosts : {1'000ULL, 10'000ULL}) {
+    propagation::ZonePublisher publisher(clock);
+    auto seeded = publisher.publish(make_zone(hosts, 1, 16));
+    if (!seeded.ok()) {
+      std::printf("  !! seed publish failed: %s\n", seeded.error().c_str());
+      return;
+    }
+
+    constexpr std::uint32_t kPublishes = 64;
+    std::vector<Zone> versions;
+    versions.reserve(kPublishes);
+    for (std::uint32_t serial = 2; serial <= 1 + kPublishes; ++serial) {
+      versions.push_back(make_zone(hosts, serial, 16));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    for (Zone& version : versions) {
+      auto result = publisher.publish(std::move(version));
+      if (!result.ok()) {
+        std::printf("  !! publish failed: %s\n", result.error().c_str());
+        return;
+      }
+    }
+    const double per_publish_us = elapsed_us(t0) / kPublishes;
+
+    const auto stats = publisher.stats();
+    const std::string label = std::to_string(hosts) + " rr zone";
+    bench::print_row((label + ": publish (diff+compile)").c_str(), per_publish_us, "us");
+    bench::print_count_row((label + ": incremental publishes").c_str(), stats.incremental);
+    bench::print_count_row((label + ": full publishes").c_str(), stats.full);
+    bench::print_count_row((label + ": journal deltas retained").c_str(),
+                           publisher.journal_stats().appended -
+                               publisher.journal_stats().evicted);
+  }
+}
+
+void visibility_section() {
+  bench::subheading("publish -> subscriber-visible latency");
+  MonotonicClock clock;
+
+  for (const bool adopt : {true, false}) {
+    propagation::ZonePublisher publisher(clock);
+    if (!publisher.publish(make_zone(10'000, 1, 16)).ok()) return;
+
+    zone::ZoneStore replica;
+    propagation::ZoneSubscriber subscriber(replica, {.adopt_compiled = adopt});
+    subscriber.attach(publisher);
+
+    constexpr std::uint32_t kPublishes = 32;
+    for (std::uint32_t serial = 2; serial <= 1 + kPublishes; ++serial) {
+      if (!publisher.publish(make_zone(10'000, serial, 16)).ok()) return;
+      subscriber.poll(clock.now());
+    }
+
+    const auto& stats = subscriber.stats();
+    const char* path = adopt ? "adopt (in-process)" : "delta replay (wire-style)";
+    bench::print_row((std::string(path) + ": last latency").c_str(),
+                     static_cast<double>(stats.last_latency_ns) / 1e3, "us");
+    bench::print_row((std::string(path) + ": max latency").c_str(),
+                     static_cast<double>(stats.max_latency_ns) / 1e3, "us");
+    bench::print_count_row((std::string(path) + ": updates applied").c_str(), stats.updates);
+  }
+}
+
+}  // namespace
+}  // namespace akadns
+
+int main() {
+  akadns::bench::heading("Zone propagation: incremental recompile and fan-out",
+                         "§3.2 zone updates; live reload under load");
+  akadns::compile_section();
+  akadns::publisher_section();
+  akadns::visibility_section();
+  std::printf("\n");
+  return 0;
+}

@@ -6,7 +6,8 @@ namespace akadns::control {
 
 std::string zone_topic(const dns::DnsName& apex) { return "zone/" + apex.to_string(); }
 
-std::uint64_t publish_zone(ControlPlane& plane, zone::Zone zone) {
+std::uint64_t publish_zone(ControlPlane& plane, propagation::ZonePublisher& publisher,
+                           zone::Zone zone) {
   const auto problems = zone.validate();
   if (!problems.empty()) {
     std::string joined;
@@ -14,7 +15,12 @@ std::uint64_t publish_zone(ControlPlane& plane, zone::Zone zone) {
     throw std::invalid_argument("zone validation failed: " + joined);
   }
   const std::string topic = zone_topic(zone.apex());
-  return plane.publish(topic, std::make_shared<ZoneSnapshot>(std::move(zone)));
+  auto update = publisher.publish(std::move(zone));
+  if (!update.ok()) {
+    throw std::invalid_argument("zone publish rejected: " + update.error());
+  }
+  return plane.publish(topic,
+                       std::make_shared<ZoneUpdateMetadata>(std::move(update).take()));
 }
 
 ControlPlane::SubscriptionId subscribe_machine_to_zone(ControlPlane& plane,
@@ -31,10 +37,9 @@ ControlPlane::SubscriptionId subscribe_machine_to_zone(ControlPlane& plane,
   options.extra_delay = input_delay;
   options.reachable = [&machine] { return machine.metadata_reachable(); };
   options.on_delivery = [&machine](const MetadataPtr& payload, SimTime now) {
-    const auto* snapshot = dynamic_cast<const ZoneSnapshot*>(payload.get());
-    if (!snapshot) return;
-    machine.local_store()->force_publish(snapshot->zone);
-    machine.nameserver().metadata_updated(now);
+    const auto* metadata = dynamic_cast<const ZoneUpdateMetadata*>(payload.get());
+    if (!metadata || !metadata->update) return;
+    machine.apply_zone_update(*metadata->update, now);
   };
   return plane.subscribe(zone_topic(apex), std::move(options));
 }

@@ -25,7 +25,17 @@ std::string DatapathReport::render() const {
          (cache_invalidations ? ", invalidations=" + std::to_string(cache_invalidations) : "") +
          ")\n";
   out += "  publish: compiles=" + std::to_string(zone_compiles) +
+         " incremental=" + std::to_string(zone_incremental_compiles) +
+         " adopted=" + std::to_string(zone_snapshots_adopted) +
          " compile_time=" + std::to_string(zone_compile_micros) + "us\n";
+  if (zone_sync.updates) {
+    out += "  propagation: updates=" + std::to_string(zone_sync.updates) +
+           " adopted=" + std::to_string(zone_sync.adopted) +
+           " incremental=" + std::to_string(zone_sync.incremental) +
+           " full=" + std::to_string(zone_sync.full) +
+           " noops=" + std::to_string(zone_sync.noops) +
+           " max_latency=" + std::to_string(zone_sync.max_latency_ns / 1000) + "us\n";
+  }
   out += "  defense: scored=" + std::to_string(defense.scored) +
          " enqueued=" + std::to_string(defense.enqueued) +
          " released=" + std::to_string(defense.released) +
@@ -100,8 +110,11 @@ DatapathReport collect_datapath(const std::vector<pop::Machine*>& fleet) {
     if (std::find(seen_stores.begin(), seen_stores.end(), store) == seen_stores.end()) {
       seen_stores.push_back(store);
       report.zone_compiles += store->compile_stats().compiles;
+      report.zone_incremental_compiles += store->compile_stats().incremental_compiles;
+      report.zone_snapshots_adopted += store->compile_stats().adopted;
       report.zone_compile_micros += store->compile_stats().total_micros;
     }
+    if (const auto* sync = machine->zone_sync_stats()) report.zone_sync.merge(*sync);
   }
   return report;
 }

@@ -73,7 +73,14 @@ struct DatapathReport {
   std::uint64_t cache_evictions = 0;
   std::uint64_t cache_invalidations = 0;
   std::uint64_t zone_compiles = 0;
+  std::uint64_t zone_incremental_compiles = 0;
+  std::uint64_t zone_snapshots_adopted = 0;
   std::uint64_t zone_compile_micros = 0;
+
+  // Propagation rollup (§3.2's delivery pipeline): how the fleet's
+  // replicas absorbed published zone versions, and the worst observed
+  // publish→applied latency on the shared clock axis.
+  propagation::ZoneSyncStats zone_sync;
 
   /// Fraction of fast-path responses served straight from the cache.
   double cache_hit_rate() const noexcept {

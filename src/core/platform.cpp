@@ -178,7 +178,7 @@ void Platform::host_zone(zone::Zone zone) {
       }
     }
   }
-  control::publish_zone(control_, std::move(zone));
+  control::publish_zone(control_, zone_publisher_, std::move(zone));
 }
 
 void Platform::register_dynamic_domain(const dns::DnsName& suffix, std::size_t answer_count) {

@@ -55,6 +55,9 @@ class Platform {
   netsim::Network& network() noexcept { return network_; }
   const netsim::Topology& topology() const noexcept { return topology_; }
   control::ControlPlane& control() noexcept { return control_; }
+  /// The platform's propagation pipeline: host_zone() publishes through
+  /// it, so its journal/compile/publish stats describe the whole fleet.
+  propagation::ZonePublisher& zone_publisher() noexcept { return zone_publisher_; }
   pop::SuspensionCoordinator& coordinator() noexcept { return coordinator_; }
   twotier::MappingSystem& mapping() noexcept { return mapping_; }
 
@@ -160,6 +163,10 @@ class Platform {
   netsim::Network network_;
   netsim::Topology topology_;
   control::ControlPlane control_;
+  /// Propagation pipeline on the scheduler's time axis (declared after
+  /// scheduler_, before anything that publishes).
+  control::SchedulerClock metadata_clock_{scheduler_};
+  propagation::ZonePublisher zone_publisher_{metadata_clock_};
   pop::SuspensionCoordinator coordinator_;
   twotier::MappingSystem mapping_;
   Rng rng_;

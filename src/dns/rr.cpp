@@ -16,6 +16,8 @@ std::string to_string(RecordType t) {
     case RecordType::AAAA: return "AAAA";
     case RecordType::SRV: return "SRV";
     case RecordType::OPT: return "OPT";
+    case RecordType::IXFR: return "IXFR";
+    case RecordType::AXFR: return "AXFR";
     case RecordType::ANY: return "ANY";
     case RecordType::CAA: return "CAA";
   }
@@ -50,6 +52,8 @@ std::optional<RecordType> parse_record_type(std::string_view text) {
   if (upper == "AAAA") return RecordType::AAAA;
   if (upper == "SRV") return RecordType::SRV;
   if (upper == "CAA") return RecordType::CAA;
+  if (upper == "IXFR") return RecordType::IXFR;
+  if (upper == "AXFR") return RecordType::AXFR;
   if (upper == "ANY") return RecordType::ANY;
   return std::nullopt;
 }

@@ -23,8 +23,10 @@ enum class RecordType : std::uint16_t {
   TXT = 16,
   AAAA = 28,
   SRV = 33,
-  OPT = 41,   // EDNS0 pseudo-record, never stored in zones
-  ANY = 255,  // question-only
+  OPT = 41,    // EDNS0 pseudo-record, never stored in zones
+  IXFR = 251,  // question-only (RFC 1995 incremental zone transfer)
+  AXFR = 252,  // question-only (RFC 5936 full zone transfer)
+  ANY = 255,   // question-only
   CAA = 257,
 };
 

@@ -41,6 +41,12 @@ struct CliOptions {
   std::uint64_t timeout_ms = 1000;
   double goodput_min = 0.9;
   bool verify = false;
+  /// Live-reload verification: the server was started with
+  /// --flip-after-ms/--flip-count matching these — it will republish the
+  /// first `flip_count` zones evolved by `flip_generations` mid-run, and
+  /// we accept (and require) the new answers.
+  std::size_t flip_count = 0;
+  std::uint32_t flip_generations = 1;
   std::string json_path;
   bool help = false;
 };
@@ -63,6 +69,10 @@ void print_usage(const char* argv0) {
       "  --timeout-ms N      per-query response timeout (default 1000)\n"
       "  --goodput-min F     legit goodput floor for --defense on (default 0.9)\n"
       "  --verify            byte-compare responses against the local Responder\n"
+      "  --flip-count N      server flips its first N zones mid-run (--flip-after-ms);\n"
+      "                      with --verify, accept pre- and post-flip answers, require\n"
+      "                      the flip to be observed, and reject stale-serial answers\n"
+      "  --flip-generations G  generations the server flips by (default 1)\n"
       "  --json PATH         write the report as JSON\n"
       "exit status without an attack mix: 0 iff nothing dropped, mismatched, or unexpected.\n"
       "With an attack mix the server is *supposed* to shed attack traffic, so the gate\n"
@@ -142,6 +152,12 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       opts.goodput_min = std::strtod(v, nullptr);
     } else if (arg == "--verify") {
       opts.verify = true;
+    } else if (arg == "--flip-count") {
+      if (!(v = need_value())) return false;
+      opts.flip_count = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--flip-generations") {
+      if (!(v = need_value())) return false;
+      opts.flip_generations = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--json") {
       if (!(v = need_value())) return false;
       opts.json_path = v;
@@ -185,6 +201,15 @@ std::string report_json(const akadns::net::LoadgenReport& r, const CliOptions& o
   std::string out = buf;
   out += class_json("legit", r.legit);
   out += class_json("attack", r.attack);
+  std::snprintf(buf, sizeof(buf),
+                "  \"flip\": {\"count\": %zu, \"generations\": %u, \"old_answers\": %llu,"
+                " \"new_answers\": %llu, \"stale_old\": %llu, \"first_new_ms\": %.3f},\n",
+                opts.flip_count, opts.flip_generations,
+                (unsigned long long)r.flip.old_answers, (unsigned long long)r.flip.new_answers,
+                (unsigned long long)r.flip.stale_old,
+                r.flip.first_new_ns >= 0 ? static_cast<double>(r.flip.first_new_ns) / 1e6
+                                         : -1.0);
+  out += buf;
   std::snprintf(buf, sizeof(buf),
                 "  \"seconds\": %.4f,\n"
                 "  \"qps\": %.0f,\n"
@@ -251,6 +276,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "computed %zu expected responses\n", expected.size());
   }
 
+  // Live-reload runs also need the post-flip reference: rebuild the world
+  // the server's flip drill will publish — zone ranks [0, flip_count)
+  // evolved by flip_generations, everything else untouched (evolved with
+  // 0 generations is the identity) — and run the Responder over it.
+  const bool flip_mode = opts.verify && opts.flip_count > 0;
+  std::vector<std::vector<std::uint8_t>> expected_v2;
+  if (flip_mode) {
+    akadns::zone::ZoneStore flipped;
+    const std::size_t flips = std::min(opts.flip_count, zones.zone_count());
+    for (std::size_t rank = 0; rank < zones.zone_count(); ++rank) {
+      flipped.publish(zones.evolved(rank, rank < flips ? opts.flip_generations : 0));
+    }
+    expected_v2 = akadns::net::expected_responses(corpus, flipped);
+    std::fprintf(stderr, "computed %zu post-flip expected responses (%zu zones evolved)\n",
+                 expected_v2.size(), flips);
+  }
+
   akadns::net::LoadgenConfig config;
   config.target = akadns::Endpoint{akadns::IpAddr(*addr), static_cast<std::uint16_t>(port)};
   config.sockets = opts.sockets;
@@ -259,7 +301,7 @@ int main(int argc, char** argv) {
   config.total_queries = opts.queries;
   config.response_timeout = akadns::Duration::millis(static_cast<std::int64_t>(opts.timeout_ms));
 
-  akadns::net::Loadgen loadgen(config, corpus, std::move(expected));
+  akadns::net::Loadgen loadgen(config, corpus, std::move(expected), std::move(expected_v2));
   const auto report = loadgen.run();
 
   std::printf("sent        %llu\n", (unsigned long long)report.sent);
@@ -277,6 +319,15 @@ int main(int argc, char** argv) {
                 (unsigned long long)report.attack.dropped,
                 (unsigned long long)report.attack.mismatched, report.attack.goodput());
   }
+  if (opts.flip_count > 0 && opts.verify) {
+    std::printf("flip        old=%llu new=%llu stale_old=%llu first_new_ms=%.1f\n",
+                (unsigned long long)report.flip.old_answers,
+                (unsigned long long)report.flip.new_answers,
+                (unsigned long long)report.flip.stale_old,
+                report.flip.first_new_ns >= 0
+                    ? static_cast<double>(report.flip.first_new_ns) / 1e6
+                    : -1.0);
+  }
   std::printf("seconds     %.4f\n", report.seconds);
   std::printf("qps         %.0f\n", report.qps);
   std::printf("latency_us  p50=%.1f p90=%.1f p99=%.1f p99.9=%.1f max=%.1f\n", report.p50_us,
@@ -293,8 +344,9 @@ int main(int argc, char** argv) {
     // so total-drop counts cannot gate. The property that matters is
     // collateral damage: did legitimate traffic keep flowing, unchanged?
     if (opts.defense == "on") {
-      const bool ok = report.legit.goodput() >= opts.goodput_min &&
-                      report.legit.mismatched == 0 && report.legit.sent > 0;
+      bool ok = report.legit.goodput() >= opts.goodput_min &&
+                report.legit.mismatched == 0 && report.legit.sent > 0;
+      if (flip_mode) ok = ok && report.flip.stale_old == 0 && report.flip.new_answers > 0;
       std::printf("defense-on gate: legit goodput %.4f (floor %.2f), legit mismatches %llu -> %s\n",
                   report.legit.goodput(), opts.goodput_min,
                   (unsigned long long)report.legit.mismatched, ok ? "PASS" : "FAIL");
@@ -303,5 +355,16 @@ int main(int argc, char** argv) {
     // Baseline (defense off): a measurement, not a gate.
     return report.sent > 0 ? 0 : 1;
   }
-  return (report.dropped == 0 && report.mismatched == 0 && report.unexpected == 0) ? 0 : 1;
+  bool ok = report.dropped == 0 && report.mismatched == 0 && report.unexpected == 0;
+  if (flip_mode) {
+    // The live-reload gate: the flip must have been observed (the run
+    // lasted past --flip-after-ms and new answers arrived) and no lane
+    // may have seen a stale-serial answer after the new version.
+    const bool flip_ok = report.flip.new_answers > 0 && report.flip.stale_old == 0;
+    std::printf("flip gate: new_answers=%llu stale_old=%llu -> %s\n",
+                (unsigned long long)report.flip.new_answers,
+                (unsigned long long)report.flip.stale_old, flip_ok ? "PASS" : "FAIL");
+    ok = ok && flip_ok;
+  }
+  return ok ? 0 : 1;
 }

@@ -2,19 +2,33 @@
 //
 //   akadns-serve --synthetic 1000 --seed 42 --port 5300 --workers 4
 //   akadns-serve --zone example.zone --port 5300
+//   akadns-serve --secondary-of 127.0.0.1:5300 --track-apex ent0.example --port 5301
+//
+// All zone content flows through one propagation::ZonePublisher: the
+// synthetic corpus is adopted into it, --zone files are published
+// through it, SIGHUP re-reads and republishes them, and a secondary
+// pulls versions into it over AXFR/IXFR — the serve workers' replicas
+// subscribe once and absorb every path identically, without dropping
+// queries across a mid-run zone change.
 //
 // Serves until SIGTERM/SIGINT, then drains gracefully (stops accepting,
 // flushes in-flight work) and dumps final telemetry as JSON on stdout.
 // The --synthetic corpus is deterministic in (count, seed), which is what
 // lets akadns-loadgen rebuild the identical zones and verify responses
-// byte-for-byte without any side channel.
+// byte-for-byte without any side channel — including the deterministic
+// --flip-after-ms evolution (workload::evolved_zone).
 
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -22,15 +36,36 @@
 
 #include "common/drop_reason.hpp"
 #include "dns/name.hpp"
+#include "dns/wire.hpp"
 #include "net/server.hpp"
+#include "net/zone_sync.hpp"
+#include "propagation/transfer_service.hpp"
+#include "propagation/zone_publisher.hpp"
 #include "workload/zones.hpp"
 #include "zone/zone_parser.hpp"
 
 namespace {
 
 volatile std::sig_atomic_t g_stop_requested = 0;
+volatile std::sig_atomic_t g_reload_requested = 0;
 
 void handle_stop(int) { g_stop_requested = 1; }
+void handle_reload(int) { g_reload_requested = 1; }
+
+struct HostPort {
+  akadns::Ipv4Addr addr;
+  std::uint16_t port = 0;
+};
+
+bool parse_host_port(const std::string& text, HostPort& out) {
+  const auto colon = text.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= text.size()) return false;
+  const auto addr = akadns::Ipv4Addr::parse(text.substr(0, colon));
+  if (!addr) return false;
+  out.addr = *addr;
+  out.port = static_cast<std::uint16_t>(std::strtoul(text.c_str() + colon + 1, nullptr, 10));
+  return out.port != 0;
+}
 
 struct CliOptions {
   std::vector<std::string> zone_files;
@@ -46,20 +81,43 @@ struct CliOptions {
   std::uint64_t nxdomain_threshold = 0;  // 0 = keep the DefenseOptions default
   double nxdomain_penalty = 0.0;         // 0 = keep the DefenseOptions default
   std::vector<std::string> qod_drops;
+  // Propagation roles.
+  std::vector<std::string> notify_targets;  // host:port strings
+  std::string secondary_of;                 // host:port, empty = primary only
+  std::vector<std::string> track_apexes;
+  std::uint64_t refresh_ms = 5000;
+  // Live-reload drill: republish evolved synthetic zones mid-run.
+  std::uint64_t flip_after_ms = 0;
+  std::size_t flip_count = 1;
   bool help = false;
 };
 
 void print_usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
-      "  --zone FILE        load a master-format zone file (repeatable)\n"
+      "  --zone FILE        load a master-format zone file (repeatable);\n"
+      "                     SIGHUP re-reads and republishes every --zone file\n"
       "  --synthetic N      publish N deterministic synthetic zones\n"
       "  --seed S           seed for --synthetic (default 1)\n"
+      "                     --zone and --synthetic compose: files are published\n"
+      "                     on top of the corpus through one pipeline (a file\n"
+      "                     reusing a synthetic apex must carry a newer serial)\n"
       "  --addr A           bind address (default 127.0.0.1)\n"
       "  --port P           UDP+TCP port, 0 = ephemeral (default 5300)\n"
       "  --workers N        SO_REUSEPORT worker threads (default 4)\n"
       "  --batch N          datagrams per recvmmsg/sendmmsg (default 32)\n"
       "  --edns-max N       EDNS payload-size ceiling (default 1232)\n"
+      "  --notify H:P       send NOTIFY to this secondary on every publish\n"
+      "                     (repeatable)\n"
+      "  --secondary-of H:P pull zones from this primary (SOA refresh + IXFR,\n"
+      "                     AXFR fallback); NOTIFYs from it collapse the wait\n"
+      "  --track-apex NAME  zone apex the secondary bootstraps/tracks\n"
+      "                     (repeatable; default: whatever is already local)\n"
+      "  --refresh-ms T     secondary SOA probe cadence (default 5000)\n"
+      "  --flip-after-ms T  live-reload drill: after T ms republish the first\n"
+      "                     --flip-count synthetic zones, deterministically\n"
+      "                     evolved (serial+1, A records' last octet +1)\n"
+      "  --flip-count K     zones the drill flips (default 1)\n"
       "  --defense MODE     off|on: route queries through the filter chain +\n"
       "                     penalty queues ahead of the responder (default off)\n"
       "  --compute-qps Q    defense compute metering, answers/sec server-wide\n"
@@ -70,7 +128,8 @@ void print_usage(const char* argv0) {
       "                     the random-subdomain filter (default 200)\n"
       "  --nxdomain-penalty P  score added to random-subdomain probes of an armed\n"
       "                     zone; >= 200 discards them outright (default 150)\n"
-      "SIGTERM/SIGINT drains gracefully and dumps telemetry JSON.\n",
+      "SIGHUP republishes --zone files; SIGTERM/SIGINT drains gracefully and\n"
+      "dumps telemetry JSON.\n",
       argv0);
 }
 
@@ -119,6 +178,30 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       const char* v = need_value();
       if (!v) return false;
       opts.edns_max = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--notify") {
+      const char* v = need_value();
+      if (!v) return false;
+      opts.notify_targets.emplace_back(v);
+    } else if (arg == "--secondary-of") {
+      const char* v = need_value();
+      if (!v) return false;
+      opts.secondary_of = v;
+    } else if (arg == "--track-apex") {
+      const char* v = need_value();
+      if (!v) return false;
+      opts.track_apexes.emplace_back(v);
+    } else if (arg == "--refresh-ms") {
+      const char* v = need_value();
+      if (!v) return false;
+      opts.refresh_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--flip-after-ms") {
+      const char* v = need_value();
+      if (!v) return false;
+      opts.flip_after_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--flip-count") {
+      const char* v = need_value();
+      if (!v) return false;
+      opts.flip_count = std::strtoull(v, nullptr, 10);
     } else if (arg == "--defense") {
       const char* v = need_value();
       if (!v) return false;
@@ -154,27 +237,64 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
   return true;
 }
 
-bool load_zone_file(const std::string& path, akadns::zone::ZoneStore& store) {
+/// Parses and publishes one master file through the pipeline. Returns
+/// the published apex (for NOTIFY fanout), or nullopt on failure. An
+/// unchanged serial is reported but not fatal on the `reload` path —
+/// SIGHUP with an untouched file is a no-op, not a crash.
+std::optional<akadns::dns::DnsName> publish_zone_file(
+    const std::string& path, akadns::propagation::ZonePublisher& publisher, bool reload) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot open zone file: %s\n", path.c_str());
-    return false;
+    return std::nullopt;
   }
   std::ostringstream text;
   text << in.rdbuf();
   auto parsed = akadns::zone::parse_master_file(text.str(), {});
   if (!parsed) {
     std::fprintf(stderr, "parse error in %s: %s\n", path.c_str(), parsed.error().c_str());
-    return false;
+    return std::nullopt;
   }
   auto zone = std::move(parsed).take();
-  const std::string apex = zone.apex().to_string();
-  if (!store.publish(std::move(zone))) {
-    std::fprintf(stderr, "publish rejected (serial regression?): %s\n", path.c_str());
-    return false;
+  const std::string apex_text = zone.apex().to_string();
+  const akadns::dns::DnsName apex = zone.apex();
+  const std::uint32_t serial = zone.serial();
+  auto published = publisher.publish(std::move(zone));
+  if (!published) {
+    std::fprintf(stderr, "%s %s: %s\n", reload ? "reload skipped" : "publish rejected",
+                 path.c_str(), published.error().c_str());
+    return std::nullopt;
   }
-  std::fprintf(stderr, "published %s from %s\n", apex.c_str(), path.c_str());
-  return true;
+  std::fprintf(stderr, "published %s serial=%u from %s%s\n", apex_text.c_str(), serial,
+               path.c_str(), published.value()->incremental ? " (incremental)" : "");
+  return apex;
+}
+
+/// Fire-and-forget NOTIFY datagram (RFC 1996). The secondary's refresh
+/// loop is the reliability mechanism; the NOTIFY only shortens the wait.
+void send_notify(const HostPort& target, const akadns::dns::DnsName& apex,
+                 std::uint32_t serial, std::uint16_t id) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return;
+  sockaddr_storage dst{};
+  const socklen_t len = akadns::net::sockaddr_from_endpoint(
+      akadns::Endpoint{akadns::IpAddr(target.addr), target.port}, dst);
+  const auto wire =
+      akadns::dns::encode(akadns::propagation::TransferService::make_notify(apex, serial, id));
+  (void)::sendto(fd, wire.data(), wire.size(), MSG_NOSIGNAL,
+                 reinterpret_cast<const sockaddr*>(&dst), len);
+  ::close(fd);
+}
+
+void notify_all(const std::vector<HostPort>& targets,
+                akadns::propagation::ZonePublisher& publisher,
+                const akadns::dns::DnsName& apex, std::uint16_t& next_id) {
+  if (targets.empty()) return;
+  const auto compiled = publisher.snapshot(apex);
+  if (!compiled) return;
+  for (const auto& target : targets) {
+    send_notify(target, apex, compiled->source()->serial(), next_id++);
+  }
 }
 
 /// One defense stats object as JSON: scored/enqueued/released plus every
@@ -200,21 +320,25 @@ void print_defense_stats(const char* name, const akadns::defense::DefenseLaneSta
   std::printf("}}");
 }
 
-void dump_telemetry(const akadns::net::ServerStats& stats) {
+void dump_telemetry(const akadns::net::ServerStats& stats,
+                    const akadns::propagation::ZonePublisher& publisher,
+                    const akadns::net::SecondarySync* secondary) {
   const auto& f = stats.frontend;
   const auto& r = stats.responder;
   const auto& c = stats.answer_cache;
   std::printf("{\n");
   std::printf("  \"udp\": {\"packets\": %llu, \"responses\": %llu, \"malformed\": %llu,"
-              " \"send_failures\": %llu, \"batches\": %llu, \"drain_flushed\": %llu},\n",
+              " \"send_failures\": %llu, \"batches\": %llu, \"drain_flushed\": %llu,"
+              " \"notifies\": %llu},\n",
               (unsigned long long)f.udp_packets, (unsigned long long)f.udp_responses,
               (unsigned long long)f.udp_malformed, (unsigned long long)f.udp_send_failures,
-              (unsigned long long)f.udp_batches, (unsigned long long)f.drain_flushed);
+              (unsigned long long)f.udp_batches, (unsigned long long)f.drain_flushed,
+              (unsigned long long)f.udp_notifies);
   std::printf("  \"tcp\": {\"accepted\": %llu, \"rejected\": %llu, \"queries\": %llu,"
-              " \"responses\": %llu, \"protocol_errors\": %llu},\n",
+              " \"responses\": %llu, \"protocol_errors\": %llu, \"transfers\": %llu},\n",
               (unsigned long long)f.tcp_accepted, (unsigned long long)f.tcp_rejected,
               (unsigned long long)f.tcp_queries, (unsigned long long)f.tcp_responses,
-              (unsigned long long)f.tcp_protocol_errors);
+              (unsigned long long)f.tcp_protocol_errors, (unsigned long long)f.tcp_transfers);
   std::printf("  \"responder\": {\"responses\": %llu, \"noerror\": %llu, \"nxdomain\": %llu,"
               " \"refused\": %llu, \"formerr\": %llu, \"compiled\": %llu,"
               " \"cache_hits\": %llu, \"interpreted\": %llu},\n",
@@ -226,6 +350,44 @@ void dump_telemetry(const akadns::net::ServerStats& stats) {
               " \"evictions\": %llu},\n",
               (unsigned long long)c.hits, (unsigned long long)c.misses,
               (unsigned long long)c.insertions, (unsigned long long)c.evictions);
+
+  const auto pub = publisher.stats();
+  const auto journal = publisher.journal_stats();
+  std::printf("  \"propagation\": {\"published\": %llu, \"incremental\": %llu,"
+              " \"full\": %llu, \"rejected_serial\": %llu, \"soa_drift_fallbacks\": %llu,"
+              " \"chains_applied\": %llu, \"journal_appended\": %llu,"
+              " \"journal_resets\": %llu, \"chain_hits\": %llu, \"chain_misses\": %llu},\n",
+              (unsigned long long)pub.published, (unsigned long long)pub.incremental,
+              (unsigned long long)pub.full, (unsigned long long)pub.rejected_serial,
+              (unsigned long long)pub.soa_drift_fallbacks,
+              (unsigned long long)pub.chains_applied,
+              (unsigned long long)journal.appended, (unsigned long long)journal.resets,
+              (unsigned long long)journal.chain_hits, (unsigned long long)journal.chain_misses);
+  const auto& sync = stats.zone_sync;
+  std::printf("  \"zone_sync\": {\"updates\": %llu, \"adopted\": %llu, \"incremental\": %llu,"
+              " \"full\": %llu, \"noops\": %llu, \"wakes\": %llu,"
+              " \"max_latency_us\": %llu},\n",
+              (unsigned long long)sync.updates, (unsigned long long)sync.adopted,
+              (unsigned long long)sync.incremental, (unsigned long long)sync.full,
+              (unsigned long long)sync.noops, (unsigned long long)f.zone_update_wakes,
+              (unsigned long long)(sync.max_latency_ns / 1000));
+  const auto& xfr = stats.transfers;
+  std::printf("  \"transfers\": {\"axfr_served\": %llu, \"ixfr_incremental\": %llu,"
+              " \"ixfr_fallback\": %llu, \"up_to_date\": %llu, \"refused\": %llu},\n",
+              (unsigned long long)xfr.axfr_served, (unsigned long long)xfr.ixfr_incremental,
+              (unsigned long long)xfr.ixfr_fallback, (unsigned long long)xfr.up_to_date,
+              (unsigned long long)xfr.refused);
+  if (secondary) {
+    const auto sec = secondary->stats();
+    std::printf("  \"secondary\": {\"soa_checks\": %llu, \"up_to_date\": %llu,"
+                " \"ixfr_applied\": %llu, \"axfr_applied\": %llu, \"fallbacks\": %llu,"
+                " \"failures\": %llu, \"notify_kicks\": %llu},\n",
+                (unsigned long long)sec.soa_checks, (unsigned long long)sec.up_to_date,
+                (unsigned long long)sec.ixfr_applied, (unsigned long long)sec.axfr_applied,
+                (unsigned long long)sec.fallbacks, (unsigned long long)sec.failures,
+                (unsigned long long)sec.notify_kicks);
+  }
+
   std::printf("  \"per_worker_udp\": [");
   for (std::size_t i = 0; i < stats.per_worker_udp.size(); ++i) {
     std::printf("%s%llu", i ? ", " : "", (unsigned long long)stats.per_worker_udp[i]);
@@ -255,8 +417,8 @@ int main(int argc, char** argv) {
     print_usage(argv[0]);
     return 0;
   }
-  if (opts.zone_files.empty() && opts.synthetic_zones == 0) {
-    std::fprintf(stderr, "no zones: pass --zone FILE or --synthetic N\n");
+  if (opts.zone_files.empty() && opts.synthetic_zones == 0 && opts.secondary_of.empty()) {
+    std::fprintf(stderr, "no zones: pass --zone FILE, --synthetic N, or --secondary-of H:P\n");
     print_usage(argv[0]);
     return 2;
   }
@@ -266,24 +428,57 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bad --addr: %s\n", opts.addr.c_str());
     return 2;
   }
+  std::vector<HostPort> notify_targets;
+  for (const auto& text : opts.notify_targets) {
+    HostPort target;
+    if (!parse_host_port(text, target)) {
+      std::fprintf(stderr, "bad --notify target: %s\n", text.c_str());
+      return 2;
+    }
+    notify_targets.push_back(target);
+  }
 
-  // Zone content. The HostedZones object owns the store for the
-  // synthetic case, so it must outlive the server.
+  // One pipeline for all zone content. The synthetic corpus is adopted
+  // (compiled snapshots shared, no recompile); --zone files and every
+  // later change (SIGHUP, secondary transfers, flip drill) publish
+  // through it, and the serve workers' replicas subscribe to it.
+  akadns::MonotonicClock clock;
+  akadns::propagation::ZonePublisher publisher(clock);
   std::unique_ptr<akadns::workload::HostedZones> synthetic;
-  akadns::zone::ZoneStore file_store;
-  const akadns::zone::ZoneStore* store = &file_store;
   if (opts.synthetic_zones > 0) {
     akadns::workload::HostedZonesConfig zc;
     zc.zone_count = opts.synthetic_zones;
     synthetic = std::make_unique<akadns::workload::HostedZones>(zc, opts.seed);
-    store = &synthetic->store();
+    publisher.adopt(synthetic->store());
     std::fprintf(stderr, "published %zu synthetic zones (seed %llu)\n",
                  opts.synthetic_zones, (unsigned long long)opts.seed);
   }
   for (const auto& path : opts.zone_files) {
-    if (!load_zone_file(path, opts.synthetic_zones > 0 ? synthetic->store() : file_store)) {
-      return 1;
+    if (!publish_zone_file(path, publisher, /*reload=*/false)) return 1;
+  }
+
+  // Secondary role: pull zones from a primary into the same publisher.
+  std::unique_ptr<akadns::net::SecondarySync> secondary;
+  if (!opts.secondary_of.empty()) {
+    HostPort primary;
+    if (!parse_host_port(opts.secondary_of, primary)) {
+      std::fprintf(stderr, "bad --secondary-of target: %s\n", opts.secondary_of.c_str());
+      return 2;
     }
+    akadns::net::SecondaryConfig sc;
+    sc.primary_addr = primary.addr;
+    sc.primary_port = primary.port;
+    sc.refresh_interval = akadns::Duration::millis(
+        static_cast<std::int64_t>(std::max<std::uint64_t>(1, opts.refresh_ms)));
+    for (const auto& text : opts.track_apexes) {
+      auto apex = akadns::dns::DnsName::parse(text);
+      if (!apex) {
+        std::fprintf(stderr, "bad --track-apex name: %s\n", text.c_str());
+        return 2;
+      }
+      sc.apexes.push_back(std::move(*apex));
+    }
+    secondary = std::make_unique<akadns::net::SecondarySync>(std::move(sc), publisher);
   }
 
   akadns::net::ServeConfig config;
@@ -304,32 +499,75 @@ int main(int argc, char** argv) {
     }
     config.defense.qod_rules.push_back(std::move(*name));
   }
+  if (secondary) {
+    config.on_notify = [sync = secondary.get()](const akadns::dns::DnsName&) {
+      sync->notify_kick();
+    };
+  }
 
-  akadns::net::Server server(config, *store);
+  akadns::net::Server server(config, publisher);
   auto started = server.start();
   if (!started) {
     std::fprintf(stderr, "start failed: %s\n", started.error().c_str());
     return 1;
   }
+  if (secondary) secondary->start();
 
   // Machine-scrapable readiness line (tests and the CI smoke parse it).
   std::printf(
       "akadns-serve ready addr=%s udp_port=%u tcp_port=%u workers=%zu zones=%zu defense=%s\n",
       opts.addr.c_str(), server.udp_port(), server.tcp_port(), opts.workers,
-      store->zone_count(), opts.defense ? "on" : "off");
+      publisher.zone_count(), opts.defense ? "on" : "off");
   std::fflush(stdout);
+
+  std::uint16_t notify_id = 1;
+  for (const auto& apex : publisher.apexes()) {
+    notify_all(notify_targets, publisher, apex, notify_id);
+  }
 
   struct sigaction sa {};
   sa.sa_handler = handle_stop;
   ::sigaction(SIGTERM, &sa, nullptr);
   ::sigaction(SIGINT, &sa, nullptr);
+  struct sigaction hup {};
+  hup.sa_handler = handle_reload;
+  ::sigaction(SIGHUP, &hup, nullptr);
 
+  const auto start_time = std::chrono::steady_clock::now();
+  bool flipped = false;
   while (!g_stop_requested) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (g_reload_requested) {
+      g_reload_requested = 0;
+      for (const auto& path : opts.zone_files) {
+        if (const auto apex = publish_zone_file(path, publisher, /*reload=*/true)) {
+          notify_all(notify_targets, publisher, *apex, notify_id);
+        }
+      }
+    }
+    if (!flipped && opts.flip_after_ms > 0 && synthetic &&
+        std::chrono::steady_clock::now() - start_time >=
+            std::chrono::milliseconds(opts.flip_after_ms)) {
+      flipped = true;
+      const std::size_t count = std::min(opts.flip_count, synthetic->zone_count());
+      for (std::size_t rank = 0; rank < count; ++rank) {
+        auto evolved = synthetic->evolved(rank, 1);
+        const auto apex = evolved.apex();
+        auto published = publisher.publish(std::move(evolved));
+        if (!published) {
+          std::fprintf(stderr, "flip rejected for %s: %s\n", apex.to_string().c_str(),
+                       published.error().c_str());
+          continue;
+        }
+        notify_all(notify_targets, publisher, apex, notify_id);
+      }
+      std::fprintf(stderr, "flipped %zu zones\n", count);
+    }
   }
 
   std::fprintf(stderr, "draining...\n");
+  if (secondary) secondary->stop();
   server.stop();
-  dump_telemetry(server.stats());
+  dump_telemetry(server.stats(), publisher, secondary.get());
   return 0;
 }

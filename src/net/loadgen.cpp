@@ -28,6 +28,7 @@ struct SocketLane {
   LoadgenConfig config;
   const std::vector<workload::ReplayEntry>* corpus = nullptr;
   const std::vector<std::vector<std::uint8_t>>* expected = nullptr;
+  const std::vector<std::vector<std::uint8_t>>* expected_v2 = nullptr;
   std::uint64_t quota = 0;
   std::size_t corpus_offset = 0;
   Clock::time_point epoch;
@@ -38,6 +39,8 @@ struct SocketLane {
   ClassCounters attack;
   std::uint64_t unexpected = 0;
   LogHistogram latency_ns;
+  FlipStats flip;
+  bool saw_new = false;  // this lane's worker has served a v2-only answer
   std::string error;
 
   struct Outstanding {
@@ -121,10 +124,35 @@ struct SocketLane {
           latency_ns.add(static_cast<double>(t - slot.send_ns));
           if (expected && !expected->empty()) {
             // Expected wires carry id 0; compare everything after it.
-            const auto& want = (*expected)[slot.corpus_idx];
-            if (len != want.size() ||
-                std::memcmp(buf.data() + 2, want.data() + 2, len - 2) != 0) {
+            const auto matches = [&](const std::vector<std::uint8_t>& want) {
+              return len == want.size() &&
+                     std::memcmp(buf.data() + 2, want.data() + 2, len - 2) == 0;
+            };
+            const bool m1 = matches((*expected)[slot.corpus_idx]);
+            const bool m2 = expected_v2 && matches((*expected_v2)[slot.corpus_idx]);
+            if (!m1 && !m2) {
               ++cls.mismatched;
+            } else if (expected_v2) {
+              // Version bookkeeping. m1 && m2 means the entry's answer is
+              // byte-identical across versions (no changed record in it):
+              // version-agnostic, counted with whichever era the lane is
+              // in, never stale. A v1-only match after this lane has seen
+              // v2 is the server answering from a stale-serial snapshot.
+              if (m2 && !m1) {
+                if (!saw_new) {
+                  saw_new = true;
+                  flip.first_new_ns = t;
+                }
+                ++flip.new_answers;
+              } else if (saw_new) {
+                if (m2) {
+                  ++flip.new_answers;
+                } else {
+                  ++flip.stale_old;
+                }
+              } else {
+                ++flip.old_answers;
+              }
             }
           }
         }
@@ -242,8 +270,12 @@ std::vector<std::vector<std::uint8_t>> expected_responses(
 }
 
 Loadgen::Loadgen(LoadgenConfig config, const workload::ReplayCorpus& corpus,
-                 std::vector<std::vector<std::uint8_t>> expected)
-    : config_(config), corpus_(corpus), expected_(std::move(expected)) {}
+                 std::vector<std::vector<std::uint8_t>> expected,
+                 std::vector<std::vector<std::uint8_t>> expected_v2)
+    : config_(config),
+      corpus_(corpus),
+      expected_(std::move(expected)),
+      expected_v2_(std::move(expected_v2)) {}
 
 LoadgenReport Loadgen::run() {
   const std::size_t lanes_n = std::max<std::size_t>(1, config_.sockets);
@@ -256,6 +288,7 @@ LoadgenReport Loadgen::run() {
     lanes[i].config.window = std::min<std::size_t>(config_.window, 32768);
     lanes[i].corpus = &corpus_.entries();
     lanes[i].expected = expected_.empty() ? nullptr : &expected_;
+    lanes[i].expected_v2 = expected_v2_.empty() ? nullptr : &expected_v2_;
     lanes[i].quota = per_lane + (i < remainder ? 1 : 0);
     // Stagger starting offsets so lanes do not replay the corpus in
     // lockstep (better cache/zone mix at the server).
@@ -276,6 +309,7 @@ LoadgenReport Loadgen::run() {
     report.attack.merge(lane.attack);
     report.unexpected += lane.unexpected;
     report.latency_ns.merge(lane.latency_ns);
+    report.flip.merge(lane.flip);
   }
   report.sent = report.legit.sent + report.attack.sent;
   report.received = report.legit.received + report.attack.received;

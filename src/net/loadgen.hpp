@@ -70,6 +70,33 @@ struct ClassCounters {
   }
 };
 
+/// Version accounting for live-reload runs (expected_v2 supplied). Every
+/// received response is byte-matched against both the pre-flip (v1) and
+/// post-flip (v2) expected tables. Because one connected UDP socket is
+/// one SO_REUSEPORT flow, each lane observes a single worker's replica —
+/// so per lane the served version is monotone, and a v1 answer arriving
+/// *after* that lane saw v2 is a genuine stale-serial answer, not
+/// reordering. Entries whose bytes are identical in both versions (e.g.
+/// REFUSED responses carrying no records) are version-agnostic and never
+/// counted stale.
+struct FlipStats {
+  std::uint64_t old_answers = 0;  // matched v1 before the lane saw v2
+  std::uint64_t new_answers = 0;  // matched v2 (or either, post-flip)
+  std::uint64_t stale_old = 0;    // matched ONLY v1 after the lane saw v2
+  /// Nanoseconds from run start to the first v2-only match across all
+  /// lanes; -1 when no lane observed the new version.
+  std::int64_t first_new_ns = -1;
+
+  void merge(const FlipStats& o) noexcept {
+    old_answers += o.old_answers;
+    new_answers += o.new_answers;
+    stale_old += o.stale_old;
+    if (o.first_new_ns >= 0 && (first_new_ns < 0 || o.first_new_ns < first_new_ns)) {
+      first_new_ns = o.first_new_ns;
+    }
+  }
+};
+
 struct LoadgenReport {
   std::uint64_t sent = 0;
   std::uint64_t received = 0;
@@ -84,6 +111,8 @@ struct LoadgenReport {
   /// The same counters split by traffic class.
   ClassCounters legit;
   ClassCounters attack;
+  /// Live-reload version accounting (all zero / -1 without expected_v2).
+  FlipStats flip;
 };
 
 /// Runs the sim Responder over every corpus entry and returns the
@@ -96,9 +125,13 @@ std::vector<std::vector<std::uint8_t>> expected_responses(
 class Loadgen {
  public:
   /// `expected` may be empty (no verification). When non-empty it must
-  /// be index-aligned with the corpus.
+  /// be index-aligned with the corpus. `expected_v2` (optional, same
+  /// alignment) is the post-flip expected table for live-reload runs:
+  /// responses matching it count as new-version answers and the report's
+  /// FlipStats become meaningful.
   Loadgen(LoadgenConfig config, const workload::ReplayCorpus& corpus,
-          std::vector<std::vector<std::uint8_t>> expected = {});
+          std::vector<std::vector<std::uint8_t>> expected = {},
+          std::vector<std::vector<std::uint8_t>> expected_v2 = {});
 
   /// Blocks until every query is sent and answered (or timed out).
   LoadgenReport run();
@@ -107,6 +140,7 @@ class Loadgen {
   LoadgenConfig config_;
   const workload::ReplayCorpus& corpus_;
   std::vector<std::vector<std::uint8_t>> expected_;
+  std::vector<std::vector<std::uint8_t>> expected_v2_;
 };
 
 }  // namespace akadns::net

@@ -136,10 +136,17 @@ defense::DefenseConfig worker_engine_config(const ServeConfig& cfg) {
 }  // namespace
 
 struct Server::Worker {
-  Worker(const ServeConfig& cfg, const zone::ZoneStore& store, Clock::time_point epoch_tp)
+  Worker(const ServeConfig& cfg, propagation::ZonePublisher& pub, Clock::time_point epoch_tp)
       : config(cfg),
-        responder(store, cfg.responder),
+        publisher(pub),
+        responder(replica, cfg.responder),
         batch(cfg.udp_batch),
+        sync(replica),
+        xfr(replica,
+            [p = &pub](const dns::DnsName& apex, std::uint32_t from, std::uint32_t to) {
+              return p->chain(apex, from, to);
+            },
+            cfg.transfer),
         epoch(epoch_tp),
         clock(epoch_tp),
         pool(std::make_unique<BufferPool>()),
@@ -156,7 +163,7 @@ struct Server::Worker {
       nx.nxdomain_threshold = std::max<std::uint64_t>(
           1, cfg.defense.nxdomain_threshold /
                  static_cast<std::uint64_t>(std::max<std::size_t>(1, cfg.workers)));
-      engine.install_filter(defense::nxdomain_factory(nx, defense::zone_store_hooks(store)));
+      engine.install_filter(defense::nxdomain_factory(nx, defense::zone_store_hooks(replica)));
       if (cfg.defense.hopcount) engine.install_filter(defense::hopcount_factory());
     }
     for (const auto& name : cfg.defense.qod_rules) {
@@ -166,11 +173,23 @@ struct Server::Worker {
   }
 
   const ServeConfig& config;
+  propagation::ZonePublisher& publisher;
+  /// This worker's private zone view. All reads (responder, NXDOMAIN
+  /// filter hooks, transfer service) go through it; writes arrive only
+  /// via sync.poll() on this worker's own thread, so a mid-run zone flip
+  /// is just a shared_ptr swap between two of its queries. Declared
+  /// before every member holding a reference to it.
+  zone::ZoneStore replica;
   server::Responder responder;
   UdpBatch batch;
   UdpSocket udp;
   TcpListener listener;
   FdHandle stop_event;
+  /// Written by the publisher's fanout (any thread), read by this
+  /// worker's epoll loop: the zone-update doorbell.
+  FdHandle update_event;
+  propagation::ZoneSubscriber sync;
+  propagation::TransferService xfr;
   FrontendStats stats;
   Clock::time_point epoch;
 
@@ -199,6 +218,11 @@ struct Server::Worker {
     return SimTime::from_nanos(
         std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch).count());
   }
+
+  /// Absorbs every queued zone update into the replica (worker thread
+  /// only). `now` on the publisher's clock axis keeps the propagation
+  /// latency telemetry coherent across workers.
+  void poll_zone_updates() { sync.poll(publisher.clock().now()); }
 
   void run();
   bool drain_udp(bool draining);
@@ -237,6 +261,21 @@ bool Server::Worker::drain_udp(bool draining) {
         ++stats.udp_malformed;
         continue;
       }
+      // NOTIFY (RFC 1996): a primary telling us a zone moved. Ack it and
+      // kick the refresh path — never the responder (it is not a query).
+      if (view.value().header.opcode == dns::Opcode::Notify) {
+        auto notify = dns::decode(wire);
+        if (!notify || !propagation::TransferService::is_notify(notify.value())) {
+          ++stats.udp_malformed;
+          continue;
+        }
+        ++stats.udp_notifies;
+        batch.response(static_cast<std::size_t>(i)) =
+            dns::encode(propagation::TransferService::make_notify_ack(notify.value()));
+        ++want;
+        if (config.on_notify) config.on_notify(notify.value().question().name);
+        continue;
+      }
       // Query-of-death firewall ahead of everything else (§4.2.4):
       // matching queries are dropped before they reach the responder, on
       // the fast path and the defense path alike. Counted as a Firewall
@@ -268,6 +307,16 @@ bool Server::Worker::drain_udp(bool draining) {
       const std::size_t sent = batch.send(fd);
       stats.udp_responses += sent;
       stats.udp_send_failures += want - sent;
+    }
+    // Under sustained load this loop can monopolize the thread (full
+    // batches keep arriving), never returning to epoll_wait — which
+    // would starve the zone-update doorbell and pin the replica at the
+    // old version until traffic pauses. Probing the subscription here
+    // (one relaxed atomic load) bounds publish-to-visible latency to a
+    // single batch even at saturation.
+    if (sync.has_pending()) {
+      ++stats.zone_update_wakes;
+      poll_zone_updates();
     }
     if (static_cast<std::size_t>(n) < batch.capacity()) break;  // socket empty
   }
@@ -338,6 +387,29 @@ void Server::Worker::process_frames(Conn& conn) {
       conn.closing = true;
       conn.decoder = FrameDecoder(0);  // stop consuming further frames
       break;
+    }
+    // Zone transfers (AXFR/IXFR) answer from the replica + the
+    // publisher's journal; they need the full message (IXFR carries the
+    // client's SOA in the authority section), so this path pays for a
+    // complete decode — transfers are rare control-plane traffic.
+    const dns::RecordType qtype = view.value().question.qtype;
+    if (qtype == dns::RecordType::AXFR || qtype == dns::RecordType::IXFR) {
+      auto query = dns::decode(*frame);
+      if (!query) {
+        ++stats.tcp_protocol_errors;
+        conn.closing = true;
+        conn.decoder = FrameDecoder(0);
+        break;
+      }
+      ++stats.tcp_transfers;
+      for (const auto& response : xfr.serve(query.value())) {
+        const auto bytes = dns::encode(response, {.max_size = dns::kMaxMessageSize});
+        const auto prefix = frame_prefix(bytes.size());
+        conn.out.insert(conn.out.end(), prefix.begin(), prefix.end());
+        conn.out.insert(conn.out.end(), bytes.begin(), bytes.end());
+        ++stats.tcp_responses;
+      }
+      continue;
     }
     // TCP responses are never truncated and never touch the UDP-keyed
     // answer cache: the full message limit is the transport ceiling.
@@ -437,6 +509,7 @@ void Server::Worker::run() {
   add(udp.fd());
   add(listener.fd());
   add(stop_event.get());
+  add(update_event.get());
 
   bool draining = false;
   Clock::time_point drain_deadline{};
@@ -469,11 +542,18 @@ void Server::Worker::run() {
                                             config.drain_timeout.count_nanos());
         // Stop accepting: no new connections, and after one final sweep
         // of already-queued datagrams (answering whatever the defense
-        // queues still hold), no new UDP either.
+        // queues still hold), no new UDP either. Queued zone updates are
+        // absorbed first so the sweep answers from the newest version.
         listener.close();
+        if (sync.has_pending()) poll_zone_updates();
         drain_udp(/*draining=*/true);
         if (queue_path) drain_backlog();
         udp.close();
+      } else if (fd == update_event.get()) {
+        std::uint64_t v = 0;
+        [[maybe_unused]] const ssize_t r = ::read(update_event.get(), &v, sizeof(v));
+        ++stats.zone_update_wakes;
+        poll_zone_updates();
       } else if (udp.fd() >= 0 && fd == udp.fd()) {
         drain_udp(draining);
       } else if (listener.fd() >= 0 && fd == listener.fd()) {
@@ -492,8 +572,18 @@ void Server::Worker::run() {
   conns.clear();
 }
 
+Server::Server(ServeConfig config, propagation::ZonePublisher& publisher)
+    : config_(std::move(config)), publisher_(publisher) {}
+
 Server::Server(ServeConfig config, const zone::ZoneStore& store)
-    : config_(config), store_(store) {}
+    : config_(std::move(config)),
+      owned_clock_(std::make_unique<MonotonicClock>()),
+      owned_publisher_(std::make_unique<propagation::ZonePublisher>(*owned_clock_)),
+      publisher_(*owned_publisher_) {
+  // Share the store's compiled snapshots (no recompilation, no journal);
+  // the workers seed their replicas from the publisher at start().
+  publisher_.adopt(store);
+}
 
 Server::~Server() { stop(); }
 
@@ -503,10 +593,16 @@ Result<bool> Server::start() {
 
   workers_.clear();
   // One shared epoch: every worker's MonotonicClock (and SimTime view)
-  // reads the same axis, so merged defense telemetry is coherent.
-  const auto epoch = Clock::now();
+  // reads the same axis, so merged defense telemetry is coherent. When
+  // the publisher itself runs on CLOCK_MONOTONIC, adopt *its* epoch so
+  // propagation latency (publish -> replica applied) is measured on the
+  // same axis too.
+  auto epoch = Clock::now();
+  if (const auto* mono = dynamic_cast<const MonotonicClock*>(&publisher_.clock())) {
+    epoch = mono->epoch();
+  }
   for (std::size_t i = 0; i < config_.workers; ++i) {
-    workers_.push_back(std::make_unique<Worker>(config_, store_, epoch));
+    workers_.push_back(std::make_unique<Worker>(config_, publisher_, epoch));
   }
 
   // Worker 0 resolves the (possibly ephemeral) ports; the rest join its
@@ -537,6 +633,18 @@ Result<bool> Server::start() {
     const int efd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
     if (efd < 0) return Error{errno_message("eventfd")};
     workers_[i]->stop_event = FdHandle(efd);
+
+    const int ufd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (ufd < 0) return Error{errno_message("eventfd")};
+    workers_[i]->update_event = FdHandle(ufd);
+    // Subscribe-then-seed (attach does both, in that order) before the
+    // thread starts: no zone version can fall between the replica's seed
+    // and its first drained update, and publishes racing start() are
+    // simply queued until the worker's first epoll wakeup.
+    workers_[i]->sync.attach(publisher_, [ufd] {
+      const std::uint64_t one = 1;
+      [[maybe_unused]] const ssize_t r = ::write(ufd, &one, sizeof(one));
+    });
   }
   udp_port_ = udp_port;
   tcp_port_ = tcp_port;
@@ -575,6 +683,18 @@ ServerStats Server::stats() const {
     const auto defense = worker->engine.stats();
     merged.defense.merge(defense);
     merged.per_worker_defense.push_back(defense);
+    merged.zone_sync.merge(worker->sync.stats());
+    const auto& xfr = worker->xfr.stats();
+    merged.transfers.axfr_served += xfr.axfr_served;
+    merged.transfers.ixfr_incremental += xfr.ixfr_incremental;
+    merged.transfers.ixfr_fallback += xfr.ixfr_fallback;
+    merged.transfers.up_to_date += xfr.up_to_date;
+    merged.transfers.refused += xfr.refused;
+    const auto& compiles = worker->replica.compile_stats();
+    merged.replica_compiles.compiles += compiles.compiles;
+    merged.replica_compiles.incremental_compiles += compiles.incremental_compiles;
+    merged.replica_compiles.adopted += compiles.adopted;
+    merged.replica_compiles.total_micros += compiles.total_micros;
   }
   if (!workers_.empty()) {
     merged.firewall_rules = workers_.front()->engine.firewall().rules().size();

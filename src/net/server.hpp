@@ -33,6 +33,9 @@
 #include "common/sim_time.hpp"
 #include "defense/defense_engine.hpp"
 #include "net/socket.hpp"
+#include "propagation/transfer_service.hpp"
+#include "propagation/zone_publisher.hpp"
+#include "propagation/zone_subscriber.hpp"
 #include "server/responder.hpp"
 #include "zone/zone_store.hpp"
 
@@ -89,6 +92,13 @@ struct ServeConfig {
   Duration drain_timeout = Duration::seconds(5);
   server::ResponderConfig responder{};
   DefenseOptions defense{};
+  /// Invoked (from a worker thread — must be thread-safe and cheap) when
+  /// a NOTIFY arrives over UDP for `apex`. The worker has already queued
+  /// the acknowledgment; the callback's job is to kick a refresh check
+  /// (SecondarySync::notify_kick) or record the event.
+  std::function<void(const dns::DnsName& apex)> on_notify;
+  /// Zone-transfer (AXFR/IXFR) response shaping for the TCP path.
+  propagation::TransferConfig transfer{};
 };
 
 /// Frontend I/O counters, per worker and merged. (Responder/cache
@@ -105,6 +115,9 @@ struct FrontendStats {
   std::uint64_t tcp_responses = 0;
   std::uint64_t tcp_protocol_errors = 0;  // framing violations / bad frames
   std::uint64_t drain_flushed = 0;   // UDP datagrams answered during drain
+  std::uint64_t udp_notifies = 0;    // NOTIFY messages acknowledged
+  std::uint64_t tcp_transfers = 0;   // AXFR/IXFR queries answered
+  std::uint64_t zone_update_wakes = 0;  // update-eventfd wakeups taken
 
   void merge(const FrontendStats& o) noexcept {
     udp_packets += o.udp_packets;
@@ -118,6 +131,9 @@ struct FrontendStats {
     tcp_responses += o.tcp_responses;
     tcp_protocol_errors += o.tcp_protocol_errors;
     drain_flushed += o.drain_flushed;
+    udp_notifies += o.udp_notifies;
+    tcp_transfers += o.tcp_transfers;
+    zone_update_wakes += o.zone_update_wakes;
   }
 };
 
@@ -138,13 +154,27 @@ struct ServerStats {
   /// Query-of-death firewall rules live at shutdown (per worker the
   /// tables are identical by construction; worker 0 reported).
   std::size_t firewall_rules = 0;
+  /// Propagation: how worker replicas absorbed published zone versions
+  /// (merged across workers), transfer-service counters (TCP AXFR/IXFR),
+  /// and the replicas' compile accounting.
+  propagation::ZoneSyncStats zone_sync;
+  propagation::TransferStats transfers;
+  zone::CompileStats replica_compiles;
 };
 
 class Server {
  public:
-  /// The store must outlive the server and must not be mutated while
-  /// workers run (publish before start(), exactly like the sim publishes
-  /// before pumping queries).
+  /// Live-reload mode: every worker owns a replica ZoneStore attached to
+  /// `publisher` — zones published (or IXFR chains applied) while the
+  /// server runs propagate to the workers without dropping queries. The
+  /// publisher must outlive the server; publish()/apply_chain() are safe
+  /// from any thread.
+  Server(ServeConfig config, propagation::ZonePublisher& publisher);
+
+  /// Static-content mode: snapshots `store` into an internal publisher at
+  /// construction (compiled snapshots are shared, not recompiled). Later
+  /// mutations of `store` are NOT observed — publish before constructing,
+  /// exactly like the sim publishes before pumping queries.
   Server(ServeConfig config, const zone::ZoneStore& store);
   ~Server();
 
@@ -167,11 +197,19 @@ class Server {
   /// counters while running.
   ServerStats stats() const;
 
+  /// The propagation pipeline the workers subscribe to. In static mode
+  /// this is the internal publisher seeded from the constructor's store.
+  propagation::ZonePublisher& publisher() noexcept { return publisher_; }
+
  private:
   struct Worker;
 
   ServeConfig config_;
-  const zone::ZoneStore& store_;
+  /// Static-mode plumbing: an owned clock + publisher seeded from the
+  /// constructor's store (null in live-reload mode).
+  std::unique_ptr<MonotonicClock> owned_clock_;
+  std::unique_ptr<propagation::ZonePublisher> owned_publisher_;
+  propagation::ZonePublisher& publisher_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
   std::atomic<bool> running_{false};

@@ -1,0 +1,296 @@
+#include "net/zone_sync.hpp"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "dns/wire.hpp"
+#include "net/tcp_framing.hpp"
+#include "propagation/transfer_service.hpp"
+
+namespace akadns::net {
+
+namespace {
+
+using dns::Message;
+using dns::RecordType;
+using dns::ResourceRecord;
+using dns::SoaRecord;
+using propagation::TransferService;
+
+void set_io_timeout(int fd, Duration timeout) noexcept {
+  timeval tv{};
+  const std::int64_t nanos = timeout.count_nanos();
+  tv.tv_sec = static_cast<time_t>(nanos / 1'000'000'000);
+  tv.tv_usec = static_cast<suseconds_t>((nanos % 1'000'000'000) / 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Whether a partial response stream already forms a complete transfer
+/// answer. Everything the server sends is SOA-delimited: a single SOA at
+/// or below the client's serial is "up to date"; any body (AXFR or IXFR)
+/// opens with the new SOA and closes with a record of the same serial.
+/// A single leading SOA *above* the client serial is a body whose
+/// remainder is still in flight, never a complete answer.
+bool stream_complete(const std::vector<Message>& stream, std::uint32_t client_serial) {
+  if (stream.empty()) return false;
+  if (stream.front().header.rcode != dns::Rcode::NoError) return true;
+  std::size_t total = 0;
+  const ResourceRecord* first = nullptr;
+  const ResourceRecord* last = nullptr;
+  for (const Message& message : stream) {
+    for (const ResourceRecord& rr : message.answers) {
+      if (first == nullptr) first = &rr;
+      last = &rr;
+      ++total;
+    }
+  }
+  if (total == 0 || first->type() != RecordType::SOA) return false;
+  const std::uint32_t opening = std::get<SoaRecord>(first->rdata).serial;
+  if (total == 1) return opening <= client_serial;
+  return last->type() == RecordType::SOA &&
+         std::get<SoaRecord>(last->rdata).serial == opening;
+}
+
+}  // namespace
+
+void SecondarySync::start() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+void SecondarySync::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+void SecondarySync::notify_kick() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    kicked_ = true;
+  }
+  wake_.notify_all();
+}
+
+void SecondarySync::run() {
+  while (true) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_requested_) return;
+    }
+    sync_once();
+    std::unique_lock<std::mutex> lock(mutex_);
+    wake_.wait_for(lock, std::chrono::nanoseconds(config_.refresh_interval.count_nanos()),
+                   [this] { return stop_requested_ || kicked_; });
+    if (stop_requested_) return;
+    if (kicked_) {
+      kicked_ = false;
+      ++stats_.notify_kicks;
+    }
+  }
+}
+
+std::vector<dns::DnsName> SecondarySync::tracked_apexes() const {
+  return config_.apexes.empty() ? publisher_.apexes() : config_.apexes;
+}
+
+std::size_t SecondarySync::sync_once() {
+  std::size_t changed = 0;
+  for (const dns::DnsName& apex : tracked_apexes()) {
+    const zone::CompiledZonePtr held = publisher_.snapshot(apex);
+    const bool have_zone = held != nullptr;
+    const std::uint32_t local_serial = have_zone ? held->source()->serial() : 0;
+
+    const auto remote = probe_serial(apex);
+    if (!remote) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.failures;
+      continue;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.soa_checks;
+    }
+    if (have_zone && remote.value() <= local_serial) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.up_to_date;
+      continue;
+    }
+
+    const auto applied = transfer(apex, local_serial, have_zone);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!applied) {
+      ++stats_.failures;
+    } else if (applied.value()) {
+      ++changed;
+    } else {
+      ++stats_.up_to_date;
+    }
+  }
+  return changed;
+}
+
+Result<std::uint32_t> SecondarySync::probe_serial(const dns::DnsName& apex) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Error{errno_message("socket")};
+  const FdHandle handle(fd);
+  set_io_timeout(fd, config_.io_timeout);
+  sockaddr_storage primary{};
+  const socklen_t len = sockaddr_from_endpoint(
+      Endpoint{IpAddr(config_.primary_addr), config_.primary_port}, primary);
+  // connect() scopes recv() to the primary — stray datagrams from other
+  // sources never reach the decoder.
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&primary), len) != 0) {
+    return Error{errno_message("connect")};
+  }
+
+  std::uint16_t id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    id = next_id_++;
+    if (next_id_ == 0) next_id_ = 1;
+  }
+  const auto wire = dns::encode(TransferService::make_soa_query(apex, id));
+  if (::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL) < 0) {
+    return Error{errno_message("send")};
+  }
+
+  std::vector<std::uint8_t> buffer(64 * 1024);
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Error{errno_message("recv")};
+    }
+    auto response = dns::decode({buffer.data(), static_cast<std::size_t>(n)});
+    if (!response) continue;                        // junk datagram
+    if (response.value().header.id != id) continue; // stale reply
+    if (response.value().header.rcode != dns::Rcode::NoError) {
+      return Error{"SOA probe refused for " + apex.to_string()};
+    }
+    for (const ResourceRecord& rr : response.value().answers) {
+      if (rr.type() == RecordType::SOA) return std::get<SoaRecord>(rr.rdata).serial;
+    }
+    return Error{"SOA probe reply carried no SOA for " + apex.to_string()};
+  }
+}
+
+Result<bool> SecondarySync::transfer(const dns::DnsName& apex, std::uint32_t have_serial,
+                                     bool have_zone) {
+  std::uint16_t id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    id = next_id_++;
+    if (next_id_ == 0) next_id_ = 1;
+  }
+  const std::uint32_t client_serial = have_zone ? have_serial : 0;
+  const Message query = have_zone ? TransferService::make_ixfr_query(apex, have_serial, id)
+                                  : TransferService::make_axfr_query(apex, id);
+  auto stream = exchange(query, client_serial);
+  if (!stream) return Error{std::move(stream).error()};
+  auto payload = TransferService::parse_transfer_response(stream.value(), client_serial);
+  if (!payload) return Error{std::move(payload).error()};
+
+  if (payload.value().up_to_date) return false;
+
+  if (!payload.value().deltas.empty()) {
+    auto applied = publisher_.apply_chain(payload.value().deltas);
+    if (applied) {
+      if (applied.value() == nullptr) return false;  // raced: already current
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.ixfr_applied;
+      return true;
+    }
+    // The journal offered a chain our local history cannot absorb (e.g.
+    // the replica moved underneath us): refetch the whole zone.
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.fallbacks;
+    }
+    auto full_stream = exchange(TransferService::make_axfr_query(apex, id), 0);
+    if (!full_stream) return Error{std::move(full_stream).error()};
+    payload = TransferService::parse_transfer_response(full_stream.value(), 0);
+    if (!payload) return Error{std::move(payload).error()};
+  }
+
+  if (!payload.value().full) return Error{"transfer for " + apex.to_string() + " had no body"};
+  auto published = publisher_.publish(std::move(*payload.value().full));
+  if (!published) return false;  // serial regression: someone beat us to it
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.axfr_applied;
+  return true;
+}
+
+Result<std::vector<Message>> SecondarySync::exchange(const Message& query,
+                                                     std::uint32_t client_serial) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Error{errno_message("socket")};
+  const FdHandle handle(fd);
+  set_io_timeout(fd, config_.io_timeout);
+  sockaddr_storage primary{};
+  const socklen_t len = sockaddr_from_endpoint(
+      Endpoint{IpAddr(config_.primary_addr), config_.primary_port}, primary);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&primary), len) != 0) {
+    return Error{errno_message("connect")};
+  }
+
+  const auto wire = dns::encode(query, {.max_size = dns::kMaxMessageSize});
+  const auto prefix = frame_prefix(wire.size());
+  std::vector<std::uint8_t> framed(prefix.begin(), prefix.end());
+  framed.insert(framed.end(), wire.begin(), wire.end());
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Error{errno_message("send")};
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  FrameDecoder decoder(65535);
+  std::vector<Message> stream;
+  std::vector<std::uint8_t> buffer(64 * 1024);
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Error{errno_message("recv")};
+    }
+    if (n == 0) break;  // primary closed the connection
+    decoder.feed({buffer.data(), static_cast<std::size_t>(n)});
+    while (auto frame = decoder.next()) {
+      auto message = dns::decode(*frame);
+      if (!message) return Error{"bad transfer frame: " + message.error()};
+      stream.push_back(std::move(message).take());
+    }
+    if (decoder.poisoned()) return Error{"oversized transfer frame"};
+    if (stream_complete(stream, client_serial)) return stream;
+  }
+  if (stream_complete(stream, client_serial)) return stream;
+  return Error{"transfer stream ended mid-body"};
+}
+
+SecondaryStats SecondarySync::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace akadns::net

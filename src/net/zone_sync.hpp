@@ -1,0 +1,108 @@
+// The secondary side of zone propagation over real sockets (RFC 1996 /
+// 1995 / 5936): a refresh thread that probes a primary's SOA serial over
+// UDP and, when behind, pulls the delta chain (IXFR) or the full zone
+// (AXFR) over TCP and feeds it into the local ZonePublisher — from where
+// it fans out to every serve worker's replica exactly like a local
+// publish. NOTIFY arrivals (wired via ServeConfig::on_notify ->
+// notify_kick()) collapse the refresh interval to "now".
+//
+// The transfer client is deliberately plain: blocking sockets with
+// SO_RCVTIMEO/SO_SNDTIMEO, one connection per transfer. Zone transfers
+// are control-plane traffic measured in round trips per refresh
+// interval, not packets per second — clarity beats another epoll loop.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/sim_time.hpp"
+#include "dns/name.hpp"
+#include "net/socket.hpp"
+#include "propagation/zone_publisher.hpp"
+
+namespace akadns::net {
+
+struct SecondaryConfig {
+  /// The primary's address; UDP (SOA probes, from NOTIFYs' perspective
+  /// the other direction) and TCP (transfers) use the same port.
+  Ipv4Addr primary_addr = Ipv4Addr(127, 0, 0, 1);
+  std::uint16_t primary_port = 0;
+  /// Zones to track. Empty: refresh whatever the local publisher already
+  /// holds (bootstrap a new apex by listing it here).
+  std::vector<dns::DnsName> apexes;
+  /// SOA probe cadence when no NOTIFY arrives.
+  Duration refresh_interval = Duration::seconds(5);
+  /// Per-socket-operation timeout (probe reply, transfer reads).
+  Duration io_timeout = Duration::seconds(2);
+};
+
+struct SecondaryStats {
+  std::uint64_t soa_checks = 0;      // UDP probes answered
+  std::uint64_t up_to_date = 0;      // probe said: nothing to fetch
+  std::uint64_t ixfr_applied = 0;    // delta chains fed into the publisher
+  std::uint64_t axfr_applied = 0;    // full zones fed into the publisher
+  std::uint64_t fallbacks = 0;       // IXFR didn't apply -> refetched as AXFR
+  std::uint64_t failures = 0;        // probe/transfer/apply errors
+  std::uint64_t notify_kicks = 0;    // refresh passes triggered by NOTIFY
+};
+
+/// Periodically pulls zone versions from a primary into `publisher`.
+/// Thread-safe surface: start()/stop()/notify_kick()/stats() may be
+/// called from any thread (notify_kick in particular fires from serve
+/// worker threads when a NOTIFY datagram lands).
+class SecondarySync {
+ public:
+  SecondarySync(SecondaryConfig config, propagation::ZonePublisher& publisher)
+      : config_(std::move(config)), publisher_(publisher) {}
+  ~SecondarySync() { stop(); }
+
+  SecondarySync(const SecondarySync&) = delete;
+  SecondarySync& operator=(const SecondarySync&) = delete;
+
+  /// Launches the refresh thread (first pass runs immediately).
+  void start();
+  /// Stops and joins. Idempotent.
+  void stop();
+
+  /// Collapses the current refresh wait — called on NOTIFY receipt.
+  void notify_kick();
+
+  /// One synchronous refresh pass over every tracked apex; returns how
+  /// many zones changed locally. Usable without start() (tests drive the
+  /// protocol deterministically this way).
+  std::size_t sync_once();
+
+  SecondaryStats stats() const;
+
+ private:
+  void run();
+  std::vector<dns::DnsName> tracked_apexes() const;
+  /// UDP SOA probe; the primary's serial for `apex`.
+  Result<std::uint32_t> probe_serial(const dns::DnsName& apex);
+  /// TCP transfer + apply. `have_serial` is the local serial (ignored
+  /// when `have_zone` is false -> AXFR). True if the local store changed.
+  Result<bool> transfer(const dns::DnsName& apex, std::uint32_t have_serial, bool have_zone);
+  /// One framed TCP exchange: sends `query`, reads messages until the
+  /// SOA-delimited stream is complete (`client_serial` disambiguates the
+  /// single-SOA "up to date" answer from a body's first chunk).
+  Result<std::vector<dns::Message>> exchange(const dns::Message& query,
+                                             std::uint32_t client_serial);
+
+  SecondaryConfig config_;
+  propagation::ZonePublisher& publisher_;
+
+  mutable std::mutex mutex_;  // guards stats_ and the wait state
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+  bool kicked_ = false;
+  bool running_ = false;
+  SecondaryStats stats_;
+  std::uint16_t next_id_ = 1;
+  std::thread thread_;
+};
+
+}  // namespace akadns::net

@@ -33,7 +33,13 @@ Machine::Machine(MachineConfig config)
     : config_(std::move(config)),
       owned_store_(std::make_unique<zone::ZoneStore>()),
       store_(owned_store_.get()),
+      zone_sync_(std::make_unique<propagation::ZoneSubscriber>(*owned_store_)),
       nameserver_(with_id(config_), *owned_store_) {}
+
+void Machine::apply_zone_update(const propagation::ZoneUpdate& update, SimTime now) {
+  zone_sync_->apply(update, now);
+  nameserver_.metadata_updated(now);
+}
 
 void Machine::deliver(std::span<const std::uint8_t> wire, const Endpoint& source,
                       std::uint8_t ip_ttl, SimTime now) {

@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "pop/bgp_speaker.hpp"
+#include "propagation/zone_subscriber.hpp"
 #include "server/nameserver.hpp"
 
 namespace akadns::pop {
@@ -52,6 +53,19 @@ class Machine {
 
   /// The private replica (nullptr for shared-store machines).
   zone::ZoneStore* local_store() noexcept { return owned_store_.get(); }
+
+  /// Applies one published zone version to the private replica through
+  /// the propagation subscriber (pointer-adopt fast path, delta replay,
+  /// or full publish — whichever is the cheapest correct one) and
+  /// refreshes the staleness clock. Only valid on replica-owning
+  /// machines; shared-store machines receive zones out of band.
+  void apply_zone_update(const propagation::ZoneUpdate& update, SimTime now);
+
+  /// Propagation telemetry for the private replica (nullptr when the
+  /// machine serves a shared store).
+  const propagation::ZoneSyncStats* zone_sync_stats() const noexcept {
+    return zone_sync_ ? &zone_sync_->stats() : nullptr;
+  }
 
   /// The store this machine serves from (owned replica or the shared
   /// one) — the telemetry surface for publish-time compile stats.
@@ -111,6 +125,8 @@ class Machine {
   MachineConfig config_;
   std::unique_ptr<zone::ZoneStore> owned_store_;  // set before nameserver_
   const zone::ZoneStore* store_ = nullptr;        // whichever store serves
+  /// Applies ZoneUpdates to the owned replica (null for shared stores).
+  std::unique_ptr<propagation::ZoneSubscriber> zone_sync_;
   server::Nameserver nameserver_;
   BgpSpeaker speaker_;
   std::optional<FailureType> failure_;

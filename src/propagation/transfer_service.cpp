@@ -1,0 +1,167 @@
+#include "propagation/transfer_service.hpp"
+
+namespace akadns::propagation {
+
+using dns::DnsName;
+using dns::Message;
+using dns::RecordType;
+using dns::ResourceRecord;
+using dns::SoaRecord;
+using zone::Zone;
+using zone::ZoneDiff;
+
+namespace {
+
+ResourceRecord soa_with_serial(const DnsName& apex, std::uint32_t serial) {
+  SoaRecord soa;
+  soa.mname = apex;
+  soa.rname = apex;
+  soa.serial = serial;
+  return ResourceRecord{apex, dns::RecordClass::IN, 3600, soa};
+}
+
+/// The client serial an IXFR request announces (authority-section SOA,
+/// RFC 1995 §3), or nullopt when the request is malformed.
+std::optional<std::uint32_t> ixfr_client_serial(const Message& query) {
+  for (const ResourceRecord& rr : query.authorities) {
+    if (rr.type() == RecordType::SOA) return std::get<SoaRecord>(rr.rdata).serial;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<Message> TransferService::refuse(const Message& query) {
+  ++stats_.refused;
+  return {dns::make_response(query, dns::Rcode::Refused)};
+}
+
+std::vector<Message> TransferService::serve_axfr(const Zone& zone, std::uint16_t id) {
+  zone::AxfrOptions options;
+  options.records_per_message = config_.axfr_records_per_message;
+  options.transaction_id = id;
+  return zone::axfr_serialize(zone, options);
+}
+
+std::vector<Message> TransferService::serve(const Message& query) {
+  if (query.questions.empty()) return refuse(query);
+  const dns::Question& q = query.question();
+  const zone::ZonePtr zone = store_.find_zone(q.name);
+  if (!zone) return refuse(query);
+
+  if (q.qtype == RecordType::AXFR) {
+    ++stats_.axfr_served;
+    return serve_axfr(*zone, query.header.id);
+  }
+  if (q.qtype != RecordType::IXFR) return refuse(query);
+
+  const auto client_serial = ixfr_client_serial(query);
+  if (!client_serial) return refuse(query);
+
+  if (*client_serial >= zone->serial()) {
+    // RFC 1995 §2: client is current (or ahead) — one SOA says so.
+    ++stats_.up_to_date;
+    Message m = dns::make_response(query, dns::Rcode::NoError);
+    m.answers.push_back(soa_with_serial(zone->apex(), zone->serial()));
+    return {m};
+  }
+
+  if (chain_) {
+    if (auto deltas = chain_(zone->apex(), *client_serial, zone->serial())) {
+      ++stats_.ixfr_incremental;
+      return {zone::ixfr_serialize_chain(*deltas, query.header.id)};
+    }
+  }
+  // Journal cannot bridge the span: answer with the full zone, AXFR-style
+  // inside the IXFR response (RFC 1995 §4 — the client spots it by the
+  // second record not being an SOA).
+  ++stats_.ixfr_fallback;
+  return serve_axfr(*zone, query.header.id);
+}
+
+// ---------------------------------------------------------------------------
+// client-side builders
+// ---------------------------------------------------------------------------
+
+Message TransferService::make_notify(const DnsName& apex, std::uint32_t serial,
+                                     std::uint16_t transaction_id) {
+  Message m = dns::make_query(transaction_id, apex, RecordType::SOA);
+  m.header.opcode = dns::Opcode::Notify;
+  m.header.aa = true;
+  // Optional RFC 1996 §3.7 hint: the SOA the primary now serves.
+  m.answers.push_back(soa_with_serial(apex, serial));
+  return m;
+}
+
+Message TransferService::make_notify_ack(const Message& notify) {
+  return dns::make_response(notify, dns::Rcode::NoError);
+}
+
+Message TransferService::make_soa_query(const DnsName& apex, std::uint16_t transaction_id) {
+  return dns::make_query(transaction_id, apex, RecordType::SOA);
+}
+
+Message TransferService::make_ixfr_query(const DnsName& apex, std::uint32_t client_serial,
+                                         std::uint16_t transaction_id) {
+  Message m = dns::make_query(transaction_id, apex, RecordType::IXFR);
+  m.authorities.push_back(soa_with_serial(apex, client_serial));
+  return m;
+}
+
+Message TransferService::make_axfr_query(const DnsName& apex, std::uint16_t transaction_id) {
+  return dns::make_query(transaction_id, apex, RecordType::AXFR);
+}
+
+Result<TransferPayload> TransferService::parse_transfer_response(
+    std::span<const Message> stream, std::uint32_t client_serial) {
+  auto fail = [](std::string what) { return Result<TransferPayload>::failure(std::move(what)); };
+  if (stream.empty()) return fail("empty transfer response");
+  const auto& first = stream.front().answers;
+  if (first.empty()) return fail("transfer response carries no records");
+  if (first.front().type() != RecordType::SOA) {
+    return fail("transfer response does not open with SOA");
+  }
+
+  // Single SOA: "you are current" (only valid when the serial agrees).
+  if (stream.size() == 1 && first.size() == 1) {
+    const std::uint32_t serial = std::get<SoaRecord>(first.front().rdata).serial;
+    if (serial > client_serial) {
+      return fail("single-SOA response announces an unsent newer serial");
+    }
+    TransferPayload payload;
+    payload.up_to_date = true;
+    return payload;
+  }
+
+  // Second record an SOA → IXFR delta body (merge multi-message streams
+  // before parsing, though our serializer emits one message).
+  if (first.size() >= 2 && first[1].type() == RecordType::SOA) {
+    Message merged = stream.front();
+    for (std::size_t i = 1; i < stream.size(); ++i) {
+      merged.answers.insert(merged.answers.end(), stream[i].answers.begin(),
+                            stream[i].answers.end());
+    }
+    auto chain = zone::ixfr_parse_chain(merged);
+    if (chain.ok()) {
+      TransferPayload payload;
+      payload.deltas = std::move(chain).take();
+      return payload;
+    }
+    // Ambiguous corner: an AXFR body of an SOA-only zone is SOA,SOA and
+    // looks like a truncated IXFR. Try the full-zone reading before
+    // giving up.
+    auto as_full = zone::axfr_assemble(stream);
+    if (!as_full.ok()) return fail(chain.error());
+    TransferPayload payload;
+    payload.full = std::move(as_full).take();
+    return payload;
+  }
+
+  auto full = zone::axfr_assemble(stream);
+  if (!full.ok()) return fail(full.error());
+  TransferPayload payload;
+  payload.full = std::move(full).take();
+  return payload;
+}
+
+}  // namespace akadns::propagation

@@ -1,0 +1,117 @@
+// The wire face of zone propagation: answers AXFR/IXFR queries from a
+// ZoneStore + journal, and builds/parses the messages a secondary needs
+// (NOTIFY, SOA refresh probes, transfer requests and their responses).
+//
+// RFC 1995 §2 lets an IXFR server answer three ways, and serve() picks
+// per query: the client is current → a single-SOA "up to date" reply;
+// the journal covers the client's serial → the multi-delta incremental
+// body; otherwise → an AXFR-style full body (legal inside an IXFR
+// response — the client detects it by the second record not being an
+// SOA). The journal lives behind a ChainProvider function so the
+// service works against a ZonePublisher, a bare ZoneJournal, or a test
+// stub without caring which.
+//
+// Transport-agnostic by construction: everything here maps dns::Message
+// to dns::Message. The sim hands them across directly; the socket
+// frontend runs them through encode() and the existing TCP framing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/result.hpp"
+#include "dns/message.hpp"
+#include "zone/zone_store.hpp"
+#include "zone/zone_transfer.hpp"
+
+namespace akadns::propagation {
+
+/// Journal access used by serve(): the contiguous delta chain covering
+/// [from, to], or nullopt to force the AXFR-style fallback.
+using ChainProvider = std::function<std::optional<std::vector<zone::ZoneDiff>>(
+    const dns::DnsName& apex, std::uint32_t from_serial, std::uint32_t to_serial)>;
+
+struct TransferConfig {
+  /// Records per AXFR response message (small values exercise the
+  /// multi-message reassembly path).
+  std::size_t axfr_records_per_message = 500;
+};
+
+struct TransferStats {
+  std::uint64_t axfr_served = 0;
+  std::uint64_t ixfr_incremental = 0;  // IXFR answered from the journal
+  std::uint64_t ixfr_fallback = 0;     // IXFR answered with a full body
+  std::uint64_t up_to_date = 0;        // single-SOA "you are current" replies
+  std::uint64_t refused = 0;           // unknown zone / malformed request
+};
+
+/// What a transfer response resolved to on the client side.
+struct TransferPayload {
+  bool up_to_date = false;
+  std::optional<zone::Zone> full;       // AXFR-style body
+  std::vector<zone::ZoneDiff> deltas;   // IXFR delta chain
+};
+
+class TransferService {
+ public:
+  TransferService(const zone::ZoneStore& store, ChainProvider chain,
+                  TransferConfig config = {})
+      : store_(store), chain_(std::move(chain)), config_(config) {}
+
+  static bool is_transfer_query(const dns::Message& query) {
+    if (query.questions.empty()) return false;
+    const dns::RecordType qtype = query.question().qtype;
+    return qtype == dns::RecordType::AXFR || qtype == dns::RecordType::IXFR;
+  }
+
+  /// Answers one AXFR/IXFR query as a response-message sequence (AXFR
+  /// spans messages; IXFR is always a single message). Unknown zones and
+  /// malformed requests get one REFUSED message.
+  std::vector<dns::Message> serve(const dns::Message& query);
+
+  const TransferStats& stats() const noexcept { return stats_; }
+
+  // -- client-side builders ------------------------------------------------
+
+  /// NOTIFY (RFC 1996): tells a secondary that `apex` reached `serial`
+  /// (current SOA in the answer section as the optional hint).
+  static dns::Message make_notify(const dns::DnsName& apex, std::uint32_t serial,
+                                  std::uint16_t transaction_id);
+
+  /// The echoed NOTIFY acknowledgment.
+  static dns::Message make_notify_ack(const dns::Message& notify);
+
+  static bool is_notify(const dns::Message& message) {
+    return message.header.opcode == dns::Opcode::Notify && !message.header.qr;
+  }
+
+  /// SOA probe a secondary sends each refresh interval.
+  static dns::Message make_soa_query(const dns::DnsName& apex, std::uint16_t transaction_id);
+
+  /// IXFR request carrying the client's current SOA in the authority
+  /// section (RFC 1995 §3) so the server knows where to diff from.
+  static dns::Message make_ixfr_query(const dns::DnsName& apex, std::uint32_t client_serial,
+                                      std::uint16_t transaction_id);
+
+  static dns::Message make_axfr_query(const dns::DnsName& apex, std::uint16_t transaction_id);
+
+  /// Classifies a transfer response stream: up-to-date single-SOA, IXFR
+  /// delta chain, or AXFR-style full body (each handled per RFC 1995 §4).
+  /// `client_serial` disambiguates the single-SOA case.
+  static Result<TransferPayload> parse_transfer_response(std::span<const dns::Message> stream,
+                                                         std::uint32_t client_serial);
+
+ private:
+  std::vector<dns::Message> serve_axfr(const zone::Zone& zone, std::uint16_t id);
+  std::vector<dns::Message> refuse(const dns::Message& query);
+
+  const zone::ZoneStore& store_;
+  ChainProvider chain_;
+  TransferConfig config_;
+  TransferStats stats_;
+};
+
+}  // namespace akadns::propagation

@@ -1,0 +1,90 @@
+// Serial-ordered IXFR delta log, one bounded window per zone apex.
+//
+// The journal is the memory between publishes: every accepted delta is
+// appended in serial order, and a subscriber that is N versions behind
+// can be caught up with the contiguous sub-chain covering its serial —
+// the RFC 1995 incremental path. Everything the journal cannot answer
+// (a gap where old deltas were evicted, a serial regression after a
+// force-publish, an apex it has never seen) is a *miss*, and a miss
+// always means "fall back to AXFR": the caller ships the full snapshot
+// instead. The journal never invents or reorders deltas, so a hit is a
+// chain whose application provably reproduces the target serial.
+//
+// Bounded by delta count and total record count per apex (old entries
+// evicted front-first), so a chatty zone cannot grow the log without
+// limit; eviction only widens the set of subscribers that need AXFR.
+// Not internally synchronized — the owning ZonePublisher serializes
+// access under its own lock.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "zone/zone_transfer.hpp"
+
+namespace akadns::propagation {
+
+struct JournalConfig {
+  /// Max retained deltas per apex.
+  std::size_t max_deltas_per_apex = 64;
+  /// Max total records (deletions + additions) retained per apex.
+  std::size_t max_records_per_apex = 65536;
+};
+
+struct JournalStats {
+  std::uint64_t appended = 0;
+  std::uint64_t evicted = 0;  // deltas dropped to respect the bounds
+  std::uint64_t resets = 0;   // logs cleared (gap / regression / full publish)
+  std::uint64_t chain_hits = 0;
+  std::uint64_t chain_misses = 0;
+};
+
+class ZoneJournal {
+ public:
+  explicit ZoneJournal(JournalConfig config = {}) : config_(config) {}
+
+  /// Appends one delta to its apex's log. A delta that does not continue
+  /// the log (its from_serial is not the log's last to_serial) resets the
+  /// log first: a discontinuity means intermediate history is unknowable,
+  /// and pretending otherwise is how stale chains corrupt replicas.
+  void append(zone::ZoneDiff delta);
+
+  /// Clears one apex's log (full-snapshot publish or serial regression:
+  /// incremental history no longer connects).
+  void reset(const dns::DnsName& apex);
+
+  /// Drops an apex entirely (zone removed).
+  void remove(const dns::DnsName& apex);
+
+  /// The contiguous delta chain taking `from_serial` to `to_serial`, or
+  /// nullopt when the log cannot cover that span — the AXFR-fallback
+  /// signal. Requires from < to; equal serials are the caller's no-op.
+  std::optional<std::vector<zone::ZoneDiff>> chain(const dns::DnsName& apex,
+                                                   std::uint32_t from_serial,
+                                                   std::uint32_t to_serial) const;
+
+  /// The newest `max_deltas` deltas of an apex (all of them when fewer) —
+  /// the window a ZoneUpdate carries for laggard subscribers.
+  std::vector<zone::ZoneDiff> tail(const dns::DnsName& apex, std::size_t max_deltas) const;
+
+  std::size_t delta_count(const dns::DnsName& apex) const;
+  std::size_t record_count(const dns::DnsName& apex) const;
+  const JournalStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct ApexLog {
+    std::deque<zone::ZoneDiff> deltas;  // contiguous, serial-ascending
+    std::size_t records = 0;            // sum of deltas[i].size()
+  };
+
+  void enforce_bounds(ApexLog& log);
+
+  JournalConfig config_;
+  std::map<dns::DnsName, ApexLog> logs_;
+  mutable JournalStats stats_;
+};
+
+}  // namespace akadns::propagation

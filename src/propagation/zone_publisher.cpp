@@ -1,0 +1,242 @@
+#include "propagation/zone_publisher.hpp"
+
+#include <utility>
+
+namespace akadns::propagation {
+
+using zone::CompiledZone;
+using zone::CompiledZonePtr;
+using zone::Zone;
+using zone::ZoneDiff;
+using zone::ZonePtr;
+
+// ---------------------------------------------------------------------------
+// Subscription
+// ---------------------------------------------------------------------------
+
+void Subscription::push(ZoneUpdatePtr update) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(update));
+    pending_.store(true, std::memory_order_release);
+  }
+  // Wake outside the queue lock so a wake that blocks (it should not)
+  // cannot hold up a drain.
+  if (wake_) wake_();
+}
+
+std::vector<ZoneUpdatePtr> Subscription::drain() {
+  std::lock_guard lock(mutex_);
+  std::vector<ZoneUpdatePtr> out(queue_.begin(), queue_.end());
+  queue_.clear();
+  pending_.store(false, std::memory_order_release);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ZonePublisher
+// ---------------------------------------------------------------------------
+
+Result<ZoneUpdatePtr> ZonePublisher::publish(Zone zone) {
+  return publish(std::make_shared<const Zone>(std::move(zone)));
+}
+
+Result<ZoneUpdatePtr> ZonePublisher::publish(ZonePtr zone) {
+  Result<ZoneUpdatePtr> result = [&] {
+    std::lock_guard lock(mutex_);
+    return publish_locked(std::move(zone));
+  }();
+  // Fan out after dropping the publisher lock: a wake callback may probe
+  // the publisher, and subscribers tolerate out-of-order delivery (serial
+  // checks make stale updates no-ops).
+  if (result.ok()) fanout(result.value());
+  return result;
+}
+
+Result<ZoneUpdatePtr> ZonePublisher::publish_locked(ZonePtr zone) {
+  auto fail = [](std::string what) { return Result<ZoneUpdatePtr>::failure(std::move(what)); };
+  const dns::DnsName apex = zone->apex();
+  const CompiledZonePtr current = master_.find_compiled(apex);
+
+  if (current) {
+    if (current->serial() >= zone->serial()) {
+      ++stats_.rejected_serial;
+      return fail("serial regression at " + apex.to_string() + ": have " +
+                  std::to_string(current->serial()) + ", offered " +
+                  std::to_string(zone->serial()));
+    }
+
+    // diff_zones() excludes the SOA, so rdata-level SOA drift (mname,
+    // refresh, ...) is invisible to the delta path. Detect it by
+    // serial-patching the base SOA: if that is not the new SOA, only a
+    // full publish carries the change.
+    const auto base_soa = current->zone().soa();
+    const auto new_soa = zone->soa();
+    bool soa_drift = !base_soa || !new_soa;
+    if (!soa_drift) {
+      dns::ResourceRecord expected = *base_soa;
+      std::get<dns::SoaRecord>(expected.rdata).serial = zone->serial();
+      soa_drift = !(expected == *new_soa);
+    }
+
+    if (!soa_drift) {
+      ZoneDiff diff = zone::diff_zones(current->zone(), *zone);
+      auto applied = master_.apply_delta(diff);
+      if (applied.ok()) {
+        journal_.append(std::move(diff));
+        ++stats_.published;
+        ++stats_.incremental;
+        return make_update_locked(std::move(applied).take(), /*incremental=*/true);
+      }
+      // The diff came from the stored base, so failure here means the
+      // base itself is inconsistent — the full path below still works.
+    } else {
+      ++stats_.soa_drift_fallbacks;
+    }
+  }
+
+  if (!master_.publish(zone)) {
+    ++stats_.rejected_serial;
+    return fail("serial regression at " + apex.to_string());
+  }
+  // A full publish severs delta history: replicas behind this version
+  // must take the snapshot, not a chain spanning it.
+  journal_.reset(apex);
+  ++stats_.published;
+  ++stats_.full;
+  return make_update_locked(master_.find_compiled(apex), /*incremental=*/false);
+}
+
+Result<ZoneUpdatePtr> ZonePublisher::apply_chain(std::span<const ZoneDiff> chain) {
+  auto fail = [](std::string what) { return Result<ZoneUpdatePtr>::failure(std::move(what)); };
+  if (chain.empty()) return fail("empty delta chain");
+  const dns::DnsName& apex = chain.front().apex;
+
+  Result<ZoneUpdatePtr> result = [&]() -> Result<ZoneUpdatePtr> {
+    std::lock_guard lock(mutex_);
+    CompiledZonePtr work = master_.find_compiled(apex);
+    if (!work) return fail("no zone at " + apex.to_string() + " (fall back to AXFR)");
+
+    // Journal tails overlap what we already hold; skip the covered prefix.
+    std::size_t start = 0;
+    while (start < chain.size() && chain[start].to_serial <= work->serial()) ++start;
+    if (start == chain.size()) return ZoneUpdatePtr{};  // already current: no-op
+
+    // Build the whole chain off to the side; the store is only touched
+    // once every delta has applied, so any failure is side-effect free.
+    std::vector<ZoneDiff> applied;
+    for (std::size_t i = start; i < chain.size(); ++i) {
+      const ZoneDiff& delta = chain[i];
+      if (!(delta.apex == apex)) return fail("delta chain mixes apexes");
+      if (delta.from_serial != work->serial()) {
+        return fail("chain gap at " + apex.to_string() + ": have " +
+                    std::to_string(work->serial()) + ", delta from " +
+                    std::to_string(delta.from_serial) + " (fall back to AXFR)");
+      }
+      auto next = zone::apply_diff(work->zone(), delta);
+      if (!next) return fail(next.error());
+      work = CompiledZone::compile_incremental(
+          *work, std::make_shared<const Zone>(std::move(next).take()), delta);
+      applied.push_back(delta);
+    }
+
+    master_.publish_compiled(work);
+    for (ZoneDiff& delta : applied) journal_.append(std::move(delta));
+    ++stats_.published;
+    ++stats_.chains_applied;
+    stats_.incremental += applied.size();
+    return make_update_locked(std::move(work), /*incremental=*/true);
+  }();
+
+  if (result.ok() && result.value()) fanout(result.value());
+  return result;
+}
+
+void ZonePublisher::adopt(const zone::ZoneStore& store) {
+  std::lock_guard lock(mutex_);
+  master_.adopt(store);
+}
+
+SubscriptionPtr ZonePublisher::subscribe(std::function<void()> wake) {
+  auto sub = std::make_shared<Subscription>();
+  sub->wake_ = std::move(wake);
+  std::lock_guard lock(mutex_);
+  subs_.push_back(sub);
+  return sub;
+}
+
+void ZonePublisher::seed(zone::ZoneStore& replica) const {
+  std::lock_guard lock(mutex_);
+  replica.adopt(master_);
+}
+
+ZoneUpdatePtr ZonePublisher::make_update_locked(CompiledZonePtr compiled, bool incremental) {
+  auto update = std::make_shared<ZoneUpdate>();
+  update->seq = next_seq_++;
+  update->zone = compiled->source();
+  update->deltas = journal_.tail(compiled->apex(), config_.deltas_per_update);
+  update->compiled = std::move(compiled);
+  update->incremental = incremental;
+  update->published_at = clock_.now();
+  return ZoneUpdatePtr(std::move(update));
+}
+
+void ZonePublisher::fanout(const ZoneUpdatePtr& update) {
+  std::vector<SubscriptionPtr> targets;
+  {
+    std::lock_guard lock(mutex_);
+    targets.reserve(subs_.size());
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < subs_.size(); ++i) {
+      if (SubscriptionPtr sub = subs_[i].lock()) {
+        targets.push_back(std::move(sub));
+        // Guard against self-move: assigning subs_[i] onto itself leaves
+        // the weak_ptr in an unspecified (empty) state and would silently
+        // drop the subscription after its first fanout.
+        if (kept != i) subs_[kept] = std::move(subs_[i]);
+        ++kept;
+      }
+    }
+    subs_.resize(kept);  // dead subscriptions drop out of the fanout set
+  }
+  for (const SubscriptionPtr& sub : targets) sub->push(update);
+}
+
+std::optional<std::vector<ZoneDiff>> ZonePublisher::chain(const dns::DnsName& apex,
+                                                          std::uint32_t from_serial,
+                                                          std::uint32_t to_serial) const {
+  std::lock_guard lock(mutex_);
+  return journal_.chain(apex, from_serial, to_serial);
+}
+
+CompiledZonePtr ZonePublisher::snapshot(const dns::DnsName& apex) const {
+  std::lock_guard lock(mutex_);
+  return master_.find_compiled(apex);
+}
+
+std::vector<dns::DnsName> ZonePublisher::apexes() const {
+  std::lock_guard lock(mutex_);
+  return master_.zone_apexes();
+}
+
+std::size_t ZonePublisher::zone_count() const {
+  std::lock_guard lock(mutex_);
+  return master_.zone_count();
+}
+
+PublisherStats ZonePublisher::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+JournalStats ZonePublisher::journal_stats() const {
+  std::lock_guard lock(mutex_);
+  return journal_.stats();
+}
+
+zone::CompileStats ZonePublisher::compile_stats() const {
+  std::lock_guard lock(mutex_);
+  return master_.compile_stats();
+}
+
+}  // namespace akadns::propagation

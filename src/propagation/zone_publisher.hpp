@@ -1,0 +1,170 @@
+// Transport-agnostic zone publication: one pipeline feeding every
+// transport the repo has.
+//
+// The paper's metadata pipeline (§3.2) validates a zone version once at
+// the Management Portal and then propagates the *same* version to every
+// nameserver. This module is that shape in miniature: ZonePublisher owns
+// the master ZoneStore and the IXFR journal; each publish() computes the
+// delta against the current version, incrementally recompiles the
+// snapshot, journals the delta, and fans a ZoneUpdate out to every
+// subscription. The simulated control plane and the real-socket frontend
+// both sit on this one pipeline — they differ only in how the ZoneUpdate
+// crosses the transport (shared pointer vs. IXFR bytes over TCP).
+//
+// A ZoneUpdate carries three ways to reach the new version, cheapest
+// first:
+//   - `compiled`: the already-compiled snapshot. In-process subscribers
+//     (sim machines, serve workers) just swap the pointer — zero
+//     recompilation, byte-identical by construction.
+//   - `deltas`: the journal tail. A subscriber a few serials behind
+//     applies the contiguous sub-chain incrementally.
+//   - `zone`: the full snapshot, for subscribers too far behind (or any
+//     delta-path failure) — the AXFR analogue, always correct.
+//
+// Byte-identity note: on the incremental path the publisher stores the
+// zone produced by apply_diff(prev, delta), not the caller's object, so
+// a master and a delta-applying replica hold identical record orderings
+// and compile to identical wire bytes. diff_zones() excludes the SOA, so
+// a publish whose only change is SOA rdata drift (mname/refresh edits)
+// is detected by comparing SOAs and routed down the full-publish path.
+//
+// Thread model: publish/apply_chain/subscribe serialize on one mutex;
+// Subscription::drain() uses its own lock so slow subscribers never
+// stall the publisher. The injected Clock stamps published_at, giving
+// every transport the same latency axis (cf. DefenseEngine).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+#include "propagation/zone_journal.hpp"
+#include "zone/zone_store.hpp"
+
+namespace akadns::propagation {
+
+/// One published zone version, fanned out to every subscription.
+struct ZoneUpdate {
+  std::uint64_t seq = 0;             // publisher-global sequence number
+  zone::ZonePtr zone;                // full snapshot (always present)
+  zone::CompiledZonePtr compiled;    // answer-ready snapshot (always present)
+  std::vector<zone::ZoneDiff> deltas;  // journal tail ending at this serial
+  bool incremental = false;          // produced by the delta path
+  Timepoint published_at{};          // publisher clock at fanout
+};
+
+using ZoneUpdatePtr = std::shared_ptr<const ZoneUpdate>;
+
+struct PublisherConfig {
+  JournalConfig journal;
+  /// Max journal-tail deltas attached to each ZoneUpdate.
+  std::size_t deltas_per_update = 16;
+};
+
+struct PublisherStats {
+  std::uint64_t published = 0;          // accepted publishes (updates fanned out)
+  std::uint64_t incremental = 0;        // took the delta + incremental-compile path
+  std::uint64_t full = 0;               // took the from-scratch compile path
+  std::uint64_t rejected_serial = 0;    // serial regressions refused
+  std::uint64_t soa_drift_fallbacks = 0;  // SOA-rdata-only change forced full path
+  std::uint64_t chains_applied = 0;     // apply_chain() ingests
+};
+
+/// A subscription's inbound queue. Handed out as a shared_ptr so a
+/// subscriber can outlive (or die before) the publisher's fanout loop.
+class Subscription {
+ public:
+  /// Lock-free "anything queued?" probe for hot loops.
+  bool pending() const noexcept { return pending_.load(std::memory_order_acquire); }
+
+  /// Takes every queued update, oldest first.
+  std::vector<ZoneUpdatePtr> drain();
+
+ private:
+  friend class ZonePublisher;
+  void push(ZoneUpdatePtr update);
+
+  std::mutex mutex_;
+  std::deque<ZoneUpdatePtr> queue_;
+  std::atomic<bool> pending_{false};
+  std::function<void()> wake_;  // fired after each push, outside the lock
+};
+
+using SubscriptionPtr = std::shared_ptr<Subscription>;
+
+class ZonePublisher {
+ public:
+  explicit ZonePublisher(const Clock& clock, PublisherConfig config = {})
+      : config_(config), clock_(clock), journal_(config.journal) {}
+
+  ZonePublisher(const ZonePublisher&) = delete;
+  ZonePublisher& operator=(const ZonePublisher&) = delete;
+
+  /// Publishes a zone version. Against an existing version with a lower
+  /// serial this diffs, incrementally recompiles, and journals; a new
+  /// apex (or SOA-rdata drift) compiles from scratch. Serial regressions
+  /// fail without touching the store. On success the returned update has
+  /// already been fanned out to every subscription.
+  Result<ZoneUpdatePtr> publish(zone::Zone zone);
+  Result<ZoneUpdatePtr> publish(zone::ZonePtr zone);
+
+  /// Ingests a received IXFR delta chain (secondary side of a zone
+  /// transfer). Applies each delta in order through the incremental
+  /// compile path and fans out one update for the final serial. Any
+  /// mismatch fails without side effects — the caller falls back to
+  /// requesting AXFR.
+  Result<ZoneUpdatePtr> apply_chain(std::span<const zone::ZoneDiff> chain);
+
+  /// Seeds the master from already-compiled snapshots (no journal
+  /// entries, no fanout) — bootstrap path for synthetic stores.
+  void adopt(const zone::ZoneStore& store);
+
+  /// Registers a subscription. `wake` (optional) is invoked after each
+  /// push — e.g. to write an eventfd — and must be cheap and non-blocking.
+  SubscriptionPtr subscribe(std::function<void()> wake = {});
+
+  /// Copies every current compiled snapshot into `replica` (shared
+  /// pointers, no recompilation). Call after subscribe() so no version
+  /// falls between the seed and the first drained update.
+  void seed(zone::ZoneStore& replica) const;
+
+  /// Journal chain lookup for transfer servers (nullopt = send AXFR).
+  std::optional<std::vector<zone::ZoneDiff>> chain(const dns::DnsName& apex,
+                                                    std::uint32_t from_serial,
+                                                    std::uint32_t to_serial) const;
+
+  /// Current snapshot of one apex (nullptr when unknown).
+  zone::CompiledZonePtr snapshot(const dns::DnsName& apex) const;
+
+  std::vector<dns::DnsName> apexes() const;
+  std::size_t zone_count() const;
+
+  PublisherStats stats() const;
+  JournalStats journal_stats() const;
+  zone::CompileStats compile_stats() const;
+
+  const Clock& clock() const noexcept { return clock_; }
+
+ private:
+  Result<ZoneUpdatePtr> publish_locked(zone::ZonePtr zone);
+  ZoneUpdatePtr make_update_locked(zone::CompiledZonePtr compiled, bool incremental);
+  void fanout(const ZoneUpdatePtr& update);
+
+  PublisherConfig config_;
+  const Clock& clock_;
+  mutable std::mutex mutex_;
+  zone::ZoneStore master_;
+  ZoneJournal journal_;
+  std::vector<std::weak_ptr<Subscription>> subs_;
+  PublisherStats stats_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace akadns::propagation

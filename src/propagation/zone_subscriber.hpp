@@ -1,0 +1,95 @@
+// The consuming end of the propagation pipeline: applies ZoneUpdates to
+// a replica ZoneStore, choosing the cheapest correct path per update.
+//
+// In-process subscribers (sim machines, serve workers) adopt the
+// publisher's compiled snapshot — a pointer swap, byte-identical by
+// construction. With adoption disabled (the secondary-sync and
+// differential-test configuration, standing in for a subscriber on the
+// far side of a wire) the update's delta window is replayed through the
+// replica's own incremental compiler; a gap or mismatch falls back to a
+// full publish of the carried zone snapshot. Every applied update bumps
+// the replica's generation, which the AnswerCache already polls per
+// query — so cache invalidation rides the normal publish signal and a
+// flipped zone can never serve stale-serial answers.
+//
+// Not internally synchronized: a subscriber belongs to one consumer
+// thread (a worker lane, a sim machine), which calls poll()/apply()
+// from its own loop. The Subscription handoff underneath is the
+// thread-safe part.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/clock.hpp"
+#include "propagation/zone_publisher.hpp"
+#include "zone/zone_store.hpp"
+
+namespace akadns::propagation {
+
+/// Per-subscriber propagation telemetry.
+struct ZoneSyncStats {
+  std::uint64_t updates = 0;         // updates seen by apply()
+  std::uint64_t noops = 0;           // replica already at/past the serial
+  std::uint64_t adopted = 0;         // compiled-snapshot pointer swaps
+  std::uint64_t deltas_applied = 0;  // individual deltas replayed
+  std::uint64_t incremental = 0;     // updates absorbed via the delta path
+  std::uint64_t full = 0;            // updates absorbed via full publish
+  std::uint64_t last_latency_ns = 0;  // publish -> applied, publisher clock
+  std::uint64_t max_latency_ns = 0;
+
+  void merge(const ZoneSyncStats& other) noexcept {
+    updates += other.updates;
+    noops += other.noops;
+    adopted += other.adopted;
+    deltas_applied += other.deltas_applied;
+    incremental += other.incremental;
+    full += other.full;
+    last_latency_ns = other.last_latency_ns ? other.last_latency_ns : last_latency_ns;
+    if (other.max_latency_ns > max_latency_ns) max_latency_ns = other.max_latency_ns;
+  }
+};
+
+struct SubscriberOptions {
+  /// Adopt the publisher's compiled snapshot when the update carries one
+  /// (in-process fast path). Disable to force the delta/full paths — what
+  /// a cross-machine subscriber would do.
+  bool adopt_compiled = true;
+};
+
+class ZoneSubscriber {
+ public:
+  explicit ZoneSubscriber(zone::ZoneStore& replica, SubscriberOptions options = {})
+      : replica_(replica), options_(options) {}
+
+  ZoneSubscriber(const ZoneSubscriber&) = delete;
+  ZoneSubscriber& operator=(const ZoneSubscriber&) = delete;
+
+  /// Subscribes to `publisher` and seeds the replica with its current
+  /// snapshots (subscribe-then-seed, so no version can fall in between).
+  void attach(ZonePublisher& publisher, std::function<void()> wake = {});
+
+  void detach();
+
+  /// Lock-free probe: anything queued since the last poll?
+  bool has_pending() const noexcept { return subscription_ && subscription_->pending(); }
+
+  /// Drains and applies every queued update; returns how many were
+  /// applied. `now` should come from the publisher's clock so latency is
+  /// measured on one axis.
+  std::size_t poll(Timepoint now);
+
+  /// Applies one update to the replica (exposed for transports that
+  /// carry updates themselves, e.g. the secondary-sync wire path).
+  void apply(const ZoneUpdate& update, Timepoint now);
+
+  const ZoneSyncStats& stats() const noexcept { return stats_; }
+
+ private:
+  zone::ZoneStore& replica_;
+  SubscriberOptions options_;
+  SubscriptionPtr subscription_;
+  ZoneSyncStats stats_;
+};
+
+}  // namespace akadns::propagation

@@ -61,9 +61,9 @@
 #include "common/clock.hpp"
 #include "common/drop_reason.hpp"
 #include "defense/defense_engine.hpp"
+#include "defense/firewall.hpp"
 #include "filters/filter.hpp"
 #include "filters/penalty_queues.hpp"
-#include "server/firewall.hpp"
 #include "server/query_context.hpp"
 #include "server/responder.hpp"
 #include "server/telemetry.hpp"
@@ -293,7 +293,7 @@ class Nameserver {
   Responder& responder() noexcept { return lanes_[0].responder; }
   const Responder& responder() const noexcept { return lanes_[0].responder; }
   Responder& responder(std::size_t lane) noexcept { return lanes_[lane].responder; }
-  Firewall& firewall() noexcept { return engine_.firewall(); }
+  defense::Firewall& firewall() noexcept { return engine_.firewall(); }
 
   /// Machine-level stats: live for all receive-side counters, refreshed
   /// from the lanes at every end_phase for process-side ones. The

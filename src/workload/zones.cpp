@@ -104,6 +104,26 @@ dns::DnsName HostedZones::sample_valid_name(std::size_t rank, Rng& rng) const {
   return names[rng.next_below(names.size())];
 }
 
+zone::Zone HostedZones::evolved(std::size_t rank, std::uint32_t generations) const {
+  const zone::ZonePtr base = store_.find_zone(apexes_.at(rank));
+  return evolved_zone(*base, generations);
+}
+
+zone::Zone evolved_zone(const zone::Zone& base, std::uint32_t generations) {
+  zone::Zone next(base.apex(), base.serial());
+  for (dns::ResourceRecord rr : base.all_records()) {
+    if (rr.type() == dns::RecordType::A) {
+      auto& a = std::get<dns::ARecord>(rr.rdata);
+      auto octets = a.address.octets();
+      octets[3] = static_cast<std::uint8_t>(octets[3] + generations);
+      a.address = Ipv4Addr(octets[0], octets[1], octets[2], octets[3]);
+    }
+    next.add(std::move(rr));
+  }
+  next.set_soa_serial(base.serial() + generations);
+  return next;
+}
+
 dns::DnsName HostedZones::random_subdomain(std::size_t rank, Rng& rng) const {
   // "Often implemented by prepending a random string onto a valid zone,
   // e.g. a3n92nv9.akamai.com" (§4.3.4 footnote).

@@ -49,6 +49,12 @@ class HostedZones {
   /// the random-subdomain attack's query shape.
   dns::DnsName random_subdomain(std::size_t rank, Rng& rng) const;
 
+  /// The deterministically evolved version of zone `rank`: evolved_zone
+  /// applied to the current corpus zone. Both the serving and verifying
+  /// sides of a live-reload run compute the identical bytes from
+  /// (count, seed, generations) alone — no side channel.
+  zone::Zone evolved(std::size_t rank, std::uint32_t generations = 1) const;
+
  private:
   HostedZonesConfig config_;
   zone::ZoneStore store_;
@@ -56,5 +62,12 @@ class HostedZones {
   std::vector<std::vector<dns::DnsName>> valid_names_;  // per zone rank
   ZipfSampler popularity_;
 };
+
+/// Deterministic zone evolution for live-reload drills: serial advances
+/// by `generations` and every A record's last octet is bumped by the
+/// same amount (mod 256). Any party holding the base zone computes the
+/// byte-identical successor, which is what lets a load generator verify
+/// mid-run flips without talking to the publisher.
+zone::Zone evolved_zone(const zone::Zone& base, std::uint32_t generations = 1);
 
 }  // namespace akadns::workload

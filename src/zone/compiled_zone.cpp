@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <map>
 #include <set>
 
 namespace akadns::zone {
@@ -22,7 +21,147 @@ std::span<const WireFragment> subspan(const std::vector<WireFragment>& v,
   return std::span<const WireFragment>(v.data() + begin, end - begin);
 }
 
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u32(std::uint64_t h, std::uint32_t v) noexcept {
+  return fnv1a(h, &v, sizeof(v));
+}
+
+std::uint64_t hash_name(std::uint64_t h, const dns::DnsName& name) {
+  for (std::size_t i = 0; i < name.label_count(); ++i) {
+    const auto& label = name.label(i);
+    h = fnv1a(h, label.data(), label.size());
+    h = fnv1a(h, "\0", 1);
+  }
+  return fnv1a(h, "\xff", 1);
+}
+
+std::uint64_t hash_fragment(std::uint64_t h, const WireFragment& f) {
+  h = hash_name(h, *f.owner);
+  h = fnv1a(h, f.fixed.data(), f.fixed.size());
+  for (const auto& op : f.rdata) {
+    h = fnv1a(h, op.literal.data(), op.literal.size());
+    if (op.name != nullptr) h = hash_name(h, *op.name);
+  }
+  return h;
+}
+
 }  // namespace
+
+CompiledZone::NodeDataPtr CompiledZone::build_node(const Zone& z, const DnsName& name,
+                                                   const DnsName& apex) {
+  auto data = std::make_shared<NodeData>();
+  data->owner = name;
+  // Fragments must not alias the source zone (the node outlives it when
+  // shared into later snapshots): the owner pointer targets the node's
+  // own copy, and every rdata name reference is copied into the arena.
+  const auto self_contain = [&data](const dns::ResourceRecord& rr, const DnsName* owner) {
+    WireFragment fragment = dns::make_wire_fragment(rr);
+    fragment.owner = owner;
+    for (auto& op : fragment.rdata) {
+      if (op.name != nullptr) {
+        data->arena.push_back(*op.name);
+        op.name = &data->arena.back();
+      }
+    }
+    return fragment;
+  };
+
+  if (const auto* rrsets = z.rrsets_at(name)) {
+    for (const auto& [type, set] : *rrsets) {
+      TypeRange range;
+      range.type = type;
+      range.begin = static_cast<std::uint32_t>(data->frags.size());
+      range.ttl = set.ttl();
+      for (const auto& rr : set.records) data->frags.push_back(self_contain(rr, &data->owner));
+      range.end = static_cast<std::uint32_t>(data->frags.size());
+      data->ranges.push_back(range);
+      if (type == RecordType::CNAME && !set.records.empty()) {
+        data->arena.push_back(std::get<CnameRecord>(set.records.front().rdata).target);
+        data->cname_target = &data->arena.back();
+      }
+    }
+  }
+
+  // A non-apex NS RRset is a zone cut: precompile the whole referral
+  // (NS authority, then glue in attach_glue() order — A then AAAA per
+  // NS record, duplicates preserved).
+  const RrSet* ns = (name == apex) ? nullptr : z.find(name, RecordType::NS);
+  if (ns != nullptr && !ns->records.empty()) {
+    data->is_cut = true;
+    std::uint32_t min_ttl = ns->ttl();
+    for (const auto& rr : ns->records) {
+      data->referral_frags.push_back(self_contain(rr, &data->owner));
+    }
+    data->referral_auth_end = static_cast<std::uint32_t>(data->referral_frags.size());
+    for (const auto& rr : ns->records) {
+      const auto& target = std::get<NsRecord>(rr.rdata).nameserver;
+      if (!target.is_subdomain_of(apex)) continue;
+      data->glue_targets.push_back(target);
+      data->arena.push_back(target);
+      const DnsName* glue_owner = &data->arena.back();
+      for (const RecordType t : {RecordType::A, RecordType::AAAA}) {
+        if (const RrSet* glue = z.find(target, t)) {
+          min_ttl = std::min(min_ttl, glue->ttl());
+          for (const auto& grr : glue->records) {
+            data->referral_frags.push_back(self_contain(grr, glue_owner));
+          }
+        }
+      }
+    }
+    data->referral_min_ttl = min_ttl;
+  }
+  return data;
+}
+
+std::int32_t CompiledZone::find_node_index(const DnsName& name) const {
+  auto it = std::lower_bound(nodes_.begin(), nodes_.end(), name,
+                             [](const Node& node, const DnsName& n) { return node.data->owner < n; });
+  if (it == nodes_.end() || !(it->data->owner == name)) return -1;
+  return static_cast<std::int32_t>(it - nodes_.begin());
+}
+
+void CompiledZone::finish(const Zone& z) {
+  const DnsName& apex = z.apex();
+  const std::size_t apex_depth = apex.label_count();
+
+  // Wildcard links: "*.parent" hangs off its parent node so the
+  // closest-encloser check is one indexed load. Version-level (a
+  // wildcard sibling appearing must relink an otherwise untouched
+  // parent), hence recomputed for every snapshot.
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    const DnsName& name = nodes_[i].data->owner;
+    if (name.label_count() > apex_depth && name.label(0) == "*") {
+      const std::int32_t parent = find_node_index(name.parent());
+      if (parent >= 0) nodes_[static_cast<std::size_t>(parent)].wildcard = static_cast<std::int32_t>(i);
+    }
+  }
+
+  // Negative-answer authority: the apex SOA with its TTL clamped to
+  // negative_ttl() (RFC 2308), shared by every NXDOMAIN/NODATA.
+  negative_soa_.clear();
+  if (const RrSet* soa = z.find(apex, RecordType::SOA); soa != nullptr && !soa->records.empty()) {
+    negative_ttl_ = z.negative_ttl();
+    WireFragment fragment = dns::make_wire_fragment(soa->records.front());
+    fragment.set_ttl(negative_ttl_);
+    negative_soa_.push_back(std::move(fragment));
+  }
+
+  const std::int32_t apex_index = find_node_index(apex);
+  apex_node_ = apex_index >= 0 ? static_cast<std::uint32_t>(apex_index) : 0;
+
+  fragment_count_ = negative_soa_.size();
+  for (const Node& node : nodes_) {
+    fragment_count_ += node.data->frags.size() + node.data->referral_frags.size();
+  }
+}
 
 CompiledZonePtr CompiledZone::compile(ZonePtr source) {
   const auto t0 = std::chrono::steady_clock::now();
@@ -46,100 +185,172 @@ CompiledZonePtr CompiledZone::compile(ZonePtr source) {
     }
   }
 
-  out->names_.assign(name_set.begin(), name_set.end());
-  std::map<DnsName, std::uint32_t> index_of;
-  for (std::uint32_t i = 0; i < out->names_.size(); ++i) index_of.emplace(out->names_[i], i);
-
-  // 2. Per-node record compilation: fragments in RecordType map order
-  //    (the interpreted iteration order), type ranges, CNAME target, and
-  //    the referral group for delegation cuts.
-  out->nodes_.reserve(out->names_.size());
-  for (std::uint32_t i = 0; i < out->names_.size(); ++i) {
-    const DnsName& name = out->names_[i];
+  // 2. Per-node record compilation, in canonical owner order.
+  out->nodes_.reserve(name_set.size());
+  out->index_.reserve(name_set.size());
+  for (const DnsName& name : name_set) {
     Node node;
-    node.name_index = i;
+    node.data = build_node(z, name, apex);
     node.depth = static_cast<std::uint16_t>(name.label_count());
-    node.ranges_begin = static_cast<std::uint32_t>(out->type_ranges_.size());
-    node.frag_begin = static_cast<std::uint32_t>(out->fragments_.size());
-    if (const auto* rrsets = z.rrsets_at(name)) {
-      for (const auto& [type, set] : *rrsets) {
-        TypeRange range;
-        range.type = type;
-        range.begin = static_cast<std::uint32_t>(out->fragments_.size());
-        range.ttl = set.ttl();
-        for (const auto& rr : set.records) out->fragments_.push_back(dns::make_wire_fragment(rr));
-        range.end = static_cast<std::uint32_t>(out->fragments_.size());
-        out->type_ranges_.push_back(range);
-        if (type == RecordType::CNAME && !set.records.empty()) {
-          node.cname_target = &std::get<CnameRecord>(set.records.front().rdata).target;
-        }
-      }
-    }
-    node.ranges_end = static_cast<std::uint32_t>(out->type_ranges_.size());
-    node.frag_end = static_cast<std::uint32_t>(out->fragments_.size());
-
-    // A non-apex NS RRset is a zone cut: precompile the whole referral
-    // (NS authority, then glue in attach_glue() order — A then AAAA per
-    // NS record, duplicates preserved).
-    const RrSet* ns = (name == apex) ? nullptr : z.find(name, RecordType::NS);
-    if (ns != nullptr && !ns->records.empty()) {
-      ReferralGroup group;
-      group.auth_begin = static_cast<std::uint32_t>(out->referral_fragments_.size());
-      std::uint32_t min_ttl = ns->ttl();
-      for (const auto& rr : ns->records) {
-        out->referral_fragments_.push_back(dns::make_wire_fragment(rr));
-      }
-      group.auth_end = static_cast<std::uint32_t>(out->referral_fragments_.size());
-      for (const auto& rr : ns->records) {
-        const auto& target = std::get<NsRecord>(rr.rdata).nameserver;
-        if (!target.is_subdomain_of(apex)) continue;
-        for (const RecordType t : {RecordType::A, RecordType::AAAA}) {
-          if (const RrSet* glue = z.find(target, t)) {
-            min_ttl = std::min(min_ttl, glue->ttl());
-            for (const auto& grr : glue->records) {
-              out->referral_fragments_.push_back(dns::make_wire_fragment(grr));
-            }
-          }
-        }
-      }
-      group.add_end = static_cast<std::uint32_t>(out->referral_fragments_.size());
-      group.min_ttl = min_ttl;
-      node.referral = static_cast<std::int32_t>(out->referral_groups_.size());
-      out->referral_groups_.push_back(group);
-    }
-    out->nodes_.push_back(node);
-  }
-
-  // 3. Wildcard links: "*.parent" hangs off its parent node so the
-  //    closest-encloser check is one indexed load.
-  for (std::uint32_t i = 0; i < out->names_.size(); ++i) {
-    const DnsName& name = out->names_[i];
-    if (name.label_count() > apex_depth && name.label(0) == "*") {
-      out->nodes_[index_of.at(name.parent())].wildcard = static_cast<std::int32_t>(i);
-    }
-  }
-
-  // 4. Negative-answer authority: the apex SOA with its TTL clamped to
-  //    negative_ttl() (RFC 2308), shared by every NXDOMAIN/NODATA.
-  if (const RrSet* soa = z.find(apex, RecordType::SOA); soa != nullptr && !soa->records.empty()) {
-    out->negative_ttl_ = z.negative_ttl();
-    WireFragment fragment = dns::make_wire_fragment(soa->records.front());
-    fragment.set_ttl(out->negative_ttl_);
-    out->negative_soa_.push_back(std::move(fragment));
-  }
-
-  // 5. Hash index over all existing names, sorted for binary search.
-  out->index_.reserve(out->names_.size());
-  for (std::uint32_t i = 0; i < out->names_.size(); ++i) {
-    out->index_.emplace_back(out->names_[i].suffix_hash(), i);
+    out->index_.emplace_back(name.suffix_hash(),
+                             static_cast<std::uint32_t>(out->nodes_.size()));
+    out->nodes_.push_back(std::move(node));
   }
   std::sort(out->index_.begin(), out->index_.end());
-  out->apex_node_ = index_of.at(apex);
 
+  out->finish(z);
   out->compile_micros_ = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() - t0)
           .count());
   return out;
+}
+
+CompiledZonePtr CompiledZone::compile_incremental(const CompiledZone& prev, ZonePtr source,
+                                                  const ZoneDiff& diff) {
+  // A diff that does not line up with the snapshot pair is a caller bug,
+  // but a full compile is always a correct answer — never corrupt state.
+  if (!(prev.apex() == source->apex()) || !(diff.apex == source->apex()) ||
+      prev.serial() != diff.from_serial || source->serial() != diff.to_serial) {
+    return compile(std::move(source));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const Zone& z = *source;
+  const DnsName& apex = z.apex();
+  const std::size_t apex_depth = apex.label_count();
+
+  // 1. Dirty set: owners the diff touches, plus every ancestor up to the
+  //    apex (ENTs may appear or vanish; the apex SOA always changes).
+  std::set<DnsName> dirty;
+  dirty.insert(apex);
+  const auto mark = [&dirty, apex_depth](const DnsName& name) {
+    DnsName cur = name;
+    while (cur.label_count() > apex_depth) {
+      if (!dirty.insert(cur).second) break;  // chain above already marked
+      cur = cur.parent();
+    }
+  };
+  std::set<DnsName> touched;  // diff record owners only (glue dependency probes)
+  for (const auto& rr : diff.deletions) {
+    mark(rr.name);
+    touched.insert(rr.name);
+  }
+  for (const auto& rr : diff.additions) {
+    mark(rr.name);
+    touched.insert(rr.name);
+  }
+  // 2. Glue dependents: a delegation cut bakes its targets' A/AAAA into
+  //    the referral group, so a change at a target rebuilds the cut too.
+  for (const Node& node : prev.nodes_) {
+    if (!node.data->is_cut) continue;
+    for (const DnsName& target : node.data->glue_targets) {
+      if (touched.contains(target)) {
+        mark(node.data->owner);
+        break;
+      }
+    }
+  }
+
+  auto out = std::make_shared<CompiledZone>();
+  out->source_ = std::move(source);
+  out->incremental_ = true;
+
+  // 3. Sorted merge of the previous node table with the dirty set:
+  //    untouched nodes are shared, dirty-and-existing nodes rebuilt,
+  //    dirty-and-gone nodes dropped, new names inserted in place.
+  out->nodes_.reserve(prev.nodes_.size() + dirty.size());
+  std::vector<std::int32_t> old_to_new(prev.nodes_.size(), -1);
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> fresh_index;
+  const auto emit_if_exists = [&](const DnsName& name) {
+    if (!(name == apex) && !z.subtree_exists(name)) return;
+    Node node;
+    node.data = build_node(z, name, apex);
+    node.depth = static_cast<std::uint16_t>(name.label_count());
+    out->nodes_.push_back(std::move(node));
+  };
+  auto dirty_it = dirty.begin();
+  for (std::size_t i = 0; i < prev.nodes_.size(); ++i) {
+    const DnsName& owner = prev.nodes_[i].data->owner;
+    while (dirty_it != dirty.end() && *dirty_it < owner) {
+      const std::size_t before = out->nodes_.size();
+      emit_if_exists(*dirty_it);  // brand-new name
+      if (out->nodes_.size() > before) {
+        fresh_index.emplace_back(dirty_it->suffix_hash(),
+                                 static_cast<std::uint32_t>(before));
+      }
+      ++dirty_it;
+    }
+    if (dirty_it != dirty.end() && *dirty_it == owner) {
+      const std::size_t before = out->nodes_.size();
+      emit_if_exists(owner);  // rebuilt (or removed when gone)
+      if (out->nodes_.size() > before) {
+        old_to_new[i] = static_cast<std::int32_t>(before);
+      }
+      ++dirty_it;
+    } else {
+      old_to_new[i] = static_cast<std::int32_t>(out->nodes_.size());
+      Node shared = prev.nodes_[i];
+      shared.wildcard = -1;  // version-level; relinked in finish()
+      out->nodes_.push_back(std::move(shared));
+      ++out->reused_nodes_;
+    }
+  }
+  while (dirty_it != dirty.end()) {
+    const std::size_t before = out->nodes_.size();
+    emit_if_exists(*dirty_it);
+    if (out->nodes_.size() > before) {
+      fresh_index.emplace_back(dirty_it->suffix_hash(), static_cast<std::uint32_t>(before));
+    }
+    ++dirty_it;
+  }
+
+  // 4. Hash index: remap the surviving entries (their hashes are
+  //    unchanged — same owners) and merge the sorted handful of new ones,
+  //    instead of rehashing and re-sorting every name.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> survivors;
+  survivors.reserve(out->nodes_.size());
+  for (const auto& [hash, old_idx] : prev.index_) {
+    const std::int32_t mapped = old_to_new[old_idx];
+    if (mapped >= 0) survivors.emplace_back(hash, static_cast<std::uint32_t>(mapped));
+  }
+  std::sort(fresh_index.begin(), fresh_index.end());
+  out->index_.resize(survivors.size() + fresh_index.size());
+  std::merge(survivors.begin(), survivors.end(), fresh_index.begin(), fresh_index.end(),
+             out->index_.begin());
+
+  out->finish(z);
+  out->compile_micros_ = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() - t0)
+          .count());
+  return out;
+}
+
+std::uint64_t CompiledZone::content_hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a_u32(h, serial());
+  h = hash_name(h, apex());
+  for (const Node& node : nodes_) {
+    const NodeData& data = *node.data;
+    h = hash_name(h, data.owner);
+    h = fnv1a_u32(h, node.depth);
+    h = fnv1a_u32(h, static_cast<std::uint32_t>(node.wildcard));
+    for (const TypeRange& range : data.ranges) {
+      h = fnv1a_u32(h, static_cast<std::uint32_t>(range.type));
+      h = fnv1a_u32(h, range.begin);
+      h = fnv1a_u32(h, range.end);
+      h = fnv1a_u32(h, range.ttl);
+    }
+    for (const WireFragment& fragment : data.frags) h = hash_fragment(h, fragment);
+    for (const WireFragment& fragment : data.referral_frags) h = hash_fragment(h, fragment);
+    h = fnv1a_u32(h, data.referral_auth_end);
+    h = fnv1a_u32(h, data.referral_min_ttl);
+    h = fnv1a_u32(h, data.is_cut ? 1u : 0u);
+    if (data.cname_target != nullptr) h = hash_name(h, *data.cname_target);
+  }
+  for (const WireFragment& fragment : negative_soa_) h = hash_fragment(h, fragment);
+  h = fnv1a_u32(h, negative_ttl_);
+  h = fnv1a_u32(h, apex_node_);
+  return h;
 }
 
 const CompiledZone::Node* CompiledZone::find_node(std::uint64_t hash, const DnsName& qname,
@@ -151,17 +362,17 @@ const CompiledZone::Node* CompiledZone::find_node(std::uint64_t hash, const DnsN
       });
   for (; it != index_.end() && it->first == hash; ++it) {
     const Node& node = nodes_[it->second];
-    if (node.depth == depth && names_[node.name_index].equals_tail_of(qname, depth)) {
+    if (node.depth == depth && node.data->owner.equals_tail_of(qname, depth)) {
       return &node;
     }
   }
   return nullptr;
 }
 
-const CompiledZone::TypeRange* CompiledZone::find_range(const Node& node,
-                                                        dns::RecordType type) const noexcept {
-  for (std::uint32_t i = node.ranges_begin; i < node.ranges_end; ++i) {
-    if (type_ranges_[i].type == type) return &type_ranges_[i];
+const CompiledZone::TypeRange* CompiledZone::find_range(const NodeData& data,
+                                                        dns::RecordType type) noexcept {
+  for (const TypeRange& range : data.ranges) {
+    if (range.type == type) return &range;
   }
   return nullptr;
 }
@@ -199,17 +410,17 @@ CompiledAnswer CompiledZone::lookup(const DnsName& qname, dns::RecordType qtype)
     const Node* next = find_node(hashes[depth], qname, depth);
     if (next == nullptr) {
       if (node->wildcard >= 0) {  // wildcard at the closest encloser (RFC 4592)
-        const Node& wild = nodes_[static_cast<std::uint32_t>(node->wildcard)];
+        const NodeData& wild = *nodes_[static_cast<std::uint32_t>(node->wildcard)].data;
         out.wildcard_match = true;
         if (const TypeRange* range = find_range(wild, qtype)) {
           out.status = LookupStatus::Answer;
-          out.answers = subspan(fragments_, range->begin, range->end);
+          out.answers = subspan(wild.frags, range->begin, range->end);
           out.min_ttl = range->ttl;
           return out;
         }
         if (const TypeRange* range = find_range(wild, RecordType::CNAME)) {
           out.status = LookupStatus::CnameChase;
-          out.answers = subspan(fragments_, range->begin, range->end);
+          out.answers = subspan(wild.frags, range->begin, range->end);
           out.cname_target = wild.cname_target;
           out.min_ttl = range->ttl;
           return out;
@@ -220,12 +431,13 @@ CompiledAnswer CompiledZone::lookup(const DnsName& qname, dns::RecordType qtype)
       }
       return negative(LookupStatus::NxDomain);
     }
-    if (next->referral >= 0) {
-      const ReferralGroup& group = referral_groups_[static_cast<std::uint32_t>(next->referral)];
+    if (next->data->is_cut) {
+      const NodeData& cut = *next->data;
       out.status = LookupStatus::Referral;
-      out.authority = subspan(referral_fragments_, group.auth_begin, group.auth_end);
-      out.additional = subspan(referral_fragments_, group.auth_end, group.add_end);
-      out.min_ttl = group.min_ttl;
+      out.authority = subspan(cut.referral_frags, 0, cut.referral_auth_end);
+      out.additional = subspan(cut.referral_frags, cut.referral_auth_end,
+                               static_cast<std::uint32_t>(cut.referral_frags.size()));
+      out.min_ttl = cut.referral_min_ttl;
       return out;
     }
     node = next;
@@ -234,26 +446,25 @@ CompiledAnswer CompiledZone::lookup(const DnsName& qname, dns::RecordType qtype)
   // Exact match (possibly an ENT, whose empty ranges fall through to
   // NODATA — including for ANY, matching the interpreted path where an
   // ENT is not a node at all).
-  if (const TypeRange* range = find_range(*node, qtype)) {
+  const NodeData& data = *node->data;
+  if (const TypeRange* range = find_range(data, qtype)) {
     out.status = LookupStatus::Answer;
-    out.answers = subspan(fragments_, range->begin, range->end);
+    out.answers = subspan(data.frags, range->begin, range->end);
     out.min_ttl = range->ttl;
     return out;
   }
-  if (qtype == RecordType::ANY && node->frag_end > node->frag_begin) {
+  if (qtype == RecordType::ANY && !data.frags.empty()) {
     out.status = LookupStatus::Answer;
-    out.answers = subspan(fragments_, node->frag_begin, node->frag_end);
+    out.answers = std::span<const WireFragment>(data.frags);
     std::uint32_t min_ttl = UINT32_MAX;
-    for (std::uint32_t i = node->ranges_begin; i < node->ranges_end; ++i) {
-      min_ttl = std::min(min_ttl, type_ranges_[i].ttl);
-    }
+    for (const TypeRange& range : data.ranges) min_ttl = std::min(min_ttl, range.ttl);
     out.min_ttl = min_ttl;
     return out;
   }
-  if (const TypeRange* range = find_range(*node, RecordType::CNAME)) {
+  if (const TypeRange* range = find_range(data, RecordType::CNAME)) {
     out.status = LookupStatus::CnameChase;
-    out.answers = subspan(fragments_, range->begin, range->end);
-    out.cname_target = node->cname_target;
+    out.answers = subspan(data.frags, range->begin, range->end);
+    out.cname_target = data.cname_target;
     out.min_ttl = range->ttl;
     return out;
   }

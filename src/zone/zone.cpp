@@ -57,7 +57,36 @@ std::size_t Zone::remove(const DnsName& name, RecordType type) {
   return n;
 }
 
+bool Zone::remove_record(const ResourceRecord& rr) {
+  auto it = nodes_.find(rr.name);
+  if (it == nodes_.end()) return false;
+  auto set_it = it->second.rrsets.find(rr.type());
+  if (set_it == it->second.rrsets.end()) return false;
+  auto& records = set_it->second.records;
+  auto match = std::find(records.begin(), records.end(), rr);
+  if (match == records.end()) return false;
+  records.erase(match);
+  if (records.empty()) it->second.rrsets.erase(set_it);
+  if (it->second.rrsets.empty()) nodes_.erase(it);
+  --record_count_;
+  return true;
+}
+
+void Zone::set_soa_serial(std::uint32_t serial) {
+  serial_ = serial;
+  auto it = nodes_.find(apex_);
+  if (it == nodes_.end()) return;
+  auto set_it = it->second.rrsets.find(RecordType::SOA);
+  if (set_it == it->second.rrsets.end() || set_it->second.records.empty()) return;
+  std::get<SoaRecord>(set_it->second.records.front().rdata).serial = serial;
+}
+
 bool Zone::has_name(const DnsName& name) const { return nodes_.contains(name); }
+
+bool Zone::subtree_exists(const DnsName& name) const {
+  auto it = nodes_.lower_bound(name);
+  return it != nodes_.end() && (it->first == name || it->first.is_subdomain_of(name));
+}
 
 const Zone::Node* Zone::find_node(const DnsName& name) const {
   auto it = nodes_.find(name);

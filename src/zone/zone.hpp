@@ -66,8 +66,23 @@ class Zone {
   /// Removes the RRset (name, type); returns number of records removed.
   std::size_t remove(const DnsName& name, RecordType type);
 
+  /// Removes one exact record (owner, type, TTL, rdata all matching);
+  /// returns false when the zone holds no such record — the IXFR
+  /// "deletion of a record the base does not hold" case.
+  bool remove_record(const ResourceRecord& rr);
+
+  /// Rewrites the zone serial in place, both the cached value and the
+  /// serial field of the apex SOA rdata — the only mutation an applied
+  /// IXFR delta performs beyond record add/remove.
+  void set_soa_serial(std::uint32_t serial);
+
   /// True if any RRset exists at this exact name.
   bool has_name(const DnsName& name) const;
+
+  /// True when `name` exists in RFC 4592 terms: it owns records, or it is
+  /// an empty non-terminal with records somewhere below it. One
+  /// lower_bound probe — canonical order groups subtrees.
+  bool subtree_exists(const DnsName& name) const;
 
   /// The RRset at (name, type), or nullptr.
   const RrSet* find(const DnsName& name, RecordType type) const;

@@ -4,29 +4,83 @@
 
 namespace akadns::zone {
 
-void ZoneStore::store(Zone zone) {
-  const DnsName apex = zone.apex();
-  CompiledZonePtr compiled = CompiledZone::compile(std::make_shared<const Zone>(std::move(zone)));
-  ++compile_stats_.compiles;
-  compile_stats_.total_micros += compiled->compile_micros();
-  compile_stats_.last_micros = compiled->compile_micros();
-  compile_stats_.last_nodes = compiled->node_count();
-  compile_stats_.last_fragments = compiled->fragment_count();
+void ZoneStore::note_compile(const CompiledZone& compiled) {
+  compile_stats_.total_micros += compiled.compile_micros();
+  compile_stats_.last_micros = compiled.compile_micros();
+  compile_stats_.last_nodes = compiled.node_count();
+  compile_stats_.last_fragments = compiled.fragment_count();
+  compile_stats_.last_reused_nodes = compiled.reused_nodes();
+}
+
+void ZoneStore::install(CompiledZonePtr compiled) {
+  const DnsName& apex = compiled->apex();
   zones_[apex] = std::move(compiled);
   ++generation_;
   rebuild_index();
 }
 
+void ZoneStore::store(ZonePtr zone) {
+  CompiledZonePtr compiled = CompiledZone::compile(std::move(zone));
+  ++compile_stats_.compiles;
+  note_compile(*compiled);
+  install(std::move(compiled));
+}
+
 bool ZoneStore::publish(Zone zone) {
-  auto it = zones_.find(zone.apex());
-  if (it != zones_.end() && it->second->serial() >= zone.serial()) {
+  return publish(std::make_shared<const Zone>(std::move(zone)));
+}
+
+bool ZoneStore::publish(ZonePtr zone) {
+  auto it = zones_.find(zone->apex());
+  if (it != zones_.end() && it->second->serial() >= zone->serial()) {
     return false;
   }
   store(std::move(zone));
   return true;
 }
 
-void ZoneStore::force_publish(Zone zone) { store(std::move(zone)); }
+void ZoneStore::force_publish(Zone zone) {
+  force_publish(std::make_shared<const Zone>(std::move(zone)));
+}
+
+void ZoneStore::force_publish(ZonePtr zone) { store(std::move(zone)); }
+
+Result<CompiledZonePtr> ZoneStore::apply_delta(const ZoneDiff& diff) {
+  auto fail = [](std::string what) { return Result<CompiledZonePtr>::failure(std::move(what)); };
+  auto it = zones_.find(diff.apex);
+  if (it == zones_.end()) {
+    return fail("no zone at " + diff.apex.to_string() + " (fall back to AXFR)");
+  }
+  const CompiledZonePtr& current = it->second;
+  if (current->serial() != diff.from_serial) {
+    return fail("serial mismatch: have " + std::to_string(current->serial()) + ", diff from " +
+                std::to_string(diff.from_serial) + " (fall back to AXFR)");
+  }
+  auto next = apply_diff(current->zone(), diff);
+  if (!next) return fail(next.error());
+  CompiledZonePtr compiled = CompiledZone::compile_incremental(
+      *current, std::make_shared<const Zone>(std::move(next).take()), diff);
+  ++compile_stats_.incremental_compiles;
+  note_compile(*compiled);
+  install(compiled);
+  return compiled;
+}
+
+bool ZoneStore::publish_compiled(CompiledZonePtr compiled, bool force) {
+  auto it = zones_.find(compiled->apex());
+  if (!force && it != zones_.end() && it->second->serial() >= compiled->serial()) {
+    return false;
+  }
+  ++compile_stats_.adopted;
+  install(std::move(compiled));
+  return true;
+}
+
+void ZoneStore::adopt(const ZoneStore& other) {
+  for (const DnsName& apex : other.zone_apexes()) {
+    publish_compiled(other.find_compiled(apex), /*force=*/true);
+  }
+}
 
 bool ZoneStore::remove(const DnsName& apex) {
   if (zones_.erase(apex) == 0) return false;

@@ -7,10 +7,14 @@
 //
 // Every accepted publish compiles the snapshot into a CompiledZone
 // (answer-ready node table + wire fragments) before the swap, so the hot
-// read path only ever sees fully-built snapshots. The query-time entry
-// point, find_best_compiled(), does longest-suffix matching with one
-// incremental hash pass over the query name — zero heap allocations even
-// on the miss path, which is what a REFUSED flood exercises.
+// read path only ever sees fully-built snapshots. Three publish shapes
+// exist, cheapest first: publish_compiled() installs an already-compiled
+// snapshot shared with another store (replica seeding), apply_delta()
+// incrementally recompiles only the nodes a ZoneDiff touches, and
+// publish() compiles from scratch. The query-time entry point,
+// find_best_compiled(), does longest-suffix matching with one incremental
+// hash pass over the query name — zero heap allocations even on the miss
+// path, which is what a REFUSED flood exercises.
 #pragma once
 
 #include <bitset>
@@ -20,18 +24,25 @@
 #include <utility>
 #include <vector>
 
+#include "common/result.hpp"
 #include "zone/compiled_zone.hpp"
 #include "zone/zone.hpp"
+#include "zone/zone_transfer.hpp"
 
 namespace akadns::zone {
 
 /// Cumulative cost of publish-time compilation (telemetry surface).
 struct CompileStats {
-  std::uint64_t compiles = 0;
+  std::uint64_t compiles = 0;              // from-scratch compiles
+  std::uint64_t incremental_compiles = 0;  // delta-driven recompiles
+  std::uint64_t adopted = 0;               // pre-compiled snapshots installed
   std::uint64_t total_micros = 0;
   std::uint64_t last_micros = 0;
   std::uint64_t last_nodes = 0;
   std::uint64_t last_fragments = 0;
+  /// Nodes shared with the previous snapshot by the last incremental
+  /// compile — the work the delta path avoided redoing.
+  std::uint64_t last_reused_nodes = 0;
 };
 
 class ZoneStore {
@@ -41,9 +52,28 @@ class ZoneStore {
   /// Compilation happens before the swap; readers never see a half-built
   /// snapshot.
   bool publish(Zone zone);
+  bool publish(ZonePtr zone);
 
   /// Force-publishes regardless of serial (operator override path).
   void force_publish(Zone zone);
+  void force_publish(ZonePtr zone);
+
+  /// Applies an IXFR delta to the stored snapshot, incrementally
+  /// recompiling only the nodes the diff touches. Fails — leaving the
+  /// store untouched — when no zone exists at the diff's apex, the stored
+  /// serial does not match diff.from_serial, or the diff names a record
+  /// the base does not hold: the RFC 1995 "fall back to AXFR" cases.
+  /// Returns the newly installed snapshot on success.
+  Result<CompiledZonePtr> apply_delta(const ZoneDiff& diff);
+
+  /// Installs an already-compiled snapshot (shared with the compiling
+  /// store — no recompilation, just the swap). Serial rules apply unless
+  /// `force`; returns false when rejected.
+  bool publish_compiled(CompiledZonePtr compiled, bool force = false);
+
+  /// Force-installs every compiled snapshot of `other` (replica seeding:
+  /// the snapshots are shared, not recompiled).
+  void adopt(const ZoneStore& other);
 
   /// Removes a zone; returns true if it existed.
   bool remove(const DnsName& apex);
@@ -86,7 +116,9 @@ class ZoneStore {
     const std::pair<const DnsName, CompiledZonePtr>* entry = nullptr;
   };
 
-  void store(Zone zone);
+  void store(ZonePtr zone);
+  void install(CompiledZonePtr compiled);
+  void note_compile(const CompiledZone& compiled);
   void rebuild_index();
 
   std::map<DnsName, CompiledZonePtr> zones_;

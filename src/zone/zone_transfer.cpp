@@ -125,97 +125,137 @@ Result<Zone> apply_diff(const Zone& base, const ZoneDiff& diff) {
     return fail("serial mismatch: have " + std::to_string(base.serial()) + ", diff from " +
                 std::to_string(diff.from_serial) + " (fall back to AXFR)");
   }
-  const auto old_soa = base.soa();
-  if (!old_soa) return fail("base zone lacks an SOA");
+  if (!base.soa()) return fail("base zone lacks an SOA");
 
-  Zone next(base.apex(), diff.to_serial);
-  // Start from the base records minus deletions.
-  std::map<std::string, int> to_delete;
-  for (const auto& rr : diff.deletions) ++to_delete[record_key(rr)];
-  for (const auto& rr : base.all_records()) {
-    if (rr.type() == RecordType::SOA) continue;
-    const auto key = record_key(rr);
-    if (auto it = to_delete.find(key); it != to_delete.end() && it->second > 0) {
-      --it->second;
-      continue;
+  // Copy, then touch only the diffed records: untouched RRsets carry over
+  // verbatim (they were admissible in the base), so a small delta against
+  // a big zone costs O(zone) copy + O(diff) edits instead of re-adding
+  // and re-validating every record.
+  Zone next = base;
+  for (const auto& rr : diff.deletions) {
+    if (rr.type() == RecordType::SOA) {
+      return fail("deletion names the SOA (serials travel in the envelope): " + rr.to_string() +
+                  " (fall back to AXFR)");
     }
-    if (!next.add(rr)) return fail("carry-over record rejected: " + rr.to_string());
-  }
-  for (const auto& [key, remaining] : to_delete) {
-    if (remaining > 0) {
-      return fail("deletion of a record the base does not hold: " + key +
+    if (!next.remove_record(rr)) {
+      return fail("deletion of a record the base does not hold: " + record_key(rr) +
                   " (fall back to AXFR)");
     }
   }
-  // New SOA with the target serial.
-  auto soa_rr = *old_soa;
-  auto soa_data = std::get<SoaRecord>(soa_rr.rdata);
-  soa_data.serial = diff.to_serial;
-  soa_rr.rdata = soa_data;
-  if (!next.add(soa_rr)) return fail("failed to install the new SOA");
-  // Additions.
+  next.set_soa_serial(diff.to_serial);
   for (const auto& rr : diff.additions) {
     if (!next.add(rr)) return fail("addition rejected: " + rr.to_string());
   }
   return next;
 }
 
-dns::Message ixfr_serialize(const ZoneDiff& diff, std::uint16_t transaction_id) {
+namespace {
+
+ResourceRecord soa_with_serial(const DnsName& apex, std::uint32_t serial) {
+  SoaRecord soa;
+  soa.mname = apex;
+  soa.rname = apex;
+  soa.serial = serial;
+  return ResourceRecord{apex, dns::RecordClass::IN, 3600, soa};
+}
+
+}  // namespace
+
+dns::Message ixfr_serialize_chain(std::span<const ZoneDiff> chain,
+                                  std::uint16_t transaction_id) {
+  if (chain.empty()) throw std::invalid_argument("cannot serialize an empty IXFR chain");
+  const DnsName& apex = chain.front().apex;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (!(chain[i].apex == apex)) throw std::invalid_argument("IXFR chain mixes apexes");
+    if (chain[i].to_serial <= chain[i].from_serial) {
+      throw std::invalid_argument("IXFR delta serial must increase");
+    }
+    if (i > 0 && chain[i].from_serial != chain[i - 1].to_serial) {
+      throw std::invalid_argument("IXFR chain is not contiguous");
+    }
+  }
+  const std::uint32_t latest = chain.back().to_serial;
+
   Message m;
   m.header.id = transaction_id;
   m.header.qr = true;
   m.header.aa = true;
-  m.questions.push_back(dns::Question{diff.apex, RecordType::ANY, dns::RecordClass::IN});
+  m.questions.push_back(dns::Question{apex, RecordType::ANY, dns::RecordClass::IN});
 
-  auto soa_with_serial = [&diff](std::uint32_t serial) {
-    SoaRecord soa;
-    soa.mname = diff.apex;
-    soa.rname = diff.apex;
-    soa.serial = serial;
-    return ResourceRecord{diff.apex, dns::RecordClass::IN, 3600, soa};
-  };
-  // RFC 1995 layout: new-SOA, old-SOA, deletions, new-SOA, additions, new-SOA.
-  m.answers.push_back(soa_with_serial(diff.to_serial));
-  m.answers.push_back(soa_with_serial(diff.from_serial));
-  m.answers.insert(m.answers.end(), diff.deletions.begin(), diff.deletions.end());
-  m.answers.push_back(soa_with_serial(diff.to_serial));
-  m.answers.insert(m.answers.end(), diff.additions.begin(), diff.additions.end());
-  m.answers.push_back(soa_with_serial(diff.to_serial));
+  // RFC 1995 layout: latest-SOA, then per delta old-SOA, deletions,
+  // new-SOA, additions; the latest SOA closes the stream.
+  m.answers.push_back(soa_with_serial(apex, latest));
+  for (const ZoneDiff& diff : chain) {
+    m.answers.push_back(soa_with_serial(apex, diff.from_serial));
+    m.answers.insert(m.answers.end(), diff.deletions.begin(), diff.deletions.end());
+    m.answers.push_back(soa_with_serial(apex, diff.to_serial));
+    m.answers.insert(m.answers.end(), diff.additions.begin(), diff.additions.end());
+  }
+  m.answers.push_back(soa_with_serial(apex, latest));
   return m;
 }
 
-Result<ZoneDiff> ixfr_parse(const dns::Message& message) {
-  auto fail = [](std::string what) { return Result<ZoneDiff>::failure(std::move(what)); };
+dns::Message ixfr_serialize(const ZoneDiff& diff, std::uint16_t transaction_id) {
+  return ixfr_serialize_chain(std::span<const ZoneDiff>(&diff, 1), transaction_id);
+}
+
+Result<std::vector<ZoneDiff>> ixfr_parse_chain(const dns::Message& message) {
+  auto fail = [](std::string what) {
+    return Result<std::vector<ZoneDiff>>::failure(std::move(what));
+  };
   const auto& answers = message.answers;
   if (answers.size() < 4) return fail("IXFR message too short");
   if (answers.front().type() != RecordType::SOA) return fail("IXFR must open with SOA");
   if (answers.back().type() != RecordType::SOA) return fail("IXFR must close with SOA");
-
-  ZoneDiff diff;
-  diff.apex = answers.front().name;
-  diff.to_serial = std::get<SoaRecord>(answers.front().rdata).serial;
-  if (answers[1].type() != RecordType::SOA) return fail("missing old-serial SOA");
-  diff.from_serial = std::get<SoaRecord>(answers[1].rdata).serial;
-  if (std::get<SoaRecord>(answers.back().rdata).serial != diff.to_serial) {
+  const DnsName apex = answers.front().name;
+  const std::uint32_t latest = std::get<SoaRecord>(answers.front().rdata).serial;
+  if (std::get<SoaRecord>(answers.back().rdata).serial != latest) {
     return fail("closing SOA serial mismatch");
   }
 
-  // Walk: deletions until the next SOA (with to_serial), then additions.
-  bool in_additions = false;
-  for (std::size_t i = 2; i + 1 < answers.size(); ++i) {
-    const auto& rr = answers[i];
-    if (rr.type() == RecordType::SOA) {
-      const auto serial = std::get<SoaRecord>(rr.rdata).serial;
-      if (serial != diff.to_serial || in_additions) {
-        return fail("unexpected SOA inside IXFR body");
-      }
-      in_additions = true;
-      continue;
+  // Walk SOA-delimited segments: each delta is old-SOA, deletions,
+  // new-SOA, additions; the additions run ends at the next SOA (the
+  // following delta's old-SOA, or the closing SOA).
+  std::vector<ZoneDiff> chain;
+  std::size_t i = 1;
+  while (i < answers.size() - 1) {
+    if (answers[i].type() != RecordType::SOA) return fail("expected delta-opening SOA");
+    ZoneDiff diff;
+    diff.apex = apex;
+    diff.from_serial = std::get<SoaRecord>(answers[i].rdata).serial;
+    ++i;
+    while (i < answers.size() && answers[i].type() != RecordType::SOA) {
+      diff.deletions.push_back(answers[i]);
+      ++i;
     }
-    (in_additions ? diff.additions : diff.deletions).push_back(rr);
+    if (i == answers.size()) return fail("IXFR delta truncated before its new-serial SOA");
+    diff.to_serial = std::get<SoaRecord>(answers[i].rdata).serial;
+    ++i;
+    while (i < answers.size() && answers[i].type() != RecordType::SOA) {
+      diff.additions.push_back(answers[i]);
+      ++i;
+    }
+    if (i == answers.size()) return fail("IXFR body missing the closing SOA");
+    if (diff.to_serial <= diff.from_serial) return fail("IXFR delta serial does not increase");
+    if (!chain.empty() && diff.from_serial != chain.back().to_serial) {
+      return fail("IXFR chain is not contiguous (fall back to AXFR)");
+    }
+    chain.push_back(std::move(diff));
   }
-  if (!in_additions) return fail("IXFR body missing the additions separator SOA");
-  return diff;
+  if (chain.empty()) return fail("IXFR body carries no delta");
+  if (chain.back().to_serial != latest) {
+    return fail("IXFR chain does not end at the announced serial");
+  }
+  return chain;
+}
+
+Result<ZoneDiff> ixfr_parse(const dns::Message& message) {
+  auto chain = ixfr_parse_chain(message);
+  if (!chain) return Result<ZoneDiff>::failure(chain.error());
+  if (chain.value().size() != 1) {
+    return Result<ZoneDiff>::failure("multi-delta IXFR message: use ixfr_parse_chain");
+  }
+  return std::move(chain).take().front();
 }
 
 }  // namespace akadns::zone

@@ -61,13 +61,31 @@ ZoneDiff diff_zones(const Zone& from, const Zone& to);
 /// Applies a diff to a base zone, producing the new version. Fails when
 /// the base serial does not match diff.from_serial or a deletion names a
 /// record the base does not hold (the RFC 1995 "fall back to AXFR" case).
+/// O(zone + diff): the base is copied and only the diffed records touched,
+/// so a small delta against a big zone costs the map copy, not a rebuild.
 Result<Zone> apply_diff(const Zone& base, const ZoneDiff& diff);
 
-/// Serializes a diff as an IXFR response message (single-message form):
+/// Serializes a diff as an IXFR response message (single-delta form):
 /// new-SOA, old-SOA, deletions, new-SOA, additions, new-SOA.
 dns::Message ixfr_serialize(const ZoneDiff& diff, std::uint16_t transaction_id = 0);
 
-/// Parses an IXFR response message back into a diff.
+/// Serializes a contiguous delta chain as one IXFR response (RFC 1995
+/// multi-delta form): latest-SOA, then per delta old-SOA, deletions,
+/// new-SOA, additions, closed by the latest SOA. Throws
+/// std::invalid_argument on an empty, apex-mixed, or non-contiguous
+/// chain — the journal only ever hands out contiguous windows.
+dns::Message ixfr_serialize_chain(std::span<const ZoneDiff> chain,
+                                  std::uint16_t transaction_id = 0);
+
+/// Parses an IXFR response message back into a single diff. Multi-delta
+/// messages are rejected; use ixfr_parse_chain.
 Result<ZoneDiff> ixfr_parse(const dns::Message& message);
+
+/// Parses a (possibly multi-delta) IXFR response into its delta chain,
+/// validating the SOA skeleton: serials strictly increase per delta, the
+/// chain is contiguous, and it ends at the latest serial announced by the
+/// opening SOA. Any violation is a parse failure — the consumer falls
+/// back to AXFR instead of applying a suspect diff.
+Result<std::vector<ZoneDiff>> ixfr_parse_chain(const dns::Message& message);
 
 }  // namespace akadns::zone

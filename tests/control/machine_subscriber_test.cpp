@@ -22,9 +22,11 @@ zone::Zone example_zone(std::uint32_t serial, const char* www_address) {
 TEST(MachineSubscriber, ZoneSnapshotLandsInLocalStore) {
   EventScheduler sched;
   ControlPlane plane(sched, 1);
+  SchedulerClock clock(sched);
+  propagation::ZonePublisher publisher(clock);
   pop::Machine machine({.id = "m1"});
   subscribe_machine_to_zone(plane, machine, DnsName::from("example.com"));
-  publish_zone(plane, example_zone(1, "10.0.0.2"));
+  publish_zone(plane, publisher, example_zone(1, "10.0.0.2"));
   sched.run();
   ASSERT_TRUE(machine.local_store()->has_zone(DnsName::from("example.com")));
   const auto result = machine.nameserver().responder().respond(
@@ -36,11 +38,13 @@ TEST(MachineSubscriber, ZoneSnapshotLandsInLocalStore) {
 TEST(MachineSubscriber, UpdateReplacesZoneVersion) {
   EventScheduler sched;
   ControlPlane plane(sched, 2);
+  SchedulerClock clock(sched);
+  propagation::ZonePublisher publisher(clock);
   pop::Machine machine({.id = "m1"});
   subscribe_machine_to_zone(plane, machine, DnsName::from("example.com"));
-  publish_zone(plane, example_zone(1, "10.0.0.2"));
+  publish_zone(plane, publisher, example_zone(1, "10.0.0.2"));
   sched.run();
-  publish_zone(plane, example_zone(2, "10.0.0.99"));
+  publish_zone(plane, publisher, example_zone(2, "10.0.0.99"));
   sched.run();
   const auto zone = machine.local_store()->find_zone(DnsName::from("example.com"));
   ASSERT_NE(zone, nullptr);
@@ -53,10 +57,12 @@ TEST(MachineSubscriber, UpdateReplacesZoneVersion) {
 TEST(MachineSubscriber, DeliveryRefreshesMetadataTimestamp) {
   EventScheduler sched;
   ControlPlane plane(sched, 3);
+  SchedulerClock clock(sched);
+  propagation::ZonePublisher publisher(clock);
   pop::Machine machine({.id = "m1"});
   subscribe_machine_to_zone(plane, machine, DnsName::from("example.com"));
   const auto before = machine.nameserver().last_metadata_update();
-  publish_zone(plane, example_zone(1, "10.0.0.2"));
+  publish_zone(plane, publisher, example_zone(1, "10.0.0.2"));
   sched.run();
   EXPECT_GT(machine.nameserver().last_metadata_update(), before);
 }
@@ -64,15 +70,17 @@ TEST(MachineSubscriber, DeliveryRefreshesMetadataTimestamp) {
 TEST(MachineSubscriber, PartialConnectivityCausesStalenessThenCatchUp) {
   EventScheduler sched;
   ControlPlane plane(sched, 4);
+  SchedulerClock clock(sched);
+  propagation::ZonePublisher publisher(clock);
   pop::Machine machine({.id = "m1",
                         .nameserver = {.staleness_threshold = Duration::seconds(30)}});
   subscribe_machine_to_zone(plane, machine, DnsName::from("example.com"));
-  publish_zone(plane, example_zone(1, "10.0.0.2"));
+  publish_zone(plane, publisher, example_zone(1, "10.0.0.2"));
   sched.run();
 
   // Transit links fail: metadata cut off, staleness builds (§4.2.2).
   machine.inject_failure(pop::FailureType::PartialConnectivity);
-  publish_zone(plane, example_zone(2, "10.0.0.3"));
+  publish_zone(plane, publisher, example_zone(2, "10.0.0.3"));
   sched.run_until(sched.now() + Duration::minutes(2));
   EXPECT_EQ(machine.local_store()->find_zone(DnsName::from("example.com"))->serial(), 1u);
   EXPECT_TRUE(machine.nameserver().is_stale(sched.now()));
@@ -91,12 +99,14 @@ TEST(MachineSubscriber, PartialConnectivityCausesStalenessThenCatchUp) {
 TEST(MachineSubscriber, InputDelayedMachineLagsByAnHour) {
   EventScheduler sched;
   ControlPlane plane(sched, 5);
+  SchedulerClock clock(sched);
+  propagation::ZonePublisher publisher(clock);
   pop::Machine regular({.id = "regular"});
   pop::Machine delayed({.id = "delayed", .input_delayed = true});
   subscribe_machine_to_zone(plane, regular, DnsName::from("example.com"));
   subscribe_machine_to_zone(plane, delayed, DnsName::from("example.com"),
                             Duration::hours(1));
-  publish_zone(plane, example_zone(1, "10.0.0.2"));
+  publish_zone(plane, publisher, example_zone(1, "10.0.0.2"));
   sched.run_until(SimTime::from_seconds(60));
   EXPECT_TRUE(regular.local_store()->has_zone(DnsName::from("example.com")));
   EXPECT_FALSE(delayed.local_store()->has_zone(DnsName::from("example.com")));
@@ -107,16 +117,20 @@ TEST(MachineSubscriber, InputDelayedMachineLagsByAnHour) {
 TEST(MachineSubscriber, InvalidZoneRejectedAtPublish) {
   EventScheduler sched;
   ControlPlane plane(sched, 6);
+  SchedulerClock clock(sched);
+  propagation::ZonePublisher publisher(clock);
   // No NS at apex -> Management Portal validation rejects.
   zone::Zone bad(DnsName::from("bad.com"), 1);
   bad.add(dns::make_soa(DnsName::from("bad.com"), DnsName::from("ns.bad.com"),
                         DnsName::from("admin.bad.com"), 1, 3600));
-  EXPECT_THROW(publish_zone(plane, std::move(bad)), std::invalid_argument);
+  EXPECT_THROW(publish_zone(plane, publisher, std::move(bad)), std::invalid_argument);
 }
 
 TEST(MachineSubscriber, SharedStoreMachineRejected) {
   EventScheduler sched;
   ControlPlane plane(sched, 7);
+  SchedulerClock clock(sched);
+  propagation::ZonePublisher publisher(clock);
   zone::ZoneStore shared;
   pop::Machine machine({.id = "shared"}, shared);
   EXPECT_THROW(
@@ -127,6 +141,8 @@ TEST(MachineSubscriber, SharedStoreMachineRejected) {
 TEST(MachineSubscriber, MappingSubscriptionRefreshesTimestamp) {
   EventScheduler sched;
   ControlPlane plane(sched, 8);
+  SchedulerClock clock(sched);
+  propagation::ZonePublisher publisher(clock);
   pop::Machine machine({.id = "m1"});
   subscribe_machine_to_mapping(plane, machine);
   const auto before = machine.nameserver().last_metadata_update();

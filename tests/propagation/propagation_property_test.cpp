@@ -1,0 +1,258 @@
+// Property tests for the propagation pipeline: random zone-version
+// chains must reconstruct exactly through every path a replica can take
+// — incremental recompile, journaled IXFR over the wire, publisher chain
+// ingest — and every discontinuity (journal gap, reset, unknown apex)
+// must fall back to AXFR rather than apply a suspect diff.
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <map>
+#include <string>
+
+#include "common/rng.hpp"
+#include "dns/wire.hpp"
+#include "propagation/transfer_service.hpp"
+#include "propagation/zone_journal.hpp"
+#include "propagation/zone_publisher.hpp"
+#include "zone/zone_builder.hpp"
+
+namespace akadns::propagation {
+namespace {
+
+using dns::DnsName;
+using zone::CompiledZone;
+using zone::Zone;
+using zone::ZoneBuilder;
+using zone::ZoneDiff;
+
+const DnsName kApex = DnsName::from("prop.example");
+
+// The model a random version chain evolves: hostname -> address octet.
+// Realizing a model always yields the same bytes, so any two parties
+// holding the same model hold byte-identical zones.
+struct Model {
+  std::uint32_t serial = 1;
+  std::map<std::string, std::uint8_t> hosts;
+};
+
+Zone realize(const Model& model) {
+  ZoneBuilder builder("prop.example", model.serial);
+  builder.soa("ns1.prop.example", "hostmaster.prop.example", model.serial);
+  builder.ns("@", "ns1.prop.example");
+  builder.a("ns1", "10.0.0.1");
+  for (const auto& [host, octet] : model.hosts) {
+    builder.a(host, "192.0.2." + std::to_string(octet));
+  }
+  return builder.build();
+}
+
+Model initial_model(Rng& rng) {
+  Model model;
+  const auto hosts = 3 + rng.next_below(10);
+  for (std::uint64_t i = 0; i < hosts; ++i) {
+    model.hosts["h" + std::to_string(i)] = static_cast<std::uint8_t>(1 + rng.next_below(200));
+  }
+  return model;
+}
+
+// One serial step: 1..3 random add/remove/retarget mutations, at least
+// one of which is guaranteed so the diff is never empty.
+void mutate(Model& model, Rng& rng) {
+  ++model.serial;
+  const auto ops = 1 + rng.next_below(3);
+  for (std::uint64_t op = 0; op < ops; ++op) {
+    const auto kind = rng.next_below(3);
+    if (kind == 0 || model.hosts.empty()) {
+      model.hosts["g" + std::to_string(model.serial) + "x" + std::to_string(op)] =
+          static_cast<std::uint8_t>(1 + rng.next_below(200));
+    } else {
+      auto it = model.hosts.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng.next_below(model.hosts.size())));
+      if (kind == 1 && model.hosts.size() > 1) {
+        model.hosts.erase(it);
+      } else {
+        it->second = static_cast<std::uint8_t>(1 + rng.next_below(200));
+      }
+    }
+  }
+}
+
+class PropagationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The acceptance differential: along a randomized delta chain, the
+// incremental compiler must produce a snapshot byte-identical to a
+// from-scratch compile of the same version — at every step.
+TEST_P(PropagationProperty, IncrementalCompileIsByteIdenticalToScratch) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 5; ++trial) {
+    Model model = initial_model(rng);
+    Zone prev = realize(model);
+    auto incremental = CompiledZone::compile(std::make_shared<const Zone>(prev));
+    for (int step = 0; step < 12; ++step) {
+      mutate(model, rng);
+      Zone next = realize(model);
+      const ZoneDiff diff = zone::diff_zones(prev, next);
+      auto source = std::make_shared<const Zone>(next);
+      incremental = CompiledZone::compile_incremental(*incremental, source, diff);
+      const auto scratch = CompiledZone::compile(source);
+      ASSERT_EQ(incremental->content_hash(), scratch->content_hash())
+          << "diverged at serial " << model.serial;
+      ASSERT_EQ(incremental->serial(), model.serial);
+      prev = std::move(next);
+    }
+  }
+}
+
+// Random version chains reconstruct exactly through wire-encoded IXFR,
+// whichever answer form the server picks (incremental, full body, or
+// up-to-date) — and the bounded journal forces all of them to occur.
+TEST_P(PropagationProperty, RandomChainsReconstructOverTheWire) {
+  Rng rng(GetParam() ^ 1);
+  zone::ZoneStore server;
+  ZoneJournal journal({.max_deltas_per_apex = 4});
+  TransferService service(server, [&](const DnsName& apex, std::uint32_t from, std::uint32_t to) {
+    return journal.chain(apex, from, to);
+  });
+
+  Model model = initial_model(rng);
+  Zone server_zone = realize(model);
+  Zone client = server_zone;
+  ASSERT_TRUE(server.publish(server_zone));
+
+  for (int step = 0; step < 40; ++step) {
+    // Server advances 0..6 versions (0 exercises the up-to-date reply;
+    // >4 outruns the journal window and forces the AXFR-style body).
+    const auto advance = rng.next_below(7);
+    for (std::uint64_t v = 0; v < advance; ++v) {
+      mutate(model, rng);
+      Zone next = realize(model);
+      journal.append(zone::diff_zones(server_zone, next));
+      ASSERT_TRUE(server.publish(next));
+      server_zone = std::move(next);
+    }
+
+    // Client syncs: IXFR from its serial, through real wire bytes.
+    const auto query =
+        TransferService::make_ixfr_query(kApex, client.serial(), static_cast<std::uint16_t>(step));
+    std::vector<dns::Message> stream;
+    for (const auto& message : service.serve(query)) {
+      auto decoded = dns::decode(dns::encode(message));
+      ASSERT_TRUE(decoded.ok()) << decoded.error();
+      stream.push_back(std::move(decoded).take());
+    }
+    const auto payload = TransferService::parse_transfer_response(stream, client.serial());
+    ASSERT_TRUE(payload.ok()) << payload.error();
+    if (payload.value().up_to_date) {
+      ASSERT_EQ(client.serial(), server_zone.serial());
+    } else if (payload.value().full.has_value()) {
+      client = *payload.value().full;
+    } else {
+      for (const auto& delta : payload.value().deltas) {
+        auto next = zone::apply_diff(client, delta);
+        ASSERT_TRUE(next.ok()) << next.error();
+        client = std::move(next).take();
+      }
+    }
+    ASSERT_EQ(client.serial(), server_zone.serial());
+    ASSERT_EQ(client.all_records(), server_zone.all_records())
+        << "replica diverged at serial " << client.serial();
+  }
+
+  // The randomized run must have exercised both transfer answer paths.
+  EXPECT_GT(service.stats().ixfr_incremental, 0u);
+  EXPECT_GT(service.stats().ixfr_fallback, 0u);
+}
+
+// The same property through the publisher pipeline: a secondary syncs by
+// chain ingest when the journal covers it, full snapshot otherwise, and
+// its compiled replica is byte-identical to the source after every sync.
+TEST_P(PropagationProperty, SecondaryPublisherTracksSourceExactly) {
+  Rng rng(GetParam() ^ 2);
+  ManualClock clock;
+  ZonePublisher source(clock, {.journal = {.max_deltas_per_apex = 5}});
+  ZonePublisher secondary(clock);
+
+  Model model = initial_model(rng);
+  ASSERT_TRUE(source.publish(realize(model)).ok());
+  ASSERT_TRUE(secondary.publish(realize(model)).ok());
+
+  std::uint64_t chain_syncs = 0;
+  std::uint64_t full_syncs = 0;
+  for (int step = 0; step < 30; ++step) {
+    const auto advance = 1 + rng.next_below(7);
+    for (std::uint64_t v = 0; v < advance; ++v) {
+      mutate(model, rng);
+      ASSERT_TRUE(source.publish(realize(model)).ok());
+    }
+
+    const auto held = secondary.snapshot(kApex)->serial();
+    const auto target = source.snapshot(kApex)->serial();
+    const auto chain = source.chain(kApex, held, target);
+    if (chain.has_value() && secondary.apply_chain(*chain).ok()) {
+      ++chain_syncs;
+    } else {
+      // Journal gap: AXFR fallback is a full publish of the snapshot.
+      ASSERT_TRUE(secondary.publish(source.snapshot(kApex)->source()).ok());
+      ++full_syncs;
+    }
+    ASSERT_EQ(secondary.snapshot(kApex)->serial(), target);
+    ASSERT_EQ(secondary.snapshot(kApex)->content_hash(), source.snapshot(kApex)->content_hash())
+        << "secondary diverged at serial " << target;
+  }
+  EXPECT_GT(chain_syncs, 0u);
+  EXPECT_GT(full_syncs, 0u);
+}
+
+// Discontinuities never produce a delta answer: a journal that cannot
+// connect the client's serial to the head always yields the full body.
+TEST_P(PropagationProperty, EveryJournalMissFallsBackToAxfr) {
+  Rng rng(GetParam() ^ 3);
+  zone::ZoneStore server;
+  ZoneJournal journal({.max_deltas_per_apex = 2});
+
+  Model model = initial_model(rng);
+  Zone server_zone = realize(model);
+  ASSERT_TRUE(server.publish(server_zone));
+  const Zone stale_client = server_zone;
+
+  for (int v = 0; v < 5; ++v) {
+    mutate(model, rng);
+    Zone next = realize(model);
+    journal.append(zone::diff_zones(server_zone, next));
+    ASSERT_TRUE(server.publish(next));
+    server_zone = std::move(next);
+  }
+  if (rng.next_bool(0.5)) journal.reset(kApex);  // force-publish severed history
+
+  TransferService service(server, [&](const DnsName& apex, std::uint32_t from, std::uint32_t to) {
+    return journal.chain(apex, from, to);
+  });
+  const auto stream =
+      service.serve(TransferService::make_ixfr_query(kApex, stale_client.serial(), 1));
+  const auto payload = TransferService::parse_transfer_response(stream, stale_client.serial());
+  ASSERT_TRUE(payload.ok()) << payload.error();
+  ASSERT_TRUE(payload.value().full.has_value()) << "journal miss must not yield deltas";
+  EXPECT_EQ(payload.value().full->all_records(), server_zone.all_records());
+}
+
+TEST_P(PropagationProperty, ApexMismatchIsRefusedNotAnswered) {
+  Rng rng(GetParam() ^ 4);
+  zone::ZoneStore server;
+  ASSERT_TRUE(server.publish(realize(initial_model(rng))));
+  TransferService service(server, [](const DnsName&, std::uint32_t, std::uint32_t) {
+    return std::optional<std::vector<ZoneDiff>>{};
+  });
+
+  const auto stream =
+      service.serve(TransferService::make_ixfr_query(DnsName::from("stranger.example"), 1, 1));
+  ASSERT_EQ(stream.size(), 1u);
+  EXPECT_EQ(stream[0].header.rcode, dns::Rcode::Refused);
+  EXPECT_FALSE(TransferService::parse_transfer_response(stream, 1).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropagationProperty,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace akadns::propagation

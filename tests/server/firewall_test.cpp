@@ -1,8 +1,8 @@
-#include "server/firewall.hpp"
+#include "defense/firewall.hpp"
 
 #include <gtest/gtest.h>
 
-namespace akadns::server {
+namespace akadns::defense {
 namespace {
 
 using dns::DnsName;
@@ -96,4 +96,4 @@ TEST(Firewall, MultipleIndependentRules) {
 }
 
 }  // namespace
-}  // namespace akadns::server
+}  // namespace akadns::defense
