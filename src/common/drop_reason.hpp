@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "obs/instruments.hpp"
+
 namespace akadns {
 
 enum class DropReason : std::uint8_t {
@@ -33,7 +35,10 @@ inline constexpr std::size_t kDropReasonCount = static_cast<std::size_t>(DropRea
 std::string_view to_string(DropReason reason) noexcept;
 
 /// Per-reason drop counters; one instance per datapath owner (nameserver,
-/// machine) plus merged fleet views in control/reporting.
+/// machine, worker lane). Each slot is a registry instrument
+/// (obs::Counter, single-writer atomic), so an owner registers its
+/// counters once and a live scrape reads them without copying — merged
+/// fleet views come from MetricsSnapshot, not from struct merging.
 class DropCounters {
  public:
   void add(DropReason reason, std::uint64_t n = 1) noexcept {
@@ -41,23 +46,35 @@ class DropCounters {
   }
 
   std::uint64_t operator[](DropReason reason) const noexcept {
+    return counts_[static_cast<std::size_t>(reason)].value();
+  }
+
+  /// The underlying instrument for one reason (registry registration).
+  const obs::Counter& counter(DropReason reason) const noexcept {
     return counts_[static_cast<std::size_t>(reason)];
   }
 
   std::uint64_t total() const noexcept {
     std::uint64_t sum = 0;
-    for (const auto c : counts_) sum += c;
+    for (const auto& c : counts_) sum += c.value();
     return sum;
   }
 
   void merge(const DropCounters& other) noexcept {
-    for (std::size_t i = 0; i < kDropReasonCount; ++i) counts_[i] += other.counts_[i];
+    for (std::size_t i = 0; i < kDropReasonCount; ++i) {
+      counts_[i] += other.counts_[i].value();
+    }
   }
 
-  bool operator==(const DropCounters&) const noexcept = default;
+  bool operator==(const DropCounters& other) const noexcept {
+    for (std::size_t i = 0; i < kDropReasonCount; ++i) {
+      if (counts_[i].value() != other.counts_[i].value()) return false;
+    }
+    return true;
+  }
 
  private:
-  std::array<std::uint64_t, kDropReasonCount> counts_{};
+  std::array<obs::Counter, kDropReasonCount> counts_{};
 };
 
 }  // namespace akadns

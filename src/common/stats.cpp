@@ -161,21 +161,40 @@ double Histogram::fraction(std::size_t i) const noexcept {
 LogHistogram::LogHistogram(double lo, double growth, std::size_t bins)
     : lo_(lo), log_growth_(1.0 / std::log(growth)), growth_(growth), counts_(bins, 0) {}
 
-void LogHistogram::add(double x) noexcept {
+LogHistogram LogHistogram::from_buckets(double lo, double growth,
+                                        std::vector<std::uint64_t> counts, double sum,
+                                        double min, double max) {
+  LogHistogram h(lo, growth, counts.size());
+  h.counts_ = std::move(counts);
+  for (const auto c : h.counts_) h.total_ += c;
+  h.sum_ = sum;
+  h.min_ = min;
+  h.max_ = max;
+  return h;
+}
+
+std::size_t LogHistogram::bucket_of(double x) const noexcept {
+  std::size_t bin = 0;
+  if (x > lo_) {
+    bin = static_cast<std::size_t>(std::log(x / lo_) * log_growth_);
+    if (bin >= counts_.size()) bin = counts_.size() - 1;
+  }
+  return bin;
+}
+
+void LogHistogram::add(double x) noexcept { add_n(x, 1); }
+
+void LogHistogram::add_n(double x, std::uint64_t n) noexcept {
+  if (n == 0) return;
   if (total_ == 0) {
     min_ = max_ = x;
   } else {
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
   }
-  ++total_;
-  sum_ += x;
-  std::size_t bin = 0;
-  if (x > lo_) {
-    bin = static_cast<std::size_t>(std::log(x / lo_) * log_growth_);
-    if (bin >= counts_.size()) bin = counts_.size() - 1;
-  }
-  ++counts_[bin];
+  total_ += n;
+  sum_ += x * static_cast<double>(n);
+  counts_[bucket_of(x)] += n;
 }
 
 void LogHistogram::merge(const LogHistogram& other) {

@@ -107,7 +107,17 @@ class LogHistogram {
   explicit LogHistogram(double lo = 100.0, double growth = 1.08,
                         std::size_t bins = 256);
 
+  /// Rehydrates a histogram from externally accumulated buckets (the
+  /// metrics registry snapshots its atomic single-writer histograms into
+  /// this form). `sum`/`min`/`max` carry the exact moments alongside the
+  /// bucketed counts; total is Σcounts.
+  static LogHistogram from_buckets(double lo, double growth,
+                                   std::vector<std::uint64_t> counts, double sum,
+                                   double min, double max);
+
   void add(double x) noexcept;
+  /// Bulk add: `n` observations of value `x` (bucket rebinning path).
+  void add_n(double x, std::uint64_t n) noexcept;
   void merge(const LogHistogram& other);
 
   std::uint64_t count() const noexcept { return total_; }
@@ -116,10 +126,19 @@ class LogHistogram {
   double mean() const noexcept {
     return total_ ? sum_ / static_cast<double>(total_) : 0.0;
   }
+  double sum() const noexcept { return sum_; }
 
   /// Quantile estimate, q in [0, 1]; exact to within one bucket's width
   /// (≤ `growth` relative error).
   double quantile(double q) const noexcept;
+
+  // Bucket-layer access (registry snapshot/merge machinery).
+  double lo() const noexcept { return lo_; }
+  double growth() const noexcept { return growth_; }
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const noexcept { return counts_[i]; }
+  /// The bucket a value lands in (clamped to the edge buckets).
+  std::size_t bucket_of(double x) const noexcept;
 
  private:
   double lo_;

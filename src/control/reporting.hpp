@@ -20,6 +20,7 @@
 
 #include "defense/defense_engine.hpp"
 #include "dns/message.hpp"
+#include "obs/registry.hpp"
 #include "pop/machine.hpp"
 #include "pop/suspension.hpp"
 #include "server/nameserver.hpp"
@@ -30,12 +31,26 @@ namespace akadns::control {
 /// telemetry, and the conservation check over every machine's counters.
 /// This is the report the NOCC reads to see *where* an attack's packets
 /// are dying (firewall vs I/O vs score vs queue — Figure 10's regions).
+///
+/// The report is a *renderer over a registry snapshot*: collect_datapath
+/// registers every machine's instruments under a machine label, merges
+/// the per-machine snapshots, and fills these fields from label-filtered
+/// sums (render_datapath). The same renderer works on any merged
+/// MetricsSnapshot — e.g. one assembled from live /metrics scrapes.
 struct DatapathReport {
   std::uint64_t packets_received = 0;  // includes machine-level NIC losses
   std::uint64_t responses_sent = 0;
   std::uint64_t pending = 0;  // still sitting in penalty queues
   DropCounters drops;
-  server::DatapathTelemetry telemetry;
+
+  /// The merged fleet snapshot the report was rendered from; the stage
+  /// telemetry accessors below are label-filtered views of it.
+  obs::MetricsSnapshot snapshot;
+
+  /// All machines' and lanes' latency for one pipeline stage, merged.
+  LogHistogram stage_latency(server::Stage stage) const;
+  /// Simulated queue-wait distribution (arrival → dequeue), merged.
+  LogHistogram queue_wait() const;
 
   /// Conservation accounting for one lane index, summed across the fleet
   /// (lane i of every machine). The invariant holds per lane exactly as
@@ -100,7 +115,13 @@ struct DatapathReport {
   std::string render() const;
 };
 
-/// Merges the datapath counters and telemetry of every machine in `fleet`.
+/// Renders a DatapathReport from an already-merged fleet snapshot (every
+/// field is a label-filtered sum/merge over the metric families).
+DatapathReport render_datapath(obs::MetricsSnapshot snapshot);
+
+/// Registers every machine in `fleet` into a per-machine registry (under
+/// a `machine` label), merges the snapshots, and renders the report.
+/// Shared zone stores are registered exactly once.
 DatapathReport collect_datapath(const std::vector<pop::Machine*>& fleet);
 
 class TrafficAggregator {

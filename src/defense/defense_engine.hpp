@@ -34,6 +34,7 @@
 #include "defense/firewall.hpp"
 #include "filters/filter.hpp"
 #include "filters/penalty_queues.hpp"
+#include "obs/registry.hpp"
 
 namespace akadns::defense {
 
@@ -58,19 +59,26 @@ struct DefenseConfig {
 
 /// Per-lane defense accounting. Engine-owned telemetry: the transports
 /// keep their own packet-level stats, this is the defense view (what the
-/// pipeline admitted, shed, and why) merged into telemetry dumps and
-/// fleet reports.
+/// pipeline admitted, shed, and why). There is no struct-level merge any
+/// more — aggregation across lanes/workers/machines happens at scrape
+/// time through the metrics registry (register_metrics / snapshot).
 struct DefenseLaneStats {
-  std::uint64_t scored = 0;    // queries run through the filter chain
-  std::uint64_t enqueued = 0;  // admitted into a penalty queue
-  std::uint64_t released = 0;  // dequeued for processing (budget granted)
-  DropCounters drops;          // Firewall / IoOverload / ScoreDiscard / QueueFull / RestartFlush
+  obs::Counter scored;    // queries run through the filter chain
+  obs::Counter enqueued;  // admitted into a penalty queue
+  obs::Counter released;  // dequeued for processing (budget granted)
+  DropCounters drops;     // Firewall / IoOverload / ScoreDiscard / QueueFull / RestartFlush
 
-  void merge(const DefenseLaneStats& o) noexcept {
-    scored += o.scored;
-    enqueued += o.enqueued;
-    released += o.released;
-    drops.merge(o.drops);
+  void register_into(obs::MetricRegistry& reg, const obs::LabelSet& base) const {
+    reg.counter("akadns_defense_scored_total", base, scored,
+                "queries run through the filter chain");
+    reg.counter("akadns_defense_enqueued_total", base, enqueued,
+                "queries admitted into a penalty queue");
+    reg.counter("akadns_defense_released_total", base, released,
+                "queries dequeued for processing");
+    // The engine's shed accounting mirrors drops the transport also
+    // counts in the canonical taxonomy; its own family keeps
+    // akadns_drops_total sums single-counted.
+    obs::register_drop_counters(reg, drops, base, "akadns_defense_drops_total");
   }
 
   bool operator==(const DefenseLaneStats&) const noexcept = default;
@@ -112,6 +120,7 @@ class DefenseEngine {
   // ---- receive side (serial) ----------------------------------------------
 
   Firewall& firewall() noexcept { return firewall_; }
+  const Firewall& firewall() const noexcept { return firewall_; }
 
   /// Query-of-death rule check; counts a Firewall drop on a hit.
   bool firewall_drops(std::size_t lane, const dns::Question& question) {
@@ -321,11 +330,25 @@ class DefenseEngine {
   const DefenseLaneStats& lane_stats(std::size_t lane) const noexcept {
     return lanes_[lane].stats;
   }
-  /// Engine view: all lanes' defense counters merged.
-  DefenseLaneStats stats() const {
-    DefenseLaneStats merged;
-    for (const auto& lane : lanes_) merged.merge(lane.stats);
-    return merged;
+
+  /// Registers every lane's defense counters (lane-labelled) plus the
+  /// live per-priority queue-depth gauges under `base`. The engine view
+  /// that the old stats() merge produced is now a registry sum.
+  void register_metrics(obs::MetricRegistry& reg, const obs::LabelSet& base) const {
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      lanes_[i].stats.register_into(reg, obs::with(base, "lane", i));
+    }
+    const std::size_t queues = config_.queue_config.max_scores.size();
+    for (std::size_t q = 0; q < queues; ++q) {
+      reg.gauge_fn(
+          "akadns_penalty_queue_depth", obs::with(base, "queue", q),
+          [this, q] {
+            std::size_t depth = 0;
+            for (const auto& lane : lanes_) depth += lane.queues.queue_depth(q);
+            return static_cast<double>(depth);
+          },
+          obs::GaugeAgg::Sum, "live penalty-queue backlog per priority");
+    }
   }
 
   /// Live penalty-queue depths summed per priority index across lanes —

@@ -10,6 +10,7 @@
 // byte-compares each received datagram — exit status is nonzero if
 // anything dropped or mismatched, which is what the CI smoke keys on.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +18,8 @@
 #include <string>
 
 #include "net/loadgen.hpp"
+#include "obs/exposition.hpp"
+#include "obs/stats_http.hpp"
 #include "workload/population.hpp"
 #include "workload/zones.hpp"
 
@@ -48,7 +51,19 @@ struct CliOptions {
   std::size_t flip_count = 0;
   std::uint32_t flip_generations = 1;
   std::string json_path;
+  /// Server /metrics endpoint (http://host:port). Scraped once after the
+  /// run; shed/cache-hit-rate/zone-generation land in the bench JSON.
+  std::string stats_url;
   bool help = false;
+};
+
+/// Server-side counters scraped from --stats-url after the run.
+struct ServerScrape {
+  bool ok = false;
+  std::uint64_t shed = 0;         // akadns_defense_drops_total, all reasons
+  double cache_hit_rate = 0.0;    // cache / (cache + compiled) fast-path split
+  double zone_generation = 0.0;   // max akadns_zone_generation across workers
+  std::uint64_t udp_packets = 0;  // datagrams the server's kernel delivered
 };
 
 void print_usage(const char* argv0) {
@@ -73,6 +88,9 @@ void print_usage(const char* argv0) {
       "                      with --verify, accept pre- and post-flip answers, require\n"
       "                      the flip to be observed, and reject stale-serial answers\n"
       "  --flip-generations G  generations the server flips by (default 1)\n"
+      "  --stats-url URL     scrape the server's /metrics after the run (the\n"
+      "                      akadns-serve --stats-port endpoint); embeds shed,\n"
+      "                      cache hit rate, and zone generation in the JSON\n"
       "  --json PATH         write the report as JSON\n"
       "exit status without an attack mix: 0 iff nothing dropped, mismatched, or unexpected.\n"
       "With an attack mix the server is *supposed* to shed attack traffic, so the gate\n"
@@ -158,6 +176,9 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
     } else if (arg == "--flip-generations") {
       if (!(v = need_value())) return false;
       opts.flip_generations = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--stats-url") {
+      if (!(v = need_value())) return false;
+      opts.stats_url = v;
     } else if (arg == "--json") {
       if (!(v = need_value())) return false;
       opts.json_path = v;
@@ -180,7 +201,41 @@ std::string class_json(const char* name, const akadns::net::ClassCounters& c) {
   return buf;
 }
 
-std::string report_json(const akadns::net::LoadgenReport& r, const CliOptions& opts) {
+ServerScrape scrape_stats(const std::string& url) {
+  ServerScrape s;
+  akadns::obs::HttpResponse rsp;
+  std::string error;
+  if (!akadns::obs::http_get(url + "/metrics", &rsp, &error) || rsp.status != 200) {
+    if (error.empty()) error = "HTTP " + std::to_string(rsp.status);
+    std::fprintf(stderr, "stats scrape failed (%s): %s\n", url.c_str(), error.c_str());
+    return s;
+  }
+  try {
+    const auto exp = akadns::obs::Exposition::parse(rsp.body);
+    s.shed = static_cast<std::uint64_t>(exp.sum("akadns_defense_drops_total"));
+    const double cache =
+        exp.sum("akadns_answer_path_total", akadns::obs::labels({{"path", "cache"}}));
+    const double compiled =
+        exp.sum("akadns_answer_path_total", akadns::obs::labels({{"path", "compiled"}}));
+    s.cache_hit_rate = (cache + compiled) > 0.0 ? cache / (cache + compiled) : 0.0;
+    // Every worker reports its replica's generation; a healthy server
+    // agrees across workers, so max == the served generation.
+    for (const auto& sample : exp.samples()) {
+      if (sample.name == "akadns_zone_generation") {
+        s.zone_generation = std::max(s.zone_generation, sample.value);
+      }
+    }
+    s.udp_packets = static_cast<std::uint64_t>(exp.sum(
+        "akadns_frontend_total", akadns::obs::labels({{"event", "udp_packets"}})));
+    s.ok = true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "stats scrape did not parse: %s\n", e.what());
+  }
+  return s;
+}
+
+std::string report_json(const akadns::net::LoadgenReport& r, const CliOptions& opts,
+                        const ServerScrape& scrape) {
   char buf[1536];
   std::snprintf(buf, sizeof(buf),
                 "{\n"
@@ -210,6 +265,14 @@ std::string report_json(const akadns::net::LoadgenReport& r, const CliOptions& o
                 r.flip.first_new_ns >= 0 ? static_cast<double>(r.flip.first_new_ns) / 1e6
                                          : -1.0);
   out += buf;
+  if (scrape.ok) {
+    std::snprintf(buf, sizeof(buf),
+                  "  \"server\": {\"shed\": %llu, \"cache_hit_rate\": %.4f,"
+                  " \"zone_generation\": %.0f, \"udp_packets\": %llu},\n",
+                  (unsigned long long)scrape.shed, scrape.cache_hit_rate,
+                  scrape.zone_generation, (unsigned long long)scrape.udp_packets);
+    out += buf;
+  }
   std::snprintf(buf, sizeof(buf),
                 "  \"seconds\": %.4f,\n"
                 "  \"qps\": %.0f,\n"
@@ -333,9 +396,20 @@ int main(int argc, char** argv) {
   std::printf("latency_us  p50=%.1f p90=%.1f p99=%.1f p99.9=%.1f max=%.1f\n", report.p50_us,
               report.p90_us, report.p99_us, report.p999_us, report.max_us);
 
+  ServerScrape scrape;
+  if (!opts.stats_url.empty()) {
+    scrape = scrape_stats(opts.stats_url);
+    if (scrape.ok) {
+      std::printf("server      shed=%llu cache_hit_rate=%.4f zone_generation=%.0f"
+                  " udp_packets=%llu\n",
+                  (unsigned long long)scrape.shed, scrape.cache_hit_rate,
+                  scrape.zone_generation, (unsigned long long)scrape.udp_packets);
+    }
+  }
+
   if (!opts.json_path.empty()) {
     std::ofstream out(opts.json_path);
-    out << report_json(report, opts);
+    out << report_json(report, opts, scrape);
     std::fprintf(stderr, "wrote %s\n", opts.json_path.c_str());
   }
 

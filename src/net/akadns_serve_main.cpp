@@ -39,6 +39,9 @@
 #include "dns/wire.hpp"
 #include "net/server.hpp"
 #include "net/zone_sync.hpp"
+#include "obs/exposition.hpp"
+#include "obs/registry.hpp"
+#include "obs/stats_http.hpp"
 #include "propagation/transfer_service.hpp"
 #include "propagation/zone_publisher.hpp"
 #include "workload/zones.hpp"
@@ -89,6 +92,8 @@ struct CliOptions {
   // Live-reload drill: republish evolved synthetic zones mid-run.
   std::uint64_t flip_after_ms = 0;
   std::size_t flip_count = 1;
+  /// -1 = no stats endpoint; 0 = ephemeral (port printed on the ready line).
+  int stats_port = -1;
   bool help = false;
 };
 
@@ -128,6 +133,9 @@ void print_usage(const char* argv0) {
       "                     the random-subdomain filter (default 200)\n"
       "  --nxdomain-penalty P  score added to random-subdomain probes of an armed\n"
       "                     zone; >= 200 discards them outright (default 150)\n"
+      "  --stats-port P     serve live telemetry over HTTP on 127.0.0.1:P\n"
+      "                     (/metrics Prometheus text, /metrics.json, /healthz;\n"
+      "                     0 = ephemeral, port echoed on the ready line)\n"
       "SIGHUP republishes --zone files; SIGTERM/SIGINT drains gracefully and\n"
       "dumps telemetry JSON.\n",
       argv0);
@@ -221,6 +229,10 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       const char* v = need_value();
       if (!v) return false;
       opts.qod_drops.emplace_back(v);
+    } else if (arg == "--stats-port") {
+      const char* v = need_value();
+      if (!v) return false;
+      opts.stats_port = static_cast<int>(std::strtol(v, nullptr, 10));
     } else if (arg == "--nxdomain-threshold") {
       const char* v = need_value();
       if (!v) return false;
@@ -297,112 +309,11 @@ void notify_all(const std::vector<HostPort>& targets,
   }
 }
 
-/// One defense stats object as JSON: scored/enqueued/released plus every
-/// nonzero drop reason by name. With `name` emits `"name": {...}` at the
-/// given indent; without, just the object (for array elements).
-void print_defense_stats(const char* name, const akadns::defense::DefenseLaneStats& d,
-                         int indent) {
-  std::printf("%*s", indent, "");
-  if (name) std::printf("\"%s\": ", name);
-  std::printf("{\"scored\": %llu, \"enqueued\": %llu, \"released\": %llu, \"drops\": {",
-              (unsigned long long)d.scored, (unsigned long long)d.enqueued,
-              (unsigned long long)d.released);
-  bool first = true;
-  for (std::size_t i = 0; i < akadns::kDropReasonCount; ++i) {
-    const auto reason = static_cast<akadns::DropReason>(i);
-    const std::uint64_t n = d.drops[reason];
-    if (n == 0) continue;
-    std::printf("%s\"%.*s\": %llu", first ? "" : ", ",
-                static_cast<int>(akadns::to_string(reason).size()),
-                akadns::to_string(reason).data(), (unsigned long long)n);
-    first = false;
-  }
-  std::printf("}}");
-}
-
-void dump_telemetry(const akadns::net::ServerStats& stats,
-                    const akadns::propagation::ZonePublisher& publisher,
-                    const akadns::net::SecondarySync* secondary) {
-  const auto& f = stats.frontend;
-  const auto& r = stats.responder;
-  const auto& c = stats.answer_cache;
-  std::printf("{\n");
-  std::printf("  \"udp\": {\"packets\": %llu, \"responses\": %llu, \"malformed\": %llu,"
-              " \"send_failures\": %llu, \"batches\": %llu, \"drain_flushed\": %llu,"
-              " \"notifies\": %llu},\n",
-              (unsigned long long)f.udp_packets, (unsigned long long)f.udp_responses,
-              (unsigned long long)f.udp_malformed, (unsigned long long)f.udp_send_failures,
-              (unsigned long long)f.udp_batches, (unsigned long long)f.drain_flushed,
-              (unsigned long long)f.udp_notifies);
-  std::printf("  \"tcp\": {\"accepted\": %llu, \"rejected\": %llu, \"queries\": %llu,"
-              " \"responses\": %llu, \"protocol_errors\": %llu, \"transfers\": %llu},\n",
-              (unsigned long long)f.tcp_accepted, (unsigned long long)f.tcp_rejected,
-              (unsigned long long)f.tcp_queries, (unsigned long long)f.tcp_responses,
-              (unsigned long long)f.tcp_protocol_errors, (unsigned long long)f.tcp_transfers);
-  std::printf("  \"responder\": {\"responses\": %llu, \"noerror\": %llu, \"nxdomain\": %llu,"
-              " \"refused\": %llu, \"formerr\": %llu, \"compiled\": %llu,"
-              " \"cache_hits\": %llu, \"interpreted\": %llu},\n",
-              (unsigned long long)r.responses, (unsigned long long)r.noerror,
-              (unsigned long long)r.nxdomain, (unsigned long long)r.refused,
-              (unsigned long long)r.formerr, (unsigned long long)r.compiled_answers,
-              (unsigned long long)r.cache_hits, (unsigned long long)r.interpreted_answers);
-  std::printf("  \"answer_cache\": {\"hits\": %llu, \"misses\": %llu, \"insertions\": %llu,"
-              " \"evictions\": %llu},\n",
-              (unsigned long long)c.hits, (unsigned long long)c.misses,
-              (unsigned long long)c.insertions, (unsigned long long)c.evictions);
-
-  const auto pub = publisher.stats();
-  const auto journal = publisher.journal_stats();
-  std::printf("  \"propagation\": {\"published\": %llu, \"incremental\": %llu,"
-              " \"full\": %llu, \"rejected_serial\": %llu, \"soa_drift_fallbacks\": %llu,"
-              " \"chains_applied\": %llu, \"journal_appended\": %llu,"
-              " \"journal_resets\": %llu, \"chain_hits\": %llu, \"chain_misses\": %llu},\n",
-              (unsigned long long)pub.published, (unsigned long long)pub.incremental,
-              (unsigned long long)pub.full, (unsigned long long)pub.rejected_serial,
-              (unsigned long long)pub.soa_drift_fallbacks,
-              (unsigned long long)pub.chains_applied,
-              (unsigned long long)journal.appended, (unsigned long long)journal.resets,
-              (unsigned long long)journal.chain_hits, (unsigned long long)journal.chain_misses);
-  const auto& sync = stats.zone_sync;
-  std::printf("  \"zone_sync\": {\"updates\": %llu, \"adopted\": %llu, \"incremental\": %llu,"
-              " \"full\": %llu, \"noops\": %llu, \"wakes\": %llu,"
-              " \"max_latency_us\": %llu},\n",
-              (unsigned long long)sync.updates, (unsigned long long)sync.adopted,
-              (unsigned long long)sync.incremental, (unsigned long long)sync.full,
-              (unsigned long long)sync.noops, (unsigned long long)f.zone_update_wakes,
-              (unsigned long long)(sync.max_latency_ns / 1000));
-  const auto& xfr = stats.transfers;
-  std::printf("  \"transfers\": {\"axfr_served\": %llu, \"ixfr_incremental\": %llu,"
-              " \"ixfr_fallback\": %llu, \"up_to_date\": %llu, \"refused\": %llu},\n",
-              (unsigned long long)xfr.axfr_served, (unsigned long long)xfr.ixfr_incremental,
-              (unsigned long long)xfr.ixfr_fallback, (unsigned long long)xfr.up_to_date,
-              (unsigned long long)xfr.refused);
-  if (secondary) {
-    const auto sec = secondary->stats();
-    std::printf("  \"secondary\": {\"soa_checks\": %llu, \"up_to_date\": %llu,"
-                " \"ixfr_applied\": %llu, \"axfr_applied\": %llu, \"fallbacks\": %llu,"
-                " \"failures\": %llu, \"notify_kicks\": %llu},\n",
-                (unsigned long long)sec.soa_checks, (unsigned long long)sec.up_to_date,
-                (unsigned long long)sec.ixfr_applied, (unsigned long long)sec.axfr_applied,
-                (unsigned long long)sec.fallbacks, (unsigned long long)sec.failures,
-                (unsigned long long)sec.notify_kicks);
-  }
-
-  std::printf("  \"per_worker_udp\": [");
-  for (std::size_t i = 0; i < stats.per_worker_udp.size(); ++i) {
-    std::printf("%s%llu", i ? ", " : "", (unsigned long long)stats.per_worker_udp[i]);
-  }
-  std::printf("],\n");
-  print_defense_stats("defense", stats.defense, 2);
-  std::printf(",\n  \"per_worker_defense\": [");
-  for (std::size_t i = 0; i < stats.per_worker_defense.size(); ++i) {
-    std::printf("%s\n", i ? "," : "");
-    print_defense_stats(nullptr, stats.per_worker_defense[i], 4);
-  }
-  std::printf("\n  ],\n");
-  std::printf("  \"defense_enabled\": %s,\n", stats.defense_enabled ? "true" : "false");
-  std::printf("  \"firewall_rules\": %zu\n", stats.firewall_rules);
-  std::printf("}\n");
+/// Final telemetry dump: one machine-readable JSON document rendered
+/// from the same merged metrics snapshot /metrics serves, replacing the
+/// seed's hand-rolled per-struct printf rendering.
+void dump_telemetry(const akadns::obs::MetricsSnapshot& snap) {
+  std::fputs(akadns::obs::render_json(snap).c_str(), stdout);
 }
 
 }  // namespace
@@ -513,11 +424,46 @@ int main(int argc, char** argv) {
   }
   if (secondary) secondary->start();
 
+  // Control-plane metrics (publisher, journal, master compile stats,
+  // secondary refresh loop) live outside the worker registry; a scrape
+  // merges both snapshots into one fleet view of this process.
+  akadns::obs::MetricRegistry control_registry;
+  publisher.register_metrics(control_registry,
+                             akadns::obs::labels({{"subsystem", "publisher"}}));
+  if (secondary) {
+    secondary->register_metrics(control_registry,
+                                akadns::obs::labels({{"subsystem", "secondary"}}));
+  }
+  const auto scrape = [&server, &control_registry] {
+    auto snap = server.metrics_snapshot();
+    snap.merge(control_registry.snapshot());
+    return snap;
+  };
+
+  // Live telemetry endpoint: scrapes read the workers' single-writer
+  // atomics, so a 10 Hz poller never perturbs the datapath. /healthz
+  // reports unready while draining or while a secondary has not yet
+  // completed a clean refresh pass.
+  akadns::obs::StatsServer stats_server(
+      scrape, [&server, sec = secondary.get()] {
+        return server.ready() && (!sec || sec->synced());
+      });
+  std::uint16_t stats_port = 0;
+  if (opts.stats_port >= 0) {
+    std::string err;
+    if (!stats_server.start(static_cast<std::uint16_t>(opts.stats_port), &err)) {
+      std::fprintf(stderr, "stats endpoint failed: %s\n", err.c_str());
+      return 1;
+    }
+    stats_port = stats_server.port();
+  }
+
   // Machine-scrapable readiness line (tests and the CI smoke parse it).
   std::printf(
-      "akadns-serve ready addr=%s udp_port=%u tcp_port=%u workers=%zu zones=%zu defense=%s\n",
+      "akadns-serve ready addr=%s udp_port=%u tcp_port=%u workers=%zu zones=%zu defense=%s"
+      " stats_port=%u\n",
       opts.addr.c_str(), server.udp_port(), server.tcp_port(), opts.workers,
-      publisher.zone_count(), opts.defense ? "on" : "off");
+      publisher.zone_count(), opts.defense ? "on" : "off", stats_port);
   std::fflush(stdout);
 
   std::uint16_t notify_id = 1;
@@ -566,8 +512,9 @@ int main(int argc, char** argv) {
   }
 
   std::fprintf(stderr, "draining...\n");
+  stats_server.stop();
   if (secondary) secondary->stop();
   server.stop();
-  dump_telemetry(server.stats(), publisher, secondary.get());
+  dump_telemetry(scrape());
   return 0;
 }

@@ -649,6 +649,28 @@ Result<bool> Server::start() {
   udp_port_ = udp_port;
   tcp_port_ = tcp_port;
 
+  // Catalog every worker's instruments before the threads exist: the
+  // registry holds references into the Worker objects (stable from here
+  // on), and scrapes after this point are lock-free reads of the
+  // workers' single-writer atomics.
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const Worker& w = *workers_[i];
+    const obs::LabelSet base = obs::with({}, "worker", i);
+    w.stats.register_into(registry_, base);
+    w.responder.stats().register_into(registry_, base);
+    w.responder.answer_cache().stats().register_into(registry_, base);
+    w.engine.register_metrics(registry_, base);
+    w.sync.stats().register_into(registry_, base);
+    w.xfr.stats().register_into(registry_, base);
+    w.replica.compile_stats().register_into(registry_, base);
+    registry_.gauge_fn("akadns_firewall_rules", base,
+                       [&w] { return static_cast<double>(w.engine.firewall().rules().size()); },
+                       obs::GaugeAgg::Max, "live query-of-death firewall rules");
+    registry_.gauge_fn("akadns_zone_generation", base,
+                       [&w] { return static_cast<double>(w.replica.generation()); },
+                       obs::GaugeAgg::Max, "zone-store generation of the worker replica");
+  }
+
   running_ = true;
   threads_.reserve(workers_.size());
   for (auto& worker : workers_) {
@@ -672,34 +694,162 @@ void Server::stop() {
   stopped_ = true;
 }
 
+void FrontendStats::register_into(obs::MetricRegistry& reg,
+                                  const obs::LabelSet& base) const {
+  const auto event = [&](const char* name, const obs::Counter& c) {
+    reg.counter("akadns_frontend_total", obs::with(base, "event", name), c,
+                "socket-frontend I/O events");
+  };
+  event("udp_packets", udp_packets);
+  event("udp_responses", udp_responses);
+  event("udp_malformed", udp_malformed);
+  event("udp_send_failures", udp_send_failures);
+  event("udp_batches", udp_batches);
+  event("tcp_accepted", tcp_accepted);
+  event("tcp_rejected", tcp_rejected);
+  event("tcp_queries", tcp_queries);
+  event("tcp_responses", tcp_responses);
+  event("tcp_protocol_errors", tcp_protocol_errors);
+  event("drain_flushed", drain_flushed);
+  event("udp_notifies", udp_notifies);
+  event("tcp_transfers", tcp_transfers);
+  event("zone_update_wakes", zone_update_wakes);
+}
+
+namespace {
+
+std::uint64_t event_sum(const obs::MetricsSnapshot& snap, const char* family,
+                        const char* key, std::string value,
+                        const obs::LabelSet& extra = {}) {
+  return snap.sum(family, obs::with(extra, key, std::move(value)));
+}
+
+}  // namespace
+
+ServerStats render_server_stats(const obs::MetricsSnapshot& snap, std::size_t workers,
+                                bool defense_enabled) {
+  ServerStats out;
+  out.defense_enabled = defense_enabled;
+  const auto frontend_event = [&](const char* name, const obs::LabelSet& extra = {}) {
+    return event_sum(snap, "akadns_frontend_total", "event", name, extra);
+  };
+  auto& f = out.frontend;
+  f.udp_packets = frontend_event("udp_packets");
+  f.udp_responses = frontend_event("udp_responses");
+  f.udp_malformed = frontend_event("udp_malformed");
+  f.udp_send_failures = frontend_event("udp_send_failures");
+  f.udp_batches = frontend_event("udp_batches");
+  f.tcp_accepted = frontend_event("tcp_accepted");
+  f.tcp_rejected = frontend_event("tcp_rejected");
+  f.tcp_queries = frontend_event("tcp_queries");
+  f.tcp_responses = frontend_event("tcp_responses");
+  f.tcp_protocol_errors = frontend_event("tcp_protocol_errors");
+  f.drain_flushed = frontend_event("drain_flushed");
+  f.udp_notifies = frontend_event("udp_notifies");
+  f.tcp_transfers = frontend_event("tcp_transfers");
+  f.zone_update_wakes = frontend_event("zone_update_wakes");
+
+  auto& r = out.responder;
+  r.responses = snap.sum("akadns_responses_total");
+  const auto rcode = [&](const char* name, const obs::LabelSet& extra = {}) {
+    return event_sum(snap, "akadns_responses_by_rcode_total", "rcode", name, extra);
+  };
+  r.noerror = rcode("noerror");
+  r.nxdomain = rcode("nxdomain");
+  r.refused = rcode("refused");
+  r.formerr = rcode("formerr");
+  r.notimp = rcode("notimp");
+  r.servfail = rcode("servfail");
+  const auto feature = [&](const char* name) {
+    return event_sum(snap, "akadns_answer_features_total", "kind", name);
+  };
+  r.nodata = feature("nodata");
+  r.referrals = feature("referral");
+  r.wildcard_answers = feature("wildcard");
+  r.cname_chases = feature("cname_chase");
+  r.mapped_answers = feature("mapped");
+  r.pushed_answers = feature("pushed");
+  const auto path = [&](const char* name) {
+    return event_sum(snap, "akadns_answer_path_total", "path", name);
+  };
+  r.compiled_answers = path("compiled");
+  r.cache_hits = path("cache");
+  r.interpreted_answers = path("interpreted");
+
+  auto& c = out.answer_cache;
+  const auto cache_event = [&](const char* name) {
+    return event_sum(snap, "akadns_answer_cache_total", "event", name);
+  };
+  c.hits = cache_event("hit");
+  c.misses = cache_event("miss");
+  c.insertions = cache_event("insertion");
+  c.evictions = cache_event("eviction");
+  c.expired = cache_event("expired");
+  c.invalidations = cache_event("invalidation");
+
+  const auto fill_defense = [&](defense::DefenseLaneStats& d, const obs::LabelSet& extra) {
+    d.scored = snap.sum("akadns_defense_scored_total", extra);
+    d.enqueued = snap.sum("akadns_defense_enqueued_total", extra);
+    d.released = snap.sum("akadns_defense_released_total", extra);
+    for (std::size_t i = 0; i < kDropReasonCount; ++i) {
+      const auto reason = static_cast<DropReason>(i);
+      d.drops.add(reason, event_sum(snap, "akadns_defense_drops_total", "reason",
+                                    std::string(to_string(reason)), extra));
+    }
+  };
+  fill_defense(out.defense, {});
+  out.per_worker_defense.resize(workers);
+  out.per_worker_udp.resize(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    const obs::LabelSet wl = obs::with({}, "worker", i);
+    fill_defense(out.per_worker_defense[i], wl);
+    out.per_worker_udp[i] = event_sum(snap, "akadns_frontend_total", "event",
+                                      "udp_packets", wl);
+  }
+  out.firewall_rules =
+      static_cast<std::size_t>(snap.gauge_value("akadns_firewall_rules"));
+
+  auto& z = out.zone_sync;
+  const auto sync_event = [&](const char* name) {
+    return event_sum(snap, "akadns_zone_sync_total", "event", name);
+  };
+  z.updates = sync_event("update");
+  z.noops = sync_event("noop");
+  z.adopted = sync_event("adopted");
+  z.deltas_applied = sync_event("delta_applied");
+  z.incremental = sync_event("incremental");
+  z.full = sync_event("full");
+  z.last_latency_ns = snap.gauge_value("akadns_zone_sync_last_latency_ns");
+  z.max_latency_ns = snap.gauge_value("akadns_zone_sync_max_latency_ns");
+
+  auto& x = out.transfers;
+  const auto xfr_kind = [&](const char* name) {
+    return event_sum(snap, "akadns_zone_transfer_total", "kind", name);
+  };
+  x.axfr_served = xfr_kind("axfr");
+  x.ixfr_incremental = xfr_kind("ixfr_incremental");
+  x.ixfr_fallback = xfr_kind("ixfr_fallback");
+  x.up_to_date = xfr_kind("up_to_date");
+  x.refused = xfr_kind("refused");
+
+  auto& k = out.replica_compiles;
+  const auto compile_path = [&](const char* name) {
+    return event_sum(snap, "akadns_zone_compile_total", "path", name);
+  };
+  k.compiles = compile_path("full");
+  k.incremental_compiles = compile_path("incremental");
+  k.adopted = compile_path("adopted");
+  k.total_micros = snap.sum("akadns_zone_compile_micros_total");
+  k.last_micros = snap.gauge_value("akadns_zone_compile_last_micros");
+  k.last_nodes = snap.gauge_value("akadns_zone_compile_last_nodes");
+  k.last_fragments = snap.gauge_value("akadns_zone_compile_last_fragments");
+  k.last_reused_nodes = snap.gauge_value("akadns_zone_compile_last_reused_nodes");
+  return out;
+}
+
 ServerStats Server::stats() const {
-  ServerStats merged;
-  merged.defense_enabled = config_.defense.enabled;
-  for (const auto& worker : workers_) {
-    merged.frontend.merge(worker->stats);
-    merged.responder.merge(worker->responder.stats());
-    merged.answer_cache.merge(worker->responder.answer_cache().stats());
-    merged.per_worker_udp.push_back(worker->stats.udp_packets);
-    const auto defense = worker->engine.stats();
-    merged.defense.merge(defense);
-    merged.per_worker_defense.push_back(defense);
-    merged.zone_sync.merge(worker->sync.stats());
-    const auto& xfr = worker->xfr.stats();
-    merged.transfers.axfr_served += xfr.axfr_served;
-    merged.transfers.ixfr_incremental += xfr.ixfr_incremental;
-    merged.transfers.ixfr_fallback += xfr.ixfr_fallback;
-    merged.transfers.up_to_date += xfr.up_to_date;
-    merged.transfers.refused += xfr.refused;
-    const auto& compiles = worker->replica.compile_stats();
-    merged.replica_compiles.compiles += compiles.compiles;
-    merged.replica_compiles.incremental_compiles += compiles.incremental_compiles;
-    merged.replica_compiles.adopted += compiles.adopted;
-    merged.replica_compiles.total_micros += compiles.total_micros;
-  }
-  if (!workers_.empty()) {
-    merged.firewall_rules = workers_.front()->engine.firewall().rules().size();
-  }
-  return merged;
+  return render_server_stats(metrics_snapshot(), workers_.size(),
+                             config_.defense.enabled);
 }
 
 }  // namespace akadns::net

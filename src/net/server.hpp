@@ -35,6 +35,7 @@
 #include "net/socket.hpp"
 #include "propagation/transfer_service.hpp"
 #include "propagation/zone_publisher.hpp"
+#include "obs/registry.hpp"
 #include "propagation/zone_subscriber.hpp"
 #include "server/responder.hpp"
 #include "zone/zone_store.hpp"
@@ -101,43 +102,34 @@ struct ServeConfig {
   propagation::TransferConfig transfer{};
 };
 
-/// Frontend I/O counters, per worker and merged. (Responder/cache
-/// counters live in server::ResponderStats / AnswerCache::Stats.)
+/// Frontend I/O counters, one set per worker. (Responder/cache counters
+/// live in server::ResponderStats / AnswerCache::Stats.) Cross-worker
+/// merging is a registry-snapshot sum — the struct-level merge() the
+/// seed carried is gone.
 struct FrontendStats {
-  std::uint64_t udp_packets = 0;     // datagrams received
-  std::uint64_t udp_responses = 0;   // datagrams handed to sendmmsg
-  std::uint64_t udp_malformed = 0;   // dropped: no parseable header/question
-  std::uint64_t udp_send_failures = 0;  // responses the kernel refused
-  std::uint64_t udp_batches = 0;     // recvmmsg calls that returned data
-  std::uint64_t tcp_accepted = 0;
-  std::uint64_t tcp_rejected = 0;    // over the connection cap
-  std::uint64_t tcp_queries = 0;     // complete frames decoded
-  std::uint64_t tcp_responses = 0;
-  std::uint64_t tcp_protocol_errors = 0;  // framing violations / bad frames
-  std::uint64_t drain_flushed = 0;   // UDP datagrams answered during drain
-  std::uint64_t udp_notifies = 0;    // NOTIFY messages acknowledged
-  std::uint64_t tcp_transfers = 0;   // AXFR/IXFR queries answered
-  std::uint64_t zone_update_wakes = 0;  // update-eventfd wakeups taken
+  obs::Counter udp_packets;     // datagrams received
+  obs::Counter udp_responses;   // datagrams handed to sendmmsg
+  obs::Counter udp_malformed;   // dropped: no parseable header/question
+  obs::Counter udp_send_failures;  // responses the kernel refused
+  obs::Counter udp_batches;     // recvmmsg calls that returned data
+  obs::Counter tcp_accepted;
+  obs::Counter tcp_rejected;    // over the connection cap
+  obs::Counter tcp_queries;     // complete frames decoded
+  obs::Counter tcp_responses;
+  obs::Counter tcp_protocol_errors;  // framing violations / bad frames
+  obs::Counter drain_flushed;   // UDP datagrams answered during drain
+  obs::Counter udp_notifies;    // NOTIFY messages acknowledged
+  obs::Counter tcp_transfers;   // AXFR/IXFR queries answered
+  obs::Counter zone_update_wakes;  // update-eventfd wakeups taken
 
-  void merge(const FrontendStats& o) noexcept {
-    udp_packets += o.udp_packets;
-    udp_responses += o.udp_responses;
-    udp_malformed += o.udp_malformed;
-    udp_send_failures += o.udp_send_failures;
-    udp_batches += o.udp_batches;
-    tcp_accepted += o.tcp_accepted;
-    tcp_rejected += o.tcp_rejected;
-    tcp_queries += o.tcp_queries;
-    tcp_responses += o.tcp_responses;
-    tcp_protocol_errors += o.tcp_protocol_errors;
-    drain_flushed += o.drain_flushed;
-    udp_notifies += o.udp_notifies;
-    tcp_transfers += o.tcp_transfers;
-    zone_update_wakes += o.zone_update_wakes;
-  }
+  /// One akadns_frontend_total{event=...} series per counter.
+  void register_into(obs::MetricRegistry& reg, const obs::LabelSet& base) const;
 };
 
-/// Whole-server view assembled after the workers stop.
+/// Whole-server summary, rendered from a metrics snapshot (stats() /
+/// render_server_stats). Because the registry reads live single-writer
+/// atomics, this view is valid mid-run too — exact invariants (e.g. udp
+/// packets == responses + drops) only hold once the workers are quiescent.
 struct ServerStats {
   FrontendStats frontend;
   server::ResponderStats responder;
@@ -161,6 +153,12 @@ struct ServerStats {
   propagation::TransferStats transfers;
   zone::CompileStats replica_compiles;
 };
+
+/// Renders the whole-server summary from a metrics snapshot. The same
+/// renderer serves Server::stats() and offline consumers of a scraped
+/// snapshot (the snapshot carries everything; no live server needed).
+ServerStats render_server_stats(const obs::MetricsSnapshot& snap, std::size_t workers,
+                                bool defense_enabled);
 
 class Server {
  public:
@@ -193,9 +191,16 @@ class Server {
   std::uint16_t udp_port() const noexcept { return udp_port_; }
   std::uint16_t tcp_port() const noexcept { return tcp_port_; }
 
-  /// Merged statistics. Only stable after stop() — workers own their
-  /// counters while running.
+  /// Merged statistics: a render of metrics_snapshot(). Safe to call
+  /// while the workers run (live scrape); exact only after stop().
   ServerStats stats() const;
+
+  /// Scrapes every registered instrument (lock-free reads of the
+  /// workers' single-writer atomics). Empty before start().
+  obs::MetricsSnapshot metrics_snapshot() const { return registry_.snapshot(); }
+
+  /// Readiness for /healthz: workers are up and not yet drained.
+  bool ready() const noexcept { return running_ && !stopped_; }
 
   /// The propagation pipeline the workers subscribe to. In static mode
   /// this is the internal publisher seeded from the constructor's store.
@@ -211,6 +216,9 @@ class Server {
   std::unique_ptr<propagation::ZonePublisher> owned_publisher_;
   propagation::ZonePublisher& publisher_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  /// Catalog of references into the workers' stats structs; built in
+  /// start() once the worker set is final, scraped concurrently after.
+  obs::MetricRegistry registry_;
   std::vector<std::thread> threads_;
   std::atomic<bool> running_{false};
   bool stopped_ = false;

@@ -113,6 +113,7 @@ std::vector<dns::DnsName> SecondarySync::tracked_apexes() const {
 
 std::size_t SecondarySync::sync_once() {
   std::size_t changed = 0;
+  std::size_t pass_failures = 0;
   for (const dns::DnsName& apex : tracked_apexes()) {
     const zone::CompiledZonePtr held = publisher_.snapshot(apex);
     const bool have_zone = held != nullptr;
@@ -122,6 +123,7 @@ std::size_t SecondarySync::sync_once() {
     if (!remote) {
       const std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.failures;
+      ++pass_failures;
       continue;
     }
     {
@@ -138,13 +140,23 @@ std::size_t SecondarySync::sync_once() {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (!applied) {
       ++stats_.failures;
+      ++pass_failures;
     } else if (applied.value()) {
       ++changed;
     } else {
       ++stats_.up_to_date;
     }
   }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    synced_ = pass_failures == 0;
+  }
   return changed;
+}
+
+bool SecondarySync::synced() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return synced_;
 }
 
 Result<std::uint32_t> SecondarySync::probe_serial(const dns::DnsName& apex) {

@@ -22,6 +22,7 @@
 #include "common/sim_time.hpp"
 #include "dns/name.hpp"
 #include "net/socket.hpp"
+#include "obs/registry.hpp"
 #include "propagation/zone_publisher.hpp"
 
 namespace akadns::net {
@@ -41,13 +42,28 @@ struct SecondaryConfig {
 };
 
 struct SecondaryStats {
-  std::uint64_t soa_checks = 0;      // UDP probes answered
-  std::uint64_t up_to_date = 0;      // probe said: nothing to fetch
-  std::uint64_t ixfr_applied = 0;    // delta chains fed into the publisher
-  std::uint64_t axfr_applied = 0;    // full zones fed into the publisher
-  std::uint64_t fallbacks = 0;       // IXFR didn't apply -> refetched as AXFR
-  std::uint64_t failures = 0;        // probe/transfer/apply errors
-  std::uint64_t notify_kicks = 0;    // refresh passes triggered by NOTIFY
+  obs::Counter soa_checks;      // UDP probes answered
+  obs::Counter up_to_date;      // probe said: nothing to fetch
+  obs::Counter ixfr_applied;    // delta chains fed into the publisher
+  obs::Counter axfr_applied;    // full zones fed into the publisher
+  obs::Counter fallbacks;       // IXFR didn't apply -> refetched as AXFR
+  obs::Counter failures;        // probe/transfer/apply errors
+  obs::Counter notify_kicks;    // refresh passes triggered by NOTIFY
+
+  /// One akadns_secondary_total{event=...} series per counter.
+  void register_into(obs::MetricRegistry& reg, const obs::LabelSet& base) const {
+    const auto event = [&](const char* name, const obs::Counter& c) {
+      reg.counter("akadns_secondary_total", obs::with(base, "event", name), c,
+                  "secondary-sync refresh events");
+    };
+    event("soa_check", soa_checks);
+    event("up_to_date", up_to_date);
+    event("ixfr_applied", ixfr_applied);
+    event("axfr_applied", axfr_applied);
+    event("fallback", fallbacks);
+    event("failure", failures);
+    event("notify_kick", notify_kicks);
+  }
 };
 
 /// Periodically pulls zone versions from a primary into `publisher`.
@@ -78,6 +94,18 @@ class SecondarySync {
 
   SecondaryStats stats() const;
 
+  /// Registers the live counters (single-writer under the refresh
+  /// thread; reads are relaxed atomic loads, so a scrape never takes
+  /// this object's mutex).
+  void register_metrics(obs::MetricRegistry& reg, const obs::LabelSet& base) const {
+    stats_.register_into(reg, base);
+  }
+
+  /// Readiness signal for /healthz: true once a full refresh pass has
+  /// completed with every tracked apex transferred or confirmed up to
+  /// date; flips back to false when a later pass hits failures.
+  bool synced() const;
+
  private:
   void run();
   std::vector<dns::DnsName> tracked_apexes() const;
@@ -101,6 +129,7 @@ class SecondarySync {
   bool kicked_ = false;
   bool running_ = false;
   SecondaryStats stats_;
+  bool synced_ = false;
   std::uint16_t next_id_ = 1;
   std::thread thread_;
 };

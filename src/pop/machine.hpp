@@ -36,8 +36,16 @@ struct MachineConfig {
 /// ever sees them (injected NIC/connectivity failures). Folded into the
 /// fleet-wide conservation check by control/reporting.
 struct MachineStats {
-  std::uint64_t delivered = 0;  // packets handed to the nameserver
-  DropCounters drops;           // NicFailure: lost below the stack
+  obs::Counter delivered;  // packets handed to the nameserver
+  DropCounters drops;      // NicFailure: lost below the stack
+
+  /// Machine-level delivery counter plus the below-the-stack drop
+  /// reasons, labelled like every other drop series.
+  void register_into(obs::MetricRegistry& reg, const obs::LabelSet& base) const {
+    reg.counter("akadns_machine_delivered_total", base, delivered,
+                "packets handed to the nameserver by the (simulated) NIC");
+    obs::register_drop_counters(reg, drops, base);
+  }
 };
 
 class Machine {
@@ -109,6 +117,18 @@ class Machine {
   bool metadata_reachable() const noexcept;
 
   const MachineStats& stats() const noexcept { return stats_; }
+
+  /// Registers every metric this machine owns — nameserver lanes,
+  /// defense engine, machine-level NIC accounting, and (for replica
+  /// owners) zone-sync telemetry — under `base`. Shared zone stores are
+  /// deliberately NOT registered here: the fleet collector registers
+  /// each unique store once so shared compile stats are not multiplied
+  /// by the machines pointing at them.
+  void register_metrics(obs::MetricRegistry& reg, const obs::LabelSet& base) const {
+    nameserver_.register_metrics(reg, base);
+    stats_.register_into(reg, base);
+    if (zone_sync_) zone_sync_->stats().register_into(reg, base);
+  }
 
   // ---- failure injection ----------------------------------------------------
 

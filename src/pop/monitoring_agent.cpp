@@ -4,13 +4,16 @@ namespace akadns::pop {
 
 MonitoringAgent::MonitoringAgent(Machine& machine, const zone::ZoneStore& store,
                                  SuspensionCoordinator& coordinator,
-                                 EventScheduler& scheduler, MonitoringAgentConfig config)
+                                 EventScheduler& scheduler, MonitoringConfig config)
     : machine_(machine),
       store_(store),
       coordinator_(coordinator),
       scheduler_(scheduler),
       config_(std::move(config)) {
   coordinator_.register_machine(machine_.id());
+  machine_.register_metrics(registry_, {});
+  prev_window_ = sample_window();
+  last_sync_progress_ = scheduler_.now();
 }
 
 MonitoringAgent::~MonitoringAgent() {
@@ -39,6 +42,45 @@ void MonitoringAgent::schedule_next() {
     check_now();
     schedule_next();
   });
+}
+
+MonitoringAgent::Window MonitoringAgent::sample_window() const {
+  const auto snap = registry_.snapshot();
+  Window w;
+  w.packets = snap.sum("akadns_packets_total");
+  w.drops = snap.sum("akadns_drops_total");
+  w.responses = snap.sum("akadns_responses_total");
+  w.nxdomain =
+      snap.sum("akadns_responses_by_rcode_total", obs::labels({{"rcode", "nxdomain"}}));
+  w.sync_events = snap.sum("akadns_zone_sync_total");
+  w.has_sync = snap.family("akadns_zone_sync_total") != nullptr;
+  return w;
+}
+
+void MonitoringAgent::derive_anomalies(SimTime now) {
+  const Window cur = sample_window();
+  const std::uint64_t responses = cur.responses - prev_window_.responses;
+  const std::uint64_t nxdomain = cur.nxdomain - prev_window_.nxdomain;
+  const std::uint64_t packets = cur.packets - prev_window_.packets;
+  const std::uint64_t drops = cur.drops - prev_window_.drops;
+
+  AnomalySignals sig;
+  sig.nxdomain_rate =
+      responses ? static_cast<double>(nxdomain) / static_cast<double>(responses) : 0.0;
+  sig.nxdomain_spike = responses >= config_.min_window_responses &&
+                       sig.nxdomain_rate >= config_.nxdomain_rate_threshold;
+  sig.drop_rate = packets ? static_cast<double>(drops) / static_cast<double>(packets) : 0.0;
+  sig.drop_spike =
+      packets >= config_.min_window_packets && sig.drop_rate >= config_.drop_rate_threshold;
+  if (cur.sync_events != prev_window_.sync_events) last_sync_progress_ = now;
+  sig.zone_sync_age = cur.has_sync ? now - last_sync_progress_ : Duration::zero();
+  sig.stale_zone = cur.has_sync && sig.zone_sync_age > config_.stale_zone_age;
+
+  if (sig.nxdomain_spike) ++stats_.nxdomain_spikes;
+  if (sig.drop_spike) ++stats_.drop_spikes;
+  if (sig.stale_zone) ++stats_.stale_zone_flags;
+  anomalies_ = sig;
+  prev_window_ = cur;
 }
 
 std::string MonitoringAgent::run_test_suite(SimTime now) {
@@ -70,6 +112,11 @@ std::string MonitoringAgent::run_test_suite(SimTime now) {
 bool MonitoringAgent::check_now() {
   const SimTime now = scheduler_.now();
   ++stats_.checks;
+
+  // Passive signals first, from the same registry a live scrape reads:
+  // the probe suite below adds its own responses to the counters, so the
+  // window closes before the probes run.
+  derive_anomalies(now);
 
   // Crash handling first: restart the nameserver. The QoD firewall rule
   // (installed by the trap at crash time) shields the restarted process.

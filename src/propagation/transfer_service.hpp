@@ -24,6 +24,7 @@
 
 #include "common/result.hpp"
 #include "dns/message.hpp"
+#include "obs/registry.hpp"
 #include "zone/zone_store.hpp"
 #include "zone/zone_transfer.hpp"
 
@@ -41,11 +42,24 @@ struct TransferConfig {
 };
 
 struct TransferStats {
-  std::uint64_t axfr_served = 0;
-  std::uint64_t ixfr_incremental = 0;  // IXFR answered from the journal
-  std::uint64_t ixfr_fallback = 0;     // IXFR answered with a full body
-  std::uint64_t up_to_date = 0;        // single-SOA "you are current" replies
-  std::uint64_t refused = 0;           // unknown zone / malformed request
+  obs::Counter axfr_served;
+  obs::Counter ixfr_incremental;  // IXFR answered from the journal
+  obs::Counter ixfr_fallback;     // IXFR answered with a full body
+  obs::Counter up_to_date;        // single-SOA "you are current" replies
+  obs::Counter refused;           // unknown zone / malformed request
+
+  /// One akadns_zone_transfer_total{kind=...} series per counter.
+  void register_into(obs::MetricRegistry& reg, const obs::LabelSet& base) const {
+    const auto kind = [&](const char* name, const obs::Counter& c) {
+      reg.counter("akadns_zone_transfer_total", obs::with(base, "kind", name), c,
+                  "zone transfer responses served");
+    };
+    kind("axfr", axfr_served);
+    kind("ixfr_incremental", ixfr_incremental);
+    kind("ixfr_fallback", ixfr_fallback);
+    kind("up_to_date", up_to_date);
+    kind("refused", refused);
+  }
 };
 
 /// What a transfer response resolved to on the client side.

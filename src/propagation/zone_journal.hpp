@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "zone/zone_transfer.hpp"
 
 namespace akadns::propagation {
@@ -35,11 +36,24 @@ struct JournalConfig {
 };
 
 struct JournalStats {
-  std::uint64_t appended = 0;
-  std::uint64_t evicted = 0;  // deltas dropped to respect the bounds
-  std::uint64_t resets = 0;   // logs cleared (gap / regression / full publish)
-  std::uint64_t chain_hits = 0;
-  std::uint64_t chain_misses = 0;
+  obs::Counter appended;
+  obs::Counter evicted;  // deltas dropped to respect the bounds
+  obs::Counter resets;   // logs cleared (gap / regression / full publish)
+  obs::Counter chain_hits;
+  obs::Counter chain_misses;
+
+  /// One akadns_zone_journal_total{event=...} series per counter.
+  void register_into(obs::MetricRegistry& reg, const obs::LabelSet& base) const {
+    const auto event = [&](const char* name, const obs::Counter& c) {
+      reg.counter("akadns_zone_journal_total", obs::with(base, "event", name), c,
+                  "zone delta-journal events");
+    };
+    event("appended", appended);
+    event("evicted", evicted);
+    event("reset", resets);
+    event("chain_hit", chain_hits);
+    event("chain_miss", chain_misses);
+  }
 };
 
 class ZoneJournal {

@@ -234,6 +234,13 @@ JournalStats ZonePublisher::journal_stats() const {
   return journal_.stats();
 }
 
+void ZonePublisher::register_metrics(obs::MetricRegistry& reg,
+                                     const obs::LabelSet& base) const {
+  stats_.register_into(reg, base);
+  journal_.stats().register_into(reg, base);
+  master_.compile_stats().register_into(reg, base);
+}
+
 zone::CompileStats ZonePublisher::compile_stats() const {
   std::lock_guard lock(mutex_);
   return master_.compile_stats();

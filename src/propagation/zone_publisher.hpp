@@ -45,6 +45,7 @@
 
 #include "common/clock.hpp"
 #include "common/result.hpp"
+#include "obs/registry.hpp"
 #include "propagation/zone_journal.hpp"
 #include "zone/zone_store.hpp"
 
@@ -69,12 +70,26 @@ struct PublisherConfig {
 };
 
 struct PublisherStats {
-  std::uint64_t published = 0;          // accepted publishes (updates fanned out)
-  std::uint64_t incremental = 0;        // took the delta + incremental-compile path
-  std::uint64_t full = 0;               // took the from-scratch compile path
-  std::uint64_t rejected_serial = 0;    // serial regressions refused
-  std::uint64_t soa_drift_fallbacks = 0;  // SOA-rdata-only change forced full path
-  std::uint64_t chains_applied = 0;     // apply_chain() ingests
+  obs::Counter published;           // accepted publishes (updates fanned out)
+  obs::Counter incremental;         // took the delta + incremental-compile path
+  obs::Counter full;                // took the from-scratch compile path
+  obs::Counter rejected_serial;     // serial regressions refused
+  obs::Counter soa_drift_fallbacks; // SOA-rdata-only change forced full path
+  obs::Counter chains_applied;      // apply_chain() ingests
+
+  /// One akadns_zone_publish_total{event=...} series per counter.
+  void register_into(obs::MetricRegistry& reg, const obs::LabelSet& base) const {
+    const auto event = [&](const char* name, const obs::Counter& c) {
+      reg.counter("akadns_zone_publish_total", obs::with(base, "event", name), c,
+                  "zone publisher events");
+    };
+    event("published", published);
+    event("incremental", incremental);
+    event("full", full);
+    event("rejected_serial", rejected_serial);
+    event("soa_drift_fallback", soa_drift_fallbacks);
+    event("chain_applied", chains_applied);
+  }
 };
 
 /// A subscription's inbound queue. Handed out as a shared_ptr so a
@@ -149,6 +164,11 @@ class ZonePublisher {
   PublisherStats stats() const;
   JournalStats journal_stats() const;
   zone::CompileStats compile_stats() const;
+
+  /// Registers the publisher's live counters, its journal's, and the
+  /// master store's compile accounting. Instruments are single-writer
+  /// under the publisher mutex; scrapes read the atomics lock-free.
+  void register_metrics(obs::MetricRegistry& reg, const obs::LabelSet& base) const;
 
   const Clock& clock() const noexcept { return clock_; }
 

@@ -22,6 +22,7 @@
 #include <functional>
 
 #include "common/clock.hpp"
+#include "obs/registry.hpp"
 #include "propagation/zone_publisher.hpp"
 #include "zone/zone_store.hpp"
 
@@ -29,24 +30,33 @@ namespace akadns::propagation {
 
 /// Per-subscriber propagation telemetry.
 struct ZoneSyncStats {
-  std::uint64_t updates = 0;         // updates seen by apply()
-  std::uint64_t noops = 0;           // replica already at/past the serial
-  std::uint64_t adopted = 0;         // compiled-snapshot pointer swaps
-  std::uint64_t deltas_applied = 0;  // individual deltas replayed
-  std::uint64_t incremental = 0;     // updates absorbed via the delta path
-  std::uint64_t full = 0;            // updates absorbed via full publish
-  std::uint64_t last_latency_ns = 0;  // publish -> applied, publisher clock
-  std::uint64_t max_latency_ns = 0;
+  obs::Counter updates;         // updates seen by apply()
+  obs::Counter noops;           // replica already at/past the serial
+  obs::Counter adopted;         // compiled-snapshot pointer swaps
+  obs::Counter deltas_applied;  // individual deltas replayed
+  obs::Counter incremental;     // updates absorbed via the delta path
+  obs::Counter full;            // updates absorbed via full publish
+  obs::Gauge last_latency_ns;   // publish -> applied, publisher clock
+  obs::Gauge max_latency_ns;
 
-  void merge(const ZoneSyncStats& other) noexcept {
-    updates += other.updates;
-    noops += other.noops;
-    adopted += other.adopted;
-    deltas_applied += other.deltas_applied;
-    incremental += other.incremental;
-    full += other.full;
-    last_latency_ns = other.last_latency_ns ? other.last_latency_ns : last_latency_ns;
-    if (other.max_latency_ns > max_latency_ns) max_latency_ns = other.max_latency_ns;
+  /// One akadns_zone_sync_total{event=...} series per counter plus the
+  /// two latency gauges. Cross-subscriber aggregation happens on registry
+  /// snapshots (counters sum; max_latency aggregates with Max).
+  void register_into(obs::MetricRegistry& reg, const obs::LabelSet& base) const {
+    const auto event = [&](const char* name, const obs::Counter& c) {
+      reg.counter("akadns_zone_sync_total", obs::with(base, "event", name), c,
+                  "zone propagation apply events");
+    };
+    event("update", updates);
+    event("noop", noops);
+    event("adopted", adopted);
+    event("delta_applied", deltas_applied);
+    event("incremental", incremental);
+    event("full", full);
+    reg.gauge("akadns_zone_sync_last_latency_ns", base, last_latency_ns,
+              obs::GaugeAgg::Max, "publish-to-applied latency of the newest update");
+    reg.gauge("akadns_zone_sync_max_latency_ns", base, max_latency_ns,
+              obs::GaugeAgg::Max, "worst publish-to-applied latency seen");
   }
 };
 

@@ -26,6 +26,7 @@
 #include "common/ip.hpp"
 #include "common/sim_time.hpp"
 #include "dns/message.hpp"
+#include "obs/registry.hpp"
 
 namespace akadns::server {
 
@@ -43,12 +44,26 @@ struct CachedStatDelta {
 class AnswerCache {
  public:
   struct Stats {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t insertions = 0;  // writes, including expired-slot refreshes
-    std::uint64_t evictions = 0;
-    std::uint64_t expired = 0;       // hits refused because the TTL ran out
-    std::uint64_t invalidations = 0; // whole-cache clears on generation change
+    obs::Counter hits;
+    obs::Counter misses;
+    obs::Counter insertions;  // writes, including expired-slot refreshes
+    obs::Counter evictions;
+    obs::Counter expired;        // hits refused because the TTL ran out
+    obs::Counter invalidations;  // whole-cache clears on generation change
+
+    /// One akadns_answer_cache_total{event=...} series per counter.
+    void register_into(obs::MetricRegistry& reg, const obs::LabelSet& base) const {
+      const auto event = [&](const char* name, const obs::Counter& c) {
+        reg.counter("akadns_answer_cache_total", obs::with(base, "event", name), c,
+                    "answer-cache events");
+      };
+      event("hit", hits);
+      event("miss", misses);
+      event("insertion", insertions);
+      event("eviction", evictions);
+      event("expired", expired);
+      event("invalidation", invalidations);
+    }
 
     /// Accumulates another cache's counters (per-lane → machine view).
     void merge(const Stats& o) noexcept {

@@ -116,13 +116,29 @@ struct NameserverConfig {
 };
 
 struct NameserverStats {
-  std::uint64_t packets_received = 0;
-  std::uint64_t queries_enqueued = 0;
-  std::uint64_t queries_processed = 0;
-  std::uint64_t responses_sent = 0;
-  std::uint64_t crashes = 0;
+  obs::Counter packets_received;
+  obs::Counter queries_enqueued;
+  obs::Counter queries_processed;
+  obs::Counter responses_sent;
+  obs::Counter crashes;
   /// Every dropped packet, bucketed by the stage that killed it.
   DropCounters drops;
+
+  /// Registers the packet-conservation counters under `base` (typically
+  /// lane labels): akadns_packets_total, akadns_responses_sent_total,
+  /// akadns_drops_total{reason}, plus enqueue/process/crash counts.
+  void register_into(obs::MetricRegistry& reg, const obs::LabelSet& base) const {
+    reg.counter("akadns_packets_total", base, packets_received,
+                "packets handed to the datapath");
+    reg.counter("akadns_enqueued_total", base, queries_enqueued,
+                "queries admitted to a penalty queue");
+    reg.counter("akadns_processed_total", base, queries_processed,
+                "queries drained and answered/accounted");
+    reg.counter("akadns_responses_sent_total", base, responses_sent,
+                "responses flushed to the transport");
+    reg.counter("akadns_crashes_total", base, crashes, "query-of-death crashes");
+    obs::register_drop_counters(reg, drops, base);
+  }
 
   // Named views over the taxonomy (the seed kept these as disjoint
   // fields; they are now projections of the same counters).
@@ -315,15 +331,31 @@ class Nameserver {
   const BufferPool& pool() const noexcept { return *lanes_[0].pool; }
   const BufferPool& pool(std::size_t lane) const noexcept { return *lanes_[lane].pool; }
 
-  /// Machine view: all lanes' telemetry merged (counts are exact; latency
-  /// moments merge per LatencyRecorder::merge).
-  DatapathTelemetry telemetry() const {
-    DatapathTelemetry merged;
-    for (const auto& lane : lanes_) merged.merge(lane.telemetry);
-    return merged;
-  }
   const DatapathTelemetry& lane_telemetry(std::size_t lane) const noexcept {
     return lanes_[lane].telemetry;
+  }
+
+  /// Registers this instance's full metric surface — per-lane packet
+  /// counters, drop taxonomy, stage telemetry, responder/cache counters,
+  /// live pending gauges, and the defense engine's lanes — under `base`
+  /// (typically machine labels). The machine view the seed kept as merged
+  /// structs is now the registry sum over the lane label; a scrape at a
+  /// quiescent point satisfies packets == responses + Σdrops + pending
+  /// exactly, per lane and overall. Instruments are referenced in place:
+  /// the nameserver must outlive the registry.
+  void register_metrics(obs::MetricRegistry& reg, const obs::LabelSet& base) const {
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      const obs::LabelSet lane_labels = obs::with(base, "lane", i);
+      lanes_[i].stats.register_into(reg, lane_labels);
+      lanes_[i].telemetry.register_into(reg, lane_labels);
+      lanes_[i].responder.stats().register_into(reg, lane_labels);
+      lanes_[i].responder.answer_cache().stats().register_into(reg, lane_labels);
+      reg.gauge_fn(
+          "akadns_pending", lane_labels,
+          [this, i] { return static_cast<double>(engine_.lane_pending(i)); },
+          obs::GaugeAgg::Sum, "queries sitting in penalty queues");
+    }
+    engine_.register_metrics(reg, base);
   }
 
   /// Machine view: all lanes' responder counters summed.

@@ -361,4 +361,36 @@ std::optional<std::vector<std::uint8_t>> Responder::respond_wire(
   return respond_view(wire, view.value(), client, now, wire_size_limit);
 }
 
+void ResponderStats::register_into(obs::MetricRegistry& reg,
+                                   const obs::LabelSet& base) const {
+  reg.counter("akadns_responses_total", base, responses, "wire responses produced");
+  const auto rcode = [&](const char* name, const obs::Counter& c) {
+    reg.counter("akadns_responses_by_rcode_total", obs::with(base, "rcode", name), c,
+                "responses split by rcode");
+  };
+  rcode("noerror", noerror);
+  rcode("nxdomain", nxdomain);
+  rcode("refused", refused);
+  rcode("formerr", formerr);
+  rcode("notimp", notimp);
+  rcode("servfail", servfail);
+  const auto feature = [&](const char* name, const obs::Counter& c) {
+    reg.counter("akadns_answer_features_total", obs::with(base, "kind", name), c,
+                "answer-construction features exercised");
+  };
+  feature("nodata", nodata);
+  feature("referral", referrals);
+  feature("wildcard", wildcard_answers);
+  feature("cname_chase", cname_chases);
+  feature("mapped", mapped_answers);
+  feature("pushed", pushed_answers);
+  const auto path = [&](const char* name, const obs::Counter& c) {
+    reg.counter("akadns_answer_path_total", obs::with(base, "path", name), c,
+                "which datapath produced each response");
+  };
+  path("compiled", compiled_answers);
+  path("cache", cache_hits);
+  path("interpreted", interpreted_answers);
+}
+
 }  // namespace akadns::server

@@ -27,6 +27,7 @@
 #include "common/sim_time.hpp"
 #include "dns/message.hpp"
 #include "dns/wire.hpp"
+#include "obs/registry.hpp"
 #include "server/answer_cache.hpp"
 #include "zone/zone_store.hpp"
 
@@ -76,23 +77,27 @@ using ReferralPushHook = std::function<std::vector<dns::ResourceRecord>(
     const dns::Question& question, const Endpoint& client)>;
 
 struct ResponderStats {
-  std::uint64_t responses = 0;
-  std::uint64_t noerror = 0;
-  std::uint64_t nxdomain = 0;
-  std::uint64_t nodata = 0;
-  std::uint64_t refused = 0;
-  std::uint64_t formerr = 0;
-  std::uint64_t notimp = 0;
-  std::uint64_t servfail = 0;
-  std::uint64_t referrals = 0;
-  std::uint64_t wildcard_answers = 0;
-  std::uint64_t cname_chases = 0;
-  std::uint64_t mapped_answers = 0;
-  std::uint64_t pushed_answers = 0;
+  obs::Counter responses;
+  obs::Counter noerror;
+  obs::Counter nxdomain;
+  obs::Counter nodata;
+  obs::Counter refused;
+  obs::Counter formerr;
+  obs::Counter notimp;
+  obs::Counter servfail;
+  obs::Counter referrals;
+  obs::Counter wildcard_answers;
+  obs::Counter cname_chases;
+  obs::Counter mapped_answers;
+  obs::Counter pushed_answers;
   // Datapath breakdown: every wire response is exactly one of these.
-  std::uint64_t compiled_answers = 0;     // stitched from precompiled fragments
-  std::uint64_t cache_hits = 0;           // replayed from the answer cache
-  std::uint64_t interpreted_answers = 0;  // built via the Message encoder
+  obs::Counter compiled_answers;     // stitched from precompiled fragments
+  obs::Counter cache_hits;           // replayed from the answer cache
+  obs::Counter interpreted_answers;  // built via the Message encoder
+
+  /// Registers every counter as an rcode/kind-labelled series under
+  /// `base` (typically worker/lane labels).
+  void register_into(obs::MetricRegistry& reg, const obs::LabelSet& base) const;
 
   /// Accumulates another responder's counters (per-lane → machine view).
   void merge(const ResponderStats& o) noexcept {

@@ -13,25 +13,16 @@ std::string_view to_string(Stage stage) noexcept {
   return "unknown";
 }
 
-void DatapathTelemetry::merge(const DatapathTelemetry& other) {
-  for (std::size_t i = 0; i < kStageCount; ++i) stages_[i].merge(other.stages_[i]);
-  queue_wait_.merge(other.queue_wait_);
-}
-
-std::string DatapathTelemetry::render() const {
-  std::string out;
+void DatapathTelemetry::register_into(obs::MetricRegistry& reg,
+                                      const obs::LabelSet& base) const {
   for (std::size_t i = 0; i < kStageCount; ++i) {
     const auto s = static_cast<Stage>(i);
-    out += "  ";
-    out += to_string(s);
-    out += " (ns): ";
-    out += stages_[i].summary();
-    out += "\n";
+    reg.histogram("akadns_stage_latency_ns",
+                  obs::with(base, "stage", std::string(to_string(s))), stages_[i],
+                  "wall-clock cost per datapath stage");
   }
-  out += "  queue-wait (sim us): ";
-  out += queue_wait_.summary();
-  out += "\n";
-  return out;
+  reg.histogram("akadns_queue_wait_us", base, queue_wait_,
+                "simulated microseconds queued (arrival to dequeue)");
 }
 
 }  // namespace akadns::server

@@ -14,6 +14,7 @@
 #include <string_view>
 
 #include "common/stage_stats.hpp"
+#include "obs/registry.hpp"
 
 namespace akadns::server {
 
@@ -42,10 +43,11 @@ class DatapathTelemetry {
   LatencyRecorder& queue_wait() noexcept { return queue_wait_; }
   const LatencyRecorder& queue_wait() const noexcept { return queue_wait_; }
 
-  void merge(const DatapathTelemetry& other);
-
-  /// Multi-line "stage: count/mean/p50/p99" rendering for reports.
-  std::string render() const;
+  /// Registers every stage recorder as an akadns_stage_latency_ns series
+  /// (stage-labelled) plus akadns_queue_wait_us under `base`. Merging and
+  /// rendering across lanes/machines happens on registry snapshots — the
+  /// struct-level merge()/render() the seed carried are gone.
+  void register_into(obs::MetricRegistry& reg, const obs::LabelSet& base) const;
 
  private:
   std::array<LatencyRecorder, kStageCount> stages_;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "obs/registry.hpp"
 #include "zone/compiled_zone.hpp"
 #include "zone/zone.hpp"
 #include "zone/zone_transfer.hpp"
@@ -33,16 +34,38 @@ namespace akadns::zone {
 
 /// Cumulative cost of publish-time compilation (telemetry surface).
 struct CompileStats {
-  std::uint64_t compiles = 0;              // from-scratch compiles
-  std::uint64_t incremental_compiles = 0;  // delta-driven recompiles
-  std::uint64_t adopted = 0;               // pre-compiled snapshots installed
-  std::uint64_t total_micros = 0;
-  std::uint64_t last_micros = 0;
-  std::uint64_t last_nodes = 0;
-  std::uint64_t last_fragments = 0;
+  obs::Counter compiles;              // from-scratch compiles
+  obs::Counter incremental_compiles;  // delta-driven recompiles
+  obs::Counter adopted;               // pre-compiled snapshots installed
+  obs::Counter total_micros;
+  obs::Gauge last_micros;
+  obs::Gauge last_nodes;
+  obs::Gauge last_fragments;
   /// Nodes shared with the previous snapshot by the last incremental
   /// compile — the work the delta path avoided redoing.
-  std::uint64_t last_reused_nodes = 0;
+  obs::Gauge last_reused_nodes;
+
+  /// akadns_zone_compile_total{path=...} counters plus last-compile
+  /// gauges (Max across machines: "the worst latest compile").
+  void register_into(obs::MetricRegistry& reg, const obs::LabelSet& base) const {
+    const auto path = [&](const char* name, const obs::Counter& c) {
+      reg.counter("akadns_zone_compile_total", obs::with(base, "path", name), c,
+                  "publish-time zone compiles by path");
+    };
+    path("full", compiles);
+    path("incremental", incremental_compiles);
+    path("adopted", adopted);
+    reg.counter("akadns_zone_compile_micros_total", base, total_micros,
+                "cumulative publish-time compile cost");
+    reg.gauge("akadns_zone_compile_last_micros", base, last_micros,
+              obs::GaugeAgg::Max, "cost of the most recent compile");
+    reg.gauge("akadns_zone_compile_last_nodes", base, last_nodes,
+              obs::GaugeAgg::Max, "nodes in the most recent compiled snapshot");
+    reg.gauge("akadns_zone_compile_last_fragments", base, last_fragments,
+              obs::GaugeAgg::Max, "fragments in the most recent compiled snapshot");
+    reg.gauge("akadns_zone_compile_last_reused_nodes", base, last_reused_nodes,
+              obs::GaugeAgg::Max, "nodes the last incremental compile reused");
+  }
 };
 
 class ZoneStore {

@@ -1,0 +1,93 @@
+#include "common/stage_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace akadns {
+namespace {
+
+TEST(LatencyRecorder, EmptyIsAllZeros) {
+  LatencyRecorder r;
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_DOUBLE_EQ(r.moments().mean(), 0.0);
+  EXPECT_DOUBLE_EQ(r.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(r.quantile(0.99), 0.0);
+}
+
+TEST(LatencyRecorder, SingleSample) {
+  LatencyRecorder r;
+  r.record(5000.0);
+  EXPECT_EQ(r.count(), 1u);
+  EXPECT_DOUBLE_EQ(r.moments().mean(), 5000.0);
+  EXPECT_DOUBLE_EQ(r.moments().min(), 5000.0);
+  EXPECT_DOUBLE_EQ(r.moments().max(), 5000.0);
+  // Histogram quantiles are bucket-approximate: within one log10/8 bucket.
+  const double p50 = r.quantile(0.5);
+  EXPECT_GE(p50, 5000.0 / std::pow(10.0, 1.0 / 8.0));
+  EXPECT_LE(p50, 5000.0 * std::pow(10.0, 1.0 / 8.0));
+}
+
+TEST(LatencyRecorder, MergeWithEmptyIsIdentityBothWays) {
+  LatencyRecorder filled, empty;
+  for (double v : {100.0, 1000.0, 10000.0}) filled.record(v);
+  const double mean = filled.moments().mean();
+  const double p50 = filled.quantile(0.5);
+
+  filled.merge(empty);
+  EXPECT_EQ(filled.count(), 3u);
+  EXPECT_DOUBLE_EQ(filled.moments().mean(), mean);
+  EXPECT_DOUBLE_EQ(filled.quantile(0.5), p50);
+
+  empty.merge(filled);
+  EXPECT_EQ(empty.count(), 3u);
+  EXPECT_DOUBLE_EQ(empty.moments().mean(), mean);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), p50);
+  EXPECT_DOUBLE_EQ(empty.moments().min(), 100.0);
+  EXPECT_DOUBLE_EQ(empty.moments().max(), 10000.0);
+}
+
+TEST(LatencyRecorder, MergeIsCommutative) {
+  LatencyRecorder a, b;
+  for (int i = 1; i <= 300; ++i) a.record(50.0 * i);
+  for (int i = 1; i <= 500; ++i) b.record(20000.0 + 11.0 * i);
+  LatencyRecorder ab = a;
+  ab.merge(b);
+  LatencyRecorder ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_NEAR(ab.moments().mean(), ba.moments().mean(), 1e-6);
+  EXPECT_NEAR(ab.moments().variance(), ba.moments().variance(), 1e-3);
+  EXPECT_DOUBLE_EQ(ab.moments().min(), ba.moments().min());
+  EXPECT_DOUBLE_EQ(ab.moments().max(), ba.moments().max());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(ab.quantile(q), ba.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyRecorder, MergeMatchesCombinedRecording) {
+  LatencyRecorder a, b, combined;
+  for (int i = 1; i <= 100; ++i) {
+    a.record(i * 100.0);
+    combined.record(i * 100.0);
+  }
+  for (int i = 1; i <= 150; ++i) {
+    b.record(i * 777.0);
+    combined.record(i * 777.0);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.moments().mean(), combined.moments().mean(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), combined.quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.quantile(0.99), combined.quantile(0.99));
+}
+
+TEST(StageTimer, RecordsAtScopeExit) {
+  LatencyRecorder r;
+  { StageTimer t(r); }
+  EXPECT_EQ(r.count(), 1u);
+  EXPECT_GE(r.moments().max(), 0.0);
+}
+
+}  // namespace
+}  // namespace akadns

@@ -123,7 +123,7 @@ TEST(DefenseEngine, UnmeteredBeginPhaseBudgetsTheWholeBacklog) {
   EXPECT_EQ(engine.next(0).value(), 12);
   EXPECT_FALSE(engine.next(0).has_value());
   EXPECT_EQ(engine.end_phase(), 3u);
-  EXPECT_EQ(engine.stats().released, 3u);
+  EXPECT_EQ(engine.lane_stats(0).released, 3u);
 }
 
 TEST(DefenseEngine, MeteredBudgetIsRoundRobinAndBacklogCapped) {
@@ -253,9 +253,13 @@ TEST(DefenseEngine, StatsMergeAcrossLanes) {
   engine.enqueue(1, 2, 0.0);
   engine.enqueue(2, 3, 999.0);  // discard
 
-  const auto merged = engine.stats();
-  EXPECT_EQ(merged.enqueued, 2u);
-  EXPECT_EQ(merged.drops[DropReason::ScoreDiscard], 1u);
+  // Per-lane counters merge at scrape time: the registry snapshot's
+  // label-filtered sums are the fleet view the deleted stats() used to be.
+  obs::MetricRegistry reg;
+  engine.register_metrics(reg, {});
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.sum("akadns_defense_enqueued_total"), 2u);
+  EXPECT_EQ(snap.sum("akadns_defense_drops_total", obs::labels({{"reason", "score-discard"}})), 1u);
   EXPECT_EQ(engine.lane_pending(0), 1u);
   EXPECT_EQ(engine.lane_pending(1), 1u);
   EXPECT_EQ(engine.lane_pending(2), 0u);

@@ -140,12 +140,17 @@ void run_scenario(std::size_t threads) {
   }
 
   // The engine's own defense accounting must agree with the nameserver's
-  // packet-level view of the same run.
-  const auto defense = ns.defense().stats();
-  EXPECT_EQ(defense.enqueued, kGoldenEnqueued);
-  EXPECT_EQ(defense.released, kGoldenProcessed);
-  EXPECT_EQ(defense.drops[DropReason::ScoreDiscard], kGoldenScoreDiscards);
-  EXPECT_EQ(defense.drops[DropReason::QueueFull], kGoldenQueueFull);
+  // packet-level view of the same run. The merged view is a registry
+  // snapshot sum over the per-lane series, like every fleet report now.
+  obs::MetricRegistry reg;
+  ns.defense().register_metrics(reg, {});
+  const auto defense = reg.snapshot();
+  EXPECT_EQ(defense.sum("akadns_defense_enqueued_total"), kGoldenEnqueued);
+  EXPECT_EQ(defense.sum("akadns_defense_released_total"), kGoldenProcessed);
+  EXPECT_EQ(defense.sum("akadns_defense_drops_total", obs::labels({{"reason", "score-discard"}})),
+            kGoldenScoreDiscards);
+  EXPECT_EQ(defense.sum("akadns_defense_drops_total", obs::labels({{"reason", "queue-full"}})),
+            kGoldenQueueFull);
 }
 
 TEST(SimDifferential, GoldenCountersAtOneThread) { run_scenario(1); }

@@ -113,9 +113,9 @@ TEST(DatapathConservation, MixedLegitAndAttackRunAccountsEveryPacket) {
 
   // Per-stage telemetry aggregated across the fleet saw every packet the
   // applications admitted.
-  EXPECT_EQ(report.telemetry.stage(server::Stage::Receive).count(),
+  EXPECT_EQ(report.stage_latency(server::Stage::Receive).count(),
             a.nameserver().stats().packets_received + b.nameserver().stats().packets_received);
-  EXPECT_EQ(report.telemetry.stage(server::Stage::Resolve).count() +
+  EXPECT_EQ(report.stage_latency(server::Stage::Resolve).count() +
                 report.drops[DropReason::QueryOfDeath],
             a.nameserver().stats().queries_processed +
                 b.nameserver().stats().queries_processed);

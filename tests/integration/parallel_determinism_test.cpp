@@ -114,15 +114,22 @@ MachineRunResult run_machine_workload(std::size_t worker_threads) {
     result.lane_stats.push_back(ns.lane_stats(i));
   }
   result.responder_stats = ns.responder_stats();
-  const auto telemetry = ns.telemetry();
+  obs::MetricRegistry reg;
+  ns.register_metrics(reg, {});
+  const auto snap = reg.snapshot();
   for (std::size_t s = 0; s < server::kStageCount; ++s) {
     // Wall-clock stage latencies are nondeterministic; their COUNTS are
     // exact per-packet tallies and must match.
-    result.stage_counts[s] = telemetry.stage(static_cast<server::Stage>(s)).count();
+    result.stage_counts[s] =
+        snap.merged_histogram("akadns_stage_latency_ns",
+                              obs::labels({{"stage", std::string(server::to_string(
+                                                         static_cast<server::Stage>(s)))}}))
+            .count();
   }
   // Queue wait is simulated time: count AND value stream must match.
-  result.queue_wait_count = telemetry.queue_wait().count();
-  result.queue_wait_mean = telemetry.queue_wait().moments().mean();
+  const auto queue_wait = snap.merged_histogram("akadns_queue_wait_us");
+  result.queue_wait_count = queue_wait.count();
+  result.queue_wait_mean = queue_wait.mean();
   result.pending = ns.pending();
   result.crashes = ns.stats().crashes;
   return result;

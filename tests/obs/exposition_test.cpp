@@ -1,0 +1,108 @@
+#include "obs/exposition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace akadns::obs {
+namespace {
+
+MetricsSnapshot sample_snapshot() {
+  Counter rx0, rx1, drops;
+  rx0 += 100;
+  rx1 += 42;
+  drops += 7;
+  Gauge depth;
+  depth.set(12.5);
+  Histogram lat;
+  for (int i = 1; i <= 50; ++i) lat.add(i * 10.0);
+  MetricRegistry reg;
+  reg.counter("akadns_udp_packets_total", labels({{"worker", "0"}}), rx0,
+              "UDP datagrams received");
+  reg.counter("akadns_udp_packets_total", labels({{"worker", "1"}}), rx1);
+  reg.counter("akadns_drops_total", labels({{"reason", "malformed"}}), drops);
+  reg.gauge("akadns_penalty_depth", {}, depth);
+  reg.histogram("akadns_stage_latency_ns", labels({{"stage", "resolve"}}), lat);
+  return reg.snapshot();
+}
+
+TEST(Exposition, RenderParseRoundTrip) {
+  const MetricsSnapshot snap = sample_snapshot();
+  const std::string text = render_prometheus(snap);
+  const Exposition parsed = Exposition::parse(text);
+
+  EXPECT_DOUBLE_EQ(parsed.value("akadns_udp_packets_total", labels({{"worker", "0"}})),
+                   100.0);
+  EXPECT_DOUBLE_EQ(parsed.sum("akadns_udp_packets_total"), 142.0);
+  EXPECT_DOUBLE_EQ(parsed.value("akadns_drops_total", labels({{"reason", "malformed"}})),
+                   7.0);
+  EXPECT_DOUBLE_EQ(parsed.value("akadns_penalty_depth"), 12.5);
+  // Histogram renders summary-style: quantiles + _count/_sum/_min/_max.
+  EXPECT_DOUBLE_EQ(
+      parsed.value("akadns_stage_latency_ns_count", labels({{"stage", "resolve"}})),
+      50.0);
+  EXPECT_DOUBLE_EQ(
+      parsed.value("akadns_stage_latency_ns_max", labels({{"stage", "resolve"}})),
+      500.0);
+  const double p50 = parsed.value(
+      "akadns_stage_latency_ns",
+      labels({{"stage", "resolve"}, {"quantile", "0.5"}}));
+  EXPECT_GT(p50, 200.0);
+  EXPECT_LT(p50, 320.0);
+  // TYPE headers present for every family.
+  const auto& fams = parsed.typed_families();
+  EXPECT_NE(std::find(fams.begin(), fams.end(), "akadns_udp_packets_total"), fams.end());
+  EXPECT_NE(std::find(fams.begin(), fams.end(), "akadns_stage_latency_ns"), fams.end());
+}
+
+TEST(Exposition, RenderIsDeterministic) {
+  // Families sort by name, samples by labels: two snapshots of the same
+  // registry render byte-identically (CI diffing relies on this).
+  EXPECT_EQ(render_prometheus(sample_snapshot()), render_prometheus(sample_snapshot()));
+}
+
+TEST(Exposition, HelpAndTypeLines) {
+  const std::string text = render_prometheus(sample_snapshot());
+  EXPECT_NE(text.find("# HELP akadns_udp_packets_total UDP datagrams received\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE akadns_udp_packets_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE akadns_penalty_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE akadns_stage_latency_ns summary\n"), std::string::npos);
+}
+
+TEST(Exposition, LabelValueEscaping) {
+  Counter c;
+  c += 1;
+  MetricRegistry reg;
+  reg.counter("akadns_weird_total", labels({{"zone", "a\"b\\c\nd"}}), c);
+  const std::string text = render_prometheus(reg.snapshot());
+  const Exposition parsed = Exposition::parse(text);
+  EXPECT_DOUBLE_EQ(parsed.value("akadns_weird_total", labels({{"zone", "a\"b\\c\nd"}})),
+                   1.0);
+}
+
+TEST(Exposition, ParserRejectsMalformedInput) {
+  EXPECT_THROW(Exposition::parse("no_value_here\n"), std::runtime_error);
+  EXPECT_THROW(Exposition::parse("x{unterminated=\"v\n"), std::runtime_error);
+  EXPECT_THROW(Exposition::parse("x notanumber\n"), std::runtime_error);
+  EXPECT_THROW(Exposition::parse("x{k=unquoted} 1\n"), std::runtime_error);
+  // Blank lines and comments are fine.
+  const Exposition ok = Exposition::parse("\n# a comment\nx_total 3\n");
+  EXPECT_DOUBLE_EQ(ok.value("x_total"), 3.0);
+}
+
+TEST(Exposition, ValueLookupThrowsWhenAbsent) {
+  const Exposition parsed = Exposition::parse("x_total{a=\"1\"} 3\n");
+  EXPECT_TRUE(parsed.has("x_total"));
+  EXPECT_FALSE(parsed.has("y_total"));
+  EXPECT_THROW(parsed.value("x_total", labels({{"a", "2"}})), std::out_of_range);
+  EXPECT_DOUBLE_EQ(parsed.sum("y_total"), 0.0);  // sum is total-less tolerant
+}
+
+TEST(Exposition, JsonRenderContainsFamilies) {
+  const std::string json = render_json(sample_snapshot());
+  EXPECT_NE(json.find("\"akadns_udp_packets_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"akadns_stage_latency_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 50"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace akadns::obs

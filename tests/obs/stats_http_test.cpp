@@ -1,0 +1,101 @@
+#include "obs/stats_http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "obs/exposition.hpp"
+
+namespace akadns::obs {
+namespace {
+
+struct Fixture {
+  Counter queries;
+  std::atomic<bool> ready{true};
+  MetricRegistry registry;
+  StatsServer server;
+
+  Fixture()
+      : server([this] { return registry.snapshot(); },
+               [this] { return ready.load(); }) {
+    registry.counter("akadns_queries_total", {}, queries, "queries handled");
+  }
+};
+
+TEST(StatsServer, ServesMetricsAndTracksLiveCounters) {
+  Fixture fx;
+  std::string err;
+  ASSERT_TRUE(fx.server.start(0, &err)) << err;
+  ASSERT_NE(fx.server.port(), 0);
+  const std::string base = "http://127.0.0.1:" + std::to_string(fx.server.port());
+
+  fx.queries += 5;
+  HttpResponse resp;
+  ASSERT_TRUE(http_get(base + "/metrics", &resp, &err)) << err;
+  EXPECT_EQ(resp.status, 200);
+  const Exposition parsed = Exposition::parse(resp.body);
+  EXPECT_DOUBLE_EQ(parsed.value("akadns_queries_total"), 5.0);
+
+  fx.queries += 37;
+  ASSERT_TRUE(http_get(base + "/metrics", &resp, &err)) << err;
+  EXPECT_DOUBLE_EQ(Exposition::parse(resp.body).value("akadns_queries_total"), 42.0);
+}
+
+TEST(StatsServer, HealthzReflectsReadiness) {
+  Fixture fx;
+  std::string err;
+  ASSERT_TRUE(fx.server.start(0, &err)) << err;
+  const std::string base = "http://127.0.0.1:" + std::to_string(fx.server.port());
+
+  HttpResponse resp;
+  ASSERT_TRUE(http_get(base + "/healthz", &resp, &err)) << err;
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "ok\n");
+
+  fx.ready.store(false);
+  ASSERT_TRUE(http_get(base + "/healthz", &resp, &err)) << err;
+  EXPECT_EQ(resp.status, 503);
+  EXPECT_EQ(resp.body, "unready\n");
+}
+
+TEST(StatsServer, UnknownPathIs404AndJsonEndpointServes) {
+  Fixture fx;
+  std::string err;
+  ASSERT_TRUE(fx.server.start(0, &err)) << err;
+  const std::string base = "http://127.0.0.1:" + std::to_string(fx.server.port());
+
+  HttpResponse resp;
+  ASSERT_TRUE(http_get(base + "/nope", &resp, &err)) << err;
+  EXPECT_EQ(resp.status, 404);
+
+  ASSERT_TRUE(http_get(base + "/metrics.json", &resp, &err)) << err;
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("\"akadns_queries_total\""), std::string::npos);
+}
+
+TEST(StatsServer, StopIsIdempotentAndRestartable) {
+  Fixture fx;
+  std::string err;
+  ASSERT_TRUE(fx.server.start(0, &err)) << err;
+  fx.server.stop();
+  fx.server.stop();
+  EXPECT_FALSE(fx.server.running());
+  ASSERT_TRUE(fx.server.start(0, &err)) << err;
+  HttpResponse resp;
+  ASSERT_TRUE(http_get("http://127.0.0.1:" + std::to_string(fx.server.port()) +
+                           "/healthz",
+                       &resp, &err))
+      << err;
+  EXPECT_EQ(resp.status, 200);
+}
+
+TEST(HttpGet, RejectsBadUrls) {
+  HttpResponse resp;
+  std::string err;
+  EXPECT_FALSE(http_get("ftp://127.0.0.1:1/x", &resp, &err));
+  EXPECT_FALSE(http_get("http://127.0.0.1/noport", &resp, &err));
+  EXPECT_FALSE(http_get("http://127.0.0.1:0/badport", &resp, &err));
+}
+
+}  // namespace
+}  // namespace akadns::obs

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/clock.hpp"
 #include "dns/wire.hpp"
+#include "propagation/zone_publisher.hpp"
 #include "zone/zone_builder.hpp"
 
 namespace akadns::pop {
@@ -172,6 +174,148 @@ TEST(MonitoringAgent, PeriodicCheckingDetectsFailure) {
   EXPECT_GE(agent.stats().checks, 7u);
   EXPECT_GT(agent.stats().failures_detected, 0u);
   EXPECT_EQ(machine.nameserver().state(), server::ServerState::SelfSuspended);
+}
+
+// Golden defaults: the anomaly thresholds moved out of the check loop
+// into MonitoringConfig; these are the values the loop hard-coded, so a
+// default-constructed config is behavior-preserving by construction.
+TEST(MonitoringAgent, ConfigDefaultsMatchTheLongstandingConstants) {
+  const MonitoringConfig config;
+  EXPECT_EQ(config.check_interval, Duration::seconds(1));
+  EXPECT_TRUE(config.regression_tests.empty());
+  EXPECT_DOUBLE_EQ(config.nxdomain_rate_threshold, 0.5);
+  EXPECT_EQ(config.min_window_responses, 50u);
+  EXPECT_DOUBLE_EQ(config.drop_rate_threshold, 0.5);
+  EXPECT_EQ(config.min_window_packets, 50u);
+  EXPECT_EQ(config.stale_zone_age, Duration::seconds(30));
+}
+
+TEST(MonitoringAgent, NxdomainFloodRaisesAdvisorySpikeWithoutSuspension) {
+  Fixture f;
+  Machine machine(f.machine_config("m1"), f.store);
+  machine.nameserver().metadata_updated(f.sched.now());
+  machine.speaker().advertise(7);
+  MonitoringAgent agent(machine, f.store, f.coordinator, f.sched);
+
+  // A random-subdomain flood: every query misses, every response is
+  // NXDOMAIN. The datapath answers them all — the machine is loaded but
+  // correct, exactly the case that must NOT suspend (principle iii).
+  const Endpoint src{*IpAddr::parse("198.51.100.1"), 5353};
+  for (int i = 0; i < 60; ++i) {
+    const auto wire = dns::encode(dns::make_query(
+        static_cast<std::uint16_t>(i + 1),
+        DnsName::from("probe" + std::to_string(i) + ".example.com"), RecordType::A));
+    machine.deliver(wire, src, 57, f.sched.now());
+  }
+  machine.pump(f.sched.now());
+
+  EXPECT_TRUE(agent.check_now());  // healthy: the probe suite passes
+  EXPECT_TRUE(agent.anomalies().nxdomain_spike);
+  EXPECT_GE(agent.anomalies().nxdomain_rate, 0.9);
+  EXPECT_EQ(agent.stats().nxdomain_spikes, 1u);
+  EXPECT_EQ(agent.stats().suspensions, 0u);
+  EXPECT_TRUE(machine.nameserver().running());
+  EXPECT_TRUE(machine.speaker().advertising(7));
+
+  // A quiet follow-up window clears the signal.
+  EXPECT_TRUE(agent.check_now());
+  EXPECT_FALSE(agent.anomalies().nxdomain_spike);
+}
+
+TEST(MonitoringAgent, TinyWindowsNeverLookLikeSpikes) {
+  Fixture f;
+  Machine machine(f.machine_config("m1"), f.store);
+  machine.nameserver().metadata_updated(f.sched.now());
+  MonitoringAgent agent(machine, f.store, f.coordinator, f.sched);
+
+  // 10 misses out of 10 responses is a 100% NXDOMAIN rate — but below
+  // min_window_responses the denominator is too small to mean anything.
+  const Endpoint src{*IpAddr::parse("198.51.100.1"), 5353};
+  for (int i = 0; i < 10; ++i) {
+    const auto wire = dns::encode(dns::make_query(
+        static_cast<std::uint16_t>(i + 1),
+        DnsName::from("probe" + std::to_string(i) + ".example.com"), RecordType::A));
+    machine.deliver(wire, src, 57, f.sched.now());
+  }
+  machine.pump(f.sched.now());
+
+  EXPECT_TRUE(agent.check_now());
+  EXPECT_GE(agent.anomalies().nxdomain_rate, 0.9);  // the rate is reported...
+  EXPECT_FALSE(agent.anomalies().nxdomain_spike);   // ...but not flagged
+  EXPECT_EQ(agent.stats().nxdomain_spikes, 0u);
+}
+
+TEST(MonitoringAgent, MalformedFloodRaisesDropSpike) {
+  Fixture f;
+  Machine machine(f.machine_config("m1"), f.store);
+  machine.nameserver().metadata_updated(f.sched.now());
+  MonitoringAgent agent(machine, f.store, f.coordinator, f.sched);
+
+  // 60 undecodable datagrams: each counts as a received packet and a
+  // malformed drop, so the window's drop rate is ~100%.
+  const Endpoint src{*IpAddr::parse("198.51.100.1"), 5353};
+  const std::vector<std::uint8_t> garbage{0xde, 0xad, 0xbe};
+  for (int i = 0; i < 60; ++i) machine.deliver(garbage, src, 57, f.sched.now());
+  machine.pump(f.sched.now());
+
+  EXPECT_TRUE(agent.check_now());  // advisory only: probes still answer
+  EXPECT_TRUE(agent.anomalies().drop_spike);
+  EXPECT_GE(agent.anomalies().drop_rate, 0.9);
+  EXPECT_EQ(agent.stats().drop_spikes, 1u);
+  EXPECT_TRUE(machine.nameserver().running());
+}
+
+TEST(MonitoringAgent, ZoneSyncSilenceRaisesStaleFlagUntilThePipelineMoves) {
+  Fixture f;
+  ManualClock clock;
+  propagation::ZonePublisher publisher(clock);
+  Machine machine(f.machine_config("m1"));  // replica-owning: has a subscriber
+  machine.nameserver().metadata_updated(f.sched.now());
+  auto v1 = publisher.publish(zone::ZoneBuilder("example.com", 1)
+                                  .ns("@", "ns1.example.com")
+                                  .a("ns1", "10.0.0.1")
+                                  .a("www", "10.0.0.2")
+                                  .build());
+  ASSERT_TRUE(v1.ok()) << v1.error();
+  machine.apply_zone_update(*v1.value(), f.sched.now());
+
+  MonitoringAgent agent(machine, *machine.local_store(), f.coordinator, f.sched);
+  EXPECT_TRUE(agent.check_now());
+  EXPECT_FALSE(agent.anomalies().stale_zone);
+
+  // Five minutes of propagation silence (metadata kept fresh so the
+  // active staleness probe is not what fires).
+  f.sched.run_until(f.sched.now() + Duration::minutes(5));
+  machine.nameserver().metadata_updated(f.sched.now());
+  EXPECT_TRUE(agent.check_now());  // advisory: the machine keeps serving
+  EXPECT_TRUE(agent.anomalies().stale_zone);
+  EXPECT_GT(agent.anomalies().zone_sync_age, Duration::seconds(30));
+  EXPECT_EQ(agent.stats().stale_zone_flags, 1u);
+  EXPECT_TRUE(machine.nameserver().running());
+
+  // A new publish lands through the subscriber: the flag clears.
+  auto v2 = publisher.publish(zone::ZoneBuilder("example.com", 2)
+                                  .ns("@", "ns1.example.com")
+                                  .a("ns1", "10.0.0.1")
+                                  .a("www", "10.0.0.3")
+                                  .build());
+  ASSERT_TRUE(v2.ok()) << v2.error();
+  machine.apply_zone_update(*v2.value(), f.sched.now());
+  EXPECT_TRUE(agent.check_now());
+  EXPECT_FALSE(agent.anomalies().stale_zone);
+}
+
+TEST(MonitoringAgent, SharedStoreMachinesNeverFlagStaleZones) {
+  Fixture f;
+  Machine machine(f.machine_config("m1"), f.store);  // no subscriber
+  machine.nameserver().metadata_updated(f.sched.now());
+  MonitoringAgent agent(machine, f.store, f.coordinator, f.sched);
+  f.sched.run_until(f.sched.now() + Duration::hours(2));
+  machine.nameserver().metadata_updated(f.sched.now());
+  EXPECT_TRUE(agent.check_now());
+  // No zone-sync series registered: the signal cannot apply.
+  EXPECT_FALSE(agent.anomalies().stale_zone);
+  EXPECT_EQ(agent.anomalies().zone_sync_age, Duration::zero());
 }
 
 TEST(MonitoringAgent, RegressionTestsIncluded) {

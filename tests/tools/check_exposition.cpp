@@ -1,0 +1,88 @@
+// Tiny exposition-format checker for CI.
+//
+// Reads a Prometheus text-exposition scrape (a file, or stdin for "-"),
+// parses it with the same obs::Exposition parser the loadgen and the
+// endpoint tests use, and optionally asserts that named families are
+// present with a non-zero sum. Exit 0 on success, 1 with a diagnostic
+// on any parse error or failed assertion — so a formatting regression
+// or a dead counter fails the CI job instead of shipping a blank scrape
+// artifact.
+//
+//   check_exposition scrape.txt --nonzero akadns_frontend_total
+//       [--nonzero FAMILY]...
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/exposition.hpp"
+
+namespace {
+
+std::string read_input(const std::string& path) {
+  std::ostringstream out;
+  if (path == "-") {
+    out << std::cin.rdbuf();
+  } else {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    out << in.rdbuf();
+  }
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s FILE|- [--nonzero FAMILY]...\n"
+                 "  parses a Prometheus text exposition; with --nonzero,\n"
+                 "  additionally requires sum(FAMILY) > 0\n",
+                 argv[0]);
+    return 1;
+  }
+  const std::string path = argv[1];
+  std::vector<std::string> nonzero;
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--nonzero" && i + 1 < argc) {
+      nonzero.emplace_back(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  akadns::obs::Exposition parsed;
+  try {
+    parsed = akadns::obs::Exposition::parse(read_input(path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "check_exposition: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+
+  bool ok = true;
+  for (const auto& family : nonzero) {
+    if (!parsed.has(family)) {
+      std::fprintf(stderr, "check_exposition: family %s absent from scrape\n",
+                   family.c_str());
+      ok = false;
+      continue;
+    }
+    const double sum = parsed.sum(family);
+    if (sum <= 0.0) {
+      std::fprintf(stderr, "check_exposition: sum(%s) = %g, expected > 0\n",
+                   family.c_str(), sum);
+      ok = false;
+    } else {
+      std::printf("%-40s sum=%g\n", family.c_str(), sum);
+    }
+  }
+  std::printf("parsed %zu samples across %zu typed families\n",
+              parsed.samples().size(), parsed.typed_families().size());
+  return ok ? 0 : 1;
+}
