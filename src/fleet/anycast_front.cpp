@@ -1,0 +1,572 @@
+#include "fleet/anycast_front.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace akadns::fleet {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/// SplitMix64 finalizer: the per-(flow, member) rendezvous score.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t salt_for(const std::string& id) noexcept {
+  return mix(std::hash<std::string>{}(id) + 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace
+
+struct AnycastFront::PollRef {
+  enum Kind { FrontUdp, FrontTcp, Wake, Flow, TcpClient, TcpUpstream };
+  Kind kind;
+  void* obj = nullptr;
+};
+
+struct AnycastFront::UdpFlow {
+  Endpoint client;
+  sockaddr_storage client_sa{};
+  socklen_t client_sa_len = 0;
+  std::string member_id;
+  net::UdpSocket upstream;
+  std::int64_t last_active_ns = 0;
+  bool pending_first_answer = false;
+  PollRef ref{PollRef::Flow, nullptr};
+};
+
+struct AnycastFront::TcpConn {
+  net::FdHandle client;
+  net::FdHandle upstream;
+  std::vector<std::uint8_t> to_upstream;
+  std::vector<std::uint8_t> to_client;
+  bool upstream_connected = false;
+  bool closed = false;
+  PollRef client_ref{PollRef::TcpClient, nullptr};
+  PollRef upstream_ref{PollRef::TcpUpstream, nullptr};
+};
+
+AnycastFront::AnycastFront(FrontConfig config) : config_(config) {}
+
+AnycastFront::~AnycastFront() { stop(); }
+
+std::int64_t AnycastFront::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Result<bool> AnycastFront::start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+  // The front owns ONE port for both transports (like a real VIP). With
+  // an ephemeral request the UDP bind picks the number; the TCP bind on
+  // the same number can race another process, so retry a few times.
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    auto udp = net::UdpSocket::open(config_.bind_addr, config_.port, 1 << 21, 1 << 21);
+    if (!udp) return Result<bool>::failure(udp.error());
+    auto tcp = net::TcpListener::open(config_.bind_addr, udp.value().port());
+    if (!tcp) {
+      if (config_.port == 0) continue;  // ephemeral clash: redraw
+      return Result<bool>::failure(tcp.error());
+    }
+    front_udp_ = std::move(udp).take();
+    front_tcp_ = std::move(tcp).take();
+    break;
+  }
+  if (front_udp_.fd() < 0 || front_tcp_.fd() < 0) {
+    return Result<bool>::failure("anycast front: could not bind matching UDP/TCP ports");
+  }
+  udp_port_ = front_udp_.port();
+  tcp_port_ = front_tcp_.port();
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    return Result<bool>::failure(net::errno_message("epoll_create1/eventfd"));
+  }
+  static PollRef front_udp_ref{PollRef::FrontUdp, nullptr};
+  static PollRef front_tcp_ref{PollRef::FrontTcp, nullptr};
+  static PollRef wake_ref{PollRef::Wake, nullptr};
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = &front_udp_ref;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, front_udp_.fd(), &ev);
+  ev.data.ptr = &front_tcp_ref;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, front_tcp_.fd(), &ev);
+  ev.data.ptr = &wake_ref;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+  return true;
+}
+
+void AnycastFront::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] auto n = ::write(wake_fd_, &one, sizeof(one));
+  if (thread_.joinable()) thread_.join();
+  flows_.clear();
+  tcp_conns_.clear();
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  epoll_fd_ = -1;
+  wake_fd_ = -1;
+  front_udp_.close();
+  front_tcp_.close();
+}
+
+void AnycastFront::upsert_member(const std::string& id, Endpoint endpoint) {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  ops_.push_back([this, id, endpoint] {
+    bool found = false;
+    for (auto& m : members_) {
+      if (m.id == id) {
+        m.endpoint = endpoint;
+        m.active = true;
+        found = true;
+      }
+    }
+    if (!found) members_.push_back(Member{id, endpoint, true, salt_for(id)});
+    // Re-pointed members need their flows reconnected even though the
+    // rendezvous winner did not change; a brand-new member may win flows.
+    repin_member_flows(id, /*withdrawal=*/false);
+  });
+  const std::uint64_t one = 1;
+  if (wake_fd_ >= 0) {
+    [[maybe_unused]] auto n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void AnycastFront::set_member_active(const std::string& id, bool active) {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  ops_.push_back([this, id, active] {
+    for (auto& m : members_) {
+      if (m.id == id) m.active = active;
+    }
+    repin_member_flows(id, /*withdrawal=*/!active);
+  });
+  const std::uint64_t one = 1;
+  if (wake_fd_ >= 0) {
+    [[maybe_unused]] auto n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void AnycastFront::remove_member(const std::string& id) {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  ops_.push_back([this, id] {
+    members_.erase(std::remove_if(members_.begin(), members_.end(),
+                                  [&](const Member& m) { return m.id == id; }),
+                   members_.end());
+    repin_member_flows(id, /*withdrawal=*/true);
+  });
+  const std::uint64_t one = 1;
+  if (wake_fd_ >= 0) {
+    [[maybe_unused]] auto n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+std::vector<FrontMemberView> AnycastFront::members() const {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  return member_view_;
+}
+
+std::vector<ReconvergeSample> AnycastFront::samples() const {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  return samples_;
+}
+
+FrontCountersView AnycastFront::counters() const {
+  FrontCountersView v;
+  v.udp_client_datagrams = counters_.udp_client_datagrams.load(std::memory_order_relaxed);
+  v.udp_upstream_answers = counters_.udp_upstream_answers.load(std::memory_order_relaxed);
+  v.udp_no_member_drops = counters_.udp_no_member_drops.load(std::memory_order_relaxed);
+  v.udp_upstream_errors = counters_.udp_upstream_errors.load(std::memory_order_relaxed);
+  v.flows_created = counters_.flows_created.load(std::memory_order_relaxed);
+  v.flows_moved = counters_.flows_moved.load(std::memory_order_relaxed);
+  v.flows_expired = counters_.flows_expired.load(std::memory_order_relaxed);
+  v.tcp_connections = counters_.tcp_connections.load(std::memory_order_relaxed);
+  v.tcp_relay_errors = counters_.tcp_relay_errors.load(std::memory_order_relaxed);
+  v.live_flows = live_flows_.load(std::memory_order_relaxed);
+  return v;
+}
+
+std::size_t AnycastFront::pick_member(const Endpoint& client) const {
+  const std::uint64_t flow_hash = std::hash<Endpoint>{}(client);
+  std::size_t best = kNpos;
+  std::uint64_t best_score = 0;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (!members_[i].active) continue;
+    const std::uint64_t score = mix(flow_hash ^ members_[i].salt);
+    if (best == kNpos || score > best_score) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+bool AnycastFront::attach_flow_upstream(UdpFlow& flow, std::size_t member_index) {
+  // Answers from a fast machine burst into this socket; default-size
+  // buffers overflow under a windowed load generator.
+  auto upstream = net::UdpSocket::open(config_.bind_addr, 0, 1 << 21, 1 << 21);
+  if (!upstream) return false;
+  const Member& member = members_[member_index];
+  sockaddr_storage sa{};
+  const socklen_t sa_len = net::sockaddr_from_endpoint(member.endpoint, sa);
+  if (::connect(upstream.value().fd(), reinterpret_cast<const sockaddr*>(&sa), sa_len) != 0) {
+    return false;
+  }
+  if (flow.upstream.fd() >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, flow.upstream.fd(), nullptr);
+  }
+  flow.upstream = std::move(upstream).take();
+  flow.member_id = member.id;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = &flow.ref;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, flow.upstream.fd(), &ev);
+  return true;
+}
+
+void AnycastFront::repin_member_flows(const std::string& id, bool withdrawal) {
+  const std::int64_t t0 = now_ns();
+  std::uint64_t moved = 0;
+  for (auto& [client, flow] : flows_) {
+    const std::size_t winner = pick_member(client);
+    if (winner == kNpos) continue;  // no active member: leave flows be
+    const bool winner_changed = members_[winner].id != flow->member_id;
+    // Flows already on the (re-pointed) trigger member must reconnect
+    // even when the winner is unchanged — the endpoint may be new.
+    const bool force = flow->member_id == id;
+    if (!winner_changed && !force) continue;
+    if (attach_flow_upstream(*flow, winner)) {
+      flow->pending_first_answer = true;
+      ++moved;
+    }
+  }
+  counters_.flows_moved.fetch_add(moved, std::memory_order_relaxed);
+  const std::int64_t t1 = now_ns();
+
+  std::lock_guard<std::mutex> lock(control_mu_);
+  ReconvergeSample sample;
+  sample.member = id;
+  sample.withdrawal = withdrawal;
+  sample.flows_moved = moved;
+  sample.remap_us = (t1 - t0) / 1000;
+  samples_.push_back(sample);
+  if (moved > 0) {
+    pending_sample_index_ = samples_.size() - 1;
+    pending_first_answer_since_ns_ = t0;
+  }
+  member_view_.clear();
+  for (const auto& m : members_) {
+    member_view_.push_back(FrontMemberView{m.id, m.endpoint, m.active});
+  }
+}
+
+void AnycastFront::handle_front_udp() {
+  char buf[4096];
+  for (int i = 0; i < 256; ++i) {
+    sockaddr_storage src{};
+    socklen_t src_len = sizeof(src);
+    const ssize_t n = ::recvfrom(front_udp_.fd(), buf, sizeof(buf), 0,
+                                 reinterpret_cast<sockaddr*>(&src), &src_len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN
+    }
+    counters_.udp_client_datagrams.fetch_add(1, std::memory_order_relaxed);
+    const Endpoint client = net::endpoint_from_sockaddr(src);
+    auto it = flows_.find(client);
+    if (it == flows_.end()) {
+      const std::size_t winner = pick_member(client);
+      if (winner == kNpos) {
+        counters_.udp_no_member_drops.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (flows_.size() >= config_.max_flows) {
+        // Evict the single oldest-idle flow (rare; table is bounded).
+        auto oldest = flows_.begin();
+        for (auto f = flows_.begin(); f != flows_.end(); ++f) {
+          if (f->second->last_active_ns < oldest->second->last_active_ns) oldest = f;
+        }
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, oldest->second->upstream.fd(), nullptr);
+        flows_.erase(oldest);
+        counters_.flows_expired.fetch_add(1, std::memory_order_relaxed);
+      }
+      auto flow = std::make_unique<UdpFlow>();
+      flow->client = client;
+      std::memcpy(&flow->client_sa, &src, sizeof(src));
+      flow->client_sa_len = src_len;
+      flow->ref.obj = flow.get();
+      if (!attach_flow_upstream(*flow, winner)) {
+        counters_.udp_upstream_errors.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      counters_.flows_created.fetch_add(1, std::memory_order_relaxed);
+      it = flows_.emplace(client, std::move(flow)).first;
+      live_flows_.store(flows_.size(), std::memory_order_relaxed);
+    }
+    UdpFlow& flow = *it->second;
+    flow.last_active_ns = now_ns();
+    if (::send(flow.upstream.fd(), buf, static_cast<std::size_t>(n), 0) < 0) {
+      counters_.udp_upstream_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void AnycastFront::handle_flow(UdpFlow* flow) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(flow->upstream.fd(), buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        // ECONNREFUSED from a dead machine: the flow stays pinned; the
+        // re-pin (driven by the probe suite / supervisor event) moves it.
+        counters_.udp_upstream_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    if (n == 0) return;
+    flow->last_active_ns = now_ns();
+    ::sendto(front_udp_.fd(), buf, static_cast<std::size_t>(n), 0,
+             reinterpret_cast<const sockaddr*>(&flow->client_sa), flow->client_sa_len);
+    counters_.udp_upstream_answers.fetch_add(1, std::memory_order_relaxed);
+    if (flow->pending_first_answer) {
+      flow->pending_first_answer = false;
+      std::lock_guard<std::mutex> lock(control_mu_);
+      if (pending_first_answer_since_ns_ >= 0 && pending_sample_index_ < samples_.size() &&
+          samples_[pending_sample_index_].first_answer_us < 0) {
+        samples_[pending_sample_index_].first_answer_us =
+            (now_ns() - pending_first_answer_since_ns_) / 1000;
+        pending_first_answer_since_ns_ = -1;
+      }
+    }
+  }
+}
+
+void AnycastFront::handle_accept() {
+  for (;;) {
+    sockaddr_storage peer{};
+    net::FdHandle conn_fd = front_tcp_.accept(peer);
+    if (!conn_fd.valid()) return;
+    const Endpoint client = net::endpoint_from_sockaddr(peer);
+    const std::size_t winner = pick_member(client);
+    if (winner == kNpos) continue;  // close immediately: nobody to serve it
+
+    // Nonblocking connect to the member's TCP port (same number as UDP).
+    const int up_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (up_fd < 0) continue;
+    sockaddr_storage sa{};
+    const socklen_t sa_len = net::sockaddr_from_endpoint(members_[winner].endpoint, sa);
+    const int rc = ::connect(up_fd, reinterpret_cast<const sockaddr*>(&sa), sa_len);
+    if (rc != 0 && errno != EINPROGRESS) {
+      ::close(up_fd);
+      counters_.tcp_relay_errors.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    auto conn = std::make_unique<TcpConn>();
+    conn->client = std::move(conn_fd);
+    conn->upstream = net::FdHandle(up_fd);
+    conn->upstream_connected = (rc == 0);
+    conn->client_ref.obj = conn.get();
+    conn->upstream_ref.obj = conn.get();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = &conn->client_ref;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->client.get(), &ev);
+    ev.events = conn->upstream_connected ? EPOLLIN : static_cast<std::uint32_t>(EPOLLOUT);
+    ev.data.ptr = &conn->upstream_ref;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->upstream.get(), &ev);
+    counters_.tcp_connections.fetch_add(1, std::memory_order_relaxed);
+    tcp_conns_.push_back(std::move(conn));
+  }
+}
+
+void AnycastFront::close_tcp(TcpConn* conn) {
+  if (conn->closed) return;
+  conn->closed = true;
+  if (conn->client.valid()) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->client.get(), nullptr);
+    conn->client.reset();
+  }
+  if (conn->upstream.valid()) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->upstream.get(), nullptr);
+    conn->upstream.reset();
+  }
+}
+
+void AnycastFront::handle_tcp(TcpConn* conn, std::uint32_t events) {
+  if (conn->closed) return;
+  if (!conn->upstream_connected) {
+    if (events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(conn->upstream.get(), SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        counters_.tcp_relay_errors.fetch_add(1, std::memory_order_relaxed);
+        close_tcp(conn);
+        return;
+      }
+      conn->upstream_connected = true;
+      epoll_event ev{};
+      ev.events = EPOLLIN | (conn->to_upstream.empty() ? 0u : EPOLLOUT);
+      ev.data.ptr = &conn->upstream_ref;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->upstream.get(), &ev);
+    }
+  }
+
+  // Generic bidirectional relay: drain both readable sides into the
+  // peer's pending buffer, then flush what the peers will take.
+  const auto pump = [&](int from, int to, std::vector<std::uint8_t>& pending,
+                        PollRef& to_ref) -> bool {
+    char buf[8192];
+    for (;;) {
+      const ssize_t n = ::recv(from, buf, sizeof(buf), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        return false;
+      }
+      if (n == 0) return false;  // EOF: the DNS exchange is done
+      pending.insert(pending.end(), buf, buf + n);
+    }
+    while (!pending.empty()) {
+      const ssize_t w = ::send(to, pending.data(), pending.size(), MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          epoll_event ev{};
+          ev.events = EPOLLIN | EPOLLOUT;
+          ev.data.ptr = &to_ref;
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, to, &ev);
+          return true;
+        }
+        return false;
+      }
+      pending.erase(pending.begin(), pending.begin() + w);
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = &to_ref;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, to, &ev);
+    return true;
+  };
+
+  if (conn->upstream_connected) {
+    if (!pump(conn->client.get(), conn->upstream.get(), conn->to_upstream,
+              conn->upstream_ref) ||
+        !pump(conn->upstream.get(), conn->client.get(), conn->to_client,
+              conn->client_ref)) {
+      close_tcp(conn);
+    }
+  } else {
+    // Buffer the query while the upstream connect is in flight.
+    char buf[8192];
+    for (;;) {
+      const ssize_t n = ::recv(conn->client.get(), buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn->to_upstream.insert(conn->to_upstream.end(), buf, buf + n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n == 0) close_tcp(conn);
+      break;
+    }
+  }
+}
+
+void AnycastFront::process_ops() {
+  for (;;) {
+    std::function<void()> op;
+    {
+      std::lock_guard<std::mutex> lock(control_mu_);
+      if (ops_.empty()) return;
+      op = std::move(ops_.front());
+      ops_.pop_front();
+    }
+    op();
+  }
+}
+
+void AnycastFront::sweep_idle(std::int64_t now) {
+  const std::int64_t idle_ns = config_.flow_idle_ms * 1'000'000;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (now - it->second->last_active_ns > idle_ns) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->upstream.fd(), nullptr);
+      it = flows_.erase(it);
+      counters_.flows_expired.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ++it;
+    }
+  }
+  live_flows_.store(flows_.size(), std::memory_order_relaxed);
+}
+
+void AnycastFront::loop() {
+  std::vector<epoll_event> events(128);
+  std::int64_t last_sweep = now_ns();
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()), 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    bool tcp_dirty = false;
+    for (int i = 0; i < n; ++i) {
+      auto* ref = static_cast<PollRef*>(events[static_cast<std::size_t>(i)].data.ptr);
+      const std::uint32_t ev = events[static_cast<std::size_t>(i)].events;
+      switch (ref->kind) {
+        case PollRef::FrontUdp:
+          handle_front_udp();
+          break;
+        case PollRef::FrontTcp:
+          handle_accept();
+          break;
+        case PollRef::Wake: {
+          std::uint64_t junk;
+          while (::read(wake_fd_, &junk, sizeof(junk)) > 0) {
+          }
+          break;
+        }
+        case PollRef::Flow:
+          handle_flow(static_cast<UdpFlow*>(ref->obj));
+          break;
+        case PollRef::TcpClient:
+        case PollRef::TcpUpstream:
+          handle_tcp(static_cast<TcpConn*>(ref->obj), ev);
+          tcp_dirty = true;
+          break;
+      }
+    }
+    process_ops();
+    if (tcp_dirty) {
+      tcp_conns_.erase(std::remove_if(tcp_conns_.begin(), tcp_conns_.end(),
+                                      [](const std::unique_ptr<TcpConn>& c) {
+                                        return c->closed;
+                                      }),
+                       tcp_conns_.end());
+    }
+    const std::int64_t now = now_ns();
+    if (now - last_sweep > 1'000'000'000) {
+      last_sweep = now;
+      sweep_idle(now);
+    }
+  }
+}
+
+}  // namespace akadns::fleet

@@ -1,0 +1,175 @@
+// The anycast front: one address, many machines (§4.2).
+//
+// In production a PoP announces one anycast prefix and the routers'
+// ECMP flow hash pins each resolver to one machine; when a machine
+// withdraws (BGP) the hash recomputes and only its flows move. This is
+// the loopback realization of that dataplane: a UDP/TCP proxy bound to
+// a single front endpoint that pins each client flow to a machine via
+// rendezvous (highest-random-weight) hashing over the *active* member
+// set — so member churn moves only the flows whose winner changed,
+// exactly ECMP-with-resilient-hashing semantics.
+//
+// Suspension (the probe suite's verdict) and death (supervisor Down)
+// both become set_member_active(false)/upsert_member: affected flows
+// re-pin immediately and a ReconvergeSample records how many moved and
+// how long until the first answer flowed on a re-pinned flow — the
+// time-to-reconverge a failover drill reads out.
+//
+// One epoll thread owns every socket; control ops (member churn) are
+// queued and executed on that thread, so the flow table needs no locks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ip.hpp"
+#include "common/result.hpp"
+#include "net/socket.hpp"
+
+namespace akadns::fleet {
+
+struct FrontConfig {
+  Ipv4Addr bind_addr = Ipv4Addr(127, 0, 0, 1);
+  /// Front UDP+TCP port (0 = ephemeral; read back via udp_port()).
+  std::uint16_t port = 0;
+  /// Flow-table bound; beyond it the oldest-idle flows are evicted.
+  std::size_t max_flows = 8192;
+  /// Idle flows older than this are swept (ms).
+  std::int64_t flow_idle_ms = 30'000;
+};
+
+/// One catchment change, measured end to end.
+struct ReconvergeSample {
+  std::string member;             // who withdrew / returned / moved
+  bool withdrawal = true;         // false: member (re)activated
+  std::uint64_t flows_moved = 0;  // flows whose winner changed
+  std::int64_t remap_us = 0;      // trigger -> flow table fully re-pinned
+  /// trigger -> first upstream answer relayed on a re-pinned flow; -1
+  /// until traffic proves the new catchment works.
+  std::int64_t first_answer_us = -1;
+};
+
+/// Live counters (single-writer on the epoll thread, torn reads fine).
+struct FrontCounters {
+  std::atomic<std::uint64_t> udp_client_datagrams{0};
+  std::atomic<std::uint64_t> udp_upstream_answers{0};
+  std::atomic<std::uint64_t> udp_no_member_drops{0};
+  std::atomic<std::uint64_t> udp_upstream_errors{0};
+  std::atomic<std::uint64_t> flows_created{0};
+  std::atomic<std::uint64_t> flows_moved{0};
+  std::atomic<std::uint64_t> flows_expired{0};
+  std::atomic<std::uint64_t> tcp_connections{0};
+  std::atomic<std::uint64_t> tcp_relay_errors{0};
+};
+
+struct FrontCountersView {
+  std::uint64_t udp_client_datagrams = 0;
+  std::uint64_t udp_upstream_answers = 0;
+  std::uint64_t udp_no_member_drops = 0;
+  std::uint64_t udp_upstream_errors = 0;
+  std::uint64_t flows_created = 0;
+  std::uint64_t flows_moved = 0;
+  std::uint64_t flows_expired = 0;
+  std::uint64_t tcp_connections = 0;
+  std::uint64_t tcp_relay_errors = 0;
+  std::uint64_t live_flows = 0;
+};
+
+struct FrontMemberView {
+  std::string id;
+  Endpoint endpoint;
+  bool active = false;
+};
+
+class AnycastFront {
+ public:
+  explicit AnycastFront(FrontConfig config);
+  ~AnycastFront();
+
+  AnycastFront(const AnycastFront&) = delete;
+  AnycastFront& operator=(const AnycastFront&) = delete;
+
+  Result<bool> start();
+  void stop();
+
+  std::uint16_t udp_port() const noexcept { return udp_port_; }
+  std::uint16_t tcp_port() const noexcept { return tcp_port_; }
+
+  /// Adds a member, or re-points an existing one (machine restarted on
+  /// fresh ephemeral ports). Re-pointing re-pins that member's flows.
+  void upsert_member(const std::string& id, Endpoint endpoint);
+  /// Withdraw (false) or restore (true) a member from steering. New and
+  /// re-pinned flows avoid inactive members; an inactive member's
+  /// existing flows are moved off it immediately.
+  void set_member_active(const std::string& id, bool active);
+  void remove_member(const std::string& id);
+
+  std::vector<FrontMemberView> members() const;
+  std::vector<ReconvergeSample> samples() const;
+  FrontCountersView counters() const;
+
+ private:
+  struct UdpFlow;
+  struct TcpConn;
+  struct PollRef;
+
+  void loop();
+  void process_ops();
+  void handle_front_udp();
+  void handle_flow(UdpFlow* flow);
+  void handle_accept();
+  void handle_tcp(TcpConn* conn, std::uint32_t events);
+  void close_tcp(TcpConn* conn);
+  void sweep_idle(std::int64_t now_ns);
+  /// Rendezvous winner among active members, or npos.
+  std::size_t pick_member(const Endpoint& client) const;
+  void repin_member_flows(const std::string& id, bool withdrawal);
+  bool attach_flow_upstream(UdpFlow& flow, std::size_t member_index);
+  std::int64_t now_ns() const;
+
+  FrontConfig config_;
+
+  struct Member {
+    std::string id;
+    Endpoint endpoint;
+    bool active = true;
+    std::uint64_t salt = 0;  // hash(id), precomputed
+  };
+  std::vector<Member> members_;  // epoll-thread owned
+
+  net::UdpSocket front_udp_;
+  net::TcpListener front_tcp_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t udp_port_ = 0;
+  std::uint16_t tcp_port_ = 0;
+
+  std::unordered_map<Endpoint, std::unique_ptr<UdpFlow>> flows_;
+  std::vector<std::unique_ptr<TcpConn>> tcp_conns_;
+
+  /// Pending reconvergence measurement: set when flows moved, resolved
+  /// by the first relayed answer on a moved flow.
+  std::int64_t pending_first_answer_since_ns_ = -1;
+  std::size_t pending_sample_index_ = 0;
+
+  mutable std::mutex control_mu_;
+  std::deque<std::function<void()>> ops_;
+  std::vector<ReconvergeSample> samples_;
+  std::vector<FrontMemberView> member_view_;
+
+  FrontCounters counters_;
+  std::atomic<std::uint64_t> live_flows_{0};
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace akadns::fleet

@@ -1,0 +1,189 @@
+#include "fleet/machine_process.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/socket.hpp"
+
+namespace akadns::fleet {
+
+MachineProcess::~MachineProcess() { kill_and_reap(); }
+
+MachineProcess::MachineProcess(MachineProcess&& other) noexcept
+    : spec_(std::move(other.spec_)),
+      state_(other.state_),
+      pid_(std::exchange(other.pid_, -1)),
+      stdout_fd_(std::exchange(other.stdout_fd_, -1)),
+      line_buf_(std::move(other.line_buf_)),
+      captured_(std::move(other.captured_)),
+      ready_(std::move(other.ready_)),
+      exit_code_(other.exit_code_),
+      term_signal_(other.term_signal_) {
+  other.state_ = State::Idle;
+}
+
+MachineProcess& MachineProcess::operator=(MachineProcess&& other) noexcept {
+  if (this != &other) {
+    kill_and_reap();
+    spec_ = std::move(other.spec_);
+    state_ = other.state_;
+    pid_ = std::exchange(other.pid_, -1);
+    stdout_fd_ = std::exchange(other.stdout_fd_, -1);
+    line_buf_ = std::move(other.line_buf_);
+    captured_ = std::move(other.captured_);
+    ready_ = std::move(other.ready_);
+    exit_code_ = other.exit_code_;
+    term_signal_ = other.term_signal_;
+    other.state_ = State::Idle;
+  }
+  return *this;
+}
+
+Result<bool> MachineProcess::spawn() {
+  if (state_ == State::Starting || state_ == State::Ready) {
+    return Result<bool>::failure("machine " + spec_.id + " already running");
+  }
+  int fds[2];
+  if (::pipe2(fds, O_CLOEXEC) != 0) {
+    return Result<bool>::failure(net::errno_message("pipe2"));
+  }
+  const pid_t child = ::fork();
+  if (child < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return Result<bool>::failure(net::errno_message("fork"));
+  }
+  if (child == 0) {
+    // Child: stdout -> pipe, then exec. Only async-signal-safe calls.
+    ::dup2(fds[1], STDOUT_FILENO);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(spec_.binary.c_str()));
+    for (auto& arg : spec_.args) argv.push_back(const_cast<char*>(arg.c_str()));
+    argv.push_back(nullptr);
+    ::execv(spec_.binary.c_str(), argv.data());
+    // exec failed: nothing sane to do but die with a distinctive code.
+    _exit(127);
+  }
+  ::close(fds[1]);
+  const int flags = ::fcntl(fds[0], F_GETFL, 0);
+  ::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK);
+  pid_ = child;
+  stdout_fd_ = fds[0];
+  state_ = State::Starting;
+  ready_.reset();
+  line_buf_.clear();
+  captured_.clear();
+  exit_code_ = -1;
+  term_signal_ = 0;
+  return true;
+}
+
+void MachineProcess::drain_stdout() {
+  if (stdout_fd_ < 0) return;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(stdout_fd_, buf, sizeof(buf));
+    if (n > 0) {
+      line_buf_.append(buf, static_cast<std::size_t>(n));
+      std::size_t pos;
+      while ((pos = line_buf_.find('\n')) != std::string::npos) {
+        const std::string line = line_buf_.substr(0, pos + 1);
+        line_buf_.erase(0, pos + 1);
+        if (auto parsed = net::parse_ready_line(line)) {
+          ready_ = std::move(parsed);
+          if (state_ == State::Starting) state_ = State::Ready;
+        } else {
+          // Cap retained output; the tail (exit telemetry) is what matters.
+          if (captured_.size() < 256 * 1024) captured_ += line;
+        }
+      }
+      continue;
+    }
+    if (n == 0) {  // EOF: child closed stdout (usually: exited)
+      ::close(stdout_fd_);
+      stdout_fd_ = -1;
+      return;
+    }
+    if (errno == EINTR) continue;
+    return;  // EAGAIN (or a hard error — waitpid will notice the exit)
+  }
+}
+
+void MachineProcess::reap_if_exited() {
+  if (pid_ < 0 || state_ == State::Exited) return;
+  int status = 0;
+  const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+  if (r != pid_) return;
+  // Final stdout sweep: the pipe may still hold the telemetry tail.
+  drain_stdout();
+  if (stdout_fd_ >= 0) {
+    ::close(stdout_fd_);
+    stdout_fd_ = -1;
+  }
+  if (WIFEXITED(status)) {
+    exit_code_ = WEXITSTATUS(status);
+    term_signal_ = 0;
+  } else if (WIFSIGNALED(status)) {
+    exit_code_ = -1;
+    term_signal_ = WTERMSIG(status);
+  }
+  state_ = State::Exited;
+}
+
+void MachineProcess::poll() {
+  if (state_ == State::Idle || state_ == State::Exited) return;
+  drain_stdout();
+  reap_if_exited();
+}
+
+bool MachineProcess::wait_ready(int timeout_ms) {
+  for (int waited = 0; waited <= timeout_ms; waited += 5) {
+    poll();
+    if (state_ == State::Ready) return true;
+    if (state_ == State::Exited || state_ == State::Idle) return false;
+    pollfd pfd{stdout_fd_, POLLIN, 0};
+    ::poll(&pfd, stdout_fd_ >= 0 ? 1u : 0u, 5);
+  }
+  poll();
+  return state_ == State::Ready;
+}
+
+bool MachineProcess::wait_exit(int timeout_ms) {
+  for (int waited = 0; waited <= timeout_ms; waited += 5) {
+    poll();
+    if (state_ == State::Exited) return true;
+    if (state_ == State::Idle) return false;
+    pollfd pfd{stdout_fd_, POLLIN, 0};
+    ::poll(&pfd, stdout_fd_ >= 0 ? 1u : 0u, 5);
+  }
+  poll();
+  return state_ == State::Exited;
+}
+
+bool MachineProcess::send_signal(int sig) const {
+  if (pid_ < 0 || state_ == State::Idle || state_ == State::Exited) return false;
+  return ::kill(pid_, sig) == 0;
+}
+
+void MachineProcess::kill_and_reap() noexcept {
+  if (pid_ >= 0 && state_ != State::Exited && state_ != State::Idle) {
+    ::kill(pid_, SIGKILL);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    state_ = State::Exited;
+  }
+  if (stdout_fd_ >= 0) {
+    ::close(stdout_fd_);
+    stdout_fd_ = -1;
+  }
+  pid_ = -1;
+}
+
+}  // namespace akadns::fleet

@@ -1,0 +1,98 @@
+// One akadns-serve machine as a real child process.
+//
+// The PoP supervisor does not thread-spawn servers — it fork/execs the
+// actual daemon binary, exactly what production process management does,
+// and everything it knows about the child flows through two kernel
+// channels: the stdout pipe (carrying the one-line JSON ready handshake,
+// net/ready_line.hpp, followed by whatever the daemon prints at exit)
+// and waitpid. The pipe is drained continuously even after the ready
+// line is parsed: the daemon's shutdown telemetry dump is several KB,
+// and a supervisor that stopped reading would deadlock the child inside
+// its own exit path once the pipe filled.
+//
+// poll() is the only driver — nonblocking, callable at any frequency —
+// so a supervisor owning N machines needs no threads per child.
+#pragma once
+
+#include <sys/types.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "net/ready_line.hpp"
+
+namespace akadns::fleet {
+
+/// What to exec: the binary plus argv[1..] (argv[0] is derived).
+struct SpawnSpec {
+  std::string id;      // fleet-local machine name, e.g. "m0"
+  std::string binary;  // path to akadns-serve
+  std::vector<std::string> args;
+};
+
+class MachineProcess {
+ public:
+  enum class State {
+    Idle,      // constructed, not spawned
+    Starting,  // exec'd, ready line not yet seen
+    Ready,     // ready line parsed; process believed alive
+    Exited,    // reaped; exit_code()/term_signal() valid
+  };
+
+  MachineProcess() = default;
+  explicit MachineProcess(SpawnSpec spec) : spec_(std::move(spec)) {}
+  ~MachineProcess();
+
+  MachineProcess(const MachineProcess&) = delete;
+  MachineProcess& operator=(const MachineProcess&) = delete;
+  MachineProcess(MachineProcess&& other) noexcept;
+  MachineProcess& operator=(MachineProcess&& other) noexcept;
+
+  /// fork/execs the spec. On success the child runs and state() is
+  /// Starting; call poll() until the ready line lands (or it exits).
+  Result<bool> spawn();
+
+  /// Drains any buffered child stdout (nonblocking), parses a ready line
+  /// if one completes, and reaps the child if it exited. Never blocks.
+  void poll();
+
+  /// poll()s until Ready or Exited, up to timeout_ms. True iff Ready.
+  bool wait_ready(int timeout_ms);
+
+  /// poll()s until Exited, up to timeout_ms. True iff reaped.
+  bool wait_exit(int timeout_ms);
+
+  /// kill(2) to the child. False if there is no live child.
+  bool send_signal(int sig) const;
+
+  State state() const noexcept { return state_; }
+  const SpawnSpec& spec() const noexcept { return spec_; }
+  pid_t pid() const noexcept { return pid_; }
+  /// The parsed handshake; survives into Exited (last known ports).
+  const std::optional<net::ReadyLine>& ready() const noexcept { return ready_; }
+  /// Exit status once Exited: code for a normal exit, -1 if signaled.
+  int exit_code() const noexcept { return exit_code_; }
+  /// Terminating signal once Exited, 0 for a normal exit.
+  int term_signal() const noexcept { return term_signal_; }
+  /// Every non-ready stdout line the child produced (telemetry dump).
+  const std::string& captured_output() const noexcept { return captured_; }
+
+ private:
+  void drain_stdout();
+  void reap_if_exited();
+  void kill_and_reap() noexcept;
+
+  SpawnSpec spec_;
+  State state_ = State::Idle;
+  pid_t pid_ = -1;
+  int stdout_fd_ = -1;
+  std::string line_buf_;
+  std::string captured_;
+  std::optional<net::ReadyLine> ready_;
+  int exit_code_ = -1;
+  int term_signal_ = 0;
+};
+
+}  // namespace akadns::fleet

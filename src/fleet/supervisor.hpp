@@ -1,0 +1,110 @@
+// The PoP supervisor: N akadns-serve machines as real child processes.
+//
+// Spawns the fleet, performs the ready-line handshake per machine, and
+// keeps the PoP populated: a machine that exits — crash, kill -9 from a
+// failover drill, or a clean shutdown the supervisor did not order — is
+// respawned after an exponential backoff (so a crash-looping binary
+// cannot busy-spin the host). Ephemeral ports are first-class: a
+// restarted machine reports fresh ports in its new ready line, and the
+// Up event carries them so the anycast front and the probe suite re-aim
+// without configuration.
+//
+// Everything runs off a single poll() the owner calls from its main
+// loop; no thread per child, no signals consumed in the parent.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "fleet/machine_process.hpp"
+
+namespace akadns::fleet {
+
+struct SupervisorConfig {
+  std::string serve_binary;
+  std::size_t machines = 3;
+  /// argv tail shared by every machine (zones, seed, workers, defense).
+  /// Per-machine --port/--stats-port args are appended by the supervisor.
+  std::vector<std::string> common_args;
+  /// Requested DNS port per machine (resized/0-filled to `machines`);
+  /// 0 binds ephemeral and the ready line reports what was bound.
+  std::vector<std::uint16_t> ports;
+  /// Per-machine handshake budget at start().
+  int ready_timeout_ms = 15000;
+  /// Restart backoff: doubles from min to max on consecutive deaths,
+  /// resets once a respawned machine completes its handshake.
+  std::int64_t backoff_min_ms = 200;
+  std::int64_t backoff_max_ms = 5000;
+};
+
+class Supervisor {
+ public:
+  enum class EventKind {
+    Up,        // ready-line handshake completed (initial start or restart)
+    Down,      // machine exited (any reason)
+  };
+  struct Event {
+    EventKind kind = EventKind::Up;
+    std::size_t index = 0;
+    std::string id;
+    net::ReadyLine ready{};   // valid for Up
+    int exit_code = -1;       // valid for Down
+    int term_signal = 0;      // valid for Down
+    std::size_t restarts = 0;
+  };
+  using EventFn = std::function<void(const Event&)>;
+
+  Supervisor(SupervisorConfig config, EventFn on_event);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Spawns every machine and blocks until all handshakes complete (Up
+  /// fired per machine) or a handshake times out — in which case the
+  /// already-started machines are torn down and the error names the
+  /// machine that failed.
+  Result<bool> start();
+
+  /// One supervision step: reap exits (Down), respawn machines whose
+  /// backoff elapsed, complete handshakes of respawned machines (Up).
+  /// Call at a few hundred Hz or less from the owner's loop.
+  void poll();
+
+  /// Graceful fleet shutdown: SIGTERM everyone, wait up to
+  /// `drain_timeout_ms` for clean exits, SIGKILL stragglers. Restart
+  /// logic is disabled from the first call.
+  void stop(int drain_timeout_ms = 8000);
+
+  /// Drill / probe-suite controls.
+  bool signal_machine(std::size_t index, int sig);
+
+  std::size_t size() const noexcept { return slots_.size(); }
+  const MachineProcess& machine(std::size_t index) const { return slots_.at(index).proc; }
+  std::size_t restarts(std::size_t index) const { return slots_.at(index).restarts; }
+  /// Machines currently in the Ready state.
+  std::size_t up_count() const;
+  std::uint64_t total_restarts() const;
+
+ private:
+  struct Slot {
+    MachineProcess proc;
+    std::size_t restarts = 0;
+    std::int64_t backoff_ms = 0;
+    std::int64_t respawn_at_ms = -1;  // >= 0: waiting to respawn
+    bool announced_up = false;        // Up fired for the current incarnation
+  };
+
+  static std::int64_t now_ms();
+  SpawnSpec spec_for(std::size_t index) const;
+  void emit(const Event& event);
+
+  SupervisorConfig config_;
+  EventFn on_event_;
+  std::vector<Slot> slots_;
+  bool stopping_ = false;
+};
+
+}  // namespace akadns::fleet

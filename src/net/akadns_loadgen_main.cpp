@@ -27,6 +27,9 @@ namespace {
 
 struct CliOptions {
   std::string target = "127.0.0.1:5300";
+  /// Every --target on the command line, in order. Empty means the
+  /// single default above; more than one spreads lanes round-robin.
+  std::vector<std::string> targets;
   std::size_t synthetic_zones = 1000;
   std::uint64_t seed = 1;
   std::uint64_t queries = 100'000;
@@ -43,6 +46,12 @@ struct CliOptions {
   std::string defense = "off";
   std::uint64_t timeout_ms = 1000;
   double goodput_min = 0.9;
+  /// Failover-drill gate: when >= 0 the run *expects* loss (a machine is
+  /// killed or suspended mid-run) and passes iff the widest outage
+  /// window stays under this and nothing legit mismatched.
+  std::int64_t max_outage_ms = -1;
+  /// Losses closer together than this merge into one outage window.
+  std::uint64_t outage_gap_ms = 500;
   bool verify = false;
   /// Live-reload verification: the server was started with
   /// --flip-after-ms/--flip-count matching these — it will republish the
@@ -69,7 +78,9 @@ struct ServerScrape {
 void print_usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
-      "  --target IP:PORT    server address (default 127.0.0.1:5300)\n"
+      "  --target IP:PORT    server address (default 127.0.0.1:5300); repeatable —\n"
+      "                      with several targets, client sockets round-robin across\n"
+      "                      them and the report carries per-target accounting\n"
       "  --synthetic N       zone count matching the server's --synthetic (default 1000)\n"
       "  --seed S            seed matching the server's --seed (default 1)\n"
       "  --queries N         total queries to send (default 100000)\n"
@@ -83,6 +94,11 @@ void print_usage(const char* argv0) {
       "  --defense MODE      what the server runs: off|on (recorded; selects exit policy)\n"
       "  --timeout-ms N      per-query response timeout (default 1000)\n"
       "  --goodput-min F     legit goodput floor for --defense on (default 0.9)\n"
+      "  --max-outage-ms N   failover-drill gate: tolerate query loss, but require\n"
+      "                      the widest outage window (first lost send to last lost\n"
+      "                      send, losses < --outage-gap-ms apart merged) <= N and\n"
+      "                      zero byte mismatches\n"
+      "  --outage-gap-ms N   window-merge gap for outage classification (default 500)\n"
       "  --verify            byte-compare responses against the local Responder\n"
       "  --flip-count N      server flips its first N zones mid-run (--flip-after-ms);\n"
       "                      with --verify, accept pre- and post-flip answers, require\n"
@@ -117,6 +133,7 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
     } else if (arg == "--target") {
       if (!(v = need_value())) return false;
       opts.target = v;
+      opts.targets.emplace_back(v);
     } else if (arg == "--synthetic") {
       if (!(v = need_value())) return false;
       opts.synthetic_zones = std::strtoull(v, nullptr, 10);
@@ -168,6 +185,12 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
     } else if (arg == "--goodput-min") {
       if (!(v = need_value())) return false;
       opts.goodput_min = std::strtod(v, nullptr);
+    } else if (arg == "--max-outage-ms") {
+      if (!(v = need_value())) return false;
+      opts.max_outage_ms = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--outage-gap-ms") {
+      if (!(v = need_value())) return false;
+      opts.outage_gap_ms = std::strtoull(v, nullptr, 10);
     } else if (arg == "--verify") {
       opts.verify = true;
     } else if (arg == "--flip-count") {
@@ -188,6 +211,44 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
     }
   }
   return true;
+}
+
+std::string outages_json(const std::vector<akadns::net::OutageWindow>& windows) {
+  std::string out = "[";
+  char buf[160];
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"first_loss_ms\": %.3f, \"last_loss_ms\": %.3f,"
+                  " \"width_ms\": %.3f, \"losses\": %llu}",
+                  i == 0 ? "" : ", ", static_cast<double>(windows[i].start_ns) / 1e6,
+                  static_cast<double>(windows[i].end_ns) / 1e6,
+                  static_cast<double>(windows[i].width_ns()) / 1e6,
+                  (unsigned long long)windows[i].losses);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+std::string targets_json(const akadns::net::LoadgenReport& r) {
+  std::string out = "  \"targets\": [\n";
+  char buf[320];
+  for (std::size_t i = 0; i < r.targets.size(); ++i) {
+    const auto& t = r.targets[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"target\": \"%s\", \"lanes\": %zu, \"sent\": %llu,"
+                  " \"received\": %llu, \"dropped\": %llu, \"mismatched\": %llu,"
+                  " \"widest_outage_ms\": %.3f, \"outages\": ",
+                  t.target.to_string().c_str(), t.lanes, (unsigned long long)t.sent,
+                  (unsigned long long)t.received, (unsigned long long)t.dropped,
+                  (unsigned long long)t.mismatched,
+                  static_cast<double>(t.widest_outage_ns) / 1e6);
+    out += buf;
+    out += outages_json(t.outages);
+    out += i + 1 < r.targets.size() ? "},\n" : "}\n";
+  }
+  out += "  ],\n";
+  return out;
 }
 
 std::string class_json(const char* name, const akadns::net::ClassCounters& c) {
@@ -256,6 +317,12 @@ std::string report_json(const akadns::net::LoadgenReport& r, const CliOptions& o
   std::string out = buf;
   out += class_json("legit", r.legit);
   out += class_json("attack", r.attack);
+  out += targets_json(r);
+  std::snprintf(buf, sizeof(buf), "  \"widest_outage_ms\": %.3f,\n  \"outages\": ",
+                static_cast<double>(r.widest_outage_ns) / 1e6);
+  out += buf;
+  out += outages_json(r.outages);
+  out += ",\n";
   std::snprintf(buf, sizeof(buf),
                 "  \"flip\": {\"count\": %zu, \"generations\": %u, \"old_answers\": %llu,"
                 " \"new_answers\": %llu, \"stale_old\": %llu, \"first_new_ms\": %.3f},\n",
@@ -300,16 +367,22 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto colon = opts.target.rfind(':');
-  if (colon == std::string::npos) {
-    std::fprintf(stderr, "bad --target (want IP:PORT): %s\n", opts.target.c_str());
-    return 2;
-  }
-  const auto addr = akadns::Ipv4Addr::parse(opts.target.substr(0, colon));
-  const auto port = std::strtoul(opts.target.c_str() + colon + 1, nullptr, 10);
-  if (!addr || port == 0 || port > 65535) {
-    std::fprintf(stderr, "bad --target (want IP:PORT): %s\n", opts.target.c_str());
-    return 2;
+  if (opts.targets.empty()) opts.targets.push_back(opts.target);
+  std::vector<akadns::Endpoint> targets;
+  for (const auto& text : opts.targets) {
+    const auto colon = text.rfind(':');
+    const auto addr = colon == std::string::npos
+                          ? std::optional<akadns::Ipv4Addr>{}
+                          : akadns::Ipv4Addr::parse(text.substr(0, colon));
+    const auto port = colon == std::string::npos
+                          ? 0UL
+                          : std::strtoul(text.c_str() + colon + 1, nullptr, 10);
+    if (!addr || port == 0 || port > 65535) {
+      std::fprintf(stderr, "bad --target (want IP:PORT): %s\n", text.c_str());
+      return 2;
+    }
+    targets.push_back(
+        akadns::Endpoint{akadns::IpAddr(*addr), static_cast<std::uint16_t>(port)});
   }
 
   // Rebuild the server's world from the same (count, seed) — self-play.
@@ -357,12 +430,14 @@ int main(int argc, char** argv) {
   }
 
   akadns::net::LoadgenConfig config;
-  config.target = akadns::Endpoint{akadns::IpAddr(*addr), static_cast<std::uint16_t>(port)};
+  config.target = targets.front();
+  config.targets = targets;
   config.sockets = opts.sockets;
   config.batch = opts.batch;
   config.window = opts.window;
   config.total_queries = opts.queries;
   config.response_timeout = akadns::Duration::millis(static_cast<std::int64_t>(opts.timeout_ms));
+  config.outage_gap = akadns::Duration::millis(static_cast<std::int64_t>(opts.outage_gap_ms));
 
   akadns::net::Loadgen loadgen(config, corpus, std::move(expected), std::move(expected_v2));
   const auto report = loadgen.run();
@@ -372,6 +447,23 @@ int main(int argc, char** argv) {
   std::printf("dropped     %llu\n", (unsigned long long)report.dropped);
   std::printf("mismatched  %llu\n", (unsigned long long)report.mismatched);
   std::printf("unexpected  %llu\n", (unsigned long long)report.unexpected);
+  if (report.targets.size() > 1 || report.widest_outage_ns > 0) {
+    for (const auto& t : report.targets) {
+      std::printf("target      %s lanes=%zu sent=%llu received=%llu dropped=%llu"
+                  " mismatched=%llu widest_outage_ms=%.1f\n",
+                  t.target.to_string().c_str(), t.lanes, (unsigned long long)t.sent,
+                  (unsigned long long)t.received, (unsigned long long)t.dropped,
+                  (unsigned long long)t.mismatched,
+                  static_cast<double>(t.widest_outage_ns) / 1e6);
+    }
+    for (const auto& w : report.outages) {
+      std::printf("outage      first_loss_ms=%.1f last_loss_ms=%.1f width_ms=%.1f losses=%llu\n",
+                  static_cast<double>(w.start_ns) / 1e6,
+                  static_cast<double>(w.end_ns) / 1e6,
+                  static_cast<double>(w.width_ns()) / 1e6,
+                  (unsigned long long)w.losses);
+    }
+  }
   if (opts.attack_fraction > 0.0) {
     std::printf("legit       sent=%llu received=%llu dropped=%llu mismatched=%llu goodput=%.4f\n",
                 (unsigned long long)report.legit.sent, (unsigned long long)report.legit.received,
@@ -413,6 +505,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wrote %s\n", opts.json_path.c_str());
   }
 
+  if (opts.max_outage_ms >= 0) {
+    // Failover-drill gate: a machine was killed or suspended on purpose,
+    // so dropped queries are expected — inside a bounded window. The run
+    // passes iff service recovered fast enough (widest outage window
+    // under the budget), answers kept arriving, and every answer that
+    // did arrive carried the right bytes. Late answers for slots the
+    // sweep already expired surface as `unexpected`; during a drill they
+    // are re-steered duplicates, not errors, so they do not gate.
+    const double widest_ms = static_cast<double>(report.widest_outage_ns) / 1e6;
+    const bool ok = report.mismatched == 0 && report.received > 0 &&
+                    widest_ms <= static_cast<double>(opts.max_outage_ms);
+    std::printf("drill gate: widest_outage_ms=%.1f (budget %lld), mismatched=%llu -> %s\n",
+                widest_ms, (long long)opts.max_outage_ms,
+                (unsigned long long)report.mismatched, ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  }
   if (opts.attack_fraction > 0.0) {
     // Under an attack mix shed attack traffic is the *intended* outcome,
     // so total-drop counts cannot gate. The property that matters is

@@ -37,6 +37,7 @@
 #include "common/drop_reason.hpp"
 #include "dns/name.hpp"
 #include "dns/wire.hpp"
+#include "net/ready_line.hpp"
 #include "net/server.hpp"
 #include "net/zone_sync.hpp"
 #include "obs/exposition.hpp"
@@ -49,11 +50,28 @@
 
 namespace {
 
+/// Exit codes (documented in --help): 0 clean drain, 1 runtime failure,
+/// 2 usage error, 3 forced exit (second stop signal).
+constexpr int kExitForced = 3;
+
 volatile std::sig_atomic_t g_stop_requested = 0;
 volatile std::sig_atomic_t g_reload_requested = 0;
+/// Self-suspension requests (SIGUSR1 suspend / SIGUSR2 resume): the
+/// latest signal wins; the main loop applies the state to the server.
+volatile std::sig_atomic_t g_suspend_requested = -1;
 
-void handle_stop(int) { g_stop_requested = 1; }
+void handle_stop(int) {
+  // Idempotent stop with an escape hatch: the first signal starts the
+  // graceful drain; a second one means the drain is stuck (or the
+  // operator is impatient) and forces an immediate exit with a distinct
+  // code. _exit is async-signal-safe; skipping atexit/telemetry is the
+  // point.
+  if (g_stop_requested) _exit(kExitForced);
+  g_stop_requested = 1;
+}
 void handle_reload(int) { g_reload_requested = 1; }
+void handle_suspend(int) { g_suspend_requested = 1; }
+void handle_resume(int) { g_suspend_requested = 0; }
 
 struct HostPort {
   akadns::Ipv4Addr addr;
@@ -136,8 +154,17 @@ void print_usage(const char* argv0) {
       "  --stats-port P     serve live telemetry over HTTP on 127.0.0.1:P\n"
       "                     (/metrics Prometheus text, /metrics.json, /healthz;\n"
       "                     0 = ephemeral, port echoed on the ready line)\n"
-      "SIGHUP republishes --zone files; SIGTERM/SIGINT drains gracefully and\n"
-      "dumps telemetry JSON.\n",
+      "Once every socket is bound the daemon prints one machine-readable JSON\n"
+      "ready line on stdout ({\"akadns_serve_ready\":{pid, addr, udp_port,\n"
+      "tcp_port, stats_port, workers, zones, generation, defense}}) reporting\n"
+      "the *bound* ports, so --port 0 / --stats-port 0 compose with a\n"
+      "supervisor handshake without polling.\n"
+      "Signals: SIGHUP republishes --zone files; SIGTERM/SIGINT drains\n"
+      "gracefully and dumps telemetry JSON; a second SIGTERM/SIGINT forces an\n"
+      "immediate exit (code 3); SIGUSR1 self-suspends (/healthz flips to 503,\n"
+      "queries still answered); SIGUSR2 resumes.\n"
+      "Exit codes: 0 clean drain; 1 runtime failure; 2 usage error; 3 forced\n"
+      "exit by a second stop signal.\n",
       argv0);
 }
 
@@ -334,6 +361,22 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Handlers go in before any slow work (zone compiles, binds): a stop
+  // signal received mid-startup completes startup and immediately
+  // drains, instead of killing the process with state half-built.
+  struct sigaction sa {};
+  sa.sa_handler = handle_stop;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  struct sigaction hup {};
+  hup.sa_handler = handle_reload;
+  ::sigaction(SIGHUP, &hup, nullptr);
+  struct sigaction usr {};
+  usr.sa_handler = handle_suspend;
+  ::sigaction(SIGUSR1, &usr, nullptr);
+  usr.sa_handler = handle_resume;
+  ::sigaction(SIGUSR2, &usr, nullptr);
+
   const auto addr = akadns::Ipv4Addr::parse(opts.addr);
   if (!addr) {
     std::fprintf(stderr, "bad --addr: %s\n", opts.addr.c_str());
@@ -458,12 +501,20 @@ int main(int argc, char** argv) {
     stats_port = stats_server.port();
   }
 
-  // Machine-scrapable readiness line (tests and the CI smoke parse it).
-  std::printf(
-      "akadns-serve ready addr=%s udp_port=%u tcp_port=%u workers=%zu zones=%zu defense=%s"
-      " stats_port=%u\n",
-      opts.addr.c_str(), server.udp_port(), server.tcp_port(), opts.workers,
-      publisher.zone_count(), opts.defense ? "on" : "off", stats_port);
+  // The machine-readable handshake: one JSON line reporting the bound
+  // ports (supervisors, tests, and the CI smoke parse it with
+  // net::parse_ready_line — never by polling a port).
+  akadns::net::ReadyLine ready;
+  ready.pid = static_cast<std::int64_t>(::getpid());
+  ready.addr = opts.addr;
+  ready.udp_port = server.udp_port();
+  ready.tcp_port = server.tcp_port();
+  ready.stats_port = stats_port;
+  ready.workers = opts.workers;
+  ready.zones = publisher.zone_count();
+  ready.generation = publisher.stats().published.value();
+  ready.defense = opts.defense;
+  std::fputs(akadns::net::render_ready_line(ready).c_str(), stdout);
   std::fflush(stdout);
 
   std::uint16_t notify_id = 1;
@@ -471,18 +522,19 @@ int main(int argc, char** argv) {
     notify_all(notify_targets, publisher, apex, notify_id);
   }
 
-  struct sigaction sa {};
-  sa.sa_handler = handle_stop;
-  ::sigaction(SIGTERM, &sa, nullptr);
-  ::sigaction(SIGINT, &sa, nullptr);
-  struct sigaction hup {};
-  hup.sa_handler = handle_reload;
-  ::sigaction(SIGHUP, &hup, nullptr);
-
   const auto start_time = std::chrono::steady_clock::now();
   bool flipped = false;
   while (!g_stop_requested) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (g_suspend_requested >= 0) {
+      const bool suspend = g_suspend_requested == 1;
+      g_suspend_requested = -1;
+      if (suspend != server.suspended()) {
+        server.set_suspended(suspend);
+        std::fprintf(stderr, suspend ? "self-suspended (healthz 503, still serving)\n"
+                                     : "resumed (healthz 200)\n");
+      }
+    }
     if (g_reload_requested) {
       g_reload_requested = 0;
       for (const auto& path : opts.zone_files) {

@@ -31,6 +31,7 @@ struct SocketLane {
   const std::vector<std::vector<std::uint8_t>>* expected_v2 = nullptr;
   std::uint64_t quota = 0;
   std::size_t corpus_offset = 0;
+  std::size_t target_index = 0;  // which config.targets entry this lane hits
   Clock::time_point epoch;
 
   // Results, split by traffic class (totals are derived at merge time).
@@ -40,6 +41,7 @@ struct SocketLane {
   std::uint64_t unexpected = 0;
   LogHistogram latency_ns;
   FlipStats flip;
+  OutageTracker outages{500'000'000};
   bool saw_new = false;  // this lane's worker has served a v2-only answer
   std::string error;
 
@@ -210,6 +212,7 @@ struct SocketLane {
             slot.active = false;
             ++bucket(slot.is_attack).sent;
             ++bucket(slot.is_attack).dropped;
+            outages.record_loss(slot.send_ns);
           }
         }
         inflight_count += flushed;
@@ -241,6 +244,10 @@ struct SocketLane {
               slot.active = false;
               --inflight_count;
               ++bucket(slot.is_attack).dropped;
+              // The loss is stamped at send time: that is when the target
+              // failed to answer, not when we gave up waiting — window
+              // widths stay timeout-independent.
+              outages.record_loss(slot.send_ns);
             }
           }
         }
@@ -279,6 +286,11 @@ Loadgen::Loadgen(LoadgenConfig config, const workload::ReplayCorpus& corpus,
 
 LoadgenReport Loadgen::run() {
   const std::size_t lanes_n = std::max<std::size_t>(1, config_.sockets);
+  // Multi-target mode: targets wins over the single target field; lanes
+  // round-robin, so every target gets ceil/floor(lanes_n / n) sockets.
+  std::vector<Endpoint> targets = config_.targets;
+  if (targets.empty()) targets.push_back(config_.target);
+  const std::int64_t gap_ns = config_.outage_gap.count_nanos();
   std::vector<SocketLane> lanes(lanes_n);
   const auto epoch = Clock::now();
   const std::uint64_t per_lane = config_.total_queries / lanes_n;
@@ -286,6 +298,8 @@ LoadgenReport Loadgen::run() {
   for (std::size_t i = 0; i < lanes_n; ++i) {
     lanes[i].config = config_;
     lanes[i].config.window = std::min<std::size_t>(config_.window, 32768);
+    lanes[i].target_index = i % targets.size();
+    lanes[i].config.target = targets[lanes[i].target_index];
     lanes[i].corpus = &corpus_.entries();
     lanes[i].expected = expected_.empty() ? nullptr : &expected_;
     lanes[i].expected_v2 = expected_v2_.empty() ? nullptr : &expected_v2_;
@@ -294,6 +308,7 @@ LoadgenReport Loadgen::run() {
     // lockstep (better cache/zone mix at the server).
     lanes[i].corpus_offset = (corpus_.size() * i) / lanes_n;
     lanes[i].epoch = epoch;
+    lanes[i].outages = OutageTracker(gap_ns);
   }
 
   std::vector<std::thread> threads;
@@ -304,13 +319,33 @@ LoadgenReport Loadgen::run() {
       static_cast<double>(now_ns(epoch)) / 1e9;
 
   LoadgenReport report;
+  report.targets.resize(targets.size());
+  std::vector<OutageTracker> per_target(targets.size(), OutageTracker(gap_ns));
+  OutageTracker all_targets(gap_ns);
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    report.targets[t].target = targets[t];
+  }
   for (const auto& lane : lanes) {
     report.legit.merge(lane.legit);
     report.attack.merge(lane.attack);
     report.unexpected += lane.unexpected;
     report.latency_ns.merge(lane.latency_ns);
     report.flip.merge(lane.flip);
+    TargetReport& tgt = report.targets[lane.target_index];
+    ++tgt.lanes;
+    tgt.sent += lane.legit.sent + lane.attack.sent;
+    tgt.received += lane.legit.received + lane.attack.received;
+    tgt.dropped += lane.legit.dropped + lane.attack.dropped;
+    tgt.mismatched += lane.legit.mismatched + lane.attack.mismatched;
+    per_target[lane.target_index].merge(lane.outages);
+    all_targets.merge(lane.outages);
   }
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    report.targets[t].outages = per_target[t].windows();
+    report.targets[t].widest_outage_ns = per_target[t].widest_ns();
+  }
+  report.outages = all_targets.windows();
+  report.widest_outage_ns = all_targets.widest_ns();
   report.sent = report.legit.sent + report.attack.sent;
   report.received = report.legit.received + report.attack.received;
   report.dropped = report.legit.dropped + report.attack.dropped;

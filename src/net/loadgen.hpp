@@ -17,6 +17,7 @@
 // pins, kept continuously measurable under load.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -31,6 +32,11 @@ namespace akadns::net {
 struct LoadgenConfig {
   /// Server address (v4) and UDP port.
   Endpoint target;
+  /// Multi-target mode: when non-empty this list wins over `target` and
+  /// lanes round-robin across it (lane i → targets[i % n]). Used to
+  /// drive a whole PoP of machines (or its anycast front plus direct
+  /// machine ports) from one run, with per-target accounting.
+  std::vector<Endpoint> targets;
   /// Parallel client sockets, one thread each.
   std::size_t sockets = 4;
   /// Datagrams per sendmmsg/recvmmsg syscall.
@@ -43,8 +49,101 @@ struct LoadgenConfig {
   /// How long to wait for stragglers after the last send before
   /// declaring the remainder dropped.
   Duration response_timeout = Duration::millis(1000);
+  /// Losses closer together than this merge into one outage window
+  /// (see OutageTracker).
+  Duration outage_gap = Duration::millis(500);
   int rcvbuf = 1 << 22;
   int sndbuf = 1 << 22;
+};
+
+/// A contiguous stretch of query loss against one target, in nanoseconds
+/// since the run epoch. Width is the loadgen's end-to-end view of an
+/// outage: from the first query that went unanswered to the last.
+struct OutageWindow {
+  std::int64_t start_ns = 0;  // send time of the first lost query
+  std::int64_t end_ns = 0;    // send time of the last lost query
+  std::uint64_t losses = 0;   // queries lost inside the window
+  std::int64_t width_ns() const noexcept { return end_ns - start_ns; }
+};
+
+/// Classifies individual losses into outage windows: losses whose send
+/// times fall within `gap_ns` of an existing window extend it; anything
+/// further away opens a new window. This is what turns "N queries timed
+/// out" into "the target was dark from t0 to t1" — the quantity a
+/// failover drill measures (kill a machine, read the widest window).
+///
+/// record_loss is optimized for the near-sorted order a lane produces
+/// (expiry sweeps walk the slot table, so timestamps within one sweep
+/// are unordered but sweeps advance monotonically); windows() sorts and
+/// coalesces, so cross-lane merge() of raw trackers is also correct.
+class OutageTracker {
+ public:
+  explicit OutageTracker(std::int64_t gap_ns = 500'000'000) : gap_ns_(gap_ns) {}
+
+  void record_loss(std::int64_t ns) {
+    ++losses_;
+    if (!raw_.empty()) {
+      auto& last = raw_.back();
+      if (ns >= last.start_ns - gap_ns_ && ns <= last.end_ns + gap_ns_) {
+        last.start_ns = std::min(last.start_ns, ns);
+        last.end_ns = std::max(last.end_ns, ns);
+        ++last.losses;
+        return;
+      }
+    }
+    raw_.push_back(OutageWindow{ns, ns, 1});
+  }
+
+  void merge(const OutageTracker& o) {
+    losses_ += o.losses_;
+    raw_.insert(raw_.end(), o.raw_.begin(), o.raw_.end());
+  }
+
+  /// The final classification: windows sorted by start, coalesced across
+  /// whatever order losses were recorded (or merged) in.
+  std::vector<OutageWindow> windows() const {
+    std::vector<OutageWindow> sorted = raw_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const OutageWindow& a, const OutageWindow& b) {
+                return a.start_ns < b.start_ns;
+              });
+    std::vector<OutageWindow> out;
+    for (const auto& w : sorted) {
+      if (!out.empty() && w.start_ns <= out.back().end_ns + gap_ns_) {
+        out.back().end_ns = std::max(out.back().end_ns, w.end_ns);
+        out.back().losses += w.losses;
+      } else {
+        out.push_back(w);
+      }
+    }
+    return out;
+  }
+
+  std::int64_t widest_ns() const {
+    std::int64_t widest = 0;
+    for (const auto& w : windows()) widest = std::max(widest, w.width_ns());
+    return widest;
+  }
+
+  std::uint64_t losses() const noexcept { return losses_; }
+
+ private:
+  std::int64_t gap_ns_;
+  std::uint64_t losses_ = 0;
+  std::vector<OutageWindow> raw_;
+};
+
+/// Per-target slice of a multi-target run: which endpoint, how it fared,
+/// and when (if ever) it went dark.
+struct TargetReport {
+  Endpoint target;
+  std::size_t lanes = 0;  // client sockets pinned to this target
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t mismatched = 0;
+  std::vector<OutageWindow> outages;
+  std::int64_t widest_outage_ns = 0;
 };
 
 /// Per-traffic-class accounting (legitimate vs attack, per the corpus
@@ -113,6 +212,13 @@ struct LoadgenReport {
   ClassCounters attack;
   /// Live-reload version accounting (all zero / -1 without expected_v2).
   FlipStats flip;
+  /// One entry per distinct endpoint (config.targets order; a single
+  /// entry in single-target runs), with per-target outage windows.
+  std::vector<TargetReport> targets;
+  /// Outage classification across every target — the widest window here
+  /// is the PoP-level "how long were queries going unanswered" number.
+  std::vector<OutageWindow> outages;
+  std::int64_t widest_outage_ns = 0;
 };
 
 /// Runs the sim Responder over every corpus entry and returns the

@@ -1,0 +1,94 @@
+#include "net/ready_line.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace akadns::net {
+
+namespace {
+
+constexpr std::string_view kTag = "\"akadns_serve_ready\"";
+
+/// Finds `"key":` inside `body` and returns the value text following it
+/// (up to the next ',' or '}'), or nullopt.
+std::optional<std::string_view> raw_value(std::string_view body, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const auto pos = body.find(needle);
+  if (pos == std::string_view::npos) return std::nullopt;
+  auto value = body.substr(pos + needle.size());
+  const auto end = value.find_first_of(",}");
+  if (end == std::string_view::npos) return std::nullopt;
+  return value.substr(0, end);
+}
+
+std::optional<std::uint64_t> uint_value(std::string_view body, std::string_view key) {
+  const auto raw = raw_value(body, key);
+  if (!raw || raw->empty()) return std::nullopt;
+  char* end = nullptr;
+  const std::string text(*raw);
+  const auto parsed = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return std::nullopt;
+  return parsed;
+}
+
+std::optional<std::string> string_value(std::string_view body, std::string_view key) {
+  const auto raw = raw_value(body, key);
+  if (!raw || raw->size() < 2 || raw->front() != '"' || raw->back() != '"') {
+    return std::nullopt;
+  }
+  return std::string(raw->substr(1, raw->size() - 2));
+}
+
+}  // namespace
+
+std::string render_ready_line(const ReadyLine& ready) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "{%s:{\"pid\":%lld,\"addr\":\"%s\",\"udp_port\":%u,\"tcp_port\":%u,"
+                "\"stats_port\":%u,\"workers\":%llu,\"zones\":%llu,\"generation\":%llu,"
+                "\"defense\":\"%s\"}}\n",
+                std::string(kTag).c_str(), static_cast<long long>(ready.pid),
+                ready.addr.c_str(), ready.udp_port, ready.tcp_port, ready.stats_port,
+                (unsigned long long)ready.workers, (unsigned long long)ready.zones,
+                (unsigned long long)ready.generation, ready.defense ? "on" : "off");
+  return buf;
+}
+
+std::optional<ReadyLine> parse_ready_line(std::string_view line) {
+  // Trim whitespace; reject multi-line input outright.
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r' || line.back() == ' ')) {
+    line.remove_suffix(1);
+  }
+  while (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+  if (line.find('\n') != std::string_view::npos) return std::nullopt;
+  if (line.empty() || line.front() != '{' || line.back() != '}') return std::nullopt;
+  if (line.find(kTag) == std::string_view::npos) return std::nullopt;
+
+  ReadyLine ready;
+  const auto pid = uint_value(line, "pid");
+  const auto addr = string_value(line, "addr");
+  const auto udp = uint_value(line, "udp_port");
+  const auto tcp = uint_value(line, "tcp_port");
+  const auto stats = uint_value(line, "stats_port");
+  const auto workers = uint_value(line, "workers");
+  const auto zones = uint_value(line, "zones");
+  const auto generation = uint_value(line, "generation");
+  const auto defense = string_value(line, "defense");
+  if (!pid || !addr || !udp || !tcp || !stats || !workers || !zones || !generation ||
+      !defense || (*defense != "on" && *defense != "off")) {
+    return std::nullopt;
+  }
+  if (*udp > 0xffff || *tcp > 0xffff || *stats > 0xffff) return std::nullopt;
+  ready.pid = static_cast<std::int64_t>(*pid);
+  ready.addr = *addr;
+  ready.udp_port = static_cast<std::uint16_t>(*udp);
+  ready.tcp_port = static_cast<std::uint16_t>(*tcp);
+  ready.stats_port = static_cast<std::uint16_t>(*stats);
+  ready.workers = *workers;
+  ready.zones = *zones;
+  ready.generation = *generation;
+  ready.defense = *defense == "on";
+  return ready;
+}
+
+}  // namespace akadns::net

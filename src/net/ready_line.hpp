@@ -1,0 +1,44 @@
+// The startup handshake between akadns-serve and whoever spawned it.
+//
+// After binding every socket, the daemon prints exactly one JSON object
+// on one stdout line and flushes. A supervisor (src/fleet/), a test, or
+// a shell script reads lines off the child's stdout pipe until parse
+// succeeds — no port-file races, no polling a port that may belong to a
+// previous incarnation, and ephemeral binds (--port 0, --stats-port 0)
+// work everywhere because the line reports the *bound* ports, not the
+// requested ones.
+//
+// The format is deliberately flat and the parser deliberately strict:
+// a single-line JSON object whose fields are known up front. Anything
+// else on stdout (the shutdown telemetry dump is also JSON but spans
+// multiple values) fails to parse and is skipped by readers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace akadns::net {
+
+struct ReadyLine {
+  std::int64_t pid = 0;
+  std::string addr;                 // bind address, dotted quad
+  std::uint16_t udp_port = 0;       // bound UDP query port
+  std::uint16_t tcp_port = 0;       // bound TCP query/transfer port
+  std::uint16_t stats_port = 0;     // bound /metrics port, 0 = no endpoint
+  std::uint64_t workers = 0;
+  std::uint64_t zones = 0;          // apexes published at startup
+  std::uint64_t generation = 0;     // zone versions accepted so far
+  bool defense = false;
+};
+
+/// One line, '\n'-terminated: {"akadns_serve_ready":{...}}.
+std::string render_ready_line(const ReadyLine& ready);
+
+/// Parses a line produced by render_ready_line (surrounding whitespace
+/// tolerated). nullopt for anything else — unknown keys, missing keys,
+/// or a line that is not the ready object.
+std::optional<ReadyLine> parse_ready_line(std::string_view line);
+
+}  // namespace akadns::net

@@ -679,13 +679,18 @@ Result<bool> Server::start() {
   return true;
 }
 
-void Server::stop() {
-  if (!running_) return;
+void Server::begin_drain() {
+  if (!running_ || draining_.exchange(true, std::memory_order_acq_rel)) return;
   for (auto& worker : workers_) {
     const std::uint64_t one = 1;
     [[maybe_unused]] const ssize_t r =
         ::write(worker->stop_event.get(), &one, sizeof(one));
   }
+}
+
+void Server::stop() {
+  if (!running_) return;
+  begin_drain();
   for (auto& thread : threads_) {
     if (thread.joinable()) thread.join();
   }

@@ -187,6 +187,23 @@ class Server {
   /// in-flight TCP, join every worker. Idempotent.
   void stop();
 
+  /// First half of stop(): signals every worker to drain and flips
+  /// ready() to false, without blocking on the join. A /healthz scrape
+  /// taken while the drain runs sees 503 — load balancers stop steering
+  /// before the last in-flight response leaves. stop() completes the
+  /// join (and calls this itself if nobody did).
+  void begin_drain();
+
+  /// Self-suspension (§4.2.1): the machine withdraws from readiness —
+  /// /healthz flips to 503 so the anycast front stops steering new
+  /// flows — but the workers keep serving whatever still arrives
+  /// (suspended means withdrawn, not dark). Settable any time, from any
+  /// thread; the probe suite's recovery path clears it.
+  void set_suspended(bool suspended) noexcept {
+    suspended_.store(suspended, std::memory_order_release);
+  }
+  bool suspended() const noexcept { return suspended_.load(std::memory_order_acquire); }
+
   bool running() const noexcept { return running_; }
   std::uint16_t udp_port() const noexcept { return udp_port_; }
   std::uint16_t tcp_port() const noexcept { return tcp_port_; }
@@ -199,8 +216,12 @@ class Server {
   /// workers' single-writer atomics). Empty before start().
   obs::MetricsSnapshot metrics_snapshot() const { return registry_.snapshot(); }
 
-  /// Readiness for /healthz: workers are up and not yet drained.
-  bool ready() const noexcept { return running_ && !stopped_; }
+  /// Readiness for /healthz: workers are up, not draining (or drained),
+  /// and the machine has not self-suspended.
+  bool ready() const noexcept {
+    return running_ && !stopped_ && !draining_.load(std::memory_order_acquire) &&
+           !suspended_.load(std::memory_order_acquire);
+  }
 
   /// The propagation pipeline the workers subscribe to. In static mode
   /// this is the internal publisher seeded from the constructor's store.
@@ -221,6 +242,8 @@ class Server {
   obs::MetricRegistry registry_;
   std::vector<std::thread> threads_;
   std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> suspended_{false};
   bool stopped_ = false;
   std::uint16_t udp_port_ = 0;
   std::uint16_t tcp_port_ = 0;

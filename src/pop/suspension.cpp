@@ -1,8 +1,5 @@
 #include "pop/suspension.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 namespace akadns::pop {
 
 void SuspensionCoordinator::register_machine(const std::string& machine_id) {
@@ -15,15 +12,13 @@ void SuspensionCoordinator::unregister_machine(const std::string& machine_id) {
 }
 
 std::size_t SuspensionCoordinator::quota() const noexcept {
-  const auto by_fraction = static_cast<std::size_t>(
-      std::floor(config_.max_suspended_fraction * static_cast<double>(fleet_.size())));
-  return std::max(config_.min_allowed, by_fraction);
+  return suspension_quota(config_, fleet_.size());
 }
 
 bool SuspensionCoordinator::request_suspension(const std::string& machine_id) {
   if (!fleet_.contains(machine_id)) return false;
   if (suspended_.contains(machine_id)) return true;
-  if (suspended_.size() >= quota()) {
+  if (!suspension_allowed(config_, fleet_.size(), suspended_.size())) {
     ++denied_;
     return false;
   }

@@ -11,23 +11,21 @@
 // quota on concurrently suspended machines — behind an interface a real
 // deployment would back with Paxos/Raft. Grant order is first-come,
 // first-served; a machine holding a grant must release it on resume.
+// The quota arithmetic itself lives in suspension_policy.hpp, shared
+// verbatim with the real-process fleet's probe suite (src/fleet/).
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <unordered_set>
 
+#include "pop/suspension_policy.hpp"
+
 namespace akadns::pop {
 
 class SuspensionCoordinator {
  public:
-  struct Config {
-    /// Maximum fraction of registered machines suspended at once.
-    double max_suspended_fraction = 0.25;
-    /// Absolute floor: always allow at least this many suspensions
-    /// (a single bad disk must always be suspendable).
-    std::size_t min_allowed = 1;
-  };
+  using Config = SuspensionQuotaConfig;
 
   SuspensionCoordinator() = default;
   explicit SuspensionCoordinator(Config config) : config_(config) {}

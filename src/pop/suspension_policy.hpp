@@ -1,0 +1,54 @@
+// The suspension-quota decision, extracted so both transports share it
+// (§4.2.1).
+//
+// The simulated PoP's SuspensionCoordinator and the real-process fleet's
+// probe suite make the same call: "may this machine stop serving?" The
+// arithmetic — a fractional cap on concurrent suspensions with an
+// absolute floor, and optionally a serving floor that refuses to empty
+// the PoP — lives here as pure functions of counts, with no transport,
+// clock, or container attached. A real deployment would put this exact
+// decision behind Paxos/Raft; everything around it is bookkeeping.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace akadns::pop {
+
+struct SuspensionQuotaConfig {
+  /// Maximum fraction of registered machines suspended at once.
+  double max_suspended_fraction = 0.25;
+  /// Absolute floor: always allow at least this many suspensions
+  /// (a single bad disk must always be suspendable).
+  std::size_t min_allowed = 1;
+  /// Machines that must keep serving no matter what: a grant is refused
+  /// when it would leave fewer than this many unsuspended. 0 preserves
+  /// the original sim semantics (a singleton fleet may suspend itself);
+  /// the fleet runs with 1 — a PoP never withdraws its last machine,
+  /// it keeps serving degraded instead.
+  std::size_t min_serving = 0;
+};
+
+/// Concurrent-suspension cap for a fleet of `fleet_size` machines.
+inline std::size_t suspension_quota(const SuspensionQuotaConfig& config,
+                                    std::size_t fleet_size) noexcept {
+  const auto by_fraction = static_cast<std::size_t>(
+      std::floor(config.max_suspended_fraction * static_cast<double>(fleet_size)));
+  return std::max(config.min_allowed, by_fraction);
+}
+
+/// Whether one more suspension is admissible: the quota has room AND the
+/// grant would not drop the serving count below `min_serving`. The
+/// serving guard binds on `fleet_size` (machines registered as present);
+/// callers that know about crashed machines shrink the fleet first —
+/// a crashed machine is not "serving" and must not count toward the
+/// floor that keeps the PoP non-empty.
+inline bool suspension_allowed(const SuspensionQuotaConfig& config, std::size_t fleet_size,
+                               std::size_t suspended) noexcept {
+  if (suspended >= suspension_quota(config, fleet_size)) return false;
+  const std::size_t serving = fleet_size > suspended ? fleet_size - suspended : 0;
+  return serving > config.min_serving;
+}
+
+}  // namespace akadns::pop

@@ -1,0 +1,158 @@
+// Real-process supervision: fork/exec the actual akadns-serve binary
+// (path injected at compile time), handshake via the ready line, kill
+// it, and watch the supervisor repopulate the PoP. This is the one test
+// layer where the subject is a process, not a class.
+
+#include <signal.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/machine_process.hpp"
+#include "fleet/supervisor.hpp"
+
+#ifndef AKADNS_SERVE_BIN
+#error "AKADNS_SERVE_BIN must point at the akadns-serve binary"
+#endif
+
+namespace akadns::fleet {
+namespace {
+
+SpawnSpec tiny_serve(const std::string& id) {
+  SpawnSpec spec;
+  spec.id = id;
+  spec.binary = AKADNS_SERVE_BIN;
+  spec.args = {"--synthetic", "5",  "--seed",       "3", "--workers", "1",
+               "--port",      "0",  "--stats-port", "0"};
+  return spec;
+}
+
+TEST(MachineProcess, HandshakeReportsEphemeralPortsAndExitsClean) {
+  MachineProcess machine(tiny_serve("m0"));
+  auto spawned = machine.spawn();
+  ASSERT_TRUE(spawned) << spawned.error();
+  ASSERT_TRUE(machine.wait_ready(15000)) << "no ready line within budget";
+
+  ASSERT_TRUE(machine.ready().has_value());
+  const net::ReadyLine& ready = *machine.ready();
+  EXPECT_GT(ready.pid, 0);
+  EXPECT_EQ(ready.pid, static_cast<std::int64_t>(machine.pid()));
+  EXPECT_NE(ready.udp_port, 0);   // --port 0 resolved to a real bind
+  EXPECT_NE(ready.tcp_port, 0);
+  EXPECT_NE(ready.stats_port, 0);
+  EXPECT_EQ(ready.zones, 5u);
+  EXPECT_EQ(ready.workers, 1u);
+
+  EXPECT_TRUE(machine.send_signal(SIGTERM));
+  ASSERT_TRUE(machine.wait_exit(10000));
+  EXPECT_EQ(machine.exit_code(), 0);
+  EXPECT_EQ(machine.term_signal(), 0);
+}
+
+TEST(MachineProcess, SecondSigtermForcesImmediateExitCode3) {
+  MachineProcess machine(tiny_serve("m0"));
+  auto spawned = machine.spawn();
+  ASSERT_TRUE(spawned) << spawned.error();
+  ASSERT_TRUE(machine.wait_ready(15000));
+
+  // Idempotent-but-escalating: the first SIGTERM begins the drain, an
+  // impatient second one must not be swallowed — it forces _exit(3).
+  // The gap ensures the first is actually delivered (undelivered
+  // standard signals coalesce); the daemon's stop flag is only polled
+  // every 50ms, so the second lands well before the drain starts.
+  EXPECT_TRUE(machine.send_signal(SIGTERM));
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  EXPECT_TRUE(machine.send_signal(SIGTERM));
+  ASSERT_TRUE(machine.wait_exit(10000));
+  EXPECT_EQ(machine.exit_code(), 3);
+}
+
+TEST(MachineProcess, SigkillIsReportedAsSignalDeath) {
+  MachineProcess machine(tiny_serve("m0"));
+  auto spawned = machine.spawn();
+  ASSERT_TRUE(spawned) << spawned.error();
+  ASSERT_TRUE(machine.wait_ready(15000));
+
+  EXPECT_TRUE(machine.send_signal(SIGKILL));
+  ASSERT_TRUE(machine.wait_exit(10000));
+  EXPECT_EQ(machine.exit_code(), -1);
+  EXPECT_EQ(machine.term_signal(), SIGKILL);
+  // The handshake survives into Exited: the supervisor logs the dead
+  // machine's last known ports.
+  EXPECT_TRUE(machine.ready().has_value());
+}
+
+TEST(Supervisor, RestartsAKilledMachineOnFreshPorts) {
+  SupervisorConfig config;
+  config.serve_binary = AKADNS_SERVE_BIN;
+  config.machines = 2;
+  config.common_args = {"--synthetic", "5", "--seed", "3", "--workers", "1",
+                        "--stats-port", "0"};
+  config.backoff_min_ms = 100;
+
+  std::vector<Supervisor::Event> events;
+  Supervisor supervisor(config, [&](const Supervisor::Event& event) {
+    events.push_back(event);
+  });
+  auto started = supervisor.start();
+  ASSERT_TRUE(started) << started.error();
+  ASSERT_EQ(events.size(), 2u);  // both Up
+  EXPECT_EQ(supervisor.up_count(), 2u);
+
+  // Drill: kill machine 0 and poll until the supervisor brings it back.
+  ASSERT_TRUE(supervisor.signal_machine(0, SIGKILL));
+  bool restarted = false;
+  for (int i = 0; i < 1500 && !restarted; ++i) {
+    supervisor.poll();
+    for (const auto& event : events) {
+      if (event.kind == Supervisor::EventKind::Up && event.index == 0 &&
+          event.restarts == 1) {
+        restarted = true;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(restarted) << "machine 0 never came back";
+  EXPECT_EQ(supervisor.restarts(0), 1u);
+  EXPECT_EQ(supervisor.up_count(), 2u);
+
+  // The Down event recorded the signal death; the replacement reported
+  // a usable (almost certainly different) port in its fresh handshake.
+  bool saw_down = false;
+  for (const auto& event : events) {
+    if (event.kind == Supervisor::EventKind::Down && event.index == 0) {
+      saw_down = true;
+      EXPECT_EQ(event.term_signal, SIGKILL);
+    }
+  }
+  EXPECT_TRUE(saw_down);
+  ASSERT_TRUE(supervisor.machine(0).ready().has_value());
+  EXPECT_NE(supervisor.machine(0).ready()->udp_port, 0);
+
+  supervisor.stop();
+  EXPECT_EQ(supervisor.up_count(), 0u);
+  for (std::size_t i = 0; i < supervisor.size(); ++i) {
+    EXPECT_EQ(supervisor.machine(i).state(), MachineProcess::State::Exited);
+    EXPECT_EQ(supervisor.machine(i).exit_code(), 0) << "machine " << i
+                                                    << " did not drain cleanly";
+  }
+}
+
+TEST(Supervisor, StartFailureNamesTheBrokenMachine) {
+  SupervisorConfig config;
+  config.serve_binary = "/nonexistent/akadns-serve";
+  config.machines = 2;
+  config.ready_timeout_ms = 2000;
+
+  Supervisor supervisor(config, [](const Supervisor::Event&) {});
+  auto started = supervisor.start();
+  ASSERT_FALSE(started);
+  EXPECT_NE(started.error().find("m0"), std::string::npos) << started.error();
+}
+
+}  // namespace
+}  // namespace akadns::fleet

@@ -1,0 +1,258 @@
+// The probe suite's authority contract, exercised against real sockets:
+// end-to-end DNS probes are the ONLY path to suspension, the PoP quota
+// caps how many machines they may take down (a short PoP beats an empty
+// one), and advisory /metrics anomalies — including a dead exporter —
+// never suspend anything.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/probe_suite.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "workload/zones.hpp"
+
+namespace akadns::fleet {
+namespace {
+
+workload::HostedZones make_zones() {
+  workload::HostedZonesConfig config;
+  config.zone_count = 10;
+  return workload::HostedZones(config, 21);
+}
+
+/// An in-process machine: a real net::Server over the shared zone set.
+/// The probe suite speaks UDP and TCP to one port, so retry the
+/// ephemeral bind until both land on the same number (first try in
+/// practice — the server prefers TCP on its UDP port).
+struct LiveMachine {
+  std::unique_ptr<net::Server> server;
+
+  explicit LiveMachine(const zone::ZoneStore& store) {
+    for (int attempt = 0; attempt < 10; ++attempt) {
+      net::ServeConfig config;
+      config.port = 0;
+      config.workers = 1;
+      server = std::make_unique<net::Server>(config, store);
+      auto started = server->start();
+      EXPECT_TRUE(started) << started.error();
+      if (server->udp_port() == server->tcp_port()) return;
+      server->stop();
+      server.reset();
+    }
+    ADD_FAILURE() << "could not bind UDP and TCP on one ephemeral port";
+  }
+  ~LiveMachine() {
+    if (server) server->stop();
+  }
+};
+
+/// A port guaranteed to be closed right now: bind, read, release.
+std::uint16_t dead_port() {
+  auto sock = net::UdpSocket::open(Ipv4Addr(127, 0, 0, 1), 0);
+  EXPECT_TRUE(sock) << sock.error();
+  return sock.value().port();
+}
+
+struct Notification {
+  std::string id;
+  bool suspended = false;
+};
+
+TEST(ProbeSuite, HealthyMachinePassesEveryProbe) {
+  auto zones = make_zones();
+  LiveMachine machine(zones.store());
+
+  ProbeConfig config;
+  config.advisory_every = 0;
+  std::vector<Notification> notified;
+  ProbeSuite probes(
+      config, zones,
+      [&] {
+        return std::vector<ProbeTarget>{
+            ProbeTarget{"m0", Ipv4Addr(127, 0, 0, 1), machine.server->udp_port(), 0, true}};
+      },
+      [&](const std::string& id, bool suspended) {
+        notified.push_back({id, suspended});
+      });
+
+  for (int i = 0; i < 5; ++i) probes.run_round();
+
+  const auto st = probes.state_of("m0");
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->rounds, 5u);
+  EXPECT_EQ(st->failed_rounds, 0u);
+  EXPECT_EQ(st->byte_mismatches, 0u);
+  EXPECT_GE(st->probes_sent, 5u * 4u);  // >= 4 probe shapes per round
+  EXPECT_FALSE(st->suspended);
+  EXPECT_TRUE(notified.empty());
+}
+
+TEST(ProbeSuite, QuotaCapsSuspensionsAndKeepsOneServing) {
+  // Three machines, all dark (ports with no listener). Even with the
+  // fraction at 1.0 the min_serving floor must hold one machine back:
+  // exactly two suspensions, the third denied and left serving.
+  auto zones = make_zones();
+  const std::uint16_t p0 = dead_port();
+  const std::uint16_t p1 = dead_port();
+  const std::uint16_t p2 = dead_port();
+
+  ProbeConfig config;
+  config.fail_threshold = 2;
+  config.timeout_ms = 50;
+  config.advisory_every = 0;
+  config.quota = pop::SuspensionQuotaConfig{1.0, 1, 1};
+  std::vector<Notification> notified;
+  ProbeSuite probes(
+      config, zones,
+      [&] {
+        return std::vector<ProbeTarget>{
+            ProbeTarget{"m0", Ipv4Addr(127, 0, 0, 1), p0, 0, true},
+            ProbeTarget{"m1", Ipv4Addr(127, 0, 0, 1), p1, 0, true},
+            ProbeTarget{"m2", Ipv4Addr(127, 0, 0, 1), p2, 0, true}};
+      },
+      [&](const std::string& id, bool suspended) {
+        notified.push_back({id, suspended});
+      });
+
+  for (int i = 0; i < 4; ++i) probes.run_round();
+
+  const auto quota = probes.quota_view();
+  EXPECT_EQ(quota.fleet_size, 3u);
+  EXPECT_EQ(quota.suspended, 2u);
+  EXPECT_GE(quota.denied, 1u);
+
+  std::size_t suspended = 0, denied = 0;
+  for (const auto& st : probes.states()) {
+    if (st.suspended) ++suspended;
+    denied += st.denied_suspensions;
+  }
+  EXPECT_EQ(suspended, 2u);
+  EXPECT_GE(denied, 1u);
+  EXPECT_EQ(notified.size(), 2u);  // only granted suspensions notify
+  for (const auto& n : notified) EXPECT_TRUE(n.suspended);
+}
+
+TEST(ProbeSuite, AdvisoryAnomaliesNeverSuspend) {
+  // The machine answers every probe perfectly, but its /metrics endpoint
+  // is unreachable — the strongest advisory anomaly there is. Rounds of
+  // scrape failures must accumulate as telemetry and nothing else: no
+  // suspension edge exists on the advisory path (§4.2.1 — a monitoring
+  // bug must not take capacity down).
+  auto zones = make_zones();
+  LiveMachine machine(zones.store());
+
+  ProbeConfig config;
+  config.advisory_every = 1;  // scrape every round
+  config.timeout_ms = 200;
+  std::vector<Notification> notified;
+  ProbeSuite probes(
+      config, zones,
+      [&] {
+        return std::vector<ProbeTarget>{ProbeTarget{
+            "m0", Ipv4Addr(127, 0, 0, 1), machine.server->udp_port(), dead_port(), true}};
+      },
+      [&](const std::string& id, bool suspended) {
+        notified.push_back({id, suspended});
+      });
+
+  for (int i = 0; i < 6; ++i) probes.run_round();
+
+  const auto st = probes.state_of("m0");
+  ASSERT_TRUE(st.has_value());
+  EXPECT_GE(st->advisory_scrapes, 6u);
+  EXPECT_GE(st->advisory_anomalies, 6u);
+  EXPECT_EQ(st->failed_rounds, 0u);
+  EXPECT_FALSE(st->suspended);
+  EXPECT_EQ(st->suspensions, 0u);
+  EXPECT_TRUE(notified.empty());
+  EXPECT_EQ(probes.quota_view().suspended, 0u);
+}
+
+TEST(ProbeSuite, InjectedFailureSuspendsThenRecoveryRestores) {
+  // Two machines on the same serving port (the suite only cares about
+  // ids): with min_serving=1 a 1-machine fleet can never be suspended,
+  // so the healthy sibling is what makes m0's suspension grantable.
+  auto zones = make_zones();
+  LiveMachine machine(zones.store());
+
+  ProbeConfig config;
+  config.fail_threshold = 3;
+  config.ok_threshold = 2;
+  config.advisory_every = 0;
+  std::vector<Notification> notified;
+  ProbeSuite probes(
+      config, zones,
+      [&] {
+        return std::vector<ProbeTarget>{
+            ProbeTarget{"m0", Ipv4Addr(127, 0, 0, 1), machine.server->udp_port(), 0, true},
+            ProbeTarget{"m1", Ipv4Addr(127, 0, 0, 1), machine.server->udp_port(), 0, true}};
+      },
+      [&](const std::string& id, bool suspended) {
+        notified.push_back({id, suspended});
+      });
+
+  probes.inject_failure("m0", true);
+  for (int i = 0; i < 3; ++i) probes.run_round();
+  auto st = probes.state_of("m0");
+  ASSERT_TRUE(st.has_value());
+  EXPECT_TRUE(st->suspended);
+  EXPECT_EQ(st->suspensions, 1u);
+
+  probes.inject_failure("m0", false);
+  for (int i = 0; i < 2; ++i) probes.run_round();
+  st = probes.state_of("m0");
+  ASSERT_TRUE(st.has_value());
+  EXPECT_FALSE(st->suspended);
+  EXPECT_EQ(st->restores, 1u);
+
+  ASSERT_EQ(notified.size(), 2u);
+  EXPECT_TRUE(notified[0].suspended);
+  EXPECT_FALSE(notified[1].suspended);
+}
+
+TEST(ProbeSuite, DeadMachineReleasesGrantWithoutRestoreNotification) {
+  // A suspended machine that then dies (supervisor's domain) must return
+  // its quota grant so the remaining fleet can still protect itself —
+  // but no restore callback fires: there is no process to signal, and
+  // the supervisor's Up event re-admits the replacement. The healthy
+  // sibling keeps the fleet above min_serving so the grant can exist.
+  auto zones = make_zones();
+  LiveMachine sibling(zones.store());
+  const std::uint16_t port = dead_port();
+
+  ProbeConfig config;
+  config.fail_threshold = 2;
+  config.timeout_ms = 50;
+  config.advisory_every = 0;
+  bool alive = true;
+  std::vector<Notification> notified;
+  ProbeSuite probes(
+      config, zones,
+      [&] {
+        return std::vector<ProbeTarget>{
+            ProbeTarget{"m0", Ipv4Addr(127, 0, 0, 1), port, 0, alive},
+            ProbeTarget{"m1", Ipv4Addr(127, 0, 0, 1), sibling.server->udp_port(), 0,
+                        true}};
+      },
+      [&](const std::string& id, bool suspended) {
+        notified.push_back({id, suspended});
+      });
+
+  for (int i = 0; i < 2; ++i) probes.run_round();
+  ASSERT_TRUE(probes.state_of("m0")->suspended);
+  EXPECT_EQ(probes.quota_view().suspended, 1u);
+
+  alive = false;
+  probes.run_round();
+  EXPECT_FALSE(probes.state_of("m0")->suspended);
+  EXPECT_EQ(probes.quota_view().suspended, 0u);
+  ASSERT_EQ(notified.size(), 1u);  // the suspension only
+  EXPECT_TRUE(notified[0].suspended);
+}
+
+}  // namespace
+}  // namespace akadns::fleet

@@ -1,0 +1,173 @@
+// Outage classification and multi-target accounting — the loadgen-side
+// half of a failover drill. OutageTracker turns individual lost queries
+// into "the target was dark from t0 to t1" windows; the multi-target
+// run splits lanes across endpoints and reports per-target counters, so
+// one loadgen invocation can watch a whole PoP (or its anycast front
+// plus a machine that is about to be killed).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
+#include "workload/population.hpp"
+#include "workload/replay.hpp"
+#include "workload/zones.hpp"
+
+namespace akadns::net {
+namespace {
+
+constexpr Ipv4Addr kLoopback(127, 0, 0, 1);
+constexpr std::int64_t kMs = 1'000'000;
+
+TEST(OutageTracker, MergesNearbyLossesIntoOneWindow) {
+  OutageTracker tracker(500 * kMs);
+  tracker.record_loss(1000 * kMs);
+  tracker.record_loss(1100 * kMs);
+  tracker.record_loss(1400 * kMs);
+
+  const auto windows = tracker.windows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].start_ns, 1000 * kMs);
+  EXPECT_EQ(windows[0].end_ns, 1400 * kMs);
+  EXPECT_EQ(windows[0].losses, 3u);
+  EXPECT_EQ(windows[0].width_ns(), 400 * kMs);
+  EXPECT_EQ(tracker.widest_ns(), 400 * kMs);
+}
+
+TEST(OutageTracker, SplitsLossesFurtherThanGapApart) {
+  OutageTracker tracker(500 * kMs);
+  tracker.record_loss(1000 * kMs);
+  tracker.record_loss(1200 * kMs);
+  // 2s of clean answers, then a second (wider) outage.
+  tracker.record_loss(3200 * kMs);
+  tracker.record_loss(3600 * kMs);  // within gap of the previous loss
+
+  const auto windows = tracker.windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].width_ns(), 200 * kMs);
+  EXPECT_EQ(windows[1].start_ns, 3200 * kMs);
+  EXPECT_EQ(windows[1].end_ns, 3600 * kMs);
+  EXPECT_EQ(tracker.widest_ns(), 400 * kMs);
+  EXPECT_EQ(tracker.losses(), 4u);
+}
+
+TEST(OutageTracker, UnorderedLossesStillCoalesce) {
+  // Expiry sweeps walk the slot table, so losses within one sweep arrive
+  // out of send order; windows() must sort before coalescing.
+  OutageTracker tracker(500 * kMs);
+  tracker.record_loss(2000 * kMs);
+  tracker.record_loss(1700 * kMs);
+  tracker.record_loss(1850 * kMs);
+  const auto windows = tracker.windows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].start_ns, 1700 * kMs);
+  EXPECT_EQ(windows[0].end_ns, 2000 * kMs);
+}
+
+TEST(OutageTracker, CrossLaneMergeIsOrderIndependent) {
+  // Per-lane trackers are merged into the per-target view; the merged
+  // result must coalesce windows that straddle lane boundaries.
+  OutageTracker lane_a(500 * kMs);
+  lane_a.record_loss(1000 * kMs);
+  lane_a.record_loss(1300 * kMs);
+  OutageTracker lane_b(500 * kMs);
+  lane_b.record_loss(1500 * kMs);
+  lane_b.record_loss(5000 * kMs);
+
+  OutageTracker merged(500 * kMs);
+  merged.merge(lane_b);
+  merged.merge(lane_a);
+  const auto windows = merged.windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].start_ns, 1000 * kMs);
+  EXPECT_EQ(windows[0].end_ns, 1500 * kMs);
+  EXPECT_EQ(windows[0].losses, 3u);
+  EXPECT_EQ(windows[1].losses, 1u);
+}
+
+TEST(OutageTracker, EmptyTrackerHasNoWindows) {
+  OutageTracker tracker(500 * kMs);
+  EXPECT_TRUE(tracker.windows().empty());
+  EXPECT_EQ(tracker.widest_ns(), 0);
+  EXPECT_EQ(tracker.losses(), 0u);
+}
+
+TEST(LoadgenMultiTarget, SplitsLanesAndAccountsPerTarget) {
+  // Two targets: a live server and a dead port. Lanes round-robin, so
+  // half the traffic answers and half times out — and the report must
+  // attribute each half to the right endpoint, with the dead target's
+  // losses classified into outage windows spanning its lane's sends.
+  workload::HostedZonesConfig zones_config;
+  zones_config.zone_count = 20;
+  workload::HostedZones zones(zones_config, 11);
+
+  ServeConfig serve_config;
+  serve_config.port = 0;
+  serve_config.workers = 1;
+  Server server(serve_config, zones.store());
+  auto started = server.start();
+  ASSERT_TRUE(started) << started.error();
+
+  // A dead UDP port: bind one, note the number, close it.
+  std::uint16_t dead_port = 0;
+  {
+    auto probe = UdpSocket::open(kLoopback, 0);
+    ASSERT_TRUE(probe) << probe.error();
+    dead_port = probe.value().port();
+  }
+
+  workload::PopulationConfig pc;
+  pc.resolver_count = 200;
+  workload::ResolverPopulation population(pc, 99);
+  workload::ReplayMixConfig mix;
+  mix.corpus_size = 256;
+  mix.seed = 11;
+  workload::ReplayCorpus corpus(mix, population, zones);
+
+  LoadgenConfig config;
+  config.targets = {Endpoint{IpAddr(kLoopback), server.udp_port()},
+                    Endpoint{IpAddr(kLoopback), dead_port}};
+  config.sockets = 2;  // lane 0 -> live, lane 1 -> dead
+  config.window = 64;
+  config.total_queries = 2000;
+  config.response_timeout = Duration::millis(300);
+  config.outage_gap = Duration::millis(500);
+
+  Loadgen loadgen(config, corpus, expected_responses(corpus, zones.store()));
+  const LoadgenReport report = loadgen.run();
+  server.stop();
+
+  ASSERT_EQ(report.targets.size(), 2u);
+  const TargetReport& live = report.targets[0];
+  const TargetReport& dead = report.targets[1];
+  EXPECT_EQ(live.target.port, server.udp_port());
+  EXPECT_EQ(dead.target.port, dead_port);
+
+  // Live target: everything answered, byte-perfect, no outage.
+  EXPECT_EQ(live.sent, 1000u);
+  EXPECT_EQ(live.dropped, 0u);
+  EXPECT_EQ(live.mismatched, 0u);
+  EXPECT_TRUE(live.outages.empty());
+
+  // Dead target: nothing answered; every loss lands in outage windows
+  // and the widest window is attributed to this target alone.
+  EXPECT_EQ(dead.sent, 1000u);
+  EXPECT_EQ(dead.received, 0u);
+  EXPECT_EQ(dead.dropped, 1000u);
+  ASSERT_FALSE(dead.outages.empty());
+  std::uint64_t classified = 0;
+  for (const auto& window : dead.outages) classified += window.losses;
+  EXPECT_EQ(classified, 1000u);
+  EXPECT_GT(dead.widest_outage_ns, 0);
+
+  // Fleet-wide rollup mirrors the per-target data.
+  EXPECT_EQ(report.sent, 2000u);
+  EXPECT_EQ(report.dropped, 1000u);
+  EXPECT_EQ(report.widest_outage_ns, dead.widest_outage_ns);
+}
+
+}  // namespace
+}  // namespace akadns::net

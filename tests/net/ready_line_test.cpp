@@ -1,0 +1,76 @@
+// The ready-line handshake is the only startup contract between
+// akadns-serve and anything that spawns it (the fleet supervisor, the
+// CI smoke, shell scripts): one JSON line on stdout reporting the bound
+// ports. Render/parse must round-trip exactly, and the parser must be
+// strict enough that ordinary log output can never masquerade as a
+// handshake.
+
+#include <gtest/gtest.h>
+
+#include "net/ready_line.hpp"
+
+namespace akadns::net {
+namespace {
+
+ReadyLine sample() {
+  ReadyLine ready;
+  ready.pid = 4242;
+  ready.addr = "127.0.0.1";
+  ready.udp_port = 53053;
+  ready.tcp_port = 53054;
+  ready.stats_port = 9100;
+  ready.workers = 4;
+  ready.zones = 1000;
+  ready.generation = 7;
+  ready.defense = true;
+  return ready;
+}
+
+TEST(ReadyLine, RoundTripsThroughRenderAndParse) {
+  const ReadyLine ready = sample();
+  const std::string line = render_ready_line(ready);
+  // One line, newline-terminated: a supervisor reads it with a single
+  // line-oriented scan of the child's stdout.
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(line.find('\n'), line.size() - 1);
+
+  const auto parsed = parse_ready_line(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->pid, ready.pid);
+  EXPECT_EQ(parsed->addr, ready.addr);
+  EXPECT_EQ(parsed->udp_port, ready.udp_port);
+  EXPECT_EQ(parsed->tcp_port, ready.tcp_port);
+  EXPECT_EQ(parsed->stats_port, ready.stats_port);
+  EXPECT_EQ(parsed->workers, ready.workers);
+  EXPECT_EQ(parsed->zones, ready.zones);
+  EXPECT_EQ(parsed->generation, ready.generation);
+  EXPECT_EQ(parsed->defense, ready.defense);
+}
+
+TEST(ReadyLine, EphemeralPortsSurvive) {
+  ReadyLine ready = sample();
+  ready.udp_port = 0;  // never actually emitted, but the codec is total
+  ready.stats_port = 0;
+  const auto parsed = parse_ready_line(render_ready_line(ready));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->udp_port, 0);
+  EXPECT_EQ(parsed->stats_port, 0);
+}
+
+TEST(ReadyLine, RejectsOrdinaryOutput) {
+  EXPECT_FALSE(parse_ready_line("").has_value());
+  EXPECT_FALSE(parse_ready_line("published 50 synthetic zones (seed 7)\n").has_value());
+  EXPECT_FALSE(parse_ready_line("{\"not_the_handshake\":{}}\n").has_value());
+  // Mentioning the key in prose is not a handshake.
+  EXPECT_FALSE(parse_ready_line("waiting for akadns_serve_ready...\n").has_value());
+}
+
+TEST(ReadyLine, RejectsTruncatedLine) {
+  std::string line = render_ready_line(sample());
+  line.resize(line.size() / 2);
+  EXPECT_FALSE(parse_ready_line(line).has_value());
+}
+
+}  // namespace
+}  // namespace akadns::net

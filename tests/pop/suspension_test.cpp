@@ -70,6 +70,38 @@ TEST(SuspensionCoordinator, UnregisterReleasesSuspension) {
   EXPECT_EQ(coord.fleet_size(), 1u);
 }
 
+TEST(SuspensionQuotaPolicy, MinServingRefusesToEmptyThePop) {
+  // The fleet's configuration: even when the quota itself has room,
+  // a grant that would leave nobody serving is refused.
+  const SuspensionQuotaConfig config{
+      .max_suspended_fraction = 1.0, .min_allowed = 1, .min_serving = 1};
+  EXPECT_EQ(suspension_quota(config, 3), 3u);
+  EXPECT_TRUE(suspension_allowed(config, 3, 0));
+  EXPECT_TRUE(suspension_allowed(config, 3, 1));
+  EXPECT_FALSE(suspension_allowed(config, 3, 2));  // would leave 0 serving
+  // A singleton fleet can never suspend with min_serving = 1...
+  EXPECT_FALSE(suspension_allowed(config, 1, 0));
+  // ...but the legacy sim semantics (min_serving = 0) still can.
+  const SuspensionQuotaConfig legacy{
+      .max_suspended_fraction = 0.1, .min_allowed = 1, .min_serving = 0};
+  EXPECT_TRUE(suspension_allowed(legacy, 1, 0));
+}
+
+TEST(SuspensionCoordinator, MinServingBindsThroughTheCoordinator) {
+  SuspensionCoordinator coord(
+      {.max_suspended_fraction = 1.0, .min_allowed = 1, .min_serving = 1});
+  for (int i = 0; i < 3; ++i) coord.register_machine("m" + std::to_string(i));
+  EXPECT_TRUE(coord.request_suspension("m0"));
+  EXPECT_TRUE(coord.request_suspension("m1"));
+  // The last serving machine is never granted, regardless of quota room.
+  EXPECT_FALSE(coord.request_suspension("m2"));
+  EXPECT_EQ(coord.denied_requests(), 1u);
+  // A crashed machine leaves the fleet entirely; the serving floor then
+  // binds on what is left.
+  coord.unregister_machine("m1");
+  EXPECT_FALSE(coord.request_suspension("m2"));
+}
+
 TEST(SuspensionCoordinator, IsSuspendedQuery) {
   SuspensionCoordinator coord;
   coord.register_machine("a");
