@@ -332,15 +332,17 @@ int main(int argc, char** argv) {
   fleet::ProbeSuite probes(
       probe_config, zones,
       [&]() {
+        // snapshot() copies the fleet state under the supervisor lock:
+        // this callback runs on the probe thread while the main loop's
+        // poll() may be respawning machines.
         std::vector<fleet::ProbeTarget> targets;
-        for (std::size_t i = 0; i < supervisor.size(); ++i) {
-          const auto& machine = supervisor.machine(i);
+        for (const auto& machine : supervisor.snapshot()) {
           fleet::ProbeTarget target;
-          target.id = machine.spec().id;
-          target.alive = machine.state() == fleet::MachineProcess::State::Ready;
-          if (machine.ready()) {
-            target.dns_port = machine.ready()->udp_port;
-            target.stats_port = machine.ready()->stats_port;
+          target.id = machine.id;
+          target.alive = machine.state == fleet::MachineProcess::State::Ready;
+          if (machine.ready) {
+            target.dns_port = machine.ready->udp_port;
+            target.stats_port = machine.ready->stats_port;
           }
           targets.push_back(std::move(target));
         }
@@ -350,11 +352,7 @@ int main(int argc, char** argv) {
         // The probe verdict: steer flows away and tell the machine (it
         // keeps serving; /healthz flips). Restore reverses both.
         front.set_member_active(id, !suspended);
-        for (std::size_t i = 0; i < supervisor.size(); ++i) {
-          if (supervisor.machine(i).spec().id == id) {
-            supervisor.signal_machine(i, suspended ? SIGUSR1 : SIGUSR2);
-          }
-        }
+        supervisor.signal_machine(id, suspended ? SIGUSR1 : SIGUSR2);
         log_event("machine " + id + (suspended ? " suspended (probe verdict, quota granted)"
                                                : " restored (probes healthy)"));
       });
@@ -437,16 +435,15 @@ int main(int argc, char** argv) {
   // --- Report ---
   control::FleetReport report;
   report.uptime_seconds = (now_ms() - t0) / 1000.0;
-  for (std::size_t i = 0; i < supervisor.size(); ++i) {
-    const auto& machine = supervisor.machine(i);
+  for (const auto& machine : supervisor.snapshot()) {
     control::FleetMachineReport m;
-    m.id = machine.spec().id;
-    m.pid = machine.pid();
-    m.up = machine.state() == fleet::MachineProcess::State::Ready;
-    m.restarts = supervisor.restarts(i);
-    if (machine.ready()) {
-      m.udp_port = machine.ready()->udp_port;
-      m.stats_port = machine.ready()->stats_port;
+    m.id = machine.id;
+    m.pid = machine.pid;
+    m.up = machine.state == fleet::MachineProcess::State::Ready;
+    m.restarts = machine.restarts;
+    if (machine.ready) {
+      m.udp_port = machine.ready->udp_port;
+      m.stats_port = machine.ready->stats_port;
     }
     if (const auto st = probes.state_of(m.id)) {
       m.suspended = st->suspended;

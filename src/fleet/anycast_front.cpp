@@ -41,7 +41,14 @@ struct AnycastFront::UdpFlow {
   std::string member_id;
   net::UdpSocket upstream;
   std::int64_t last_active_ns = 0;
-  bool pending_first_answer = false;
+  /// Index into samples_ of the oldest re-pin this flow has not yet
+  /// answered for (kNpos: none pending). A later re-pin does not
+  /// overwrite it — the recovery clock runs from the first disruption.
+  std::size_t pending_sample = kNpos;
+  /// Evicted mid-batch: the epoll_wait batch being processed may still
+  /// hold an event whose PollRef points here, so the flow is kept alive
+  /// (dying_flows_) and inert until the batch ends.
+  bool dead = false;
   PollRef ref{PollRef::Flow, nullptr};
 };
 
@@ -119,6 +126,7 @@ void AnycastFront::stop() {
   [[maybe_unused]] auto n = ::write(wake_fd_, &one, sizeof(one));
   if (thread_.joinable()) thread_.join();
   flows_.clear();
+  dying_flows_.clear();
   tcp_conns_.clear();
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
   if (wake_fd_ >= 0) ::close(wake_fd_);
@@ -243,6 +251,9 @@ bool AnycastFront::attach_flow_upstream(UdpFlow& flow, std::size_t member_index)
 
 void AnycastFront::repin_member_flows(const std::string& id, bool withdrawal) {
   const std::int64_t t0 = now_ns();
+  // The index this change's sample will occupy; samples_ only grows,
+  // and only on this thread.
+  const std::size_t sample_index = samples_.size();
   std::uint64_t moved = 0;
   for (auto& [client, flow] : flows_) {
     const std::size_t winner = pick_member(client);
@@ -253,7 +264,9 @@ void AnycastFront::repin_member_flows(const std::string& id, bool withdrawal) {
     const bool force = flow->member_id == id;
     if (!winner_changed && !force) continue;
     if (attach_flow_upstream(*flow, winner)) {
-      flow->pending_first_answer = true;
+      // Oldest unanswered re-pin wins: a flow still waiting on an
+      // earlier move keeps that sample as its recovery anchor.
+      if (flow->pending_sample == kNpos) flow->pending_sample = sample_index;
       ++moved;
     }
   }
@@ -266,11 +279,8 @@ void AnycastFront::repin_member_flows(const std::string& id, bool withdrawal) {
   sample.withdrawal = withdrawal;
   sample.flows_moved = moved;
   sample.remap_us = (t1 - t0) / 1000;
+  sample.trigger_ns = t0;
   samples_.push_back(sample);
-  if (moved > 0) {
-    pending_sample_index_ = samples_.size() - 1;
-    pending_first_answer_since_ns_ = t0;
-  }
   member_view_.clear();
   for (const auto& m : members_) {
     member_view_.push_back(FrontMemberView{m.id, m.endpoint, m.active});
@@ -299,12 +309,18 @@ void AnycastFront::handle_front_udp() {
       }
       if (flows_.size() >= config_.max_flows) {
         // Evict the single oldest-idle flow (rare; table is bounded).
+        // Freed only after the current epoll batch — like TcpConn's
+        // closed/remove_if pass — because its upstream fd may still
+        // have an event queued in this very batch.
         auto oldest = flows_.begin();
         for (auto f = flows_.begin(); f != flows_.end(); ++f) {
           if (f->second->last_active_ns < oldest->second->last_active_ns) oldest = f;
         }
         ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, oldest->second->upstream.fd(), nullptr);
+        oldest->second->dead = true;
+        dying_flows_.push_back(std::move(oldest->second));
         flows_.erase(oldest);
+        live_flows_.store(flows_.size(), std::memory_order_relaxed);
         counters_.flows_expired.fetch_add(1, std::memory_order_relaxed);
       }
       auto flow = std::make_unique<UdpFlow>();
@@ -329,6 +345,7 @@ void AnycastFront::handle_front_udp() {
 }
 
 void AnycastFront::handle_flow(UdpFlow* flow) {
+  if (flow->dead) return;  // evicted earlier in this epoll batch
   char buf[4096];
   for (;;) {
     const ssize_t n = ::recv(flow->upstream.fd(), buf, sizeof(buf), 0);
@@ -346,15 +363,15 @@ void AnycastFront::handle_flow(UdpFlow* flow) {
     ::sendto(front_udp_.fd(), buf, static_cast<std::size_t>(n), 0,
              reinterpret_cast<const sockaddr*>(&flow->client_sa), flow->client_sa_len);
     counters_.udp_upstream_answers.fetch_add(1, std::memory_order_relaxed);
-    if (flow->pending_first_answer) {
-      flow->pending_first_answer = false;
+    if (flow->pending_sample != kNpos) {
       std::lock_guard<std::mutex> lock(control_mu_);
-      if (pending_first_answer_since_ns_ >= 0 && pending_sample_index_ < samples_.size() &&
-          samples_[pending_sample_index_].first_answer_us < 0) {
-        samples_[pending_sample_index_].first_answer_us =
-            (now_ns() - pending_first_answer_since_ns_) / 1000;
-        pending_first_answer_since_ns_ = -1;
+      if (flow->pending_sample < samples_.size()) {
+        ReconvergeSample& sample = samples_[flow->pending_sample];
+        if (sample.first_answer_us < 0) {
+          sample.first_answer_us = (now_ns() - sample.trigger_ns) / 1000;
+        }
       }
+      flow->pending_sample = kNpos;
     }
   }
 }
@@ -553,6 +570,7 @@ void AnycastFront::loop() {
           break;
       }
     }
+    dying_flows_.clear();  // batch over: no PollRef can reach them now
     process_ops();
     if (tcp_dirty) {
       tcp_conns_.erase(std::remove_if(tcp_conns_.begin(), tcp_conns_.end(),

@@ -53,8 +53,13 @@ struct ReconvergeSample {
   std::uint64_t flows_moved = 0;  // flows whose winner changed
   std::int64_t remap_us = 0;      // trigger -> flow table fully re-pinned
   /// trigger -> first upstream answer relayed on a re-pinned flow; -1
-  /// until traffic proves the new catchment works.
+  /// until traffic proves the new catchment works. A flow moved again
+  /// before answering keeps measuring against its OLDEST unanswered
+  /// re-pin: the client-visible recovery clock starts at the first
+  /// disruption, not the latest remap.
   std::int64_t first_answer_us = -1;
+  /// Steady-clock trigger instant (internal anchor for first_answer_us).
+  std::int64_t trigger_ns = 0;
 };
 
 /// Live counters (single-writer on the epoll thread, torn reads fine).
@@ -153,12 +158,10 @@ class AnycastFront {
   std::uint16_t tcp_port_ = 0;
 
   std::unordered_map<Endpoint, std::unique_ptr<UdpFlow>> flows_;
+  /// Flows evicted mid-epoll-batch, kept alive (dead=true) until the
+  /// batch ends so stale events can't dereference freed memory.
+  std::vector<std::unique_ptr<UdpFlow>> dying_flows_;
   std::vector<std::unique_ptr<TcpConn>> tcp_conns_;
-
-  /// Pending reconvergence measurement: set when flows moved, resolved
-  /// by the first relayed answer on a moved flow.
-  std::int64_t pending_first_answer_since_ns_ = -1;
-  std::size_t pending_sample_index_ = 0;
 
   mutable std::mutex control_mu_;
   std::deque<std::function<void()>> ops_;

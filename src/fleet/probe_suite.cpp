@@ -267,86 +267,119 @@ void ProbeSuite::run_round() {
                             round % static_cast<std::uint64_t>(config_.advisory_every) == 0;
   const auto probes = build_round_queries();
 
-  struct Decision {
-    std::string id;
-    bool suspend = false;  // which edge to notify
-    bool notify = false;
-  };
-  std::vector<Decision> decisions;
-
-  for (const auto& target : targets) {
+  // Phase 1 (locked, no IO): reconcile the quota fleet with process
+  // liveness. A dead machine is the supervisor's domain — it returns
+  // its suspension grant and leaves the fleet entirely, because the
+  // min_serving floor must count only machines that could actually
+  // serve (suspension_policy.hpp: "callers that know about crashed
+  // machines shrink the fleet first"). It re-registers on recovery. No
+  // restore notification for the dead: there is nothing to signal.
+  std::vector<bool> injected(targets.size(), false);
+  {
     std::lock_guard<std::mutex> lock(mu_);
-    coordinator_.register_machine(target.id);
-    MachineProbeState& st = states_[target.id];
-    st.id = target.id;
-
-    if (!target.alive) {
-      // Process death is the supervisor's domain. A dead machine just
-      // returns its suspension grant (it will restart healthy) — no
-      // restore notification: there is nothing to signal.
-      if (st.suspended) {
-        coordinator_.release(target.id);
-        st.suspended = false;
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const ProbeTarget& target = targets[i];
+      MachineProbeState& st = states_[target.id];
+      st.id = target.id;
+      if (!target.alive) {
+        st.suspended = false;  // the grant dies with the registration
+        st.consecutive_failures = 0;
+        st.consecutive_ok = 0;
+        coordinator_.unregister_machine(target.id);
+        continue;
       }
-      st.consecutive_failures = 0;
-      st.consecutive_ok = 0;
-      continue;
+      coordinator_.register_machine(target.id);
+      const auto it = injected_failures_.find(target.id);
+      injected[i] = it != injected_failures_.end() && it->second;
     }
+  }
 
-    bool failed;
-    const auto injected = injected_failures_.find(target.id);
-    if (injected != injected_failures_.end() && injected->second) {
-      failed = true;
-      st.last_error = "injected failure (drill)";
+  // Phase 2 (unlocked): the blocking probe + scrape IO. Counters land
+  // in a per-target scratch state so readers (the /metrics gauge, the
+  // shutdown report) never wait out a probe timeout on mu_.
+  struct Outcome {
+    bool probed = false;
+    bool failed = false;
+    std::string last_error;
+    MachineProbeState delta;  // counter increments only
+  };
+  std::vector<Outcome> outcomes(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const ProbeTarget& target = targets[i];
+    if (!target.alive) continue;
+    Outcome& out = outcomes[i];
+    out.probed = true;
+    if (injected[i]) {
+      out.failed = true;
+      out.last_error = "injected failure (drill)";
     } else {
-      failed = false;
       for (const auto& probe : probes) {
-        // IO under the lock: probe timeouts are short and rounds are the
-        // only writer — contention is with rare snapshot readers.
-        if (auto err = run_probe(target, probe, st)) {
-          failed = true;
-          st.last_error = *err;
+        if (auto err = run_probe(target, probe, out.delta)) {
+          out.failed = true;
+          out.last_error = *err;
           break;
         }
       }
     }
-
-    ++st.rounds;
-    if (failed) {
-      ++st.failed_rounds;
-      st.consecutive_ok = 0;
-      ++st.consecutive_failures;
-    } else {
-      st.consecutive_failures = 0;
-      ++st.consecutive_ok;
-    }
-
-    if (!st.suspended && st.consecutive_failures >= config_.fail_threshold) {
-      // The ONLY suspension edge in the fleet: end-to-end probe failure,
-      // gated by the PoP quota. Denied means serve on, degraded.
-      if (coordinator_.request_suspension(target.id)) {
-        st.suspended = true;
-        ++st.suspensions;
-        decisions.push_back(Decision{target.id, true, true});
-      } else {
-        ++st.denied_suspensions;
-      }
-    } else if (st.suspended && !failed && st.consecutive_ok >= config_.ok_threshold) {
-      coordinator_.release(target.id);
-      st.suspended = false;
-      ++st.restores;
-      decisions.push_back(Decision{target.id, false, true});
-    }
-
     if (scrape_round && target.stats_port != 0) {
-      advisory_scrape(target, st);
+      advisory_scrape(target, out.delta);
+    }
+  }
+
+  // Phase 3 (locked, no IO): fold the outcomes into the per-machine
+  // state and make the suspension/restore decisions.
+  struct Decision {
+    std::string id;
+    bool suspend = false;  // which edge to notify
+  };
+  std::vector<Decision> decisions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const Outcome& out = outcomes[i];
+      if (!out.probed) continue;
+      MachineProbeState& st = states_[targets[i].id];
+      st.probes_sent += out.delta.probes_sent;
+      st.probe_failures += out.delta.probe_failures;
+      st.byte_mismatches += out.delta.byte_mismatches;
+      st.advisory_scrapes += out.delta.advisory_scrapes;
+      st.advisory_anomalies += out.delta.advisory_anomalies;
+      if (!out.last_error.empty()) st.last_error = out.last_error;
+
+      ++st.rounds;
+      if (out.failed) {
+        ++st.failed_rounds;
+        st.consecutive_ok = 0;
+        ++st.consecutive_failures;
+      } else {
+        st.consecutive_failures = 0;
+        ++st.consecutive_ok;
+      }
+
+      if (!st.suspended && st.consecutive_failures >= config_.fail_threshold) {
+        // The ONLY suspension edge in the fleet: end-to-end probe
+        // failure, gated by the PoP quota. Denied means serve on,
+        // degraded.
+        if (coordinator_.request_suspension(targets[i].id)) {
+          st.suspended = true;
+          ++st.suspensions;
+          decisions.push_back(Decision{targets[i].id, true});
+        } else {
+          ++st.denied_suspensions;
+        }
+      } else if (st.suspended && !out.failed && st.consecutive_ok >= config_.ok_threshold) {
+        coordinator_.release(targets[i].id);
+        st.suspended = false;
+        ++st.restores;
+        decisions.push_back(Decision{targets[i].id, false});
+      }
     }
   }
 
   // Notifications run unlocked: the callback pokes the front and sends
   // signals, and may want to read our state.
   for (const auto& d : decisions) {
-    if (d.notify && suspend_fn_) suspend_fn_(d.id, d.suspend);
+    if (suspend_fn_) suspend_fn_(d.id, d.suspend);
   }
 }
 

@@ -61,7 +61,10 @@ struct ProbeConfig {
 };
 
 /// One machine as the probe suite sees it. `alive` false (process down)
-/// skips probing — the supervisor handles restarts, not us.
+/// skips probing — the supervisor handles restarts, not us — and also
+/// drops the machine from the quota fleet: a crashed machine is not
+/// serving, so it must not count toward the min_serving floor that
+/// keeps the PoP non-empty. It rejoins the fleet once alive again.
 struct ProbeTarget {
   std::string id;
   Ipv4Addr addr = Ipv4Addr(127, 0, 0, 1);

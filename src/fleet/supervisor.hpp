@@ -10,10 +10,17 @@
 // without configuration.
 //
 // Everything runs off a single poll() the owner calls from its main
-// loop; no thread per child, no signals consumed in the parent.
+// loop; no thread per child, no signals consumed in the parent. Other
+// threads (the probe suite, a stats exporter) observe the fleet through
+// snapshot()/up_count()/total_restarts() and poke it through
+// signal_machine() — those entry points and poll() share one internal
+// mutex, so a respawn in poll() can never race a reader mid
+// move-assignment of the slot's MachineProcess.
 #pragma once
 
 #include <functional>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -78,12 +85,33 @@ class Supervisor {
   /// logic is disabled from the first call.
   void stop(int drain_timeout_ms = 8000);
 
-  /// Drill / probe-suite controls.
+  /// Drill / probe-suite controls. The id overload is what other
+  /// threads use — an index stays valid across restarts, but resolving
+  /// id -> slot under the supervisor's own lock keeps the lookup and
+  /// the kill atomic with respect to poll().
   bool signal_machine(std::size_t index, int sig);
+  bool signal_machine(const std::string& id, int sig);
+
+  /// One machine's state, copied out under the supervisor lock — the
+  /// only way to observe the fleet from another thread while poll()
+  /// may be respawning machines.
+  struct MachineView {
+    std::size_t index = 0;
+    std::string id;
+    MachineProcess::State state = MachineProcess::State::Idle;
+    std::optional<net::ReadyLine> ready;
+    pid_t pid = -1;
+    std::size_t restarts = 0;
+  };
+  std::vector<MachineView> snapshot() const;
 
   std::size_t size() const noexcept { return slots_.size(); }
+  /// Direct slot access for single-threaded owners (tests, post-stop
+  /// reporting). NOT safe while another thread runs poll(): a respawn
+  /// move-assigns the MachineProcess this reference aliases — use
+  /// snapshot() from anywhere concurrent.
   const MachineProcess& machine(std::size_t index) const { return slots_.at(index).proc; }
-  std::size_t restarts(std::size_t index) const { return slots_.at(index).restarts; }
+  std::size_t restarts(std::size_t index) const;
   /// Machines currently in the Ready state.
   std::size_t up_count() const;
   std::uint64_t total_restarts() const;
@@ -103,6 +131,10 @@ class Supervisor {
 
   SupervisorConfig config_;
   EventFn on_event_;
+  /// Guards slots_ and stopping_. Held only for state mutation and
+  /// copies — never while emitting events (the callback may re-enter
+  /// through signal_machine) and never across the event callback.
+  mutable std::mutex mu_;
   std::vector<Slot> slots_;
   bool stopping_ = false;
 };

@@ -36,6 +36,10 @@ struct CliOptions {
   std::size_t sockets = 4;
   std::size_t batch = 32;
   std::size_t window = 512;
+  /// Aggregate send-rate cap, queries/sec (0 = unpaced). Failover drills
+  /// set this so the traffic spans a fixed wall-clock window on any
+  /// machine speed instead of finishing before the drill event fires.
+  double rate = 0.0;
   std::size_t corpus_size = 4096;
   double attack_fraction = 0.0;
   double w_random_subdomain = 0.5;
@@ -87,6 +91,8 @@ void print_usage(const char* argv0) {
       "  --sockets N         parallel client sockets/threads (default 4)\n"
       "  --batch N           datagrams per syscall (default 32)\n"
       "  --window N          max in-flight per socket (default 512)\n"
+      "  --rate N            aggregate send-rate cap in qps (0 = unpaced); pace\n"
+      "                      drills so traffic outlives the event under test\n"
       "  --corpus N          distinct queries in the replay mix (default 4096)\n"
       "  --attack-fraction F mix in attack traffic, 0..1 (default 0)\n"
       "  --attack-mix F      alias for --attack-fraction\n"
@@ -152,6 +158,9 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
     } else if (arg == "--window") {
       if (!(v = need_value())) return false;
       opts.window = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--rate") {
+      if (!(v = need_value())) return false;
+      opts.rate = std::strtod(v, nullptr);
     } else if (arg == "--corpus") {
       if (!(v = need_value())) return false;
       opts.corpus_size = std::strtoull(v, nullptr, 10);
@@ -435,6 +444,7 @@ int main(int argc, char** argv) {
   config.sockets = opts.sockets;
   config.batch = opts.batch;
   config.window = opts.window;
+  config.rate = opts.rate;
   config.total_queries = opts.queries;
   config.response_timeout = akadns::Duration::millis(static_cast<std::int64_t>(opts.timeout_ms));
   config.outage_gap = akadns::Duration::millis(static_cast<std::int64_t>(opts.outage_gap_ms));

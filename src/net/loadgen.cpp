@@ -165,8 +165,17 @@ struct SocketLane {
     while (sent < quota || inflight_count > 0) {
       // Send phase: fill the window in batch-sized syscalls.
       const std::size_t room = config.window - inflight_count;
-      const std::size_t to_send = std::min({batch, room,
-                                            static_cast<std::size_t>(quota - sent)});
+      std::size_t to_send = std::min({batch, room,
+                                      static_cast<std::size_t>(quota - sent)});
+      if (config.rate > 0.0 && to_send > 0) {
+        // Token pacing against the wall clock: the lane may be at most
+        // rate * elapsed queries in. No burst catch-up beyond one batch —
+        // a stalled lane resumes at the configured rate, not with a spike.
+        const double elapsed_s = static_cast<double>(now_ns(epoch)) / 1e9;
+        const auto budget = static_cast<std::uint64_t>(config.rate * elapsed_s);
+        to_send = std::min(to_send,
+                           static_cast<std::size_t>(budget > sent ? budget - sent : 0));
+      }
       if (to_send > 0) {
         const std::int64_t t = now_ns(epoch);
         for (std::size_t j = 0; j < to_send; ++j) {
@@ -227,6 +236,10 @@ struct SocketLane {
         pollfd pfd{sock.fd(), POLLIN, 0};
         ::poll(&pfd, 1, 5);
         drain_responses();
+      } else if (to_send == 0 && sent < quota) {
+        // Paced out with nothing in flight: sleep off part of the token
+        // gap instead of spinning.
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
       }
 
       // Per-slot straggler expiry: any query unanswered for a full
@@ -298,6 +311,8 @@ LoadgenReport Loadgen::run() {
   for (std::size_t i = 0; i < lanes_n; ++i) {
     lanes[i].config = config_;
     lanes[i].config.window = std::min<std::size_t>(config_.window, 32768);
+    // The aggregate rate cap splits evenly across lanes.
+    lanes[i].config.rate = config_.rate / static_cast<double>(lanes_n);
     lanes[i].target_index = i % targets.size();
     lanes[i].config.target = targets[lanes[i].target_index];
     lanes[i].corpus = &corpus_.entries();

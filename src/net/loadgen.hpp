@@ -46,6 +46,13 @@ struct LoadgenConfig {
   std::size_t window = 512;
   /// Queries to send in total, spread across sockets.
   std::uint64_t total_queries = 100'000;
+  /// Aggregate send-rate cap in queries/sec (0 = unpaced). Pacing is what
+  /// makes failover drills machine-speed independent: an unpaced run
+  /// finishes whenever the hardware allows, so on a fast box the traffic
+  /// can end before the event under test even fires. A paced lane also
+  /// keeps its window slack, so it continues probing a re-routed path
+  /// immediately instead of stalling on a window full of dead queries.
+  double rate = 0.0;
   /// How long to wait for stragglers after the last send before
   /// declaring the remainder dropped.
   Duration response_timeout = Duration::millis(1000);

@@ -224,6 +224,90 @@ TEST(AnycastFront, RepointedMemberKeepsItsFlowsOnFreshEndpoint) {
   }
 }
 
+TEST(AnycastFront, WithdrawalSampleSurvivesQuickReactivation) {
+  // The kill-drill pattern: a member withdraws and comes right back
+  // (supervisor restart) BEFORE any of the moved flows relays an
+  // answer — exactly what happens when the affected clients are waiting
+  // out a retry timeout on queries that died with the machine. The
+  // withdrawal sample must still resolve its first_answer_us once
+  // traffic recovers: each flow anchors to its oldest unanswered
+  // re-pin, so a later remap cannot orphan the measurement.
+  FrontFixture fx;
+  std::vector<Client> clients;
+  for (int i = 0; i < 24; ++i) clients.emplace_back(fx.front.udp_port());
+  std::size_t on_a = 0;
+  for (auto& client : clients) {
+    const int tag = client.ask();
+    ASSERT_GE(tag, 0);
+    if (tag == 0xa) ++on_a;
+  }
+  ASSERT_GT(on_a, 0u) << "hash split left member a empty; cannot exercise the drill";
+
+  // Withdraw and reactivate back-to-back, no traffic in between.
+  fx.front.set_member_active("a", false);
+  fx.front.set_member_active("a", true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Traffic resumes only now — after BOTH re-pins.
+  for (auto& client : clients) ASSERT_GE(client.ask(), 0);
+
+  const auto samples = fx.front.samples();
+  ASSERT_GE(samples.size(), 2u);
+  const auto& withdrawal = samples[samples.size() - 2];
+  ASSERT_EQ(withdrawal.member, "a");
+  ASSERT_TRUE(withdrawal.withdrawal);
+  ASSERT_EQ(withdrawal.flows_moved, on_a);
+  EXPECT_GE(withdrawal.first_answer_us, 0)
+      << "withdrawal measurement lost to the follow-up reactivation re-pin";
+}
+
+TEST(AnycastFront, FlowTableBoundEvictsWithoutDisruptingService) {
+  // A tiny max_flows forces the oldest-idle eviction path on nearly
+  // every new client. Evicted flows are freed only after the epoll
+  // batch (they may still have events in it); every client must still
+  // be answered — a fresh flow replaces an evicted one transparently.
+  EchoMember a{0xa};
+  FrontConfig config;
+  config.max_flows = 4;
+  AnycastFront front(config);
+  auto started = front.start();
+  ASSERT_TRUE(started) << started.error();
+  front.upsert_member("a", a.endpoint());
+  for (int i = 0; i < 200 && front.members().empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Serialized passes: every ask must be answered even though nearly
+  // each new flow evicts the table's oldest.
+  std::vector<Client> clients;
+  for (int i = 0; i < 16; ++i) clients.emplace_back(front.udp_port());
+  for (int pass = 0; pass < 3; ++pass) {
+    for (auto& client : clients) EXPECT_EQ(client.ask(), 0xa);
+  }
+
+  // Unsynchronized blast: all clients fire at once so a single epoll
+  // batch carries both new-flow datagrams (evictions) and upstream
+  // answers for flows evicted earlier in that same batch — the stale
+  // PollRef window. No reply assertions (an evicted flow's in-flight
+  // answer is legitimately dropped); surviving without UB is the test.
+  const std::uint8_t ping = 0x5a;
+  for (int pass = 0; pass < 20; ++pass) {
+    for (auto& client : clients) (void)!::send(client.fd, &ping, 1, 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  for (auto& client : clients) {  // drain whatever made it back
+    std::uint8_t buf[16];
+    while (::recv(client.fd, buf, sizeof(buf), MSG_DONTWAIT) > 0) {
+    }
+  }
+
+  const auto counters = front.counters();
+  EXPECT_GT(counters.flows_expired, 0u);
+  EXPECT_LE(counters.live_flows, 4u);
+  front.stop();
+}
+
 TEST(AnycastFront, NoActiveMembersDropsInsteadOfCrashing) {
   FrontFixture fx;
   fx.front.set_member_active("a", false);

@@ -133,6 +133,15 @@ TEST(Supervisor, RestartsAKilledMachineOnFreshPorts) {
   ASSERT_TRUE(supervisor.machine(0).ready().has_value());
   EXPECT_NE(supervisor.machine(0).ready()->udp_port, 0);
 
+  // The cross-thread view agrees with the direct slot access.
+  const auto views = supervisor.snapshot();
+  ASSERT_EQ(views.size(), 2u);
+  EXPECT_EQ(views[0].id, "m0");
+  EXPECT_EQ(views[0].state, MachineProcess::State::Ready);
+  EXPECT_EQ(views[0].restarts, 1u);
+  ASSERT_TRUE(views[0].ready.has_value());
+  EXPECT_EQ(views[0].ready->udp_port, supervisor.machine(0).ready()->udp_port);
+
   supervisor.stop();
   EXPECT_EQ(supervisor.up_count(), 0u);
   for (std::size_t i = 0; i < supervisor.size(); ++i) {

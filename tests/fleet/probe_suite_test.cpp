@@ -214,6 +214,62 @@ TEST(ProbeSuite, InjectedFailureSuspendsThenRecoveryRestores) {
   EXPECT_FALSE(notified[1].suspended);
 }
 
+TEST(ProbeSuite, CrashedMachinesDoNotCountTowardServingFloor) {
+  // Two machines: m0 crashed (alive=false), m1 failing its probes.
+  // m1's suspension request must be DENIED: the only other machine is
+  // dead, so granting it would leave zero actually-serving machines —
+  // exactly the "never an empty PoP" case the min_serving floor exists
+  // for. Counting the crashed m0 as serving (fleet_size=2) would have
+  // granted it.
+  auto zones = make_zones();
+  const std::uint16_t p1 = dead_port();
+
+  ProbeConfig config;
+  config.fail_threshold = 2;
+  config.timeout_ms = 50;
+  config.advisory_every = 0;
+  config.quota = pop::SuspensionQuotaConfig{1.0, 1, 1};
+  std::vector<Notification> notified;
+  bool m0_alive = false;
+  ProbeSuite probes(
+      config, zones,
+      [&] {
+        return std::vector<ProbeTarget>{
+            ProbeTarget{"m0", Ipv4Addr(127, 0, 0, 1), p1, 0, m0_alive},
+            ProbeTarget{"m1", Ipv4Addr(127, 0, 0, 1), p1, 0, true}};
+      },
+      [&](const std::string& id, bool suspended) {
+        notified.push_back({id, suspended});
+      });
+
+  for (int i = 0; i < 3; ++i) probes.run_round();
+
+  const auto quota = probes.quota_view();
+  EXPECT_EQ(quota.fleet_size, 1u);  // the crashed m0 is not in the fleet
+  EXPECT_EQ(quota.suspended, 0u);
+  EXPECT_GE(quota.denied, 1u);
+  const auto st = probes.state_of("m1");
+  ASSERT_TRUE(st.has_value());
+  EXPECT_FALSE(st->suspended);
+  EXPECT_GE(st->denied_suspensions, 1u);
+  EXPECT_TRUE(notified.empty());
+
+  // m0 recovers: it rejoins the fleet, and m1's long-pending suspension
+  // becomes grantable in that same round (a registered sibling now
+  // covers the floor). m0 also fails its probes (nothing listens on p1)
+  // but once m1 holds the grant, m0 is the last fleet member and stays
+  // denied.
+  m0_alive = true;
+  probes.run_round();
+  EXPECT_EQ(probes.quota_view().fleet_size, 2u);
+  probes.run_round();
+  EXPECT_TRUE(probes.state_of("m1")->suspended);
+  EXPECT_FALSE(probes.state_of("m0")->suspended);
+  ASSERT_EQ(notified.size(), 1u);
+  EXPECT_EQ(notified[0].id, "m1");
+  EXPECT_TRUE(notified[0].suspended);
+}
+
 TEST(ProbeSuite, DeadMachineReleasesGrantWithoutRestoreNotification) {
   // A suspended machine that then dies (supervisor's domain) must return
   // its quota grant so the remaining fleet can still protect itself —
