@@ -1,0 +1,233 @@
+// akadns-chaos: a deterministic impairment proxy on a real UDP/TCP path.
+//
+//   akadns-chaos --upstream 127.0.0.1:5300 --plan drill.plan --listen 5299
+//   akadns-chaos --upstream 127.0.0.1:5300 --fault both.loss=0.05
+//       --fault both.delay_ms=20 --fault both.jitter_ms=20 --seed 7
+//
+// Relays everything that arrives on the front port to the upstream,
+// executing the FaultPlan per direction. All fault decisions derive from
+// (plan, seed, direction, packet ordinal), so a failing chaos run is
+// replayed exactly by rerunning with the same plan file and seed.
+//
+// Prints one JSON ready line ({"akadns_chaos_ready":{pid, port,
+// stats_port}}) once the front port is bound, then runs until
+// SIGTERM/SIGINT. --stats-port serves the fault counters as
+// akadns_chaos_total{event=...} over /metrics.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "chaos/impairment_proxy.hpp"
+#include "obs/stats_http.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+void handle_stop(int) { g_stop_requested = 1; }
+
+struct CliOptions {
+  std::string addr = "127.0.0.1";
+  std::uint16_t listen_port = 0;
+  std::string upstream;  // host:port
+  std::string plan_file;
+  std::string fault_lines;      // accumulated --fault key=value lines
+  bool seed_override = false;
+  std::uint64_t seed = 0;
+  int stats_port = -1;
+  bool help = false;
+};
+
+void print_usage(const char* argv0) {
+  std::printf(
+      "usage: %s --upstream H:P [options]\n"
+      "  --upstream H:P    where relayed traffic goes (required)\n"
+      "  --listen P        front port for UDP and TCP, 0 = ephemeral (default 0)\n"
+      "  --addr A          bind address (default 127.0.0.1)\n"
+      "  --plan FILE       fault plan (key=value lines; see src/chaos/fault_plan.hpp)\n"
+      "  --fault K=V       one plan line inline (repeatable, applied after --plan)\n"
+      "  --seed S          override the plan's seed\n"
+      "  --stats-port P    serve fault counters over HTTP (/metrics, /healthz;\n"
+      "                    0 = ephemeral, echoed on the ready line)\n"
+      "Prints {\"akadns_chaos_ready\":{pid, port, stats_port}} once bound, then\n"
+      "relays until SIGTERM/SIGINT. Every impairment decision is a pure\n"
+      "function of (plan, seed, direction, packet ordinal): rerunning with the\n"
+      "same plan and seed reproduces the same fault schedule.\n",
+      argv0);
+}
+
+bool parse_args(int argc, char** argv, CliOptions& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+      return true;
+    } else if (arg == "--addr") {
+      const char* v = need_value();
+      if (!v) return false;
+      opts.addr = v;
+    } else if (arg == "--listen") {
+      const char* v = need_value();
+      if (!v) return false;
+      opts.listen_port = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--upstream") {
+      const char* v = need_value();
+      if (!v) return false;
+      opts.upstream = v;
+    } else if (arg == "--plan") {
+      const char* v = need_value();
+      if (!v) return false;
+      opts.plan_file = v;
+    } else if (arg == "--fault") {
+      const char* v = need_value();
+      if (!v) return false;
+      opts.fault_lines += v;
+      opts.fault_lines += '\n';
+    } else if (arg == "--seed") {
+      const char* v = need_value();
+      if (!v) return false;
+      opts.seed = std::strtoull(v, nullptr, 10);
+      opts.seed_override = true;
+    } else if (arg == "--stats-port") {
+      const char* v = need_value();
+      if (!v) return false;
+      opts.stats_port = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  if (!parse_args(argc, argv, opts)) {
+    print_usage(argv[0]);
+    return 2;
+  }
+  if (opts.help) {
+    print_usage(argv[0]);
+    return 0;
+  }
+  if (opts.upstream.empty()) {
+    std::fprintf(stderr, "--upstream is required\n");
+    print_usage(argv[0]);
+    return 2;
+  }
+
+  struct sigaction sa {};
+  sa.sa_handler = handle_stop;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  const auto addr = akadns::Ipv4Addr::parse(opts.addr);
+  if (!addr) {
+    std::fprintf(stderr, "bad --addr: %s\n", opts.addr.c_str());
+    return 2;
+  }
+  const auto colon = opts.upstream.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= opts.upstream.size()) {
+    std::fprintf(stderr, "bad --upstream (want H:P): %s\n", opts.upstream.c_str());
+    return 2;
+  }
+  const auto upstream_addr = akadns::Ipv4Addr::parse(opts.upstream.substr(0, colon));
+  const auto upstream_port = static_cast<std::uint16_t>(
+      std::strtoul(opts.upstream.c_str() + colon + 1, nullptr, 10));
+  if (!upstream_addr || upstream_port == 0) {
+    std::fprintf(stderr, "bad --upstream (want H:P): %s\n", opts.upstream.c_str());
+    return 2;
+  }
+
+  akadns::chaos::FaultPlan plan;
+  if (!opts.plan_file.empty()) {
+    auto loaded = akadns::chaos::FaultPlan::load(opts.plan_file);
+    if (!loaded) {
+      std::fprintf(stderr, "bad --plan: %s\n", loaded.error().c_str());
+      return 2;
+    }
+    plan = std::move(loaded).take();
+  }
+  if (!opts.fault_lines.empty()) {
+    // --fault lines layer on top of the plan file: parse them against a
+    // scratch plan, then merge field-by-field via re-parse of both.
+    auto layered =
+        akadns::chaos::FaultPlan::parse(plan.to_string() + opts.fault_lines);
+    if (!layered) {
+      std::fprintf(stderr, "bad --fault: %s\n", layered.error().c_str());
+      return 2;
+    }
+    plan = std::move(layered).take();
+  }
+  if (opts.seed_override) plan.seed = opts.seed;
+
+  akadns::chaos::ProxyConfig config;
+  config.listen_addr = *addr;
+  config.listen_port = opts.listen_port;
+  config.upstream = akadns::Endpoint{akadns::IpAddr(*upstream_addr), upstream_port};
+  config.plan = plan;
+
+  akadns::chaos::ImpairmentProxy proxy(config);
+  auto started = proxy.start();
+  if (!started) {
+    std::fprintf(stderr, "start failed: %s\n", started.error().c_str());
+    return 1;
+  }
+
+  akadns::obs::MetricRegistry registry;
+  proxy.register_metrics(registry, akadns::obs::labels({{"subsystem", "chaos"}}));
+  akadns::obs::StatsServer stats_server([&registry] { return registry.snapshot(); },
+                                        [] { return true; });
+  std::uint16_t stats_port = 0;
+  if (opts.stats_port >= 0) {
+    std::string err;
+    if (!stats_server.start(static_cast<std::uint16_t>(opts.stats_port), &err)) {
+      std::fprintf(stderr, "stats endpoint failed: %s\n", err.c_str());
+      return 1;
+    }
+    stats_port = stats_server.port();
+  }
+
+  std::printf("{\"akadns_chaos_ready\":{\"pid\":%ld,\"port\":%u,\"stats_port\":%u}}\n",
+              static_cast<long>(::getpid()), proxy.port(), stats_port);
+  std::fflush(stdout);
+  std::fprintf(stderr, "chaos plan (seed %llu):\n%s",
+               static_cast<unsigned long long>(plan.seed), plan.to_string().c_str());
+
+  while (!g_stop_requested) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  stats_server.stop();
+  proxy.stop();
+
+  const auto& s = proxy.stats();
+  std::fprintf(stderr,
+               "chaos totals: up=%llu down=%llu dropped=%llu dup=%llu corrupt=%llu "
+               "delayed=%llu blackholed=%llu tcp_accepted=%llu resets=%llu stalls=%llu\n",
+               (unsigned long long)s.forwarded_up.value(),
+               (unsigned long long)s.forwarded_down.value(),
+               (unsigned long long)s.dropped.value(),
+               (unsigned long long)s.duplicated.value(),
+               (unsigned long long)s.corrupted.value(),
+               (unsigned long long)s.delayed.value(),
+               (unsigned long long)s.blackholed.value(),
+               (unsigned long long)s.tcp_accepted.value(),
+               (unsigned long long)s.tcp_resets.value(),
+               (unsigned long long)s.tcp_stalls.value());
+  return 0;
+}

@@ -1,0 +1,181 @@
+#include "chaos/fault_plan.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace akadns::chaos {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+Result<double> parse_prob(std::string_view key, std::string_view value) {
+  try {
+    const double p = std::stod(std::string(value));
+    if (p < 0.0 || p > 1.0) {
+      return Error{std::string(key) + ": probability out of [0,1]: " + std::string(value)};
+    }
+    return p;
+  } catch (...) {
+    return Error{std::string(key) + ": not a number: " + std::string(value)};
+  }
+}
+
+Result<std::int64_t> parse_int(std::string_view key, std::string_view value) {
+  try {
+    return static_cast<std::int64_t>(std::stoll(std::string(value)));
+  } catch (...) {
+    return Error{std::string(key) + ": not an integer: " + std::string(value)};
+  }
+}
+
+/// Applies `field=value` to one FaultSpec. `field` has no direction
+/// prefix at this point.
+Result<bool> apply_field(FaultSpec& spec, std::string_view field, std::string_view value,
+                         std::string_view key) {
+  if (field == "loss" || field == "dup" || field == "reorder" || field == "corrupt" ||
+      field == "tcp_reset" || field == "tcp_stall") {
+    auto p = parse_prob(key, value);
+    if (!p) return Error{std::move(p).error()};
+    if (field == "loss") spec.loss = p.value();
+    else if (field == "dup") spec.dup = p.value();
+    else if (field == "reorder") spec.reorder = p.value();
+    else if (field == "corrupt") spec.corrupt = p.value();
+    else if (field == "tcp_reset") spec.tcp_reset = p.value();
+    else spec.tcp_stall = p.value();
+    return true;
+  }
+  if (field == "delay_ms" || field == "jitter_ms") {
+    auto ms = parse_int(key, value);
+    if (!ms) return Error{std::move(ms).error()};
+    if (ms.value() < 0) return Error{std::string(key) + ": negative duration"};
+    if (field == "delay_ms") spec.delay = Duration::millis(ms.value());
+    else spec.jitter = Duration::millis(ms.value());
+    return true;
+  }
+  return Error{"unknown fault field: " + std::string(key)};
+}
+
+void format_spec(std::ostringstream& out, const char* prefix, const FaultSpec& s) {
+  const auto prob = [&](const char* name, double v) {
+    if (v > 0.0) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%s.%s=%g\n", prefix, name, v);
+      out << buf;
+    }
+  };
+  prob("loss", s.loss);
+  prob("dup", s.dup);
+  prob("reorder", s.reorder);
+  prob("corrupt", s.corrupt);
+  prob("tcp_reset", s.tcp_reset);
+  prob("tcp_stall", s.tcp_stall);
+  if (s.delay.count_nanos() > 0) {
+    out << prefix << ".delay_ms=" << s.delay.count_nanos() / 1'000'000 << "\n";
+  }
+  if (s.jitter.count_nanos() > 0) {
+    out << prefix << ".jitter_ms=" << s.jitter.count_nanos() / 1'000'000 << "\n";
+  }
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlan::parse(std::string_view text) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  int line_no = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Error{"plan line " + std::to_string(line_no) + ": expected key=value"};
+    }
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+
+    if (key == "seed") {
+      auto n = parse_int(key, value);
+      if (!n) return Error{std::move(n).error()};
+      plan.seed = static_cast<std::uint64_t>(n.value());
+      continue;
+    }
+    if (key == "blackhole") {
+      const std::size_t colon = value.find(':');
+      if (colon == std::string_view::npos) {
+        return Error{"blackhole: expected START_MS:END_MS, got " + std::string(value)};
+      }
+      auto start = parse_int("blackhole", trim(value.substr(0, colon)));
+      auto end = parse_int("blackhole", trim(value.substr(colon + 1)));
+      if (!start) return Error{std::move(start).error()};
+      if (!end) return Error{std::move(end).error()};
+      if (start.value() < 0 || end.value() <= start.value()) {
+        return Error{"blackhole: window must satisfy 0 <= start < end"};
+      }
+      plan.blackholes.push_back(
+          {Duration::millis(start.value()), Duration::millis(end.value())});
+      continue;
+    }
+
+    const std::size_t dot = key.find('.');
+    if (dot == std::string_view::npos) {
+      return Error{"unknown plan key: " + std::string(key)};
+    }
+    const std::string_view dir = key.substr(0, dot);
+    const std::string_view field = key.substr(dot + 1);
+    if (dir == "up") {
+      auto applied = apply_field(plan.up, field, value, key);
+      if (!applied) return Error{std::move(applied).error()};
+    } else if (dir == "down") {
+      auto applied = apply_field(plan.down, field, value, key);
+      if (!applied) return Error{std::move(applied).error()};
+    } else if (dir == "both") {
+      auto a = apply_field(plan.up, field, value, key);
+      if (!a) return Error{std::move(a).error()};
+      auto b = apply_field(plan.down, field, value, key);
+      if (!b) return Error{std::move(b).error()};
+    } else {
+      return Error{"unknown direction prefix (want up/down/both): " + std::string(key)};
+    }
+  }
+  return plan;
+}
+
+Result<FaultPlan> FaultPlan::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Error{"cannot open chaos plan: " + path};
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return parse(contents.str());
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream out;
+  out << "seed=" << seed << "\n";
+  format_spec(out, "up", up);
+  format_spec(out, "down", down);
+  for (const BlackholeWindow& w : blackholes) {
+    out << "blackhole=" << w.start.count_nanos() / 1'000'000 << ":"
+        << w.end.count_nanos() / 1'000'000 << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace akadns::chaos

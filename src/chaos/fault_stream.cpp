@@ -1,0 +1,53 @@
+#include "chaos/fault_stream.hpp"
+
+namespace akadns::chaos {
+
+PacketFate FaultStream::fate(std::uint64_t index) const noexcept {
+  PacketFate out;
+  SplitMix64 g = generator(index);
+  // Fixed draw order; every decision consumes its draws whether or not
+  // the knob is enabled, so fates are stable under plan edits that only
+  // toggle other knobs.
+  const double u_loss = unit(g);
+  const double u_dup = unit(g);
+  const double u_reorder = unit(g);
+  const double u_corrupt = unit(g);
+  const std::uint64_t corrupt_pos = g.next();
+  const std::uint64_t corrupt_bits = g.next();
+  const double u_jitter = unit(g);
+
+  out.drop = u_loss < spec_.loss;
+  if (out.drop) return out;  // nothing else matters for a dropped packet
+  out.duplicate = u_dup < spec_.dup;
+  out.reorder = u_reorder < spec_.reorder;
+  if (u_corrupt < spec_.corrupt) {
+    out.corrupt_offset = static_cast<std::int32_t>(corrupt_pos & 0x7fffffffu);
+    // Any of the 255 non-zero masks; zero would be a no-op "corruption".
+    out.corrupt_mask = static_cast<std::uint8_t>(1 + (corrupt_bits % 255));
+  }
+  out.delay = spec_.delay;
+  if (spec_.jitter.count_nanos() > 0) {
+    out.delay += spec_.jitter.scaled(u_jitter);
+  }
+  if (out.reorder) {
+    // Delay-based reordering (the netem model): the held packet gets one
+    // extra jitter-span (or 2 ms when no jitter is configured) so later
+    // traffic overtakes it.
+    const Duration lag =
+        spec_.jitter.count_nanos() > 0 ? spec_.jitter : Duration::millis(2);
+    out.delay += lag;
+  }
+  return out;
+}
+
+ConnFate FaultStream::conn_fate(std::uint64_t index) const noexcept {
+  ConnFate out;
+  SplitMix64 g = generator(~index);  // distinct stream from datagram fates
+  const double u_reset = unit(g);
+  const double u_stall = unit(g);
+  out.reset = u_reset < spec_.tcp_reset;
+  out.stall = !out.reset && u_stall < spec_.tcp_stall;
+  return out;
+}
+
+}  // namespace akadns::chaos

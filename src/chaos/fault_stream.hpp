@@ -1,0 +1,78 @@
+// The deterministic heart of the chaos layer: every impairment decision
+// is a pure function of (seed, direction tag, packet ordinal). There is
+// no shared generator advancing as packets interleave — each ordinal
+// seeds its own SplitMix64 and draws in a fixed order — so concurrent
+// flows, restarted runs, and the in-process hooks all see the same fate
+// for the same packet, and a failing chaos CI run is replayable locally
+// from nothing but the plan file and the seed (the golden-sequence test
+// in tests/chaos/ pins this contract).
+#pragma once
+
+#include <cstdint>
+
+#include "chaos/fault_plan.hpp"
+#include "common/rng.hpp"
+
+namespace akadns::chaos {
+
+/// What happens to one datagram (UDP) or relay chunk (TCP).
+struct PacketFate {
+  bool drop = false;
+  bool duplicate = false;
+  bool reorder = false;  ///< held back behind later traffic (extra lag)
+  Duration delay;        ///< total added latency: fixed + jitter draw
+  std::int32_t corrupt_offset = -1;  ///< byte to damage (mod payload len); -1 = clean
+  std::uint8_t corrupt_mask = 0;     ///< non-zero XOR mask for that byte
+};
+
+/// What happens to one freshly accepted TCP connection.
+struct ConnFate {
+  bool reset = false;  ///< RST immediately (SO_LINGER 0 close)
+  bool stall = false;  ///< accept, read, never forward or answer
+};
+
+/// Direction tags keep the up and down decision streams independent:
+/// the N-th client→upstream datagram and the N-th upstream→client
+/// datagram draw from unrelated generators.
+inline constexpr std::uint64_t kDirUp = 0x75u;    // 'u'
+inline constexpr std::uint64_t kDirDown = 0x64u;  // 'd'
+
+/// Stateless fate oracle for one direction of one plan. Copies the spec;
+/// cheap to construct and safe to share const across threads.
+class FaultStream {
+ public:
+  FaultStream(FaultSpec spec, std::uint64_t seed, std::uint64_t direction_tag) noexcept
+      : spec_(spec), seed_(seed), tag_(direction_tag) {}
+
+  /// Fate of the `index`-th datagram in this direction. The draw order
+  /// inside is fixed (loss, dup, reorder, corrupt+offset+mask, jitter)
+  /// regardless of which knobs are enabled, so turning one fault on
+  /// never changes the decisions of the others.
+  PacketFate fate(std::uint64_t index) const noexcept;
+
+  /// Fate of the `index`-th accepted TCP connection. Reset wins over
+  /// stall when both trigger.
+  ConnFate conn_fate(std::uint64_t index) const noexcept;
+
+  const FaultSpec& spec() const noexcept { return spec_; }
+
+ private:
+  /// Fresh generator for one ordinal: SplitMix64 seeded by mixing the
+  /// run seed, direction tag, and index through odd multipliers (the
+  /// same finalizer-friendly shape AnycastFront's flow hash uses).
+  SplitMix64 generator(std::uint64_t index) const noexcept {
+    return SplitMix64(seed_ ^ (tag_ * 0x9e3779b97f4a7c15ULL) ^
+                      (index * 0xda942042e4dd58b5ULL) ^ 0xc2b2ae3d27d4eb4fULL);
+  }
+
+  static double unit(SplitMix64& g) noexcept {
+    // 53 high bits -> double in [0, 1), the standard bit-exact mapping.
+    return static_cast<double>(g.next() >> 11) * 0x1.0p-53;
+  }
+
+  FaultSpec spec_;
+  std::uint64_t seed_;
+  std::uint64_t tag_;
+};
+
+}  // namespace akadns::chaos

@@ -1,0 +1,687 @@
+#include "chaos/impairment_proxy.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "chaos/fault_stream.hpp"
+
+namespace akadns::chaos {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+// TCP relay chunks draw from their own direction streams so UDP and TCP
+// ordinals never interleave (keeps both sequences replayable in
+// isolation).
+constexpr std::uint64_t kTcpUp = 0x7475;    // "tu"
+constexpr std::uint64_t kTcpDown = 0x7464;  // "td"
+
+// epoll_event.data.u64 layout: [tag:8][gen:24][id:32]. The generation
+// guards against the classic epoll hazard — an event batch carrying a
+// stale entry for a slot that was closed and reused earlier in the same
+// batch.
+enum : std::uint64_t {
+  kTagFrontUdp = 1,
+  kTagListener = 2,
+  kTagStop = 3,
+  kTagFlow = 4,
+  kTagConnClient = 5,
+  kTagConnUpstream = 6,
+};
+
+std::uint64_t make_data(std::uint64_t tag, std::uint32_t gen, std::uint32_t id) {
+  return (tag << 56) | (static_cast<std::uint64_t>(gen & 0xffffffu) << 32) | id;
+}
+std::uint64_t tag_of(std::uint64_t data) { return data >> 56; }
+std::uint32_t gen_of(std::uint64_t data) {
+  return static_cast<std::uint32_t>((data >> 32) & 0xffffffu);
+}
+std::uint32_t id_of(std::uint64_t data) { return static_cast<std::uint32_t>(data); }
+
+/// v4 flow key: address and port identify the front-side peer.
+std::uint64_t flow_key(const sockaddr_storage& ss) noexcept {
+  if (ss.ss_family != AF_INET) return 0;
+  const auto& sin = reinterpret_cast<const sockaddr_in&>(ss);
+  return (static_cast<std::uint64_t>(sin.sin_addr.s_addr) << 16) | ntohs(sin.sin_port);
+}
+
+struct UdpFlow {
+  bool in_use = false;
+  std::uint32_t gen = 0;
+  net::FdHandle upstream;  // connected UDP socket toward the upstream
+  sockaddr_storage client{};
+  socklen_t client_len = 0;
+  std::int64_t last_active_ns = 0;
+  std::uint64_t key = 0;
+};
+
+struct TcpConn {
+  bool in_use = false;
+  std::uint32_t gen = 0;
+  net::FdHandle client;
+  net::FdHandle upstream;
+  bool connecting = false;  // upstream connect() still in flight
+  bool stalled = false;     // stall fate: read and discard, never answer
+  bool client_eof = false;
+  bool upstream_eof = false;
+  std::vector<std::uint8_t> to_upstream;
+  std::size_t to_upstream_off = 0;
+  std::vector<std::uint8_t> to_client;
+  std::size_t to_client_off = 0;
+  std::uint64_t held = 0;  // chunks of this conn sitting in the delay heap
+  std::int64_t last_active_ns = 0;
+};
+
+/// A send scheduled for later: a delayed/reordered datagram or a TCP
+/// chunk held through a blackhole window.
+struct Delayed {
+  std::int64_t due_ns = 0;
+  std::uint64_t seq = 0;  // FIFO tiebreak for equal deadlines
+  // 0: UDP to upstream (flow id)   1: UDP to client (stored address)
+  // 2: TCP to upstream (conn id)   3: TCP to client (conn id)
+  std::uint8_t kind = 0;
+  std::uint32_t id = 0;
+  std::uint32_t gen = 0;
+  sockaddr_storage client{};
+  socklen_t client_len = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+struct DelayedLater {
+  bool operator()(const Delayed& a, const Delayed& b) const noexcept {
+    return a.due_ns != b.due_ns ? a.due_ns > b.due_ns : a.seq > b.seq;
+  }
+};
+
+void apply_corruption(std::vector<std::uint8_t>& bytes, const PacketFate& fate) {
+  if (fate.corrupt_offset < 0 || bytes.empty()) return;
+  bytes[static_cast<std::size_t>(fate.corrupt_offset) % bytes.size()] ^= fate.corrupt_mask;
+}
+
+void rst_close(net::FdHandle& fd) {
+  if (!fd.valid()) return;
+  const linger lin{1, 0};  // RST instead of FIN on close
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_LINGER, &lin, sizeof(lin));
+  fd.reset();
+}
+
+}  // namespace
+
+ImpairmentProxy::ImpairmentProxy(ProxyConfig config)
+    : config_(std::move(config)), upstream_(config_.upstream) {}
+
+ImpairmentProxy::~ImpairmentProxy() { stop(); }
+
+Result<bool> ImpairmentProxy::start() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) return true;
+  }
+  // One front port must serve both transports: with an ephemeral request
+  // the UDP bind picks the port and TCP must follow — retry on collision.
+  const int attempts = config_.listen_port == 0 ? 32 : 1;
+  for (int i = 0; i < attempts; ++i) {
+    auto udp = net::UdpSocket::open(config_.listen_addr, config_.listen_port, 1 << 20, 1 << 20);
+    if (!udp) return Error{std::move(udp).error()};
+    auto tcp = net::TcpListener::open(config_.listen_addr, udp.value().port());
+    if (!tcp) {
+      if (i + 1 == attempts) return Error{std::move(tcp).error()};
+      continue;
+    }
+    front_udp_ = std::move(udp).take();
+    front_tcp_ = std::move(tcp).take();
+    break;
+  }
+  const int efd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (efd < 0) return Error{net::errno_message("eventfd")};
+  stop_event_ = net::FdHandle(efd);
+  port_ = front_udp_.port();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    running_ = true;
+  }
+  thread_ = std::thread([this] { run(); });
+  return true;
+}
+
+void ImpairmentProxy::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(stop_event_.get(), &one, sizeof(one));
+  if (thread_.joinable()) thread_.join();
+  front_udp_.close();
+  front_tcp_.close();
+  stop_event_.reset();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+void ImpairmentProxy::set_upstream(const Endpoint& upstream) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  upstream_ = upstream;
+}
+
+void ImpairmentProxy::run() {
+  const int epfd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epfd < 0) return;
+  const net::FdHandle ep(epfd);
+
+  const auto add = [&](int fd, std::uint32_t events, std::uint64_t data) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = data;
+    ::epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &ev);
+  };
+  const auto mod = [&](int fd, std::uint32_t events, std::uint64_t data) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = data;
+    ::epoll_ctl(epfd, EPOLL_CTL_MOD, fd, &ev);
+  };
+  add(front_udp_.fd(), EPOLLIN, make_data(kTagFrontUdp, 0, 0));
+  add(front_tcp_.fd(), EPOLLIN, make_data(kTagListener, 0, 0));
+  add(stop_event_.get(), EPOLLIN, make_data(kTagStop, 0, 0));
+
+  const FaultPlan& plan = config_.plan;
+  const FaultStream udp_up(plan.up, plan.seed, kDirUp);
+  const FaultStream udp_down(plan.down, plan.seed, kDirDown);
+  const FaultStream tcp_up(plan.up, plan.seed, kTcpUp);
+  const FaultStream tcp_down(plan.down, plan.seed, kTcpDown);
+  std::uint64_t udp_up_idx = 0, udp_down_idx = 0;
+  std::uint64_t tcp_up_idx = 0, tcp_down_idx = 0;
+  std::uint64_t conn_idx = 0;
+
+  const auto epoch = SteadyClock::now();
+  const auto now_ns = [&] {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(SteadyClock::now() - epoch)
+        .count();
+  };
+  // The end of the blackhole window containing `now`, or `now` itself
+  // when outside every window (TCP bytes are held until then).
+  const auto blackhole_release_ns = [&](std::int64_t now) {
+    std::int64_t release = now;
+    for (const BlackholeWindow& w : plan.blackholes) {
+      if (w.contains(Duration::nanos(now))) {
+        release = std::max(release, w.end.count_nanos());
+      }
+    }
+    return release;
+  };
+
+  std::vector<UdpFlow> flows(config_.max_flows);
+  std::vector<TcpConn> conns(config_.max_flows);
+  std::vector<std::uint32_t> free_flows, free_conns;
+  for (std::uint32_t i = 0; i < flows.size(); ++i) free_flows.push_back(i);
+  for (std::uint32_t i = 0; i < conns.size(); ++i) free_conns.push_back(i);
+  std::unordered_map<std::uint64_t, std::uint32_t> flow_by_key;
+  std::priority_queue<Delayed, std::vector<Delayed>, DelayedLater> heap;
+  std::uint64_t heap_seq = 0;
+  std::vector<std::uint8_t> buffer(64 * 1024);
+  std::int64_t last_reap_ns = 0;
+  bool stopping = false;
+
+  const auto close_flow = [&](std::uint32_t id) {
+    UdpFlow& flow = flows[id];
+    if (!flow.in_use) return;
+    flow.upstream.reset();  // close also removes it from the epoll set
+    flow_by_key.erase(flow.key);
+    flow.in_use = false;
+    ++flow.gen;
+    free_flows.push_back(id);
+  };
+  const auto close_conn = [&](std::uint32_t id) {
+    TcpConn& conn = conns[id];
+    if (!conn.in_use) return;
+    conn.client.reset();
+    conn.upstream.reset();
+    conn.to_upstream.clear();
+    conn.to_client.clear();
+    conn.to_upstream_off = conn.to_client_off = 0;
+    conn.in_use = false;
+    ++conn.gen;
+    free_conns.push_back(id);
+  };
+
+  // Writes as much pending data as the kernel takes; returns false when
+  // the connection died. Registers/clears EPOLLOUT interest as needed.
+  const auto flush_conn = [&](std::uint32_t id) -> bool {
+    TcpConn& conn = conns[id];
+    const auto pump = [&](net::FdHandle& fd, std::vector<std::uint8_t>& buf,
+                          std::size_t& off) -> int {
+      while (off < buf.size()) {
+        const ssize_t n =
+            ::send(fd.get(), buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) return 1;  // kernel full
+          return -1;
+        }
+        off += static_cast<std::size_t>(n);
+      }
+      buf.clear();
+      off = 0;
+      return 0;
+    };
+    if (conn.upstream.valid() && !conn.connecting) {
+      const int r = pump(conn.upstream, conn.to_upstream, conn.to_upstream_off);
+      if (r < 0) return false;
+      const bool want_out = r == 1;
+      mod(conn.upstream.get(), EPOLLIN | (want_out ? EPOLLOUT : 0u),
+          make_data(kTagConnUpstream, conn.gen, id));
+      if (r == 0 && conn.client_eof && conn.held == 0) {
+        ::shutdown(conn.upstream.get(), SHUT_WR);
+      }
+    }
+    if (conn.client.valid()) {
+      const int r = pump(conn.client, conn.to_client, conn.to_client_off);
+      if (r < 0) return false;
+      mod(conn.client.get(), EPOLLIN | (r == 1 ? EPOLLOUT : 0u),
+          make_data(kTagConnClient, conn.gen, id));
+      if (r == 0 && conn.upstream_eof && conn.held == 0) return false;  // relay done
+    }
+    return true;
+  };
+
+  // Forwards one upstream->client datagram through the front socket.
+  const auto send_down = [&](const sockaddr_storage& client, socklen_t client_len,
+                             const std::uint8_t* data, std::size_t len) {
+    const ssize_t n =
+        ::sendto(front_udp_.fd(), data, len, MSG_NOSIGNAL,
+                 reinterpret_cast<const sockaddr*>(&client), client_len);
+    if (n >= 0) ++stats_.forwarded_down;
+  };
+
+  const auto flush_due = [&](std::int64_t now) {
+    while (!heap.empty() && heap.top().due_ns <= now) {
+      Delayed item = heap.top();
+      heap.pop();
+      switch (item.kind) {
+        case 0: {  // UDP toward upstream
+          const UdpFlow& flow = flows[item.id];
+          if (!flow.in_use || flow.gen != item.gen) break;
+          if (::send(flow.upstream.get(), item.bytes.data(), item.bytes.size(),
+                     MSG_NOSIGNAL) >= 0) {
+            ++stats_.forwarded_up;
+          }
+          break;
+        }
+        case 1:  // UDP toward client: the stored address outlives the flow
+          send_down(item.client, item.client_len, item.bytes.data(), item.bytes.size());
+          break;
+        case 2:
+        case 3: {
+          TcpConn& conn = conns[item.id];
+          if (!conn.in_use || conn.gen != item.gen) break;
+          --conn.held;
+          auto& buf = item.kind == 2 ? conn.to_upstream : conn.to_client;
+          buf.insert(buf.end(), item.bytes.begin(), item.bytes.end());
+          if (item.kind == 2) ++stats_.forwarded_up;
+          else ++stats_.forwarded_down;
+          if (!flush_conn(item.id)) close_conn(item.id);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  };
+
+  // Routes one faulted UDP payload: immediate send or the delay heap.
+  const auto dispatch_udp = [&](const PacketFate& fate, std::uint8_t kind,
+                                std::uint32_t id, std::uint32_t gen,
+                                const sockaddr_storage* client, socklen_t client_len,
+                                std::vector<std::uint8_t> bytes, std::int64_t now) {
+    if (fate.delay.count_nanos() > 0) {
+      Delayed item;
+      item.due_ns = now + fate.delay.count_nanos();
+      item.seq = heap_seq++;
+      item.kind = kind;
+      item.id = id;
+      item.gen = gen;
+      if (client != nullptr) {
+        item.client = *client;
+        item.client_len = client_len;
+      }
+      item.bytes = std::move(bytes);
+      heap.push(std::move(item));
+      ++stats_.delayed;
+      return;
+    }
+    if (kind == 0) {
+      const UdpFlow& flow = flows[id];
+      if (::send(flow.upstream.get(), bytes.data(), bytes.size(), MSG_NOSIGNAL) >= 0) {
+        ++stats_.forwarded_up;
+      }
+    } else {
+      send_down(*client, client_len, bytes.data(), bytes.size());
+    }
+  };
+
+  // One datagram from a front-side client.
+  const auto handle_front_datagram = [&](const sockaddr_storage& from, socklen_t from_len,
+                                         const std::uint8_t* data, std::size_t len,
+                                         std::int64_t now) {
+    const PacketFate fate = udp_up.fate(udp_up_idx++);
+    if (plan.in_blackhole(Duration::nanos(now))) {
+      ++stats_.blackholed;
+      return;
+    }
+    if (fate.drop) {
+      ++stats_.dropped;
+      return;
+    }
+    const std::uint64_t key = flow_key(from);
+    std::uint32_t id;
+    const auto it = flow_by_key.find(key);
+    if (it != flow_by_key.end()) {
+      id = it->second;
+    } else {
+      if (free_flows.empty()) return;  // flow table full: shed
+      const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+      if (fd < 0) return;
+      net::FdHandle handle(fd);
+      // Responses burst back while the relay thread is draining the delay
+      // heap; the default rcvbuf sheds them, which would be loss the plan
+      // never scheduled. Size both directions for whole-window bursts.
+      const int buf = 1 << 20;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
+      sockaddr_storage peer{};
+      const socklen_t peer_len = net::sockaddr_from_endpoint(upstream(), peer);
+      if (::connect(fd, reinterpret_cast<const sockaddr*>(&peer), peer_len) != 0) return;
+      id = free_flows.back();
+      free_flows.pop_back();
+      UdpFlow& flow = flows[id];
+      flow.in_use = true;
+      flow.upstream = std::move(handle);
+      flow.client = from;
+      flow.client_len = from_len;
+      flow.key = key;
+      flow_by_key.emplace(key, id);
+      add(flow.upstream.get(), EPOLLIN, make_data(kTagFlow, flow.gen, id));
+      ++stats_.flows_opened;
+    }
+    UdpFlow& flow = flows[id];
+    flow.last_active_ns = now;
+    std::vector<std::uint8_t> bytes(data, data + len);
+    if (fate.corrupt_offset >= 0) {
+      apply_corruption(bytes, fate);
+      ++stats_.corrupted;
+    }
+    if (fate.reorder) ++stats_.reordered;
+    std::vector<std::uint8_t> dup_bytes;
+    if (fate.duplicate) dup_bytes = bytes;
+    dispatch_udp(fate, 0, id, flow.gen, nullptr, 0, std::move(bytes), now);
+    if (fate.duplicate) {
+      ++stats_.duplicated;
+      dispatch_udp(fate, 0, id, flow.gen, nullptr, 0, std::move(dup_bytes), now);
+    }
+  };
+
+  // One answer datagram from the upstream for a flow.
+  const auto handle_flow_datagram = [&](std::uint32_t id, const std::uint8_t* data,
+                                        std::size_t len, std::int64_t now) {
+    UdpFlow& flow = flows[id];
+    flow.last_active_ns = now;
+    const PacketFate fate = udp_down.fate(udp_down_idx++);
+    if (plan.in_blackhole(Duration::nanos(now))) {
+      ++stats_.blackholed;
+      return;
+    }
+    if (fate.drop) {
+      ++stats_.dropped;
+      return;
+    }
+    std::vector<std::uint8_t> bytes(data, data + len);
+    if (fate.corrupt_offset >= 0) {
+      apply_corruption(bytes, fate);
+      ++stats_.corrupted;
+    }
+    if (fate.reorder) ++stats_.reordered;
+    std::vector<std::uint8_t> dup_bytes;
+    if (fate.duplicate) dup_bytes = bytes;
+    dispatch_udp(fate, 1, id, flow.gen, &flow.client, flow.client_len, std::move(bytes),
+                 now);
+    if (fate.duplicate) {
+      ++stats_.duplicated;
+      dispatch_udp(fate, 1, id, flow.gen, &flow.client, flow.client_len,
+                   std::move(dup_bytes), now);
+    }
+  };
+
+  // Bytes read off one side of a TCP relay, run through chunk fates.
+  const auto relay_chunk = [&](std::uint32_t id, bool toward_upstream,
+                               const std::uint8_t* data, std::size_t len,
+                               std::int64_t now) {
+    TcpConn& conn = conns[id];
+    const FaultStream& stream = toward_upstream ? tcp_up : tcp_down;
+    const PacketFate fate =
+        toward_upstream ? stream.fate(tcp_up_idx++) : stream.fate(tcp_down_idx++);
+    std::vector<std::uint8_t> bytes(data, data + len);
+    if (fate.corrupt_offset >= 0) {
+      apply_corruption(bytes, fate);
+      ++stats_.corrupted;
+    }
+    // Loss/dup/reorder never apply to TCP (the kernel would retransmit
+    // anyway); blackhole holds the chunk until the window ends.
+    const std::int64_t release =
+        std::max(now + fate.delay.count_nanos(), blackhole_release_ns(now));
+    if (release > now) {
+      Delayed item;
+      item.due_ns = release;
+      item.seq = heap_seq++;
+      item.kind = toward_upstream ? 2 : 3;
+      item.id = id;
+      item.gen = conn.gen;
+      item.bytes = std::move(bytes);
+      heap.push(std::move(item));
+      ++conn.held;
+      if (fate.delay.count_nanos() > 0) ++stats_.delayed;
+      if (plan.in_blackhole(Duration::nanos(now))) ++stats_.blackholed;
+      return true;
+    }
+    auto& buf = toward_upstream ? conn.to_upstream : conn.to_client;
+    buf.insert(buf.end(), bytes.begin(), bytes.end());
+    if (toward_upstream) ++stats_.forwarded_up;
+    else ++stats_.forwarded_down;
+    return flush_conn(id);
+  };
+
+  const auto handle_accept = [&](std::int64_t now) {
+    while (true) {
+      sockaddr_storage peer{};
+      net::FdHandle client = front_tcp_.accept(peer);
+      if (!client.valid()) break;
+      ++stats_.tcp_accepted;
+      if (plan.in_blackhole(Duration::nanos(now))) {
+        ++stats_.tcp_refused;
+        continue;  // handle closes: connection dies inside the window
+      }
+      const ConnFate fate = tcp_up.conn_fate(conn_idx++);
+      if (fate.reset) {
+        ++stats_.tcp_resets;
+        rst_close(client);
+        continue;
+      }
+      if (free_conns.empty()) continue;
+      const std::uint32_t id = free_conns.back();
+      free_conns.pop_back();
+      TcpConn& conn = conns[id];
+      conn.in_use = true;
+      conn.client = std::move(client);
+      conn.stalled = fate.stall;
+      conn.client_eof = conn.upstream_eof = false;
+      conn.connecting = false;
+      conn.held = 0;
+      conn.last_active_ns = now;
+      add(conn.client.get(), EPOLLIN, make_data(kTagConnClient, conn.gen, id));
+      if (fate.stall) {
+        ++stats_.tcp_stalls;  // no upstream: the peer talks into the void
+        continue;
+      }
+      const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+      if (fd < 0) {
+        close_conn(id);
+        continue;
+      }
+      conn.upstream = net::FdHandle(fd);
+      sockaddr_storage target{};
+      const socklen_t target_len = net::sockaddr_from_endpoint(upstream(), target);
+      const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&target), target_len);
+      if (rc != 0 && errno != EINPROGRESS) {
+        close_conn(id);
+        continue;
+      }
+      conn.connecting = rc != 0;
+      add(fd, EPOLLIN | (conn.connecting ? EPOLLOUT : 0u),
+          make_data(kTagConnUpstream, conn.gen, id));
+    }
+  };
+
+  while (!stopping) {
+    int timeout_ms = 100;
+    if (!heap.empty()) {
+      const std::int64_t wait_ns = heap.top().due_ns - now_ns();
+      timeout_ms = static_cast<int>(std::clamp<std::int64_t>(wait_ns / 1'000'000, 0, 100));
+    }
+    epoll_event events[64];
+    const int n = ::epoll_wait(epfd, events, 64, timeout_ms);
+    const std::int64_t now = now_ns();
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t data = events[i].data.u64;
+      switch (tag_of(data)) {
+        case kTagStop:
+          stopping = true;
+          break;
+        case kTagFrontUdp: {
+          while (true) {
+            sockaddr_storage from{};
+            socklen_t from_len = sizeof(from);
+            const ssize_t got =
+                ::recvfrom(front_udp_.fd(), buffer.data(), buffer.size(), 0,
+                           reinterpret_cast<sockaddr*>(&from), &from_len);
+            if (got < 0) break;  // EAGAIN/EINTR: next epoll round retries
+            handle_front_datagram(from, from_len, buffer.data(),
+                                  static_cast<std::size_t>(got), now);
+          }
+          break;
+        }
+        case kTagListener:
+          handle_accept(now);
+          break;
+        case kTagFlow: {
+          const std::uint32_t id = id_of(data);
+          if (id >= flows.size() || !flows[id].in_use || flows[id].gen != gen_of(data)) {
+            break;
+          }
+          while (true) {
+            const ssize_t got =
+                ::recv(flows[id].upstream.get(), buffer.data(), buffer.size(), 0);
+            if (got < 0) break;
+            handle_flow_datagram(id, buffer.data(), static_cast<std::size_t>(got), now);
+          }
+          break;
+        }
+        case kTagConnClient:
+        case kTagConnUpstream: {
+          const std::uint32_t id = id_of(data);
+          if (id >= conns.size() || !conns[id].in_use || conns[id].gen != gen_of(data)) {
+            break;
+          }
+          TcpConn& conn = conns[id];
+          conn.last_active_ns = now;
+          const bool from_client = tag_of(data) == kTagConnClient;
+          if (!from_client && conn.connecting && (events[i].events & EPOLLOUT) != 0) {
+            int err = 0;
+            socklen_t err_len = sizeof(err);
+            ::getsockopt(conn.upstream.get(), SOL_SOCKET, SO_ERROR, &err, &err_len);
+            if (err != 0) {
+              close_conn(id);
+              break;
+            }
+            conn.connecting = false;
+          }
+          if ((events[i].events & EPOLLOUT) != 0 && !flush_conn(id)) {
+            close_conn(id);
+            break;
+          }
+          if ((events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) == 0) break;
+          const int fd = from_client ? conn.client.get() : conn.upstream.get();
+          bool dead = false;
+          while (true) {
+            const ssize_t got = ::recv(fd, buffer.data(), buffer.size(), 0);
+            if (got < 0) {
+              if (errno == EINTR) continue;
+              if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+              dead = true;
+              break;
+            }
+            if (got == 0) {
+              if (from_client) conn.client_eof = true;
+              else conn.upstream_eof = true;
+              break;
+            }
+            if (conn.stalled) continue;  // read into the void
+            if (!relay_chunk(id, from_client, buffer.data(),
+                             static_cast<std::size_t>(got), now)) {
+              dead = true;
+              break;
+            }
+          }
+          if (dead) {
+            close_conn(id);
+            break;
+          }
+          if (conn.stalled) {
+            // A stalled peer that hung up is done stalling.
+            if (conn.client_eof) close_conn(id);
+            break;
+          }
+          if (!flush_conn(id)) close_conn(id);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    flush_due(now_ns());
+
+    if (now - last_reap_ns >= 1'000'000'000) {
+      last_reap_ns = now;
+      const std::int64_t flow_idle_ns = config_.flow_idle.count_nanos();
+      const std::int64_t conn_idle_ns = config_.conn_idle.count_nanos();
+      for (std::uint32_t id = 0; id < flows.size(); ++id) {
+        if (flows[id].in_use && now - flows[id].last_active_ns > flow_idle_ns) {
+          close_flow(id);
+          ++stats_.flows_reaped;
+        }
+      }
+      for (std::uint32_t id = 0; id < conns.size(); ++id) {
+        if (conns[id].in_use && now - conns[id].last_active_ns > conn_idle_ns) {
+          close_conn(id);
+        }
+      }
+    }
+  }
+
+  for (std::uint32_t id = 0; id < flows.size(); ++id) close_flow(id);
+  for (std::uint32_t id = 0; id < conns.size(); ++id) close_conn(id);
+}
+
+}  // namespace akadns::chaos

@@ -1,0 +1,140 @@
+// The impairment proxy: a real UDP/TCP hop that executes a FaultPlan.
+//
+// akadns-chaos (and the library form, threaded between AnycastFront and
+// machines by `akadns-fleet --chaos-plan`) binds one front port for both
+// transports and relays to one upstream endpoint:
+//
+//   client ──UDP/TCP──▶ [front port] proxy [per-flow sockets] ──▶ upstream
+//
+// Per direction the plan's FaultSpec is applied with fates drawn from
+// FaultStream — a pure function of (seed, direction, ordinal), so the
+// same plan+seed reproduces the same impairment schedule:
+//   UDP datagrams: loss, duplication, delay+jitter, delay-based
+//     reordering, single-byte corruption.
+//   TCP connections: reset (RST on accept) and stall (accept, read,
+//     never answer) per connection; delay+jitter and byte corruption
+//     per relayed chunk (loss/dup/reorder are meaningless at stream
+//     level — the kernel would just retransmit).
+//   Blackhole windows: UDP is swallowed, new TCP connections are
+//     accepted and immediately closed, and bytes on established relays
+//     are held until the window ends (so a 10 s hole turns into a >10 s
+//     stall — exactly what transfer deadlines must cut short).
+//
+// Single epoll thread, same shape as fleet's AnycastFront: nonblocking
+// sockets, an eventfd in the poll set so stop() wakes it immediately,
+// and a time-ordered queue for delayed sends driving the poll timeout.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "chaos/fault_plan.hpp"
+#include "common/result.hpp"
+#include "common/sim_time.hpp"
+#include "net/socket.hpp"
+#include "obs/registry.hpp"
+
+namespace akadns::chaos {
+
+struct ProxyConfig {
+  Ipv4Addr listen_addr = Ipv4Addr(127, 0, 0, 1);
+  /// Front port for both UDP and TCP; 0 binds an ephemeral pair (the
+  /// proxy retries until one port is free on both transports).
+  std::uint16_t listen_port = 0;
+  Endpoint upstream;
+  FaultPlan plan;
+  std::size_t max_flows = 4096;
+  /// UDP flows idle longer than this are reaped.
+  Duration flow_idle = Duration::seconds(30);
+  /// TCP relays idle longer than this are closed (the proxy must not
+  /// become the slowloris it exists to simulate).
+  Duration conn_idle = Duration::seconds(120);
+};
+
+struct ProxyStats {
+  obs::Counter forwarded_up;    // datagrams/chunks relayed client -> upstream
+  obs::Counter forwarded_down;  // relayed upstream -> client
+  obs::Counter dropped;         // UDP loss fates
+  obs::Counter duplicated;
+  obs::Counter reordered;
+  obs::Counter corrupted;
+  obs::Counter delayed;      // sends that took the delay-queue path
+  obs::Counter blackholed;   // datagrams swallowed inside a window
+  obs::Counter flows_opened;
+  obs::Counter flows_reaped;
+  obs::Counter tcp_accepted;
+  obs::Counter tcp_resets;   // reset fates executed
+  obs::Counter tcp_stalls;   // stall fates in effect
+  obs::Counter tcp_refused;  // accepts closed because of a blackhole
+
+  /// One akadns_chaos_total{event=...} series per counter.
+  void register_into(obs::MetricRegistry& reg, const obs::LabelSet& base) const {
+    const auto event = [&](const char* name, const obs::Counter& c) {
+      reg.counter("akadns_chaos_total", obs::with(base, "event", name), c,
+                  "impairment proxy fault events");
+    };
+    event("forwarded_up", forwarded_up);
+    event("forwarded_down", forwarded_down);
+    event("dropped", dropped);
+    event("duplicated", duplicated);
+    event("reordered", reordered);
+    event("corrupted", corrupted);
+    event("delayed", delayed);
+    event("blackholed", blackholed);
+    event("flow_opened", flows_opened);
+    event("flow_reaped", flows_reaped);
+    event("tcp_accepted", tcp_accepted);
+    event("tcp_reset", tcp_resets);
+    event("tcp_stalled", tcp_stalls);
+    event("tcp_refused", tcp_refused);
+  }
+};
+
+class ImpairmentProxy {
+ public:
+  explicit ImpairmentProxy(ProxyConfig config);
+  ~ImpairmentProxy();
+
+  ImpairmentProxy(const ImpairmentProxy&) = delete;
+  ImpairmentProxy& operator=(const ImpairmentProxy&) = delete;
+
+  /// Binds the front port pair and launches the relay thread. The plan
+  /// clock (blackhole windows) starts now.
+  Result<bool> start();
+  /// Stops and joins; closes every flow and relay. Idempotent.
+  void stop();
+
+  /// The bound front port (valid after start()).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Re-points future flows and connections at a new upstream (fleet
+  /// rewiring when a machine restarts on a fresh port). Existing flows
+  /// keep their old peer — they are about to be reaped anyway.
+  void set_upstream(const Endpoint& upstream);
+
+  const ProxyStats& stats() const noexcept { return stats_; }
+  void register_metrics(obs::MetricRegistry& reg, const obs::LabelSet& base) const {
+    stats_.register_into(reg, base);
+  }
+
+ private:
+  void run();
+  Endpoint upstream() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return upstream_;
+  }
+
+  ProxyConfig config_;
+  ProxyStats stats_;
+  mutable std::mutex mutex_;  // guards upstream_ and lifecycle flags
+  Endpoint upstream_;
+  bool running_ = false;
+  std::uint16_t port_ = 0;
+  net::UdpSocket front_udp_;
+  net::TcpListener front_tcp_;
+  net::FdHandle stop_event_;
+  std::thread thread_;
+};
+
+}  // namespace akadns::chaos

@@ -29,6 +29,8 @@
 #include <thread>
 #include <vector>
 
+#include "chaos/fault_plan.hpp"
+#include "chaos/impairment_proxy.hpp"
 #include "control/fleet_report.hpp"
 #include "fleet/anycast_front.hpp"
 #include "fleet/probe_suite.hpp"
@@ -71,6 +73,13 @@ struct CliOptions {
   double quota_fraction = 0.34;
   std::size_t min_serving = 1;
   std::string report_path;
+  // Chaos: thread an impairment proxy between the front and every
+  // machine, executing the given FaultPlan on each hop.
+  std::string chaos_plan_path;
+  std::uint64_t chaos_seed = 0;
+  bool chaos_seed_set = false;
+  // Advisory dataplane stall detector on the front (0 = off).
+  std::int64_t upstream_timeout_ms = 0;
   bool help = false;
 };
 
@@ -102,6 +111,13 @@ void print_usage(const char* argv0) {
       "  --min-serving N       never suspend below this many serving machines\n"
       "                        (default 1: the PoP cannot go dark)\n"
       "  --report PATH         write the fleet drill report JSON at exit\n"
+      "  --chaos-plan FILE     thread an impairment proxy (src/chaos/) between\n"
+      "                        the front and every machine, executing FILE's\n"
+      "                        FaultPlan on each hop (machine i uses seed+i)\n"
+      "  --chaos-seed N        override the plan file's seed (with --chaos-plan)\n"
+      "  --upstream-timeout-ms N  front flows stalled past N ms report an\n"
+      "                        advisory upstream timeout to the probe suite\n"
+      "                        (kicks a probe round; never suspends; 0 = off)\n"
       "startup prints one line: {\"akadns_fleet_ready\":{...}} with the front port.\n"
       "exit codes: 0 clean shutdown; 1 runtime failure; 2 usage error;\n"
       "3 forced (second SIGTERM/SIGINT).\n",
@@ -189,6 +205,16 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
     } else if (arg == "--report") {
       if (!(v = need_value())) return false;
       opts.report_path = v;
+    } else if (arg == "--chaos-plan") {
+      if (!(v = need_value())) return false;
+      opts.chaos_plan_path = v;
+    } else if (arg == "--chaos-seed") {
+      if (!(v = need_value())) return false;
+      opts.chaos_seed = std::strtoull(v, nullptr, 10);
+      opts.chaos_seed_set = true;
+    } else if (arg == "--upstream-timeout-ms") {
+      if (!(v = need_value())) return false;
+      opts.upstream_timeout_ms = std::strtoll(v, nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -257,10 +283,57 @@ int main(int argc, char** argv) {
   zc.zone_count = opts.synthetic_zones;
   workload::HostedZones zones(zc, opts.seed);
 
+  // --- Chaos plan (optional) ---
+  // One impairment proxy per machine sits between the front and that
+  // machine's UDP/TCP port, each executing the same FaultPlan but with
+  // seed+i — per-hop schedules are decorrelated yet the whole fleet run
+  // replays from (plan, --chaos-seed). Proxies start before the
+  // supervisor (their ports must exist when machines come up); each Up
+  // event re-points its proxy at the machine's fresh port.
+  chaos::FaultPlan chaos_plan;
+  const bool chaos_on = !opts.chaos_plan_path.empty();
+  if (chaos_on) {
+    auto loaded = chaos::FaultPlan::load(opts.chaos_plan_path);
+    if (!loaded) {
+      std::fprintf(stderr, "chaos plan: %s\n", loaded.error().c_str());
+      return 2;
+    }
+    chaos_plan = loaded.value();
+    if (opts.chaos_seed_set) chaos_plan.seed = opts.chaos_seed;
+  }
+  std::vector<std::unique_ptr<chaos::ImpairmentProxy>> chaos_proxies;
+  if (chaos_on) {
+    for (std::size_t i = 0; i < opts.machines; ++i) {
+      chaos::ProxyConfig pc;
+      pc.plan = chaos_plan;
+      pc.plan.seed = chaos_plan.seed + i;
+      // Placeholder upstream until the machine's handshake reports its
+      // real port; set_upstream() re-points future flows.
+      pc.upstream = Endpoint{IpAddr(Ipv4Addr(127, 0, 0, 1)), 9};
+      auto proxy = std::make_unique<chaos::ImpairmentProxy>(pc);
+      if (auto started = proxy->start(); !started) {
+        std::fprintf(stderr, "chaos proxy m%zu failed: %s\n", i,
+                     started.error().c_str());
+        return 1;
+      }
+      chaos_proxies.push_back(std::move(proxy));
+    }
+  }
+
   // --- Front ---
   fleet::FrontConfig front_config;
   front_config.port = opts.port;
+  front_config.upstream_timeout_ms = opts.upstream_timeout_ms;
   fleet::AnycastFront front(front_config);
+  // The probe suite is constructed later (it needs the supervisor); the
+  // front's epoll thread may observe a stall before that, so the feed
+  // goes through an atomic pointer.
+  std::atomic<fleet::ProbeSuite*> probes_ptr{nullptr};
+  front.set_on_upstream_timeout([&probes_ptr](const std::string& id) {
+    if (auto* p = probes_ptr.load(std::memory_order_acquire)) {
+      p->note_upstream_timeout(id);
+    }
+  });
   if (auto started = front.start(); !started) {
     std::fprintf(stderr, "anycast front failed: %s\n", started.error().c_str());
     return 1;
@@ -299,10 +372,15 @@ int main(int argc, char** argv) {
       sup_config, [&](const fleet::Supervisor::Event& event) {
         if (event.kind == fleet::Supervisor::EventKind::Up) {
           // Machines join (or rejoin, on fresh ports) the catchment the
-          // moment their handshake lands.
-          front.upsert_member(event.id,
-                              Endpoint{IpAddr(Ipv4Addr(127, 0, 0, 1)),
-                                       event.ready.udp_port});
+          // moment their handshake lands. Under chaos the member the
+          // front steers to is the machine's proxy, re-pointed here at
+          // the (possibly fresh) machine port.
+          Endpoint member{IpAddr(Ipv4Addr(127, 0, 0, 1)), event.ready.udp_port};
+          if (event.index < chaos_proxies.size()) {
+            chaos_proxies[event.index]->set_upstream(member);
+            member.port = chaos_proxies[event.index]->port();
+          }
+          front.upsert_member(event.id, member);
           log_event("machine " + event.id + " up (udp " +
                     std::to_string(event.ready.udp_port) + ", stats " +
                     std::to_string(event.ready.stats_port) +
@@ -356,6 +434,7 @@ int main(int argc, char** argv) {
         log_event("machine " + id + (suspended ? " suspended (probe verdict, quota granted)"
                                                : " restored (probes healthy)"));
       });
+  probes_ptr.store(&probes, std::memory_order_release);
   probes.start();
 
   // --- Fleet metrics endpoint ---
@@ -378,6 +457,17 @@ int main(int argc, char** argv) {
   registry.gauge_fn("akadns_fleet_probe_rounds_total", {},
                     [&] { return static_cast<double>(probes.rounds_completed()); },
                     obs::GaugeAgg::Sum, "probe rounds completed");
+  registry.gauge_fn("akadns_fleet_upstream_timeouts_total", {},
+                    [&] {
+                      return static_cast<double>(
+                          front.counters().udp_upstream_timeouts);
+                    },
+                    obs::GaugeAgg::Sum,
+                    "advisory dataplane stalls reported by the front");
+  for (std::size_t i = 0; i < chaos_proxies.size(); ++i) {
+    chaos_proxies[i]->register_metrics(
+        registry, obs::labels({{"machine", "m" + std::to_string(i)}}));
+  }
   obs::StatsServer stats([&] { return registry.snapshot(); },
                          [&] { return supervisor.up_count() > 0; });
   std::string stats_error;
@@ -393,7 +483,10 @@ int main(int argc, char** argv) {
               opts.machines);
   std::fflush(stdout);
   log_event("fleet up: front 127.0.0.1:" + std::to_string(front.udp_port()) + ", " +
-            std::to_string(opts.machines) + " machines");
+            std::to_string(opts.machines) + " machines" +
+            (chaos_on ? " (chaos plan " + opts.chaos_plan_path + ", seed " +
+                            std::to_string(chaos_plan.seed) + ")"
+                      : ""));
 
   // --- Main loop: supervision + drill schedule ---
   bool kill_done = opts.kill_after_ms < 0;
@@ -455,6 +548,7 @@ int main(int argc, char** argv) {
       m.restores = st->restores;
       m.advisory_scrapes = st->advisory_scrapes;
       m.advisory_anomalies = st->advisory_anomalies;
+      m.upstream_timeouts = st->upstream_timeouts;
     }
     report.machines.push_back(std::move(m));
   }
@@ -484,6 +578,7 @@ int main(int argc, char** argv) {
 
   supervisor.stop();
   front.stop();
+  for (auto& proxy : chaos_proxies) proxy->stop();
 
   const std::string rendered = control::render_fleet_report(report);
   if (!opts.report_path.empty()) {

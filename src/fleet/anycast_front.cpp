@@ -41,6 +41,13 @@ struct AnycastFront::UdpFlow {
   std::string member_id;
   net::UdpSocket upstream;
   std::int64_t last_active_ns = 0;
+  /// Steady-ns of the oldest client query forwarded upstream with no
+  /// answer seen yet (0: nothing awaited). Armed on forward, cleared on
+  /// answer, reset on re-pin (the old upstream's stall must not be
+  /// charged to the new member). When it ages past
+  /// FrontConfig::upstream_timeout_ms the flow reports one upstream
+  /// timeout and disarms until the next client query.
+  std::int64_t awaiting_since_ns = 0;
   /// Index into samples_ of the oldest re-pin this flow has not yet
   /// answered for (kNpos: none pending). A later re-pin does not
   /// overwrite it — the recovery clock runs from the first disruption.
@@ -202,6 +209,8 @@ FrontCountersView AnycastFront::counters() const {
   v.udp_upstream_answers = counters_.udp_upstream_answers.load(std::memory_order_relaxed);
   v.udp_no_member_drops = counters_.udp_no_member_drops.load(std::memory_order_relaxed);
   v.udp_upstream_errors = counters_.udp_upstream_errors.load(std::memory_order_relaxed);
+  v.udp_upstream_timeouts =
+      counters_.udp_upstream_timeouts.load(std::memory_order_relaxed);
   v.flows_created = counters_.flows_created.load(std::memory_order_relaxed);
   v.flows_moved = counters_.flows_moved.load(std::memory_order_relaxed);
   v.flows_expired = counters_.flows_expired.load(std::memory_order_relaxed);
@@ -242,6 +251,7 @@ bool AnycastFront::attach_flow_upstream(UdpFlow& flow, std::size_t member_index)
   }
   flow.upstream = std::move(upstream).take();
   flow.member_id = member.id;
+  flow.awaiting_since_ns = 0;
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.ptr = &flow.ref;
@@ -340,6 +350,8 @@ void AnycastFront::handle_front_udp() {
     flow.last_active_ns = now_ns();
     if (::send(flow.upstream.fd(), buf, static_cast<std::size_t>(n), 0) < 0) {
       counters_.udp_upstream_errors.fetch_add(1, std::memory_order_relaxed);
+    } else if (flow.awaiting_since_ns == 0) {
+      flow.awaiting_since_ns = flow.last_active_ns;
     }
   }
 }
@@ -360,6 +372,7 @@ void AnycastFront::handle_flow(UdpFlow* flow) {
     }
     if (n == 0) return;
     flow->last_active_ns = now_ns();
+    flow->awaiting_since_ns = 0;
     ::sendto(front_udp_.fd(), buf, static_cast<std::size_t>(n), 0,
              reinterpret_cast<const sockaddr*>(&flow->client_sa), flow->client_sa_len);
     counters_.udp_upstream_answers.fetch_add(1, std::memory_order_relaxed);
@@ -534,9 +547,22 @@ void AnycastFront::sweep_idle(std::int64_t now) {
   live_flows_.store(flows_.size(), std::memory_order_relaxed);
 }
 
+void AnycastFront::check_upstream_timeouts(std::int64_t now) {
+  const std::int64_t budget_ns = config_.upstream_timeout_ms * 1'000'000;
+  for (auto& [client, flow] : flows_) {
+    if (flow->awaiting_since_ns == 0) continue;
+    if (now - flow->awaiting_since_ns <= budget_ns) continue;
+    // One report per stall; the next client datagram re-arms the clock.
+    flow->awaiting_since_ns = 0;
+    counters_.udp_upstream_timeouts.fetch_add(1, std::memory_order_relaxed);
+    if (on_upstream_timeout_) on_upstream_timeout_(flow->member_id);
+  }
+}
+
 void AnycastFront::loop() {
   std::vector<epoll_event> events(128);
   std::int64_t last_sweep = now_ns();
+  std::int64_t last_timeout_check = last_sweep;
   while (!stop_.load(std::memory_order_acquire)) {
     const int n = ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()), 100);
     if (n < 0) {
@@ -580,6 +606,10 @@ void AnycastFront::loop() {
                        tcp_conns_.end());
     }
     const std::int64_t now = now_ns();
+    if (config_.upstream_timeout_ms > 0 && now - last_timeout_check > 50'000'000) {
+      last_timeout_check = now;
+      check_upstream_timeouts(now);
+    }
     if (now - last_sweep > 1'000'000'000) {
       last_sweep = now;
       sweep_idle(now);

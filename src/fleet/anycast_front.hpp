@@ -44,6 +44,13 @@ struct FrontConfig {
   std::size_t max_flows = 8192;
   /// Idle flows older than this are swept (ms).
   std::int64_t flow_idle_ms = 30'000;
+  /// A flow that forwarded a client query upstream and saw no answer
+  /// within this budget reports an upstream timeout (counter + the
+  /// on_upstream_timeout callback, once per stall). 0 disables. This is
+  /// an *advisory* signal: it feeds the probe suite's anomaly counters
+  /// and may prompt an immediate probe round, but only end-to-end
+  /// probes can suspend a machine.
+  std::int64_t upstream_timeout_ms = 0;
 };
 
 /// One catchment change, measured end to end.
@@ -68,6 +75,7 @@ struct FrontCounters {
   std::atomic<std::uint64_t> udp_upstream_answers{0};
   std::atomic<std::uint64_t> udp_no_member_drops{0};
   std::atomic<std::uint64_t> udp_upstream_errors{0};
+  std::atomic<std::uint64_t> udp_upstream_timeouts{0};
   std::atomic<std::uint64_t> flows_created{0};
   std::atomic<std::uint64_t> flows_moved{0};
   std::atomic<std::uint64_t> flows_expired{0};
@@ -80,6 +88,7 @@ struct FrontCountersView {
   std::uint64_t udp_upstream_answers = 0;
   std::uint64_t udp_no_member_drops = 0;
   std::uint64_t udp_upstream_errors = 0;
+  std::uint64_t udp_upstream_timeouts = 0;
   std::uint64_t flows_created = 0;
   std::uint64_t flows_moved = 0;
   std::uint64_t flows_expired = 0;
@@ -104,6 +113,15 @@ class AnycastFront {
 
   Result<bool> start();
   void stop();
+
+  /// Installs the upstream-timeout observer (see
+  /// FrontConfig::upstream_timeout_ms). Must be called before start();
+  /// the callback runs on the epoll thread and must be fast and
+  /// thread-safe. It names the member whose flow stalled.
+  using UpstreamTimeoutFn = std::function<void(const std::string& member_id)>;
+  void set_on_upstream_timeout(UpstreamTimeoutFn fn) {
+    on_upstream_timeout_ = std::move(fn);
+  }
 
   std::uint16_t udp_port() const noexcept { return udp_port_; }
   std::uint16_t tcp_port() const noexcept { return tcp_port_; }
@@ -134,6 +152,7 @@ class AnycastFront {
   void handle_tcp(TcpConn* conn, std::uint32_t events);
   void close_tcp(TcpConn* conn);
   void sweep_idle(std::int64_t now_ns);
+  void check_upstream_timeouts(std::int64_t now_ns);
   /// Rendezvous winner among active members, or npos.
   std::size_t pick_member(const Endpoint& client) const;
   void repin_member_flows(const std::string& id, bool withdrawal);
@@ -169,6 +188,7 @@ class AnycastFront {
   std::vector<FrontMemberView> member_view_;
 
   FrontCounters counters_;
+  UpstreamTimeoutFn on_upstream_timeout_;
   std::atomic<std::uint64_t> live_flows_{0};
   std::thread thread_;
   std::atomic<bool> running_{false};

@@ -49,6 +49,9 @@ struct CliOptions {
   /// selecting the exit policy under an attack mix (see main()).
   std::string defense = "off";
   std::uint64_t timeout_ms = 1000;
+  /// Retransmissions per query after a timeout (resolver behavior on a
+  /// lossy path — the chaos-drill lanes set this). 0 = single-shot.
+  std::uint64_t retries = 0;
   double goodput_min = 0.9;
   /// Failover-drill gate: when >= 0 the run *expects* loss (a machine is
   /// killed or suspended mid-run) and passes iff the widest outage
@@ -99,6 +102,9 @@ void print_usage(const char* argv0) {
       "  --attack-weights R,D,S  random-subdomain/direct/spoofed blend (default 0.5,0.3,0.2)\n"
       "  --defense MODE      what the server runs: off|on (recorded; selects exit policy)\n"
       "  --timeout-ms N      per-query response timeout (default 1000)\n"
+      "  --retries N         resend a timed-out query up to N times before counting\n"
+      "                      it dropped (default 0; chaos drills over lossy paths\n"
+      "                      set this — retransmits are reported separately)\n"
       "  --goodput-min F     legit goodput floor for --defense on (default 0.9)\n"
       "  --max-outage-ms N   failover-drill gate: tolerate query loss, but require\n"
       "                      the widest outage window (first lost send to last lost\n"
@@ -191,6 +197,9 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
     } else if (arg == "--timeout-ms") {
       if (!(v = need_value())) return false;
       opts.timeout_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--retries") {
+      if (!(v = need_value())) return false;
+      opts.retries = std::strtoull(v, nullptr, 10);
     } else if (arg == "--goodput-min") {
       if (!(v = need_value())) return false;
       opts.goodput_min = std::strtod(v, nullptr);
@@ -318,11 +327,14 @@ std::string report_json(const akadns::net::LoadgenReport& r, const CliOptions& o
                 "  \"received\": %llu,\n"
                 "  \"dropped\": %llu,\n"
                 "  \"mismatched\": %llu,\n"
-                "  \"unexpected\": %llu,\n",
+                "  \"unexpected\": %llu,\n"
+                "  \"retransmits\": %llu,\n"
+                "  \"servfail\": %llu,\n",
                 opts.target.c_str(), (unsigned long long)opts.queries, opts.sockets,
                 opts.defense.c_str(), opts.attack_fraction, (unsigned long long)r.sent,
                 (unsigned long long)r.received, (unsigned long long)r.dropped,
-                (unsigned long long)r.mismatched, (unsigned long long)r.unexpected);
+                (unsigned long long)r.mismatched, (unsigned long long)r.unexpected,
+                (unsigned long long)r.retransmits, (unsigned long long)r.servfail);
   std::string out = buf;
   out += class_json("legit", r.legit);
   out += class_json("attack", r.attack);
@@ -447,6 +459,7 @@ int main(int argc, char** argv) {
   config.rate = opts.rate;
   config.total_queries = opts.queries;
   config.response_timeout = akadns::Duration::millis(static_cast<std::int64_t>(opts.timeout_ms));
+  config.retries = static_cast<std::size_t>(opts.retries);
   config.outage_gap = akadns::Duration::millis(static_cast<std::int64_t>(opts.outage_gap_ms));
 
   akadns::net::Loadgen loadgen(config, corpus, std::move(expected), std::move(expected_v2));
@@ -457,6 +470,12 @@ int main(int argc, char** argv) {
   std::printf("dropped     %llu\n", (unsigned long long)report.dropped);
   std::printf("mismatched  %llu\n", (unsigned long long)report.mismatched);
   std::printf("unexpected  %llu\n", (unsigned long long)report.unexpected);
+  if (report.retransmits > 0 || opts.retries > 0) {
+    std::printf("retransmits %llu\n", (unsigned long long)report.retransmits);
+  }
+  if (report.servfail > 0) {
+    std::printf("servfail    %llu\n", (unsigned long long)report.servfail);
+  }
   if (report.targets.size() > 1 || report.widest_outage_ns > 0) {
     for (const auto& t : report.targets) {
       std::printf("target      %s lanes=%zu sent=%llu received=%llu dropped=%llu"
@@ -547,7 +566,8 @@ int main(int argc, char** argv) {
     // Baseline (defense off): a measurement, not a gate.
     return report.sent > 0 ? 0 : 1;
   }
-  bool ok = report.dropped == 0 && report.mismatched == 0 && report.unexpected == 0;
+  bool ok = report.dropped == 0 && report.mismatched == 0 && report.unexpected == 0 &&
+            report.servfail == 0;
   if (flip_mode) {
     // The live-reload gate: the flip must have been observed (the run
     // lasted past --flip-after-ms and new answers arrived) and no lane

@@ -107,6 +107,10 @@ struct CliOptions {
   std::string secondary_of;                 // host:port, empty = primary only
   std::vector<std::string> track_apexes;
   std::uint64_t refresh_ms = 5000;
+  // Freshness-ladder caps (serve-stale drills): 0 = the zone's SOA
+  // refresh/expire verbatim.
+  std::uint64_t stale_after_ms = 0;
+  std::uint64_t expire_after_ms = 0;
   // Live-reload drill: republish evolved synthetic zones mid-run.
   std::uint64_t flip_after_ms = 0;
   std::size_t flip_count = 1;
@@ -137,6 +141,12 @@ void print_usage(const char* argv0) {
       "  --track-apex NAME  zone apex the secondary bootstraps/tracks\n"
       "                     (repeatable; default: whatever is already local)\n"
       "  --refresh-ms T     secondary SOA probe cadence (default 5000)\n"
+      "  --stale-after-ms T cap on the SOA refresh timer: a tracked zone not\n"
+      "                     confirmed for T ms is *stale* (served, counted,\n"
+      "                     zone_staleness_seconds > 0); 0 = SOA verbatim\n"
+      "  --expire-after-ms T cap on the SOA expire timer: past it the zone is\n"
+      "                     withdrawn (queries REFUSED, /healthz 503);\n"
+      "                     0 = SOA verbatim\n"
       "  --flip-after-ms T  live-reload drill: after T ms republish the first\n"
       "                     --flip-count synthetic zones, deterministically\n"
       "                     evolved (serial+1, A records' last octet +1)\n"
@@ -229,6 +239,14 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       const char* v = need_value();
       if (!v) return false;
       opts.refresh_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--stale-after-ms") {
+      const char* v = need_value();
+      if (!v) return false;
+      opts.stale_after_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--expire-after-ms") {
+      const char* v = need_value();
+      if (!v) return false;
+      opts.expire_after_ms = std::strtoull(v, nullptr, 10);
     } else if (arg == "--flip-after-ms") {
       const char* v = need_value();
       if (!v) return false;
@@ -424,6 +442,12 @@ int main(int argc, char** argv) {
     sc.primary_port = primary.port;
     sc.refresh_interval = akadns::Duration::millis(
         static_cast<std::int64_t>(std::max<std::uint64_t>(1, opts.refresh_ms)));
+    // Freshness ladder, shared with the serve workers: the sync confirms
+    // refreshes into the tracker, the query path gates on it.
+    sc.freshness_caps.refresh_cap =
+        akadns::Duration::millis(static_cast<std::int64_t>(opts.stale_after_ms));
+    sc.freshness_caps.expire_cap =
+        akadns::Duration::millis(static_cast<std::int64_t>(opts.expire_after_ms));
     for (const auto& text : opts.track_apexes) {
       auto apex = akadns::dns::DnsName::parse(text);
       if (!apex) {
@@ -457,6 +481,9 @@ int main(int argc, char** argv) {
     config.on_notify = [sync = secondary.get()](const akadns::dns::DnsName&) {
       sync->notify_kick();
     };
+    // The workers consult the same tracker the sync feeds: stale zones
+    // keep answering (counted), expired zones are withdrawn per query.
+    config.freshness = secondary->freshness();
   }
 
   akadns::net::Server server(config, publisher);
@@ -485,11 +512,13 @@ int main(int argc, char** argv) {
 
   // Live telemetry endpoint: scrapes read the workers' single-writer
   // atomics, so a 10 Hz poller never perturbs the datapath. /healthz
-  // reports unready while draining or while a secondary has not yet
-  // completed a clean refresh pass.
+  // reports unready while draining, while a secondary has not yet
+  // completed a clean refresh pass, or once a tracked zone ages past its
+  // SOA expire — stale-but-not-expired zones do NOT degrade it
+  // (serve-stale is the intended mode under primary loss).
   akadns::obs::StatsServer stats_server(
       scrape, [&server, sec = secondary.get()] {
-        return server.ready() && (!sec || sec->synced());
+        return server.ready() && (!sec || !sec->degraded());
       });
   std::uint16_t stats_port = 0;
   if (opts.stats_port >= 0) {

@@ -39,6 +39,7 @@ struct SocketLane {
   ClassCounters legit;
   ClassCounters attack;
   std::uint64_t unexpected = 0;
+  std::uint64_t retransmits = 0;
   LogHistogram latency_ns;
   FlipStats flip;
   OutageTracker outages{500'000'000};
@@ -50,6 +51,7 @@ struct SocketLane {
     std::int64_t send_ns = 0;
     bool active = false;
     bool is_attack = false;
+    std::uint8_t tries = 0;  // sends so far (first send = 1)
   };
 
   ClassCounters& bucket(bool is_attack) { return is_attack ? attack : legit; }
@@ -89,6 +91,7 @@ struct SocketLane {
     }
 
     std::vector<Outstanding> inflight(65536);
+    std::vector<std::uint8_t> retry_buf;
     std::size_t inflight_count = 0;
     std::uint32_t seq = 0;
     const std::int64_t timeout_ns = config.response_timeout.count_nanos();
@@ -123,6 +126,7 @@ struct SocketLane {
           --inflight_count;
           ClassCounters& cls = bucket(slot.is_attack);
           ++cls.received;
+          if (len >= 4 && (buf[3] & 0x0F) == 2) ++cls.servfail;  // rcode SERVFAIL
           latency_ns.add(static_cast<double>(t - slot.send_ns));
           if (expected && !expected->empty()) {
             // Expected wires carry id 0; compare everything after it.
@@ -187,7 +191,7 @@ struct SocketLane {
           const std::uint16_t id = static_cast<std::uint16_t>(seq + j);
           buf[0] = static_cast<std::uint8_t>(id >> 8);
           buf[1] = static_cast<std::uint8_t>(id & 0xff);
-          inflight[id] = {static_cast<std::uint32_t>(idx), t, true, entry.is_attack};
+          inflight[id] = {static_cast<std::uint32_t>(idx), t, true, entry.is_attack, 1};
           tx_iovecs[j].iov_base = buf.data();
           tx_iovecs[j].iov_len = buf.size();
           std::memset(&tx_hdrs[j], 0, sizeof(mmsghdr));
@@ -252,16 +256,32 @@ struct SocketLane {
         const std::int64_t t = now_ns(epoch);
         if (t - last_sweep >= sweep_interval_ns) {
           last_sweep = t;
-          for (auto& slot : inflight) {
-            if (slot.active && t - slot.send_ns > timeout_ns) {
-              slot.active = false;
-              --inflight_count;
-              ++bucket(slot.is_attack).dropped;
-              // The loss is stamped at send time: that is when the target
-              // failed to answer, not when we gave up waiting — window
-              // widths stay timeout-independent.
-              outages.record_loss(slot.send_ns);
+          const std::size_t max_tries = 1 + config.retries;
+          for (std::size_t id = 0; id < inflight.size(); ++id) {
+            Outstanding& slot = inflight[id];
+            if (!slot.active || t - slot.send_ns <= timeout_ns) continue;
+            if (slot.tries < max_tries) {
+              // Resend the same query under the same transaction id —
+              // resolver behavior on a lossy path. Latency restarts at
+              // the resend; only a query with every try spent is a drop.
+              const auto& wire = (*corpus)[slot.corpus_idx].wire;
+              retry_buf.assign(wire.begin(), wire.end());
+              retry_buf[0] = static_cast<std::uint8_t>(id >> 8);
+              retry_buf[1] = static_cast<std::uint8_t>(id & 0xff);
+              if (::send(sock.fd(), retry_buf.data(), retry_buf.size(), 0) >= 0) {
+                ++slot.tries;
+                slot.send_ns = t;
+                ++retransmits;
+                continue;
+              }
             }
+            slot.active = false;
+            --inflight_count;
+            ++bucket(slot.is_attack).dropped;
+            // The loss is stamped at send time: that is when the target
+            // failed to answer, not when we gave up waiting — window
+            // widths stay timeout-independent.
+            outages.record_loss(slot.send_ns);
           }
         }
       }
@@ -344,6 +364,7 @@ LoadgenReport Loadgen::run() {
     report.legit.merge(lane.legit);
     report.attack.merge(lane.attack);
     report.unexpected += lane.unexpected;
+    report.retransmits += lane.retransmits;
     report.latency_ns.merge(lane.latency_ns);
     report.flip.merge(lane.flip);
     TargetReport& tgt = report.targets[lane.target_index];
@@ -365,6 +386,7 @@ LoadgenReport Loadgen::run() {
   report.received = report.legit.received + report.attack.received;
   report.dropped = report.legit.dropped + report.attack.dropped;
   report.mismatched = report.legit.mismatched + report.attack.mismatched;
+  report.servfail = report.legit.servfail + report.attack.servfail;
   report.seconds = seconds;
   report.qps = seconds > 0.0 ? static_cast<double>(report.received) / seconds : 0.0;
   report.p50_us = report.latency_ns.quantile(0.50) / 1e3;

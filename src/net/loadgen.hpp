@@ -56,6 +56,11 @@ struct LoadgenConfig {
   /// How long to wait for stragglers after the last send before
   /// declaring the remainder dropped.
   Duration response_timeout = Duration::millis(1000);
+  /// Retransmissions per query after the first send times out (what a
+  /// real resolver does on a lossy path). A query counts as dropped only
+  /// once every try expired; retries are reported separately. 0 = the
+  /// strict single-shot mode (loopback differential runs).
+  std::size_t retries = 0;
   /// Losses closer together than this merge into one outage window
   /// (see OutageTracker).
   Duration outage_gap = Duration::millis(500);
@@ -160,8 +165,9 @@ struct TargetReport {
 struct ClassCounters {
   std::uint64_t sent = 0;
   std::uint64_t received = 0;
-  std::uint64_t dropped = 0;     // timed out waiting
+  std::uint64_t dropped = 0;     // timed out waiting (all tries spent)
   std::uint64_t mismatched = 0;  // byte-compare against expected failed
+  std::uint64_t servfail = 0;    // responses carrying rcode SERVFAIL
 
   /// Fraction of sent queries answered (1.0 when nothing was sent).
   double goodput() const noexcept {
@@ -173,6 +179,7 @@ struct ClassCounters {
     received += o.received;
     dropped += o.dropped;
     mismatched += o.mismatched;
+    servfail += o.servfail;
   }
 };
 
@@ -209,6 +216,8 @@ struct LoadgenReport {
   std::uint64_t dropped = 0;     // timed out waiting
   std::uint64_t mismatched = 0;  // byte-compare against expected failed
   std::uint64_t unexpected = 0;  // response id matching nothing in flight
+  std::uint64_t retransmits = 0; // timed-out tries resent (config.retries)
+  std::uint64_t servfail = 0;    // responses carrying rcode SERVFAIL
   double seconds = 0.0;          // wall time of the whole run
   double qps = 0.0;              // received / seconds
   /// Round-trip latency in microseconds.

@@ -42,6 +42,10 @@ struct Conn {
   std::vector<std::uint8_t> scratch;
   bool closing = false;     // flush `out`, then close
   bool want_write = false;  // EPOLLOUT currently registered
+  /// Last time bytes actually moved on this connection (the idle
+  /// reaper's clock — a peer merely holding the socket open never
+  /// advances it).
+  Clock::time_point last_active{};
 };
 
 /// Deferred-response transmit batch for the defense path. A penalty-
@@ -120,6 +124,19 @@ class TxBatch {
   std::vector<mmsghdr> hdrs_;
   std::vector<iovec> iovecs_;
 };
+
+/// REFUSED answer for a query whose zone aged past SOA expire: the
+/// response an unhosted zone would get — the secondary has stopped
+/// claiming authority, so resolvers move to a sibling that still does.
+std::vector<std::uint8_t> refused_response(const dns::QueryView& view) {
+  dns::Message m;
+  m.header = view.header;
+  m.header.qr = true;
+  m.header.aa = false;
+  m.header.rcode = dns::Rcode::Refused;
+  m.questions.push_back(view.question);
+  return dns::encode(m);
+}
 
 /// The per-worker slice of the server-wide defense configuration.
 defense::DefenseConfig worker_engine_config(const ServeConfig& cfg) {
@@ -224,6 +241,18 @@ struct Server::Worker {
   /// latency telemetry coherent across workers.
   void poll_zone_updates() { sync.poll(publisher.clock().now()); }
 
+  /// One relaxed load: anything in the freshness ladder degraded? Only
+  /// then does the per-query apex walk below run at all.
+  bool fresh_gated() const noexcept {
+    return config.freshness &&
+           config.freshness->worst() != propagation::Freshness::Fresh;
+  }
+  /// Per-query verdict once fresh_gated(): true — the query's zone aged
+  /// past its (capped) SOA expire and must be REFUSED (withdrawn);
+  /// false — serve it (counting stale_served when the zone is stale).
+  bool freshness_refuses(const dns::DnsName& qname);
+  void reap_idle_conns(Clock::time_point now_tp);
+
   void run();
   bool drain_udp(bool draining);
   void answer_queued(server::QueryContext& item);
@@ -238,6 +267,37 @@ struct Server::Worker {
   bool any_pending_output() const;
 };
 
+bool Server::Worker::freshness_refuses(const dns::DnsName& qname) {
+  const auto zone = replica.find_best_compiled(qname);
+  if (!zone) return false;  // not ours: the responder REFUSEs it anyway
+  const std::int64_t t = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             Clock::now().time_since_epoch())
+                             .count();
+  switch (config.freshness->state_of(zone->apex(), t)) {
+    case propagation::Freshness::Expired:
+      ++stats.expired_refused;
+      return true;
+    case propagation::Freshness::Stale:
+      ++stats.stale_served;
+      return false;
+    case propagation::Freshness::Fresh:
+      break;
+  }
+  return false;
+}
+
+void Server::Worker::reap_idle_conns(Clock::time_point now_tp) {
+  const auto limit = std::chrono::nanoseconds(config.tcp_idle_timeout.count_nanos());
+  for (auto it = conns.begin(); it != conns.end();) {
+    if (now_tp - it->second->last_active > limit) {
+      ++stats.tcp_idle_reaped;
+      it = conns.erase(it);  // FdHandle close drops the epoll registration
+    } else {
+      ++it;
+    }
+  }
+}
+
 bool Server::Worker::drain_udp(bool draining) {
   const int fd = udp.fd();
   bool saw_data = false;
@@ -251,6 +311,7 @@ bool Server::Worker::drain_udp(bool draining) {
     // Rule-table lookups only cost anything when rules exist; an empty
     // table is bypassed (nothing could match, so no drop is miscounted).
     const bool check_firewall = !engine.firewall().rules().empty();
+    const bool gated = fresh_gated();
     std::size_t want = 0;
     for (int i = 0; i < n; ++i) {
       const auto wire = batch.packet(static_cast<std::size_t>(i));
@@ -281,6 +342,15 @@ bool Server::Worker::drain_udp(bool draining) {
       // the fast path and the defense path alike. Counted as a Firewall
       // drop in the engine's defense stats.
       if (check_firewall && engine.firewall_drops(0, view.value().question)) continue;
+      // Serve-stale ladder: an expired zone is withdrawn here, at
+      // admission, on the fast path and the defense path alike — a
+      // penalty-queued query must not be answered from a zone that
+      // expired while it waited.
+      if (gated && freshness_refuses(view.value().question.name)) {
+        batch.response(static_cast<std::size_t>(i)) = refused_response(view.value());
+        ++want;
+        continue;
+      }
       const Endpoint client = endpoint_from_sockaddr(batch.source(static_cast<std::size_t>(i)));
       if (!queue_path) {
         responder.respond_view_into(wire, view.value(), client, now(),
@@ -365,6 +435,7 @@ void Server::Worker::accept_loop() {
     auto conn = std::make_unique<Conn>();
     conn->peer = endpoint_from_sockaddr(peer_addr);
     conn->decoder = FrameDecoder(config.tcp_max_frame);
+    conn->last_active = Clock::now();
     const int fd = conn_fd.get();
     conn->fd = std::move(conn_fd);
     epoll_event ev{};
@@ -411,10 +482,15 @@ void Server::Worker::process_frames(Conn& conn) {
       }
       continue;
     }
-    // TCP responses are never truncated and never touch the UDP-keyed
-    // answer cache: the full message limit is the transport ceiling.
-    responder.respond_view_into(*frame, view.value(), conn.peer, now(), conn.scratch,
-                                dns::kMaxMessageSize);
+    // Serve-stale ladder, same verdict as the UDP path.
+    if (fresh_gated() && freshness_refuses(view.value().question.name)) {
+      conn.scratch = refused_response(view.value());
+    } else {
+      // TCP responses are never truncated and never touch the UDP-keyed
+      // answer cache: the full message limit is the transport ceiling.
+      responder.respond_view_into(*frame, view.value(), conn.peer, now(), conn.scratch,
+                                  dns::kMaxMessageSize);
+    }
     const auto prefix = frame_prefix(conn.scratch.size());
     conn.out.insert(conn.out.end(), prefix.begin(), prefix.end());
     conn.out.insert(conn.out.end(), conn.scratch.begin(), conn.scratch.end());
@@ -440,6 +516,7 @@ void Server::Worker::flush_conn(Conn& conn) {
     const ssize_t n = ::write(conn.fd.get(), conn.out.data() + conn.out_off,
                               conn.out.size() - conn.out_off);
     if (n > 0) {
+      conn.last_active = Clock::now();
       conn.out_off += static_cast<std::size_t>(n);
       continue;
     }
@@ -473,6 +550,7 @@ void Server::Worker::handle_conn(int fd, std::uint32_t events) {
     while (true) {
       const ssize_t n = ::read(fd, tcp_read_buf.data(), tcp_read_buf.size());
       if (n > 0) {
+        conn.last_active = Clock::now();
         conn.decoder.feed({tcp_read_buf.data(), static_cast<std::size_t>(n)});
         process_frames(conn);
         continue;
@@ -513,6 +591,8 @@ void Server::Worker::run() {
 
   bool draining = false;
   Clock::time_point drain_deadline{};
+  const bool reap_idle = config.tcp_idle_timeout.count_nanos() > 0;
+  Clock::time_point next_idle_sweep = Clock::now();
   std::array<epoll_event, 64> events{};
   while (true) {
     int timeout_ms = -1;
@@ -524,6 +604,11 @@ void Server::Worker::run() {
       // Backlogged defense queues: wake shortly so the compute bucket's
       // refill turns into answered queries even when the socket is idle.
       timeout_ms = 1;
+    } else if (reap_idle && !conns.empty()) {
+      // Established connections exist: bound the wait so the idle reaper
+      // runs even when no traffic arrives — that is exactly the case it
+      // defends against (a peer holding sockets open in silence).
+      timeout_ms = 250;
     }
     const int n = ::epoll_wait(epoll.get(), events.data(), static_cast<int>(events.size()),
                                timeout_ms);
@@ -563,6 +648,13 @@ void Server::Worker::run() {
       }
     }
     if (!draining && queue_path) process_backlog();
+    if (!draining && reap_idle && !conns.empty()) {
+      const auto now_tp = Clock::now();
+      if (now_tp >= next_idle_sweep) {
+        reap_idle_conns(now_tp);
+        next_idle_sweep = now_tp + std::chrono::milliseconds(250);
+      }
+    }
     if (draining) {
       // In-flight means: bytes owed to established TCP clients. Leave
       // when they are flushed (or the deadline passes — resolvers retry).
@@ -719,6 +811,9 @@ void FrontendStats::register_into(obs::MetricRegistry& reg,
   event("udp_notifies", udp_notifies);
   event("tcp_transfers", tcp_transfers);
   event("zone_update_wakes", zone_update_wakes);
+  event("tcp_idle_reaped", tcp_idle_reaped);
+  event("stale_served", stale_served);
+  event("expired_refused", expired_refused);
 }
 
 namespace {
@@ -753,6 +848,9 @@ ServerStats render_server_stats(const obs::MetricsSnapshot& snap, std::size_t wo
   f.udp_notifies = frontend_event("udp_notifies");
   f.tcp_transfers = frontend_event("tcp_transfers");
   f.zone_update_wakes = frontend_event("zone_update_wakes");
+  f.tcp_idle_reaped = frontend_event("tcp_idle_reaped");
+  f.stale_served = frontend_event("stale_served");
+  f.expired_refused = frontend_event("expired_refused");
 
   auto& r = out.responder;
   r.responses = snap.sum("akadns_responses_total");

@@ -33,6 +33,7 @@
 #include "common/sim_time.hpp"
 #include "defense/defense_engine.hpp"
 #include "net/socket.hpp"
+#include "propagation/freshness.hpp"
 #include "propagation/transfer_service.hpp"
 #include "propagation/zone_publisher.hpp"
 #include "obs/registry.hpp"
@@ -91,6 +92,10 @@ struct ServeConfig {
   std::size_t tcp_max_connections = 1024;
   /// How long stop() lets workers flush in-flight TCP responses.
   Duration drain_timeout = Duration::seconds(5);
+  /// Established TCP connections with no byte movement for this long are
+  /// reaped (slowloris protection: a peer holding sockets open cannot pin
+  /// a worker's connection slots). Zero disables the reaper.
+  Duration tcp_idle_timeout = Duration::seconds(30);
   server::ResponderConfig responder{};
   DefenseOptions defense{};
   /// Invoked (from a worker thread — must be thread-safe and cheap) when
@@ -100,6 +105,12 @@ struct ServeConfig {
   std::function<void(const dns::DnsName& apex)> on_notify;
   /// Zone-transfer (AXFR/IXFR) response shaping for the TCP path.
   propagation::TransferConfig transfer{};
+  /// Per-apex freshness ladder, shared with the secondary sync. When set,
+  /// queries for an apex past its (capped) SOA expire are REFUSED — the
+  /// zone is withdrawn, exactly as if it were not hosted — while
+  /// stale-but-not-expired zones keep serving (counted as stale_served).
+  /// Null: every zone is treated as fresh (primaries, static content).
+  std::shared_ptr<propagation::FreshnessTracker> freshness;
 };
 
 /// Frontend I/O counters, one set per worker. (Responder/cache counters
@@ -121,6 +132,9 @@ struct FrontendStats {
   obs::Counter udp_notifies;    // NOTIFY messages acknowledged
   obs::Counter tcp_transfers;   // AXFR/IXFR queries answered
   obs::Counter zone_update_wakes;  // update-eventfd wakeups taken
+  obs::Counter tcp_idle_reaped;    // connections closed by the idle reaper
+  obs::Counter stale_served;       // answers served from a stale zone
+  obs::Counter expired_refused;    // queries REFUSED: zone past SOA expire
 
   /// One akadns_frontend_total{event=...} series per counter.
   void register_into(obs::MetricRegistry& reg, const obs::LabelSet& base) const;

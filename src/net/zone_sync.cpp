@@ -1,13 +1,18 @@
 #include "net/zone_sync.hpp"
 
+#include <poll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
+#include <limits>
 
+#include "common/rng.hpp"
 #include "dns/wire.hpp"
 #include "net/tcp_framing.hpp"
 #include "propagation/transfer_service.hpp"
@@ -20,15 +25,14 @@ using dns::Message;
 using dns::RecordType;
 using dns::ResourceRecord;
 using dns::SoaRecord;
+using propagation::SyncOp;
+using propagation::TransferReject;
 using propagation::TransferService;
 
-void set_io_timeout(int fd, Duration timeout) noexcept {
-  timeval tv{};
-  const std::int64_t nanos = timeout.count_nanos();
-  tv.tv_sec = static_cast<time_t>(nanos / 1'000'000'000);
-  tv.tv_usec = static_cast<suseconds_t>((nanos % 1'000'000'000) / 1000);
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 /// Whether a partial response stream already forms a complete transfer
@@ -59,12 +63,25 @@ bool stream_complete(const std::vector<Message>& stream, std::uint32_t client_se
 
 }  // namespace
 
+SecondarySync::SecondarySync(SecondaryConfig config, propagation::ZonePublisher& publisher)
+    : config_(std::move(config)), publisher_(publisher) {
+  freshness_ = config_.freshness
+                   ? config_.freshness
+                   : std::make_shared<propagation::FreshnessTracker>(config_.freshness_caps);
+  const int efd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  stop_event_ = FdHandle(efd);
+}
+
 void SecondarySync::start() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (running_) return;
     running_ = true;
     stop_requested_ = false;
+  }
+  // Drain any stop signal a previous stop() left in the eventfd.
+  std::uint64_t drained = 0;
+  while (::read(stop_event_.get(), &drained, sizeof(drained)) > 0) {
   }
   thread_ = std::thread([this] { run(); });
 }
@@ -75,6 +92,10 @@ void SecondarySync::stop() {
     if (!running_) return;
     stop_requested_ = true;
   }
+  // Two wake paths: the condvar for a thread between passes, the eventfd
+  // for one blocked in poll() against an unresponsive primary.
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(stop_event_.get(), &one, sizeof(one));
   wake_.notify_all();
   if (thread_.joinable()) thread_.join();
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -91,19 +112,39 @@ void SecondarySync::notify_kick() {
 
 void SecondarySync::run() {
   while (true) {
+    bool force = false;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (stop_requested_) return;
+      if (kicked_) {
+        kicked_ = false;
+        ++stats_.notify_kicks;
+        // The primary just told us it has news: collapse every apex's
+        // backoff and probe everything now.
+        for (auto& [apex, sched] : schedule_) {
+          sched.backoff_level = 0;
+          sched.next_due_ns = 0;
+        }
+        force = true;
+      }
     }
-    sync_once();
+    run_pass(force);
+    freshness_->evaluate(now_ns());
+
     std::unique_lock<std::mutex> lock(mutex_);
-    wake_.wait_for(lock, std::chrono::nanoseconds(config_.refresh_interval.count_nanos()),
+    if (stop_requested_) return;
+    // A NOTIFY that landed while the pass above was running must not
+    // wait out the refresh interval: loop straight into another pass.
+    if (kicked_) continue;
+    const std::int64_t now = now_ns();
+    std::int64_t next = now + config_.refresh_interval.count_nanos();
+    for (const auto& [apex, sched] : schedule_) {
+      next = std::min(next, sched.next_due_ns <= now ? now : sched.next_due_ns);
+    }
+    const std::int64_t wait_ns = std::max<std::int64_t>(next - now, 1'000'000);
+    wake_.wait_for(lock, std::chrono::nanoseconds(wait_ns),
                    [this] { return stop_requested_ || kicked_; });
     if (stop_requested_) return;
-    if (kicked_) {
-      kicked_ = false;
-      ++stats_.notify_kicks;
-    }
   }
 }
 
@@ -112,45 +153,92 @@ std::vector<dns::DnsName> SecondarySync::tracked_apexes() const {
 }
 
 std::size_t SecondarySync::sync_once() {
+  const std::size_t changed = run_pass(/*force_all=*/true);
+  freshness_->evaluate(now_ns());
+  return changed;
+}
+
+std::size_t SecondarySync::run_pass(bool force_all) {
+  const std::vector<dns::DnsName> tracked = tracked_apexes();
+  std::vector<dns::DnsName> due;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::int64_t now = now_ns();
+    for (const dns::DnsName& apex : tracked) {
+      ApexSchedule& sched = schedule_[apex];
+      if (force_all || sched.next_due_ns <= now) due.push_back(apex);
+    }
+  }
+
   std::size_t changed = 0;
-  std::size_t pass_failures = 0;
-  for (const dns::DnsName& apex : tracked_apexes()) {
+  for (const dns::DnsName& apex : due) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_requested_) break;
+      if (schedule_[apex].backoff_level > 0) ++stats_.retries;
+    }
     const zone::CompiledZonePtr held = publisher_.snapshot(apex);
     const bool have_zone = held != nullptr;
     const std::uint32_t local_serial = have_zone ? held->source()->serial() : 0;
 
-    const auto remote = probe_serial(apex);
-    if (!remote) {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.failures;
-      ++pass_failures;
-      continue;
-    }
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.soa_checks;
-    }
-    if (have_zone && remote.value() <= local_serial) {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.up_to_date;
-      continue;
+    bool ok = false;
+    std::optional<SoaRecord> confirmed_soa;
+    const auto remote = probe_soa(apex);
+    if (remote) {
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.soa_checks;
+      }
+      if (have_zone && remote.value().serial <= local_serial) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.up_to_date;
+        ok = true;
+        confirmed_soa = remote.value();
+      } else {
+        const auto applied = transfer(apex, local_serial, have_zone);
+        if (applied) {
+          ok = true;
+          if (applied.value()) {
+            ++changed;
+          } else {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.up_to_date;
+          }
+          confirmed_soa = held_soa(apex);
+        }
+      }
     }
 
-    const auto applied = transfer(apex, local_serial, have_zone);
+    const std::int64_t now = now_ns();
+    if (ok && confirmed_soa) {
+      freshness_->confirm(apex, *confirmed_soa, now);
+    }
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (!applied) {
-      ++stats_.failures;
-      ++pass_failures;
-    } else if (applied.value()) {
-      ++changed;
+    ApexSchedule& sched = schedule_[apex];
+    if (ok) {
+      sched.backoff_level = 0;
+      sched.confirmed_once = true;
+      sched.next_due_ns = now + effective_refresh(confirmed_soa).count_nanos();
     } else {
-      ++stats_.up_to_date;
+      ++stats_.failures;
+      sched.backoff_level = std::min(sched.backoff_level + 1, 24);
+      sched.next_due_ns =
+          now + backoff_delay(apex, sched.backoff_level, held_soa(apex)).count_nanos();
     }
   }
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    synced_ = pass_failures == 0;
+
+  // Pass bookkeeping: the sync is achieved once every tracked apex has
+  // been confirmed and none is in backoff; the flag is monotone.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  int max_level = 0;
+  bool all_confirmed = !tracked.empty();
+  for (const dns::DnsName& apex : tracked) {
+    const ApexSchedule& sched = schedule_[apex];
+    max_level = std::max(max_level, sched.backoff_level);
+    if (!sched.confirmed_once || sched.backoff_level > 0) all_confirmed = false;
   }
+  max_backoff_level_.store(max_level, std::memory_order_relaxed);
+  if (all_confirmed) synced_ = true;
   return changed;
 }
 
@@ -159,11 +247,132 @@ bool SecondarySync::synced() const {
   return synced_;
 }
 
-Result<std::uint32_t> SecondarySync::probe_serial(const dns::DnsName& apex) {
-  const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+bool SecondarySync::degraded() const {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!synced_) return true;
+  }
+  return freshness_->evaluate(now_ns()) == propagation::Freshness::Expired;
+}
+
+void SecondarySync::register_metrics(obs::MetricRegistry& reg,
+                                     const obs::LabelSet& base) const {
+  stats_.register_into(reg, base);
+  reg.gauge_fn(
+      "akadns_zone_staleness_seconds", base,
+      [this] { return freshness_->staleness_seconds(now_ns()); }, obs::GaugeAgg::Max,
+      "seconds the most-overdue tracked zone is past its effective SOA refresh");
+  reg.gauge_fn(
+      "akadns_secondary_backoff_level", base,
+      [this] { return static_cast<double>(max_backoff_level_.load(std::memory_order_relaxed)); },
+      obs::GaugeAgg::Max, "deepest per-apex refresh backoff level (0 = healthy)");
+}
+
+// ---------------------------------------------------------------------------
+// interruptible socket plumbing
+// ---------------------------------------------------------------------------
+
+SecondarySync::IoWait SecondarySync::wait_io(int fd, short events, std::int64_t deadline_ns) {
+  while (true) {
+    const std::int64_t now = now_ns();
+    if (now >= deadline_ns) return IoWait::Timeout;
+    pollfd fds[2] = {{fd, events, 0}, {stop_event_.get(), POLLIN, 0}};
+    const auto timeout_ms =
+        static_cast<int>(std::min<std::int64_t>((deadline_ns - now + 999'999) / 1'000'000,
+                                                std::numeric_limits<int>::max()));
+    const int n = ::poll(fds, 2, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoWait::Timeout;
+    }
+    if (n == 0) return IoWait::Timeout;
+    if (fds[1].revents != 0) return IoWait::Stopped;
+    if (fds[0].revents != 0) return IoWait::Ready;
+  }
+}
+
+bool SecondarySync::interruptible_sleep(Duration d) {
+  const std::int64_t deadline = now_ns() + d.count_nanos();
+  while (true) {
+    const std::int64_t now = now_ns();
+    if (now >= deadline) return false;
+    pollfd fds[1] = {{stop_event_.get(), POLLIN, 0}};
+    const auto timeout_ms = static_cast<int>((deadline - now + 999'999) / 1'000'000);
+    const int n = ::poll(fds, 1, timeout_ms);
+    if (n < 0 && errno == EINTR) continue;
+    if (n > 0) return true;
+    if (n == 0) return false;
+  }
+}
+
+bool SecondarySync::hook_fate(propagation::SyncOp op) {
+  if (!config_.fault_hooks) return false;
+  const propagation::OpFate fate = config_.fault_hooks->on_op(op);
+  if (fate.delay.count_nanos() > 0 && interruptible_sleep(fate.delay)) return true;
+  return fate.fail;
+}
+
+void SecondarySync::note_reject(TransferReject reason) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.rejected[static_cast<std::size_t>(reason)];
+}
+
+std::uint16_t SecondarySync::next_transaction_id() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint16_t id = next_id_++;
+  if (next_id_ == 0) next_id_ = 1;
+  return id;
+}
+
+Duration SecondarySync::effective_refresh(const std::optional<SoaRecord>& soa) const {
+  const std::int64_t cfg = config_.refresh_interval.count_nanos();
+  if (soa && soa->refresh > 0) {
+    const std::int64_t soa_ns = static_cast<std::int64_t>(soa->refresh) * 1'000'000'000;
+    return Duration::nanos(std::min(cfg, soa_ns));
+  }
+  return Duration::nanos(cfg);
+}
+
+Duration SecondarySync::backoff_delay(const dns::DnsName& apex, int level,
+                                      const std::optional<SoaRecord>& soa) const {
+  const std::int64_t base = std::max<std::int64_t>(config_.backoff_base.count_nanos(), 1);
+  std::int64_t cap = config_.backoff_cap.count_nanos();
+  // The zone owner's SOA retry bounds how long we may sulk between
+  // attempts; it tightens the configured cap, never widens it.
+  if (soa && soa->retry > 0) {
+    cap = std::min(cap, static_cast<std::int64_t>(soa->retry) * 1'000'000'000);
+  }
+  cap = std::max(cap, base);
+  const int shift = std::min(level - 1, 20);
+  const double raw = static_cast<double>(base) * std::ldexp(1.0, shift);
+  // Deterministic +/-20% jitter: a fleet of secondaries losing the same
+  // primary must not re-converge on the same retry instant.
+  SplitMix64 rng(config_.jitter_seed ^ apex.hash() ^
+                 (static_cast<std::uint64_t>(level) * 0x9e3779b97f4a7c15ULL));
+  const double unit = static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+  const double jittered = raw * (0.8 + 0.4 * unit);
+  const auto clamped = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(jittered), base, cap);
+  return Duration::nanos(clamped);
+}
+
+std::optional<SoaRecord> SecondarySync::held_soa(const dns::DnsName& apex) const {
+  const zone::CompiledZonePtr held = publisher_.snapshot(apex);
+  if (!held) return std::nullopt;
+  const auto rr = held->source()->soa();
+  if (!rr) return std::nullopt;
+  return std::get<SoaRecord>(rr->rdata);
+}
+
+// ---------------------------------------------------------------------------
+// the refresh protocol
+// ---------------------------------------------------------------------------
+
+Result<SoaRecord> SecondarySync::probe_soa(const dns::DnsName& apex) {
+  if (hook_fate(SyncOp::ProbeSend)) return Error{"probe send faulted"};
+  const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) return Error{errno_message("socket")};
   const FdHandle handle(fd);
-  set_io_timeout(fd, config_.io_timeout);
   sockaddr_storage primary{};
   const socklen_t len = sockaddr_from_endpoint(
       Endpoint{IpAddr(config_.primary_addr), config_.primary_port}, primary);
@@ -173,22 +382,27 @@ Result<std::uint32_t> SecondarySync::probe_serial(const dns::DnsName& apex) {
     return Error{errno_message("connect")};
   }
 
-  std::uint16_t id = 0;
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    id = next_id_++;
-    if (next_id_ == 0) next_id_ = 1;
-  }
+  const std::uint16_t id = next_transaction_id();
   const auto wire = dns::encode(TransferService::make_soa_query(apex, id));
   if (::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL) < 0) {
     return Error{errno_message("send")};
   }
+  if (hook_fate(SyncOp::ProbeRecv)) return Error{"probe recv faulted"};
 
+  const std::int64_t deadline = now_ns() + config_.io_timeout.count_nanos();
   std::vector<std::uint8_t> buffer(64 * 1024);
   while (true) {
+    switch (wait_io(fd, POLLIN, deadline)) {
+      case IoWait::Timeout:
+        return Error{"SOA probe timed out for " + apex.to_string()};
+      case IoWait::Stopped:
+        return Error{"stopping"};
+      case IoWait::Ready:
+        break;
+    }
     const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return Error{errno_message("recv")};
     }
     auto response = dns::decode({buffer.data(), static_cast<std::size_t>(n)});
@@ -198,7 +412,7 @@ Result<std::uint32_t> SecondarySync::probe_serial(const dns::DnsName& apex) {
       return Error{"SOA probe refused for " + apex.to_string()};
     }
     for (const ResourceRecord& rr : response.value().answers) {
-      if (rr.type() == RecordType::SOA) return std::get<SoaRecord>(rr.rdata).serial;
+      if (rr.type() == RecordType::SOA) return std::get<SoaRecord>(rr.rdata);
     }
     return Error{"SOA probe reply carried no SOA for " + apex.to_string()};
   }
@@ -206,19 +420,31 @@ Result<std::uint32_t> SecondarySync::probe_serial(const dns::DnsName& apex) {
 
 Result<bool> SecondarySync::transfer(const dns::DnsName& apex, std::uint32_t have_serial,
                                      bool have_zone) {
-  std::uint16_t id = 0;
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    id = next_id_++;
-    if (next_id_ == 0) next_id_ = 1;
-  }
+  const std::uint16_t id = next_transaction_id();
   const std::uint32_t client_serial = have_zone ? have_serial : 0;
   const Message query = have_zone ? TransferService::make_ixfr_query(apex, have_serial, id)
                                   : TransferService::make_axfr_query(apex, id);
-  auto stream = exchange(query, client_serial);
-  if (!stream) return Error{std::move(stream).error()};
+
+  TransferReject reject = TransferReject::Io;
+  auto stream = exchange(query, client_serial, reject);
+  if (!stream) {
+    note_reject(reject);
+    return Error{std::move(stream).error()};
+  }
+  // The integrity gate: a truncated, regressive, or corrupt stream is
+  // counted and dropped here — the publisher never sees it, the held
+  // zone and generation stay untouched.
+  if (const auto bad =
+          propagation::validate_stream(stream.value(), client_serial, config_.limits)) {
+    note_reject(*bad);
+    return Error{"transfer for " + apex.to_string() +
+                 " rejected: " + propagation::to_string(*bad)};
+  }
   auto payload = TransferService::parse_transfer_response(stream.value(), client_serial);
-  if (!payload) return Error{std::move(payload).error()};
+  if (!payload) {
+    note_reject(TransferReject::Corrupt);
+    return Error{std::move(payload).error()};
+  }
 
   if (payload.value().up_to_date) return false;
 
@@ -236,10 +462,22 @@ Result<bool> SecondarySync::transfer(const dns::DnsName& apex, std::uint32_t hav
       const std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.fallbacks;
     }
-    auto full_stream = exchange(TransferService::make_axfr_query(apex, id), 0);
-    if (!full_stream) return Error{std::move(full_stream).error()};
+    reject = TransferReject::Io;
+    auto full_stream = exchange(TransferService::make_axfr_query(apex, id), 0, reject);
+    if (!full_stream) {
+      note_reject(reject);
+      return Error{std::move(full_stream).error()};
+    }
+    if (const auto bad = propagation::validate_stream(full_stream.value(), 0, config_.limits)) {
+      note_reject(*bad);
+      return Error{"transfer for " + apex.to_string() +
+                   " rejected: " + propagation::to_string(*bad)};
+    }
     payload = TransferService::parse_transfer_response(full_stream.value(), 0);
-    if (!payload) return Error{std::move(payload).error()};
+    if (!payload) {
+      note_reject(TransferReject::Corrupt);
+      return Error{std::move(payload).error()};
+    }
   }
 
   if (!payload.value().full) return Error{"transfer for " + apex.to_string() + " had no body"};
@@ -251,18 +489,43 @@ Result<bool> SecondarySync::transfer(const dns::DnsName& apex, std::uint32_t hav
 }
 
 Result<std::vector<Message>> SecondarySync::exchange(const Message& query,
-                                                     std::uint32_t client_serial) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+                                                     std::uint32_t client_serial,
+                                                     TransferReject& reject) {
+  reject = TransferReject::Io;
+  if (hook_fate(SyncOp::TransferConnect)) return Error{"transfer connect faulted"};
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) return Error{errno_message("socket")};
   const FdHandle handle(fd);
-  set_io_timeout(fd, config_.io_timeout);
   sockaddr_storage primary{};
   const socklen_t len = sockaddr_from_endpoint(
       Endpoint{IpAddr(config_.primary_addr), config_.primary_port}, primary);
+  // The whole-transfer deadline starts at connect: a peer trickling one
+  // byte per io_timeout can stretch each *operation* but not the sum.
+  const std::int64_t transfer_deadline = now_ns() + config_.transfer_deadline.count_nanos();
+  const auto op_deadline = [&] {
+    return std::min(now_ns() + config_.io_timeout.count_nanos(), transfer_deadline);
+  };
+
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&primary), len) != 0) {
-    return Error{errno_message("connect")};
+    if (errno != EINPROGRESS) return Error{errno_message("connect")};
+    switch (wait_io(fd, POLLOUT, op_deadline())) {
+      case IoWait::Timeout:
+        return Error{"transfer connect timed out"};
+      case IoWait::Stopped:
+        return Error{"stopping"};
+      case IoWait::Ready:
+        break;
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
+    if (err != 0) {
+      errno = err;
+      return Error{errno_message("connect")};
+    }
   }
 
+  if (hook_fate(SyncOp::TransferWrite)) return Error{"transfer write faulted"};
   const auto wire = dns::encode(query, {.max_size = dns::kMaxMessageSize});
   const auto prefix = frame_prefix(wire.size());
   std::vector<std::uint8_t> framed(prefix.begin(), prefix.end());
@@ -272,6 +535,17 @@ Result<std::vector<Message>> SecondarySync::exchange(const Message& query,
     const ssize_t n = ::send(fd, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        switch (wait_io(fd, POLLOUT, op_deadline())) {
+          case IoWait::Timeout:
+            reject = TransferReject::Deadline;
+            return Error{"transfer write deadline exceeded"};
+          case IoWait::Stopped:
+            return Error{"stopping"};
+          case IoWait::Ready:
+            continue;
+        }
+      }
       return Error{errno_message("send")};
     }
     off += static_cast<std::size_t>(n);
@@ -280,23 +554,47 @@ Result<std::vector<Message>> SecondarySync::exchange(const Message& query,
   FrameDecoder decoder(65535);
   std::vector<Message> stream;
   std::vector<std::uint8_t> buffer(64 * 1024);
+  std::size_t total_bytes = 0;
   while (true) {
+    if (hook_fate(SyncOp::TransferRead)) return Error{"transfer read faulted"};
+    switch (wait_io(fd, POLLIN, op_deadline())) {
+      case IoWait::Timeout:
+        reject = TransferReject::Deadline;
+        return Error{now_ns() >= transfer_deadline ? "transfer deadline exceeded"
+                                                   : "transfer read deadline exceeded"};
+      case IoWait::Stopped:
+        return Error{"stopping"};
+      case IoWait::Ready:
+        break;
+    }
     const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return Error{errno_message("recv")};
     }
     if (n == 0) break;  // primary closed the connection
+    total_bytes += static_cast<std::size_t>(n);
+    if (total_bytes > config_.limits.max_bytes) {
+      reject = TransferReject::Oversize;
+      return Error{"transfer exceeded the byte budget"};
+    }
     decoder.feed({buffer.data(), static_cast<std::size_t>(n)});
     while (auto frame = decoder.next()) {
       auto message = dns::decode(*frame);
-      if (!message) return Error{"bad transfer frame: " + message.error()};
+      if (!message) {
+        reject = TransferReject::Corrupt;
+        return Error{"bad transfer frame: " + message.error()};
+      }
       stream.push_back(std::move(message).take());
     }
-    if (decoder.poisoned()) return Error{"oversized transfer frame"};
+    if (decoder.poisoned()) {
+      reject = TransferReject::Oversize;
+      return Error{"oversized transfer frame"};
+    }
     if (stream_complete(stream, client_serial)) return stream;
   }
   if (stream_complete(stream, client_serial)) return stream;
+  reject = TransferReject::Truncated;
   return Error{"transfer stream ended mid-body"};
 }
 

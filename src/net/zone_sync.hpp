@@ -6,16 +6,33 @@
 // publish. NOTIFY arrivals (wired via ServeConfig::on_notify ->
 // notify_kick()) collapse the refresh interval to "now".
 //
-// The transfer client is deliberately plain: blocking sockets with
-// SO_RCVTIMEO/SO_SNDTIMEO, one connection per transfer. Zone transfers
-// are control-plane traffic measured in round trips per refresh
-// interval, not packets per second — clarity beats another epoll loop.
+// Hardened for a hostile network (the degradation ladder):
+//   * Every socket operation is nonblocking and polled together with a
+//     stop eventfd, so stop() interrupts a probe or transfer stalled on
+//     a blackholed primary immediately instead of waiting out SO_RCVTIMEO.
+//   * Failures back off per apex: exponential with +/-20% deterministic
+//     jitter, clamped by the zone's own SOA retry. A NOTIFY collapses
+//     the backoff — the primary just told us it has news.
+//   * Transfers run under a whole-transfer deadline and byte/record
+//     budgets; a stalled or runaway stream is cut, counted by reason
+//     (akadns_transfer_rejected_total), and never partially published —
+//     the guard (propagation/transfer_guard.hpp) vets every stream
+//     before it reaches the parser.
+//   * Each successful refresh feeds the per-apex FreshnessTracker;
+//     synced() is monotone (initial sync achieved) and degraded() adds
+//     "some zone aged past its SOA expire", which is what /healthz keys
+//     on — stale zones keep serving, expired zones flip it to 503.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.hpp"
@@ -23,6 +40,9 @@
 #include "dns/name.hpp"
 #include "net/socket.hpp"
 #include "obs/registry.hpp"
+#include "propagation/fault_hooks.hpp"
+#include "propagation/freshness.hpp"
+#include "propagation/transfer_guard.hpp"
 #include "propagation/zone_publisher.hpp"
 
 namespace akadns::net {
@@ -35,10 +55,31 @@ struct SecondaryConfig {
   /// Zones to track. Empty: refresh whatever the local publisher already
   /// holds (bootstrap a new apex by listing it here).
   std::vector<dns::DnsName> apexes;
-  /// SOA probe cadence when no NOTIFY arrives.
+  /// SOA probe cadence ceiling: an apex is probed every
+  /// min(refresh_interval, its SOA refresh).
   Duration refresh_interval = Duration::seconds(5);
-  /// Per-socket-operation timeout (probe reply, transfer reads).
+  /// Per-socket-operation timeout (probe reply, one transfer read).
   Duration io_timeout = Duration::seconds(2);
+  /// Whole-transfer budget: connect to closing SOA. A primary that keeps
+  /// trickling bytes can exhaust per-op timeouts forever; this cannot be
+  /// exhausted.
+  Duration transfer_deadline = Duration::seconds(15);
+  /// Failure backoff: base * 2^level with +/-20% jitter, clamped to
+  /// [base, min(backoff_cap, the zone's SOA retry)].
+  Duration backoff_base = Duration::millis(500);
+  Duration backoff_cap = Duration::seconds(30);
+  /// Seed for the deterministic backoff jitter.
+  std::uint64_t jitter_seed = 1;
+  /// Byte/record ceilings a transfer may not exceed (reason: oversize).
+  propagation::TransferLimits limits;
+  /// Operational caps on SOA refresh/expire for the freshness ladder
+  /// (drills tighten these; zero = the zone's SOA verbatim).
+  propagation::FreshnessCaps freshness_caps;
+  /// Share a tracker with the serve side (stale/expired query gating);
+  /// null = the sync owns a private one.
+  std::shared_ptr<propagation::FreshnessTracker> freshness;
+  /// Test seam: per-operation fault injection (null in production).
+  propagation::FaultHooksPtr fault_hooks;
 };
 
 struct SecondaryStats {
@@ -49,8 +90,12 @@ struct SecondaryStats {
   obs::Counter fallbacks;       // IXFR didn't apply -> refetched as AXFR
   obs::Counter failures;        // probe/transfer/apply errors
   obs::Counter notify_kicks;    // refresh passes triggered by NOTIFY
+  obs::Counter retries;         // backoff-scheduled retry attempts
+  /// Transfers rejected before publish, indexed by TransferReject.
+  std::array<obs::Counter, 8> rejected;
 
-  /// One akadns_secondary_total{event=...} series per counter.
+  /// One akadns_secondary_total{event=...} series per counter, plus
+  /// akadns_transfer_rejected_total{reason=...}.
   void register_into(obs::MetricRegistry& reg, const obs::LabelSet& base) const {
     const auto event = [&](const char* name, const obs::Counter& c) {
       reg.counter("akadns_secondary_total", obs::with(base, "event", name), c,
@@ -63,6 +108,18 @@ struct SecondaryStats {
     event("fallback", fallbacks);
     event("failure", failures);
     event("notify_kick", notify_kicks);
+    event("retry", retries);
+    for (std::size_t i = 0; i < rejected.size(); ++i) {
+      reg.counter("akadns_transfer_rejected_total",
+                  obs::with(base, "reason",
+                            propagation::to_string(
+                                static_cast<propagation::TransferReject>(i))),
+                  rejected[i], "zone transfers rejected before publish");
+    }
+  }
+
+  std::uint64_t rejected_for(propagation::TransferReject reason) const noexcept {
+    return rejected[static_cast<std::size_t>(reason)].value();
   }
 };
 
@@ -72,8 +129,7 @@ struct SecondaryStats {
 /// worker threads when a NOTIFY datagram lands).
 class SecondarySync {
  public:
-  SecondarySync(SecondaryConfig config, propagation::ZonePublisher& publisher)
-      : config_(std::move(config)), publisher_(publisher) {}
+  SecondarySync(SecondaryConfig config, propagation::ZonePublisher& publisher);
   ~SecondarySync() { stop(); }
 
   SecondarySync(const SecondarySync&) = delete;
@@ -81,49 +137,90 @@ class SecondarySync {
 
   /// Launches the refresh thread (first pass runs immediately).
   void start();
-  /// Stops and joins. Idempotent.
+  /// Stops and joins — promptly, even mid-probe or mid-transfer against
+  /// a blackholed primary (the stop eventfd sits in every poll set).
+  /// Idempotent.
   void stop();
 
-  /// Collapses the current refresh wait — called on NOTIFY receipt.
+  /// Collapses the current refresh wait and every apex's backoff —
+  /// called on NOTIFY receipt. A kick landing during a refresh pass
+  /// schedules one more full pass before the thread sleeps again.
   void notify_kick();
 
-  /// One synchronous refresh pass over every tracked apex; returns how
-  /// many zones changed locally. Usable without start() (tests drive the
+  /// One synchronous refresh pass over every tracked apex (backoff
+  /// schedules are overridden: everything is due now); returns how many
+  /// zones changed locally. Usable without start() (tests drive the
   /// protocol deterministically this way).
   std::size_t sync_once();
 
   SecondaryStats stats() const;
 
-  /// Registers the live counters (single-writer under the refresh
-  /// thread; reads are relaxed atomic loads, so a scrape never takes
-  /// this object's mutex).
-  void register_metrics(obs::MetricRegistry& reg, const obs::LabelSet& base) const {
-    stats_.register_into(reg, base);
-  }
+  /// Registers the live counters plus the freshness instruments
+  /// (zone_staleness_seconds, backoff level). Counter writes are
+  /// single-writer under the refresh thread; scrapes read relaxed
+  /// atomics and never take this object's mutex.
+  void register_metrics(obs::MetricRegistry& reg, const obs::LabelSet& base) const;
 
-  /// Readiness signal for /healthz: true once a full refresh pass has
-  /// completed with every tracked apex transferred or confirmed up to
-  /// date; flips back to false when a later pass hits failures.
+  /// True once a refresh pass has completed with every tracked apex
+  /// transferred or confirmed up to date. Monotone: transient failures
+  /// afterwards do not clear it (that is what degraded() is for) — a
+  /// secondary that has synced once serves stale rather than flapping.
   bool synced() const;
 
+  /// The /healthz signal: not yet synced, or some tracked zone aged past
+  /// its (capped) SOA expire. Stale-but-not-expired zones do NOT degrade
+  /// — serve-stale is the intended mode under primary loss.
+  bool degraded() const;
+
+  /// The shared freshness machine (the serve side gates queries on it).
+  const std::shared_ptr<propagation::FreshnessTracker>& freshness() const noexcept {
+    return freshness_;
+  }
+
  private:
+  struct ApexSchedule {
+    int backoff_level = 0;        // consecutive failures
+    std::int64_t next_due_ns = 0; // steady-clock ns; 0 = due immediately
+    bool confirmed_once = false;  // ever transferred or confirmed current
+  };
+
   void run();
+  /// One pass over every due apex; returns how many zones changed.
+  std::size_t run_pass(bool force_all);
   std::vector<dns::DnsName> tracked_apexes() const;
-  /// UDP SOA probe; the primary's serial for `apex`.
-  Result<std::uint32_t> probe_serial(const dns::DnsName& apex);
+  /// UDP SOA probe; the primary's SOA for `apex` (serial + timers).
+  Result<dns::SoaRecord> probe_soa(const dns::DnsName& apex);
   /// TCP transfer + apply. `have_serial` is the local serial (ignored
   /// when `have_zone` is false -> AXFR). True if the local store changed.
   Result<bool> transfer(const dns::DnsName& apex, std::uint32_t have_serial, bool have_zone);
-  /// One framed TCP exchange: sends `query`, reads messages until the
-  /// SOA-delimited stream is complete (`client_serial` disambiguates the
-  /// single-SOA "up to date" answer from a body's first chunk).
+  /// One framed TCP exchange under the transfer deadline and byte
+  /// budget: sends `query`, reads messages until the SOA-delimited
+  /// stream is complete. On failure `reject` carries the taxonomy
+  /// reason (io / deadline / oversize / ...).
   Result<std::vector<dns::Message>> exchange(const dns::Message& query,
-                                             std::uint32_t client_serial);
+                                             std::uint32_t client_serial,
+                                             propagation::TransferReject& reject);
+
+  enum class IoWait { Ready, Timeout, Stopped };
+  /// Polls `fd` for `events` together with the stop eventfd.
+  IoWait wait_io(int fd, short events, std::int64_t deadline_ns);
+  /// Sleeps `d`, interruptible by stop(). True if stop was requested.
+  bool interruptible_sleep(Duration d);
+  /// Consults the fault hook for `op`; true means "fail this op".
+  bool hook_fate(propagation::SyncOp op);
+
+  void note_reject(propagation::TransferReject reason);
+  std::uint16_t next_transaction_id();
+  Duration backoff_delay(const dns::DnsName& apex, int level,
+                         const std::optional<dns::SoaRecord>& soa) const;
+  Duration effective_refresh(const std::optional<dns::SoaRecord>& soa) const;
+  std::optional<dns::SoaRecord> held_soa(const dns::DnsName& apex) const;
 
   SecondaryConfig config_;
   propagation::ZonePublisher& publisher_;
+  std::shared_ptr<propagation::FreshnessTracker> freshness_;
 
-  mutable std::mutex mutex_;  // guards stats_ and the wait state
+  mutable std::mutex mutex_;  // guards stats_, schedule_, and wait state
   std::condition_variable wake_;
   bool stop_requested_ = false;
   bool kicked_ = false;
@@ -131,6 +228,9 @@ class SecondarySync {
   SecondaryStats stats_;
   bool synced_ = false;
   std::uint16_t next_id_ = 1;
+  std::unordered_map<dns::DnsName, ApexSchedule> schedule_;
+  std::atomic<int> max_backoff_level_{0};
+  FdHandle stop_event_;
   std::thread thread_;
 };
 

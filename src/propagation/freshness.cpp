@@ -1,0 +1,76 @@
+#include "propagation/freshness.hpp"
+
+#include <algorithm>
+
+namespace akadns::propagation {
+
+namespace {
+
+/// min(SOA field, cap), with either side absent meaning "use the other";
+/// both absent falls back to `fallback` so a zero-SOA zone still ages.
+std::int64_t effective_ns(std::uint32_t soa_seconds, Duration cap, Duration fallback) {
+  const std::int64_t soa_ns = static_cast<std::int64_t>(soa_seconds) * 1'000'000'000;
+  const std::int64_t cap_ns = cap.count_nanos();
+  if (soa_ns > 0 && cap_ns > 0) return std::min(soa_ns, cap_ns);
+  if (soa_ns > 0) return soa_ns;
+  if (cap_ns > 0) return cap_ns;
+  return fallback.count_nanos();
+}
+
+}  // namespace
+
+void FreshnessTracker::confirm(const dns::DnsName& apex, const dns::SoaRecord& soa,
+                               std::int64_t now_ns) {
+  Entry entry;
+  entry.confirmed_ns = now_ns;
+  entry.refresh_ns = effective_ns(soa.refresh, caps_.refresh_cap, Duration::hours(1));
+  entry.expire_ns = effective_ns(soa.expire, caps_.expire_cap, Duration::days(7));
+  // A zone whose SOA orders expire below refresh would skip the stale
+  // band entirely; clamp so the ladder always has its middle rung.
+  entry.expire_ns = std::max(entry.expire_ns, entry.refresh_ns);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_[apex] = entry;
+  }
+}
+
+void FreshnessTracker::forget(const dns::DnsName& apex) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.erase(apex);
+}
+
+Freshness FreshnessTracker::evaluate(std::int64_t now_ns) {
+  Freshness worst = Freshness::Fresh;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [apex, entry] : entries_) {
+      worst = std::max(worst, state_of_entry(entry, now_ns));
+    }
+  }
+  worst_.store(static_cast<int>(worst), std::memory_order_relaxed);
+  return worst;
+}
+
+Freshness FreshnessTracker::state_of(const dns::DnsName& apex, std::int64_t now_ns) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(apex);
+  if (it == entries_.end()) return Freshness::Fresh;
+  return state_of_entry(it->second, now_ns);
+}
+
+double FreshnessTracker::staleness_seconds(std::int64_t now_ns) const {
+  std::int64_t worst_over = 0;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [apex, entry] : entries_) {
+    const std::int64_t over = (now_ns - entry.confirmed_ns) - entry.refresh_ns;
+    worst_over = std::max(worst_over, over);
+  }
+  return static_cast<double>(worst_over) / 1e9;
+}
+
+std::size_t FreshnessTracker::tracked() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace akadns::propagation

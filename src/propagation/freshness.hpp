@@ -1,0 +1,108 @@
+// The per-apex freshness machine behind serve-stale.
+//
+// A secondary's answer for a zone degrades through three states, driven
+// by the zone's own SOA timers (RFC 1035 §3.3.13) counted from the last
+// successful refresh (a confirmed SOA probe or an applied transfer):
+//
+//   fresh ──(age > refresh)──▶ stale ──(age > expire)──▶ expired
+//     ▲                          │
+//     └──────── confirm ─────────┘
+//
+// The Akamai stance (paper §4–5) is availability first: while *stale*
+// the zone keeps being served — a slightly old answer beats SERVFAIL —
+// and only past *expire* does the secondary stop claiming authority
+// (REFUSED per query, /healthz degraded). The SOA fields say how far
+// the zone's owner allows that window to stretch; FreshnessCaps lets a
+// deployment tighten (never widen) them, which is also what makes a
+// 10-second blackhole drill observable against synthetic zones whose
+// SOAs say hours.
+//
+// Designed for the query hot path: worst() is one relaxed atomic load,
+// so a fully fresh server pays nothing per query; the per-apex map is
+// only consulted once something is degraded.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/sim_time.hpp"
+#include "dns/name.hpp"
+#include "dns/rr.hpp"
+
+namespace akadns::propagation {
+
+enum class Freshness : int { Fresh = 0, Stale = 1, Expired = 2 };
+
+constexpr const char* to_string(Freshness f) noexcept {
+  switch (f) {
+    case Freshness::Fresh: return "fresh";
+    case Freshness::Stale: return "stale";
+    case Freshness::Expired: return "expired";
+  }
+  return "unknown";
+}
+
+/// Operational ceilings on the SOA timers. The effective timer is
+/// min(SOA field, cap) with cap > 0, the SOA field verbatim with cap
+/// zero — caps tighten the zone owner's schedule, never extend it.
+struct FreshnessCaps {
+  Duration refresh_cap = Duration::zero();
+  Duration expire_cap = Duration::zero();
+};
+
+class FreshnessTracker {
+ public:
+  explicit FreshnessTracker(FreshnessCaps caps = {}) : caps_(caps) {}
+
+  /// Records a successful refresh of `apex` at `now_ns`: a confirmed SOA
+  /// probe (serial already current) or an applied transfer. Captures the
+  /// zone's refresh/expire timers from the SOA.
+  void confirm(const dns::DnsName& apex, const dns::SoaRecord& soa, std::int64_t now_ns);
+
+  /// Drops an apex from tracking (zone withdrawn).
+  void forget(const dns::DnsName& apex);
+
+  /// Recomputes every apex's state at `now_ns` and publishes the worst.
+  /// Called from the sync loop (per pass), never from the query path.
+  Freshness evaluate(std::int64_t now_ns);
+
+  /// The worst state across tracked apexes as of the last evaluate().
+  /// One relaxed load — hot-path safe.
+  Freshness worst() const noexcept {
+    return static_cast<Freshness>(worst_.load(std::memory_order_relaxed));
+  }
+
+  /// Current state of one apex at `now_ns` (Fresh when untracked: a
+  /// zone we never synced is the publisher's problem, not staleness).
+  Freshness state_of(const dns::DnsName& apex, std::int64_t now_ns) const;
+
+  /// How far the most-overdue apex is past its effective refresh timer,
+  /// in seconds; 0.0 when everything is fresh. The value behind the
+  /// zone_staleness_seconds gauge.
+  double staleness_seconds(std::int64_t now_ns) const;
+
+  std::size_t tracked() const;
+
+ private:
+  struct Entry {
+    std::int64_t confirmed_ns = 0;
+    std::int64_t refresh_ns = 0;  // effective, capped
+    std::int64_t expire_ns = 0;
+  };
+
+  Freshness state_of_entry(const Entry& e, std::int64_t now_ns) const noexcept {
+    const std::int64_t age = now_ns - e.confirmed_ns;
+    if (age > e.expire_ns) return Freshness::Expired;
+    if (age > e.refresh_ns) return Freshness::Stale;
+    return Freshness::Fresh;
+  }
+
+  FreshnessCaps caps_;
+  mutable std::mutex mutex_;
+  std::unordered_map<dns::DnsName, Entry> entries_;
+  std::atomic<int> worst_{0};
+};
+
+}  // namespace akadns::propagation

@@ -1,0 +1,105 @@
+#include "propagation/transfer_guard.hpp"
+
+#include <vector>
+
+#include "dns/rr.hpp"
+
+namespace akadns::propagation {
+
+using dns::Message;
+using dns::RecordType;
+using dns::ResourceRecord;
+using dns::SoaRecord;
+
+namespace {
+
+std::uint32_t soa_serial(const ResourceRecord& rr) {
+  return std::get<SoaRecord>(rr.rdata).serial;
+}
+
+}  // namespace
+
+std::optional<TransferReject> validate_stream(std::span<const Message> stream,
+                                              std::uint32_t client_serial,
+                                              const TransferLimits& limits) {
+  if (stream.empty()) return TransferReject::Empty;
+  for (const Message& m : stream) {
+    if (m.header.rcode != dns::Rcode::NoError) return TransferReject::Refused;
+  }
+
+  // Flatten the record view: a transfer is one record sequence that the
+  // server merely split across messages at arbitrary boundaries.
+  std::size_t total = 0;
+  for (const Message& m : stream) total += m.answers.size();
+  if (total == 0) return TransferReject::Empty;
+  if (total > limits.max_records) return TransferReject::Oversize;
+
+  const ResourceRecord& first = stream.front().answers.front();
+  if (first.type() != RecordType::SOA) return TransferReject::Corrupt;
+  const std::uint32_t opening = soa_serial(first);
+
+  if (total == 1) {
+    // Single SOA: "you are current" — only coherent when the announced
+    // serial is not ahead of what we already hold; a newer serial with
+    // no body means the body got cut before a single record arrived.
+    return opening <= client_serial ? std::nullopt
+                                    : std::optional(TransferReject::Truncated);
+  }
+
+  // A body that would land us at or below where we already are is a
+  // rollback, not an update (serial equality is benign: same version).
+  if (opening < client_serial) return TransferReject::SerialRegression;
+
+  // RFC 5936 §2.2: complete only when the closing record repeats the
+  // opening SOA. Anything else is a stream cut mid-flight.
+  const ResourceRecord* closing = nullptr;
+  for (auto it = stream.rbegin(); it != stream.rend(); ++it) {
+    if (!it->answers.empty()) {
+      closing = &it->answers.back();
+      break;
+    }
+  }
+  if (closing->type() != RecordType::SOA || soa_serial(*closing) != opening) {
+    return TransferReject::Truncated;
+  }
+
+  // Interior SOA markers (everything between opener and closer) tell
+  // AXFR-style and IXFR-delta bodies apart and carry the delta chain's
+  // serial walk.
+  std::vector<std::uint32_t> markers;
+  bool second_is_soa = false;
+  std::size_t index = 0;
+  for (const Message& m : stream) {
+    for (const ResourceRecord& rr : m.answers) {
+      const bool interior = index != 0 && index != total - 1;
+      if (index == 1 && rr.type() == RecordType::SOA) second_is_soa = true;
+      if (interior && rr.type() == RecordType::SOA) markers.push_back(soa_serial(rr));
+      ++index;
+    }
+  }
+
+  if (!second_is_soa) {
+    // AXFR-style full body: the apex SOA appears exactly twice (open and
+    // close); an interior SOA means two streams got interleaved.
+    return markers.empty() ? std::nullopt : std::optional(TransferReject::Corrupt);
+  }
+
+  // IXFR delta chain (RFC 1995 §4): interior markers pair up as
+  // (from_k, to_k) per delta; each delta ascends, deltas chain forward,
+  // and the final delta lands on the opening (= newest) serial.
+  if (markers.size() % 2 != 0) return TransferReject::Truncated;
+  std::uint32_t reached = 0;
+  bool have_reached = false;
+  for (std::size_t k = 0; k + 1 < markers.size(); k += 2) {
+    const std::uint32_t from = markers[k];
+    const std::uint32_t to = markers[k + 1];
+    if (to <= from) return TransferReject::SerialRegression;
+    if (have_reached && from < reached) return TransferReject::SerialRegression;
+    reached = to;
+    have_reached = true;
+  }
+  if (have_reached && reached != opening) return TransferReject::Truncated;
+  return std::nullopt;
+}
+
+}  // namespace akadns::propagation

@@ -1,0 +1,77 @@
+// Transfer-integrity guard: decides whether a received AXFR/IXFR stream
+// is safe to hand to the parser and publisher at all.
+//
+// The invariant it defends: a partial, corrupt, or regressive transfer
+// must never replace a good zone. parse_transfer_response() already
+// rejects structurally unparseable bodies, but several failure shapes
+// parse "fine" and still must not publish:
+//
+//   Truncated   — the stream lost its tail (connection cut mid-AXFR);
+//                 RFC 5936 §2.2: a transfer is complete only when the
+//                 closing SOA repeats the opening serial.
+//   SerialRegression — an IXFR delta chain whose serials do not ascend,
+//                 or a body claiming to end below where it started; a
+//                 confused (or malicious) primary must not roll us back.
+//   Oversize    — more records than any sane zone we host; a runaway
+//                 stream must hit a budget before it hits memory.
+//   Corrupt     — the stream opens with a non-SOA record or interleaves
+//                 junk where a marker must be.
+//
+// The guard is pure (messages in, verdict out) so the adversarial test
+// suite can cut a recorded stream at every message boundary and assert
+// each prefix is rejected without touching sockets or a ZoneStore.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "dns/message.hpp"
+
+namespace akadns::propagation {
+
+/// Why a transfer stream was rejected — one metric label per reason
+/// (akadns_transfer_rejected_total{reason=...}). Io/Deadline come from
+/// the socket layer (ZoneSync), the rest from validate_stream().
+enum class TransferReject {
+  Io,               // connect/read/write failed
+  Refused,          // server answered REFUSED (or another error rcode)
+  Truncated,        // stream does not close with the opening SOA
+  Corrupt,          // malformed structure (non-SOA opener, junk markers)
+  SerialRegression, // delta chain or body walks serials backwards
+  Oversize,         // record or byte budget exceeded
+  Deadline,         // whole-transfer deadline expired mid-stream
+  Empty,            // no messages / no records at all
+};
+
+constexpr const char* to_string(TransferReject reason) noexcept {
+  switch (reason) {
+    case TransferReject::Io: return "io";
+    case TransferReject::Refused: return "refused";
+    case TransferReject::Truncated: return "truncated";
+    case TransferReject::Corrupt: return "corrupt";
+    case TransferReject::SerialRegression: return "serial_regression";
+    case TransferReject::Oversize: return "oversize";
+    case TransferReject::Deadline: return "deadline";
+    case TransferReject::Empty: return "empty";
+  }
+  return "unknown";
+}
+
+struct TransferLimits {
+  /// Ceiling on total wire bytes per transfer (enforced by the socket
+  /// reader, which is the only place bytes exist).
+  std::size_t max_bytes = 64u << 20;
+  /// Ceiling on total records across the stream (enforced here).
+  std::size_t max_records = 1u << 20;
+};
+
+/// Validates a fully received transfer stream before parsing/publishing.
+/// Returns nullopt when the stream is complete and internally
+/// consistent; otherwise the reason it must not be applied.
+/// `client_serial` identifies the single-SOA "up to date" case.
+std::optional<TransferReject> validate_stream(std::span<const dns::Message> stream,
+                                              std::uint32_t client_serial,
+                                              const TransferLimits& limits = {});
+
+}  // namespace akadns::propagation

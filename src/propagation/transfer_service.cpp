@@ -43,6 +43,17 @@ std::vector<Message> TransferService::serve_axfr(const Zone& zone, std::uint16_t
   return zone::axfr_serialize(zone, options);
 }
 
+std::vector<Message> TransferService::truncate_stream(std::vector<Message> stream) {
+  if (!config_.fault_hooks) return stream;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    if (config_.fault_hooks->on_op(SyncOp::StreamMessage).fail) {
+      stream.resize(i);
+      return stream;
+    }
+  }
+  return stream;
+}
+
 std::vector<Message> TransferService::serve(const Message& query) {
   if (query.questions.empty()) return refuse(query);
   const dns::Question& q = query.question();
@@ -51,7 +62,7 @@ std::vector<Message> TransferService::serve(const Message& query) {
 
   if (q.qtype == RecordType::AXFR) {
     ++stats_.axfr_served;
-    return serve_axfr(*zone, query.header.id);
+    return truncate_stream(serve_axfr(*zone, query.header.id));
   }
   if (q.qtype != RecordType::IXFR) return refuse(query);
 
@@ -69,14 +80,14 @@ std::vector<Message> TransferService::serve(const Message& query) {
   if (chain_) {
     if (auto deltas = chain_(zone->apex(), *client_serial, zone->serial())) {
       ++stats_.ixfr_incremental;
-      return {zone::ixfr_serialize_chain(*deltas, query.header.id)};
+      return truncate_stream({zone::ixfr_serialize_chain(*deltas, query.header.id)});
     }
   }
   // Journal cannot bridge the span: answer with the full zone, AXFR-style
   // inside the IXFR response (RFC 1995 §4 — the client spots it by the
   // second record not being an SOA).
   ++stats_.ixfr_fallback;
-  return serve_axfr(*zone, query.header.id);
+  return truncate_stream(serve_axfr(*zone, query.header.id));
 }
 
 // ---------------------------------------------------------------------------

@@ -25,6 +25,7 @@
 #include "common/result.hpp"
 #include "dns/message.hpp"
 #include "obs/registry.hpp"
+#include "propagation/fault_hooks.hpp"
 #include "zone/zone_store.hpp"
 #include "zone/zone_transfer.hpp"
 
@@ -39,6 +40,12 @@ struct TransferConfig {
   /// Records per AXFR response message (small values exercise the
   /// multi-message reassembly path).
   std::size_t axfr_records_per_message = 500;
+  /// Test-only fault seam: each outgoing stream message consults
+  /// on_op(StreamMessage); a `fail` fate cuts the stream there — the
+  /// client receives a structurally plausible but truncated transfer,
+  /// exactly what a connection dying mid-AXFR produces. Null in
+  /// production.
+  FaultHooksPtr fault_hooks;
 };
 
 struct TransferStats {
@@ -121,6 +128,9 @@ class TransferService {
  private:
   std::vector<dns::Message> serve_axfr(const zone::Zone& zone, std::uint16_t id);
   std::vector<dns::Message> refuse(const dns::Message& query);
+  /// Applies StreamMessage fates: a `fail` cuts the stream at that
+  /// message, simulating a connection lost mid-transfer.
+  std::vector<dns::Message> truncate_stream(std::vector<dns::Message> stream);
 
   const zone::ZoneStore& store_;
   ChainProvider chain_;

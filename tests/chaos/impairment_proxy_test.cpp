@@ -1,0 +1,307 @@
+// The impairment proxy over real sockets: a UDP echo upstream sits
+// behind the proxy and every fault class is driven to certainty
+// (probability 1.0 or an always-on window), so the assertions are about
+// *what the fault does to real traffic*, not about probabilities.
+
+#include "chaos/impairment_proxy.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace akadns::chaos {
+namespace {
+
+constexpr Ipv4Addr kLoopback(127, 0, 0, 1);
+
+// A UDP echo server; when `tag` is non-zero the reply's first byte is
+// replaced with it, so a test can tell *which* upstream answered.
+class EchoUpstream {
+ public:
+  explicit EchoUpstream(char tag = 0) : tag_(tag) {
+    fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~EchoUpstream() {
+    stop_.store(true);
+    thread_.join();
+    ::close(fd_);
+  }
+
+  std::uint16_t port() const { return port_; }
+  Endpoint endpoint() const { return Endpoint{IpAddr(kLoopback), port_}; }
+
+ private:
+  void run() {
+    std::vector<std::uint8_t> buf(64 * 1024);
+    while (!stop_.load()) {
+      pollfd pfd{fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, 50) != 1) continue;
+      sockaddr_storage peer{};
+      socklen_t peer_len = sizeof(peer);
+      const ssize_t n = ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                                   reinterpret_cast<sockaddr*>(&peer), &peer_len);
+      if (n <= 0) continue;
+      if (tag_ != 0) buf[0] = static_cast<std::uint8_t>(tag_);
+      ::sendto(fd_, buf.data(), static_cast<std::size_t>(n), 0,
+               reinterpret_cast<const sockaddr*>(&peer), peer_len);
+    }
+  }
+
+  char tag_;
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+// A client UDP socket connected to the proxy's front port.
+class Client {
+ public:
+  explicit Client(std::uint16_t proxy_port) {
+    fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+    sockaddr_storage dst{};
+    const socklen_t len = net::sockaddr_from_endpoint(
+        Endpoint{IpAddr(kLoopback), proxy_port}, dst);
+    ::connect(fd_, reinterpret_cast<const sockaddr*>(&dst), len);
+  }
+  ~Client() { ::close(fd_); }
+
+  bool send(const std::string& payload) {
+    return ::send(fd_, payload.data(), payload.size(), 0) ==
+           static_cast<ssize_t>(payload.size());
+  }
+
+  std::optional<std::string> recv(int timeout_ms) {
+    pollfd pfd{fd_, POLLIN, 0};
+    if (::poll(&pfd, 1, timeout_ms) != 1) return std::nullopt;
+    char buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) return std::nullopt;
+    return std::string(buf, static_cast<std::size_t>(n));
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+ProxyConfig config_for(const EchoUpstream& upstream, FaultPlan plan = {}) {
+  ProxyConfig config;
+  config.listen_port = 0;
+  config.upstream = upstream.endpoint();
+  config.plan = plan;
+  return config;
+}
+
+TEST(ImpairmentProxy, CleanPlanRelaysVerbatimBothWays) {
+  EchoUpstream upstream;
+  ImpairmentProxy proxy(config_for(upstream));
+  auto started = proxy.start();
+  ASSERT_TRUE(started.ok()) << started.error();
+
+  Client client(proxy.port());
+  const std::string payload = "through-the-proxy";
+  ASSERT_TRUE(client.send(payload));
+  const auto reply = client.recv(3000);
+  ASSERT_TRUE(reply.has_value()) << "clean proxy dropped the datagram";
+  EXPECT_EQ(*reply, payload);
+
+  proxy.stop();
+  EXPECT_GE(proxy.stats().forwarded_up.value(), 1u);
+  EXPECT_GE(proxy.stats().forwarded_down.value(), 1u);
+  EXPECT_EQ(proxy.stats().dropped.value(), 0u);
+  EXPECT_EQ(proxy.stats().corrupted.value(), 0u);
+}
+
+TEST(ImpairmentProxy, TotalUpstreamLossSwallowsEveryDatagram) {
+  EchoUpstream upstream;
+  FaultPlan plan;
+  plan.up.loss = 1.0;
+  ImpairmentProxy proxy(config_for(upstream, plan));
+  ASSERT_TRUE(proxy.start().ok());
+
+  Client client(proxy.port());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(client.send("lost-" + std::to_string(i)));
+  EXPECT_FALSE(client.recv(300).has_value());
+
+  proxy.stop();
+  EXPECT_GE(proxy.stats().dropped.value(), 3u);
+  EXPECT_EQ(proxy.stats().forwarded_up.value(), 0u);
+}
+
+TEST(ImpairmentProxy, FixedDelayAddsMeasurableLatency) {
+  EchoUpstream upstream;
+  FaultPlan plan;
+  plan.up.delay = Duration::millis(60);
+  plan.down.delay = Duration::millis(60);
+  ImpairmentProxy proxy(config_for(upstream, plan));
+  ASSERT_TRUE(proxy.start().ok());
+
+  Client client(proxy.port());
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(client.send("how-long"));
+  const auto reply = client.recv(5000);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  ASSERT_TRUE(reply.has_value());
+  // 60 ms each way; leave headroom below 120 for scheduler slack.
+  EXPECT_GE(elapsed, 100);
+
+  proxy.stop();
+  EXPECT_GE(proxy.stats().delayed.value(), 2u);
+}
+
+TEST(ImpairmentProxy, CorruptionFlipsExactlyOneByte) {
+  EchoUpstream upstream;
+  FaultPlan plan;
+  plan.up.corrupt = 1.0;  // down stays clean: the echo shows the damage
+  ImpairmentProxy proxy(config_for(upstream, plan));
+  ASSERT_TRUE(proxy.start().ok());
+
+  Client client(proxy.port());
+  const std::string payload(64, 'x');
+  ASSERT_TRUE(client.send(payload));
+  const auto reply = client.recv(3000);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->size(), payload.size());
+  int diffs = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    if ((*reply)[i] != payload[i]) ++diffs;
+  }
+  EXPECT_EQ(diffs, 1) << "single-byte corruption must damage exactly one byte";
+
+  proxy.stop();
+  EXPECT_GE(proxy.stats().corrupted.value(), 1u);
+}
+
+TEST(ImpairmentProxy, DuplicationDeliversTheAnswerTwice) {
+  EchoUpstream upstream;
+  FaultPlan plan;
+  plan.down.dup = 1.0;
+  ImpairmentProxy proxy(config_for(upstream, plan));
+  ASSERT_TRUE(proxy.start().ok());
+
+  Client client(proxy.port());
+  ASSERT_TRUE(client.send("twice"));
+  const auto first = client.recv(3000);
+  const auto second = client.recv(3000);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value()) << "duplicate copy never arrived";
+  EXPECT_EQ(*first, "twice");
+  EXPECT_EQ(*second, "twice");
+
+  proxy.stop();
+  EXPECT_GE(proxy.stats().duplicated.value(), 1u);
+}
+
+TEST(ImpairmentProxy, BlackholeWindowGoesCompletelyDark) {
+  EchoUpstream upstream;
+  FaultPlan plan;
+  plan.blackholes.push_back({Duration::zero(), Duration::seconds(600)});
+  ImpairmentProxy proxy(config_for(upstream, plan));
+  ASSERT_TRUE(proxy.start().ok());
+
+  Client client(proxy.port());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(client.send("void"));
+  EXPECT_FALSE(client.recv(300).has_value());
+
+  proxy.stop();
+  EXPECT_GE(proxy.stats().blackholed.value(), 3u);
+  EXPECT_EQ(proxy.stats().forwarded_up.value(), 0u);
+}
+
+TEST(ImpairmentProxy, TcpResetKillsFreshConnections) {
+  EchoUpstream upstream;
+  FaultPlan plan;
+  plan.up.tcp_reset = 1.0;
+  ImpairmentProxy proxy(config_for(upstream, plan));
+  ASSERT_TRUE(proxy.start().ok());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_storage dst{};
+  const socklen_t len = net::sockaddr_from_endpoint(
+      Endpoint{IpAddr(kLoopback), proxy.port()}, dst);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&dst), len), 0);
+
+  // The proxy accepts then resets; the next read must fail or EOF fast.
+  pollfd pfd{fd, POLLIN, 0};
+  ASSERT_EQ(::poll(&pfd, 1, 3000), 1) << "reset never arrived";
+  char buf[16];
+  EXPECT_LE(::recv(fd, buf, sizeof(buf), 0), 0);
+  ::close(fd);
+
+  proxy.stop();
+  EXPECT_GE(proxy.stats().tcp_resets.value(), 1u);
+}
+
+TEST(ImpairmentProxy, SetUpstreamRepointsNewFlows) {
+  EchoUpstream a('A');
+  EchoUpstream b('B');
+  ImpairmentProxy proxy(config_for(a));
+  ASSERT_TRUE(proxy.start().ok());
+
+  {
+    Client client(proxy.port());
+    ASSERT_TRUE(client.send("x-first"));
+    const auto reply = client.recv(3000);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->front(), 'A');
+  }
+
+  // Rewire (a machine restarted on a fresh port): a *new* flow lands on
+  // the new upstream.
+  proxy.set_upstream(b.endpoint());
+  {
+    Client client(proxy.port());
+    ASSERT_TRUE(client.send("x-second"));
+    const auto reply = client.recv(3000);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->front(), 'B');
+  }
+
+  proxy.stop();
+}
+
+TEST(ImpairmentProxy, StopIsPromptAndIdempotent) {
+  EchoUpstream upstream;
+  FaultPlan plan;
+  plan.up.delay = Duration::seconds(30);  // a queue full of far-future sends
+  ImpairmentProxy proxy(config_for(upstream, plan));
+  ASSERT_TRUE(proxy.start().ok());
+  Client client(proxy.port());
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(client.send("parked"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  proxy.stop();
+  proxy.stop();  // idempotent
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_LT(elapsed, 1000) << "stop() waited on the delay queue";
+}
+
+}  // namespace
+}  // namespace akadns::chaos

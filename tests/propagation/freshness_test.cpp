@@ -1,0 +1,149 @@
+// The per-apex freshness ladder (fresh -> stale -> expired) that drives
+// serve-stale: timers come from the zone's own SOA, caps tighten but
+// never widen them, and every transition is a pure function of the
+// confirm timestamp — so the whole ladder is testable on a synthetic
+// time axis without sleeping.
+
+#include "propagation/freshness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dns/name.hpp"
+#include "dns/rr.hpp"
+
+namespace akadns::propagation {
+namespace {
+
+using dns::DnsName;
+
+const DnsName kApex = DnsName::from("fresh.example");
+const DnsName kOther = DnsName::from("other.example");
+
+constexpr std::int64_t kSecond = 1'000'000'000;
+
+dns::SoaRecord soa(std::uint32_t refresh, std::uint32_t expire, std::uint32_t retry = 600) {
+  dns::SoaRecord record;
+  record.mname = DnsName::from("ns1.fresh.example");
+  record.rname = DnsName::from("hostmaster.fresh.example");
+  record.serial = 1;
+  record.refresh = refresh;
+  record.retry = retry;
+  record.expire = expire;
+  record.minimum = 300;
+  return record;
+}
+
+TEST(FreshnessTracker, LadderWalksFreshStaleExpiredOnSoaTimers) {
+  FreshnessTracker tracker;
+  const std::int64_t t0 = 100 * kSecond;
+  tracker.confirm(kApex, soa(/*refresh=*/10, /*expire=*/30), t0);
+
+  // Within refresh: fresh. Strictly past refresh: stale (still served).
+  EXPECT_EQ(tracker.state_of(kApex, t0 + 9 * kSecond), Freshness::Fresh);
+  EXPECT_EQ(tracker.state_of(kApex, t0 + 10 * kSecond), Freshness::Fresh);
+  EXPECT_EQ(tracker.state_of(kApex, t0 + 10 * kSecond + 1), Freshness::Stale);
+  EXPECT_EQ(tracker.state_of(kApex, t0 + 29 * kSecond), Freshness::Stale);
+  // Strictly past expire: the zone is withdrawn.
+  EXPECT_EQ(tracker.state_of(kApex, t0 + 30 * kSecond + 1), Freshness::Expired);
+
+  // A re-confirm rewinds the ladder to the top.
+  tracker.confirm(kApex, soa(10, 30), t0 + 40 * kSecond);
+  EXPECT_EQ(tracker.state_of(kApex, t0 + 45 * kSecond), Freshness::Fresh);
+}
+
+TEST(FreshnessTracker, CapsTightenTheSoaScheduleButNeverWidenIt) {
+  // Synthetic zones say hours; a drill cap of 1s/3s must win.
+  FreshnessTracker tight(FreshnessCaps{.refresh_cap = Duration::seconds(1),
+                                       .expire_cap = Duration::seconds(3)});
+  const std::int64_t t0 = kSecond;
+  tight.confirm(kApex, soa(3600, 604800), t0);
+  EXPECT_EQ(tight.state_of(kApex, t0 + 2 * kSecond), Freshness::Stale);
+  EXPECT_EQ(tight.state_of(kApex, t0 + 4 * kSecond), Freshness::Expired);
+
+  // A cap looser than the SOA does not extend the owner's schedule.
+  FreshnessTracker loose(FreshnessCaps{.refresh_cap = Duration::seconds(3600),
+                                       .expire_cap = Duration::seconds(3600)});
+  loose.confirm(kApex, soa(/*refresh=*/5, /*expire=*/10), t0);
+  EXPECT_EQ(loose.state_of(kApex, t0 + 6 * kSecond), Freshness::Stale);
+  EXPECT_EQ(loose.state_of(kApex, t0 + 11 * kSecond), Freshness::Expired);
+}
+
+TEST(FreshnessTracker, ZeroCapMeansSoaVerbatimAndZeroSoaFallsBack) {
+  // No caps: the SOA fields rule.
+  FreshnessTracker verbatim;
+  const std::int64_t t0 = kSecond;
+  verbatim.confirm(kApex, soa(7, 20), t0);
+  EXPECT_EQ(verbatim.state_of(kApex, t0 + 8 * kSecond), Freshness::Stale);
+
+  // A zone with zeroed SOA timers still ages (1h/7d fallbacks).
+  FreshnessTracker fallback;
+  fallback.confirm(kApex, soa(0, 0), t0);
+  EXPECT_EQ(fallback.state_of(kApex, t0 + 1800 * kSecond), Freshness::Fresh);
+  EXPECT_EQ(fallback.state_of(kApex, t0 + 3601 * kSecond), Freshness::Stale);
+}
+
+TEST(FreshnessTracker, ExpireBelowRefreshIsClampedSoTheLadderKeepsItsRungs) {
+  // A zone ordering expire < refresh would skip stale entirely; the
+  // tracker clamps expire up to refresh.
+  FreshnessTracker tracker;
+  const std::int64_t t0 = kSecond;
+  tracker.confirm(kApex, soa(/*refresh=*/10, /*expire=*/5), t0);
+  EXPECT_EQ(tracker.state_of(kApex, t0 + 9 * kSecond), Freshness::Fresh);
+  EXPECT_EQ(tracker.state_of(kApex, t0 + 11 * kSecond), Freshness::Expired);
+}
+
+TEST(FreshnessTracker, UntrackedApexIsFreshAndForgetWithdrawsTracking) {
+  FreshnessTracker tracker;
+  const std::int64_t t0 = kSecond;
+  EXPECT_EQ(tracker.state_of(kApex, t0), Freshness::Fresh);
+  EXPECT_EQ(tracker.tracked(), 0u);
+
+  tracker.confirm(kApex, soa(1, 2), t0);
+  EXPECT_EQ(tracker.tracked(), 1u);
+  EXPECT_EQ(tracker.evaluate(t0 + 10 * kSecond), Freshness::Expired);
+
+  tracker.forget(kApex);
+  EXPECT_EQ(tracker.tracked(), 0u);
+  EXPECT_EQ(tracker.state_of(kApex, t0 + 10 * kSecond), Freshness::Fresh);
+  EXPECT_EQ(tracker.evaluate(t0 + 10 * kSecond), Freshness::Fresh);
+}
+
+TEST(FreshnessTracker, EvaluatePublishesTheWorstStateAcrossApexes) {
+  FreshnessTracker tracker;
+  const std::int64_t t0 = kSecond;
+  tracker.confirm(kApex, soa(1000, 2000), t0);   // stays fresh
+  tracker.confirm(kOther, soa(10, 30), t0);      // ages quickly
+
+  EXPECT_EQ(tracker.evaluate(t0 + 5 * kSecond), Freshness::Fresh);
+  EXPECT_EQ(tracker.worst(), Freshness::Fresh);
+
+  EXPECT_EQ(tracker.evaluate(t0 + 15 * kSecond), Freshness::Stale);
+  EXPECT_EQ(tracker.worst(), Freshness::Stale);
+
+  EXPECT_EQ(tracker.evaluate(t0 + 31 * kSecond), Freshness::Expired);
+  EXPECT_EQ(tracker.worst(), Freshness::Expired);
+
+  // Re-confirming the overdue apex heals the published worst state.
+  tracker.confirm(kOther, soa(10, 30), t0 + 31 * kSecond);
+  EXPECT_EQ(tracker.evaluate(t0 + 32 * kSecond), Freshness::Fresh);
+  EXPECT_EQ(tracker.worst(), Freshness::Fresh);
+}
+
+TEST(FreshnessTracker, StalenessSecondsMeasuresTheMostOverdueApex) {
+  FreshnessTracker tracker;
+  const std::int64_t t0 = 50 * kSecond;
+  tracker.confirm(kApex, soa(10, 100), t0);
+  tracker.confirm(kOther, soa(20, 100), t0);
+
+  // Nothing overdue yet: the gauge reads zero.
+  EXPECT_DOUBLE_EQ(tracker.staleness_seconds(t0 + 5 * kSecond), 0.0);
+
+  // kApex is 5s past its 10s refresh; kOther still fresh.
+  EXPECT_DOUBLE_EQ(tracker.staleness_seconds(t0 + 15 * kSecond), 5.0);
+
+  // Both overdue: the worst one (kApex, 15s over) is reported.
+  EXPECT_DOUBLE_EQ(tracker.staleness_seconds(t0 + 25 * kSecond), 15.0);
+}
+
+}  // namespace
+}  // namespace akadns::propagation
